@@ -1,0 +1,195 @@
+package tramlib
+
+// One testing.B benchmark per table/figure of the paper's evaluation. These
+// run the same harness as cmd/tramlab at a reduced scale suitable for
+// `go test -bench`; regenerate full tables with `go run ./cmd/tramlab -all`.
+//
+// Reported metrics:
+//
+//	sim_ms/op   simulated makespan of the experiment's headline config
+//	(plus figure-specific metrics such as wasted updates)
+
+import (
+	"testing"
+
+	"tramlib/internal/apps/histogram"
+	"tramlib/internal/apps/indexgather"
+	"tramlib/internal/apps/phold"
+	"tramlib/internal/apps/pingack"
+	"tramlib/internal/apps/pingpong"
+	"tramlib/internal/apps/sssp"
+	"tramlib/internal/bench"
+	"tramlib/internal/cluster"
+	"tramlib/internal/core"
+	"tramlib/internal/graph"
+)
+
+// benchOpts is the reduced scale used by the testing.B wrappers.
+func benchOpts() bench.Options {
+	return bench.Options{WorkerDiv: 8, ItemDiv: 32, NodesCap: 8, Seed: 1}
+}
+
+func BenchmarkFig01PingPong(b *testing.B) {
+	cfg := pingpong.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		pts := pingpong.Run(cfg)
+		if i == 0 {
+			small := pts[0].OneWay
+			b.ReportMetric(small.Micros(), "small_us")
+			b.ReportMetric(float64(cfg.Sizes[len(cfg.Sizes)-1])/float64(pts[len(pts)-1].OneWay), "GB/s_2MB")
+		}
+	}
+}
+
+func BenchmarkFig03PingAck(b *testing.B) {
+	cfg := pingack.DefaultConfig()
+	cfg.WorkersPerNode = 16
+	cfg.TotalMessages = 16000
+	for i := 0; i < b.N; i++ {
+		cfg.ProcsPerNode = 0
+		nonSMP := pingack.Run(cfg)
+		cfg.ProcsPerNode = 1
+		smp1 := pingack.Run(cfg)
+		if i == 0 {
+			b.ReportMetric(smp1.TotalTime.Seconds()*1e3, "smp1_sim_ms")
+			b.ReportMetric(float64(smp1.TotalTime)/float64(nonSMP.TotalTime), "smp1_vs_nonSMP")
+		}
+	}
+}
+
+func benchHistogram(b *testing.B, scheme core.Scheme, z, g int) {
+	topo := cluster.SMP(4, 2, 4)
+	cfg := histogram.DefaultConfig(topo, scheme)
+	cfg.UpdatesPerPE = z
+	cfg.Tram.BufferItems = g
+	cfg.SlotsPerPE = 512
+	for i := 0; i < b.N; i++ {
+		res := histogram.Run(cfg)
+		if i == 0 {
+			b.ReportMetric(res.Time.Seconds()*1e3, "sim_ms")
+			b.ReportMetric(float64(res.RemoteMsgs), "msgs")
+		}
+	}
+}
+
+func BenchmarkFig08HistogramPPN(b *testing.B) {
+	// WPs at the paper's best ppn (8) vs non-SMP, 4 nodes.
+	z := 32768
+	for i := 0; i < b.N; i++ {
+		smp := histogram.DefaultConfig(cluster.SMP(4, 2, 8), core.WPs)
+		smp.UpdatesPerPE = z
+		smp.SlotsPerPE = 512
+		r1 := histogram.Run(smp)
+		non := histogram.DefaultConfig(cluster.NonSMP(4, 16), core.WW)
+		non.UpdatesPerPE = z
+		non.SlotsPerPE = 512
+		r2 := histogram.Run(non)
+		if i == 0 {
+			b.ReportMetric(r1.Time.Seconds()*1e3, "WPs_sim_ms")
+			b.ReportMetric(r2.Time.Seconds()*1e3, "nonSMP_sim_ms")
+		}
+	}
+}
+
+func BenchmarkFig09HistogramWeakScaling(b *testing.B) {
+	for _, s := range []core.Scheme{core.WW, core.WPs, core.PP, core.WsP} {
+		b.Run(s.String(), func(b *testing.B) {
+			benchHistogram(b, s, 65536, 1024)
+		})
+	}
+}
+
+func BenchmarkFig10HistogramBufferSize(b *testing.B) {
+	for _, g := range []int{512, 1024, 2048, 4096} {
+		b.Run(bench.Name("g", g), func(b *testing.B) {
+			benchHistogram(b, core.WPs, 65536, g)
+		})
+	}
+}
+
+func BenchmarkFig11HistogramSmall(b *testing.B) {
+	for _, s := range []core.Scheme{core.WW, core.WPs, core.PP, core.WsP} {
+		b.Run(s.String(), func(b *testing.B) {
+			g := 1024
+			if s == core.WW {
+				g = 512
+			}
+			benchHistogram(b, s, 8192, g)
+		})
+	}
+}
+
+func BenchmarkFig12IndexGatherLatency(b *testing.B) {
+	for _, s := range []core.Scheme{core.WW, core.WPs, core.PP} {
+		b.Run(s.String(), func(b *testing.B) {
+			cfg := indexgather.DefaultConfig(cluster.SMP(2, 2, 4), s)
+			cfg.RequestsPerPE = 8192
+			cfg.Tram.BufferItems = 128
+			for i := 0; i < b.N; i++ {
+				res := indexgather.Run(cfg)
+				if i == 0 {
+					b.ReportMetric(res.Latency.Mean()/1e3, "lat_us")
+					b.ReportMetric(res.Time.Seconds()*1e3, "sim_ms")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig14SSSPSmall(b *testing.B) {
+	g := graph.GenUniform(1<<16, 8, 1)
+	for _, s := range []core.Scheme{core.WW, core.WPs, core.PP} {
+		b.Run(s.String(), func(b *testing.B) {
+			cfg := sssp.DefaultConfig(cluster.SMP(2, 2, 4), s, g)
+			for i := 0; i < b.N; i++ {
+				res := sssp.Run(cfg)
+				if i == 0 {
+					b.ReportMetric(res.Time.Seconds()*1e3, "sim_ms")
+					b.ReportMetric(res.WastedNorm, "wasted_per_1k")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig16SSSPLarge(b *testing.B) {
+	g := graph.GenUniform(1<<18, 8, 2)
+	for _, s := range []core.Scheme{core.WW, core.WPs} {
+		b.Run(s.String(), func(b *testing.B) {
+			cfg := sssp.DefaultConfig(cluster.SMP(4, 2, 4), s, g)
+			for i := 0; i < b.N; i++ {
+				res := sssp.Run(cfg)
+				if i == 0 {
+					b.ReportMetric(res.Time.Seconds()*1e3, "sim_ms")
+					b.ReportMetric(res.WastedNorm, "wasted_per_1k")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig18PHOLD(b *testing.B) {
+	for _, s := range []core.Scheme{core.WW, core.WPs, core.PP} {
+		b.Run(s.String(), func(b *testing.B) {
+			cfg := phold.DefaultConfig(cluster.SMP(2, 1, 16), s)
+			cfg.EventsBudget = 1 << 18
+			for i := 0; i < b.N; i++ {
+				res := phold.Run(cfg)
+				if i == 0 {
+					b.ReportMetric(float64(res.Wasted), "rejected")
+					b.ReportMetric(res.Time.Seconds()*1e3, "sim_ms")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDirectVsAggregated quantifies the headline motivation: the
+// message-count and time reduction of aggregation vs per-item sends.
+func BenchmarkAblationDirectVsAggregated(b *testing.B) {
+	for _, s := range []core.Scheme{core.Direct, core.WPs} {
+		b.Run(s.String(), func(b *testing.B) {
+			benchHistogram(b, s, 16384, 1024)
+		})
+	}
+}

@@ -1,0 +1,107 @@
+// Command tramlab regenerates the paper's tables and figures on the
+// simulator. Each figure of the evaluation section (plus the §III-A comm
+// thread analysis, id "a1") has a runner; results print as aligned text
+// tables or CSV.
+//
+// Usage:
+//
+//	tramlab -list
+//	tramlab -fig 9                   # one figure at default (laptop) scale
+//	tramlab -all                     # everything
+//	tramlab -fig 9 -workerdiv 1 -itemdiv 1   # paper scale (heavy!)
+//	tramlab -fig 12 -csv             # machine-readable output
+//	tramlab -fig 3 -quiet            # suppress progress lines on stderr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"tramlib/internal/bench"
+)
+
+func main() {
+	var (
+		fig       = flag.String("fig", "", "figure id to run (1,3,8,9,10,11,12,13,14,15,16,17,18,a1)")
+		all       = flag.Bool("all", false, "run every figure")
+		list      = flag.Bool("list", false, "list available figures")
+		workerdiv = flag.Int("workerdiv", 4, "divide the paper's 64 workers/node by this factor (1 = paper scale)")
+		itemdiv   = flag.Int("itemdiv", 4, "divide per-PE item counts by this factor (1 = paper scale)")
+		igdiv     = flag.Int("igdiv", 0, "extra divisor for index-gather requests (default 8*itemdiv)")
+		nodescap  = flag.Int("nodes", 0, "cap node sweeps at this many nodes (0 = figure default)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		quiet     = flag.Bool("quiet", false, "suppress progress output on stderr")
+	)
+	flag.Parse()
+
+	if *list {
+		seen := map[string]bool{}
+		for _, f := range bench.Figures() {
+			if seen[f.Title] {
+				continue
+			}
+			seen[f.Title] = true
+			fmt.Printf("  %-3s %s\n", f.ID, f.Title)
+		}
+		return
+	}
+
+	opts := bench.Options{
+		WorkerDiv: *workerdiv,
+		ItemDiv:   *itemdiv,
+		IGItemDiv: *igdiv,
+		NodesCap:  *nodescap,
+		Seed:      *seed,
+	}
+	var progress io.Writer = os.Stderr
+	if *quiet {
+		progress = nil
+	}
+	opts.Progress = progress
+
+	var ids []string
+	switch {
+	case *all:
+		seen := map[string]bool{}
+		for _, f := range bench.Figures() {
+			if seen[f.Title] {
+				continue
+			}
+			seen[f.Title] = true
+			ids = append(ids, f.ID)
+		}
+	case *fig != "":
+		for _, id := range strings.Split(*fig, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "tramlab: pass -fig <id>, -all, or -list")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, id := range ids {
+		f, ok := bench.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tramlab: unknown figure %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		tables := f.Run(opts)
+		if progress != nil {
+			fmt.Fprintf(progress, "fig %s finished in %v\n", id, time.Since(start).Round(time.Millisecond))
+		}
+		for _, tb := range tables {
+			if *csv {
+				fmt.Print(tb.CSV())
+			} else {
+				fmt.Println(tb.String())
+			}
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package histogram
+
+import (
+	"testing"
+
+	"tramlib/internal/cluster"
+	"tramlib/internal/core"
+)
+
+func smallConfig(scheme core.Scheme) Config {
+	cfg := DefaultConfig(cluster.SMP(2, 2, 4), scheme)
+	cfg.UpdatesPerPE = 2000
+	cfg.Tram.BufferItems = 64
+	cfg.SlotsPerPE = 128
+	return cfg
+}
+
+func TestUpdatesConserved(t *testing.T) {
+	for _, s := range []core.Scheme{core.WW, core.WPs, core.WsP, core.PP, core.Direct} {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			cfg := smallConfig(s)
+			res := Run(cfg)
+			want := int64(cfg.Topo.TotalWorkers()) * int64(cfg.UpdatesPerPE)
+			if res.TotalUpdates != want {
+				t.Fatalf("applied %d updates, want %d", res.TotalUpdates, want)
+			}
+			if res.CheckSum != want {
+				t.Fatalf("table checksum %d, want %d", res.CheckSum, want)
+			}
+			if res.Time <= 0 {
+				t.Fatalf("time %v", res.Time)
+			}
+		})
+	}
+}
+
+func TestAggregationBeatsDirect(t *testing.T) {
+	agg := Run(smallConfig(core.WPs))
+	direct := Run(smallConfig(core.Direct))
+	if agg.Time >= direct.Time {
+		t.Fatalf("aggregated (%v) not faster than direct (%v)", agg.Time, direct.Time)
+	}
+	if agg.RemoteMsgs >= direct.RemoteMsgs/4 {
+		t.Fatalf("aggregation reduced messages only %d -> %d", direct.RemoteMsgs, agg.RemoteMsgs)
+	}
+}
+
+func TestNonSMPRuns(t *testing.T) {
+	cfg := DefaultConfig(cluster.NonSMP(2, 8), core.WW)
+	cfg.UpdatesPerPE = 1000
+	cfg.Tram.BufferItems = 32
+	cfg.SlotsPerPE = 64
+	res := Run(cfg)
+	want := int64(16 * 1000)
+	if res.TotalUpdates != want {
+		t.Fatalf("non-SMP applied %d, want %d", res.TotalUpdates, want)
+	}
+}
+
+func TestFlushDominatedRegimeSendsFlushMessages(t *testing.T) {
+	// Few updates spread over many destinations with a large buffer: WW
+	// never fills and everything goes out in flush messages (the Fig. 9
+	// WW cliff).
+	cfg := smallConfig(core.WW)
+	cfg.UpdatesPerPE = 200
+	cfg.Tram.BufferItems = 1024
+	res := Run(cfg)
+	if res.FlushMsgs == 0 {
+		t.Fatal("expected flush-dominated run to emit flush messages")
+	}
+	if res.RemoteMsgs < res.FlushMsgs/2 {
+		t.Fatalf("remote %d vs flush %d inconsistent", res.RemoteMsgs, res.FlushMsgs)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, b := Run(smallConfig(core.WPs)), Run(smallConfig(core.WPs))
+	if a.Time != b.Time || a.RemoteMsgs != b.RemoteMsgs || a.CheckSum != b.CheckSum {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestSeedChangesTraffic(t *testing.T) {
+	cfg := smallConfig(core.WPs)
+	a := Run(cfg)
+	cfg.Seed = 2
+	b := Run(cfg)
+	if a.Time == b.Time && a.BytesSent == b.BytesSent {
+		t.Fatal("different seeds produced identical runs (suspicious)")
+	}
+}

@@ -1,0 +1,133 @@
+// Package indexgather implements the Bale-suite index-gather (IG) benchmark
+// (§III-D, Figs. 12–13), the paper's instrument for measuring item latency.
+//
+// Each PE issues a stream of requests to random other PEs; the target
+// responds with the requested table value. Because the request and the
+// response are observed on the same PE, the request→response interval is free
+// of clock skew; half of it tracks the one-way item latency through the
+// aggregation buffers. Both requests and responses travel through TramLib, so
+// latency reflects buffer-fill delay — the quantity the schemes trade against
+// overhead (PP fills shared buffers t× faster than WPs, which fills per-worker
+// process buffers N·t/N = t× faster than WW fills per-worker worker buffers).
+package indexgather
+
+import (
+	"tramlib/internal/charm"
+	"tramlib/internal/cluster"
+	"tramlib/internal/core"
+	"tramlib/internal/netsim"
+	"tramlib/internal/rng"
+	"tramlib/internal/sim"
+	"tramlib/internal/stats"
+)
+
+// Payload layout: bit 63 = response flag.
+// Request:  [62:48] requester worker id (15 bits), [47:0] born timestamp ns.
+// Response: [62:0] born timestamp echoed back.
+const (
+	respFlag  = uint64(1) << 63
+	reqShift  = 48
+	bornMask  = (uint64(1) << reqShift) - 1
+	reqIDMask = uint64(1)<<15 - 1
+)
+
+// Config parameterizes one IG run.
+type Config struct {
+	Topo   cluster.Topology
+	Params netsim.Params
+	Tram   core.Config
+	// RequestsPerPE is z: requests issued by each worker.
+	RequestsPerPE int
+	// LookupCost is charged at the responder per request served.
+	LookupCost sim.Time
+	// GenCost is charged per generated request.
+	GenCost   sim.Time
+	ChunkSize int
+	Seed      uint64
+}
+
+// DefaultConfig returns a Fig. 12/13-style configuration.
+func DefaultConfig(topo cluster.Topology, scheme core.Scheme) Config {
+	tram := core.DefaultConfig(scheme)
+	tram.TrackLatency = true
+	tram.FlushOnIdle = true
+	return Config{
+		Topo:          topo,
+		Params:        netsim.DefaultParams(),
+		Tram:          tram,
+		RequestsPerPE: 1 << 23,
+		LookupCost:    15 * sim.Nanosecond,
+		GenCost:       10 * sim.Nanosecond,
+		ChunkSize:     256,
+		Seed:          1,
+	}
+}
+
+// Result reports one run.
+type Result struct {
+	// Time is the makespan until the last response arrives.
+	Time sim.Time
+	// Latency is the distribution of request→response intervals.
+	Latency *stats.Hist
+	// Responses received (must equal W·z).
+	Responses int64
+	// RemoteMsgs is TramLib's aggregated message count.
+	RemoteMsgs int64
+}
+
+// Run executes the benchmark.
+func Run(cfg Config) Result {
+	topo := cfg.Topo
+	rt := charm.NewRuntime(topo, cfg.Params)
+	drv := charm.NewLoopDriver(rt)
+	W := topo.TotalWorkers()
+
+	lat := stats.NewHist()
+	expected := int64(W) * int64(cfg.RequestsPerPE)
+	var responses int64
+	var doneAt sim.Time
+
+	var lib *core.Lib
+	lib = core.New(rt, cfg.Tram, func(ctx *charm.Ctx, v uint64) {
+		if v&respFlag != 0 {
+			// Response arrives at its requester.
+			born := sim.Time(v &^ respFlag)
+			lat.Observe(int64(ctx.Now() - born))
+			responses++
+			if responses == expected {
+				doneAt = ctx.Now()
+			}
+			return
+		}
+		// Request: serve and respond through the library.
+		ctx.Charge(cfg.LookupCost)
+		requester := cluster.WorkerID((v >> reqShift) & reqIDMask)
+		born := v & bornMask
+		lib.Insert(ctx, requester, respFlag|born)
+	})
+
+	for w := 0; w < W; w++ {
+		w := w
+		r := rng.NewStream(cfg.Seed, w)
+		self := cluster.WorkerID(w)
+		drv.Spawn(self, cfg.RequestsPerPE, cfg.ChunkSize,
+			func(ctx *charm.Ctx, _ int) {
+				ctx.Charge(cfg.GenCost)
+				dst := cluster.WorkerID(r.Intn(W - 1))
+				if dst >= self {
+					dst++ // uniform over others, never self
+				}
+				born := uint64(ctx.Now()) & bornMask
+				lib.Insert(ctx, dst, uint64(w)<<reqShift|born)
+			},
+			func(ctx *charm.Ctx) { lib.Flush(ctx) })
+	}
+	rt.Run()
+
+	return Result{
+		Time:       doneAt,
+		Latency:    lat,
+		Responses:  responses,
+		RemoteMsgs: lib.M.RemoteMsgs.Value(),
+	}
+}

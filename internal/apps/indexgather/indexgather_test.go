@@ -1,0 +1,68 @@
+package indexgather
+
+import (
+	"testing"
+
+	"tramlib/internal/cluster"
+	"tramlib/internal/core"
+)
+
+func smallConfig(scheme core.Scheme) Config {
+	cfg := DefaultConfig(cluster.SMP(2, 2, 4), scheme)
+	cfg.RequestsPerPE = 1500
+	cfg.Tram.BufferItems = 64
+	return cfg
+}
+
+func TestAllResponsesReceived(t *testing.T) {
+	for _, s := range []core.Scheme{core.WW, core.WPs, core.PP} {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			cfg := smallConfig(s)
+			res := Run(cfg)
+			want := int64(cfg.Topo.TotalWorkers()) * int64(cfg.RequestsPerPE)
+			if res.Responses != want {
+				t.Fatalf("responses %d, want %d", res.Responses, want)
+			}
+			if res.Latency.Count() != want {
+				t.Fatalf("latency samples %d, want %d", res.Latency.Count(), want)
+			}
+			if res.Latency.Min() <= 0 {
+				t.Fatalf("non-positive latency %d", res.Latency.Min())
+			}
+			if res.Time <= 0 {
+				t.Fatal("no completion time")
+			}
+		})
+	}
+}
+
+func TestLatencyOrderingAcrossSchemes(t *testing.T) {
+	// Fig. 12: mean request latency PP < WPs < WW.
+	lat := func(s core.Scheme) float64 {
+		res := Run(smallConfig(s))
+		return res.Latency.Mean()
+	}
+	ww, wps, pp := lat(core.WW), lat(core.WPs), lat(core.PP)
+	if !(pp < wps && wps < ww) {
+		t.Fatalf("latency ordering violated: PP=%.0f WPs=%.0f WW=%.0f", pp, wps, ww)
+	}
+}
+
+func TestLatencyAboveNetworkFloor(t *testing.T) {
+	cfg := smallConfig(core.WPs)
+	res := Run(cfg)
+	// A request+response crosses the network at least twice; latency can
+	// never beat two wire alphas.
+	floor := int64(2 * cfg.Params.AlphaIntraNode)
+	if res.Latency.Min() < floor {
+		t.Fatalf("min latency %d below network floor %d", res.Latency.Min(), floor)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, b := Run(smallConfig(core.PP)), Run(smallConfig(core.PP))
+	if a.Time != b.Time || a.Latency.Sum() != b.Latency.Sum() {
+		t.Fatal("nondeterministic")
+	}
+}

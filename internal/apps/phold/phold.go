@@ -1,0 +1,281 @@
+// Package phold implements the paper's synthetic PHOLD benchmark for
+// optimistic parallel discrete event simulation (§III-D, Fig. 18).
+//
+// Logical processes (LPs) are distributed over workers. The event population
+// is constant: processing an event at timestamp ts schedules one successor at
+// ts + Exp(mean), directed at a random LP (remote with probability
+// RemoteProb). The engine is the paper's placeholder optimistic engine: no
+// real rollbacks are performed; an event arriving with a timestamp smaller
+// than its LP's local clock is counted as a wasted (rejected) update — in a
+// real Time Warp engine it would trigger a rollback cascade. Item latency
+// directly controls how stale remote events are on arrival, so lower-latency
+// aggregation schemes yield fewer rejected updates (the paper reports >5%
+// fewer for PP).
+package phold
+
+import (
+	"tramlib/internal/charm"
+	"tramlib/internal/cluster"
+	"tramlib/internal/core"
+	"tramlib/internal/netsim"
+	"tramlib/internal/rng"
+	"tramlib/internal/sim"
+)
+
+// Payload layout: [63:24] timestamp (40 bits), [23:0] global LP id.
+const (
+	tsShift = 24
+	lpMask  = uint64(1)<<tsShift - 1
+)
+
+// Config parameterizes one PHOLD run.
+type Config struct {
+	Topo   cluster.Topology
+	Params netsim.Params
+	Tram   core.Config
+	// LPsPerWorker is the number of logical processes per worker.
+	LPsPerWorker int
+	// PopulationPerLP is the constant number of events in flight per LP.
+	PopulationPerLP int
+	// EventsBudget is the total number of events to process before the
+	// population is absorbed and the run drains.
+	EventsBudget int64
+	// MeanDelay is the mean of the exponential timestamp increment, in
+	// simulated-model ticks.
+	MeanDelay float64
+	// RemoteProb is the probability that a successor event targets a
+	// uniformly random global LP instead of an LP on the same worker.
+	RemoteProb float64
+	// EventCost is charged per processed event.
+	EventCost sim.Time
+	// DrainChunk is local events processed per scheduler slot.
+	DrainChunk int
+	Seed       uint64
+}
+
+// DefaultConfig returns a Fig. 18-style configuration.
+func DefaultConfig(topo cluster.Topology, scheme core.Scheme) Config {
+	tram := core.DefaultConfig(scheme)
+	// PDES is latency-sensitive: cap item residence with the timeout
+	// flush rather than flush-on-idle (which fires between every pair of
+	// events and destroys aggregation). Schemes whose buffers fill faster
+	// than the timeout (PP's shared buffers) deliver events fresher and
+	// reject fewer of them; WW's many near-empty buffers turn every
+	// timeout into a message storm (the paper saw >5x worse total time).
+	tram.FlushTimeout = 15 * sim.Microsecond
+	tram.BufferItems = 256
+	return Config{
+		Topo:            topo,
+		Params:          netsim.DefaultParams(),
+		Tram:            tram,
+		LPsPerWorker:    1024,
+		PopulationPerLP: 1,
+		EventsBudget:    1 << 22,
+		MeanDelay:       100,
+		RemoteProb:      0.5,
+		EventCost:       20 * sim.Nanosecond,
+		DrainChunk:      256,
+		Seed:            1,
+	}
+}
+
+// Result reports one run.
+type Result struct {
+	// Time is the quiescence time.
+	Time sim.Time
+	// Processed events (>= EventsBudget when the budget stops the run).
+	Processed int64
+	// RemoteRecv counts events that arrived from another worker.
+	RemoteRecv int64
+	// Wasted counts out-of-order remote arrivals (timestamp behind the
+	// LP's committed clock): the events a real optimistic engine would
+	// pay rollbacks for.
+	Wasted int64
+	// WastedFrac is Wasted / RemoteRecv.
+	WastedFrac float64
+	// MaxLVT is the largest LP local virtual time reached.
+	MaxLVT uint64
+	// RemoteMsgs is TramLib's aggregated message count.
+	RemoteMsgs int64
+}
+
+type event struct {
+	lp uint32 // worker-local LP index
+	ts uint64
+}
+
+// eventHeap is a binary min-heap of events by timestamp: the worker always
+// executes its lowest-timestamp pending event next, like a sequential PDES
+// scheduler. Out-of-order execution can then only be caused by *remote*
+// arrivals that were delayed in aggregation buffers — the effect Fig. 18
+// measures.
+type eventHeap []event
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[p].ts <= (*h)[i].ts {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+func (h *eventHeap) pop() event {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && old[l].ts < old[m].ts {
+			m = l
+		}
+		if r < n && old[r].ts < old[m].ts {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		old[i], old[m] = old[m], old[i]
+		i = m
+	}
+	return top
+}
+
+// workerState holds per-PE PDES state.
+type workerState struct {
+	clock    []uint64 // local virtual time per local LP
+	pending  eventHeap
+	draining bool
+	rng      *rng.RNG
+}
+
+// Run executes the benchmark.
+func Run(cfg Config) Result {
+	topo := cfg.Topo
+	rt := charm.NewRuntime(topo, cfg.Params)
+	W := topo.TotalWorkers()
+	totalLPs := W * cfg.LPsPerWorker
+
+	ws := make([]*workerState, W)
+	for w := range ws {
+		ws[w] = &workerState{
+			clock: make([]uint64, cfg.LPsPerWorker),
+			rng:   rng.NewStream(cfg.Seed, w),
+		}
+	}
+
+	var res Result
+	var lib *core.Lib
+	var hDrain charm.HandlerID
+
+	schedule := func(ctx *charm.Ctx, st *workerState, self int, ts uint64) {
+		// Successor event: advance the timestamp, pick a destination LP.
+		inc := uint64(st.rng.ExpFloat64()*cfg.MeanDelay) + 1
+		nts := ts + inc
+		var gLP int
+		if st.rng.Float64() < cfg.RemoteProb {
+			gLP = st.rng.Intn(totalLPs)
+		} else {
+			gLP = self*cfg.LPsPerWorker + st.rng.Intn(cfg.LPsPerWorker)
+		}
+		owner := gLP / cfg.LPsPerWorker
+		if owner == self {
+			st.pending.push(event{lp: uint32(gLP % cfg.LPsPerWorker), ts: nts})
+			if !st.draining {
+				st.draining = true
+				ctx.Send(ctx.Self(), hDrain, st, 0, false)
+			}
+			return
+		}
+		lib.Insert(ctx, cluster.WorkerID(owner), nts<<tsShift|uint64(gLP))
+	}
+
+	// handle executes one event popped from the worker's timestamp-ordered
+	// pending set.
+	handle := func(ctx *charm.Ctx, st *workerState, self int, lp uint32, ts uint64) {
+		ctx.Charge(cfg.EventCost)
+		res.Processed++
+		if ts > st.clock[lp] {
+			st.clock[lp] = ts
+		}
+		if res.Processed < cfg.EventsBudget {
+			schedule(ctx, st, self, ts)
+		}
+	}
+
+	hDrain = rt.Register("phold.drain", func(ctx *charm.Ctx, data any, _ int) {
+		st := data.(*workerState)
+		self := int(ctx.Self())
+		n := 0
+		for n < cfg.DrainChunk && len(st.pending) > 0 {
+			ev := st.pending.pop()
+			n++
+			handle(ctx, st, self, ev.lp, ev.ts)
+		}
+		if len(st.pending) == 0 {
+			st.draining = false
+			return
+		}
+		ctx.Send(ctx.Self(), hDrain, st, 0, false)
+	})
+
+	lib = core.New(rt, cfg.Tram, func(ctx *charm.Ctx, p uint64) {
+		// Remote event arrival. If its LP has already committed past the
+		// event's timestamp, the arrival is out of order: a real Time
+		// Warp engine would roll the LP back. The placeholder engine
+		// counts it (Fig. 18's metric) and executes anyway to keep the
+		// event population constant.
+		st := ws[ctx.Self()]
+		lp := uint32(p&lpMask) % uint32(cfg.LPsPerWorker)
+		ts := p >> tsShift
+		res.RemoteRecv++
+		if ts < st.clock[lp] {
+			res.Wasted++
+		}
+		st.pending.push(event{lp: lp, ts: ts})
+		if !st.draining {
+			st.draining = true
+			ctx.Send(ctx.Self(), hDrain, st, 0, false)
+		}
+	})
+
+	// Initial population: PopulationPerLP events per LP, local start.
+	hInit := rt.Register("phold.init", func(ctx *charm.Ctx, _ any, _ int) {
+		st := ws[ctx.Self()]
+		for lp := 0; lp < cfg.LPsPerWorker; lp++ {
+			for k := 0; k < cfg.PopulationPerLP; k++ {
+				ts := uint64(st.rng.ExpFloat64()*cfg.MeanDelay) + 1
+				st.pending.push(event{lp: uint32(lp), ts: ts})
+			}
+		}
+		if !st.draining && len(st.pending) > 0 {
+			st.draining = true
+			ctx.Send(ctx.Self(), hDrain, st, 0, false)
+		}
+	})
+	for w := 0; w < W; w++ {
+		rt.Inject(0, cluster.WorkerID(w), hInit, nil)
+	}
+	res.Time = rt.Run()
+
+	for _, st := range ws {
+		for _, c := range st.clock {
+			if c > res.MaxLVT {
+				res.MaxLVT = c
+			}
+		}
+	}
+	if res.RemoteRecv > 0 {
+		res.WastedFrac = float64(res.Wasted) / float64(res.RemoteRecv)
+	}
+	res.RemoteMsgs = lib.M.RemoteMsgs.Value()
+	return res
+}

@@ -1,0 +1,127 @@
+// Package pingack implements the paper's PingAck benchmark (§III-A, Figs. 2
+// and 3), the experiment that exposed the communication-thread bottleneck of
+// SMP mode for fine-grained messaging.
+//
+// Every worker PE on node 0 streams a fixed number of messages of a given
+// size to the corresponding PE on node 1; each node-1 PE sends an ack to
+// global PE 0 after receiving its full quota. Total time is measured from the
+// start of the sends to the arrival of the last ack.
+//
+// With one process per node, all 64 worker streams funnel through a single
+// comm thread whose per-message processing serializes the run (the paper
+// measured SMP ≈ 5× slower than non-SMP). Adding processes adds comm threads
+// and closes the gap.
+package pingack
+
+import (
+	"fmt"
+
+	"tramlib/internal/charm"
+	"tramlib/internal/cluster"
+	"tramlib/internal/netsim"
+	"tramlib/internal/sim"
+)
+
+// Config parameterizes one PingAck run.
+type Config struct {
+	Params netsim.Params
+	// WorkersPerNode is the number of worker PEs on each of the two nodes.
+	WorkersPerNode int
+	// ProcsPerNode splits the node's workers into processes. 0 selects
+	// non-SMP mode (one process per worker).
+	ProcsPerNode int
+	// TotalMessages is the total node0→node1 message count, divided evenly
+	// among node-0 workers (the paper keeps this constant across
+	// configurations).
+	TotalMessages int
+	// MessageBytes is the payload size of each message.
+	MessageBytes int
+	// WorkCost is computation charged per message at both sender and
+	// receiver, modelling the application's work per message. Sweeping it
+	// locates the §III-A serialization threshold.
+	WorkCost sim.Time
+	// ChunkSize is the number of sends issued per scheduler slot.
+	ChunkSize int
+}
+
+// DefaultConfig returns the Fig. 3 baseline: 64 workers per node, 64000 total
+// messages of 32 bytes.
+func DefaultConfig() Config {
+	return Config{
+		Params:         netsim.DefaultParams(),
+		WorkersPerNode: 64,
+		ProcsPerNode:   1,
+		TotalMessages:  64000,
+		MessageBytes:   32,
+		ChunkSize:      16,
+	}
+}
+
+// Result reports one run.
+type Result struct {
+	Topology       cluster.Topology
+	TotalTime      sim.Time
+	CommUtilMax    float64 // peak comm-thread utilization (1.0 = saturated)
+	MessagesOnWire int64
+}
+
+// Run executes the benchmark and returns its measurements.
+func Run(cfg Config) Result {
+	var topo cluster.Topology
+	if cfg.ProcsPerNode <= 0 {
+		topo = cluster.NonSMP(2, cfg.WorkersPerNode)
+	} else {
+		if cfg.WorkersPerNode%cfg.ProcsPerNode != 0 {
+			panic(fmt.Sprintf("pingack: %d workers not divisible by %d procs", cfg.WorkersPerNode, cfg.ProcsPerNode))
+		}
+		topo = cluster.SMP(2, cfg.ProcsPerNode, cfg.WorkersPerNode/cfg.ProcsPerNode)
+	}
+	rt := charm.NewRuntime(topo, cfg.Params)
+	drv := charm.NewLoopDriver(rt)
+
+	w := cfg.WorkersPerNode
+	perPE := cfg.TotalMessages / w
+	if perPE == 0 {
+		perPE = 1
+	}
+
+	received := make([]int, w) // per node-1 worker
+	acksPending := w
+	var start, end sim.Time
+
+	var ack charm.HandlerID
+	ack = rt.Register("ack", func(ctx *charm.Ctx, _ any, _ int) {
+		acksPending--
+		if acksPending == 0 {
+			end = ctx.Now()
+		}
+	})
+	recv := rt.Register("recv", func(ctx *charm.Ctx, data any, _ int) {
+		ctx.Charge(cfg.WorkCost)
+		i := data.(int) // index of the node-1 worker
+		received[i]++
+		if received[i] == perPE {
+			ctx.Send(0, ack, nil, 8, false)
+		}
+	})
+
+	// Node-0 worker i sends perPE messages to node-1 worker i.
+	for i := 0; i < w; i++ {
+		i := i
+		src := cluster.WorkerID(i)
+		dst := cluster.WorkerID(w + i)
+		drv.Spawn(src, perPE, cfg.ChunkSize, func(ctx *charm.Ctx, _ int) {
+			ctx.Charge(cfg.WorkCost)
+			ctx.Send(dst, recv, i, cfg.MessageBytes, false)
+		}, nil)
+	}
+	start = 0
+	rt.Run()
+
+	return Result{
+		Topology:       topo,
+		TotalTime:      end - start,
+		CommUtilMax:    rt.Net.MaxCommUtilization(end),
+		MessagesOnWire: rt.Net.M.MessagesInterNode.Value(),
+	}
+}

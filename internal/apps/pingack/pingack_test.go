@@ -1,0 +1,95 @@
+package pingack
+
+import (
+	"testing"
+
+	"tramlib/internal/sim"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.WorkersPerNode = 16
+	cfg.TotalMessages = 4000
+	return cfg
+}
+
+func TestAllMessagesDelivered(t *testing.T) {
+	cfg := smallConfig()
+	cfg.ProcsPerNode = 2
+	res := Run(cfg)
+	if res.TotalTime <= 0 {
+		t.Fatalf("total time %v", res.TotalTime)
+	}
+	// 4000 payload messages + 16 acks cross nodes.
+	if res.MessagesOnWire != 4000+16 {
+		t.Fatalf("wire messages = %d, want 4016", res.MessagesOnWire)
+	}
+}
+
+func TestSMPSingleProcSlowerThanNonSMP(t *testing.T) {
+	// Fig. 3's headline: one comm thread serializes 64 worker streams.
+	cfg := smallConfig()
+	cfg.ProcsPerNode = 0 // non-SMP
+	nonSMP := Run(cfg)
+	cfg.ProcsPerNode = 1
+	smp1 := Run(cfg)
+	ratio := float64(smp1.TotalTime) / float64(nonSMP.TotalTime)
+	if ratio < 2 {
+		t.Fatalf("SMP 1-proc / non-SMP ratio = %.2f, want >= 2 (comm-thread bottleneck)", ratio)
+	}
+	if smp1.CommUtilMax < 0.9 {
+		t.Fatalf("comm thread utilization %.2f, want ~1 (saturated)", smp1.CommUtilMax)
+	}
+}
+
+func TestMoreProcsImproveSMP(t *testing.T) {
+	cfg := smallConfig()
+	var prev sim.Time
+	for i, procs := range []int{1, 4, 8} {
+		cfg.ProcsPerNode = procs
+		res := Run(cfg)
+		if i > 0 && res.TotalTime > prev {
+			t.Fatalf("%d procs (%v) slower than previous (%v)", procs, res.TotalTime, prev)
+		}
+		prev = res.TotalTime
+	}
+}
+
+func TestEightProcsNearNonSMP(t *testing.T) {
+	cfg := smallConfig()
+	cfg.ProcsPerNode = 0
+	nonSMP := Run(cfg)
+	cfg.ProcsPerNode = 8
+	smp8 := Run(cfg)
+	ratio := float64(smp8.TotalTime) / float64(nonSMP.TotalTime)
+	if ratio > 1.6 {
+		t.Fatalf("SMP 8-proc / non-SMP = %.2f, want <= 1.6 (bottleneck mitigated)", ratio)
+	}
+}
+
+func TestWorkCostHidesBottleneck(t *testing.T) {
+	// §III-A: with enough per-message work, the comm thread stops being
+	// the bottleneck even with 1 process.
+	cfg := smallConfig()
+	cfg.ProcsPerNode = 1
+	cfg.WorkCost = 0
+	saturated := Run(cfg)
+	cfg.WorkCost = 20 * sim.Microsecond // work per message >> comm cost
+	relaxed := Run(cfg)
+	if relaxed.CommUtilMax >= saturated.CommUtilMax {
+		t.Fatalf("utilization did not drop with work: %.2f -> %.2f",
+			saturated.CommUtilMax, relaxed.CommUtilMax)
+	}
+	if relaxed.CommUtilMax > 0.5 {
+		t.Fatalf("comm still near-saturated (%.2f) despite heavy per-message work", relaxed.CommUtilMax)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	cfg.ProcsPerNode = 4
+	a, b := Run(cfg), Run(cfg)
+	if a.TotalTime != b.TotalTime {
+		t.Fatalf("nondeterministic: %v vs %v", a.TotalTime, b.TotalTime)
+	}
+}

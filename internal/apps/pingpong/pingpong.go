@@ -1,0 +1,82 @@
+// Package pingpong implements the paper's Fig. 1 microbenchmark: the one-way
+// time (RTT/2) of a single message between two physical nodes, as a function
+// of message size. It demonstrates the α ≫ β gap that motivates aggregation:
+// time is flat (latency-dominated) for small messages and linear (bandwidth-
+// dominated) beyond a few KB.
+package pingpong
+
+import (
+	"tramlib/internal/charm"
+	"tramlib/internal/cluster"
+	"tramlib/internal/netsim"
+	"tramlib/internal/sim"
+)
+
+// Config parameterizes the ping-pong run.
+type Config struct {
+	Params netsim.Params
+	Sizes  []int // message sizes in bytes
+	Trips  int   // round trips measured per size
+}
+
+// DefaultSizes mirrors Fig. 1's x axis: 1 B to 2 MB.
+func DefaultSizes() []int {
+	return []int{1, 4, 16, 64, 128, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 2 << 20}
+}
+
+// DefaultConfig returns the standard Fig. 1 configuration.
+func DefaultConfig() Config {
+	return Config{Params: netsim.DefaultParams(), Sizes: DefaultSizes(), Trips: 10}
+}
+
+// Point is one measured size.
+type Point struct {
+	Bytes  int
+	OneWay sim.Time // RTT/2
+}
+
+type pingMsg struct {
+	remaining int
+	bytes     int
+}
+
+// Run measures RTT/2 for each configured size on a 2-node, 1-worker-per-node
+// cluster (the classic OSU-style ping-pong).
+func Run(cfg Config) []Point {
+	points := make([]Point, 0, len(cfg.Sizes))
+	for _, size := range cfg.Sizes {
+		points = append(points, Point{Bytes: size, OneWay: oneWay(cfg, size)})
+	}
+	return points
+}
+
+func oneWay(cfg Config, size int) sim.Time {
+	topo := cluster.SMP(2, 1, 1)
+	rt := charm.NewRuntime(topo, cfg.Params)
+
+	var start, end sim.Time
+	var pong, ping charm.HandlerID
+	pong = rt.Register("pong", func(ctx *charm.Ctx, data any, bytes int) {
+		m := data.(*pingMsg)
+		ctx.Send(0, ping, m, m.bytes, false)
+	})
+	ping = rt.Register("ping", func(ctx *charm.Ctx, data any, bytes int) {
+		m := data.(*pingMsg)
+		m.remaining--
+		if m.remaining == 0 {
+			end = ctx.Now()
+			return
+		}
+		ctx.Send(1, pong, m, m.bytes, false)
+	})
+	kick := rt.Register("kick", func(ctx *charm.Ctx, _ any, _ int) {
+		start = ctx.Now()
+		ctx.Send(1, pong, &pingMsg{remaining: cfg.Trips, bytes: size}, size, false)
+	})
+	rt.Inject(0, 0, kick, nil)
+	rt.Run()
+	if cfg.Trips <= 0 {
+		return 0
+	}
+	return (end - start) / sim.Time(2*cfg.Trips)
+}

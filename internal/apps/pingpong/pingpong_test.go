@@ -1,0 +1,57 @@
+package pingpong
+
+import (
+	"testing"
+
+	"tramlib/internal/netsim"
+)
+
+func TestSmallMessagesLatencyDominated(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Sizes = []int{1, 64, 1024}
+	pts := Run(cfg)
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Fig. 1's shape: 1 B and 64 B take nearly the same time.
+	small, mid := pts[0].OneWay, pts[1].OneWay
+	if float64(mid) > 1.05*float64(small) {
+		t.Fatalf("64B (%v) should be within 5%% of 1B (%v): latency-dominated", mid, small)
+	}
+	if pts[2].OneWay < small {
+		t.Fatal("1KB faster than 1B")
+	}
+}
+
+func TestLargeMessagesBandwidthDominated(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Sizes = []int{1 << 20, 2 << 20}
+	pts := Run(cfg)
+	r := float64(pts[1].OneWay) / float64(pts[0].OneWay)
+	if r < 1.7 || r > 2.3 {
+		t.Fatalf("2MB/1MB time ratio = %.2f, want ~2 (bandwidth-dominated)", r)
+	}
+}
+
+func TestBandwidthAsymptote(t *testing.T) {
+	// At 2 MB the effective bandwidth should be within 2x of 1/beta.
+	p := netsim.DefaultParams()
+	cfg := DefaultConfig()
+	cfg.Sizes = []int{2 << 20}
+	pts := Run(cfg)
+	gbps := float64(cfg.Sizes[0]) / float64(pts[0].OneWay) // bytes per ns = GB/s
+	model := 1 / p.BetaNsPerByte
+	if gbps < model/2 || gbps > model {
+		t.Fatalf("asymptotic bandwidth %.1f GB/s, model %.1f GB/s", gbps, model)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Run(DefaultConfig())
+	b := Run(DefaultConfig())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at size %d", a[i].Bytes)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+// Package sssp implements the paper's speculative single-source shortest-path
+// proxy application (§III-D, Figs. 14–17).
+//
+// Vertices are block-partitioned over workers. Relaxation is asynchronous and
+// speculative: a worker that improves a vertex distance immediately relaxes
+// its out-edges, sending remote updates <vertex, dist> through TramLib. An
+// arriving update that does not improve the known distance is a *wasted
+// update* — it was obsolete by the time it was delivered. Higher item latency
+// leaves more stale updates in flight, so wasted updates track the latency of
+// the aggregation scheme (the paper observes PP < WPs < WW).
+//
+// A distance threshold prioritizes small-distance work (§III-D): each worker
+// drains its local worklist in distance-bucket order (delta-stepping style),
+// which suppresses speculative propagation of large distances that would
+// likely be re-improved later.
+//
+// Termination is by quiescence: timeout flushes drain the aggregation
+// buffers, and the run ends when no updates remain anywhere.
+package sssp
+
+import (
+	"tramlib/internal/charm"
+	"tramlib/internal/cluster"
+	"tramlib/internal/core"
+	"tramlib/internal/graph"
+	"tramlib/internal/netsim"
+	"tramlib/internal/sim"
+)
+
+// Config parameterizes one SSSP run.
+type Config struct {
+	Topo   cluster.Topology
+	Params netsim.Params
+	Tram   core.Config
+	Graph  *graph.CSR
+	Source int
+	// Delta is the distance bucket width for local prioritization.
+	Delta uint32
+	// RelaxCost is charged per edge relaxation; UpdateCost per received
+	// distance update.
+	RelaxCost  sim.Time
+	UpdateCost sim.Time
+	// DrainChunk is the number of local vertices processed per scheduler
+	// slot while draining the worklist.
+	DrainChunk int
+}
+
+// DefaultConfig returns a paper-like configuration; the caller supplies the
+// graph (figures use 8M/62M vertices; tests use small ones).
+func DefaultConfig(topo cluster.Topology, scheme core.Scheme, g *graph.CSR) Config {
+	tram := core.DefaultConfig(scheme)
+	// Timeout flush rather than flush-on-idle: SSSP PEs go idle between
+	// every update wave, and flushing WW's N·t buffers on each idle
+	// transition degenerates into a storm of near-empty messages. The
+	// timeout bounds both item latency and flush rate, and still
+	// guarantees termination (a timer always fires after the last insert).
+	tram.FlushTimeout = 20 * sim.Microsecond
+	tram.FlushBurst = 4
+	return Config{
+		Topo:       topo,
+		Params:     netsim.DefaultParams(),
+		Tram:       tram,
+		Graph:      g,
+		Source:     0,
+		Delta:      8,
+		RelaxCost:  6 * sim.Nanosecond,
+		UpdateCost: 8 * sim.Nanosecond,
+		DrainChunk: 512,
+	}
+}
+
+// Result reports one run.
+type Result struct {
+	// Time is the quiescence time of the solve.
+	Time sim.Time
+	// Useful and Wasted count received remote updates that did / did not
+	// improve a distance. WastedNorm is wasted per 1000 useful updates.
+	Useful, Wasted int64
+	WastedNorm     float64
+	// Relaxations counts edge relaxations performed.
+	Relaxations int64
+	// Reached is the number of vertices with finite distance.
+	Reached int64
+	// RemoteMsgs is TramLib's aggregated message count.
+	RemoteMsgs int64
+	// Dist holds the final distances (for validation); nil unless
+	// KeepDist was set.
+	Dist [][]uint32
+}
+
+// packUpdate encodes <vertex, dist> into an item payload.
+func packUpdate(v int, d uint32) uint64 { return uint64(v)<<32 | uint64(d) }
+
+func unpackUpdate(p uint64) (v int, d uint32) { return int(p >> 32), uint32(p) }
+
+// worker holds the per-PE solver state. Bucket entries pack the local vertex
+// index with the distance at enqueue time; entries superseded by a later
+// improvement are skipped on pop (classic delta-stepping lazy deletion).
+type worker struct {
+	lo, hi   int // owned vertex range
+	dist     []uint32
+	buckets  [][]uint64 // ring of distance buckets: entries (li<<32 | dist)
+	base     int        // bucket index of the lowest non-empty bucket
+	pending  int
+	draining bool
+}
+
+const nBuckets = 64
+
+// Run executes the solve and returns its measurements.
+func Run(cfg Config) Result {
+	return run(cfg, false)
+}
+
+// RunKeepDist is Run but retains the distance arrays for validation.
+func RunKeepDist(cfg Config) Result {
+	return run(cfg, true)
+}
+
+func run(cfg Config, keepDist bool) Result {
+	topo := cfg.Topo
+	rt := charm.NewRuntime(topo, cfg.Params)
+	W := topo.TotalWorkers()
+	g := cfg.Graph
+	part := graph.NewPartition(g.N, W)
+	if cfg.Delta == 0 {
+		cfg.Delta = 1
+	}
+
+	ws := make([]*worker, W)
+	for w := 0; w < W; w++ {
+		lo, hi := part.Range(w)
+		st := &worker{lo: lo, hi: hi, dist: make([]uint32, hi-lo), buckets: make([][]uint64, nBuckets)}
+		for i := range st.dist {
+			st.dist[i] = graph.Infinity
+		}
+		ws[w] = st
+	}
+
+	var res Result
+	var lib *core.Lib
+	var hDrain charm.HandlerID
+
+	// enqueueLocal places an improved local vertex into its distance
+	// bucket and makes sure a drain pass is scheduled.
+	enqueueLocal := func(ctx *charm.Ctx, st *worker, v int, d uint32) {
+		b := int(d/cfg.Delta) % nBuckets
+		st.buckets[b] = append(st.buckets[b], uint64(v-st.lo)<<32|uint64(d))
+		st.pending++
+		if !st.draining {
+			st.draining = true
+			ctx.Send(ctx.Self(), hDrain, st, 0, false)
+		}
+	}
+
+	// relax applies a candidate distance to a local vertex.
+	relax := func(ctx *charm.Ctx, st *worker, v int, d uint32) {
+		li := v - st.lo
+		if d >= st.dist[li] {
+			return
+		}
+		st.dist[li] = d
+		enqueueLocal(ctx, st, v, d)
+	}
+
+	// expand relaxes v's out-edges using its current distance.
+	expand := func(ctx *charm.Ctx, st *worker, li int, d uint32) {
+		v := st.lo + li
+		ts, wts := g.Neighbors(v)
+		for i, t := range ts {
+			ctx.Charge(cfg.RelaxCost)
+			res.Relaxations++
+			nd := d + uint32(wts[i])
+			tv := int(t)
+			if tv >= st.lo && tv < st.hi {
+				relax(ctx, st, tv, nd)
+				continue
+			}
+			lib.Insert(ctx, cluster.WorkerID(part.Owner(tv)), packUpdate(tv, nd))
+		}
+	}
+
+	hDrain = rt.Register("sssp.drain", func(ctx *charm.Ctx, data any, _ int) {
+		st := data.(*worker)
+		processed := 0
+		for processed < cfg.DrainChunk && st.pending > 0 {
+			// Lowest non-empty bucket first: the threshold
+			// prioritization of §III-D.
+			b := st.base
+			for len(st.buckets[b%nBuckets]) == 0 {
+				b++
+			}
+			st.base = b % nBuckets
+			bucket := st.buckets[st.base]
+			entry := bucket[len(bucket)-1]
+			st.buckets[st.base] = bucket[:len(bucket)-1]
+			st.pending--
+			li := int(entry >> 32)
+			d := uint32(entry)
+			if d != st.dist[li] {
+				// Superseded by a later improvement: a fresher
+				// bucket entry exists for this vertex.
+				continue
+			}
+			processed++
+			expand(ctx, st, li, d)
+		}
+		if st.pending > 0 {
+			ctx.Send(ctx.Self(), hDrain, st, 0, false)
+			return
+		}
+		st.draining = false
+	})
+
+	lib = core.New(rt, cfg.Tram, func(ctx *charm.Ctx, p uint64) {
+		ctx.Charge(cfg.UpdateCost)
+		v, d := unpackUpdate(p)
+		st := ws[ctx.Self()]
+		if d >= st.dist[v-st.lo] {
+			res.Wasted++
+			return
+		}
+		res.Useful++
+		st.dist[v-st.lo] = d
+		enqueueLocal(ctx, st, v, d)
+	})
+
+	// Seed the source vertex.
+	srcOwner := cluster.WorkerID(part.Owner(cfg.Source))
+	hSeed := rt.Register("sssp.seed", func(ctx *charm.Ctx, _ any, _ int) {
+		st := ws[srcOwner]
+		st.dist[cfg.Source-st.lo] = 0
+		enqueueLocal(ctx, st, cfg.Source, 0)
+	})
+	rt.Inject(0, srcOwner, hSeed, nil)
+	res.Time = rt.Run()
+
+	for _, st := range ws {
+		for _, d := range st.dist {
+			if d != graph.Infinity {
+				res.Reached++
+			}
+		}
+	}
+	if res.Useful > 0 {
+		res.WastedNorm = 1000 * float64(res.Wasted) / float64(res.Useful)
+	}
+	res.RemoteMsgs = lib.M.RemoteMsgs.Value()
+	if keepDist {
+		res.Dist = make([][]uint32, W)
+		for w, st := range ws {
+			res.Dist[w] = st.dist
+		}
+	}
+	return res
+}
+
+// DistOf returns the computed distance of vertex v from a kept-dist result.
+func (r *Result) DistOf(topo cluster.Topology, g *graph.CSR, v int) uint32 {
+	part := graph.NewPartition(g.N, topo.TotalWorkers())
+	w := part.Owner(v)
+	lo, _ := part.Range(w)
+	return r.Dist[w][v-lo]
+}

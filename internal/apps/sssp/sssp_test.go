@@ -1,0 +1,103 @@
+package sssp
+
+import (
+	"testing"
+
+	"tramlib/internal/cluster"
+	"tramlib/internal/core"
+	"tramlib/internal/graph"
+)
+
+func smallTopo() cluster.Topology { return cluster.SMP(2, 2, 2) }
+
+func TestMatchesDijkstra(t *testing.T) {
+	g := graph.GenUniform(2000, 6, 11)
+	oracle := graph.Dijkstra(g, 0)
+	for _, s := range []core.Scheme{core.WW, core.WPs, core.PP} {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			cfg := DefaultConfig(smallTopo(), s, g)
+			cfg.Tram.BufferItems = 32
+			res := RunKeepDist(cfg)
+			for v := 0; v < g.N; v++ {
+				if got := res.DistOf(cfg.Topo, g, v); got != oracle[v] {
+					t.Fatalf("dist[%d] = %d, oracle %d", v, got, oracle[v])
+				}
+			}
+			if res.Time <= 0 {
+				t.Fatal("no time recorded")
+			}
+		})
+	}
+}
+
+func TestMatchesDijkstraOnRMAT(t *testing.T) {
+	g := graph.GenRMAT(11, 8, 5)
+	oracle := graph.Dijkstra(g, 0)
+	cfg := DefaultConfig(smallTopo(), core.WPs, g)
+	cfg.Tram.BufferItems = 64
+	res := RunKeepDist(cfg)
+	for v := 0; v < g.N; v++ {
+		if got := res.DistOf(cfg.Topo, g, v); got != oracle[v] {
+			t.Fatalf("dist[%d] = %d, oracle %d", v, got, oracle[v])
+		}
+	}
+}
+
+func TestReachedCountMatchesOracle(t *testing.T) {
+	g := graph.GenUniform(1500, 4, 3)
+	oracle := graph.Dijkstra(g, 0)
+	var wantReached int64
+	for _, d := range oracle {
+		if d != graph.Infinity {
+			wantReached++
+		}
+	}
+	cfg := DefaultConfig(smallTopo(), core.PP, g)
+	cfg.Tram.BufferItems = 32
+	res := Run(cfg)
+	if res.Reached != wantReached {
+		t.Fatalf("reached %d vertices, oracle %d", res.Reached, wantReached)
+	}
+}
+
+func TestWastedUpdatesCounted(t *testing.T) {
+	// A dense-ish graph with speculation must produce some wasted updates
+	// and report a consistent normalization.
+	g := graph.GenUniform(4000, 8, 23)
+	cfg := DefaultConfig(smallTopo(), core.WW, g)
+	cfg.Tram.BufferItems = 256
+	res := Run(cfg)
+	if res.Useful == 0 {
+		t.Fatal("no useful remote updates (graph too small?)")
+	}
+	if res.Wasted == 0 {
+		t.Fatal("no wasted updates despite speculative execution")
+	}
+	wantNorm := 1000 * float64(res.Wasted) / float64(res.Useful)
+	if res.WastedNorm != wantNorm {
+		t.Fatalf("WastedNorm %v, want %v", res.WastedNorm, wantNorm)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	g := graph.GenUniform(1000, 5, 7)
+	cfg := DefaultConfig(smallTopo(), core.WPs, g)
+	a, b := Run(cfg), Run(cfg)
+	if a.Time != b.Time || a.Wasted != b.Wasted || a.Relaxations != b.Relaxations {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestSourceInArbitraryPartition(t *testing.T) {
+	g := graph.GenUniform(1000, 5, 7)
+	cfg := DefaultConfig(smallTopo(), core.WPs, g)
+	cfg.Source = g.N - 1 // owned by the last worker
+	oracle := graph.Dijkstra(g, cfg.Source)
+	res := RunKeepDist(cfg)
+	for v := 0; v < g.N; v += 97 {
+		if got := res.DistOf(cfg.Topo, g, v); got != oracle[v] {
+			t.Fatalf("dist[%d] = %d, oracle %d", v, got, oracle[v])
+		}
+	}
+}

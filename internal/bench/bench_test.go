@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tiny returns options small enough for unit testing every figure runner.
+func tiny() Options {
+	return Options{WorkerDiv: 16, ItemDiv: 256, IGItemDiv: 2048, NodesCap: 4, Seed: 1}
+}
+
+func TestOptionsNormalization(t *testing.T) {
+	o := Options{}.normalized()
+	if o.WorkerDiv != 1 || o.ItemDiv != 1 || o.Seed != 1 {
+		t.Fatalf("bad normalization: %+v", o)
+	}
+	if o.IGItemDiv != 8 {
+		t.Fatalf("IGItemDiv default = %d, want 8", o.IGItemDiv)
+	}
+}
+
+func TestScaledTopologyPreservesRatios(t *testing.T) {
+	// The scaling rule: items-per-destination-worker and
+	// items-per-destination-process are invariant under scale.
+	paper := Options{WorkerDiv: 1, ItemDiv: 1}.normalized()
+	scaled := Options{WorkerDiv: 4, ItemDiv: 4}.normalized()
+	for _, nodes := range []int{2, 8, 64} {
+		tp, ts := paper.smpTopo(nodes), scaled.smpTopo(nodes)
+		zp, zs := paper.items(1<<20), scaled.items(1<<20)
+		perWorkerP := float64(zp) / float64(tp.TotalWorkers())
+		perWorkerS := float64(zs) / float64(ts.TotalWorkers())
+		if perWorkerP != perWorkerS {
+			t.Fatalf("items/dest-worker changed: %v vs %v", perWorkerP, perWorkerS)
+		}
+		perProcP := float64(zp) / float64(tp.TotalProcs())
+		perProcS := float64(zs) / float64(ts.TotalProcs())
+		if perProcP != perProcS {
+			t.Fatalf("items/dest-proc changed: %v vs %v", perProcP, perProcS)
+		}
+		if ts.WorkersPerProc != tp.WorkersPerProc {
+			t.Fatalf("workers per process changed: %d vs %d", ts.WorkersPerProc, tp.WorkersPerProc)
+		}
+	}
+}
+
+func TestNodesCap(t *testing.T) {
+	o := Options{NodesCap: 8}.normalized()
+	got := o.nodes([]int{2, 4, 8, 16, 32})
+	if len(got) != 3 || got[2] != 8 {
+		t.Fatalf("nodes cap wrong: %v", got)
+	}
+	o.NodesCap = 1
+	if got := o.nodes([]int{2, 4}); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("minimum sweep wrong: %v", got)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	for _, id := range []string{"1", "3", "8", "9", "10", "11", "12", "13", "14", "15", "16", "17", "18", "a1"} {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("figure %q missing", id)
+		}
+	}
+	if _, ok := Lookup("99"); ok {
+		t.Error("bogus figure found")
+	}
+}
+
+// TestEveryFigureRunsTiny executes each figure runner end-to-end at a tiny
+// scale and sanity-checks the table shape.
+func TestEveryFigureRunsTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tiny figures still take seconds")
+	}
+	o := tiny()
+	seen := map[string]bool{}
+	for _, f := range Figures() {
+		if seen[f.Title] {
+			continue
+		}
+		seen[f.Title] = true
+		f := f
+		t.Run("fig"+f.ID, func(t *testing.T) {
+			tables := f.Run(o)
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tb := range tables {
+				if len(tb.Rows()) == 0 {
+					t.Fatalf("table %q has no rows", tb.Title)
+				}
+				out := tb.String()
+				if !strings.Contains(out, "\n") {
+					t.Fatalf("table %q did not render", tb.Title)
+				}
+				// Every data cell in numeric columns parses.
+				for _, row := range tb.Rows() {
+					for i, cell := range row {
+						if i == 0 || cell == "-" || cell == "" {
+							continue
+						}
+						if _, err := strconv.ParseFloat(strings.TrimSuffix(cell, "s"), 64); err != nil {
+							// Columns like config names are free-form;
+							// only flag obviously broken cells.
+							if strings.ContainsAny(cell, "%!(") {
+								t.Fatalf("table %q cell %q looks like a formatting error", tb.Title, cell)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestName(t *testing.T) {
+	if Name("g", 512) != "g512" {
+		t.Fatal(Name("g", 512))
+	}
+}

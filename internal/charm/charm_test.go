@@ -1,0 +1,315 @@
+package charm
+
+import (
+	"testing"
+
+	"tramlib/internal/cluster"
+	"tramlib/internal/netsim"
+	"tramlib/internal/sim"
+)
+
+func testRuntime(topo cluster.Topology) *Runtime {
+	p := netsim.Params{
+		AlphaInterNode:   2000,
+		AlphaIntraNode:   500,
+		BetaNsPerByte:    0,
+		CommSendOverhead: 500,
+		CommRecvOverhead: 400,
+		HandoffCost:      100,
+	}
+	rt := NewRuntime(topo, p)
+	rt.HandlerOverhead = 50
+	rt.LocalSendCharge = 40
+	rt.LocalDeliverLatency = 150
+	return rt
+}
+
+func TestLocalMessageDelivery(t *testing.T) {
+	rt := testRuntime(cluster.SMP(1, 1, 2))
+	var got []uint64
+	h := rt.Register("recv", func(ctx *Ctx, data any, _ int) {
+		got = append(got, data.(uint64))
+	})
+	send := rt.Register("send", func(ctx *Ctx, _ any, _ int) {
+		ctx.Send(1, h, uint64(7), 8, false)
+	})
+	rt.Inject(0, 0, send, nil)
+	end := rt.Run()
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatalf("delivery failed: %v", got)
+	}
+	if end <= 0 {
+		t.Fatalf("completion time %v", end)
+	}
+	if rt.MessagesLocal != 1 || rt.MessagesRemote != 0 {
+		t.Fatalf("message accounting: local=%d remote=%d", rt.MessagesLocal, rt.MessagesRemote)
+	}
+}
+
+func TestRemoteMessageDelivery(t *testing.T) {
+	rt := testRuntime(cluster.SMP(2, 1, 2)) // SMP: 2 workers/proc, comm threads active
+	var deliveredAt sim.Time
+	h := rt.Register("recv", func(ctx *Ctx, data any, _ int) {
+		deliveredAt = ctx.Now()
+	})
+	send := rt.Register("send", func(ctx *Ctx, _ any, _ int) {
+		ctx.Send(2, h, nil, 0, false)
+	})
+	rt.Inject(0, 0, send, nil)
+	rt.Run()
+	// sender: handler overhead 50, then handoff 100 -> release at 50
+	// path: 50 +100 +500 +2000 +400 = 3050 arrival; handler overhead 50 charged
+	want := sim.Time(50 + 100 + 500 + 2000 + 400 + 50)
+	if deliveredAt != want {
+		t.Fatalf("handler cursor at %v, want %v", deliveredAt, want)
+	}
+	if rt.MessagesRemote != 1 {
+		t.Fatalf("remote count %d", rt.MessagesRemote)
+	}
+}
+
+func TestChargeAdvancesCursor(t *testing.T) {
+	rt := testRuntime(cluster.SMP(1, 1, 1))
+	var t0, t1 sim.Time
+	h := rt.Register("h", func(ctx *Ctx, _ any, _ int) {
+		t0 = ctx.Now()
+		ctx.Charge(1000)
+		t1 = ctx.Now()
+	})
+	rt.Inject(0, 0, h, nil)
+	rt.Run()
+	if t1-t0 != 1000 {
+		t.Fatalf("charge advanced %v", t1-t0)
+	}
+}
+
+func TestNegativeChargePanics(t *testing.T) {
+	rt := testRuntime(cluster.SMP(1, 1, 1))
+	panicked := false
+	h := rt.Register("h", func(ctx *Ctx, _ any, _ int) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		ctx.Charge(-1)
+	})
+	rt.Inject(0, 0, h, nil)
+	rt.Run()
+	if !panicked {
+		t.Fatal("negative charge did not panic")
+	}
+}
+
+func TestPEExecutesSeriallyInTime(t *testing.T) {
+	// Two messages to the same PE: the second handler starts after the
+	// first finishes its charged time.
+	rt := testRuntime(cluster.SMP(1, 1, 2))
+	var starts []sim.Time
+	h := rt.Register("busy", func(ctx *Ctx, _ any, _ int) {
+		starts = append(starts, ctx.Now()-50) // subtract handler overhead
+		ctx.Charge(10_000)
+	})
+	send := rt.Register("send", func(ctx *Ctx, _ any, _ int) {
+		ctx.Send(1, h, nil, 0, false)
+		ctx.Send(1, h, nil, 0, false)
+	})
+	rt.Inject(0, 0, send, nil)
+	rt.Run()
+	if len(starts) != 2 {
+		t.Fatalf("executed %d handlers", len(starts))
+	}
+	if starts[1] < starts[0]+10_000 {
+		t.Fatalf("second handler started at %v, before first finished (start %v + 10000)", starts[1], starts[0])
+	}
+}
+
+func TestExpeditedOvertakesNormal(t *testing.T) {
+	rt := testRuntime(cluster.SMP(1, 1, 2))
+	var order []string
+	slow := rt.Register("slow", func(ctx *Ctx, _ any, _ int) { ctx.Charge(100_000) })
+	normal := rt.Register("normal", func(ctx *Ctx, _ any, _ int) { order = append(order, "normal") })
+	exp := rt.Register("exp", func(ctx *Ctx, _ any, _ int) { order = append(order, "expedited") })
+	send := rt.Register("send", func(ctx *Ctx, _ any, _ int) {
+		// First a long-running message, then a normal and an expedited
+		// one; both arrive while the long handler runs, so the
+		// expedited one must be dequeued first.
+		ctx.Send(1, slow, nil, 0, false)
+		ctx.Send(1, normal, nil, 0, false)
+		ctx.Send(1, exp, nil, 0, true)
+	})
+	rt.Inject(0, 0, send, nil)
+	rt.Run()
+	if len(order) != 2 || order[0] != "expedited" {
+		t.Fatalf("priority order wrong: %v", order)
+	}
+}
+
+func TestIdleHookRunsAfterDrain(t *testing.T) {
+	rt := testRuntime(cluster.SMP(1, 1, 1))
+	var idleAt []sim.Time
+	h := rt.Register("h", func(ctx *Ctx, _ any, _ int) { ctx.Charge(500) })
+	rt.OnIdle(0, func(ctx *Ctx) { idleAt = append(idleAt, ctx.Now()) })
+	rt.Inject(0, 0, h, nil)
+	rt.Inject(0, 0, h, nil)
+	end := rt.Run()
+	if len(idleAt) != 1 {
+		t.Fatalf("idle hook ran %d times, want 1 (single drain)", len(idleAt))
+	}
+	if idleAt[0] != 1100 { // two handlers, (50+500) each
+		t.Fatalf("idle at %v, want 1100", idleAt[0])
+	}
+	if end != 1100 {
+		t.Fatalf("completion %v, want 1100", end)
+	}
+}
+
+func TestIdleHookCanSendAndReidle(t *testing.T) {
+	rt := testRuntime(cluster.SMP(1, 1, 2))
+	sent := false
+	var got bool
+	recv := rt.Register("recv", func(ctx *Ctx, _ any, _ int) { got = true })
+	h := rt.Register("h", func(ctx *Ctx, _ any, _ int) {})
+	rt.OnIdle(0, func(ctx *Ctx) {
+		if !sent {
+			sent = true
+			ctx.Send(1, recv, nil, 0, false)
+		}
+	})
+	rt.Inject(0, 0, h, nil)
+	rt.Run()
+	if !got {
+		t.Fatal("message sent from idle hook not delivered")
+	}
+}
+
+func TestSendToProcRoundRobin(t *testing.T) {
+	rt := testRuntime(cluster.SMP(2, 1, 4))
+	var receivers []cluster.WorkerID
+	h := rt.Register("recv", func(ctx *Ctx, _ any, _ int) {
+		receivers = append(receivers, ctx.Self())
+	})
+	send := rt.Register("send", func(ctx *Ctx, _ any, _ int) {
+		for i := 0; i < 8; i++ {
+			ctx.SendToProc(1, h, nil, 0, false)
+		}
+	})
+	rt.Inject(0, 0, send, nil)
+	rt.Run()
+	if len(receivers) != 8 {
+		t.Fatalf("delivered %d", len(receivers))
+	}
+	counts := map[cluster.WorkerID]int{}
+	for _, w := range receivers {
+		counts[w]++
+		if rt.Topo.ProcOf(w) != 1 {
+			t.Fatalf("delivered to worker %d outside proc 1", w)
+		}
+	}
+	for w, c := range counts {
+		if c != 2 {
+			t.Fatalf("worker %d received %d, want 2 (round robin)", w, c)
+		}
+	}
+}
+
+func TestSendToOwnProc(t *testing.T) {
+	rt := testRuntime(cluster.SMP(1, 1, 4))
+	var n int
+	h := rt.Register("recv", func(ctx *Ctx, _ any, _ int) { n++ })
+	send := rt.Register("send", func(ctx *Ctx, _ any, _ int) {
+		ctx.SendToProc(0, h, nil, 0, false)
+	})
+	rt.Inject(0, 0, send, nil)
+	rt.Run()
+	if n != 1 {
+		t.Fatalf("own-proc SendToProc delivered %d", n)
+	}
+}
+
+func TestCtxAfterTimer(t *testing.T) {
+	rt := testRuntime(cluster.SMP(1, 1, 1))
+	var firedAt sim.Time
+	var tick HandlerID
+	tick = rt.Register("tick", func(ctx *Ctx, _ any, _ int) { firedAt = ctx.Now() })
+	h := rt.Register("h", func(ctx *Ctx, _ any, _ int) {
+		ctx.After(5000, tick, nil)
+	})
+	rt.Inject(0, 0, h, nil)
+	rt.Run()
+	// handler start 0 + overhead 50 => cursor 50; timer at 5050; +50 overhead
+	if firedAt != 5100 {
+		t.Fatalf("timer handler at %v, want 5100", firedAt)
+	}
+}
+
+func TestTimerCancellation(t *testing.T) {
+	rt := testRuntime(cluster.SMP(1, 1, 1))
+	fired := false
+	tick := rt.Register("tick", func(ctx *Ctx, _ any, _ int) { fired = true })
+	tm := rt.TimerAt(1000, 0, tick, nil)
+	tm.Cancel()
+	rt.Run()
+	if fired {
+		t.Fatal("cancelled timer delivered")
+	}
+}
+
+func TestNonSMPRecvChargeAppliedToWorker(t *testing.T) {
+	rt := testRuntime(cluster.NonSMP(2, 1))
+	var cursor sim.Time
+	h := rt.Register("recv", func(ctx *Ctx, _ any, _ int) { cursor = ctx.Now() })
+	send := rt.Register("send", func(ctx *Ctx, _ any, _ int) {
+		ctx.Send(1, h, nil, 0, false)
+	})
+	rt.Inject(0, 0, send, nil)
+	rt.Run()
+	// sender: overhead 50 + sendCost 500 (worker pays) => departs 550
+	// wire: alpha 2000 => arrive 2550
+	// receiver: overhead 50 + recvCharge 400 => cursor 3000
+	if cursor != 3000 {
+		t.Fatalf("non-SMP receive cursor %v, want 3000", cursor)
+	}
+}
+
+func TestManyMessagesDeterministic(t *testing.T) {
+	runOnce := func() (sim.Time, int64) {
+		rt := testRuntime(cluster.SMP(2, 2, 2))
+		var count int64
+		var recv HandlerID
+		recv = rt.Register("recv", func(ctx *Ctx, data any, _ int) {
+			count++
+			n := data.(int)
+			if n > 0 {
+				dst := cluster.WorkerID((int(ctx.Self()) + 3) % rt.Topo.TotalWorkers())
+				ctx.Send(dst, recv, n-1, 16, false)
+			}
+		})
+		for w := 0; w < rt.Topo.TotalWorkers(); w++ {
+			rt.Inject(0, cluster.WorkerID(w), recv, 64)
+		}
+		return rt.Run(), count
+	}
+	e1, c1 := runOnce()
+	e2, c2 := runOnce()
+	if e1 != e2 || c1 != c2 {
+		t.Fatalf("nondeterministic: (%v,%d) vs (%v,%d)", e1, c1, e2, c2)
+	}
+	if c1 != 8*65 {
+		t.Fatalf("message cascade count %d, want %d", c1, 8*65)
+	}
+}
+
+func TestBusyTimeAccounting(t *testing.T) {
+	rt := testRuntime(cluster.SMP(1, 1, 1))
+	h := rt.Register("h", func(ctx *Ctx, _ any, _ int) { ctx.Charge(1000) })
+	rt.Inject(0, 0, h, nil)
+	rt.Run()
+	pe := rt.PE(0)
+	if pe.Messages != 1 {
+		t.Fatalf("messages = %d", pe.Messages)
+	}
+	if pe.BusyTime != 1050 {
+		t.Fatalf("busy time = %v, want 1050", pe.BusyTime)
+	}
+}

@@ -1,0 +1,73 @@
+package charm
+
+import "tramlib/internal/cluster"
+
+// loopState tracks one chunked loop in flight.
+type loopState struct {
+	next, total, chunk int
+	body               func(ctx *Ctx, i int)
+	done               func(ctx *Ctx)
+}
+
+// LoopDriver runs long generation loops in chunks, yielding to the PE's
+// scheduler between chunks, the way message-driven Charm++ applications
+// structure update phases. Without chunking, a PE generating millions of
+// items in one handler would neither interleave arriving messages with its
+// own sends nor interleave virtual time with co-located workers sharing
+// process-level aggregation buffers (PP).
+//
+// One LoopDriver can carry any number of concurrent loops across all PEs.
+type LoopDriver struct {
+	rt *Runtime
+	h  HandlerID
+}
+
+// NewLoopDriver registers the driver's continuation handler on rt.
+func NewLoopDriver(rt *Runtime) *LoopDriver {
+	d := &LoopDriver{rt: rt}
+	d.h = rt.Register("charm.loop", func(ctx *Ctx, data any, _ int) {
+		d.step(ctx, data.(*loopState))
+	})
+	return d
+}
+
+// Spawn starts a loop of `total` iterations on worker w at time 0, running
+// `chunk` iterations per handler execution. body(ctx, i) is invoked for
+// i = 0..total-1; done runs after the last iteration (may be nil).
+func (d *LoopDriver) Spawn(w cluster.WorkerID, total, chunk int, body func(ctx *Ctx, i int), done func(ctx *Ctx)) {
+	if chunk <= 0 {
+		chunk = 1
+	}
+	st := &loopState{total: total, chunk: chunk, body: body, done: done}
+	d.rt.Inject(0, w, d.h, st)
+}
+
+// Continue starts a loop from within a running handler on the same PE.
+func (d *LoopDriver) Continue(ctx *Ctx, total, chunk int, body func(ctx *Ctx, i int), done func(ctx *Ctx)) {
+	if chunk <= 0 {
+		chunk = 1
+	}
+	st := &loopState{total: total, chunk: chunk, body: body, done: done}
+	// Normal priority: arriving expedited messages interleave with chunks.
+	ctx.Send(ctx.Self(), d.h, st, 0, false)
+}
+
+func (d *LoopDriver) step(ctx *Ctx, st *loopState) {
+	end := st.next + st.chunk
+	if end > st.total {
+		end = st.total
+	}
+	for i := st.next; i < end; i++ {
+		st.body(ctx, i)
+	}
+	st.next = end
+	if st.next < st.total {
+		// Self-send the continuation at normal priority so queued
+		// messages (including expedited aggregation packets) run first.
+		ctx.Send(ctx.Self(), d.h, st, 0, false)
+		return
+	}
+	if st.done != nil {
+		st.done(ctx)
+	}
+}

@@ -1,0 +1,105 @@
+// Package cluster models the machine topology of an SMP cluster the way the
+// paper's evaluation platform (NCSA Delta) is organized: physical nodes, each
+// running several OS processes, each process owning several worker PEs
+// (pthreads bound to cores in Charm++; serial actors here).
+//
+// Identifiers are dense integers so the hot paths (destination lookup on every
+// item insert) are plain arithmetic, never map lookups:
+//
+//	WorkerID w  ->  ProcID  w / WorkersPerProc
+//	ProcID  p   ->  NodeID  p / ProcsPerNode
+//
+// A Topology with ProcsPerNode == workers-per-node and WorkersPerProc == 1 is
+// the paper's non-SMP / MPI-everywhere mode.
+package cluster
+
+import "fmt"
+
+// WorkerID identifies a worker PE globally (0 .. TotalWorkers-1).
+type WorkerID int32
+
+// ProcID identifies an OS process globally (0 .. TotalProcs-1).
+type ProcID int32
+
+// NodeID identifies a physical node (0 .. Nodes-1).
+type NodeID int32
+
+// Topology describes a rectangular cluster: every node has the same number of
+// processes and every process the same number of workers.
+type Topology struct {
+	Nodes          int // physical nodes
+	ProcsPerNode   int // processes per node
+	WorkersPerProc int // worker PEs per process (excluding the comm thread)
+}
+
+// SMP returns the conventional SMP topology used in the paper's evaluation:
+// 8 processes per node with ppn workers each would be Topology{nodes, 8, ppn}.
+func SMP(nodes, procsPerNode, workersPerProc int) Topology {
+	return Topology{Nodes: nodes, ProcsPerNode: procsPerNode, WorkersPerProc: workersPerProc}
+}
+
+// NonSMP returns the MPI-everywhere topology: one process per core, one worker
+// per process, workersPerNode processes per node.
+func NonSMP(nodes, workersPerNode int) Topology {
+	return Topology{Nodes: nodes, ProcsPerNode: workersPerNode, WorkersPerProc: 1}
+}
+
+// Validate reports whether the topology is well-formed.
+func (t Topology) Validate() error {
+	if t.Nodes <= 0 || t.ProcsPerNode <= 0 || t.WorkersPerProc <= 0 {
+		return fmt.Errorf("cluster: all topology dimensions must be positive, got %+v", t)
+	}
+	if int64(t.Nodes)*int64(t.ProcsPerNode)*int64(t.WorkersPerProc) > 1<<28 {
+		return fmt.Errorf("cluster: topology too large: %+v", t)
+	}
+	return nil
+}
+
+// IsNonSMP reports whether the topology is the MPI-everywhere degenerate case.
+func (t Topology) IsNonSMP() bool { return t.WorkersPerProc == 1 }
+
+// TotalWorkers returns the number of worker PEs in the cluster.
+func (t Topology) TotalWorkers() int { return t.Nodes * t.ProcsPerNode * t.WorkersPerProc }
+
+// TotalProcs returns the number of processes in the cluster.
+func (t Topology) TotalProcs() int { return t.Nodes * t.ProcsPerNode }
+
+// WorkersPerNode returns the number of worker PEs on one physical node.
+func (t Topology) WorkersPerNode() int { return t.ProcsPerNode * t.WorkersPerProc }
+
+// ProcOf returns the process that owns worker w.
+func (t Topology) ProcOf(w WorkerID) ProcID { return ProcID(int(w) / t.WorkersPerProc) }
+
+// NodeOfProc returns the physical node hosting process p.
+func (t Topology) NodeOfProc(p ProcID) NodeID { return NodeID(int(p) / t.ProcsPerNode) }
+
+// NodeOf returns the physical node hosting worker w.
+func (t Topology) NodeOf(w WorkerID) NodeID {
+	return t.NodeOfProc(t.ProcOf(w))
+}
+
+// RankInProc returns w's index within its process (0 .. WorkersPerProc-1).
+func (t Topology) RankInProc(w WorkerID) int { return int(w) % t.WorkersPerProc }
+
+// FirstWorkerOf returns the lowest WorkerID belonging to process p. The
+// process's workers are the contiguous range
+// [FirstWorkerOf(p), FirstWorkerOf(p)+WorkersPerProc).
+func (t Topology) FirstWorkerOf(p ProcID) WorkerID {
+	return WorkerID(int(p) * t.WorkersPerProc)
+}
+
+// WorkerOf returns the rank-th worker of process p.
+func (t Topology) WorkerOf(p ProcID, rank int) WorkerID {
+	return t.FirstWorkerOf(p) + WorkerID(rank)
+}
+
+// SameProc reports whether a and b are owned by the same process.
+func (t Topology) SameProc(a, b WorkerID) bool { return t.ProcOf(a) == t.ProcOf(b) }
+
+// SameNode reports whether a and b live on the same physical node.
+func (t Topology) SameNode(a, b WorkerID) bool { return t.NodeOf(a) == t.NodeOf(b) }
+
+// String renders the topology as "4n x 8p x 8w (256 PEs)".
+func (t Topology) String() string {
+	return fmt.Sprintf("%dn x %dp x %dw (%d PEs)", t.Nodes, t.ProcsPerNode, t.WorkersPerProc, t.TotalWorkers())
+}

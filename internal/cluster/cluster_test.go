@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicMapping(t *testing.T) {
+	topo := SMP(2, 8, 8) // paper's Delta configuration at 2 nodes
+	if topo.TotalWorkers() != 128 {
+		t.Fatalf("TotalWorkers = %d, want 128", topo.TotalWorkers())
+	}
+	if topo.TotalProcs() != 16 {
+		t.Fatalf("TotalProcs = %d, want 16", topo.TotalProcs())
+	}
+	if topo.WorkersPerNode() != 64 {
+		t.Fatalf("WorkersPerNode = %d, want 64", topo.WorkersPerNode())
+	}
+	if p := topo.ProcOf(0); p != 0 {
+		t.Errorf("ProcOf(0) = %d", p)
+	}
+	if p := topo.ProcOf(63); p != 7 {
+		t.Errorf("ProcOf(63) = %d, want 7", p)
+	}
+	if p := topo.ProcOf(64); p != 8 {
+		t.Errorf("ProcOf(64) = %d, want 8", p)
+	}
+	if n := topo.NodeOf(63); n != 0 {
+		t.Errorf("NodeOf(63) = %d, want 0", n)
+	}
+	if n := topo.NodeOf(64); n != 1 {
+		t.Errorf("NodeOf(64) = %d, want 1", n)
+	}
+}
+
+func TestNonSMP(t *testing.T) {
+	topo := NonSMP(2, 64)
+	if !topo.IsNonSMP() {
+		t.Fatal("NonSMP topology not detected")
+	}
+	if topo.TotalWorkers() != 128 || topo.TotalProcs() != 128 {
+		t.Fatalf("NonSMP sizes wrong: %v", topo)
+	}
+	if topo.SameProc(0, 1) {
+		t.Fatal("distinct non-SMP workers share a process")
+	}
+}
+
+func TestWorkerProcRoundTrip(t *testing.T) {
+	f := func(nodes, ppn, wpp uint8, wRaw uint32) bool {
+		topo := Topology{
+			Nodes:          int(nodes%8) + 1,
+			ProcsPerNode:   int(ppn%8) + 1,
+			WorkersPerProc: int(wpp%8) + 1,
+		}
+		w := WorkerID(int(wRaw) % topo.TotalWorkers())
+		p := topo.ProcOf(w)
+		rank := topo.RankInProc(w)
+		if topo.WorkerOf(p, rank) != w {
+			return false
+		}
+		first := topo.FirstWorkerOf(p)
+		if w < first || w >= first+WorkerID(topo.WorkersPerProc) {
+			return false
+		}
+		return topo.NodeOf(w) == topo.NodeOfProc(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSameProcSameNodeConsistency(t *testing.T) {
+	topo := SMP(3, 4, 5)
+	for a := WorkerID(0); int(a) < topo.TotalWorkers(); a += 7 {
+		for b := WorkerID(0); int(b) < topo.TotalWorkers(); b += 11 {
+			if topo.SameProc(a, b) && !topo.SameNode(a, b) {
+				t.Fatalf("workers %d,%d share a process but not a node", a, b)
+			}
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := SMP(1, 1, 1).Validate(); err != nil {
+		t.Errorf("minimal topology invalid: %v", err)
+	}
+	bad := []Topology{
+		{Nodes: 0, ProcsPerNode: 1, WorkersPerProc: 1},
+		{Nodes: 1, ProcsPerNode: -1, WorkersPerProc: 1},
+		{Nodes: 1, ProcsPerNode: 1, WorkersPerProc: 0},
+		{Nodes: 1 << 20, ProcsPerNode: 1 << 10, WorkersPerProc: 1 << 10},
+	}
+	for _, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("topology %+v validated but should not", b)
+		}
+	}
+}
+
+func TestWorkerEnumerationCoversProcesses(t *testing.T) {
+	topo := SMP(2, 3, 4)
+	seen := make(map[WorkerID]bool)
+	for p := ProcID(0); int(p) < topo.TotalProcs(); p++ {
+		for r := 0; r < topo.WorkersPerProc; r++ {
+			w := topo.WorkerOf(p, r)
+			if seen[w] {
+				t.Fatalf("worker %d enumerated twice", w)
+			}
+			seen[w] = true
+			if topo.ProcOf(w) != p {
+				t.Fatalf("WorkerOf(%d,%d)=%d maps back to proc %d", p, r, w, topo.ProcOf(w))
+			}
+		}
+	}
+	if len(seen) != topo.TotalWorkers() {
+		t.Fatalf("enumerated %d workers, want %d", len(seen), topo.TotalWorkers())
+	}
+}
+
+func TestString(t *testing.T) {
+	got := SMP(4, 8, 8).String()
+	want := "4n x 8p x 8w (256 PEs)"
+	if got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

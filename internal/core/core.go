@@ -1,0 +1,775 @@
+// Package core implements TramLib, the paper's contribution: a shared
+// memory-aware, latency-sensitive message aggregation library for fine-grained
+// communication in SMP mode (§III).
+//
+// Applications send *items* — short application-level messages, a packed
+// uint64 payload addressed to a destination worker. TramLib coalesces items
+// into *messages* (aggregation buffers) to amortize the per-message α cost,
+// choosing buffers according to the configured scheme:
+//
+//	Direct  no aggregation; every item is its own message (baseline).
+//	WW      source worker keeps one buffer per destination worker (Fig. 4).
+//	        SMP-unaware: the only scheme that also buffers same-process items.
+//	WPs     source worker keeps one buffer per destination process; items are
+//	        grouped by destination worker at the receiving process (Fig. 5).
+//	WsP     like WPs, but the source worker sorts/groups items before sending,
+//	        so the receiver only forwards runs (Fig. 6).
+//	PP      one buffer per destination process shared by all workers of the
+//	        source process, filled with atomics (Fig. 7).
+//
+// Aggregated messages are sent expedited (Charm++ expedited entry methods) so
+// they overtake ordinary application messages. Sends are resized: a flushed
+// buffer only transmits the bytes of the items it holds. Buffers can be
+// flushed explicitly (Flush), when the owning PE goes idle (FlushOnIdle), or
+// on a timeout (FlushTimeout).
+//
+// The package runs on the internal/charm runtime and charges the costs that
+// §III-C analyzes: per-item insert, atomic insert with contention (PP),
+// grouping O(g+t) at source (WsP) or destination (WPs/PP), per-item delivery,
+// and per-message packing.
+package core
+
+import (
+	"fmt"
+
+	"tramlib/internal/charm"
+	"tramlib/internal/cluster"
+	"tramlib/internal/sim"
+	"tramlib/internal/stats"
+)
+
+// Scheme selects the aggregation strategy.
+type Scheme uint8
+
+// The aggregation schemes of §III-B, plus the no-aggregation baseline.
+const (
+	Direct Scheme = iota
+	WW
+	WPs
+	WsP
+	PP
+)
+
+// String returns the paper's name for the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case Direct:
+		return "Direct"
+	case WW:
+		return "WW"
+	case WPs:
+		return "WPs"
+	case WsP:
+		return "WsP"
+	case PP:
+		return "PP"
+	}
+	return fmt.Sprintf("Scheme(%d)", uint8(s))
+}
+
+// ParseScheme converts a scheme name (as printed by String) back to a Scheme.
+func ParseScheme(name string) (Scheme, error) {
+	switch name {
+	case "Direct", "direct", "none":
+		return Direct, nil
+	case "WW", "ww":
+		return WW, nil
+	case "WPs", "wps":
+		return WPs, nil
+	case "WsP", "wsp":
+		return WsP, nil
+	case "PP", "pp":
+		return PP, nil
+	}
+	return 0, fmt.Errorf("core: unknown scheme %q", name)
+}
+
+// AllSchemes lists every aggregating scheme in the order the paper's figures
+// use.
+var AllSchemes = []Scheme{WW, WPs, PP, WsP}
+
+// DeliverFunc receives one item at its destination worker. ctx executes on
+// the destination PE; value is the item payload as passed to Insert.
+type DeliverFunc func(ctx *charm.Ctx, value uint64)
+
+// CostParams models the per-operation costs of §III-C. Defaults come from
+// DefaultCosts and are calibrated by the internal/shmem microbenchmarks (see
+// that package's contention benchmarks for the atomic costs).
+type CostParams struct {
+	// Insert is the cost of appending to a private single-producer buffer.
+	Insert sim.Time
+	// AtomicInsert is the base cost of an atomic claim into a shared
+	// process-level buffer (PP).
+	AtomicInsert sim.Time
+	// AtomicContention is the extra cost per additional worker sharing the
+	// process's buffers (PP); total = AtomicInsert + (t-1)·AtomicContention.
+	AtomicContention sim.Time
+	// SortPerItem is the per-item cost of grouping a buffer by destination
+	// worker (counting sort), paid at the source for WsP and at the
+	// destination for WPs/PP; the paper's O(g+t) grouping delay.
+	SortPerItem sim.Time
+	// SortPerBucket is the per-destination-worker overhead of grouping.
+	SortPerBucket sim.Time
+	// GroupForward is the per-run cost of forwarding a pre-grouped run
+	// (WsP receiver).
+	GroupForward sim.Time
+	// Deliver is the per-item cost of handing an item to the application.
+	Deliver sim.Time
+	// Pack is the per-item cost of sealing items into an outgoing message.
+	Pack sim.Time
+	// ScanBuffer is the per-buffer cost of inspecting a buffer during Flush.
+	ScanBuffer sim.Time
+}
+
+// DefaultCosts returns the calibrated cost parameters.
+func DefaultCosts() CostParams {
+	return CostParams{
+		Insert:           15 * sim.Nanosecond,
+		AtomicInsert:     22 * sim.Nanosecond,
+		AtomicContention: 2 * sim.Nanosecond,
+		SortPerItem:      4 * sim.Nanosecond,
+		SortPerBucket:    12 * sim.Nanosecond,
+		GroupForward:     20 * sim.Nanosecond,
+		Deliver:          8 * sim.Nanosecond,
+		Pack:             1 * sim.Nanosecond,
+		ScanBuffer:       3 * sim.Nanosecond,
+	}
+}
+
+// Config configures one TramLib instance.
+type Config struct {
+	Scheme Scheme
+	// BufferItems is g: the number of items a buffer holds before it is
+	// sent automatically.
+	BufferItems int
+	// ItemBytes is m: the wire size of one item payload.
+	ItemBytes int
+	// WorkerTagBytes is the per-item destination tag added on the wire by
+	// the process-addressed schemes (<item, dest_w> in Figs. 5–7).
+	WorkerTagBytes int
+	// MsgHeaderBytes is the fixed envelope size of an aggregated message.
+	MsgHeaderBytes int
+	// FlushOnIdle flushes a worker's buffers whenever its PE goes idle.
+	FlushOnIdle bool
+	// FlushTimeout, if positive, flushes a worker's buffers that long
+	// after the first unflushed insert.
+	FlushTimeout sim.Time
+	// FlushBurst, if positive, caps how many buffers a *timeout* flush
+	// drains per firing (round-robin over destinations, remainder handled
+	// by re-armed timers). Bounding the burst keeps a worker with many
+	// mostly-empty buffers (WW at scale) from flooding its comm thread
+	// with partial messages every period. Explicit Flush calls and idle
+	// flushes are not capped.
+	FlushBurst int
+	// BufferLocal also aggregates items whose destination lives in the
+	// sender's own process. True for WW (the SMP-unaware scheme); the
+	// SMP-aware schemes deliver same-process items directly.
+	BufferLocal bool
+	// TrackLatency records per-item insert→delivery latency (Fig. 12).
+	TrackLatency bool
+	Costs        CostParams
+}
+
+// DefaultConfig returns the configuration the paper's main experiments use
+// for the given scheme: g=1024 (512 for WW in the small-update runs is set by
+// the experiment), 8-byte items, SMP-aware local delivery except for WW.
+func DefaultConfig(s Scheme) Config {
+	return Config{
+		Scheme:         s,
+		BufferItems:    1024,
+		ItemBytes:      8,
+		WorkerTagBytes: 2,
+		MsgHeaderBytes: 64,
+		BufferLocal:    s == WW,
+		Costs:          DefaultCosts(),
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Scheme > PP {
+		return fmt.Errorf("core: invalid scheme %d", c.Scheme)
+	}
+	if c.Scheme != Direct && c.BufferItems <= 0 {
+		return fmt.Errorf("core: BufferItems must be positive, got %d", c.BufferItems)
+	}
+	if c.ItemBytes <= 0 {
+		return fmt.Errorf("core: ItemBytes must be positive, got %d", c.ItemBytes)
+	}
+	if c.WorkerTagBytes < 0 || c.MsgHeaderBytes < 0 {
+		return fmt.Errorf("core: negative framing size")
+	}
+	if c.FlushTimeout < 0 {
+		return fmt.Errorf("core: negative FlushTimeout")
+	}
+	return nil
+}
+
+// Metrics aggregates TramLib activity over a run.
+type Metrics struct {
+	Inserted      stats.Counter // items passed to Insert
+	Delivered     stats.Counter // items handed to the application
+	LocalDirect   stats.Counter // items delivered directly (same process, unbuffered)
+	RemoteMsgs    stats.Counter // aggregated messages crossing a process boundary
+	LocalMsgs     stats.Counter // aggregated/forward messages within a process
+	FullMsgs      stats.Counter // messages sent because a buffer filled
+	FlushMsgs     stats.Counter // messages sent by a flush (resized)
+	Flushes       stats.Counter // Flush invocations
+	PriorityItems stats.Counter // items sent via InsertPriority
+	// PriorityLatency tracks insert→deliver latency of priority items
+	// separately from the buffered-item Latency histogram.
+	PriorityLatency *stats.Hist
+	BytesSent       stats.Counter // wire bytes of remote aggregated messages
+	Latency         *stats.Hist   // per-item insert→deliver latency (ns), if tracked
+
+	curBuffered  int64
+	PeakBuffered stats.MaxGauge // max items resident in buffers at once
+
+	// PerSourceMsgs counts aggregated messages per source worker (WW, WPs,
+	// WsP) or per source process (PP); used to check the §III-C bounds.
+	PerSourceMsgs []int64
+}
+
+// packetKind discriminates aggregated message layouts.
+type packetKind uint8
+
+const (
+	pkToWorker  packetKind = iota // items all destined for the addressed worker
+	pkUngrouped                   // items for several workers of the addressed process
+	pkGrouped                     // items pre-grouped into runs (WsP)
+)
+
+type run struct {
+	dest cluster.WorkerID
+	off  int32
+	n    int32
+}
+
+// packet is one aggregated message.
+type packet struct {
+	kind     packetKind
+	payloads []uint64
+	born     []sim.Time // parallel to payloads; nil unless TrackLatency
+	dests    []cluster.WorkerID
+	runs     []run
+	priority bool // sent by InsertPriority (latency tracked separately)
+}
+
+// buffer is one aggregation buffer. Arrays grow by appending, so partially
+// filled buffers only occupy what they hold.
+type buffer struct {
+	payloads []uint64
+	born     []sim.Time
+	dests    []cluster.WorkerID
+}
+
+func (b *buffer) len() int { return len(b.payloads) }
+
+// endpoint is the per-worker TramLib state.
+type endpoint struct {
+	worker      cluster.WorkerID
+	bufs        []buffer // WW: per dest worker; WPs/WsP: per dest process
+	timerArmed  bool
+	burstCursor int // round-robin position for bounded timeout flushes
+}
+
+// procState is the per-process shared state (PP scheme).
+type procState struct {
+	bufs []buffer // per destination process
+}
+
+// Lib is one TramLib instance spanning the whole simulated cluster (one
+// library "group" in Charm++ terms: an endpoint on every PE).
+type Lib struct {
+	rt      *charm.Runtime
+	cfg     Config
+	deliver DeliverFunc
+
+	eps   []*endpoint
+	procs []*procState
+
+	hPacket charm.HandlerID
+	hTimer  charm.HandlerID
+
+	M Metrics
+}
+
+// New creates a TramLib instance on the runtime, delivering items through
+// deliver. It registers its handlers with the runtime and, if FlushOnIdle is
+// set, an idle hook on every PE. Call before Runtime.Run.
+func New(rt *charm.Runtime, cfg Config, deliver DeliverFunc) *Lib {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	topo := rt.Topo
+	l := &Lib{rt: rt, cfg: cfg, deliver: deliver}
+	l.M.Latency = stats.NewHist()
+	l.M.PriorityLatency = stats.NewHist()
+
+	nWorkers := topo.TotalWorkers()
+	nProcs := topo.TotalProcs()
+	l.eps = make([]*endpoint, nWorkers)
+	for w := range l.eps {
+		ep := &endpoint{worker: cluster.WorkerID(w)}
+		switch cfg.Scheme {
+		case WW:
+			ep.bufs = make([]buffer, nWorkers)
+		case WPs, WsP:
+			ep.bufs = make([]buffer, nProcs)
+		}
+		l.eps[w] = ep
+	}
+	if cfg.Scheme == PP {
+		l.procs = make([]*procState, nProcs)
+		for p := range l.procs {
+			l.procs[p] = &procState{bufs: make([]buffer, nProcs)}
+		}
+		l.M.PerSourceMsgs = make([]int64, nProcs)
+	} else {
+		l.M.PerSourceMsgs = make([]int64, nWorkers)
+	}
+
+	l.hPacket = rt.Register("tram.packet", l.onPacket)
+	l.hTimer = rt.Register("tram.flushTimer", l.onFlushTimer)
+
+	if cfg.FlushOnIdle {
+		for w := 0; w < nWorkers; w++ {
+			l.rt.OnIdle(cluster.WorkerID(w), func(ctx *charm.Ctx) { l.Flush(ctx) })
+		}
+	}
+	return l
+}
+
+// Config returns the library's configuration.
+func (l *Lib) Config() Config { return l.cfg }
+
+// Insert submits one item for delivery to worker dest. It must be called from
+// a handler executing on the sending PE (ctx.Self() is the source worker).
+func (l *Lib) Insert(ctx *charm.Ctx, dest cluster.WorkerID, value uint64) {
+	l.M.Inserted.Inc()
+	self := ctx.Self()
+	topo := l.rt.Topo
+	cfg := &l.cfg
+
+	if dest == self {
+		// Self items short-circuit: no buffering, no messaging.
+		ctx.Charge(cfg.Costs.Deliver)
+		l.M.Delivered.Inc()
+		l.M.LocalDirect.Inc()
+		if cfg.TrackLatency {
+			l.M.Latency.Observe(0)
+		}
+		l.deliver(ctx, value)
+		return
+	}
+
+	dstProc := topo.ProcOf(dest)
+	if !cfg.BufferLocal && dstProc == ctx.Proc() && cfg.Scheme != Direct {
+		// SMP-aware local path: direct shared-memory delivery.
+		l.M.LocalDirect.Inc()
+		pkt := &packet{kind: pkToWorker, payloads: []uint64{value}}
+		if cfg.TrackLatency {
+			pkt.born = []sim.Time{ctx.Now()}
+		}
+		ctx.Send(dest, l.hPacket, pkt, cfg.MsgHeaderBytes+cfg.ItemBytes, true)
+		return
+	}
+
+	switch cfg.Scheme {
+	case Direct:
+		ctx.Charge(cfg.Costs.Pack)
+		pkt := &packet{kind: pkToWorker, payloads: []uint64{value}}
+		if cfg.TrackLatency {
+			pkt.born = []sim.Time{ctx.Now()}
+		}
+		l.M.PerSourceMsgs[self]++
+		l.accountSend(ctx, dstProc, 1, false)
+		ctx.Send(dest, l.hPacket, pkt, cfg.MsgHeaderBytes+cfg.ItemBytes, false)
+
+	case WW:
+		ctx.Charge(cfg.Costs.Insert)
+		ep := l.eps[self]
+		buf := &ep.bufs[dest]
+		l.push(buf, ctx, dest, value, false)
+		if buf.len() >= cfg.BufferItems {
+			l.sealWorkerBuf(ctx, self, dest, buf, false)
+		}
+		l.armTimer(ctx, ep)
+
+	case WPs, WsP:
+		ctx.Charge(cfg.Costs.Insert)
+		ep := l.eps[self]
+		buf := &ep.bufs[dstProc]
+		l.push(buf, ctx, dest, value, true)
+		if buf.len() >= cfg.BufferItems {
+			l.sealProcBuf(ctx, int(self), dstProc, buf, false)
+		}
+		l.armTimer(ctx, ep)
+
+	case PP:
+		t := topo.WorkersPerProc
+		ctx.Charge(cfg.Costs.AtomicInsert + sim.Time(t-1)*cfg.Costs.AtomicContention)
+		ps := l.procs[ctx.Proc()]
+		buf := &ps.bufs[dstProc]
+		l.push(buf, ctx, dest, value, true)
+		if buf.len() >= cfg.BufferItems {
+			l.sealProcBuf(ctx, int(ctx.Proc()), dstProc, buf, false)
+		}
+		l.armTimer(ctx, l.eps[self])
+	}
+}
+
+// push appends an item to buf.
+func (l *Lib) push(buf *buffer, ctx *charm.Ctx, dest cluster.WorkerID, value uint64, withDest bool) {
+	buf.payloads = append(buf.payloads, value)
+	if l.cfg.TrackLatency {
+		buf.born = append(buf.born, ctx.Now())
+	}
+	if withDest {
+		buf.dests = append(buf.dests, dest)
+	}
+	l.M.curBuffered++
+	l.M.PeakBuffered.Observe(l.M.curBuffered)
+}
+
+// take moves buf's contents into a fresh packet-ready triple and resets buf.
+func (l *Lib) take(buf *buffer) (payloads []uint64, born []sim.Time, dests []cluster.WorkerID) {
+	payloads, born, dests = buf.payloads, buf.born, buf.dests
+	buf.payloads, buf.born, buf.dests = nil, nil, nil
+	l.M.curBuffered -= int64(len(payloads))
+	return
+}
+
+// sealWorkerBuf emits a WW buffer destined for a single worker.
+func (l *Lib) sealWorkerBuf(ctx *charm.Ctx, src, dest cluster.WorkerID, buf *buffer, flush bool) {
+	n := buf.len()
+	payloads, born, _ := l.take(buf)
+	ctx.Charge(sim.Time(n) * l.cfg.Costs.Pack)
+	pkt := &packet{kind: pkToWorker, payloads: payloads, born: born}
+	bytes := l.cfg.MsgHeaderBytes + n*l.cfg.ItemBytes
+	l.M.PerSourceMsgs[src]++
+	l.accountSend(ctx, l.rt.Topo.ProcOf(dest), bytes, flush)
+	ctx.Send(dest, l.hPacket, pkt, bytes, true)
+}
+
+// sealProcBuf emits a process-addressed buffer (WPs, WsP, PP). src is the
+// source worker (WPs/WsP) or source process (PP) index for message counting.
+func (l *Lib) sealProcBuf(ctx *charm.Ctx, src int, dstProc cluster.ProcID, buf *buffer, flush bool) {
+	n := buf.len()
+	payloads, born, dests := l.take(buf)
+	cfg := &l.cfg
+	ctx.Charge(sim.Time(n) * cfg.Costs.Pack)
+	pkt := &packet{payloads: payloads, born: born, dests: dests}
+	if cfg.Scheme == WsP {
+		// Group at the source worker: the sort cost is paid here, before
+		// the send (Fig. 6).
+		t := l.rt.Topo.WorkersPerProc
+		ctx.Charge(sim.Time(n)*cfg.Costs.SortPerItem + sim.Time(t)*cfg.Costs.SortPerBucket)
+		l.groupPacket(pkt, dstProc)
+		pkt.kind = pkGrouped
+	} else {
+		pkt.kind = pkUngrouped
+	}
+	bytes := cfg.MsgHeaderBytes + n*(cfg.ItemBytes+cfg.WorkerTagBytes)
+	l.M.PerSourceMsgs[src]++
+	l.accountSend(ctx, dstProc, bytes, flush)
+	ctx.SendToProc(dstProc, l.hPacket, pkt, bytes, true)
+}
+
+// groupPacket counting-sorts pkt's items by destination worker, filling
+// pkt.runs and reordering payloads/born; dests is dropped.
+func (l *Lib) groupPacket(pkt *packet, dstProc cluster.ProcID) {
+	topo := l.rt.Topo
+	t := topo.WorkersPerProc
+	first := topo.FirstWorkerOf(dstProc)
+	n := len(pkt.payloads)
+
+	counts := make([]int32, t)
+	for _, d := range pkt.dests {
+		counts[d-first]++
+	}
+	offsets := make([]int32, t)
+	var off int32
+	for r := 0; r < t; r++ {
+		offsets[r] = off
+		if counts[r] > 0 {
+			pkt.runs = append(pkt.runs, run{dest: first + cluster.WorkerID(r), off: off, n: counts[r]})
+		}
+		off += counts[r]
+	}
+	payloads := make([]uint64, n)
+	var born []sim.Time
+	if pkt.born != nil {
+		born = make([]sim.Time, n)
+	}
+	cursor := append([]int32(nil), offsets...)
+	for i, d := range pkt.dests {
+		r := d - first
+		payloads[cursor[r]] = pkt.payloads[i]
+		if born != nil {
+			born[cursor[r]] = pkt.born[i]
+		}
+		cursor[r]++
+	}
+	pkt.payloads = payloads
+	pkt.born = born
+	pkt.dests = nil
+}
+
+// accountSend updates message metrics. bytes counts only remote messages.
+func (l *Lib) accountSend(ctx *charm.Ctx, dstProc cluster.ProcID, bytes int, flush bool) {
+	if dstProc == ctx.Proc() {
+		l.M.LocalMsgs.Inc()
+	} else {
+		l.M.RemoteMsgs.Inc()
+		l.M.BytesSent.Add(int64(bytes))
+	}
+	if flush {
+		l.M.FlushMsgs.Inc()
+	} else {
+		l.M.FullMsgs.Inc()
+	}
+}
+
+// onPacket handles an aggregated message arriving at a PE.
+func (l *Lib) onPacket(ctx *charm.Ctx, data any, _ int) {
+	pkt := data.(*packet)
+	cfg := &l.cfg
+	switch pkt.kind {
+	case pkToWorker:
+		if pkt.priority {
+			l.deliverPriority(ctx, pkt)
+			return
+		}
+		l.deliverItems(ctx, pkt.payloads, pkt.born)
+
+	case pkUngrouped:
+		// Group at the destination process (WPs, PP): O(g + t), then
+		// forward each run to its worker through shared memory (Fig. 5).
+		topo := l.rt.Topo
+		t := topo.WorkersPerProc
+		n := len(pkt.payloads)
+		ctx.Charge(sim.Time(n)*cfg.Costs.SortPerItem + sim.Time(t)*cfg.Costs.SortPerBucket)
+		l.groupPacket(pkt, ctx.Proc())
+		l.scatterRuns(ctx, pkt)
+
+	case pkGrouped:
+		// WsP: runs were built at the source; just forward them.
+		ctx.Charge(sim.Time(len(pkt.runs)) * cfg.Costs.GroupForward)
+		l.scatterRuns(ctx, pkt)
+	}
+}
+
+// scatterRuns delivers the run addressed to this PE inline and forwards the
+// others as local messages.
+func (l *Lib) scatterRuns(ctx *charm.Ctx, pkt *packet) {
+	self := ctx.Self()
+	for _, r := range pkt.runs {
+		pay := pkt.payloads[r.off : r.off+r.n]
+		var born []sim.Time
+		if pkt.born != nil {
+			born = pkt.born[r.off : r.off+r.n]
+		}
+		if r.dest == self {
+			l.deliverItems(ctx, pay, born)
+			continue
+		}
+		sub := &packet{kind: pkToWorker, payloads: pay, born: born}
+		bytes := l.cfg.MsgHeaderBytes + int(r.n)*l.cfg.ItemBytes
+		l.M.LocalMsgs.Inc()
+		ctx.Send(r.dest, l.hPacket, sub, bytes, true)
+	}
+}
+
+// deliverItems hands items to the application, charging per-item delivery
+// cost and recording latency.
+func (l *Lib) deliverItems(ctx *charm.Ctx, payloads []uint64, born []sim.Time) {
+	per := l.cfg.Costs.Deliver
+	for i, v := range payloads {
+		ctx.Charge(per)
+		if born != nil {
+			l.M.Latency.Observe(int64(ctx.Now() - born[i]))
+		}
+		l.M.Delivered.Inc()
+		l.deliver(ctx, v)
+	}
+}
+
+// InsertPriority submits an item that bypasses aggregation entirely: it is
+// sent immediately as its own expedited message, trading the full per-message
+// α for minimum latency. This implements the item prioritization the paper's
+// conclusion proposes for latency-critical items (e.g. small-distance SSSP
+// updates or imminent PDES events). Note that a priority item can overtake
+// items buffered earlier for the same destination.
+func (l *Lib) InsertPriority(ctx *charm.Ctx, dest cluster.WorkerID, value uint64) {
+	l.M.Inserted.Inc()
+	l.M.PriorityItems.Inc()
+	self := ctx.Self()
+	if dest == self {
+		ctx.Charge(l.cfg.Costs.Deliver)
+		l.M.Delivered.Inc()
+		l.M.LocalDirect.Inc()
+		if l.cfg.TrackLatency {
+			l.M.Latency.Observe(0)
+		}
+		l.deliver(ctx, value)
+		return
+	}
+	ctx.Charge(l.cfg.Costs.Pack)
+	pkt := &packet{kind: pkToWorker, payloads: []uint64{value}, priority: true}
+	if l.cfg.TrackLatency {
+		pkt.born = []sim.Time{ctx.Now()}
+	}
+	bytes := l.cfg.MsgHeaderBytes + l.cfg.ItemBytes
+	l.accountSend(ctx, l.rt.Topo.ProcOf(dest), bytes, false)
+	ctx.Send(dest, l.hPacket, pkt, bytes, true)
+}
+
+// deliverPriority hands a priority packet's item to the application.
+func (l *Lib) deliverPriority(ctx *charm.Ctx, pkt *packet) {
+	ctx.Charge(l.cfg.Costs.Deliver)
+	if pkt.born != nil {
+		l.M.PriorityLatency.Observe(int64(ctx.Now() - pkt.born[0]))
+	}
+	l.M.Delivered.Inc()
+	l.deliver(ctx, pkt.payloads[0])
+}
+
+// Flush sends every non-empty buffer owned by the calling worker — and, for
+// PP, the calling worker's process — as resized messages. Matches the
+// paper's per-PE flush call at the end of an update phase.
+func (l *Lib) Flush(ctx *charm.Ctx) {
+	l.M.Flushes.Inc()
+	cfg := &l.cfg
+	self := ctx.Self()
+	switch cfg.Scheme {
+	case Direct:
+		return
+	case WW:
+		ep := l.eps[self]
+		for d := range ep.bufs {
+			buf := &ep.bufs[d]
+			ctx.Charge(cfg.Costs.ScanBuffer)
+			if buf.len() > 0 {
+				l.sealWorkerBuf(ctx, self, cluster.WorkerID(d), buf, true)
+			}
+		}
+	case WPs, WsP:
+		ep := l.eps[self]
+		for p := range ep.bufs {
+			buf := &ep.bufs[p]
+			ctx.Charge(cfg.Costs.ScanBuffer)
+			if buf.len() > 0 {
+				l.sealProcBuf(ctx, int(self), cluster.ProcID(p), buf, true)
+			}
+		}
+	case PP:
+		ps := l.procs[ctx.Proc()]
+		for p := range ps.bufs {
+			buf := &ps.bufs[p]
+			ctx.Charge(cfg.Costs.ScanBuffer)
+			if buf.len() > 0 {
+				l.sealProcBuf(ctx, int(ctx.Proc()), cluster.ProcID(p), buf, true)
+			}
+		}
+	}
+}
+
+// armTimer arms the endpoint's one-shot flush timer if configured and idle.
+func (l *Lib) armTimer(ctx *charm.Ctx, ep *endpoint) {
+	if l.cfg.FlushTimeout <= 0 || ep.timerArmed {
+		return
+	}
+	ep.timerArmed = true
+	ctx.After(l.cfg.FlushTimeout, l.hTimer, ep)
+}
+
+// onFlushTimer handles a timeout flush on the owning PE. With FlushBurst set,
+// it drains at most that many buffers and re-arms itself until none remain.
+func (l *Lib) onFlushTimer(ctx *charm.Ctx, data any, _ int) {
+	ep := data.(*endpoint)
+	ep.timerArmed = false
+	if l.cfg.FlushBurst <= 0 {
+		l.Flush(ctx)
+		return
+	}
+	if l.flushBurst(ctx, ep) {
+		// Buffers remain: re-arm to continue draining next period.
+		l.armTimer(ctx, ep)
+	}
+}
+
+// flushBurst sends up to FlushBurst non-empty buffers owned by ep's worker
+// (or its process for PP), round-robin. It reports whether items remain.
+func (l *Lib) flushBurst(ctx *charm.Ctx, ep *endpoint) (remaining bool) {
+	l.M.Flushes.Inc()
+	cfg := &l.cfg
+	var bufs []buffer
+	var procOwned bool
+	switch cfg.Scheme {
+	case WW, WPs, WsP:
+		bufs = ep.bufs
+	case PP:
+		bufs = l.procs[ctx.Proc()].bufs
+		procOwned = true
+	default:
+		return false
+	}
+	n := len(bufs)
+	sent := 0
+	scanned := 0
+	for ; scanned < n && sent < cfg.FlushBurst; scanned++ {
+		i := (ep.burstCursor + scanned) % n
+		ctx.Charge(cfg.Costs.ScanBuffer)
+		buf := &bufs[i]
+		if buf.len() == 0 {
+			continue
+		}
+		sent++
+		switch {
+		case cfg.Scheme == WW:
+			l.sealWorkerBuf(ctx, ep.worker, cluster.WorkerID(i), buf, true)
+		case procOwned:
+			l.sealProcBuf(ctx, int(ctx.Proc()), cluster.ProcID(i), buf, true)
+		default:
+			l.sealProcBuf(ctx, int(ep.worker), cluster.ProcID(i), buf, true)
+		}
+	}
+	ep.burstCursor = (ep.burstCursor + scanned) % n
+	for i := range bufs {
+		if bufs[i].len() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// BufferedItems returns the number of items currently resident in buffers
+// (all workers and processes). Zero after a full flush cycle completes.
+func (l *Lib) BufferedItems() int64 { return l.M.curBuffered }
+
+// MemoryModelBytes returns the §III-C worst-case buffer memory bound for this
+// configuration and topology, in bytes:
+//
+//	WW:       g·m·N·t per worker-core
+//	WPs, WsP: g·m·N   per worker-core
+//	PP:       g·m·N   per process
+//
+// where N is the total process count, t workers per process, g=BufferItems,
+// m=ItemBytes. Used by tests to verify actual peak usage never exceeds it.
+func (l *Lib) MemoryModelBytes() int64 {
+	topo := l.rt.Topo
+	g := int64(l.cfg.BufferItems)
+	m := int64(l.cfg.ItemBytes)
+	N := int64(topo.TotalProcs())
+	t := int64(topo.WorkersPerProc)
+	switch l.cfg.Scheme {
+	case WW:
+		return g * m * N * t * int64(topo.TotalWorkers())
+	case WPs, WsP:
+		return g * m * N * int64(topo.TotalWorkers())
+	case PP:
+		return g * m * N * int64(topo.TotalProcs())
+	}
+	return 0
+}

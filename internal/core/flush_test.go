@@ -1,0 +1,176 @@
+package core
+
+import (
+	"testing"
+
+	"tramlib/internal/charm"
+	"tramlib/internal/cluster"
+	"tramlib/internal/sim"
+)
+
+func TestFlushBurstBoundsMessagesPerFiring(t *testing.T) {
+	// 8 destinations buffered, burst of 2: the first timer firing must
+	// emit exactly 2 flush messages, and re-armed timers must eventually
+	// drain everything.
+	topo := cluster.SMP(16, 1, 1) // 16 procs so WPs has many destinations
+	cfg := testConfig(WPs, 1024)
+	cfg.FlushTimeout = 10 * sim.Microsecond
+	cfg.FlushBurst = 2
+	h := newHarness(topo, cfg)
+
+	gen := h.rt.Register("gen", func(ctx *charm.Ctx, _ any, _ int) {
+		for d := 1; d <= 8; d++ {
+			h.lib.Insert(ctx, cluster.WorkerID(d), uint64(d))
+		}
+	})
+	h.rt.Inject(0, 0, gen, nil)
+
+	// Observe message counts right after the first timer horizon.
+	h.rt.Eng.RunUntil(cfg.FlushTimeout + 5*sim.Microsecond)
+	if got := h.lib.M.FlushMsgs.Value(); got != 2 {
+		t.Fatalf("first burst emitted %d messages, want 2", got)
+	}
+	h.rt.Run()
+	if h.received() != 8 {
+		t.Fatalf("drained %d of 8 items", h.received())
+	}
+	if h.lib.BufferedItems() != 0 {
+		t.Fatal("items stranded in buffers")
+	}
+	// 8 destinations at 2 per firing: 4 flush rounds.
+	if got := h.lib.M.FlushMsgs.Value(); got != 8 {
+		t.Fatalf("total flush messages %d, want 8", got)
+	}
+}
+
+func TestFlushBurstRoundRobinIsFair(t *testing.T) {
+	// With a burst of 1 and two buffered destinations, successive firings
+	// must alternate destinations, not re-flush the first one.
+	topo := cluster.SMP(4, 1, 1)
+	cfg := testConfig(WW, 1024)
+	cfg.FlushTimeout = 5 * sim.Microsecond
+	cfg.FlushBurst = 1
+	h := newHarness(topo, cfg)
+	gen := h.rt.Register("gen", func(ctx *charm.Ctx, _ any, _ int) {
+		h.lib.Insert(ctx, 1, 100)
+		h.lib.Insert(ctx, 2, 200)
+	})
+	h.rt.Inject(0, 0, gen, nil)
+	h.rt.Run()
+	if h.recv[1][100] != 1 || h.recv[2][200] != 1 {
+		t.Fatalf("round-robin drain lost items: %v %v", h.recv[1], h.recv[2])
+	}
+}
+
+func TestFlushBurstPPDrainsProcessBuffers(t *testing.T) {
+	topo := cluster.SMP(8, 1, 2)
+	cfg := testConfig(PP, 1024)
+	cfg.FlushTimeout = 5 * sim.Microsecond
+	cfg.FlushBurst = 3
+	h := newHarness(topo, cfg)
+	gen := h.rt.Register("gen", func(ctx *charm.Ctx, _ any, _ int) {
+		for p := 1; p < 8; p++ {
+			h.lib.Insert(ctx, topo.FirstWorkerOf(cluster.ProcID(p)), uint64(p))
+		}
+	})
+	h.rt.Inject(0, 0, gen, nil)
+	h.rt.Run()
+	if h.received() != 7 {
+		t.Fatalf("received %d of 7", h.received())
+	}
+}
+
+func TestExplicitFlushIgnoresBurstCap(t *testing.T) {
+	topo := cluster.SMP(16, 1, 1)
+	cfg := testConfig(WPs, 1024)
+	cfg.FlushBurst = 1 // must not limit explicit Flush
+	h := newHarness(topo, cfg)
+	gen := h.rt.Register("gen", func(ctx *charm.Ctx, _ any, _ int) {
+		for d := 1; d <= 10; d++ {
+			h.lib.Insert(ctx, cluster.WorkerID(d), uint64(d))
+		}
+		h.lib.Flush(ctx)
+	})
+	h.rt.Inject(0, 0, gen, nil)
+	h.rt.Run()
+	if got := h.lib.M.FlushMsgs.Value(); got != 10 {
+		t.Fatalf("explicit flush sent %d messages, want 10 in one call", got)
+	}
+}
+
+func TestInsertPriorityBypassesBuffer(t *testing.T) {
+	topo := cluster.SMP(2, 1, 1)
+	cfg := testConfig(WPs, 1024)
+	cfg.TrackLatency = true
+	h := newHarness(topo, cfg)
+	gen := h.rt.Register("gen", func(ctx *charm.Ctx, _ any, _ int) {
+		h.lib.Insert(ctx, 1, 1) // buffered, stays resident
+		h.lib.InsertPriority(ctx, 1, 2)
+		if h.lib.BufferedItems() != 1 {
+			t.Errorf("priority item was buffered")
+		}
+	})
+	h.rt.Inject(0, 0, gen, nil)
+	h.rt.Eng.Run()
+	if h.recv[1][2] != 1 {
+		t.Fatal("priority item not delivered")
+	}
+	if h.recv[1][1] != 0 {
+		t.Fatal("buffered item delivered without flush (unexpected)")
+	}
+	if h.lib.M.PriorityItems.Value() != 1 {
+		t.Fatalf("PriorityItems = %d", h.lib.M.PriorityItems.Value())
+	}
+}
+
+func TestInsertPriorityLatencyBelowBufferedLatency(t *testing.T) {
+	// The point of prioritization: priority items must beat the mean
+	// latency of buffered items by a wide margin.
+	topo := cluster.SMP(2, 2, 4)
+	W := topo.TotalWorkers()
+	cfg := testConfig(WPs, 256)
+	cfg.TrackLatency = true
+
+	// 1 in 50 items is latency-critical and goes through InsertPriority;
+	// the rest are buffered. Priority items must see far lower latency.
+	h := newHarness(topo, cfg)
+	drv := charm.NewLoopDriver(h.rt)
+	for w := 0; w < W; w++ {
+		w := w
+		drv.Spawn(cluster.WorkerID(w), 2000, 64, func(ctx *charm.Ctx, i int) {
+			dst := cluster.WorkerID((w + 1 + i) % W)
+			if dst == ctx.Self() {
+				return
+			}
+			if i%50 == 0 {
+				h.lib.InsertPriority(ctx, dst, uint64(i))
+			} else {
+				h.lib.Insert(ctx, dst, uint64(i))
+			}
+		}, func(ctx *charm.Ctx) { h.lib.Flush(ctx) })
+	}
+	h.rt.Run()
+	buffered := h.lib.M.Latency.Mean()
+	prioritized := h.lib.M.PriorityLatency.Mean()
+	if prioritized <= 0 {
+		t.Fatal("no priority latency recorded")
+	}
+	// Priority items skip buffer-fill delay but still share comm threads
+	// with the aggregated traffic, so the win is bounded by queueing.
+	if prioritized*1.5 > buffered {
+		t.Fatalf("priority latency %.0f not clearly below buffered %.0f", prioritized, buffered)
+	}
+}
+
+func TestInsertPrioritySelf(t *testing.T) {
+	topo := cluster.SMP(1, 1, 2)
+	h := newHarness(topo, testConfig(PP, 64))
+	gen := h.rt.Register("gen", func(ctx *charm.Ctx, _ any, _ int) {
+		h.lib.InsertPriority(ctx, ctx.Self(), 9)
+	})
+	h.rt.Inject(0, 0, gen, nil)
+	h.rt.Run()
+	if h.recv[0][9] != 1 {
+		t.Fatal("self priority item lost")
+	}
+}

@@ -1,0 +1,247 @@
+// Package graph provides the graph substrate for the SSSP proxy application:
+// deterministic random-graph generators (uniform and RMAT), a compact CSR
+// representation, a block partitioner mapping vertices to workers, and a
+// reference sequential Dijkstra used to validate the distributed solver.
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"tramlib/internal/rng"
+)
+
+// Infinity is the distance of an unreached vertex.
+const Infinity = uint32(math.MaxUint32)
+
+// CSR is a directed graph in compressed sparse row form.
+type CSR struct {
+	N       int      // number of vertices
+	Offsets []int64  // len N+1; edges of v are [Offsets[v], Offsets[v+1])
+	Targets []uint32 // edge heads
+	Weights []uint8  // edge weights, 1..MaxWeight
+}
+
+// MaxWeight is the largest generated edge weight.
+const MaxWeight = 15
+
+// Edges returns the number of edges.
+func (g *CSR) Edges() int64 { return int64(len(g.Targets)) }
+
+// Degree returns the out-degree of v.
+func (g *CSR) Degree(v int) int { return int(g.Offsets[v+1] - g.Offsets[v]) }
+
+// Neighbors returns the targets and weights of v's out-edges (shared slices;
+// do not modify).
+func (g *CSR) Neighbors(v int) ([]uint32, []uint8) {
+	lo, hi := g.Offsets[v], g.Offsets[v+1]
+	return g.Targets[lo:hi], g.Weights[lo:hi]
+}
+
+// Validate checks structural invariants.
+func (g *CSR) Validate() error {
+	if len(g.Offsets) != g.N+1 {
+		return fmt.Errorf("graph: offsets length %d, want %d", len(g.Offsets), g.N+1)
+	}
+	if g.Offsets[0] != 0 || g.Offsets[g.N] != g.Edges() {
+		return fmt.Errorf("graph: offset endpoints [%d,%d] inconsistent with %d edges",
+			g.Offsets[0], g.Offsets[g.N], g.Edges())
+	}
+	for v := 0; v < g.N; v++ {
+		if g.Offsets[v] > g.Offsets[v+1] {
+			return fmt.Errorf("graph: offsets not monotone at %d", v)
+		}
+	}
+	for i, t := range g.Targets {
+		if int(t) >= g.N {
+			return fmt.Errorf("graph: edge %d targets out-of-range vertex %d", i, t)
+		}
+		if g.Weights[i] == 0 {
+			return fmt.Errorf("graph: edge %d has zero weight", i)
+		}
+	}
+	return nil
+}
+
+// edgeList is a temporary structure for CSR construction.
+type edgeList struct {
+	src, dst []uint32
+	w        []uint8
+}
+
+// build converts an edge list to CSR by counting sort on source.
+func build(n int, e edgeList) *CSR {
+	g := &CSR{
+		N:       n,
+		Offsets: make([]int64, n+1),
+		Targets: make([]uint32, len(e.src)),
+		Weights: make([]uint8, len(e.src)),
+	}
+	for _, s := range e.src {
+		g.Offsets[s+1]++
+	}
+	for v := 0; v < n; v++ {
+		g.Offsets[v+1] += g.Offsets[v]
+	}
+	cursor := make([]int64, n)
+	for i, s := range e.src {
+		pos := g.Offsets[s] + cursor[s]
+		cursor[s]++
+		g.Targets[pos] = e.dst[i]
+		g.Weights[pos] = e.w[i]
+	}
+	return g
+}
+
+// GenUniform generates a directed graph with n vertices and n·avgDeg edges
+// whose endpoints are uniformly random, with weights uniform in
+// [1, MaxWeight]. Deterministic in seed.
+func GenUniform(n, avgDeg int, seed uint64) *CSR {
+	m := n * avgDeg
+	r := rng.New(seed)
+	e := edgeList{
+		src: make([]uint32, m),
+		dst: make([]uint32, m),
+		w:   make([]uint8, m),
+	}
+	for i := 0; i < m; i++ {
+		e.src[i] = uint32(r.Intn(n))
+		e.dst[i] = uint32(r.Intn(n))
+		e.w[i] = uint8(1 + r.Intn(MaxWeight))
+	}
+	return build(n, e)
+}
+
+// GenRMAT generates a Kronecker (R-MAT) graph with 2^scale vertices and
+// 2^scale·avgDeg edges using the standard (a,b,c,d) = (0.57,0.19,0.19,0.05)
+// parameters, the skewed-degree family used by Graph500 and typical of the
+// irregular applications the paper targets. Deterministic in seed.
+func GenRMAT(scale, avgDeg int, seed uint64) *CSR {
+	n := 1 << scale
+	m := n * avgDeg
+	r := rng.New(seed)
+	const a, b, c = 0.57, 0.19, 0.19
+	e := edgeList{
+		src: make([]uint32, m),
+		dst: make([]uint32, m),
+		w:   make([]uint8, m),
+	}
+	for i := 0; i < m; i++ {
+		var src, dst uint32
+		for bit := scale - 1; bit >= 0; bit-- {
+			p := r.Float64()
+			switch {
+			case p < a:
+				// top-left: neither bit set
+			case p < a+b:
+				dst |= 1 << bit
+			case p < a+b+c:
+				src |= 1 << bit
+			default:
+				src |= 1 << bit
+				dst |= 1 << bit
+			}
+		}
+		e.src[i] = src
+		e.dst[i] = dst
+		e.w[i] = uint8(1 + r.Intn(MaxWeight))
+	}
+	return build(n, e)
+}
+
+// Partition maps vertices to workers in contiguous blocks: worker w owns
+// [w·per, min((w+1)·per, N)) with per = ceil(N/W).
+type Partition struct {
+	N       int
+	Workers int
+	per     int
+}
+
+// NewPartition builds a block partition of n vertices over w workers.
+func NewPartition(n, w int) Partition {
+	per := (n + w - 1) / w
+	if per == 0 {
+		per = 1
+	}
+	return Partition{N: n, Workers: w, per: per}
+}
+
+// Owner returns the worker owning vertex v.
+func (p Partition) Owner(v int) int {
+	o := v / p.per
+	if o >= p.Workers {
+		o = p.Workers - 1
+	}
+	return o
+}
+
+// Range returns the vertex range [lo, hi) owned by worker w.
+func (p Partition) Range(w int) (lo, hi int) {
+	lo = w * p.per
+	hi = lo + p.per
+	if hi > p.N {
+		hi = p.N
+	}
+	if lo > p.N {
+		lo = p.N
+	}
+	return
+}
+
+// LocalIndex converts a global vertex id to the owner-local index.
+func (p Partition) LocalIndex(v int) int { return v - (v/p.per)*p.per }
+
+// distHeap is a binary heap for the reference Dijkstra.
+type distHeap struct {
+	v []int
+	d []uint32
+}
+
+func (h distHeap) Len() int           { return len(h.v) }
+func (h distHeap) Less(i, j int) bool { return h.d[i] < h.d[j] }
+func (h distHeap) Swap(i, j int)      { h.v[i], h.v[j] = h.v[j], h.v[i]; h.d[i], h.d[j] = h.d[j], h.d[i] }
+func (h *distHeap) Push(x any)        { panic("use push") }
+func (h *distHeap) Pop() any          { panic("use pop") }
+func (h *distHeap) push(v int, d uint32) {
+	h.v = append(h.v, v)
+	h.d = append(h.d, d)
+	heap.Fix(h, len(h.v)-1)
+}
+func (h *distHeap) pop() (int, uint32) {
+	v, d := h.v[0], h.d[0]
+	n := len(h.v) - 1
+	h.Swap(0, n)
+	h.v, h.d = h.v[:n], h.d[:n]
+	if n > 0 {
+		heap.Fix(h, 0)
+	}
+	return v, d
+}
+
+// Dijkstra computes exact single-source shortest paths sequentially. Used as
+// the reference oracle in tests (O((V+E) log V); run on small graphs only).
+func Dijkstra(g *CSR, src int) []uint32 {
+	dist := make([]uint32, g.N)
+	for i := range dist {
+		dist[i] = Infinity
+	}
+	dist[src] = 0
+	h := &distHeap{}
+	h.push(src, 0)
+	for h.Len() > 0 {
+		v, d := h.pop()
+		if d > dist[v] {
+			continue
+		}
+		ts, ws := g.Neighbors(v)
+		for i, t := range ts {
+			nd := d + uint32(ws[i])
+			if nd < dist[t] {
+				dist[t] = nd
+				h.push(int(t), nd)
+			}
+		}
+	}
+	return dist
+}

@@ -1,0 +1,150 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenUniformValid(t *testing.T) {
+	g := GenUniform(1000, 8, 42)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 1000 || g.Edges() != 8000 {
+		t.Fatalf("size: N=%d E=%d", g.N, g.Edges())
+	}
+}
+
+func TestGenRMATValid(t *testing.T) {
+	g := GenRMAT(10, 8, 42)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 1024 || g.Edges() != 8192 {
+		t.Fatalf("size: N=%d E=%d", g.N, g.Edges())
+	}
+}
+
+func TestRMATIsSkewed(t *testing.T) {
+	// RMAT's defining property vs uniform: a heavy-tailed degree
+	// distribution; the max degree should far exceed the mean.
+	g := GenRMAT(12, 8, 7)
+	maxDeg := 0
+	for v := 0; v < g.N; v++ {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 8*8 {
+		t.Fatalf("RMAT max degree %d not skewed (mean 8)", maxDeg)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a, b := GenUniform(500, 4, 9), GenUniform(500, 4, 9)
+	if a.Edges() != b.Edges() {
+		t.Fatal("edge counts differ")
+	}
+	for i := range a.Targets {
+		if a.Targets[i] != b.Targets[i] || a.Weights[i] != b.Weights[i] {
+			t.Fatal("graphs differ for equal seed")
+		}
+	}
+	c := GenUniform(500, 4, 10)
+	same := true
+	for i := range a.Targets {
+		if a.Targets[i] != c.Targets[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestDegreesSumToEdges(t *testing.T) {
+	g := GenUniform(333, 5, 3)
+	var sum int64
+	for v := 0; v < g.N; v++ {
+		sum += int64(g.Degree(v))
+	}
+	if sum != g.Edges() {
+		t.Fatalf("degree sum %d != edges %d", sum, g.Edges())
+	}
+}
+
+func TestPartitionCoversAllVertices(t *testing.T) {
+	f := func(nRaw, wRaw uint16) bool {
+		n := int(nRaw)%5000 + 1
+		w := int(wRaw)%64 + 1
+		p := NewPartition(n, w)
+		// Every vertex belongs to exactly one worker and that worker's
+		// range contains it.
+		for v := 0; v < n; v++ {
+			o := p.Owner(v)
+			if o < 0 || o >= w {
+				return false
+			}
+			lo, hi := p.Range(o)
+			if v < lo || v >= hi {
+				return false
+			}
+			if p.LocalIndex(v) != v-lo {
+				return false
+			}
+		}
+		// Ranges tile [0, n).
+		covered := 0
+		for i := 0; i < w; i++ {
+			lo, hi := p.Range(i)
+			covered += hi - lo
+		}
+		return covered == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDijkstraOnKnownGraph(t *testing.T) {
+	// Path graph 0 -> 1 -> 2 -> 3 with weights 1, 2, 3.
+	g := &CSR{
+		N:       4,
+		Offsets: []int64{0, 1, 2, 3, 3},
+		Targets: []uint32{1, 2, 3},
+		Weights: []uint8{1, 2, 3},
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := Dijkstra(g, 0)
+	want := []uint32{0, 1, 3, 6}
+	for v, dv := range want {
+		if d[v] != dv {
+			t.Fatalf("dist[%d] = %d, want %d", v, d[v], dv)
+		}
+	}
+	d3 := Dijkstra(g, 3)
+	if d3[0] != Infinity || d3[3] != 0 {
+		t.Fatalf("unreachable handling wrong: %v", d3)
+	}
+}
+
+func TestDijkstraTriangleInequality(t *testing.T) {
+	// Property: for every edge (u,v,w), dist[v] <= dist[u] + w, and
+	// every finite dist is achieved by some in-edge (except the source).
+	g := GenUniform(400, 6, 17)
+	dist := Dijkstra(g, 0)
+	for u := 0; u < g.N; u++ {
+		if dist[u] == Infinity {
+			continue
+		}
+		ts, wts := g.Neighbors(u)
+		for i, v := range ts {
+			if dist[u]+uint32(wts[i]) < dist[v] {
+				t.Fatalf("triangle inequality violated on edge %d->%d", u, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,266 @@
+// Package live is a real-concurrency (goroutine, wall-clock) counterpart to
+// the simulated TramLib: an aggregation fabric for Go programs in which many
+// worker goroutines exchange huge volumes of small items.
+//
+// Workers are partitioned into "processes" (shards that share buffers, the
+// analogue of the paper's SMP processes). Delivery happens through per-worker
+// inbox channels drained by consumer goroutines; channel operations play the
+// role of the paper's per-message α, so aggregation amortizes them the same
+// way. Three schemes mirror the paper:
+//
+//	Direct  each item is its own channel send (baseline).
+//	WPs     each producer keeps one private buffer per destination shard
+//	        (single-producer, no synchronization); the shard's distributor
+//	        groups arriving batches by destination worker.
+//	PP      all producers of a shard share one claim/seal buffer per
+//	        destination shard (lock-free multi-producer, internal/shmem);
+//	        buffers fill workers-per-shard times faster, minimizing item
+//	        latency at the cost of atomic contention.
+//
+// Items carry a 48-bit payload; the destination worker id is packed into the
+// top 16 bits on the wire, mirroring the paper's <item, dest_w> framing.
+package live
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"tramlib/internal/shmem"
+)
+
+// Scheme selects the live fabric's aggregation strategy.
+type Scheme uint8
+
+// The live fabric's schemes (a subset of the paper's: WW behaves like WPs
+// when shards are single-worker, and WsP's source-side grouping has no
+// observable effect with in-memory channels).
+const (
+	Direct Scheme = iota
+	WPs
+	PP
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case Direct:
+		return "Direct"
+	case WPs:
+		return "WPs"
+	case PP:
+		return "PP"
+	}
+	return fmt.Sprintf("Scheme(%d)", uint8(s))
+}
+
+// MaxValue is the largest payload a live item can carry (48 bits; the top 16
+// bits frame the destination worker).
+const MaxValue = uint64(1)<<48 - 1
+
+const destShift = 48
+
+// DeliverFunc receives one item at its destination. It is invoked from the
+// destination shard's consumer goroutine; implementations must be safe for
+// concurrent invocation across different workers.
+type DeliverFunc func(worker int, value uint64)
+
+// Config sizes the fabric.
+type Config struct {
+	// Workers is the number of producer/consumer endpoints.
+	Workers int
+	// WorkersPerShard groups workers into shared-buffer shards
+	// ("processes"). Must divide Workers.
+	WorkersPerShard int
+	// Scheme selects aggregation.
+	Scheme Scheme
+	// BatchItems is the aggregation buffer capacity g.
+	BatchItems int
+	// InboxDepth is the per-shard channel depth (batches).
+	InboxDepth int
+}
+
+// DefaultConfig returns a fabric of w workers in shards of 8 using WPs with
+// 1024-item buffers.
+func DefaultConfig(w int) Config {
+	shard := 8
+	for w%shard != 0 {
+		shard /= 2
+	}
+	return Config{Workers: w, WorkersPerShard: shard, Scheme: WPs, BatchItems: 1024, InboxDepth: 256}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Workers <= 0 {
+		return fmt.Errorf("live: Workers must be positive")
+	}
+	if c.WorkersPerShard <= 0 || c.Workers%c.WorkersPerShard != 0 {
+		return fmt.Errorf("live: WorkersPerShard %d must divide Workers %d", c.WorkersPerShard, c.Workers)
+	}
+	if c.Scheme != Direct && c.BatchItems <= 0 {
+		return fmt.Errorf("live: BatchItems must be positive")
+	}
+	if c.Scheme > PP {
+		return fmt.Errorf("live: unknown scheme %d", c.Scheme)
+	}
+	return nil
+}
+
+// Metrics counts fabric activity (atomically updated).
+type Metrics struct {
+	ItemsSent      atomic.Int64
+	ItemsDelivered atomic.Int64
+	Batches        atomic.Int64
+}
+
+// Fabric is a running aggregation fabric. Create with New, obtain one Handle
+// per producer goroutine, and Close when all producers are done.
+type Fabric struct {
+	cfg     Config
+	shards  int
+	deliver DeliverFunc
+
+	inboxes []chan []uint64     // one per destination shard
+	ppBufs  [][]*shmem.MPBuffer // [srcShard][dstShard], PP only
+
+	consumers sync.WaitGroup
+	closeOnce sync.Once
+
+	M Metrics
+}
+
+// New starts the fabric's consumer goroutines.
+func New(cfg Config, deliver DeliverFunc) (*Fabric, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.InboxDepth <= 0 {
+		cfg.InboxDepth = 256
+	}
+	f := &Fabric{
+		cfg:     cfg,
+		shards:  cfg.Workers / cfg.WorkersPerShard,
+		deliver: deliver,
+	}
+	f.inboxes = make([]chan []uint64, f.shards)
+	for s := range f.inboxes {
+		f.inboxes[s] = make(chan []uint64, cfg.InboxDepth)
+	}
+	if cfg.Scheme == PP {
+		f.ppBufs = make([][]*shmem.MPBuffer, f.shards)
+		for src := range f.ppBufs {
+			f.ppBufs[src] = make([]*shmem.MPBuffer, f.shards)
+			for dst := range f.ppBufs[src] {
+				inbox := f.inboxes[dst]
+				f.ppBufs[src][dst] = shmem.NewMPBuffer(cfg.BatchItems, func(b shmem.Batch) {
+					inbox <- b.Items
+				})
+			}
+		}
+	}
+	for s := 0; s < f.shards; s++ {
+		s := s
+		f.consumers.Add(1)
+		go func() {
+			defer f.consumers.Done()
+			for batch := range f.inboxes[s] {
+				f.M.Batches.Add(1)
+				for _, tagged := range batch {
+					w := int(tagged >> destShift)
+					f.M.ItemsDelivered.Add(1)
+					f.deliver(w, tagged&MaxValue)
+				}
+			}
+		}()
+	}
+	return f, nil
+}
+
+// ShardOf returns the shard owning worker w.
+func (f *Fabric) ShardOf(w int) int { return w / f.cfg.WorkersPerShard }
+
+// Handle is a producer endpoint bound to one worker. A Handle is not safe for
+// concurrent use; each producer goroutine must own its own (matching the
+// paper's one-PE-one-thread model). The shared PP buffers behind it are.
+type Handle struct {
+	f      *Fabric
+	worker int
+	shard  int
+	// wpsBufs are the private per-destination-shard buffers (WPs).
+	wpsBufs []*shmem.SPBuffer
+}
+
+// Worker returns a handle for producer w.
+func (f *Fabric) Worker(w int) *Handle {
+	if w < 0 || w >= f.cfg.Workers {
+		panic(fmt.Sprintf("live: worker %d out of range", w))
+	}
+	h := &Handle{f: f, worker: w, shard: f.ShardOf(w)}
+	if f.cfg.Scheme == WPs {
+		h.wpsBufs = make([]*shmem.SPBuffer, f.shards)
+		for s := range h.wpsBufs {
+			inbox := f.inboxes[s]
+			h.wpsBufs[s] = shmem.NewSPBuffer(f.cfg.BatchItems, func(b shmem.Batch) {
+				inbox <- b.Items
+			})
+		}
+	}
+	return h
+}
+
+// Send submits one item for delivery to worker dest. value must fit in 48
+// bits.
+func (h *Handle) Send(dest int, value uint64) {
+	if value > MaxValue {
+		panic(fmt.Sprintf("live: value %#x exceeds 48-bit payload", value))
+	}
+	if dest < 0 || dest >= h.f.cfg.Workers {
+		panic(fmt.Sprintf("live: destination %d out of range", dest))
+	}
+	h.f.M.ItemsSent.Add(1)
+	tagged := uint64(dest)<<destShift | value
+	dstShard := h.f.ShardOf(dest)
+	switch h.f.cfg.Scheme {
+	case Direct:
+		h.f.inboxes[dstShard] <- []uint64{tagged}
+	case WPs:
+		h.wpsBufs[dstShard].Push(tagged)
+	case PP:
+		h.f.ppBufs[h.shard][dstShard].Push(tagged)
+	}
+}
+
+// Flush emits the handle's private partial buffers (WPs) or its shard's
+// shared buffers (PP).
+func (h *Handle) Flush() {
+	switch h.f.cfg.Scheme {
+	case WPs:
+		for _, b := range h.wpsBufs {
+			b.Flush()
+		}
+	case PP:
+		for _, b := range h.f.ppBufs[h.shard] {
+			b.Flush()
+		}
+	}
+}
+
+// Close flushes every shared buffer, waits for all in-flight batches to be
+// delivered, and stops the consumers. Producers must not Send after Close
+// begins; per-handle WPs buffers must be flushed by their owners first.
+func (f *Fabric) Close() {
+	f.closeOnce.Do(func() {
+		if f.cfg.Scheme == PP {
+			for _, row := range f.ppBufs {
+				for _, b := range row {
+					b.Flush()
+				}
+			}
+		}
+		for _, inbox := range f.inboxes {
+			close(inbox)
+		}
+		f.consumers.Wait()
+	})
+}

@@ -1,0 +1,246 @@
+package live
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"tramlib/internal/rng"
+)
+
+// runFabric drives a fabric with one goroutine per worker, each sending
+// perWorker items to pseudo-random destinations, and returns per-worker
+// receive counts.
+func runFabric(t *testing.T, cfg Config, perWorker int) []atomic.Int64 {
+	t.Helper()
+	recv := make([]atomic.Int64, cfg.Workers)
+	f, err := New(cfg, func(w int, v uint64) {
+		recv[w].Add(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := f.Worker(w)
+			r := rng.NewStream(5, w)
+			for i := 0; i < perWorker; i++ {
+				h.Send(r.Intn(cfg.Workers), uint64(i))
+			}
+			h.Flush()
+		}()
+	}
+	wg.Wait()
+	f.Close()
+	return recv
+}
+
+func TestExactDeliveryAllSchemes(t *testing.T) {
+	const perWorker = 30000
+	for _, s := range []Scheme{Direct, WPs, PP} {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			cfg := DefaultConfig(16)
+			cfg.Scheme = s
+			cfg.BatchItems = 256
+			recv := runFabric(t, cfg, perWorker)
+			var total int64
+			for i := range recv {
+				total += recv[i].Load()
+			}
+			if total != int64(cfg.Workers)*perWorker {
+				t.Fatalf("delivered %d items, want %d", total, int64(cfg.Workers)*perWorker)
+			}
+		})
+	}
+}
+
+func TestValuesAndDestinationsPreserved(t *testing.T) {
+	cfg := Config{Workers: 8, WorkersPerShard: 4, Scheme: PP, BatchItems: 64, InboxDepth: 64}
+	type key struct {
+		w int
+		v uint64
+	}
+	var mu sync.Mutex
+	got := map[key]int{}
+	f, err := New(cfg, func(w int, v uint64) {
+		mu.Lock()
+		got[key{w, v}]++
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const per = 5000
+	for w := 0; w < cfg.Workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := f.Worker(w)
+			for i := 0; i < per; i++ {
+				dest := (w + 1 + i) % cfg.Workers
+				h.Send(dest, uint64(w)<<32|uint64(i))
+			}
+			h.Flush()
+		}()
+	}
+	wg.Wait()
+	f.Close()
+
+	for w := 0; w < cfg.Workers; w++ {
+		for i := 0; i < per; i++ {
+			dest := (w + 1 + i) % cfg.Workers
+			k := key{dest, uint64(w)<<32 | uint64(i)}
+			if got[k] != 1 {
+				t.Fatalf("item %+v delivered %d times", k, got[k])
+			}
+		}
+	}
+}
+
+func TestAggregationReducesBatches(t *testing.T) {
+	const perWorker = 20000
+	batches := func(s Scheme) int64 {
+		cfg := DefaultConfig(8)
+		cfg.Scheme = s
+		cfg.BatchItems = 512
+		var sink atomic.Int64
+		f, err := New(cfg, func(int, uint64) { sink.Add(1) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.Workers; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				h := f.Worker(w)
+				r := rng.NewStream(9, w)
+				for i := 0; i < perWorker; i++ {
+					h.Send(r.Intn(cfg.Workers), 1)
+				}
+				h.Flush()
+			}()
+		}
+		wg.Wait()
+		f.Close()
+		return f.M.Batches.Load()
+	}
+	direct := batches(Direct)
+	agg := batches(WPs)
+	if agg*50 > direct {
+		t.Fatalf("aggregation sent %d batches vs %d direct; want >=50x reduction", agg, direct)
+	}
+}
+
+func TestPPBuffersSharedAcrossShardWorkers(t *testing.T) {
+	// With one destination shard and a batch of exactly
+	// workers*perWorker/2, two shared fills must occur (not per-worker
+	// partial batches): all items land in full batches, none via Flush.
+	cfg := Config{Workers: 4, WorkersPerShard: 4, Scheme: PP, BatchItems: 4000, InboxDepth: 16}
+	var n atomic.Int64
+	f, err := New(cfg, func(int, uint64) { n.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const per = 2000
+	for w := 0; w < cfg.Workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := f.Worker(w)
+			for i := 0; i < per; i++ {
+				h.Send(0, uint64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	f.Close()
+	if n.Load() != 4*per {
+		t.Fatalf("delivered %d, want %d", n.Load(), 4*per)
+	}
+	// 8000 items into batches of 4000: exactly 2 full batches.
+	if got := f.M.Batches.Load(); got != 2 {
+		t.Fatalf("batches = %d, want 2 (shared buffer)", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Workers: 0, WorkersPerShard: 1, BatchItems: 8},
+		{Workers: 8, WorkersPerShard: 3, BatchItems: 8},
+		{Workers: 8, WorkersPerShard: 4, Scheme: WPs, BatchItems: 0},
+		{Workers: 8, WorkersPerShard: 4, Scheme: Scheme(9), BatchItems: 4},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v validated", c)
+		}
+	}
+	if err := DefaultConfig(16).Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestOversizedValuePanics(t *testing.T) {
+	f, err := New(Config{Workers: 2, WorkersPerShard: 1, Scheme: Direct, BatchItems: 1, InboxDepth: 4},
+		func(int, uint64) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	h := f.Worker(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized value did not panic")
+		}
+	}()
+	h.Send(1, MaxValue+1)
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	f, err := New(DefaultConfig(8), func(int, uint64) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	f.Close() // must not panic or deadlock
+}
+
+func BenchmarkFabricThroughput(b *testing.B) {
+	for _, s := range []Scheme{Direct, WPs, PP} {
+		b.Run(s.String(), func(b *testing.B) {
+			cfg := DefaultConfig(8)
+			cfg.Scheme = s
+			f, err := New(cfg, func(int, uint64) {})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var widx atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				w := int(widx.Add(1)-1) % cfg.Workers
+				h := f.Worker(w)
+				r := rng.NewStream(3, w)
+				i := uint64(0)
+				for pb.Next() {
+					h.Send(r.Intn(cfg.Workers), i&MaxValue)
+					i++
+				}
+				h.Flush()
+			})
+			f.Close()
+			if f.M.ItemsDelivered.Load() != f.M.ItemsSent.Load() {
+				b.Fatalf("lost items: sent %d delivered %d", f.M.ItemsSent.Load(), f.M.ItemsDelivered.Load())
+			}
+		})
+	}
+}

@@ -1,0 +1,263 @@
+// Package netsim models the communication substrate of an SMP cluster under
+// the alpha-beta cost model the paper uses (§I, §III-C): sending a message of
+// N bytes costs α + N·β on the wire, where α is microsecond-scale and β is
+// sub-nanosecond per byte (~12 GB/s on Delta, Fig. 1).
+//
+// On top of the wire model, netsim reproduces the two mechanisms §III-A
+// identifies as decisive for fine-grained SMP communication:
+//
+//   - Dedicated communication threads. In Charm++ SMP mode every process has
+//     one comm thread that serializes all of the process's sends and receives,
+//     paying a per-message processing overhead. When many workers stream small
+//     messages, this thread becomes the bottleneck (Fig. 3). The comm thread
+//     is modelled as a serial resource with a busy-until accumulator.
+//   - Non-SMP mode. With one worker per process there is no dedicated comm
+//     thread; the worker itself pays the send overhead (serialized on its own
+//     clock) and the receive overhead before each remote handler.
+//
+// Intra-node, inter-process messages still traverse both comm threads but use
+// a cheaper wire α (shared-memory transport such as xpmem/CMA); inter-node
+// messages additionally pass through the per-node NIC injection resource.
+package netsim
+
+import (
+	"fmt"
+
+	"tramlib/internal/cluster"
+	"tramlib/internal/sim"
+	"tramlib/internal/stats"
+)
+
+// Params holds the cost-model parameters. Defaults (DefaultParams) are
+// calibrated so that the shapes of the paper's figures reproduce: α values
+// from Fig. 1's flat small-message region, β from the ~12 GB/s asymptote, and
+// per-message comm-thread overheads sized so that the §III-A serialization
+// threshold (~167 ns of work per word) falls where the paper observed it.
+type Params struct {
+	// AlphaInterNode is the wire latency component for messages between
+	// physical nodes (NIC + switch traversal, excluding comm-thread time).
+	AlphaInterNode sim.Time
+	// AlphaIntraNode is the wire latency between processes on one node
+	// (shared-memory transport).
+	AlphaIntraNode sim.Time
+	// BetaNsPerByte is the per-byte cost in nanoseconds (inverse bandwidth).
+	// 0.083 ns/B ≈ 12 GB/s.
+	BetaNsPerByte float64
+	// CommSendOverhead is the per-message processing cost on the sending
+	// comm thread (or the sending worker in non-SMP mode).
+	CommSendOverhead sim.Time
+	// CommRecvOverhead is the per-message processing cost on the receiving
+	// comm thread (or the receiving worker in non-SMP mode).
+	CommRecvOverhead sim.Time
+	// CommNsPerByte is the per-byte handling cost on each comm thread
+	// (pipelined memory copy).
+	CommNsPerByte float64
+	// HandoffCost is what a worker pays to enqueue a message to its comm
+	// thread in SMP mode.
+	HandoffCost sim.Time
+	// NICGap is the minimum spacing between wire injections per node,
+	// modelling limited NIC/network-context concurrency (Zambre et al.).
+	// Zero disables NIC serialization.
+	NICGap sim.Time
+}
+
+// DefaultParams returns the Delta-like calibration used by all experiments.
+func DefaultParams() Params {
+	return Params{
+		AlphaInterNode:   1800 * sim.Nanosecond,
+		AlphaIntraNode:   500 * sim.Nanosecond,
+		BetaNsPerByte:    0.083,
+		CommSendOverhead: 550 * sim.Nanosecond,
+		CommRecvOverhead: 450 * sim.Nanosecond,
+		CommNsPerByte:    0.005,
+		HandoffCost:      70 * sim.Nanosecond,
+		// 100 ns between wire injections per node (~10M msg/s): limited
+		// NIC/network-context concurrency per Zambre et al. [8,9]. This
+		// is what keeps non-SMP from being 64x faster than SMP-1proc in
+		// Fig. 3 (the paper observes ~5x) and what lets 8 processes per
+		// node reach parity with non-SMP.
+		NICGap: 100 * sim.Nanosecond,
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.AlphaInterNode < 0 || p.AlphaIntraNode < 0 || p.BetaNsPerByte < 0 ||
+		p.CommSendOverhead < 0 || p.CommRecvOverhead < 0 || p.CommNsPerByte < 0 ||
+		p.HandoffCost < 0 || p.NICGap < 0 {
+		return fmt.Errorf("netsim: negative cost parameter: %+v", p)
+	}
+	return nil
+}
+
+// WireTime returns α + N·β for a message of bytes between the given locality.
+func (p Params) WireTime(bytes int, interNode bool) sim.Time {
+	alpha := p.AlphaIntraNode
+	if interNode {
+		alpha = p.AlphaInterNode
+	}
+	return alpha + sim.Time(p.BetaNsPerByte*float64(bytes))
+}
+
+func (p Params) commCost(base sim.Time, bytes int) sim.Time {
+	return base + sim.Time(p.CommNsPerByte*float64(bytes))
+}
+
+// resource is a serial resource with FIFO service: a task offered at time t
+// with duration d completes at max(busyUntil, t) + d. Offers must be made in
+// nondecreasing time order, which the DES guarantees because offers happen
+// inside events.
+type resource struct {
+	busyUntil sim.Time
+	busyTotal sim.Time
+	tasks     int64
+}
+
+func (r *resource) acquire(at, d sim.Time) sim.Time {
+	start := at
+	if r.busyUntil > start {
+		start = r.busyUntil
+	}
+	r.busyUntil = start + d
+	r.busyTotal += d
+	r.tasks++
+	return r.busyUntil
+}
+
+// Metrics aggregates network activity for one run.
+type Metrics struct {
+	MessagesInterNode stats.Counter
+	MessagesIntraNode stats.Counter
+	BytesInterNode    stats.Counter
+	BytesIntraNode    stats.Counter
+	WireLatency       *stats.Hist // per message: comm handoff to delivery
+}
+
+// Network simulates the communication substrate for one topology.
+type Network struct {
+	Eng  *sim.Engine
+	Topo cluster.Topology
+	P    Params
+
+	// DedicatedComm selects SMP mode (true: per-process comm thread) or
+	// non-SMP mode (false: workers pay comm costs themselves). It defaults
+	// to !Topo.IsNonSMP().
+	DedicatedComm bool
+
+	comm []resource // one per process (only used when DedicatedComm)
+	nic  []resource // one per node
+
+	M Metrics
+}
+
+// New creates a network for the topology with the given parameters. SMP mode
+// (dedicated comm threads) is enabled unless the topology is non-SMP.
+func New(eng *sim.Engine, topo cluster.Topology, p Params) *Network {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if err := topo.Validate(); err != nil {
+		panic(err)
+	}
+	return &Network{
+		Eng:           eng,
+		Topo:          topo,
+		P:             p,
+		DedicatedComm: !topo.IsNonSMP(),
+		comm:          make([]resource, topo.TotalProcs()),
+		nic:           make([]resource, topo.Nodes),
+		M:             Metrics{WireLatency: stats.NewHist()},
+	}
+}
+
+// Send models one message of `bytes` bytes from a worker in srcProc to
+// dstProc, released by the sending worker at virtual time `release` (which
+// must be >= the engine's current event time). deliver is invoked exactly once
+// when the message reaches dstProc, with the engine clock equal to `at` (the
+// delivery time); recvCharge is a cost the destination PE must pay before
+// running the handler (non-zero only in non-SMP mode, where the worker does
+// its own receive processing).
+//
+// The returned workerCharge is the time the *sending worker* spends on this
+// send (handoff in SMP mode; full send processing in non-SMP mode). The caller
+// must advance the sending PE's clock by that amount.
+func (n *Network) Send(srcProc, dstProc cluster.ProcID, bytes int, release sim.Time, deliver func(at, recvCharge sim.Time)) (workerCharge sim.Time) {
+	if srcProc == dstProc {
+		panic("netsim: Send called for intra-process message; deliver locally instead")
+	}
+	interNode := n.Topo.NodeOfProc(srcProc) != n.Topo.NodeOfProc(dstProc)
+	if interNode {
+		n.M.MessagesInterNode.Inc()
+		n.M.BytesInterNode.Add(int64(bytes))
+	} else {
+		n.M.MessagesIntraNode.Inc()
+		n.M.BytesIntraNode.Add(int64(bytes))
+	}
+
+	sendCost := n.P.commCost(n.P.CommSendOverhead, bytes)
+	recvCost := n.P.commCost(n.P.CommRecvOverhead, bytes)
+	wire := n.P.WireTime(bytes, interNode)
+
+	if n.DedicatedComm {
+		workerCharge = n.P.HandoffCost
+		handoff := release + workerCharge
+		// The comm-thread resource must be acquired at the handoff's
+		// logical time so that competing workers' messages serialize in
+		// true FIFO order; schedule an event for it.
+		n.Eng.At(handoff, func() {
+			srcDone := n.comm[srcProc].acquire(handoff, sendCost)
+			inject := srcDone
+			if interNode && n.P.NICGap > 0 {
+				inject = n.nic[n.Topo.NodeOfProc(srcProc)].acquire(srcDone, n.P.NICGap)
+			}
+			arrive := inject + wire
+			n.Eng.At(arrive, func() {
+				recvDone := n.comm[dstProc].acquire(arrive, recvCost)
+				n.M.WireLatency.Observe(int64(recvDone - handoff))
+				// The delivery callback must observe engine time ==
+				// its `at` argument, so schedule it at recvDone.
+				n.Eng.At(recvDone, func() { deliver(recvDone, 0) })
+			})
+		})
+		return workerCharge
+	}
+
+	// Non-SMP: the worker performs the send itself; the destination worker
+	// pays the receive cost when it picks the message up.
+	workerCharge = sendCost
+	depart := release + workerCharge
+	n.Eng.At(depart, func() {
+		inject := depart
+		if interNode && n.P.NICGap > 0 {
+			inject = n.nic[n.Topo.NodeOfProc(srcProc)].acquire(depart, n.P.NICGap)
+		}
+		arrive := inject + wire
+		n.Eng.At(arrive, func() {
+			n.M.WireLatency.Observe(int64(arrive - depart))
+			deliver(arrive, recvCost)
+		})
+	})
+	return workerCharge
+}
+
+// CommBusy returns the total busy time and task count of process p's comm
+// thread (zero in non-SMP mode).
+func (n *Network) CommBusy(p cluster.ProcID) (sim.Time, int64) {
+	return n.comm[p].busyTotal, n.comm[p].tasks
+}
+
+// MaxCommUtilization returns the maximum over processes of comm-thread busy
+// time divided by the elapsed run time; a value near 1 indicates the §III-A
+// serialization bottleneck.
+func (n *Network) MaxCommUtilization(elapsed sim.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	var maxBusy sim.Time
+	for i := range n.comm {
+		if n.comm[i].busyTotal > maxBusy {
+			maxBusy = n.comm[i].busyTotal
+		}
+	}
+	return float64(maxBusy) / float64(elapsed)
+}

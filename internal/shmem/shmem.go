@@ -1,0 +1,166 @@
+// Package shmem provides real (non-simulated) concurrent implementations of
+// TramLib's aggregation buffers, using goroutines and sync/atomic. It serves
+// two purposes:
+//
+//  1. It demonstrates the actual shared-memory protocols the paper's schemes
+//     imply: a single-producer buffer for WW/WPs/WsP (each worker owns its
+//     buffers — no synchronization), and a multi-producer claim/seal buffer
+//     for PP, where all workers of a process contribute to one buffer per
+//     destination through an atomic slot counter.
+//  2. Its contention benchmarks measure what the PP atomics actually cost on
+//     real hardware, justifying core.CostParams' AtomicInsert /
+//     AtomicContention calibration (§III-C's "overhead from contention when
+//     we maintain common buffers").
+//
+// The claim/seal protocol of MPBuffer: a producer atomically reserves a slot
+// with a fetch-add on `pos`. If the slot index is within capacity, it writes
+// the item and then marks completion with a fetch-add on `filled`; whoever
+// fills the LAST slot seals the batch and hands it to the consumer — every
+// batch is emitted exactly once, with no locks. Producers that overshoot
+// capacity spin-wait for the sealer to install a fresh epoch, then retry.
+package shmem
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Batch is a sealed buffer of items handed to the flush function.
+type Batch struct {
+	Items []uint64
+	// Seq is the buffer epoch (0 for the first batch, increasing).
+	Seq uint64
+}
+
+// SPBuffer is a single-producer aggregation buffer: the WW/WPs/WsP send-side
+// structure. Only one goroutine may call Push/Flush; the flush callback
+// receives ownership of the item slice.
+type SPBuffer struct {
+	cap   int
+	items []uint64
+	seq   uint64
+	emit  func(Batch)
+}
+
+// NewSPBuffer creates a single-producer buffer of the given capacity that
+// emits full batches through emit.
+func NewSPBuffer(capacity int, emit func(Batch)) *SPBuffer {
+	if capacity <= 0 {
+		panic("shmem: non-positive capacity")
+	}
+	return &SPBuffer{cap: capacity, items: make([]uint64, 0, capacity), emit: emit}
+}
+
+// Push appends one item, emitting the buffer when it fills.
+func (b *SPBuffer) Push(v uint64) {
+	b.items = append(b.items, v)
+	if len(b.items) == b.cap {
+		b.emit(Batch{Items: b.items, Seq: b.seq})
+		b.seq++
+		b.items = make([]uint64, 0, b.cap)
+	}
+}
+
+// Flush emits any buffered items as a partial (resized) batch.
+func (b *SPBuffer) Flush() {
+	if len(b.items) == 0 {
+		return
+	}
+	b.emit(Batch{Items: b.items, Seq: b.seq})
+	b.seq++
+	b.items = make([]uint64, 0, b.cap)
+}
+
+// Len returns the number of buffered items.
+func (b *SPBuffer) Len() int { return len(b.items) }
+
+// epoch is one generation of the multi-producer buffer.
+type epoch struct {
+	items  []uint64
+	pos    atomic.Int64 // next slot to claim (may overshoot cap)
+	filled atomic.Int64 // completed writes; == cap triggers seal
+}
+
+// MPBuffer is the PP scheme's shared buffer: all workers of a process push
+// into it concurrently via an atomic claim, and the producer that completes
+// the last slot seals and emits the batch. Lock-free in the common path.
+type MPBuffer struct {
+	cap  int
+	emit func(Batch)
+	cur  atomic.Pointer[epoch]
+	seq  atomic.Uint64
+
+	flushMu sync.Mutex // serializes explicit Flush with epoch rotation
+}
+
+// NewMPBuffer creates a multi-producer buffer of the given capacity.
+func NewMPBuffer(capacity int, emit func(Batch)) *MPBuffer {
+	if capacity <= 0 {
+		panic("shmem: non-positive capacity")
+	}
+	b := &MPBuffer{cap: capacity, emit: emit}
+	b.cur.Store(b.newEpoch())
+	return b
+}
+
+func (b *MPBuffer) newEpoch() *epoch {
+	return &epoch{items: make([]uint64, b.cap)}
+}
+
+// Push inserts one item from any goroutine. When the buffer fills, the
+// producer completing the final slot seals the batch, emits it, and installs
+// a fresh epoch.
+func (b *MPBuffer) Push(v uint64) {
+	for {
+		e := b.cur.Load()
+		slot := e.pos.Add(1) - 1
+		if slot >= int64(b.cap) {
+			// Buffer full (or flush-poisoned): wait for the sealer
+			// or flusher to install the next epoch, then retry.
+			for b.cur.Load() == e {
+				runtime.Gosched()
+			}
+			continue
+		}
+		e.items[slot] = v
+		if e.filled.Add(1) == int64(b.cap) {
+			// Last writer seals: install the next epoch first so
+			// spinning producers can proceed, then emit.
+			b.cur.Store(b.newEpoch())
+			b.emit(Batch{Items: e.items, Seq: b.seq.Add(1) - 1})
+		}
+		return
+	}
+}
+
+// Flush emits the current partial batch, if any. Safe to call concurrently
+// with Push; items racing with the flush land either in the emitted batch or
+// in the next epoch — never lost, never duplicated.
+//
+// The flush poisons the epoch's claim counter by jumping it past capacity in
+// one atomic add. The add's return value exactly delimits the set of slots
+// claimed for writing: earlier claimers hold slots below it, later claimers
+// land beyond capacity and retry on the fresh epoch.
+func (b *MPBuffer) Flush() {
+	b.flushMu.Lock()
+	defer b.flushMu.Unlock()
+	e := b.cur.Load()
+	claimed := e.pos.Add(int64(b.cap)) - int64(b.cap)
+	if claimed >= int64(b.cap) {
+		// The buffer filled before we poisoned it: a producer's seal
+		// is (or will be) emitting this epoch; nothing to flush.
+		return
+	}
+	// claimed < cap: no seal can occur on e (filled cannot reach cap any
+	// more), so e is still current and only we may rotate it.
+	b.cur.Store(b.newEpoch())
+	if claimed == 0 {
+		return
+	}
+	// Wait for the in-flight writers of slots [0, claimed) to land.
+	for e.filled.Load() < claimed {
+		runtime.Gosched()
+	}
+	b.emit(Batch{Items: e.items[:claimed], Seq: b.seq.Add(1) - 1})
+}

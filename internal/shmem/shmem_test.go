@@ -1,0 +1,241 @@
+package shmem
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestSPBufferEmitsFullBatches(t *testing.T) {
+	var batches []Batch
+	b := NewSPBuffer(4, func(bt Batch) { batches = append(batches, bt) })
+	for i := 0; i < 10; i++ {
+		b.Push(uint64(i))
+	}
+	if len(batches) != 2 {
+		t.Fatalf("emitted %d batches, want 2", len(batches))
+	}
+	if b.Len() != 2 {
+		t.Fatalf("buffered %d, want 2", b.Len())
+	}
+	b.Flush()
+	if len(batches) != 3 || len(batches[2].Items) != 2 {
+		t.Fatalf("flush did not emit resized batch: %+v", batches)
+	}
+	// All items exactly once, in order.
+	var got []uint64
+	for _, bt := range batches {
+		got = append(got, bt.Items...)
+	}
+	for i, v := range got {
+		if v != uint64(i) {
+			t.Fatalf("item order broken: %v", got)
+		}
+	}
+	// Batch sequence numbers increase.
+	for i, bt := range batches {
+		if bt.Seq != uint64(i) {
+			t.Fatalf("batch %d has seq %d", i, bt.Seq)
+		}
+	}
+}
+
+func TestSPBufferFlushEmptyNoop(t *testing.T) {
+	calls := 0
+	b := NewSPBuffer(4, func(Batch) { calls++ })
+	b.Flush()
+	if calls != 0 {
+		t.Fatal("empty flush emitted a batch")
+	}
+}
+
+func TestSPBufferProperty(t *testing.T) {
+	f := func(items []uint64, capRaw uint8) bool {
+		capacity := int(capRaw)%16 + 1
+		var got []uint64
+		b := NewSPBuffer(capacity, func(bt Batch) {
+			if len(bt.Items) > capacity {
+				t.Errorf("batch larger than capacity")
+			}
+			got = append(got, bt.Items...)
+		})
+		for _, v := range items {
+			b.Push(v)
+		}
+		b.Flush()
+		if len(got) != len(items) {
+			return false
+		}
+		for i := range got {
+			if got[i] != items[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMPBufferSingleProducer(t *testing.T) {
+	var mu sync.Mutex
+	var got []uint64
+	b := NewMPBuffer(8, func(bt Batch) {
+		mu.Lock()
+		got = append(got, bt.Items...)
+		mu.Unlock()
+	})
+	for i := 0; i < 64; i++ {
+		b.Push(uint64(i))
+	}
+	if len(got) != 64 {
+		t.Fatalf("received %d items, want 64", len(got))
+	}
+}
+
+func TestMPBufferConcurrentNoLossNoDup(t *testing.T) {
+	// The PP invariant: with many producers, every pushed item is emitted
+	// exactly once. Run with -race to exercise the claim/seal protocol.
+	const producers = 8
+	const perProducer = 20000
+	const capacity = 256
+
+	seen := make([]atomic.Int32, producers*perProducer)
+	var emitted atomic.Int64
+	b := NewMPBuffer(capacity, func(bt Batch) {
+		for _, v := range bt.Items {
+			seen[v].Add(1)
+		}
+		emitted.Add(int64(len(bt.Items)))
+	})
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				b.Push(uint64(p*perProducer + i))
+			}
+		}()
+	}
+	wg.Wait()
+	b.Flush()
+
+	if got := emitted.Load(); got != producers*perProducer {
+		t.Fatalf("emitted %d items, want %d", got, producers*perProducer)
+	}
+	for i := range seen {
+		if c := seen[i].Load(); c != 1 {
+			t.Fatalf("item %d emitted %d times", i, c)
+		}
+	}
+}
+
+func TestMPBufferConcurrentFlushes(t *testing.T) {
+	// Flush racing with pushes must not lose or duplicate items.
+	const producers = 4
+	const perProducer = 10000
+	seen := make([]atomic.Int32, producers*perProducer)
+	var emitted atomic.Int64
+	b := NewMPBuffer(64, func(bt Batch) {
+		for _, v := range bt.Items {
+			seen[v].Add(1)
+		}
+		emitted.Add(int64(len(bt.Items)))
+	})
+
+	var producersWG, flusherWG sync.WaitGroup
+	stop := make(chan struct{})
+	flusherWG.Add(1)
+	go func() { // concurrent flusher
+		defer flusherWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				b.Flush()
+			}
+		}
+	}()
+	for p := 0; p < producers; p++ {
+		p := p
+		producersWG.Add(1)
+		go func() {
+			defer producersWG.Done()
+			for i := 0; i < perProducer; i++ {
+				b.Push(uint64(p*perProducer + i))
+			}
+		}()
+	}
+	producersWG.Wait()
+	close(stop)
+	flusherWG.Wait()
+	b.Flush()
+
+	if got := emitted.Load(); got != producers*perProducer {
+		t.Fatalf("emitted %d items, want %d", got, producers*perProducer)
+	}
+	for i := range seen {
+		if c := seen[i].Load(); c != 1 {
+			t.Fatalf("item %d emitted %d times", i, c)
+		}
+	}
+}
+
+func TestMPBufferSealsExactBatches(t *testing.T) {
+	var batchSizes []int
+	var mu sync.Mutex
+	b := NewMPBuffer(16, func(bt Batch) {
+		mu.Lock()
+		batchSizes = append(batchSizes, len(bt.Items))
+		mu.Unlock()
+	})
+	for i := 0; i < 160; i++ {
+		b.Push(uint64(i))
+	}
+	for _, s := range batchSizes {
+		if s != 16 {
+			t.Fatalf("full batch of size %d, want 16", s)
+		}
+	}
+	if len(batchSizes) != 10 {
+		t.Fatalf("%d batches, want 10", len(batchSizes))
+	}
+}
+
+func BenchmarkSPPush(b *testing.B) {
+	buf := NewSPBuffer(1024, func(Batch) {})
+	for i := 0; i < b.N; i++ {
+		buf.Push(uint64(i))
+	}
+}
+
+// BenchmarkMPContention measures the real cost of the PP scheme's atomic
+// claim under increasing producer counts — the calibration source for
+// core.CostParams.AtomicInsert and AtomicContention (experiment A4).
+func BenchmarkMPContention(b *testing.B) {
+	for _, procs := range []int{1, 2, 4, 8} {
+		procs := procs
+		b.Run(benchName(procs), func(b *testing.B) {
+			buf := NewMPBuffer(1024, func(Batch) {})
+			b.SetParallelism(procs)
+			b.RunParallel(func(pb *testing.PB) {
+				i := uint64(0)
+				for pb.Next() {
+					buf.Push(i)
+					i++
+				}
+			})
+		})
+	}
+}
+
+func benchName(p int) string {
+	return fmt.Sprintf("producers-%d", p)
+}

@@ -1,0 +1,191 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// All of tramlib-go's cluster experiments run on this engine: virtual time is
+// an int64 nanosecond counter, events are closures ordered by (time, insertion
+// sequence), and the engine runs single-threaded so results are bit-for-bit
+// reproducible for a given seed and configuration.
+//
+// The engine intentionally has no notion of processes or networks; those live
+// in internal/netsim and internal/charm. It provides exactly three services:
+// scheduling (At/After), cancellable timers, and a run loop with quiescence
+// detection (Run returns when no events remain, which the runtime uses as
+// Charm++-style quiescence detection).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the run.
+type Time int64
+
+// Convenient virtual-time units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds returns t expressed in seconds as a float64.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros returns t expressed in microseconds as a float64.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// String formats the time with an adaptive unit, e.g. "12.3µs" or "1.204s".
+func (t Time) String() string {
+	switch {
+	case t < 10*Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < 10*Millisecond:
+		return fmt.Sprintf("%.2fµs", t.Micros())
+	case t < 10*Second:
+		return fmt.Sprintf("%.4fs", t.Seconds())
+	default:
+		return fmt.Sprintf("%.2fs", t.Seconds())
+	}
+}
+
+// event is a scheduled closure. seq breaks ties so that events scheduled
+// earlier at the same timestamp run first (FIFO at equal time), which keeps
+// the simulation deterministic.
+type event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct{ ev *event }
+
+// Cancel prevents the timer's function from running. Cancelling an
+// already-fired or already-cancelled timer is a no-op. It reports whether the
+// call stopped a pending event.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.index < 0 {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// Pending reports whether the timer is still scheduled to fire.
+func (t *Timer) Pending() bool {
+	return t != nil && t.ev != nil && !t.ev.cancelled && t.ev.index >= 0
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator. The zero value is not
+// usable; construct with NewEngine.
+type Engine struct {
+	now       Time
+	events    eventHeap
+	seq       uint64
+	stopped   bool
+	processed uint64
+}
+
+// NewEngine returns an engine with virtual time 0 and an empty event queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time. During an event callback this is the
+// event's scheduled time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events currently scheduled (including
+// cancelled-but-not-yet-popped timers).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it indicates a logic error in a cost model.
+func (e *Engine) At(t Time, fn func()) *Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d nanoseconds from now. Negative d panics.
+func (e *Engine) After(d Time, fn func()) *Timer {
+	return e.At(e.now+d, fn)
+}
+
+// Stop makes Run return after the current event completes. Pending events are
+// left in the queue.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in timestamp order until the queue is empty (quiescence)
+// or Stop is called. It returns the number of events executed by this call.
+func (e *Engine) Run() uint64 {
+	return e.RunUntil(Time(1<<62 - 1))
+}
+
+// RunUntil executes events with timestamp <= deadline. The virtual clock is
+// left at the last executed event's time (or deadline if no event exceeded
+// it but the queue still holds later events).
+func (e *Engine) RunUntil(deadline Time) uint64 {
+	e.stopped = false
+	var n uint64
+	for len(e.events) > 0 && !e.stopped {
+		next := e.events[0]
+		if next.at > deadline {
+			e.now = deadline
+			break
+		}
+		heap.Pop(&e.events)
+		if next.cancelled {
+			continue
+		}
+		e.now = next.at
+		next.fn()
+		n++
+		e.processed++
+	}
+	return n
+}
+
+// Drain removes all pending events without executing them. Useful between
+// trials that reuse an engine.
+func (e *Engine) Drain() {
+	e.events = e.events[:0]
+}

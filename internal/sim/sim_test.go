@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []Time
+	for _, d := range []Time{50, 10, 30, 20, 40} {
+		d := d
+		e.After(d, func() { order = append(order, e.Now()) })
+	}
+	e.Run()
+	want := []Time{10, 20, 30, 40, 50}
+	for i, ti := range want {
+		if order[i] != ti {
+			t.Fatalf("order[%d] = %v, want %v (full: %v)", i, order[i], ti, order)
+		}
+	}
+}
+
+func TestFIFOAtEqualTime(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(100, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.At(10, func() {
+		e.After(5, func() { fired = append(fired, e.Now()) })
+		e.At(12, func() { fired = append(fired, e.Now()) })
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != 12 || fired[1] != 15 {
+		t.Fatalf("nested events fired at %v, want [12 15]", fired)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run()
+}
+
+func TestTimerCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.At(10, func() { fired = true })
+	if !tm.Pending() {
+		t.Fatal("timer not pending after scheduling")
+	}
+	if !tm.Cancel() {
+		t.Fatal("Cancel returned false for pending timer")
+	}
+	if tm.Cancel() {
+		t.Fatal("second Cancel returned true")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestTimerCancelAfterFire(t *testing.T) {
+	e := NewEngine()
+	tm := e.At(10, func() {})
+	e.Run()
+	if tm.Pending() {
+		t.Fatal("fired timer still pending")
+	}
+	if tm.Cancel() {
+		t.Fatal("Cancel after fire returned true")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, d := range []Time{10, 20, 30} {
+		e.At(d, func() { fired = append(fired, e.Now()) })
+	}
+	n := e.RunUntil(20)
+	if n != 2 || len(fired) != 2 {
+		t.Fatalf("RunUntil(20) executed %d events (%v), want 2", n, fired)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("Now() = %v after RunUntil(20)", e.Now())
+	}
+	e.Run()
+	if len(fired) != 3 {
+		t.Fatalf("remaining event did not run: %v", fired)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.At(Time(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("Stop did not halt the run: executed %d", count)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("Pending() = %d after Stop, want 7", e.Pending())
+	}
+}
+
+func TestQuiescenceReturnsEventCount(t *testing.T) {
+	e := NewEngine()
+	e.At(5, func() { e.After(1, func() {}) })
+	if n := e.Run(); n != 2 {
+		t.Fatalf("Run() = %d events, want 2", n)
+	}
+	if e.Pending() != 0 {
+		t.Fatal("events pending after quiescence")
+	}
+}
+
+func TestDrain(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.At(1, func() { fired = true })
+	e.Drain()
+	e.Run()
+	if fired {
+		t.Fatal("drained event fired")
+	}
+}
+
+func TestDeterministicUnderLoad(t *testing.T) {
+	trace := func() []Time {
+		e := NewEngine()
+		var out []Time
+		// A small self-replicating event cascade.
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			out = append(out, e.Now())
+			if depth > 0 {
+				e.After(Time(depth), func() { spawn(depth - 1) })
+				e.After(Time(depth*2), func() { spawn(depth - 1) })
+			}
+		}
+		e.At(0, func() { spawn(6) })
+		e.Run()
+		return out
+	}
+	a, b := trace(), trace()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTimeOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var times []Time
+		for _, d := range delays {
+			e.After(Time(d), func() { times = append(times, e.Now()) })
+		}
+		e.Run()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == len(delays)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500, "500ns"},
+		{12_300, "12.30µs"},
+		{3_500_000, "3500.00µs"},
+		{1_204_000_000, "1.2040s"},
+		{25_000_000_000, "25.00s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	e := NewEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(Time(i%1000), func() {})
+		if e.Pending() > 10000 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
