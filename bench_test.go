@@ -63,11 +63,13 @@ func benchHistogram(b *testing.B, scheme core.Scheme, z, g int) {
 	cfg.UpdatesPerPE = z
 	cfg.Tram.BufferItems = g
 	cfg.SlotsPerPE = 512
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := histogram.Run(cfg)
 		if i == 0 {
 			b.ReportMetric(res.Time.Seconds()*1e3, "sim_ms")
 			b.ReportMetric(float64(res.RemoteMsgs), "msgs")
+			b.ReportMetric(float64(res.Events), "events")
 		}
 	}
 }

@@ -7,17 +7,26 @@
 //
 //	tramlab -list
 //	tramlab -fig 9                   # one figure at default (laptop) scale
-//	tramlab -all                     # everything
+//	tramlab -all                     # everything, points parallel over all cores
+//	tramlab -all -j 1                # same results, single-threaded
 //	tramlab -fig 9 -workerdiv 1 -itemdiv 1   # paper scale (heavy!)
 //	tramlab -fig 12 -csv             # machine-readable output
 //	tramlab -fig 3 -quiet            # suppress progress lines on stderr
+//	tramlab -bench-json BENCH_core.json      # emit the engine perf trajectory
+//
+// Experiment points within a figure are independent simulations; -j N runs
+// them on a deterministic worker pool (tables are byte-identical for every
+// N). -bench-json measures host-side engine performance (events/sec,
+// allocs/event, harness scaling) and writes it as JSON for perf tracking.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -34,8 +43,10 @@ func main() {
 		igdiv     = flag.Int("igdiv", 0, "extra divisor for index-gather requests (default 8*itemdiv)")
 		nodescap  = flag.Int("nodes", 0, "cap node sweeps at this many nodes (0 = figure default)")
 		seed      = flag.Uint64("seed", 1, "random seed")
+		jobs      = flag.Int("j", runtime.NumCPU(), "experiment points to run concurrently (results identical for any value)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		quiet     = flag.Bool("quiet", false, "suppress progress output on stderr")
+		benchJSON = flag.String("bench-json", "", "measure engine perf (events/sec, allocs/event, harness scaling) and write JSON to this file ('-' for stdout)")
 	)
 	flag.Parse()
 
@@ -57,12 +68,32 @@ func main() {
 		IGItemDiv: *igdiv,
 		NodesCap:  *nodescap,
 		Seed:      *seed,
+		Jobs:      *jobs,
 	}
 	var progress io.Writer = os.Stderr
 	if *quiet {
 		progress = nil
 	}
 	opts.Progress = progress
+
+	if *benchJSON != "" {
+		perf := bench.CorePerf(opts)
+		out, err := json.MarshalIndent(perf, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tramlab:", err)
+			os.Exit(1)
+		}
+		out = append(out, '\n')
+		if *benchJSON == "-" {
+			os.Stdout.Write(out)
+		} else if err := os.WriteFile(*benchJSON, out, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "tramlab:", err)
+			os.Exit(1)
+		}
+		if !*all && *fig == "" {
+			return
+		}
+	}
 
 	var ids []string
 	switch {

@@ -1,0 +1,3 @@
+module tramlib
+
+go 1.24

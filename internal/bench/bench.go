@@ -49,7 +49,13 @@ type Options struct {
 	NodesCap int
 	// Seed feeds every generator.
 	Seed uint64
+	// Jobs is the number of experiment points run concurrently (the
+	// harness worker-pool width). 0 or 1 runs points sequentially. Results
+	// are byte-identical for every value; see runPoints.
+	Jobs int
 	// Progress, if non-nil, receives one line per completed data point.
+	// Lines from concurrent points are serialized but may interleave in
+	// any order.
 	Progress io.Writer
 }
 
@@ -72,12 +78,6 @@ func (o Options) normalized() Options {
 		o.Seed = 1
 	}
 	return o
-}
-
-func (o Options) progressf(format string, args ...any) {
-	if o.Progress != nil {
-		fmt.Fprintf(o.Progress, format+"\n", args...)
-	}
 }
 
 // workersPerNode returns the scaled worker count per node (paper: 64).
@@ -162,22 +162,28 @@ func Fig3(o Options) []*stats.Table {
 	tb := stats.NewTable("Fig 3: PingAck SMP (process counts) vs non-SMP, 2 nodes",
 		"config", "time_s", "comm_util")
 
-	cfg.ProcsPerNode = 0
-	r := pingack.Run(cfg)
-	base := r.TotalTime
-	tb.AddRowf(fmt.Sprintf("non-SMP %dx1", cfg.WorkersPerNode), seconds(r.TotalTime), r.CommUtilMax)
-	o.progressf("fig3 non-SMP done: %v", r.TotalTime)
-
+	// Point 0 is non-SMP; the rest sweep the SMP process count.
+	procSweep := []int{0}
 	for _, procs := range []int{1, 2, 4, 8, 16} {
-		if procs > cfg.WorkersPerNode {
-			continue
+		if procs <= cfg.WorkersPerNode {
+			procSweep = append(procSweep, procs)
 		}
-		cfg.ProcsPerNode = procs
-		r := pingack.Run(cfg)
+	}
+	res := make([]pingack.Result, len(procSweep))
+	o.runPoints(len(procSweep), func(i int) {
+		pc := cfg
+		pc.ProcsPerNode = procSweep[i]
+		res[i] = pingack.Run(pc)
+		if procSweep[i] == 0 {
+			o.progressf("fig3 non-SMP done: %v", res[i].TotalTime)
+		} else {
+			o.progressf("fig3 SMP %dp done: %v", procSweep[i], res[i].TotalTime)
+		}
+	})
+	tb.AddRowf(fmt.Sprintf("non-SMP %dx1", cfg.WorkersPerNode), seconds(res[0].TotalTime), res[0].CommUtilMax)
+	for i, procs := range procSweep[1:] {
 		tb.AddRowf(fmt.Sprintf("SMP %dp x %dw", procs, cfg.WorkersPerNode/procs),
-			seconds(r.TotalTime), r.CommUtilMax)
-		o.progressf("fig3 SMP %dp done: %v (%.2fx non-SMP)", procs, r.TotalTime,
-			float64(r.TotalTime)/float64(base))
+			seconds(res[i+1].TotalTime), res[i+1].CommUtilMax)
 	}
 	return []*stats.Table{tb}
 }
@@ -193,11 +199,16 @@ func FigA1(o Options) []*stats.Table {
 	cfg.ProcsPerNode = 1
 	tb := stats.NewTable("A1: comm-thread saturation vs per-message work (SMP 1 proc)",
 		"work_ns_per_msg", "time_s", "comm_util")
-	for _, work := range []sim.Time{0, 100, 200, 400, 800, 1600, 3200, 6400, 12800, 25600, 51200} {
-		cfg.WorkCost = work
-		r := pingack.Run(cfg)
-		tb.AddRowf(int64(work), seconds(r.TotalTime), r.CommUtilMax)
-		o.progressf("a1 work=%dns done", int64(work))
+	works := []sim.Time{0, 100, 200, 400, 800, 1600, 3200, 6400, 12800, 25600, 51200}
+	res := make([]pingack.Result, len(works))
+	o.runPoints(len(works), func(i int) {
+		pc := cfg
+		pc.WorkCost = works[i]
+		res[i] = pingack.Run(pc)
+		o.progressf("a1 work=%dns done", int64(works[i]))
+	})
+	for i, work := range works {
+		tb.AddRowf(int64(work), seconds(res[i].TotalTime), res[i].CommUtilMax)
 	}
 	return []*stats.Table{tb}
 }
@@ -231,22 +242,35 @@ func Fig8(o Options) []*stats.Table {
 	cols = append(cols, "nonSMP")
 	tb := stats.NewTable(fmt.Sprintf("Fig 8: histogram %d updates/PE, WPs ppn sweep vs non-SMP (time_s)", z), cols...)
 
-	for _, n := range nodes {
-		row := []any{n}
-		for _, ppnPaper := range ppns {
-			ppn := ppnPaper / o.WorkerDiv
-			if ppn < 1 || w%ppn != 0 {
-				row = append(row, "-")
-				continue
-			}
-			topo := cluster.SMP(n, w/ppn, ppn)
-			r := histoPoint(o, topo, core.WPs, z, 1024)
-			row = append(row, seconds(r.Time))
-			o.progressf("fig8 n=%d ppn=%d done: %v", n, ppn, r.Time)
+	width := len(ppns) + 1 // ppn columns plus the non-SMP column
+	res := make([]histogram.Result, len(nodes)*width)
+	valid := make([]bool, len(res))
+	o.runPoints(len(res), func(i int) {
+		n := nodes[i/width]
+		c := i % width
+		if c == len(ppns) {
+			res[i] = histoPoint(o, cluster.NonSMP(n, w), core.WW, z, 1024)
+			valid[i] = true
+			o.progressf("fig8 n=%d nonSMP done: %v", n, res[i].Time)
+			return
 		}
-		r := histoPoint(o, cluster.NonSMP(n, w), core.WW, z, 1024)
-		row = append(row, seconds(r.Time))
-		o.progressf("fig8 n=%d nonSMP done: %v", n, r.Time)
+		ppn := ppns[c] / o.WorkerDiv
+		if ppn < 1 || w%ppn != 0 {
+			return
+		}
+		res[i] = histoPoint(o, cluster.SMP(n, w/ppn, ppn), core.WPs, z, 1024)
+		valid[i] = true
+		o.progressf("fig8 n=%d ppn=%d done: %v", n, ppn, res[i].Time)
+	})
+	for ni, n := range nodes {
+		row := []any{n}
+		for c := 0; c < width; c++ {
+			if i := ni*width + c; valid[i] {
+				row = append(row, seconds(res[i].Time))
+			} else {
+				row = append(row, "-")
+			}
+		}
 		tb.AddRowf(row...)
 	}
 	return []*stats.Table{tb}
@@ -261,16 +285,24 @@ func Fig9(o Options) []*stats.Table {
 	nodes := o.nodes([]int{2, 4, 8, 16, 32, 64})
 	tb := stats.NewTable(fmt.Sprintf("Fig 9: histogram %d updates/PE, weak scaling (time_s)", z),
 		"nodes", "WW", "WPs", "PP", "WsP", "nonSMP")
-	for _, n := range nodes {
-		row := []any{n}
-		for _, s := range []core.Scheme{core.WW, core.WPs, core.PP, core.WsP} {
-			r := histoPoint(o, o.smpTopo(n), s, z, 1024)
-			row = append(row, seconds(r.Time))
-			o.progressf("fig9 n=%d %v done: %v (msgs=%d flush=%d)", n, s, r.Time, r.RemoteMsgs, r.FlushMsgs)
+	schemes := []core.Scheme{core.WW, core.WPs, core.PP, core.WsP}
+	width := len(schemes) + 1
+	res := make([]histogram.Result, len(nodes)*width)
+	o.runPoints(len(res), func(i int) {
+		n := nodes[i/width]
+		if c := i % width; c < len(schemes) {
+			res[i] = histoPoint(o, o.smpTopo(n), schemes[c], z, 1024)
+			o.progressf("fig9 n=%d %v done: %v (msgs=%d flush=%d)", n, schemes[c], res[i].Time, res[i].RemoteMsgs, res[i].FlushMsgs)
+		} else {
+			res[i] = histoPoint(o, cluster.NonSMP(n, o.workersPerNode()), core.WW, z, 1024)
+			o.progressf("fig9 n=%d nonSMP done: %v", n, res[i].Time)
 		}
-		r := histoPoint(o, cluster.NonSMP(n, o.workersPerNode()), core.WW, z, 1024)
-		row = append(row, seconds(r.Time))
-		o.progressf("fig9 n=%d nonSMP done: %v", n, r.Time)
+	})
+	for ni, n := range nodes {
+		row := []any{n}
+		for c := 0; c < width; c++ {
+			row = append(row, seconds(res[ni*width+c].Time))
+		}
 		tb.AddRowf(row...)
 	}
 	return []*stats.Table{tb}
@@ -285,12 +317,18 @@ func Fig10(o Options) []*stats.Table {
 	const nodes = 8
 	tb := stats.NewTable(fmt.Sprintf("Fig 10: histogram %d updates/PE, 8 nodes, buffer-size sweep (time_s)", z),
 		"buffer", "WW", "WPs", "PP")
-	for _, g := range []int{512, 1024, 2048, 4096} {
+	gs := []int{512, 1024, 2048, 4096}
+	schemes := []core.Scheme{core.WW, core.WPs, core.PP}
+	res := make([]histogram.Result, len(gs)*len(schemes))
+	o.runPoints(len(res), func(i int) {
+		g, s := gs[i/len(schemes)], schemes[i%len(schemes)]
+		res[i] = histoPoint(o, o.smpTopo(nodes), s, z, g)
+		o.progressf("fig10 g=%d %v done: %v", g, s, res[i].Time)
+	})
+	for gi, g := range gs {
 		row := []any{g}
-		for _, s := range []core.Scheme{core.WW, core.WPs, core.PP} {
-			r := histoPoint(o, o.smpTopo(nodes), s, z, g)
-			row = append(row, seconds(r.Time))
-			o.progressf("fig10 g=%d %v done: %v", g, s, r.Time)
+		for c := range schemes {
+			row = append(row, seconds(res[gi*len(schemes)+c].Time))
 		}
 		tb.AddRowf(row...)
 	}
@@ -306,15 +344,19 @@ func Fig11(o Options) []*stats.Table {
 	nodes := o.nodes([]int{2, 4, 8, 16})
 	tb := stats.NewTable(fmt.Sprintf("Fig 11: histogram %d updates/PE, flush-dominated regime (time_s)", z),
 		"nodes", "WW_g512", "WPs_g1024", "PP_g1024", "WsP_g1024")
-	for _, n := range nodes {
+	// Column 0 is WW at g=512; the rest run at g=1024.
+	schemes := []core.Scheme{core.WW, core.WPs, core.PP, core.WsP}
+	gs := []int{512, 1024, 1024, 1024}
+	res := make([]histogram.Result, len(nodes)*len(schemes))
+	o.runPoints(len(res), func(i int) {
+		n, c := nodes[i/len(schemes)], i%len(schemes)
+		res[i] = histoPoint(o, o.smpTopo(n), schemes[c], z, gs[c])
+		o.progressf("fig11 n=%d %v done: %v", n, schemes[c], res[i].Time)
+	})
+	for ni, n := range nodes {
 		row := []any{n}
-		r := histoPoint(o, o.smpTopo(n), core.WW, z, 512)
-		row = append(row, seconds(r.Time))
-		o.progressf("fig11 n=%d WW done: %v", n, r.Time)
-		for _, s := range []core.Scheme{core.WPs, core.PP, core.WsP} {
-			r := histoPoint(o, o.smpTopo(n), s, z, 1024)
-			row = append(row, seconds(r.Time))
-			o.progressf("fig11 n=%d %v done: %v", n, s, r.Time)
+		for c := range schemes {
+			row = append(row, seconds(res[ni*len(schemes)+c].Time))
 		}
 		tb.AddRowf(row...)
 	}
@@ -335,17 +377,23 @@ func Fig12and13(o Options) []*stats.Table {
 		"nodes", "WW", "WPs", "PP")
 	tot := stats.NewTable(fmt.Sprintf("Fig 13: index-gather %d requests/PE, total time (s)", z),
 		"nodes", "WW", "WPs", "PP")
-	for _, n := range nodes {
+	schemes := []core.Scheme{core.WW, core.WPs, core.PP}
+	res := make([]indexgather.Result, len(nodes)*len(schemes))
+	o.runPoints(len(res), func(i int) {
+		n, s := nodes[i/len(schemes)], schemes[i%len(schemes)]
+		cfg := indexgather.DefaultConfig(o.smpTopo(n), s)
+		cfg.RequestsPerPE = z
+		cfg.Seed = o.Seed
+		res[i] = indexgather.Run(cfg)
+		o.progressf("fig12/13 n=%d %v done: time=%v lat=%.0fns", n, s, res[i].Time, res[i].Latency.Mean())
+	})
+	for ni, n := range nodes {
 		lrow := []any{n}
 		trow := []any{n}
-		for _, s := range []core.Scheme{core.WW, core.WPs, core.PP} {
-			cfg := indexgather.DefaultConfig(o.smpTopo(n), s)
-			cfg.RequestsPerPE = z
-			cfg.Seed = o.Seed
-			r := indexgather.Run(cfg)
+		for c := range schemes {
+			r := res[ni*len(schemes)+c]
 			lrow = append(lrow, sim.Time(int64(r.Latency.Mean())).Micros())
 			trow = append(trow, seconds(r.Time))
-			o.progressf("fig12/13 n=%d %v done: time=%v lat=%.0fns", n, s, r.Time, r.Latency.Mean())
 		}
 		lat.AddRowf(lrow...)
 		tot.AddRowf(trow...)
@@ -364,23 +412,28 @@ func Fig14and15(o Options) []*stats.Table {
 		"procs", "WW", "WPs", "PP")
 	wasteTb := stats.NewTable(fmt.Sprintf("Fig 15: SSSP %dM vertices, wasted updates per 1000 useful", n>>20),
 		"procs", "WW", "WPs", "PP")
-	for _, procs := range []int{8, 16, 32} {
+	procSweep := []int{8, 16, 32}
+	schemes := []core.Scheme{core.WW, core.WPs, core.PP}
+	res := make([]sssp.Result, len(procSweep)*len(schemes))
+	o.runPoints(len(res), func(i int) {
+		procs, s := procSweep[i/len(schemes)], schemes[i%len(schemes)]
+		// The x axis is the process count; processes keep the paper's 8
+		// workers each (the graph is already scaled by ItemDiv), so WW's
+		// per-worker buffer count grows with the sweep as in the paper.
+		topo := cluster.SMP(procs/8, 8, 8)
+		if procs < 8 {
+			topo = cluster.SMP(1, procs, 8)
+		}
+		res[i] = sssp.Run(sssp.DefaultConfig(topo, s, g))
+		o.progressf("fig14/15 procs=%d %v done: time=%v wasted=%d", procs, s, res[i].Time, res[i].Wasted)
+	})
+	for pi, procs := range procSweep {
 		trow := []any{procs}
 		wrow := []any{procs}
-		for _, s := range []core.Scheme{core.WW, core.WPs, core.PP} {
-			// The x axis is the process count; processes keep the
-			// paper's 8 workers each (the graph is already scaled by
-			// ItemDiv), so WW's per-worker buffer count grows with
-			// the sweep as in the paper.
-			topo := cluster.SMP(procs/8, 8, 8)
-			if procs < 8 {
-				topo = cluster.SMP(1, procs, 8)
-			}
-			cfg := sssp.DefaultConfig(topo, s, g)
-			r := sssp.Run(cfg)
+		for c := range schemes {
+			r := res[pi*len(schemes)+c]
 			trow = append(trow, seconds(r.Time))
 			wrow = append(wrow, r.WastedNorm)
-			o.progressf("fig14/15 procs=%d %v done: time=%v wasted=%d", procs, s, r.Time, r.Wasted)
 		}
 		timeTb.AddRowf(trow...)
 		wasteTb.AddRowf(wrow...)
@@ -399,15 +452,21 @@ func Fig16and17(o Options) []*stats.Table {
 		"nodes", "WW", "WPs")
 	wasteTb := stats.NewTable(fmt.Sprintf("Fig 17: SSSP %dM vertices, wasted updates per 1000 useful", n>>20),
 		"nodes", "WW", "WPs")
-	for _, nn := range o.nodes([]int{1, 2, 4, 8}) {
+	nodes := o.nodes([]int{1, 2, 4, 8})
+	schemes := []core.Scheme{core.WW, core.WPs}
+	res := make([]sssp.Result, len(nodes)*len(schemes))
+	o.runPoints(len(res), func(i int) {
+		nn, s := nodes[i/len(schemes)], schemes[i%len(schemes)]
+		res[i] = sssp.Run(sssp.DefaultConfig(o.smpTopo(nn), s, g))
+		o.progressf("fig16/17 n=%d %v done: time=%v wasted=%d", nn, s, res[i].Time, res[i].Wasted)
+	})
+	for ni, nn := range nodes {
 		trow := []any{nn}
 		wrow := []any{nn}
-		for _, s := range []core.Scheme{core.WW, core.WPs} {
-			cfg := sssp.DefaultConfig(o.smpTopo(nn), s, g)
-			r := sssp.Run(cfg)
+		for c := range schemes {
+			r := res[ni*len(schemes)+c]
 			trow = append(trow, seconds(r.Time))
 			wrow = append(wrow, r.WastedNorm)
-			o.progressf("fig16/17 n=%d %v done: time=%v wasted=%d", nn, s, r.Time, r.Wasted)
 		}
 		timeTb.AddRowf(trow...)
 		wasteTb.AddRowf(wrow...)
@@ -426,19 +485,25 @@ func Fig18(o Options) []*stats.Table {
 	budget := int64(o.items(32 << 20))
 	tb := stats.NewTable(fmt.Sprintf("Fig 18: PHOLD, rejected updates in millions (ppn %d, budget %dM events)", ppn, budget>>20),
 		"procs", "WW", "WPs", "PP", "WW_time_s", "WPs_time_s", "PP_time_s")
-	for _, procs := range []int{2, 4} {
+	procSweep := []int{2, 4}
+	schemes := []core.Scheme{core.WW, core.WPs, core.PP}
+	res := make([]phold.Result, len(procSweep)*len(schemes))
+	o.runPoints(len(res), func(i int) {
+		procs, s := procSweep[i/len(schemes)], schemes[i%len(schemes)]
+		cfg := phold.DefaultConfig(cluster.SMP(procs, 1, ppn), s)
+		cfg.EventsBudget = budget
+		cfg.Seed = o.Seed
+		res[i] = phold.Run(cfg)
+		o.progressf("fig18 procs=%d %v done: wasted=%d (%.1f%%) time=%v",
+			procs, s, res[i].Wasted, 100*res[i].WastedFrac, res[i].Time)
+	})
+	for pi, procs := range procSweep {
 		row := []any{procs}
 		times := []any{}
-		for _, s := range []core.Scheme{core.WW, core.WPs, core.PP} {
-			topo := cluster.SMP(procs, 1, ppn)
-			cfg := phold.DefaultConfig(topo, s)
-			cfg.EventsBudget = budget
-			cfg.Seed = o.Seed
-			r := phold.Run(cfg)
+		for c := range schemes {
+			r := res[pi*len(schemes)+c]
 			row = append(row, float64(r.Wasted)/1e6)
 			times = append(times, seconds(r.Time))
-			o.progressf("fig18 procs=%d %v done: wasted=%d (%.1f%%) time=%v",
-				procs, s, r.Wasted, 100*r.WastedFrac, r.Time)
 		}
 		row = append(row, times...)
 		tb.AddRowf(row...)

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// The experiment points of a figure — one (topology, scheme, workload)
+// configuration each — are independent simulations: every point builds its
+// own engine, runtime, network, and TramLib instance, so they parallelize
+// across real cores with no shared mutable state. runPoints is the worker
+// pool that exploits that.
+//
+// Determinism: results are written into index-addressed slots and tables are
+// assembled only after every point completes, so the output is byte-identical
+// for any Jobs value (including 1). Only the interleaving of progress lines
+// on stderr depends on scheduling.
+
+// progressMu serializes progress lines from concurrent points.
+var progressMu sync.Mutex
+
+func (o Options) progressf(format string, args ...any) {
+	if o.Progress == nil {
+		return
+	}
+	progressMu.Lock()
+	defer progressMu.Unlock()
+	fmt.Fprintf(o.Progress, format+"\n", args...)
+}
+
+// jobs returns the worker count: Options.Jobs, defaulting to 1 (callers that
+// want all cores pass runtime.NumCPU, as cmd/tramlab's -j flag does).
+func (o Options) jobs() int {
+	if o.Jobs > 0 {
+		return o.Jobs
+	}
+	return 1
+}
+
+// runPoints executes fn(i) for every i in [0, n), distributing points over
+// min(jobs, n) goroutines via an atomic work counter. fn must confine its
+// writes to state owned by point i (typically an index-addressed result
+// slot); reads of shared inputs (Options, graphs, configs passed by value)
+// are safe because points never mutate them.
+func (o Options) runPoints(n int, fn func(i int)) {
+	j := o.jobs()
+	if j > n {
+		j = n
+	}
+	if j <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(j)
+	for w := 0; w < j; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				fn(int(i))
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"runtime"
+	"time"
+
+	"tramlib/internal/apps/histogram"
+	"tramlib/internal/cluster"
+	"tramlib/internal/core"
+	"tramlib/internal/rng"
+	"tramlib/internal/sim"
+)
+
+// This file measures the engine's real-world (wall-clock) performance, as
+// opposed to the simulated metrics the figure runners report. cmd/tramlab's
+// -bench-json flag serializes the result to BENCH_core.json, giving future
+// changes a committed perf trajectory to compare against.
+
+// PerfPoint is one measured workload.
+type PerfPoint struct {
+	Name string `json:"name"`
+	// WallMS is host wall-clock time for the workload.
+	WallMS float64 `json:"wall_ms"`
+	// Events is the number of simulator events executed (0 where the
+	// workload is not event-based, e.g. harness scaling points).
+	Events uint64 `json:"events,omitempty"`
+	// EventsPerSec is Events divided by wall time.
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	// AllocsPerEvent and BytesPerEvent are heap allocation counts/bytes
+	// per simulator event (from runtime.MemStats deltas).
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
+	// SimMS is the simulated makespan, where applicable. It must be
+	// identical across engine refactors for a fixed seed (determinism
+	// guard; the wall columns are the ones that may improve).
+	SimMS float64 `json:"sim_ms,omitempty"`
+}
+
+// Perf is the BENCH_core.json document.
+type Perf struct {
+	Schema string      `json:"schema"`
+	Go     string      `json:"go"`
+	NumCPU int         `json:"num_cpu"`
+	Points []PerfPoint `json:"points"`
+}
+
+// measure runs f with allocation accounting and returns the filled point.
+func measure(name string, f func() (events uint64, simMS float64)) PerfPoint {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	events, simMS := f()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	p := PerfPoint{
+		Name:   name,
+		WallMS: float64(wall) / 1e6,
+		Events: events,
+		SimMS:  simMS,
+	}
+	if events > 0 {
+		p.EventsPerSec = float64(events) / wall.Seconds()
+		p.AllocsPerEvent = float64(m1.Mallocs-m0.Mallocs) / float64(events)
+		p.BytesPerEvent = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(events)
+	}
+	return p
+}
+
+// CorePerf measures the hot-path perf trajectory:
+//
+//   - engine-churn: raw schedule/run throughput of the event queue alone.
+//   - histogram-*: end-to-end figure workloads (engine + runtime + netsim +
+//     TramLib seal/deliver path) for an SMP-aware and the SMP-unaware scheme.
+//   - fig11-j*: wall time of a full figure sweep at 1 worker vs all cores,
+//     measuring the parallel harness speedup.
+func CorePerf(o Options) Perf {
+	o = o.normalized()
+	perf := Perf{
+		Schema: "tramlib-core-perf/v1",
+		Go:     runtime.Version(),
+		NumCPU: runtime.NumCPU(),
+	}
+
+	perf.Points = append(perf.Points, measure("engine-churn", func() (uint64, float64) {
+		const n = 1 << 21
+		e := sim.NewEngine()
+		r := rng.NewStream(o.Seed, 0)
+		fn := func() {}
+		for i := 0; i < n; i++ {
+			e.After(sim.Time(r.Uint64()%1024), fn)
+			if e.Pending() >= 4096 {
+				e.Run()
+			}
+		}
+		e.Run()
+		return e.Processed(), 0
+	}))
+
+	histo := func(scheme core.Scheme) func() (uint64, float64) {
+		return func() (uint64, float64) {
+			cfg := histogram.DefaultConfig(cluster.SMP(4, 2, 4), scheme)
+			cfg.UpdatesPerPE = 1 << 16
+			cfg.SlotsPerPE = 512
+			cfg.Seed = o.Seed
+			r := histogram.Run(cfg)
+			return r.Events, r.Time.Seconds() * 1e3
+		}
+	}
+	perf.Points = append(perf.Points,
+		measure("histogram-wps", histo(core.WPs)),
+		measure("histogram-ww", histo(core.WW)),
+	)
+
+	fig11 := func(jobs int) func() (uint64, float64) {
+		return func() (uint64, float64) {
+			fo := o
+			fo.Jobs = jobs
+			fo.Progress = nil
+			Fig11(fo)
+			return 0, 0
+		}
+	}
+	perf.Points = append(perf.Points,
+		measure("fig11-j1", fig11(1)),
+		measure("fig11-jmax", fig11(runtime.NumCPU())),
+	)
+	return perf
+}

@@ -49,6 +49,63 @@ type message struct {
 	enqueuedAt sim.Time
 }
 
+// delivery is a pooled engine-event node that enqueues one message at its
+// release time. Its two closures (fn for timed enqueues, deliverFn for
+// network-delivery callbacks) are allocated once per node, so steady-state
+// sends and timers schedule engine events without allocating. A node returns
+// to the pool when it runs; a node whose timer is cancelled is simply dropped
+// to the garbage collector (the engine clears its closure reference).
+type delivery struct {
+	rt        *Runtime
+	pe        *PE            // destination; nil selects round-robin in proc
+	proc      cluster.ProcID // destination process when pe == nil
+	m         message
+	expedited bool
+	fn        func()
+	deliverFn func(at, recvCharge sim.Time)
+}
+
+func (rt *Runtime) getDelivery(pe *PE, proc cluster.ProcID, m message, expedited bool) *delivery {
+	var d *delivery
+	if n := len(rt.deliveryPool); n > 0 {
+		d = rt.deliveryPool[n-1]
+		rt.deliveryPool = rt.deliveryPool[:n-1]
+	} else {
+		d = &delivery{}
+		d.fn = d.run
+		d.deliverFn = d.deliverAt
+	}
+	d.rt = rt
+	d.pe = pe
+	d.proc = proc
+	d.m = m
+	d.expedited = expedited
+	return d
+}
+
+// run releases the node back to the pool and enqueues its message. Freeing
+// first is safe — enqueue schedules only the PE's preallocated pump closure —
+// and lets nested sends reuse the node immediately.
+func (d *delivery) run() {
+	rt, pe, m, exp := d.rt, d.pe, d.m, d.expedited
+	if pe == nil {
+		// Process-addressed delivery: pick the receiving PE at delivery
+		// time (Charm++ nodegroup round-robin), as the seed runtime did.
+		pe = rt.pes[rt.nextRR(d.proc)]
+	}
+	d.pe = nil
+	d.m = message{}
+	rt.deliveryPool = append(rt.deliveryPool, d)
+	rt.enqueue(pe, m, exp)
+}
+
+// deliverAt adapts run to netsim's delivery callback signature.
+func (d *delivery) deliverAt(at, recvCharge sim.Time) {
+	d.m.enqueuedAt = at
+	d.m.recvCharge = recvCharge
+	d.run()
+}
+
 // fifo is an amortized O(1) queue of messages.
 type fifo struct {
 	buf  []message
@@ -83,6 +140,15 @@ type PE struct {
 	scheduled bool // a pump or idle event is pending
 	idleFns   []IdleFunc
 
+	// pumpFn and idleFn are the PE's scheduler closures, and ctx its
+	// handler context, allocated once at construction so the per-handler
+	// execution path is allocation-free. Reusing ctx is sound because a PE
+	// is a serial actor: one handler (or idle hook) runs at a time, and
+	// the Ctx contract does not allow retaining it past the handler.
+	pumpFn func()
+	idleFn func()
+	ctx    Ctx
+
 	Messages int64 // handlers executed
 	BusyTime sim.Time
 }
@@ -113,10 +179,11 @@ type Runtime struct {
 	// send (shared-memory queue push + wakeup).
 	LocalDeliverLatency sim.Time
 
-	pes      []*PE
-	handlers []HandlerFunc
-	names    []string
-	procRR   []int32 // round-robin cursor per process for proc-addressed sends
+	pes          []*PE
+	handlers     []HandlerFunc
+	names        []string
+	procRR       []int32     // round-robin cursor per process for proc-addressed sends
+	deliveryPool []*delivery // recycled send/timer event nodes
 
 	lastIdle sim.Time // latest time any PE finished its last handler
 
@@ -139,11 +206,23 @@ func NewRuntime(topo cluster.Topology, params netsim.Params) *Runtime {
 	rt.pes = make([]*PE, topo.TotalWorkers())
 	for i := range rt.pes {
 		w := cluster.WorkerID(i)
-		rt.pes[i] = &PE{
+		pe := &PE{
 			id:   w,
 			proc: topo.ProcOf(w),
 			rt:   rt,
 		}
+		pe.pumpFn = func() { rt.pump(pe) }
+		pe.idleFn = func() {
+			pe.scheduled = false
+			if !pe.expedited.empty() || !pe.normal.empty() {
+				// A message arrived between handler end and the idle event.
+				pe.scheduled = true
+				rt.pump(pe)
+				return
+			}
+			rt.idle(pe)
+		}
+		rt.pes[i] = pe
 	}
 	return rt
 }
@@ -197,7 +276,7 @@ func (rt *Runtime) enqueue(pe *PE, m message, expedited bool) {
 		if pe.busyUntil > at {
 			at = pe.busyUntil
 		}
-		rt.Eng.At(at, func() { rt.pump(pe) })
+		rt.Eng.At(at, pe.pumpFn)
 	}
 }
 
@@ -221,9 +300,10 @@ func (rt *Runtime) pump(pe *PE) {
 	if pe.busyUntil > start {
 		start = pe.busyUntil
 	}
-	ctx := Ctx{rt: rt, pe: pe, now: start}
+	pe.ctx = Ctx{rt: rt, pe: pe, now: start}
+	ctx := &pe.ctx
 	ctx.Charge(rt.HandlerOverhead + m.recvCharge)
-	rt.handlers[m.handler](&ctx, m.data, m.bytes)
+	rt.handlers[m.handler](ctx, m.data, m.bytes)
 	pe.BusyTime += ctx.now - start
 	pe.Messages++
 	pe.busyUntil = ctx.now
@@ -231,21 +311,12 @@ func (rt *Runtime) pump(pe *PE) {
 		rt.lastIdle = pe.busyUntil
 	}
 	if !pe.expedited.empty() || !pe.normal.empty() {
-		rt.Eng.At(pe.busyUntil, func() { rt.pump(pe) })
+		rt.Eng.At(pe.busyUntil, pe.pumpFn)
 		return
 	}
 	// Schedule the idle transition at the handler's end time so that idle
 	// hooks observe the correct clock and quiescence time is exact.
-	rt.Eng.At(pe.busyUntil, func() {
-		pe.scheduled = false
-		if !pe.expedited.empty() || !pe.normal.empty() {
-			// A message arrived between handler end and the idle event.
-			pe.scheduled = true
-			rt.pump(pe)
-			return
-		}
-		rt.idle(pe)
-	})
+	rt.Eng.At(pe.busyUntil, pe.idleFn)
 }
 
 // idle runs the PE's idle hooks. Hooks run in a context starting at the PE's
@@ -258,9 +329,10 @@ func (rt *Runtime) idle(pe *PE) {
 	if pe.busyUntil > start {
 		start = pe.busyUntil
 	}
-	ctx := Ctx{rt: rt, pe: pe, now: start}
+	pe.ctx = Ctx{rt: rt, pe: pe, now: start}
+	ctx := &pe.ctx
 	for _, fn := range pe.idleFns {
-		fn(&ctx)
+		fn(ctx)
 	}
 	pe.BusyTime += ctx.now - start
 	pe.busyUntil = ctx.now
@@ -301,18 +373,13 @@ func (c *Ctx) Send(to cluster.WorkerID, h HandlerID, data any, bytes int, expedi
 		rt.MessagesLocal++
 		c.Charge(rt.LocalSendCharge)
 		arrive := c.now + rt.LocalDeliverLatency
-		dst := rt.pes[to]
-		rt.Eng.At(arrive, func() {
-			rt.enqueue(dst, message{handler: h, data: data, bytes: bytes, enqueuedAt: arrive}, expedited)
-		})
+		d := rt.getDelivery(rt.pes[to], 0, message{handler: h, data: data, bytes: bytes, enqueuedAt: arrive}, expedited)
+		rt.Eng.At(arrive, d.fn)
 		return
 	}
 	rt.MessagesRemote++
-	dst := rt.pes[to]
-	charge := rt.Net.Send(c.pe.proc, dstProc, bytes, c.now, func(at, recvCharge sim.Time) {
-		rt.enqueue(dst, message{handler: h, data: data, bytes: bytes, recvCharge: recvCharge, enqueuedAt: at}, expedited)
-	})
-	c.Charge(charge)
+	d := rt.getDelivery(rt.pes[to], 0, message{handler: h, data: data, bytes: bytes}, expedited)
+	c.Charge(rt.Net.Send(c.pe.proc, dstProc, bytes, c.now, d.deliverFn))
 }
 
 // SendToProc delivers a message to process p; the runtime picks the receiving
@@ -328,12 +395,8 @@ func (c *Ctx) SendToProc(p cluster.ProcID, h HandlerID, data any, bytes int, exp
 		return
 	}
 	rt.MessagesRemote++
-	charge := rt.Net.Send(c.pe.proc, p, bytes, c.now, func(at, recvCharge sim.Time) {
-		to := rt.nextRR(p)
-		dst := rt.pes[to]
-		rt.enqueue(dst, message{handler: h, data: data, bytes: bytes, recvCharge: recvCharge, enqueuedAt: at}, expedited)
-	})
-	c.Charge(charge)
+	d := rt.getDelivery(nil, p, message{handler: h, data: data, bytes: bytes}, expedited)
+	c.Charge(rt.Net.Send(c.pe.proc, p, bytes, c.now, d.deliverFn))
 }
 
 func (rt *Runtime) nextRR(p cluster.ProcID) cluster.WorkerID {
@@ -345,21 +408,18 @@ func (rt *Runtime) nextRR(p cluster.ProcID) cluster.WorkerID {
 // After schedules fn to run on this PE's context d nanoseconds after the
 // handler's current cursor, as an expedited zero-byte self-message. Used for
 // timeout-based flushes. The returned timer can be cancelled.
-func (c *Ctx) After(d sim.Time, h HandlerID, data any) *sim.Timer {
+func (c *Ctx) After(d sim.Time, h HandlerID, data any) sim.Timer {
 	rt := c.rt
-	pe := c.pe
 	at := c.now + d
-	return rt.Eng.At(at, func() {
-		rt.enqueue(pe, message{handler: h, data: data, enqueuedAt: at}, true)
-	})
+	del := rt.getDelivery(c.pe, 0, message{handler: h, data: data, enqueuedAt: at}, true)
+	return rt.Eng.At(at, del.fn)
 }
 
 // TimerAt schedules a handler message on worker w at absolute time t, from
 // outside a handler context (runtime-level timers).
-func (rt *Runtime) TimerAt(t sim.Time, w cluster.WorkerID, h HandlerID, data any) *sim.Timer {
-	return rt.Eng.At(t, func() {
-		rt.enqueue(rt.pes[w], message{handler: h, data: data, enqueuedAt: t}, true)
-	})
+func (rt *Runtime) TimerAt(t sim.Time, w cluster.WorkerID, h HandlerID, data any) sim.Timer {
+	d := rt.getDelivery(rt.pes[w], 0, message{handler: h, data: data, enqueuedAt: t}, true)
+	return rt.Eng.At(t, d.fn)
 }
 
 // QueueLen returns the number of pending messages on worker w (diagnostics).

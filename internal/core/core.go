@@ -27,6 +27,15 @@
 // §III-C analyzes: per-item insert, atomic insert with contention (PP),
 // grouping O(g+t) at source (WsP) or destination (WPs/PP), per-item delivery,
 // and per-message packing.
+//
+// # Pooling invariants
+//
+// The seal/deliver hot path recycles packets and their backing arrays on the
+// Lib (see the packet type for the full ownership rules): a packet travels
+// through the runtime exactly once and is released after delivery; buffer
+// backing arrays swap with delivered packets' storage on seal/flush.
+// Applications are unaffected — DeliverFunc receives scalar payloads and must
+// not retain the Ctx past the handler.
 package core
 
 import (
@@ -245,7 +254,19 @@ type run struct {
 	n    int32
 }
 
-// packet is one aggregated message.
+// packet is one aggregated message. Packets and their backing arrays are
+// pooled on the Lib: a packet is acquired at seal time, travels through the
+// runtime exactly once, and is released back to the pool after its items are
+// delivered (onPacket). Ownership rules:
+//
+//   - An owned packet (parent == nil) owns payloads/born/dests; releasing it
+//     returns those arrays to the Lib's slice pools.
+//   - A scatter sub-packet (parent != nil) aliases a window of its parent's
+//     arrays; releasing it only drops the parent's reference count, and the
+//     parent's arrays are recycled when the last sub-packet is delivered.
+//   - Single-item packets (Direct sends, SMP-local delivery, priority items)
+//     store their payload in the packet's inline arrays (inlined == true), so
+//     they carry no separately pooled storage at all.
 type packet struct {
 	kind     packetKind
 	payloads []uint64
@@ -253,6 +274,13 @@ type packet struct {
 	dests    []cluster.WorkerID
 	runs     []run
 	priority bool // sent by InsertPriority (latency tracked separately)
+
+	parent  *packet // run-scatter parent whose arrays we alias
+	refs    int32   // outstanding sub-packets referencing our arrays
+	inlined bool    // payloads/born alias the inline arrays below
+
+	inlineVal  [1]uint64
+	inlineBorn [1]sim.Time
 }
 
 // buffer is one aggregation buffer. Arrays grow by appending, so partially
@@ -290,6 +318,16 @@ type Lib struct {
 
 	hPacket charm.HandlerID
 	hTimer  charm.HandlerID
+
+	// Recycling pools for the seal/deliver hot path. The engine is
+	// single-threaded, so plain slices suffice; they grow to the peak number
+	// of in-flight packets and then scheduling is allocation-free.
+	pktPool     []*packet
+	payloadPool [][]uint64
+	bornPool    [][]sim.Time
+	destsPool   [][]cluster.WorkerID
+	groupCounts []int32 // counting-sort scratch (groupPacket)
+	groupCursor []int32
 
 	M Metrics
 }
@@ -343,6 +381,149 @@ func New(rt *charm.Runtime, cfg Config, deliver DeliverFunc) *Lib {
 // Config returns the library's configuration.
 func (l *Lib) Config() Config { return l.cfg }
 
+// --- packet and slice recycling ---
+
+// sliceCap is the capacity of freshly allocated pooled arrays: one buffer's
+// worth of items, so a recycled array always fits a sealed buffer.
+func (l *Lib) sliceCap() int {
+	if l.cfg.BufferItems > 0 {
+		return l.cfg.BufferItems
+	}
+	return 1
+}
+
+// getPacket returns a zeroed packet from the pool.
+func (l *Lib) getPacket() *packet {
+	if n := len(l.pktPool); n > 0 {
+		p := l.pktPool[n-1]
+		l.pktPool = l.pktPool[:n-1]
+		return p
+	}
+	return &packet{}
+}
+
+// itemPacket builds a single-item pkToWorker packet with inline storage.
+func (l *Lib) itemPacket(ctx *charm.Ctx, value uint64, priority bool) *packet {
+	pkt := l.getPacket()
+	pkt.kind = pkToWorker
+	pkt.priority = priority
+	pkt.inlined = true
+	pkt.inlineVal[0] = value
+	pkt.payloads = pkt.inlineVal[:1]
+	if l.cfg.TrackLatency {
+		pkt.inlineBorn[0] = ctx.Now()
+		pkt.born = pkt.inlineBorn[:1]
+	}
+	return pkt
+}
+
+// putPayloads/putBorn/putDests return arrays to the pools. Arrays below full
+// buffer capacity (append-grown backing of buffers sealed early by a flush)
+// are dropped to the GC instead: every pooled array then fits a full buffer,
+// so refilled buffers never reallocate mid-fill and groupPacket never pops an
+// array it cannot use.
+func (l *Lib) putPayloads(s []uint64) {
+	if cap(s) >= l.sliceCap() {
+		l.payloadPool = append(l.payloadPool, s[:0])
+	}
+}
+
+func (l *Lib) putBorn(s []sim.Time) {
+	if cap(s) >= l.sliceCap() {
+		l.bornPool = append(l.bornPool, s[:0])
+	}
+}
+
+func (l *Lib) putDests(s []cluster.WorkerID) {
+	if cap(s) >= l.sliceCap() {
+		l.destsPool = append(l.destsPool, s[:0])
+	}
+}
+
+func (l *Lib) getPayloads() []uint64 {
+	if n := len(l.payloadPool); n > 0 {
+		s := l.payloadPool[n-1][:0]
+		l.payloadPool = l.payloadPool[:n-1]
+		return s
+	}
+	return make([]uint64, 0, l.sliceCap())
+}
+
+func (l *Lib) getBorn() []sim.Time {
+	if n := len(l.bornPool); n > 0 {
+		s := l.bornPool[n-1][:0]
+		l.bornPool = l.bornPool[:n-1]
+		return s
+	}
+	return make([]sim.Time, 0, l.sliceCap())
+}
+
+func (l *Lib) getDests() []cluster.WorkerID {
+	if n := len(l.destsPool); n > 0 {
+		s := l.destsPool[n-1][:0]
+		l.destsPool = l.destsPool[:n-1]
+		return s
+	}
+	return make([]cluster.WorkerID, 0, l.sliceCap())
+}
+
+// releasePacket returns a delivered packet to the pool. Owned packets with
+// outstanding sub-packet references are kept alive until the last reference
+// drops; sub-packets forward the release to their parent.
+func (l *Lib) releasePacket(pkt *packet) {
+	if par := pkt.parent; par != nil {
+		// Aliased arrays belong to the parent; never pool them from here.
+		l.putPacketStruct(pkt)
+		par.refs--
+		if par.refs == 0 {
+			l.releaseOwned(par)
+		}
+		return
+	}
+	if pkt.refs > 0 {
+		return
+	}
+	l.releaseOwned(pkt)
+}
+
+// releaseOwned recycles an owned packet's backing arrays and struct.
+func (l *Lib) releaseOwned(pkt *packet) {
+	if !pkt.inlined {
+		if pkt.payloads != nil {
+			l.putPayloads(pkt.payloads)
+		}
+		if pkt.born != nil {
+			l.putBorn(pkt.born)
+		}
+		if pkt.dests != nil {
+			l.putDests(pkt.dests)
+		}
+	}
+	l.putPacketStruct(pkt)
+}
+
+// putPacketStruct zeroes the packet (keeping its runs capacity) and pools it.
+func (l *Lib) putPacketStruct(pkt *packet) {
+	runs := pkt.runs[:0]
+	*pkt = packet{runs: runs}
+	l.pktPool = append(l.pktPool, pkt)
+}
+
+// groupScratch returns zeroed counts and an uninitialized cursor array of
+// size t. Safe to reuse per call: grouping never nests (it calls neither
+// handlers nor the application).
+func (l *Lib) groupScratch(t int) (counts, cursor []int32) {
+	if cap(l.groupCounts) < t {
+		l.groupCounts = make([]int32, t)
+		l.groupCursor = make([]int32, t)
+	}
+	counts = l.groupCounts[:t]
+	for i := range counts {
+		counts[i] = 0
+	}
+	return counts, l.groupCursor[:t]
+}
+
 // Insert submits one item for delivery to worker dest. It must be called from
 // a handler executing on the sending PE (ctx.Self() is the source worker).
 func (l *Lib) Insert(ctx *charm.Ctx, dest cluster.WorkerID, value uint64) {
@@ -367,10 +548,7 @@ func (l *Lib) Insert(ctx *charm.Ctx, dest cluster.WorkerID, value uint64) {
 	if !cfg.BufferLocal && dstProc == ctx.Proc() && cfg.Scheme != Direct {
 		// SMP-aware local path: direct shared-memory delivery.
 		l.M.LocalDirect.Inc()
-		pkt := &packet{kind: pkToWorker, payloads: []uint64{value}}
-		if cfg.TrackLatency {
-			pkt.born = []sim.Time{ctx.Now()}
-		}
+		pkt := l.itemPacket(ctx, value, false)
 		ctx.Send(dest, l.hPacket, pkt, cfg.MsgHeaderBytes+cfg.ItemBytes, true)
 		return
 	}
@@ -378,10 +556,7 @@ func (l *Lib) Insert(ctx *charm.Ctx, dest cluster.WorkerID, value uint64) {
 	switch cfg.Scheme {
 	case Direct:
 		ctx.Charge(cfg.Costs.Pack)
-		pkt := &packet{kind: pkToWorker, payloads: []uint64{value}}
-		if cfg.TrackLatency {
-			pkt.born = []sim.Time{ctx.Now()}
-		}
+		pkt := l.itemPacket(ctx, value, false)
 		l.M.PerSourceMsgs[self]++
 		l.accountSend(ctx, dstProc, 1, false)
 		ctx.Send(dest, l.hPacket, pkt, cfg.MsgHeaderBytes+cfg.ItemBytes, false)
@@ -432,10 +607,22 @@ func (l *Lib) push(buf *buffer, ctx *charm.Ctx, dest cluster.WorkerID, value uin
 	l.M.PeakBuffered.Observe(l.M.curBuffered)
 }
 
-// take moves buf's contents into a fresh packet-ready triple and resets buf.
-func (l *Lib) take(buf *buffer) (payloads []uint64, born []sim.Time, dests []cluster.WorkerID) {
+// take moves buf's contents into a packet-ready triple and swaps recycled
+// backing arrays into the drained buffer, so refills after a seal or flush
+// append into storage recovered from already-delivered packets.
+func (l *Lib) take(buf *buffer, withDest bool) (payloads []uint64, born []sim.Time, dests []cluster.WorkerID) {
 	payloads, born, dests = buf.payloads, buf.born, buf.dests
-	buf.payloads, buf.born, buf.dests = nil, nil, nil
+	buf.payloads = l.getPayloads()
+	if l.cfg.TrackLatency {
+		buf.born = l.getBorn()
+	} else {
+		buf.born = nil
+	}
+	if withDest {
+		buf.dests = l.getDests()
+	} else {
+		buf.dests = nil
+	}
 	l.M.curBuffered -= int64(len(payloads))
 	return
 }
@@ -443,9 +630,12 @@ func (l *Lib) take(buf *buffer) (payloads []uint64, born []sim.Time, dests []clu
 // sealWorkerBuf emits a WW buffer destined for a single worker.
 func (l *Lib) sealWorkerBuf(ctx *charm.Ctx, src, dest cluster.WorkerID, buf *buffer, flush bool) {
 	n := buf.len()
-	payloads, born, _ := l.take(buf)
+	payloads, born, _ := l.take(buf, false)
 	ctx.Charge(sim.Time(n) * l.cfg.Costs.Pack)
-	pkt := &packet{kind: pkToWorker, payloads: payloads, born: born}
+	pkt := l.getPacket()
+	pkt.kind = pkToWorker
+	pkt.payloads = payloads
+	pkt.born = born
 	bytes := l.cfg.MsgHeaderBytes + n*l.cfg.ItemBytes
 	l.M.PerSourceMsgs[src]++
 	l.accountSend(ctx, l.rt.Topo.ProcOf(dest), bytes, flush)
@@ -456,10 +646,13 @@ func (l *Lib) sealWorkerBuf(ctx *charm.Ctx, src, dest cluster.WorkerID, buf *buf
 // source worker (WPs/WsP) or source process (PP) index for message counting.
 func (l *Lib) sealProcBuf(ctx *charm.Ctx, src int, dstProc cluster.ProcID, buf *buffer, flush bool) {
 	n := buf.len()
-	payloads, born, dests := l.take(buf)
+	payloads, born, dests := l.take(buf, true)
 	cfg := &l.cfg
 	ctx.Charge(sim.Time(n) * cfg.Costs.Pack)
-	pkt := &packet{payloads: payloads, born: born, dests: dests}
+	pkt := l.getPacket()
+	pkt.payloads = payloads
+	pkt.born = born
+	pkt.dests = dests
 	if cfg.Scheme == WsP {
 		// Group at the source worker: the sort cost is paid here, before
 		// the send (Fig. 6).
@@ -477,32 +670,41 @@ func (l *Lib) sealProcBuf(ctx *charm.Ctx, src int, dstProc cluster.ProcID, buf *
 }
 
 // groupPacket counting-sorts pkt's items by destination worker, filling
-// pkt.runs and reordering payloads/born; dests is dropped.
+// pkt.runs and reordering payloads/born into recycled arrays; dests is
+// returned to the pool.
 func (l *Lib) groupPacket(pkt *packet, dstProc cluster.ProcID) {
 	topo := l.rt.Topo
 	t := topo.WorkersPerProc
 	first := topo.FirstWorkerOf(dstProc)
 	n := len(pkt.payloads)
 
-	counts := make([]int32, t)
+	counts, cursor := l.groupScratch(t)
 	for _, d := range pkt.dests {
 		counts[d-first]++
 	}
-	offsets := make([]int32, t)
 	var off int32
 	for r := 0; r < t; r++ {
-		offsets[r] = off
+		cursor[r] = off
 		if counts[r] > 0 {
 			pkt.runs = append(pkt.runs, run{dest: first + cluster.WorkerID(r), off: off, n: counts[r]})
 		}
 		off += counts[r]
 	}
-	payloads := make([]uint64, n)
+	payloads := l.getPayloads()
+	if cap(payloads) < n {
+		payloads = make([]uint64, n)
+	} else {
+		payloads = payloads[:n]
+	}
 	var born []sim.Time
 	if pkt.born != nil {
-		born = make([]sim.Time, n)
+		born = l.getBorn()
+		if cap(born) < n {
+			born = make([]sim.Time, n)
+		} else {
+			born = born[:n]
+		}
 	}
-	cursor := append([]int32(nil), offsets...)
 	for i, d := range pkt.dests {
 		r := d - first
 		payloads[cursor[r]] = pkt.payloads[i]
@@ -511,6 +713,11 @@ func (l *Lib) groupPacket(pkt *packet, dstProc cluster.ProcID) {
 		}
 		cursor[r]++
 	}
+	l.putPayloads(pkt.payloads)
+	if pkt.born != nil {
+		l.putBorn(pkt.born)
+	}
+	l.putDests(pkt.dests)
 	pkt.payloads = payloads
 	pkt.born = born
 	pkt.dests = nil
@@ -531,7 +738,9 @@ func (l *Lib) accountSend(ctx *charm.Ctx, dstProc cluster.ProcID, bytes int, flu
 	}
 }
 
-// onPacket handles an aggregated message arriving at a PE.
+// onPacket handles an aggregated message arriving at a PE. Every arriving
+// packet is released back to the pool here once its items are delivered (or,
+// for run scatters, once the last forwarded sub-packet is delivered).
 func (l *Lib) onPacket(ctx *charm.Ctx, data any, _ int) {
 	pkt := data.(*packet)
 	cfg := &l.cfg
@@ -539,9 +748,11 @@ func (l *Lib) onPacket(ctx *charm.Ctx, data any, _ int) {
 	case pkToWorker:
 		if pkt.priority {
 			l.deliverPriority(ctx, pkt)
+			l.releasePacket(pkt)
 			return
 		}
 		l.deliverItems(ctx, pkt.payloads, pkt.born)
+		l.releasePacket(pkt)
 
 	case pkUngrouped:
 		// Group at the destination process (WPs, PP): O(g + t), then
@@ -552,16 +763,20 @@ func (l *Lib) onPacket(ctx *charm.Ctx, data any, _ int) {
 		ctx.Charge(sim.Time(n)*cfg.Costs.SortPerItem + sim.Time(t)*cfg.Costs.SortPerBucket)
 		l.groupPacket(pkt, ctx.Proc())
 		l.scatterRuns(ctx, pkt)
+		l.releasePacket(pkt)
 
 	case pkGrouped:
 		// WsP: runs were built at the source; just forward them.
 		ctx.Charge(sim.Time(len(pkt.runs)) * cfg.Costs.GroupForward)
 		l.scatterRuns(ctx, pkt)
+		l.releasePacket(pkt)
 	}
 }
 
 // scatterRuns delivers the run addressed to this PE inline and forwards the
-// others as local messages.
+// others as local messages. Forwarded sub-packets alias windows of pkt's
+// arrays and hold a reference on pkt, so its storage is recycled only after
+// the last sub-packet is delivered.
 func (l *Lib) scatterRuns(ctx *charm.Ctx, pkt *packet) {
 	self := ctx.Self()
 	for _, r := range pkt.runs {
@@ -574,7 +789,12 @@ func (l *Lib) scatterRuns(ctx *charm.Ctx, pkt *packet) {
 			l.deliverItems(ctx, pay, born)
 			continue
 		}
-		sub := &packet{kind: pkToWorker, payloads: pay, born: born}
+		sub := l.getPacket()
+		sub.kind = pkToWorker
+		sub.payloads = pay
+		sub.born = born
+		sub.parent = pkt
+		pkt.refs++
 		bytes := l.cfg.MsgHeaderBytes + int(r.n)*l.cfg.ItemBytes
 		l.M.LocalMsgs.Inc()
 		ctx.Send(r.dest, l.hPacket, sub, bytes, true)
@@ -616,10 +836,7 @@ func (l *Lib) InsertPriority(ctx *charm.Ctx, dest cluster.WorkerID, value uint64
 		return
 	}
 	ctx.Charge(l.cfg.Costs.Pack)
-	pkt := &packet{kind: pkToWorker, payloads: []uint64{value}, priority: true}
-	if l.cfg.TrackLatency {
-		pkt.born = []sim.Time{ctx.Now()}
-	}
+	pkt := l.itemPacket(ctx, value, true)
 	bytes := l.cfg.MsgHeaderBytes + l.cfg.ItemBytes
 	l.accountSend(ctx, l.rt.Topo.ProcOf(dest), bytes, false)
 	ctx.Send(dest, l.hPacket, pkt, bytes, true)

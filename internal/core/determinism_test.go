@@ -1,0 +1,68 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"tramlib/internal/cluster"
+)
+
+// TestMetricsDeterministicAcrossRuns guards the engine/pooling refactor's
+// headline invariant: for a fixed configuration, repeated runs produce
+// byte-identical Metrics — packet recycling and arena slot reuse must never
+// leak one run's state into delivery, latency, or message accounting.
+func TestMetricsDeterministicAcrossRuns(t *testing.T) {
+	topo := cluster.SMP(2, 2, 4)
+	for _, s := range schemesUnderTest() {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			cfg := testConfig(s, 16)
+			cfg.TrackLatency = true
+			a := runAllToAll(t, topo, cfg, 200)
+			b := runAllToAll(t, topo, cfg, 200)
+			if !reflect.DeepEqual(a.lib.M, b.lib.M) {
+				t.Fatalf("Metrics differ between identical runs:\n%+v\nvs\n%+v", a.lib.M, b.lib.M)
+			}
+			if a.received() != b.received() {
+				t.Fatalf("delivery counts differ: %d vs %d", a.received(), b.received())
+			}
+		})
+	}
+}
+
+// TestRecyclingUnderFlushChurn stresses the packet/slice pools with tiny
+// buffers, timeout flushes, bursts, and priority items, and checks the runs
+// stay deterministic and fully delivered (no packet may be recycled while
+// still in flight, or items would be lost or duplicated).
+func TestRecyclingUnderFlushChurn(t *testing.T) {
+	topo := cluster.SMP(2, 2, 2)
+	for _, s := range []Scheme{WW, WPs, WsP, PP} {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			run := func() *harness {
+				cfg := testConfig(s, 4) // seals every 4 items: heavy packet churn
+				cfg.TrackLatency = true
+				cfg.FlushTimeout = 500
+				cfg.FlushBurst = 2
+				return runAllToAll(t, topo, cfg, 97)
+			}
+			a, b := run(), run()
+			wantItems := topo.TotalWorkers() * 97
+			if a.received() != wantItems {
+				t.Fatalf("received %d items, want %d", a.received(), wantItems)
+			}
+			if got := a.lib.M.Delivered.Value(); got != int64(wantItems) {
+				t.Fatalf("Delivered = %d, want %d", got, wantItems)
+			}
+			if got := a.lib.M.Latency.Count(); got != int64(wantItems) {
+				t.Fatalf("latency observations = %d, want %d", got, wantItems)
+			}
+			if !reflect.DeepEqual(a.lib.M, b.lib.M) {
+				t.Fatalf("Metrics differ between identical churn runs")
+			}
+			if a.lib.BufferedItems() != 0 {
+				t.Fatalf("items still buffered after quiescence: %d", a.lib.BufferedItems())
+			}
+		})
+	}
+}

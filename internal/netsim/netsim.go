@@ -147,7 +147,104 @@ type Network struct {
 	comm []resource // one per process (only used when DedicatedComm)
 	nic  []resource // one per node
 
+	msgPool []*wireMsg // recycled in-flight message nodes
+
 	M Metrics
+}
+
+// wireMsg is a pooled in-flight message: one node carries a message through
+// its comm-thread/NIC/wire stages, with the per-stage closures allocated once
+// per node so steady-state remote sends schedule engine events without
+// allocating. The node returns to the pool when the delivery callback fires.
+type wireMsg struct {
+	n         *Network
+	srcProc   cluster.ProcID
+	dstProc   cluster.ProcID
+	interNode bool
+	sendCost  sim.Time
+	recvCost  sim.Time
+	wire      sim.Time
+	handoff   sim.Time // SMP: worker→comm-thread handoff time
+	depart    sim.Time // non-SMP: worker send completion time
+	arrive    sim.Time
+	recvDone  sim.Time
+	deliver   func(at, recvCharge sim.Time)
+
+	sendFn   func() // SMP stage 1: source comm thread + NIC injection
+	arriveFn func() // SMP stage 2: destination comm thread
+	finishFn func() // SMP stage 3: hand to the destination PE
+	injectFn func() // non-SMP stage 1: NIC injection + wire
+	landFn   func() // non-SMP stage 2: hand to the destination worker
+}
+
+func (n *Network) getMsg() *wireMsg {
+	if k := len(n.msgPool); k > 0 {
+		m := n.msgPool[k-1]
+		n.msgPool = n.msgPool[:k-1]
+		return m
+	}
+	m := &wireMsg{n: n}
+	m.sendFn = m.send
+	m.arriveFn = m.arriveStage
+	m.finishFn = m.finish
+	m.injectFn = m.inject
+	m.landFn = m.land
+	return m
+}
+
+func (m *wireMsg) free() {
+	m.deliver = nil
+	m.n.msgPool = append(m.n.msgPool, m)
+}
+
+// send is the SMP source stage: serialize on the source comm thread, then
+// (inter-node) on the NIC, then traverse the wire.
+func (m *wireMsg) send() {
+	n := m.n
+	srcDone := n.comm[m.srcProc].acquire(m.handoff, m.sendCost)
+	inject := srcDone
+	if m.interNode && n.P.NICGap > 0 {
+		inject = n.nic[n.Topo.NodeOfProc(m.srcProc)].acquire(srcDone, n.P.NICGap)
+	}
+	m.arrive = inject + m.wire
+	n.Eng.At(m.arrive, m.arriveFn)
+}
+
+// arriveStage is the SMP destination stage: serialize on the destination comm
+// thread.
+func (m *wireMsg) arriveStage() {
+	n := m.n
+	m.recvDone = n.comm[m.dstProc].acquire(m.arrive, m.recvCost)
+	n.M.WireLatency.Observe(int64(m.recvDone - m.handoff))
+	// The delivery callback must observe engine time == its `at` argument,
+	// so schedule it at recvDone.
+	n.Eng.At(m.recvDone, m.finishFn)
+}
+
+func (m *wireMsg) finish() {
+	deliver, at := m.deliver, m.recvDone
+	m.free()
+	deliver(at, 0)
+}
+
+// inject is the non-SMP source stage: the worker already paid the send cost;
+// serialize on the NIC and traverse the wire.
+func (m *wireMsg) inject() {
+	n := m.n
+	inject := m.depart
+	if m.interNode && n.P.NICGap > 0 {
+		inject = n.nic[n.Topo.NodeOfProc(m.srcProc)].acquire(m.depart, n.P.NICGap)
+	}
+	m.arrive = inject + m.wire
+	n.Eng.At(m.arrive, m.landFn)
+}
+
+func (m *wireMsg) land() {
+	n := m.n
+	n.M.WireLatency.Observe(int64(m.arrive - m.depart))
+	deliver, at, recvCost := m.deliver, m.arrive, m.recvCost
+	m.free()
+	deliver(at, recvCost)
 }
 
 // New creates a network for the topology with the given parameters. SMP mode
@@ -194,49 +291,30 @@ func (n *Network) Send(srcProc, dstProc cluster.ProcID, bytes int, release sim.T
 		n.M.BytesIntraNode.Add(int64(bytes))
 	}
 
-	sendCost := n.P.commCost(n.P.CommSendOverhead, bytes)
-	recvCost := n.P.commCost(n.P.CommRecvOverhead, bytes)
-	wire := n.P.WireTime(bytes, interNode)
+	m := n.getMsg()
+	m.srcProc = srcProc
+	m.dstProc = dstProc
+	m.interNode = interNode
+	m.sendCost = n.P.commCost(n.P.CommSendOverhead, bytes)
+	m.recvCost = n.P.commCost(n.P.CommRecvOverhead, bytes)
+	m.wire = n.P.WireTime(bytes, interNode)
+	m.deliver = deliver
 
 	if n.DedicatedComm {
 		workerCharge = n.P.HandoffCost
-		handoff := release + workerCharge
+		m.handoff = release + workerCharge
 		// The comm-thread resource must be acquired at the handoff's
 		// logical time so that competing workers' messages serialize in
 		// true FIFO order; schedule an event for it.
-		n.Eng.At(handoff, func() {
-			srcDone := n.comm[srcProc].acquire(handoff, sendCost)
-			inject := srcDone
-			if interNode && n.P.NICGap > 0 {
-				inject = n.nic[n.Topo.NodeOfProc(srcProc)].acquire(srcDone, n.P.NICGap)
-			}
-			arrive := inject + wire
-			n.Eng.At(arrive, func() {
-				recvDone := n.comm[dstProc].acquire(arrive, recvCost)
-				n.M.WireLatency.Observe(int64(recvDone - handoff))
-				// The delivery callback must observe engine time ==
-				// its `at` argument, so schedule it at recvDone.
-				n.Eng.At(recvDone, func() { deliver(recvDone, 0) })
-			})
-		})
+		n.Eng.At(m.handoff, m.sendFn)
 		return workerCharge
 	}
 
 	// Non-SMP: the worker performs the send itself; the destination worker
 	// pays the receive cost when it picks the message up.
-	workerCharge = sendCost
-	depart := release + workerCharge
-	n.Eng.At(depart, func() {
-		inject := depart
-		if interNode && n.P.NICGap > 0 {
-			inject = n.nic[n.Topo.NodeOfProc(srcProc)].acquire(depart, n.P.NICGap)
-		}
-		arrive := inject + wire
-		n.Eng.At(arrive, func() {
-			n.M.WireLatency.Observe(int64(arrive - depart))
-			deliver(arrive, recvCost)
-		})
-	})
+	workerCharge = m.sendCost
+	m.depart = release + workerCharge
+	n.Eng.At(m.depart, m.injectFn)
 	return workerCharge
 }
 

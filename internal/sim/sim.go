@@ -10,12 +10,28 @@
 // scheduling (At/After), cancellable timers, and a run loop with quiescence
 // detection (Run returns when no events remain, which the runtime uses as
 // Charm++-style quiescence detection).
+//
+// # Implementation
+//
+// The queue is a hand-rolled 4-ary min-heap of (time, seq, slot) entries over
+// an event arena with a free list, so steady-state scheduling performs no
+// heap allocation: popped events return their slot to the free list, and the
+// only growth is the arena and heap arrays tracking the peak number of
+// in-flight events. The ordering keys are stored inline in the heap entries,
+// so sift comparisons stay within the contiguous heap array and never chase
+// pointers into the arena; a 4-ary layout halves tree depth versus a binary
+// heap and puts sibling comparisons on adjacent cache lines. This matters
+// because the engine's push/pop pair is the innermost loop of every
+// experiment.
+//
+// Timers are value handles tagged with the slot's generation, so firing,
+// cancelling, or Drain-ing invalidates outstanding handles without any
+// per-timer allocation. Cancellation is lazy: a cancelled event stays in the
+// heap until popped or until cancelled events outnumber live ones, at which
+// point the heap compacts them away in one pass.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a point in virtual time, in nanoseconds since the start of the run.
 type Time int64
@@ -48,73 +64,81 @@ func (t Time) String() string {
 	}
 }
 
-// event is a scheduled closure. seq breaks ties so that events scheduled
-// earlier at the same timestamp run first (FIFO at equal time), which keeps
-// the simulation deterministic.
+// event is one arena slot: the closure plus handle bookkeeping. The ordering
+// keys live in the heap entries (see heapEntry), so heap comparisons never
+// touch the arena. gen increments every time the slot is released,
+// invalidating Timer handles that still point at it.
 type event struct {
-	at        Time
-	seq       uint64
 	fn        func()
+	gen       uint32
 	cancelled bool
-	index     int // heap index, -1 once popped
 }
 
-// Timer is a handle to a scheduled event that can be cancelled.
-type Timer struct{ ev *event }
+// heapEntry is one 4-ary-heap element: the ordering keys (at, seq) inline —
+// sift comparisons stay within the contiguous heap array — plus the arena
+// slot holding the closure. seq breaks ties so that events scheduled earlier
+// at the same timestamp run first (FIFO at equal time), which keeps the
+// simulation deterministic and makes the order total: pop order is unique
+// regardless of heap shape.
+type heapEntry struct {
+	at   Time
+	seq  uint64
+	slot int32
+}
+
+func entLess(a, b heapEntry) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+// Timer is a handle to a scheduled event that can be cancelled. It is a value
+// type: copying it is cheap and all copies refer to the same event. The zero
+// Timer is valid and behaves as an already-fired timer.
+type Timer struct {
+	eng  *Engine
+	slot int32
+	gen  uint32
+}
+
+// live reports whether the handle still refers to a scheduled, uncancelled
+// event.
+func (t Timer) live() bool {
+	return t.eng != nil && t.eng.arena[t.slot].gen == t.gen && !t.eng.arena[t.slot].cancelled
+}
 
 // Cancel prevents the timer's function from running. Cancelling an
 // already-fired or already-cancelled timer is a no-op. It reports whether the
 // call stopped a pending event.
-func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.index < 0 {
+func (t Timer) Cancel() bool {
+	if !t.live() {
 		return false
 	}
-	t.ev.cancelled = true
+	e := t.eng
+	e.arena[t.slot].cancelled = true
+	e.nCancelled++
+	// Lazy-cancellation compaction: once cancelled events outnumber live
+	// ones (and there are enough to matter), sweep them out in one pass so
+	// a cancel-heavy workload cannot grow the heap unboundedly.
+	if e.nCancelled > 64 && e.nCancelled*2 > len(e.heap) {
+		e.compact()
+	}
 	return true
 }
 
-// Pending reports whether the timer is still scheduled to fire.
-func (t *Timer) Pending() bool {
-	return t != nil && t.ev != nil && !t.ev.cancelled && t.ev.index >= 0
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
-}
+// Pending reports whether the timer is still scheduled to fire. A timer whose
+// event was removed by Engine.Drain is no longer pending.
+func (t Timer) Pending() bool { return t.live() }
 
 // Engine is a single-threaded discrete-event simulator. The zero value is not
 // usable; construct with NewEngine.
 type Engine struct {
-	now       Time
-	events    eventHeap
-	seq       uint64
-	stopped   bool
-	processed uint64
+	now        Time
+	arena      []event     // slot storage; indices are stable, slots are recycled
+	free       []int32     // released slots available for reuse
+	heap       []heapEntry // 4-ary min-heap ordered by (at, seq)
+	seq        uint64
+	stopped    bool
+	processed  uint64
+	nCancelled int // cancelled events still resident in the heap
 }
 
 // NewEngine returns an engine with virtual time 0 and an empty event queue.
@@ -131,22 +155,122 @@ func (e *Engine) Processed() uint64 { return e.processed }
 
 // Pending returns the number of events currently scheduled (including
 // cancelled-but-not-yet-popped timers).
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// alloc returns a free arena slot, growing the arena only when the free list
+// is empty (i.e. at a new peak of in-flight events).
+func (e *Engine) alloc() int32 {
+	if n := len(e.free); n > 0 {
+		s := e.free[n-1]
+		e.free = e.free[:n-1]
+		return s
+	}
+	e.arena = append(e.arena, event{})
+	return int32(len(e.arena) - 1)
+}
+
+// release invalidates outstanding Timer handles for the slot and returns it
+// to the free list. The closure reference is dropped so captured state is
+// collectable immediately.
+func (e *Engine) release(s int32) {
+	ev := &e.arena[s]
+	ev.fn = nil
+	ev.cancelled = false
+	ev.gen++
+	e.free = append(e.free, s)
+}
+
+// push inserts an entry into the heap (sift-up).
+func (e *Engine) push(ent heapEntry) {
+	h := append(e.heap, ent)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !entLess(ent, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ent
+	e.heap = h
+}
+
+// popRoot removes the heap minimum (sift-down of the displaced last leaf).
+func (e *Engine) popRoot() {
+	h := e.heap
+	n := len(h) - 1
+	e.heap = h[:n]
+	if n == 0 {
+		return
+	}
+	e.heap[0] = h[n]
+	e.siftDown(0)
+}
+
+// siftDown restores the heap property at i assuming all subtrees are heaps.
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	ent := h[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if entLess(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !entLess(h[m], ent) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = ent
+}
+
+// compact removes every cancelled event from the heap in one pass and
+// re-heapifies bottom-up (O(n)).
+func (e *Engine) compact() {
+	live := e.heap[:0]
+	for _, ent := range e.heap {
+		if e.arena[ent.slot].cancelled {
+			e.release(ent.slot)
+		} else {
+			live = append(live, ent)
+		}
+	}
+	e.heap = live
+	for i := (len(live) - 2) >> 2; i >= 0; i-- {
+		e.siftDown(i)
+	}
+	e.nCancelled = 0
+}
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it indicates a logic error in a cost model.
-func (e *Engine) At(t Time, fn func()) *Timer {
+func (e *Engine) At(t Time, fn func()) Timer {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	s := e.alloc()
+	ev := &e.arena[s]
+	ev.fn = fn
+	e.push(heapEntry{at: t, seq: e.seq, slot: s})
 	e.seq++
-	heap.Push(&e.events, ev)
-	return &Timer{ev: ev}
+	return Timer{eng: e, slot: s, gen: ev.gen}
 }
 
 // After schedules fn to run d nanoseconds from now. Negative d panics.
-func (e *Engine) After(d Time, fn func()) *Timer {
+func (e *Engine) After(d Time, fn func()) Timer {
 	return e.At(e.now+d, fn)
 }
 
@@ -166,26 +290,37 @@ func (e *Engine) Run() uint64 {
 func (e *Engine) RunUntil(deadline Time) uint64 {
 	e.stopped = false
 	var n uint64
-	for len(e.events) > 0 && !e.stopped {
-		next := e.events[0]
-		if next.at > deadline {
+	for len(e.heap) > 0 && !e.stopped {
+		root := e.heap[0]
+		if root.at > deadline {
 			e.now = deadline
 			break
 		}
-		heap.Pop(&e.events)
-		if next.cancelled {
+		ev := &e.arena[root.slot]
+		if ev.cancelled {
+			// Skipped events do not advance the clock.
+			e.nCancelled--
+			e.popRoot()
+			e.release(root.slot)
 			continue
 		}
-		e.now = next.at
-		next.fn()
+		fn := ev.fn
+		e.popRoot()
+		e.release(root.slot)
+		e.now = root.at
+		fn()
 		n++
 		e.processed++
 	}
 	return n
 }
 
-// Drain removes all pending events without executing them. Useful between
-// trials that reuse an engine.
+// Drain removes all pending events without executing them and invalidates
+// their timers. Useful between trials that reuse an engine.
 func (e *Engine) Drain() {
-	e.events = e.events[:0]
+	for _, ent := range e.heap {
+		e.release(ent.slot)
+	}
+	e.heap = e.heap[:0]
+	e.nCancelled = 0
 }

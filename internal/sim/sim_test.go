@@ -154,6 +154,70 @@ func TestDrain(t *testing.T) {
 	}
 }
 
+func TestTimerNotPendingAfterDrain(t *testing.T) {
+	e := NewEngine()
+	tm := e.At(10, func() {})
+	e.Drain()
+	if tm.Pending() {
+		t.Fatal("timer still pending after Drain")
+	}
+	if tm.Cancel() {
+		t.Fatal("Cancel returned true for a drained timer")
+	}
+}
+
+func TestTimerInvalidAfterSlotReuse(t *testing.T) {
+	e := NewEngine()
+	old := e.At(1, func() {})
+	e.Run() // fires; the arena slot returns to the free list
+	fired := false
+	fresh := e.At(2, func() { fired = true })
+	// The new event reuses the old slot; the stale handle must not alias it.
+	if old.Pending() {
+		t.Fatal("stale timer reports pending after slot reuse")
+	}
+	if old.Cancel() {
+		t.Fatal("stale timer cancelled the slot's new occupant")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("new event did not fire")
+	}
+	if fresh.Pending() {
+		t.Fatal("fired timer still pending")
+	}
+}
+
+func TestCancelHeavyCompaction(t *testing.T) {
+	// Cancel enough timers to trigger lazy-cancellation compaction and
+	// check that the surviving events still fire in exact order.
+	e := NewEngine()
+	var fired []Time
+	var timers []Timer
+	const n = 1000
+	for i := 0; i < n; i++ {
+		i := i
+		timers = append(timers, e.At(Time(i), func() { fired = append(fired, Time(i)) }))
+	}
+	for i := 0; i < n; i++ {
+		if i%10 != 0 {
+			timers[i].Cancel()
+		}
+	}
+	if e.Pending() > n/5 {
+		t.Fatalf("compaction did not shrink the heap: %d pending", e.Pending())
+	}
+	e.Run()
+	if len(fired) != n/10 {
+		t.Fatalf("fired %d events, want %d", len(fired), n/10)
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] <= fired[i-1] {
+			t.Fatalf("order violated after compaction: %v", fired)
+		}
+	}
+}
+
 func TestDeterministicUnderLoad(t *testing.T) {
 	trace := func() []Time {
 		e := NewEngine()
