@@ -1,0 +1,117 @@
+// Command perfcheck gates perf regressions in CI: it compares a freshly
+// generated engine-perf JSON (tramlab -bench-json) against the committed
+// BENCH_core.json baseline and fails if allocs_per_event regressed.
+//
+// Only the allocation columns are gated — they are a property of the code
+// (pooling discipline), not of the host, so they are stable across CI
+// runners; wall-clock columns are reported but never gated.
+//
+// Points are matched by name. Simulator points get the standard tolerance
+// (default 10%); points named real-* — the goroutine runtime, whose
+// per-event allocations depend mildly on scheduling (sync.Pool behavior
+// under preemption) — get the looser -real-tol (default 50%). A point
+// present in the baseline but missing from the fresh run fails the check
+// (lost coverage); new points pass (they become the baseline when
+// committed). Tiny baselines are compared with an absolute slack so a
+// 0.0000‰ noise blip cannot fail a 0.00002 allocs/event point.
+//
+// Usage:
+//
+//	perfcheck -base BENCH_core.json -fresh fresh.json [-tol 0.10] [-real-tol 0.50]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tramlib/internal/bench"
+)
+
+func load(path string) (bench.Perf, error) {
+	var p bench.Perf
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return p, err
+	}
+	if err := json.Unmarshal(data, &p); err != nil {
+		return p, fmt.Errorf("%s: %w", path, err)
+	}
+	if p.Schema != "tramlib-core-perf/v1" {
+		return p, fmt.Errorf("%s: unexpected schema %q", path, p.Schema)
+	}
+	return p, nil
+}
+
+func main() {
+	var (
+		basePath  = flag.String("base", "BENCH_core.json", "committed baseline JSON")
+		freshPath = flag.String("fresh", "", "freshly generated JSON to check")
+		tol       = flag.Float64("tol", 0.10, "allowed relative allocs_per_event increase for simulator points")
+		realTol   = flag.Float64("real-tol", 0.50, "allowed relative increase for real-* (goroutine runtime) points")
+		slack     = flag.Float64("slack", 0.02, "absolute allocs_per_event slack added to every bound")
+	)
+	flag.Parse()
+	if *freshPath == "" {
+		fmt.Fprintln(os.Stderr, "perfcheck: -fresh is required")
+		os.Exit(2)
+	}
+
+	base, err := load(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfcheck:", err)
+		os.Exit(2)
+	}
+	fresh, err := load(*freshPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfcheck:", err)
+		os.Exit(2)
+	}
+
+	freshByName := map[string]bench.PerfPoint{}
+	for _, p := range fresh.Points {
+		freshByName[p.Name] = p
+	}
+
+	failed := false
+	for _, b := range base.Points {
+		f, ok := freshByName[b.Name]
+		if !ok {
+			fmt.Printf("FAIL %-22s missing from fresh run (lost coverage)\n", b.Name)
+			failed = true
+			continue
+		}
+		t := *tol
+		if strings.HasPrefix(b.Name, "real-") {
+			t = *realTol
+		}
+		bound := b.AllocsPerEvent*(1+t) + *slack
+		status := "ok  "
+		if f.AllocsPerEvent > bound {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %-22s allocs/event %.6f -> %.6f (bound %.6f)  wall %.1fms -> %.1fms\n",
+			status, b.Name, b.AllocsPerEvent, f.AllocsPerEvent, bound, b.WallMS, f.WallMS)
+	}
+	for _, f := range fresh.Points {
+		seen := false
+		for _, b := range base.Points {
+			if b.Name == f.Name {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			fmt.Printf("new  %-22s allocs/event %.6f (no baseline; commit the fresh JSON to adopt)\n",
+				f.Name, f.AllocsPerEvent)
+		}
+	}
+	if failed {
+		fmt.Println("perfcheck: allocation regression detected")
+		os.Exit(1)
+	}
+	fmt.Println("perfcheck: ok")
+}

@@ -13,6 +13,8 @@
 //	tramlab -fig 12 -csv             # machine-readable output
 //	tramlab -fig 3 -quiet            # suppress progress lines on stderr
 //	tramlab -bench-json BENCH_core.json      # emit the engine perf trajectory
+//	tramlab -real                    # run kernels on the real goroutine runtime
+//	                                 # and print simulated-vs-measured tables
 //
 // Experiment points within a figure are independent simulations; -j N runs
 // them on a deterministic worker pool (tables are byte-identical for every
@@ -47,6 +49,7 @@ func main() {
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		quiet     = flag.Bool("quiet", false, "suppress progress output on stderr")
 		benchJSON = flag.String("bench-json", "", "measure engine perf (events/sec, allocs/event, harness scaling) and write JSON to this file ('-' for stdout)")
+		real      = flag.Bool("real", false, "run the kernels on the real-concurrency runtime (goroutines + lock-free buffers) and emit simulated-vs-measured tables")
 	)
 	flag.Parse()
 
@@ -90,6 +93,20 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tramlab:", err)
 			os.Exit(1)
 		}
+		if !*all && *fig == "" && !*real {
+			return
+		}
+	}
+
+	if *real {
+		tables := bench.RealTables(opts)
+		for _, tb := range tables {
+			if *csv {
+				fmt.Print(tb.CSV())
+			} else {
+				fmt.Println(tb.String())
+			}
+		}
 		if !*all && *fig == "" {
 			return
 		}
@@ -111,7 +128,7 @@ func main() {
 			ids = append(ids, strings.TrimSpace(id))
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "tramlab: pass -fig <id>, -all, or -list")
+		fmt.Fprintln(os.Stderr, "tramlab: pass -fig <id>, -all, -real, or -list")
 		flag.Usage()
 		os.Exit(2)
 	}

@@ -93,9 +93,9 @@ func run(mode string, producers, items, batch, dests int) (time.Duration, int64)
 			go func() {
 				defer wg.Done()
 				r := rng.NewStream(11, p)
-				bufs := make([]*shmem.SPBuffer, dests)
+				bufs := make([]*shmem.SPBuffer[uint64], dests)
 				for d := range bufs {
-					bufs[d] = shmem.NewSPBuffer(batch, func(b shmem.Batch) { ch <- b.Items })
+					bufs[d] = shmem.NewSPBuffer(batch, func(b shmem.Batch[uint64]) { ch <- b.Items })
 				}
 				for i := 0; i < items; i++ {
 					bufs[r.Intn(dests)].Push(uint64(i))
@@ -108,9 +108,9 @@ func run(mode string, producers, items, batch, dests int) (time.Duration, int64)
 		wg.Wait()
 
 	case "mp":
-		bufs := make([]*shmem.MPBuffer, dests)
+		bufs := make([]*shmem.MPBuffer[uint64], dests)
 		for d := range bufs {
-			bufs[d] = shmem.NewMPBuffer(batch, func(b shmem.Batch) { ch <- b.Items })
+			bufs[d] = shmem.NewMPBuffer(batch, func(b shmem.Batch[uint64]) { ch <- b.Items })
 		}
 		for p := 0; p < producers; p++ {
 			p := p

@@ -1,0 +1,56 @@
+package histogram
+
+import (
+	"testing"
+	"time"
+
+	"tramlib/internal/cluster"
+	"tramlib/internal/core"
+	"tramlib/internal/rng"
+)
+
+// TestRunRealMatchesSerialReference verifies, for every wiring, that the real
+// runtime applies exactly the update multiset a serial replay of the
+// generators produces — element-wise per table slot, not just in aggregate.
+func TestRunRealMatchesSerialReference(t *testing.T) {
+	topo := cluster.SMP(2, 2, 2)
+	W := topo.TotalWorkers()
+	for _, s := range []core.Scheme{core.Direct, core.WW, core.WPs, core.WsP, core.PP} {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultRealConfig(topo, s)
+			cfg.UpdatesPerPE = 8192
+			cfg.SlotsPerPE = 64
+			cfg.BufferItems = 128
+			cfg.FlushDeadline = 500 * time.Microsecond
+			res := RunReal(cfg)
+
+			want := make([][]int64, W)
+			for i := range want {
+				want[i] = make([]int64, cfg.SlotsPerPE)
+			}
+			for w := 0; w < W; w++ {
+				r := rng.NewStream(cfg.Seed, w)
+				for i := 0; i < cfg.UpdatesPerPE; i++ {
+					dst, slot := update(r.Uint64(), W, cfg.SlotsPerPE)
+					apply(want[dst], slot, cfg.SlotsPerPE)
+				}
+			}
+			for w := 0; w < W; w++ {
+				for sl := range want[w] {
+					if res.Tables[w][sl] != want[w][sl] {
+						t.Fatalf("worker %d slot %d: got %d, want %d",
+							w, sl, res.Tables[w][sl], want[w][sl])
+					}
+				}
+			}
+			if exp := int64(W) * int64(cfg.UpdatesPerPE); res.TotalUpdates != exp || res.CheckSum != exp {
+				t.Fatalf("applied %d (checksum %d), want %d", res.TotalUpdates, res.CheckSum, exp)
+			}
+			if s != core.Direct && res.Batches == 0 {
+				t.Fatal("aggregating scheme emitted no batches")
+			}
+		})
+	}
+}

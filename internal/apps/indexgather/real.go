@@ -1,0 +1,120 @@
+package indexgather
+
+import (
+	"time"
+
+	"tramlib/internal/cluster"
+	"tramlib/internal/core"
+	"tramlib/internal/rng"
+	"tramlib/internal/rt"
+	"tramlib/internal/stats"
+)
+
+// This file runs the index-gather kernel on the real-concurrency runtime.
+// The payload layout (respFlag/reqShift/bornMask) is shared with the
+// simulated Run; born timestamps are real nanoseconds relative to the run's
+// start, so the 48-bit field holds ~3 days. Because request and response are
+// observed on the same worker goroutine, the measured interval is free of
+// cross-goroutine clock concerns — the same skew-free trick the paper's IG
+// benchmark uses, now against a wall clock.
+
+// RealConfig parameterizes one real-concurrency IG run.
+type RealConfig struct {
+	Topo   cluster.Topology
+	Scheme core.Scheme
+	// RequestsPerPE is z: requests issued by each worker goroutine.
+	RequestsPerPE int
+	// BufferItems is g: the aggregation buffer capacity.
+	BufferItems int
+	// FlushDeadline is the runtime's latency bound — the knob that caps how
+	// long a request may sit in a partially filled buffer.
+	FlushDeadline time.Duration
+	ChunkSize     int
+	Seed          uint64
+}
+
+// DefaultRealConfig returns a laptop-scale real IG configuration.
+func DefaultRealConfig(topo cluster.Topology, scheme core.Scheme) RealConfig {
+	return RealConfig{
+		Topo:          topo,
+		Scheme:        scheme,
+		RequestsPerPE: 1 << 16,
+		BufferItems:   1024,
+		FlushDeadline: time.Millisecond,
+		ChunkSize:     256,
+		Seed:          1,
+	}
+}
+
+// RealResult reports one measured run.
+type RealResult struct {
+	// Wall is the measured wall-clock makespan.
+	Wall time.Duration
+	// Latency is the distribution of request→response intervals (real ns).
+	Latency *stats.Hist
+	// Responses received (must equal W·z).
+	Responses int64
+	// Batches is the number of aggregated messages.
+	Batches int64
+	// DeadlineFlushes counts latency-bound flushes.
+	DeadlineFlushes int64
+}
+
+// RunReal executes the benchmark on the real runtime.
+func RunReal(cfg RealConfig) RealResult {
+	topo := cfg.Topo
+	W := topo.TotalWorkers()
+	start := time.Now()
+	now := func() uint64 { return uint64(time.Since(start).Nanoseconds()) & bornMask }
+
+	// Per-worker latency histograms: responses arrive on the requester's
+	// goroutine, so each worker owns its histogram; merged after the run.
+	lats := make([]*stats.Hist, W)
+	for i := range lats {
+		lats[i] = stats.NewHist()
+	}
+
+	rcfg := rt.Config{
+		Topo:          topo,
+		Scheme:        cfg.Scheme,
+		BufferItems:   cfg.BufferItems,
+		FlushDeadline: cfg.FlushDeadline,
+		ChunkSize:     cfg.ChunkSize,
+	}
+	rtm := rt.New(rcfg, func(ctx *rt.Ctx, v uint64) {
+		if v&respFlag != 0 {
+			// Response arrives back at its requester.
+			born := v &^ respFlag
+			lats[ctx.Self()].Observe(int64(now() - born&bornMask))
+			ctx.Contribute(1)
+			return
+		}
+		// Request: serve and respond through the aggregation fabric.
+		requester := cluster.WorkerID((v >> reqShift) & reqIDMask)
+		born := v & bornMask
+		ctx.Send(requester, respFlag|born)
+	}, func(w cluster.WorkerID) (int, rt.KernelFunc) {
+		r := rng.NewStream(cfg.Seed, int(w))
+		self := w
+		return cfg.RequestsPerPE, func(ctx *rt.Ctx, _ int) {
+			dst := cluster.WorkerID(r.Intn(W - 1))
+			if dst >= self {
+				dst++ // uniform over others, never self
+			}
+			ctx.Send(dst, uint64(w)<<reqShift|now())
+		}
+	})
+	res := rtm.Run()
+
+	lat := stats.NewHist()
+	for _, h := range lats {
+		lat.Merge(h)
+	}
+	return RealResult{
+		Wall:            res.Wall,
+		Latency:         lat,
+		Responses:       res.Reduced,
+		Batches:         res.Batches,
+		DeadlineFlushes: res.DeadlineFlushes,
+	}
+}

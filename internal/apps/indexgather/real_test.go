@@ -1,0 +1,35 @@
+package indexgather
+
+import (
+	"testing"
+	"time"
+
+	"tramlib/internal/cluster"
+	"tramlib/internal/core"
+)
+
+func TestRunRealAllResponsesArrive(t *testing.T) {
+	topo := cluster.SMP(2, 2, 2)
+	W := topo.TotalWorkers()
+	for _, s := range []core.Scheme{core.WW, core.WPs, core.PP} {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultRealConfig(topo, s)
+			cfg.RequestsPerPE = 4096
+			cfg.BufferItems = 128
+			cfg.FlushDeadline = 500 * time.Microsecond
+			res := RunReal(cfg)
+			want := int64(W) * int64(cfg.RequestsPerPE)
+			if res.Responses != want {
+				t.Fatalf("responses %d, want %d", res.Responses, want)
+			}
+			if res.Latency.Count() != want {
+				t.Fatalf("latency samples %d, want %d", res.Latency.Count(), want)
+			}
+			if res.Latency.Min() < 0 {
+				t.Fatalf("negative latency %d", res.Latency.Min())
+			}
+		})
+	}
+}

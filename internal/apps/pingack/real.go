@@ -1,0 +1,109 @@
+package pingack
+
+import (
+	"fmt"
+	"time"
+
+	"tramlib/internal/cluster"
+	"tramlib/internal/core"
+	"tramlib/internal/rt"
+)
+
+// This file runs the PingAck kernel on the real-concurrency runtime with the
+// Direct (unaggregated) wiring — PingAck is the paper's §III-A pre-TramLib
+// experiment, so every message is its own delivery, and what the run
+// measures is the per-message cost of the runtime's shared-memory transport
+// itself (inbox push, wakeup, scheduling), the real-world counterpart of the
+// simulated comm-thread α.
+
+// ackFlag marks an ack payload; data payloads carry the node-1 worker index.
+const ackFlag = uint64(1) << 63
+
+// RealConfig parameterizes one real PingAck run.
+type RealConfig struct {
+	// WorkersPerNode is the number of worker goroutines on each of the two
+	// simulated nodes.
+	WorkersPerNode int
+	// ProcsPerNode splits each node's workers into processes. 0 selects
+	// non-SMP mode (one process per worker).
+	ProcsPerNode int
+	// TotalMessages is the total node0→node1 message count, divided evenly
+	// among node-0 workers.
+	TotalMessages int
+	// ChunkSize is the number of sends issued per scheduler slot.
+	ChunkSize int
+}
+
+// DefaultRealConfig returns a laptop-scale real PingAck configuration.
+func DefaultRealConfig() RealConfig {
+	return RealConfig{
+		WorkersPerNode: 8,
+		ProcsPerNode:   1,
+		TotalMessages:  64000,
+		ChunkSize:      16,
+	}
+}
+
+// RealResult reports one measured run.
+type RealResult struct {
+	Topology cluster.Topology
+	// Wall is the measured makespan: first send to last ack.
+	Wall time.Duration
+	// Acks received at worker 0 (must equal WorkersPerNode).
+	Acks int64
+}
+
+// RunReal executes the benchmark on the real runtime.
+func RunReal(cfg RealConfig) RealResult {
+	var topo cluster.Topology
+	if cfg.ProcsPerNode <= 0 {
+		topo = cluster.NonSMP(2, cfg.WorkersPerNode)
+	} else {
+		if cfg.WorkersPerNode%cfg.ProcsPerNode != 0 {
+			panic(fmt.Sprintf("pingack: %d workers not divisible by %d procs", cfg.WorkersPerNode, cfg.ProcsPerNode))
+		}
+		topo = cluster.SMP(2, cfg.ProcsPerNode, cfg.WorkersPerNode/cfg.ProcsPerNode)
+	}
+	w := cfg.WorkersPerNode
+	perPE := cfg.TotalMessages / w
+	if perPE == 0 {
+		perPE = 1
+	}
+
+	received := make([]int64, 2*w) // written only by the owning worker goroutine
+
+	rcfg := rt.Config{
+		Topo:          topo,
+		Scheme:        core.Direct, // Direct needs no BufferItems
+		FlushDeadline: 0,           // nothing buffered, no progress goroutine needed
+		ChunkSize:     cfg.ChunkSize,
+	}
+	rtm := rt.New(rcfg, func(ctx *rt.Ctx, v uint64) {
+		if v&ackFlag != 0 {
+			ctx.Contribute(1) // ack landed at worker 0
+			return
+		}
+		self := int(ctx.Self())
+		received[self]++
+		if received[self] == int64(perPE) {
+			ctx.Send(0, ackFlag|v)
+		}
+	}, func(id cluster.WorkerID) (int, rt.KernelFunc) {
+		i := int(id)
+		if i >= w {
+			return 0, nil // node-1 workers only consume
+		}
+		dst := cluster.WorkerID(w + i)
+		payload := uint64(i)
+		return perPE, func(ctx *rt.Ctx, _ int) {
+			ctx.Send(dst, payload)
+		}
+	})
+	res := rtm.Run()
+
+	return RealResult{
+		Topology: topo,
+		Wall:     res.Wall,
+		Acks:     res.Reduced,
+	}
+}

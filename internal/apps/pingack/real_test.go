@@ -1,0 +1,16 @@
+package pingack
+
+import "testing"
+
+func TestRunRealAllAcksArrive(t *testing.T) {
+	for _, procs := range []int{0, 1, 2} { // non-SMP, SMP 1p, SMP 2p
+		cfg := DefaultRealConfig()
+		cfg.WorkersPerNode = 4
+		cfg.TotalMessages = 4000
+		cfg.ProcsPerNode = procs
+		res := RunReal(cfg)
+		if res.Acks != int64(cfg.WorkersPerNode) {
+			t.Fatalf("procs=%d: acks %d, want %d", procs, res.Acks, cfg.WorkersPerNode)
+		}
+	}
+}

@@ -213,15 +213,22 @@ func FigA1(o Options) []*stats.Table {
 	return []*stats.Table{tb}
 }
 
+// histoSlots returns the scaled per-PE histogram table size, shared by the
+// simulated and real histogram runners so both worlds run the same workload.
+func (o Options) histoSlots() int {
+	s := 4096 / o.ItemDiv
+	if s < 16 {
+		s = 16
+	}
+	return s
+}
+
 // histoPoint runs one histogram configuration and returns total seconds.
 func histoPoint(o Options, topo cluster.Topology, scheme core.Scheme, z, g int) histogram.Result {
 	cfg := histogram.DefaultConfig(topo, scheme)
 	cfg.UpdatesPerPE = z
 	cfg.Tram.BufferItems = g
-	cfg.SlotsPerPE = 4096 / o.ItemDiv
-	if cfg.SlotsPerPE < 16 {
-		cfg.SlotsPerPE = 16
-	}
+	cfg.SlotsPerPE = o.histoSlots()
 	cfg.Seed = o.Seed
 	return histogram.Run(cfg)
 }

@@ -74,6 +74,12 @@ func measure(name string, f func() (events uint64, simMS float64)) PerfPoint {
 //     TramLib seal/deliver path) for an SMP-aware and the SMP-unaware scheme.
 //   - fig11-j*: wall time of a full figure sweep at 1 worker vs all cores,
 //     measuring the parallel harness speedup.
+//   - real-histogram-*: the same histogram kernel on the real-concurrency
+//     runtime (internal/rt), one point per scheme wiring. Events counts
+//     delivered updates, so allocs_per_event tracks the pooled seal/deliver
+//     hot path of the goroutine runtime. Wall time is scheduling-dependent;
+//     the alloc columns are the stable trajectory (cmd/perfcheck applies a
+//     looser gate to real-* points than to simulator points).
 func CorePerf(o Options) Perf {
 	o = o.normalized()
 	perf := Perf{
@@ -125,5 +131,17 @@ func CorePerf(o Options) Perf {
 		measure("fig11-j1", fig11(1)),
 		measure("fig11-jmax", fig11(runtime.NumCPU())),
 	)
+
+	for _, s := range []core.Scheme{core.WW, core.WPs, core.WsP, core.PP} {
+		s := s
+		perf.Points = append(perf.Points, measure("real-histogram-"+s.String(), func() (uint64, float64) {
+			cfg := histogram.DefaultRealConfig(cluster.SMP(2, 2, 4), s)
+			cfg.UpdatesPerPE = 1 << 16
+			cfg.SlotsPerPE = 512
+			cfg.Seed = o.Seed
+			r := histogram.RunReal(cfg)
+			return uint64(r.TotalUpdates), 0
+		}))
+	}
 	return perf
 }

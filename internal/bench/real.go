@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"fmt"
+
+	"tramlib/internal/apps/histogram"
+	"tramlib/internal/apps/indexgather"
+	"tramlib/internal/apps/pingack"
+	"tramlib/internal/cluster"
+	"tramlib/internal/core"
+	"tramlib/internal/stats"
+)
+
+// This file produces the simulated-vs-measured tables behind cmd/tramlab's
+// -real flag: the same kernels (identical rng streams and update derivation)
+// run once on the discrete-event simulator and once on the real-concurrency
+// runtime (internal/rt), per aggregation scheme. The simulated column is
+// virtual time from the §III-C cost model; the measured column is host
+// wall-clock. Their *ratios across schemes* are what the calibration
+// argument compares — absolute values differ by construction (the simulator
+// models a multi-node cluster, the runtime measures one shared-memory host).
+//
+// Simulated points run through the deterministic parallel harness; real
+// points run strictly one at a time so each measured run owns the host's
+// cores.
+
+// realTopo is the topology both worlds run for the comparison: 2 "nodes" x
+// 2 processes x 4 workers = 16 PEs, host-sized for the goroutine runtime.
+func realTopo() cluster.Topology { return cluster.SMP(2, 2, 4) }
+
+// realSchemes are the wirings the -real mode exercises.
+var realSchemes = []core.Scheme{core.WW, core.WPs, core.WsP, core.PP}
+
+// RealHistogram returns the histogram sim-vs-real table.
+func RealHistogram(o Options) *stats.Table {
+	o = o.normalized()
+	topo := realTopo()
+	z := o.items(1 << 18)
+	const g = 1024
+
+	tb := stats.NewTable(
+		fmt.Sprintf("Real histogram: %d updates/PE on %v, simulated vs measured", z, topo),
+		"scheme", "sim_ms", "real_ms", "sim_msgs", "real_batches", "real_deadline_flush", "updates_ok")
+
+	simRes := make([]histogram.Result, len(realSchemes))
+	o.runPoints(len(realSchemes), func(i int) {
+		simRes[i] = histoPoint(o, topo, realSchemes[i], z, g)
+		o.progressf("real-histogram sim %v done: %v", realSchemes[i], simRes[i].Time)
+	})
+	for i, s := range realSchemes {
+		cfg := histogram.DefaultRealConfig(topo, s)
+		cfg.UpdatesPerPE = z
+		cfg.BufferItems = g
+		cfg.SlotsPerPE = o.histoSlots()
+		cfg.Seed = o.Seed
+		res := histogram.RunReal(cfg)
+		o.progressf("real-histogram real %v done: %v (%d batches)", s, res.Wall, res.Batches)
+
+		expected := int64(topo.TotalWorkers()) * int64(z)
+		ok := "yes"
+		if res.TotalUpdates != expected || res.CheckSum != expected {
+			ok = "NO"
+		}
+		sr := simRes[i]
+		tb.AddRowf(s.String(),
+			sr.Time.Seconds()*1e3,
+			float64(res.Wall)/1e6,
+			sr.RemoteMsgs+sr.FlushMsgs,
+			res.Batches,
+			res.DeadlineFlushes,
+			ok)
+	}
+	return tb
+}
+
+// RealIndexGather returns the index-gather latency sim-vs-real table: the
+// paper's latency ordering (PP fills shared buffers fastest, WW private
+// per-worker buffers slowest) should reproduce in both columns.
+func RealIndexGather(o Options) *stats.Table {
+	o = o.normalized()
+	topo := realTopo()
+	z := o.items(1 << 17)
+	igSchemes := []core.Scheme{core.WW, core.WPs, core.PP}
+
+	tb := stats.NewTable(
+		fmt.Sprintf("Real index-gather: %d requests/PE on %v, request latency", z, topo),
+		"scheme", "sim_mean_us", "real_mean_us", "real_p99_us", "real_ms", "responses_ok")
+
+	simRes := make([]indexgather.Result, len(igSchemes))
+	o.runPoints(len(igSchemes), func(i int) {
+		cfg := indexgather.DefaultConfig(topo, igSchemes[i])
+		cfg.RequestsPerPE = z
+		cfg.Seed = o.Seed
+		simRes[i] = indexgather.Run(cfg)
+		o.progressf("real-ig sim %v done: lat=%.0fns", igSchemes[i], simRes[i].Latency.Mean())
+	})
+	for i, s := range igSchemes {
+		cfg := indexgather.DefaultRealConfig(topo, s)
+		cfg.RequestsPerPE = z
+		cfg.Seed = o.Seed
+		res := indexgather.RunReal(cfg)
+		o.progressf("real-ig real %v done: lat=%.0fns", s, res.Latency.Mean())
+
+		ok := "yes"
+		if res.Responses != int64(topo.TotalWorkers())*int64(z) {
+			ok = "NO"
+		}
+		tb.AddRowf(s.String(),
+			simRes[i].Latency.Mean()/1e3,
+			res.Latency.Mean()/1e3,
+			float64(res.Latency.Quantile(0.99))/1e3,
+			float64(res.Wall)/1e6,
+			ok)
+	}
+	return tb
+}
+
+// RealPingAck returns the ping-ack sim-vs-real table: per-message transport
+// cost without aggregation, over the SMP process sweep.
+func RealPingAck(o Options) *stats.Table {
+	o = o.normalized()
+	msgs := o.items(1 << 18)
+	// Both runners divide the total evenly among the 8 node-0 workers
+	// (flooring, min 1 each); report the count actually sent.
+	perPE := msgs / 8
+	if perPE == 0 {
+		perPE = 1
+	}
+	sent := perPE * 8
+
+	tb := stats.NewTable(
+		fmt.Sprintf("Real ping-ack: %d messages, 8 workers/node, simulated vs measured", sent),
+		"config", "sim_ms", "real_ms", "real_msgs_per_sec", "acks_ok")
+
+	procSweep := []int{0, 1, 2, 4}
+	simRes := make([]pingack.Result, len(procSweep))
+	o.runPoints(len(procSweep), func(i int) {
+		cfg := pingack.DefaultConfig()
+		cfg.WorkersPerNode = 8
+		cfg.TotalMessages = msgs
+		cfg.ProcsPerNode = procSweep[i]
+		simRes[i] = pingack.Run(cfg)
+		o.progressf("real-pingack sim procs=%d done: %v", procSweep[i], simRes[i].TotalTime)
+	})
+	for i, procs := range procSweep {
+		cfg := pingack.DefaultRealConfig()
+		cfg.WorkersPerNode = 8
+		cfg.TotalMessages = msgs
+		cfg.ProcsPerNode = procs
+		res := pingack.RunReal(cfg)
+		o.progressf("real-pingack real procs=%d done: %v", procs, res.Wall)
+
+		name := "non-SMP"
+		if procs > 0 {
+			name = fmt.Sprintf("SMP %dp", procs)
+		}
+		rate := 0.0
+		if res.Wall > 0 {
+			rate = float64(sent) / res.Wall.Seconds()
+		}
+		ok := "yes"
+		if res.Acks != int64(cfg.WorkersPerNode) {
+			ok = "NO"
+		}
+		tb.AddRowf(name,
+			simRes[i].TotalTime.Seconds()*1e3,
+			float64(res.Wall)/1e6,
+			rate,
+			ok)
+	}
+	return tb
+}
+
+// RealTables runs every sim-vs-real comparison (the -real mode).
+func RealTables(o Options) []*stats.Table {
+	return []*stats.Table{RealHistogram(o), RealIndexGather(o), RealPingAck(o)}
+}

@@ -121,8 +121,8 @@ type Fabric struct {
 	shards  int
 	deliver DeliverFunc
 
-	inboxes []chan []uint64     // one per destination shard
-	ppBufs  [][]*shmem.MPBuffer // [srcShard][dstShard], PP only
+	inboxes []chan []uint64             // one per destination shard
+	ppBufs  [][]*shmem.MPBuffer[uint64] // [srcShard][dstShard], PP only
 
 	consumers sync.WaitGroup
 	closeOnce sync.Once
@@ -148,12 +148,12 @@ func New(cfg Config, deliver DeliverFunc) (*Fabric, error) {
 		f.inboxes[s] = make(chan []uint64, cfg.InboxDepth)
 	}
 	if cfg.Scheme == PP {
-		f.ppBufs = make([][]*shmem.MPBuffer, f.shards)
+		f.ppBufs = make([][]*shmem.MPBuffer[uint64], f.shards)
 		for src := range f.ppBufs {
-			f.ppBufs[src] = make([]*shmem.MPBuffer, f.shards)
+			f.ppBufs[src] = make([]*shmem.MPBuffer[uint64], f.shards)
 			for dst := range f.ppBufs[src] {
 				inbox := f.inboxes[dst]
-				f.ppBufs[src][dst] = shmem.NewMPBuffer(cfg.BatchItems, func(b shmem.Batch) {
+				f.ppBufs[src][dst] = shmem.NewMPBuffer(cfg.BatchItems, func(b shmem.Batch[uint64]) {
 					inbox <- b.Items
 				})
 			}
@@ -188,7 +188,7 @@ type Handle struct {
 	worker int
 	shard  int
 	// wpsBufs are the private per-destination-shard buffers (WPs).
-	wpsBufs []*shmem.SPBuffer
+	wpsBufs []*shmem.SPBuffer[uint64]
 }
 
 // Worker returns a handle for producer w.
@@ -198,10 +198,10 @@ func (f *Fabric) Worker(w int) *Handle {
 	}
 	h := &Handle{f: f, worker: w, shard: f.ShardOf(w)}
 	if f.cfg.Scheme == WPs {
-		h.wpsBufs = make([]*shmem.SPBuffer, f.shards)
+		h.wpsBufs = make([]*shmem.SPBuffer[uint64], f.shards)
 		for s := range h.wpsBufs {
 			inbox := f.inboxes[s]
-			h.wpsBufs[s] = shmem.NewSPBuffer(f.cfg.BatchItems, func(b shmem.Batch) {
+			h.wpsBufs[s] = shmem.NewSPBuffer(f.cfg.BatchItems, func(b shmem.Batch[uint64]) {
 				inbox <- b.Items
 			})
 		}

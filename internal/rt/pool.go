@@ -1,0 +1,48 @@
+package rt
+
+import "sync"
+
+// slicePool recycles batch storage across goroutines: the consumer that
+// finished delivering a batch puts its slice back, and the buffers' SetAlloc
+// hooks get replacement storage from the same pool.
+//
+// Slices travel inside pointer boxes because storing a bare slice in a
+// sync.Pool heap-allocates its three-word header on every Put (staticcheck
+// SA6002) — an allocation per delivered batch on the exact path the repo
+// gates by allocs_per_event. Boxes are pointer-sized interface values, so
+// Get and Put allocate nothing in steady state; drained boxes recycle
+// through a second pool.
+type slicePool[T any] struct {
+	full   sync.Pool // *sliceBox[T] carrying storage
+	empty  sync.Pool // *sliceBox[T] with nil storage
+	minCap int       // capacity for fresh allocations (one full buffer)
+}
+
+type sliceBox[T any] struct{ s []T }
+
+// get returns a slice of length n with capacity >= max(n, minCap).
+func (p *slicePool[T]) get(n int) []T {
+	if b, _ := p.full.Get().(*sliceBox[T]); b != nil {
+		s := b.s
+		b.s = nil
+		p.empty.Put(b)
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	c := p.minCap
+	if n > c {
+		c = n
+	}
+	return make([]T, n, c)
+}
+
+// put recycles s for a future get.
+func (p *slicePool[T]) put(s []T) {
+	b, _ := p.empty.Get().(*sliceBox[T])
+	if b == nil {
+		b = new(sliceBox[T])
+	}
+	b.s = s[:0]
+	p.full.Put(b)
+}

@@ -1,0 +1,41 @@
+package rt
+
+import "sync/atomic"
+
+// mpsc is an unbounded lock-free multi-producer single-consumer message
+// queue: a Treiber stack on the push side, reversed into FIFO order when the
+// consumer drains it. Push never blocks and never allocates, which is what
+// makes the runtime deadlock-free: a worker can always hand off a sealed
+// batch, no matter how far behind its destination is.
+//
+// The msg.next link is owned by the queue between push and popAll; the
+// atomic swap in popAll is the acquire that makes the pushed nodes (and the
+// payloads they point to) visible to the consumer.
+type mpsc struct {
+	head atomic.Pointer[msg]
+}
+
+// push enqueues m. Safe from any goroutine.
+func (q *mpsc) push(m *msg) {
+	for {
+		h := q.head.Load()
+		m.next = h
+		if q.head.CompareAndSwap(h, m) {
+			return
+		}
+	}
+}
+
+// popAll detaches every queued message and returns them linked in FIFO
+// order (nil if empty). Only the owning consumer may call it.
+func (q *mpsc) popAll() *msg {
+	h := q.head.Swap(nil)
+	var fifo *msg
+	for h != nil {
+		next := h.next
+		h.next = fifo
+		fifo = h
+		h = next
+	}
+	return fifo
+}

@@ -1,0 +1,830 @@
+// Package rt is the real-concurrency TramLib runtime: it executes the same
+// application kernels the simulator runs (histogram, index-gather, ping-ack)
+// on actual goroutines communicating through the lock-free aggregation
+// buffers of internal/shmem, wired per scheme exactly as §III-B prescribes:
+//
+//	Direct  every Send is its own single-item message (baseline).
+//	WW      each worker owns one shmem.SPBuffer per destination worker and —
+//	        being the SMP-unaware scheme — also buffers same-process items.
+//	WPs     each worker owns one SPBuffer per destination process; a worker
+//	        of the receiving process groups arriving items by destination
+//	        worker and forwards the runs.
+//	WsP     like WPs, but the source worker groups items into runs before
+//	        sending; the receiver only forwards them.
+//	PP      all workers of a process share one shmem.MPBuffer per
+//	        destination process, filled through the atomic claim/seal
+//	        protocol.
+//
+// The SMP-aware schemes (WPs, WsP, PP) deliver same-process items directly,
+// and self items are delivered inline — mirroring core.Lib.Insert.
+//
+// Where internal/charm models time by charging virtual costs, this runtime
+// measures wall-clock time; comparing the two is the sim-vs-real calibration
+// the paper's cost model (§III-C) rests on. internal/bench's -real tables
+// put the columns side by side.
+//
+// # Execution model
+//
+// Each simulated "process" is a group of worker goroutines. A worker runs
+// its kernel in chunks (Config.ChunkSize generation steps), draining its
+// inbox and checking the delivery deadline between chunks — the analogue of
+// Charm++'s scheduler slots. When its kernel is exhausted the worker flushes
+// its buffers and keeps draining deliveries until global quiescence.
+//
+// Quiescence mirrors charm.Runtime.Run: every inserted item is tracked in an
+// in-flight counter that is decremented only after the item's DeliverFunc
+// returns, so sends issued from delivery handlers (index-gather responses)
+// extend the run; the runtime completes when no worker is generating and no
+// item is undelivered.
+//
+// # Latency bound
+//
+// A progress goroutine enforces the paper's §III delivery deadline
+// (Config.FlushDeadline): it polls every buffer's OldestNanos stamp and
+// force-flushes those holding items longer than the deadline — directly for
+// the shared PP buffers (MPBuffer.Flush is safe from any goroutine), and by
+// posting a flush request to the owning worker for single-producer buffers.
+// Workers additionally flush everything they own whenever they go idle,
+// mirroring core.Config.FlushOnIdle.
+//
+// # Pooling and batch ownership
+//
+// Sealed batches travel by reference, never copied on the wire: the slice a
+// buffer emits is handed through the destination's inbox and ownership moves
+// with it. The receiving worker returns the slice (and the message node
+// wrapping it) to the runtime's pools after delivering its items; the
+// buffers' SetAlloc hooks draw replacement storage from the same pools, so
+// the steady-state seal/deliver cycle recycles a fixed set of arrays.
+// DeliverFunc receives scalar payloads and must not retain them — exactly
+// the contract core.Lib imposes on applications.
+package rt
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tramlib/internal/cluster"
+	"tramlib/internal/core"
+	"tramlib/internal/shmem"
+)
+
+// Item is one in-flight application item: a packed payload addressed to a
+// destination worker. The process-addressed schemes ship it whole (the
+// paper's <item, dest_w> framing) instead of stealing payload bits.
+type Item struct {
+	Dest cluster.WorkerID
+	Val  uint64
+}
+
+// DeliverFunc receives one item at its destination. It runs on the
+// destination worker's goroutine (ctx.Self() is the destination), so
+// per-worker application state indexed by ctx.Self() needs no locking.
+type DeliverFunc func(ctx *Ctx, value uint64)
+
+// KernelFunc is one generation step of a worker's kernel, called with
+// step = 0 .. steps-1. It runs on the worker's goroutine.
+type KernelFunc func(ctx *Ctx, step int)
+
+// SpawnFunc assigns each worker its kernel: it returns the number of generation
+// steps and the step function (nil kernel or zero steps means the worker
+// only consumes). Called once per worker before the run starts.
+type SpawnFunc func(w cluster.WorkerID) (steps int, kernel KernelFunc)
+
+// Config parameterizes one real run.
+type Config struct {
+	Topo   cluster.Topology
+	Scheme core.Scheme
+	// BufferItems is g: items per aggregation buffer.
+	BufferItems int
+	// FlushDeadline is the paper's latency bound: the longest an item may
+	// sit in a buffer before the progress goroutine force-flushes it.
+	// 0 disables deadline flushing (idle flushes still guarantee progress).
+	FlushDeadline time.Duration
+	// ChunkSize is the number of generation steps a worker runs between
+	// inbox drains and deadline checks (a Charm++ scheduler slot).
+	ChunkSize int
+}
+
+// DefaultConfig returns a paper-like real-runtime configuration.
+func DefaultConfig(topo cluster.Topology, scheme core.Scheme) Config {
+	return Config{
+		Topo:          topo,
+		Scheme:        scheme,
+		BufferItems:   1024,
+		FlushDeadline: time.Millisecond,
+		ChunkSize:     256,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Topo.Validate(); err != nil {
+		return err
+	}
+	if c.Scheme > core.PP {
+		return fmt.Errorf("rt: invalid scheme %d", c.Scheme)
+	}
+	if c.Scheme != core.Direct && c.BufferItems <= 0 {
+		return fmt.Errorf("rt: BufferItems must be positive, got %d", c.BufferItems)
+	}
+	if c.ChunkSize <= 0 {
+		return fmt.Errorf("rt: ChunkSize must be positive, got %d", c.ChunkSize)
+	}
+	if c.FlushDeadline < 0 {
+		return fmt.Errorf("rt: negative FlushDeadline")
+	}
+	return nil
+}
+
+// Metrics counts runtime activity. All fields are atomically updated and may
+// be read after Run returns.
+type Metrics struct {
+	Inserted    atomic.Int64 // items passed to Send
+	Delivered   atomic.Int64 // items handed to DeliverFunc (excluding self items)
+	SelfItems   atomic.Int64 // self items delivered inline
+	LocalDirect atomic.Int64 // same-process items delivered unbuffered (SMP-aware path)
+	Batches     atomic.Int64 // aggregated batches emitted
+	FullBatches atomic.Int64 // batches emitted because a buffer filled
+	Flushes     atomic.Int64 // batches emitted by an explicit/idle/deadline flush
+	// DeadlineFlushes counts batches flushed specifically by the progress
+	// goroutine's latency bound (also counted in Flushes).
+	DeadlineFlushes atomic.Int64
+}
+
+// Result reports one completed run.
+type Result struct {
+	// Wall is the measured wall-clock makespan: goroutine launch to global
+	// quiescence.
+	Wall time.Duration
+	// Delivered is the number of items handed to the application,
+	// including inline self items.
+	Delivered int64
+	// Inserted is the number of Send calls.
+	Inserted int64
+	// Reduced is the sum of all Contribute values (the runtime's global
+	// reduction, Charm++'s contribute/reduction pair).
+	Reduced int64
+	// Batches/FullBatches/Flushes/DeadlineFlushes/LocalDirect mirror
+	// Metrics at completion.
+	Batches         int64
+	FullBatches     int64
+	Flushes         int64
+	DeadlineFlushes int64
+	LocalDirect     int64
+}
+
+// msgKind discriminates inbox message layouts.
+type msgKind uint8
+
+const (
+	mkToWorker msgKind = iota // payloads all addressed to the receiving worker
+	mkItems                   // items for several workers of the receiving process (WPs/PP)
+	mkRuns                    // pre-grouped runs (WsP): deliver own, forward the rest
+	mkFlushReq                // progress goroutine: deadline-flush your SP buffers
+)
+
+// runRef is one pre-grouped run inside an mkRuns message.
+type runRef struct {
+	dest     cluster.WorkerID
+	payloads []uint64
+}
+
+// msg is one inbox delivery. Nodes and their slices are pooled; see the
+// package comment for the ownership rules.
+type msg struct {
+	next     *msg // mpsc link
+	kind     msgKind
+	payloads []uint64 // mkToWorker
+	items    []Item   // mkItems
+	runs     []runRef // mkRuns
+	inlined  bool     // payloads aliases inline (single-item fast path)
+	inline   [1]uint64
+}
+
+// worker is one PE: a goroutine owning an inbox and (per scheme) a set of
+// single-producer buffers.
+type worker struct {
+	id    cluster.WorkerID
+	proc  cluster.ProcID
+	rank  int
+	rt    *Runtime
+	inbox mpsc
+	note  chan struct{} // capacity 1: wake-up for a parked worker
+
+	kernel KernelFunc
+	steps  int
+
+	// wwBufs[d] (WW) buffers items for destination worker d.
+	wwBufs []*shmem.SPBuffer[uint64]
+	// wpsBufs[p] (WPs/WsP) buffers items for destination process p.
+	wpsBufs []*shmem.SPBuffer[Item]
+
+	// flushReq is set by the progress goroutine when it posts an mkFlushReq,
+	// cleared when the worker handles it; it keeps the inbox from flooding.
+	flushReq atomic.Bool
+
+	// runScratch is reused across mkItems groupings (the worker handles one
+	// message at a time, and runs are consumed before the next grouping).
+	runScratch []runRef
+
+	ctx     Ctx
+	contrib int64
+}
+
+// Ctx is the execution context passed to kernels and DeliverFunc, mirroring
+// charm.Ctx's application surface: Send submits an item, Contribute feeds the
+// global reduction, Flush force-seals the caller's buffers. A kernel signals
+// Done by returning from its last step. Must not be retained or shared
+// across goroutines.
+type Ctx struct {
+	rt *Runtime
+	w  *worker
+}
+
+// procState is per-simulated-process shared state.
+type procState struct {
+	// ppBufs[p] (PP) is the process's shared buffer toward process p.
+	ppBufs []*shmem.MPBuffer[Item]
+}
+
+// Runtime executes kernels over real goroutines. Create with New, then Run.
+type Runtime struct {
+	cfg     Config
+	topo    cluster.Topology
+	deliver DeliverFunc
+
+	workers []*worker
+	procs   []*procState
+	procRR  []atomic.Int32 // receiving-worker round-robin per process
+
+	producing atomic.Int64 // workers still in their generation phase
+	inflight  atomic.Int64 // items inserted but not yet delivered
+	done      chan struct{}
+	doneOnce  sync.Once
+
+	msgPool  sync.Pool // *msg
+	u64s     slicePool[uint64]
+	itemsPkd slicePool[Item]
+
+	M Metrics
+}
+
+// New builds a runtime. spawn assigns each worker its kernel.
+func New(cfg Config, deliver DeliverFunc, spawn SpawnFunc) *Runtime {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	topo := cfg.Topo
+	rt := &Runtime{
+		cfg:     cfg,
+		topo:    topo,
+		deliver: deliver,
+		done:    make(chan struct{}),
+		procRR:  make([]atomic.Int32, topo.TotalProcs()),
+	}
+	rt.msgPool.New = func() any { return &msg{} }
+	minCap := cfg.BufferItems
+	if minCap <= 0 {
+		minCap = 1
+	}
+	rt.u64s.minCap = minCap
+	rt.itemsPkd.minCap = minCap
+
+	W := topo.TotalWorkers()
+	P := topo.TotalProcs()
+	rt.workers = make([]*worker, W)
+	for i := range rt.workers {
+		w := &worker{
+			id:   cluster.WorkerID(i),
+			proc: topo.ProcOf(cluster.WorkerID(i)),
+			rank: topo.RankInProc(cluster.WorkerID(i)),
+			rt:   rt,
+			note: make(chan struct{}, 1),
+		}
+		w.ctx = Ctx{rt: rt, w: w}
+		w.steps, w.kernel = spawn(w.id)
+		rt.workers[i] = w
+	}
+
+	// Slots that can never receive an item stay nil (scan loops skip them):
+	// Send short-circuits dest == self inline, so wwBufs[w.id] is unused;
+	// the SMP-aware schemes route same-process items through LocalDirect,
+	// so wpsBufs[w.proc] and ppBufs[p][p] are unused.
+	switch cfg.Scheme {
+	case core.WW:
+		for _, w := range rt.workers {
+			w.wwBufs = make([]*shmem.SPBuffer[uint64], W)
+			for d := range w.wwBufs {
+				if cluster.WorkerID(d) == w.id {
+					continue
+				}
+				dest := cluster.WorkerID(d)
+				b := shmem.NewSPBuffer(cfg.BufferItems, func(bt shmem.Batch[uint64]) {
+					rt.emitToWorker(dest, bt.Items, len(bt.Items) == cfg.BufferItems)
+				})
+				b.SetAlloc(rt.allocU64)
+				w.wwBufs[d] = b
+			}
+		}
+	case core.WPs, core.WsP:
+		grouped := cfg.Scheme == core.WsP
+		for _, w := range rt.workers {
+			w.wpsBufs = make([]*shmem.SPBuffer[Item], P)
+			for p := range w.wpsBufs {
+				if cluster.ProcID(p) == w.proc {
+					continue
+				}
+				dst := cluster.ProcID(p)
+				b := shmem.NewSPBuffer(cfg.BufferItems, func(bt shmem.Batch[Item]) {
+					rt.emitToProc(dst, bt.Items, grouped, len(bt.Items) == cfg.BufferItems)
+				})
+				b.SetAlloc(rt.allocItems)
+				w.wpsBufs[p] = b
+			}
+		}
+	case core.PP:
+		rt.procs = make([]*procState, P)
+		for sp := range rt.procs {
+			ps := &procState{ppBufs: make([]*shmem.MPBuffer[Item], P)}
+			for p := range ps.ppBufs {
+				if p == sp {
+					continue
+				}
+				dst := cluster.ProcID(p)
+				b := shmem.NewMPBuffer(cfg.BufferItems, func(bt shmem.Batch[Item]) {
+					rt.emitToProc(dst, bt.Items, false, len(bt.Items) == cfg.BufferItems)
+				})
+				b.SetAlloc(rt.allocItemsFull)
+				ps.ppBufs[p] = b
+			}
+			rt.procs[sp] = ps
+		}
+	}
+	return rt
+}
+
+// Run launches every worker goroutine plus the progress goroutine, executes
+// to global quiescence, and returns the measured result.
+func (rt *Runtime) Run() Result {
+	rt.producing.Store(int64(len(rt.workers)))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for _, w := range rt.workers {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.run()
+		}()
+	}
+	if rt.cfg.FlushDeadline > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rt.progress()
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	res := Result{
+		Wall:            wall,
+		Delivered:       rt.M.Delivered.Load() + rt.M.SelfItems.Load(),
+		Inserted:        rt.M.Inserted.Load(),
+		Batches:         rt.M.Batches.Load(),
+		FullBatches:     rt.M.FullBatches.Load(),
+		Flushes:         rt.M.Flushes.Load(),
+		DeadlineFlushes: rt.M.DeadlineFlushes.Load(),
+		LocalDirect:     rt.M.LocalDirect.Load(),
+	}
+	for _, w := range rt.workers {
+		res.Reduced += w.contrib
+	}
+	return res
+}
+
+// Workers returns the total worker count.
+func (rt *Runtime) Workers() int { return len(rt.workers) }
+
+// --- pools ---
+
+func (rt *Runtime) allocU64(n int) []uint64 { return rt.u64s.get(n) }
+
+func (rt *Runtime) allocItems(n int) []Item { return rt.itemsPkd.get(n) }
+
+// allocItemsFull is allocItems for MPBuffer epochs (same contract).
+func (rt *Runtime) allocItemsFull(n int) []Item { return rt.allocItems(n) }
+
+func (rt *Runtime) putU64(s []uint64) { rt.u64s.put(s) }
+func (rt *Runtime) putItems(s []Item) { rt.itemsPkd.put(s) }
+func (rt *Runtime) getMsg() *msg      { return rt.msgPool.Get().(*msg) }
+func (rt *Runtime) putMsg(m *msg)     { *m = msg{runs: m.runs[:0]}; rt.msgPool.Put(m) }
+
+// --- send side ---
+
+// post enqueues m on worker w's inbox and wakes it if parked.
+func (rt *Runtime) post(w *worker, m *msg) {
+	w.inbox.push(m)
+	select {
+	case w.note <- struct{}{}:
+	default:
+	}
+}
+
+// postInline ships one unbuffered item as a worker-addressed message whose
+// payload lives in the message node itself (no slice pooling involved): the
+// Direct scheme and the SMP-aware local path.
+func (rt *Runtime) postInline(dest cluster.WorkerID, value uint64) {
+	m := rt.getMsg()
+	m.kind = mkToWorker
+	m.inlined = true
+	m.inline[0] = value
+	m.payloads = m.inline[:1]
+	rt.post(rt.workers[dest], m)
+}
+
+// nextRecv picks the receiving worker of process p round-robin (the Charm++
+// nodegroup delivery the simulator implements in charm.Runtime.nextRR).
+func (rt *Runtime) nextRecv(p cluster.ProcID) *worker {
+	t := int32(rt.topo.WorkersPerProc)
+	r := rt.procRR[p].Add(1) - 1
+	rank := int(((r % t) + t) % t)
+	return rt.workers[rt.topo.WorkerOf(p, rank)]
+}
+
+// emitToWorker ships a sealed worker-addressed batch (WW and forwarded runs).
+func (rt *Runtime) emitToWorker(dest cluster.WorkerID, payloads []uint64, full bool) {
+	rt.accountBatch(full)
+	m := rt.getMsg()
+	m.kind = mkToWorker
+	m.payloads = payloads
+	rt.post(rt.workers[dest], m)
+}
+
+// emitToProc ships a sealed process-addressed batch. For WsP (grouped) the
+// items are counting-sorted into per-worker runs here, on the emitting
+// goroutine — the source-side grouping cost of Fig. 6; for WPs/PP the
+// receiver pays it instead.
+func (rt *Runtime) emitToProc(dst cluster.ProcID, items []Item, grouped, full bool) {
+	rt.accountBatch(full)
+	m := rt.getMsg()
+	if grouped {
+		m.kind = mkRuns
+		m.runs = rt.groupRuns(m.runs[:0], dst, items)
+		rt.putItems(items)
+	} else {
+		m.kind = mkItems
+		m.items = items
+	}
+	rt.post(rt.nextRecv(dst), m)
+}
+
+// groupRuns counting-sorts items by destination rank into pooled per-run
+// payload slices.
+func (rt *Runtime) groupRuns(runs []runRef, dst cluster.ProcID, items []Item) []runRef {
+	first := rt.topo.FirstWorkerOf(dst)
+	t := rt.topo.WorkersPerProc
+	var scratch [][]uint64
+	if t <= 64 {
+		var arr [64][]uint64
+		scratch = arr[:t]
+	} else {
+		scratch = make([][]uint64, t)
+	}
+	for _, it := range items {
+		r := int(it.Dest - first)
+		if scratch[r] == nil {
+			scratch[r] = rt.allocU64(0)
+		}
+		scratch[r] = append(scratch[r], it.Val)
+	}
+	for r := 0; r < t; r++ {
+		if scratch[r] != nil {
+			runs = append(runs, runRef{dest: first + cluster.WorkerID(r), payloads: scratch[r]})
+		}
+	}
+	return runs
+}
+
+func (rt *Runtime) accountBatch(full bool) {
+	rt.M.Batches.Add(1)
+	if full {
+		rt.M.FullBatches.Add(1)
+	} else {
+		rt.M.Flushes.Add(1)
+	}
+}
+
+// --- Ctx API ---
+
+// Self returns the executing worker's id.
+func (c *Ctx) Self() cluster.WorkerID { return c.w.id }
+
+// Proc returns the executing worker's process.
+func (c *Ctx) Proc() cluster.ProcID { return c.w.proc }
+
+// Runtime returns the runtime (topology queries, metrics).
+func (c *Ctx) Runtime() *Runtime { return c.rt }
+
+// Topo returns the cluster topology.
+func (c *Ctx) Topo() cluster.Topology { return c.rt.topo }
+
+// Contribute adds v to the runtime's global reduction (summed into
+// Result.Reduced). Lock-free: each worker owns its accumulator.
+func (c *Ctx) Contribute(v int64) { c.w.contrib += v }
+
+// Send submits one item for delivery to worker dest, routing it through the
+// configured scheme's wiring — the real counterpart of core.Lib.Insert.
+func (c *Ctx) Send(dest cluster.WorkerID, value uint64) {
+	rt := c.rt
+	w := c.w
+	rt.M.Inserted.Add(1)
+
+	if dest == w.id {
+		// Self items short-circuit inline, as in the simulator.
+		rt.M.SelfItems.Add(1)
+		rt.deliver(c, value)
+		return
+	}
+
+	rt.inflight.Add(1)
+	dstProc := rt.topo.ProcOf(dest)
+	scheme := rt.cfg.Scheme
+	if scheme != core.Direct && scheme != core.WW && dstProc == w.proc {
+		// SMP-aware local path: direct unbuffered delivery.
+		rt.M.LocalDirect.Add(1)
+		rt.postInline(dest, value)
+		return
+	}
+
+	switch scheme {
+	case core.Direct:
+		rt.postInline(dest, value)
+	case core.WW:
+		w.wwBufs[dest].Push(value)
+	case core.WPs, core.WsP:
+		w.wpsBufs[dstProc].Push(Item{Dest: dest, Val: value})
+	case core.PP:
+		rt.procs[w.proc].ppBufs[dstProc].Push(Item{Dest: dest, Val: value})
+	}
+}
+
+// Flush force-seals every buffer the calling worker owns (and, for PP, its
+// process's shared buffers) — the explicit end-of-phase flush of the paper.
+func (c *Ctx) Flush() { c.w.flushOwn(); c.rt.flushProc(c.w.proc) }
+
+// --- worker loop ---
+
+func (w *worker) run() {
+	rt := w.rt
+	if w.kernel != nil && w.steps > 0 {
+		chunk := rt.cfg.ChunkSize
+		for done := 0; done < w.steps; {
+			n := chunk
+			if rest := w.steps - done; rest < n {
+				n = rest
+			}
+			for i := 0; i < n; i++ {
+				w.kernel(&w.ctx, done+i)
+			}
+			done += n
+			w.drain()
+			w.deadlineFlush()
+		}
+	}
+	// Generation over: flush and enter the consume-only phase.
+	w.flushOwn()
+	rt.flushProc(w.proc)
+	if rt.producing.Add(-1) == 0 {
+		rt.checkQuiesce()
+	}
+	for {
+		if w.drain() {
+			continue
+		}
+		// Idle: everything delivered locally; flush what we buffered while
+		// draining (responses), then park until a message or quiescence.
+		w.flushOwn()
+		rt.flushProc(w.proc)
+		if w.drain() {
+			continue
+		}
+		select {
+		case <-w.note:
+		case <-rt.done:
+			return
+		}
+	}
+}
+
+// drain processes every currently queued inbox message, reporting whether
+// any was handled.
+func (w *worker) drain() bool {
+	m := w.inbox.popAll()
+	if m == nil {
+		return false
+	}
+	for m != nil {
+		next := m.next
+		m.next = nil
+		w.handle(m)
+		m = next
+	}
+	return true
+}
+
+// handle delivers one inbox message and recycles its storage.
+func (w *worker) handle(m *msg) {
+	rt := w.rt
+	switch m.kind {
+	case mkToWorker:
+		n := len(m.payloads)
+		for _, v := range m.payloads {
+			rt.deliver(&w.ctx, v)
+		}
+		rt.M.Delivered.Add(int64(n))
+		if !m.inlined {
+			rt.putU64(m.payloads)
+		}
+		rt.putMsg(m)
+		rt.finish(int64(n))
+
+	case mkItems:
+		// Destination-side grouping (WPs, PP): deliver own items, forward
+		// the other workers' runs through shared memory.
+		items := m.items
+		rt.putMsg(m)
+		runs := rt.groupRuns(w.runScratch[:0], w.proc, items)
+		w.runScratch = runs
+		rt.putItems(items)
+		w.scatterRuns(runs)
+
+	case mkRuns:
+		// Source-grouped (WsP): just scatter the runs.
+		runs := m.runs
+		w.scatterRuns(runs)
+		rt.putMsg(m)
+
+	case mkFlushReq:
+		w.flushReq.Store(false)
+		w.deadlineFlush()
+		rt.putMsg(m)
+	}
+}
+
+// scatterRuns delivers the run addressed to this worker inline and forwards
+// the others to their owners as worker-addressed messages (the shared-memory
+// forwarding of Figs. 5–6). Run payload slices transfer ownership with the
+// forwarded message; the inline run's slice is recycled here.
+func (w *worker) scatterRuns(runs []runRef) {
+	rt := w.rt
+	var own int64
+	for _, r := range runs {
+		if r.dest == w.id {
+			for _, v := range r.payloads {
+				rt.deliver(&w.ctx, v)
+			}
+			own += int64(len(r.payloads))
+			rt.putU64(r.payloads)
+			continue
+		}
+		fm := rt.getMsg()
+		fm.kind = mkToWorker
+		fm.payloads = r.payloads
+		rt.post(rt.workers[r.dest], fm)
+	}
+	if own > 0 {
+		rt.M.Delivered.Add(own)
+		rt.finish(own)
+	}
+}
+
+// finish retires n delivered items from the in-flight count and checks for
+// global quiescence. Called only after the items' DeliverFuncs returned, so
+// any sends they issued are already counted.
+func (rt *Runtime) finish(n int64) {
+	if rt.inflight.Add(-n) == 0 {
+		rt.checkQuiesce()
+	}
+}
+
+func (rt *Runtime) checkQuiesce() {
+	if rt.producing.Load() == 0 && rt.inflight.Load() == 0 {
+		rt.doneOnce.Do(func() { close(rt.done) })
+	}
+}
+
+// flushOwn seals every non-empty single-producer buffer the worker owns.
+func (w *worker) flushOwn() {
+	for _, b := range w.wwBufs {
+		if b != nil {
+			b.Flush()
+		}
+	}
+	for _, b := range w.wpsBufs {
+		if b != nil {
+			b.Flush()
+		}
+	}
+}
+
+// flushProc flushes process p's shared PP buffers; safe from any goroutine.
+func (rt *Runtime) flushProc(p cluster.ProcID) {
+	if rt.procs == nil {
+		return
+	}
+	for _, b := range rt.procs[p].ppBufs {
+		if b != nil {
+			b.Flush()
+		}
+	}
+}
+
+// deadlineFlush seals the worker's single-producer buffers whose oldest item
+// has exceeded the latency bound.
+func (w *worker) deadlineFlush() {
+	d := w.rt.cfg.FlushDeadline
+	if d <= 0 {
+		return
+	}
+	cutoff := time.Now().Add(-d).UnixNano()
+	for _, b := range w.wwBufs {
+		if b == nil {
+			continue
+		}
+		if o := b.OldestNanos(); o != 0 && o <= cutoff {
+			b.Flush()
+			w.rt.M.DeadlineFlushes.Add(1)
+		}
+	}
+	for _, b := range w.wpsBufs {
+		if b == nil {
+			continue
+		}
+		if o := b.OldestNanos(); o != 0 && o <= cutoff {
+			b.Flush()
+			w.rt.M.DeadlineFlushes.Add(1)
+		}
+	}
+}
+
+// progress is the latency-sensitive progress goroutine: it enforces
+// FlushDeadline across all buffers until quiescence.
+func (rt *Runtime) progress() {
+	period := rt.cfg.FlushDeadline / 2
+	if period < 50*time.Microsecond {
+		period = 50 * time.Microsecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-rt.done:
+			return
+		case <-tick.C:
+		}
+		cutoff := time.Now().Add(-rt.cfg.FlushDeadline).UnixNano()
+		// Shared PP buffers can be flushed from here directly.
+		for _, ps := range rt.procs {
+			for _, b := range ps.ppBufs {
+				if b != nil && b.FlushIfOlder(cutoff) {
+					rt.M.DeadlineFlushes.Add(1)
+				}
+			}
+		}
+		// Single-producer buffers belong to their workers: post one flush
+		// request per worker holding overdue items (it wakes parked owners).
+		for _, w := range rt.workers {
+			if w.flushReq.Load() || !w.overdue(cutoff) {
+				continue
+			}
+			if w.flushReq.CompareAndSwap(false, true) {
+				m := rt.getMsg()
+				m.kind = mkFlushReq
+				rt.post(w, m)
+			}
+		}
+	}
+}
+
+// overdue reports whether any of w's single-producer buffers holds an item
+// older than cutoff.
+func (w *worker) overdue(cutoff int64) bool {
+	for _, b := range w.wwBufs {
+		if b != nil {
+			if o := b.OldestNanos(); o != 0 && o <= cutoff {
+				return true
+			}
+		}
+	}
+	for _, b := range w.wpsBufs {
+		if b != nil {
+			if o := b.OldestNanos(); o != 0 && o <= cutoff {
+				return true
+			}
+		}
+	}
+	return false
+}

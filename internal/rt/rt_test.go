@@ -1,0 +1,306 @@
+package rt
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tramlib/internal/cluster"
+	"tramlib/internal/core"
+	"tramlib/internal/rng"
+)
+
+// histoRun drives a histogram-shaped workload: every worker sends z items to
+// pseudo-random destinations, values encoding (src, seq, dest) so the
+// receiver can verify addressing. Returns per-destination received counts
+// and xor-checksums alongside the expected ones from an rng replay.
+func histoRun(t *testing.T, scheme core.Scheme, topo cluster.Topology, z, g int, deadline time.Duration) Result {
+	t.Helper()
+	W := topo.TotalWorkers()
+
+	type cell struct {
+		count int64
+		xor   uint64
+		_     [48]byte // avoid false sharing between destination workers
+	}
+	got := make([]cell, W)
+
+	cfg := DefaultConfig(topo, scheme)
+	cfg.BufferItems = g
+	cfg.FlushDeadline = deadline
+	rtm := New(cfg, func(ctx *Ctx, v uint64) {
+		self := int(ctx.Self())
+		if dest := int(v >> 48); dest != self {
+			t.Errorf("item for worker %d delivered at %d", dest, self)
+		}
+		got[self].count++
+		got[self].xor ^= v
+		ctx.Contribute(1)
+	}, func(w cluster.WorkerID) (int, KernelFunc) {
+		r := rng.NewStream(7, int(w))
+		return z, func(ctx *Ctx, _ int) {
+			u := r.Uint64()
+			dest := cluster.WorkerID(u % uint64(W))
+			ctx.Send(dest, uint64(dest)<<48|u&0xffffffffffff)
+		}
+	})
+	res := rtm.Run()
+
+	// Replay the generators serially for the expected multiset.
+	wantCount := make([]int64, W)
+	wantXor := make([]uint64, W)
+	for w := 0; w < W; w++ {
+		r := rng.NewStream(7, w)
+		for i := 0; i < z; i++ {
+			u := r.Uint64()
+			dest := u % uint64(W)
+			wantCount[dest]++
+			wantXor[dest] ^= dest<<48 | u&0xffffffffffff
+		}
+	}
+	var total int64
+	for w := 0; w < W; w++ {
+		total += got[w].count
+		if got[w].count != wantCount[w] {
+			t.Errorf("worker %d received %d items, want %d", w, got[w].count, wantCount[w])
+		}
+		if got[w].xor != wantXor[w] {
+			t.Errorf("worker %d xor mismatch (lost or duplicated items)", w)
+		}
+	}
+	if want := int64(W) * int64(z); total != want || res.Delivered != want {
+		t.Fatalf("delivered %d (result %d), want %d", total, res.Delivered, want)
+	}
+	if res.Reduced != total {
+		t.Fatalf("reduction %d, want %d", res.Reduced, total)
+	}
+	if res.Inserted != int64(W)*int64(z) {
+		t.Fatalf("inserted %d, want %d", res.Inserted, int64(W)*int64(z))
+	}
+	return res
+}
+
+func TestAllSchemesNoLossNoDup(t *testing.T) {
+	topo := cluster.SMP(2, 2, 4) // 16 workers, 4 processes
+	for _, s := range []core.Scheme{core.Direct, core.WW, core.WPs, core.WsP, core.PP} {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			t.Parallel()
+			histoRun(t, s, topo, 20000, 64, time.Millisecond)
+		})
+	}
+}
+
+func TestNonSMPTopology(t *testing.T) {
+	histoRun(t, core.WW, cluster.NonSMP(2, 4), 5000, 32, time.Millisecond)
+}
+
+func TestSmallBuffersManyFlushes(t *testing.T) {
+	// g=2 with 16 workers maximizes seal/flush churn and pool recycling.
+	res := histoRun(t, core.PP, cluster.SMP(2, 2, 4), 4000, 2, 200*time.Microsecond)
+	if res.Batches == 0 {
+		t.Fatal("no batches emitted")
+	}
+}
+
+func TestRequestResponseQuiescence(t *testing.T) {
+	// Index-gather shape: delivered requests trigger response sends, so
+	// quiescence must wait for chains, not just generated items.
+	topo := cluster.SMP(2, 2, 2)
+	W := topo.TotalWorkers()
+	const z = 8000
+	const respFlag = uint64(1) << 47
+
+	var responses atomic.Int64
+	cfg := DefaultConfig(topo, core.WPs)
+	cfg.BufferItems = 128
+	rtm := New(cfg, func(ctx *Ctx, v uint64) {
+		if v&respFlag != 0 {
+			responses.Add(1)
+			return
+		}
+		requester := cluster.WorkerID(v & 0xffff)
+		ctx.Send(requester, respFlag|uint64(requester)<<48|v&0xffff)
+	}, func(w cluster.WorkerID) (int, KernelFunc) {
+		r := rng.NewStream(11, int(w))
+		self := w
+		return z, func(ctx *Ctx, _ int) {
+			dest := cluster.WorkerID(r.Intn(W - 1))
+			if dest >= self {
+				dest++
+			}
+			ctx.Send(dest, uint64(dest)<<48|uint64(self))
+		}
+	})
+	res := rtm.Run()
+	if want := int64(W) * z; responses.Load() != want {
+		t.Fatalf("responses %d, want %d", responses.Load(), want)
+	}
+	if res.Delivered != 2*int64(W)*z {
+		t.Fatalf("delivered %d, want %d", res.Delivered, 2*int64(W)*z)
+	}
+}
+
+func TestDeadlineFlushOwnerDriven(t *testing.T) {
+	// A slow generator (one send, then long idle steps) leaves a partial
+	// buffer resident; the owner's chunk-boundary deadline check must seal
+	// it long before generation ends. Worker-addressed (WW) wiring so the
+	// single-producer deadline path is the one exercised.
+	topo := cluster.SMP(1, 2, 2)
+	var early atomic.Int64 // deliveries observed while the sender still generates
+	var sending atomic.Bool
+	sending.Store(true)
+
+	cfg := DefaultConfig(topo, core.WW)
+	cfg.BufferItems = 1024
+	cfg.FlushDeadline = 500 * time.Microsecond
+	cfg.ChunkSize = 1
+	rtm := New(cfg, func(ctx *Ctx, v uint64) {
+		if sending.Load() {
+			early.Add(1)
+		}
+	}, func(w cluster.WorkerID) (int, KernelFunc) {
+		if w != 0 {
+			return 0, nil
+		}
+		return 50, func(ctx *Ctx, step int) {
+			if step < 4 {
+				ctx.Send(3, uint64(step))
+			}
+			time.Sleep(100 * time.Microsecond)
+			if step == 49 {
+				sending.Store(false)
+			}
+		}
+	})
+	res := rtm.Run()
+	if res.Delivered != 4 {
+		t.Fatalf("delivered %d, want 4", res.Delivered)
+	}
+	if res.DeadlineFlushes == 0 {
+		t.Fatal("deadline flush never fired")
+	}
+	if early.Load() == 0 {
+		t.Fatal("partial batch was not delivered before generation ended (latency bound violated)")
+	}
+}
+
+func TestDeadlineFlushProgressGoroutinePP(t *testing.T) {
+	// PP's shared buffers are force-flushed by the progress goroutine even
+	// while every producer is busy inside a kernel step: worker 0 parks a
+	// partial batch and spins until the remote consumer observes it.
+	topo := cluster.SMP(2, 1, 2) // procs 0 and 1 on different "nodes"
+	var seen atomic.Int64
+
+	cfg := DefaultConfig(topo, core.PP)
+	cfg.BufferItems = 1024
+	cfg.FlushDeadline = 300 * time.Microsecond
+	rtm := New(cfg, func(ctx *Ctx, v uint64) {
+		seen.Add(1)
+	}, func(w cluster.WorkerID) (int, KernelFunc) {
+		if ctxProc := topo.ProcOf(w); ctxProc != 0 {
+			return 0, nil
+		}
+		// Both workers of process 0 stay inside a kernel step (no idle
+		// flush possible) until the remote delivery is observed.
+		send := w == 0
+		return 1, func(ctx *Ctx, _ int) {
+			if send {
+				ctx.Send(2, 42) // remote process, far below BufferItems
+			}
+			deadline := time.Now().Add(5 * time.Second)
+			for seen.Load() == 0 {
+				if time.Now().After(deadline) {
+					return // fail below rather than hang
+				}
+				runtime.Gosched()
+			}
+		}
+	})
+	res := rtm.Run()
+	if seen.Load() != 1 || res.Delivered != 1 {
+		t.Fatalf("delivered %d/%d, want 1", seen.Load(), res.Delivered)
+	}
+	if res.DeadlineFlushes == 0 {
+		t.Fatal("progress goroutine never deadline-flushed the PP buffer")
+	}
+}
+
+func TestConsumerOnlyWorkersTerminate(t *testing.T) {
+	// A runtime where nobody generates must quiesce immediately.
+	cfg := DefaultConfig(cluster.SMP(1, 2, 2), core.WPs)
+	rtm := New(cfg, func(ctx *Ctx, v uint64) {}, func(w cluster.WorkerID) (int, KernelFunc) {
+		return 0, nil
+	})
+	done := make(chan Result, 1)
+	go func() { done <- rtm.Run() }()
+	select {
+	case res := <-done:
+		if res.Delivered != 0 {
+			t.Fatalf("delivered %d, want 0", res.Delivered)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("empty runtime failed to quiesce")
+	}
+}
+
+func TestMPSCQueue(t *testing.T) {
+	var q mpsc
+	if q.popAll() != nil {
+		t.Fatal("empty queue returned a message")
+	}
+	const producers = 4
+	const per = 10000
+	doneCh := make(chan struct{}, producers)
+	for p := 0; p < producers; p++ {
+		p := p
+		go func() {
+			for i := 0; i < per; i++ {
+				m := &msg{inline: [1]uint64{uint64(p*per + i)}}
+				q.push(m)
+			}
+			doneCh <- struct{}{}
+		}()
+	}
+	seen := make([]bool, producers*per)
+	var got int
+	var finished int
+	for finished < producers || got < producers*per {
+		select {
+		case <-doneCh:
+			finished++
+		default:
+		}
+		for m := q.popAll(); m != nil; m = m.next {
+			v := m.inline[0]
+			if seen[v] {
+				t.Fatalf("message %d popped twice", v)
+			}
+			seen[v] = true
+			got++
+		}
+	}
+	if got != producers*per {
+		t.Fatalf("popped %d messages, want %d", got, producers*per)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	topo := cluster.SMP(1, 1, 2)
+	bad := []Config{
+		{Topo: cluster.Topology{}, Scheme: core.WW, BufferItems: 8, ChunkSize: 1},
+		{Topo: topo, Scheme: core.PP + 1, BufferItems: 8, ChunkSize: 1},
+		{Topo: topo, Scheme: core.WW, BufferItems: 0, ChunkSize: 1},
+		{Topo: topo, Scheme: core.WW, BufferItems: 8, ChunkSize: 0},
+		{Topo: topo, Scheme: core.WW, BufferItems: 8, ChunkSize: 1, FlushDeadline: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d validated unexpectedly", i)
+		}
+	}
+	if err := DefaultConfig(topo, core.Direct).Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}

@@ -7,10 +7,15 @@
 //     buffers — no synchronization), and a multi-producer claim/seal buffer
 //     for PP, where all workers of a process contribute to one buffer per
 //     destination through an atomic slot counter.
-//  2. Its contention benchmarks measure what the PP atomics actually cost on
+//  2. It carries the real workloads of internal/rt and internal/live, and its
+//     contention benchmarks measure what the PP atomics actually cost on
 //     real hardware, justifying core.CostParams' AtomicInsert /
 //     AtomicContention calibration (§III-C's "overhead from contention when
 //     we maintain common buffers").
+//
+// Buffers are generic over the item type: the simulated library's wire format
+// is a packed uint64, but the real runtime ships <item, dest_w> pairs for the
+// process-addressed schemes without stealing payload bits.
 //
 // The claim/seal protocol of MPBuffer: a producer atomically reserves a slot
 // with a fetch-add on `pos`. If the slot index is within capacity, it writes
@@ -18,100 +23,168 @@
 // fills the LAST slot seals the batch and hands it to the consumer — every
 // batch is emitted exactly once, with no locks. Producers that overshoot
 // capacity spin-wait for the sealer to install a fresh epoch, then retry.
+//
+// # Latency-bound hooks
+//
+// Both buffer types track when their oldest buffered item arrived
+// (OldestNanos, a wall-clock nanosecond stamp readable from any goroutine).
+// A latency-sensitive progress loop — internal/rt's progress goroutine —
+// polls the stamp and force-flushes buffers that have held items longer than
+// the paper's §III delivery deadline. MPBuffer.FlushIfOlder performs the
+// check-and-flush directly (Flush is safe from any goroutine); SPBuffer is
+// single-producer, so the progress loop instead signals the owning worker,
+// which compares OldestNanos itself and calls Flush.
+//
+// # Storage recycling
+//
+// Emit callbacks receive ownership of the batch's item slice. By default a
+// drained buffer allocates fresh storage; SetAlloc installs a recycler (e.g.
+// a sync.Pool drained by the consumer after delivery) so steady-state
+// seal/deliver cycles reuse the same arrays.
 package shmem
 
 import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
-// Batch is a sealed buffer of items handed to the flush function.
-type Batch struct {
-	Items []uint64
+// nowNanos is the wall-clock source of the OldestNanos stamps. It is a
+// variable only for tests.
+var nowNanos = func() int64 { return time.Now().UnixNano() }
+
+// Batch is a sealed buffer of items handed to the flush function. The
+// receiver owns Items.
+type Batch[T any] struct {
+	Items []T
 	// Seq is the buffer epoch (0 for the first batch, increasing).
 	Seq uint64
 }
 
+// AllocFunc returns storage for one buffer generation: a slice with the given
+// length and at least that capacity. Implementations typically recycle arrays
+// the consumer finished delivering.
+type AllocFunc[T any] func(n int) []T
+
 // SPBuffer is a single-producer aggregation buffer: the WW/WPs/WsP send-side
 // structure. Only one goroutine may call Push/Flush; the flush callback
-// receives ownership of the item slice.
-type SPBuffer struct {
+// receives ownership of the item slice. OldestNanos is safe from any
+// goroutine.
+type SPBuffer[T any] struct {
 	cap   int
-	items []uint64
+	items []T
 	seq   uint64
-	emit  func(Batch)
+	emit  func(Batch[T])
+	alloc AllocFunc[T]
+	// first is the UnixNano stamp of the buffer's oldest item, 0 when empty.
+	first atomic.Int64
 }
 
 // NewSPBuffer creates a single-producer buffer of the given capacity that
 // emits full batches through emit.
-func NewSPBuffer(capacity int, emit func(Batch)) *SPBuffer {
+func NewSPBuffer[T any](capacity int, emit func(Batch[T])) *SPBuffer[T] {
 	if capacity <= 0 {
 		panic("shmem: non-positive capacity")
 	}
-	return &SPBuffer{cap: capacity, items: make([]uint64, 0, capacity), emit: emit}
+	return &SPBuffer[T]{cap: capacity, items: make([]T, 0, capacity), emit: emit}
+}
+
+// SetAlloc installs a storage recycler used for every subsequent buffer
+// generation. Must be called before the owner starts pushing.
+func (b *SPBuffer[T]) SetAlloc(alloc AllocFunc[T]) { b.alloc = alloc }
+
+func (b *SPBuffer[T]) fresh() []T {
+	if b.alloc != nil {
+		return b.alloc(b.cap)[:0]
+	}
+	return make([]T, 0, b.cap)
 }
 
 // Push appends one item, emitting the buffer when it fills.
-func (b *SPBuffer) Push(v uint64) {
+func (b *SPBuffer[T]) Push(v T) {
+	if len(b.items) == 0 {
+		b.first.Store(nowNanos())
+	}
 	b.items = append(b.items, v)
 	if len(b.items) == b.cap {
-		b.emit(Batch{Items: b.items, Seq: b.seq})
+		b.first.Store(0)
+		items := b.items
+		b.items = b.fresh()
+		b.emit(Batch[T]{Items: items, Seq: b.seq})
 		b.seq++
-		b.items = make([]uint64, 0, b.cap)
 	}
 }
 
 // Flush emits any buffered items as a partial (resized) batch.
-func (b *SPBuffer) Flush() {
+func (b *SPBuffer[T]) Flush() {
 	if len(b.items) == 0 {
 		return
 	}
-	b.emit(Batch{Items: b.items, Seq: b.seq})
+	b.first.Store(0)
+	items := b.items
+	b.items = b.fresh()
+	b.emit(Batch[T]{Items: items, Seq: b.seq})
 	b.seq++
-	b.items = make([]uint64, 0, b.cap)
 }
 
 // Len returns the number of buffered items.
-func (b *SPBuffer) Len() int { return len(b.items) }
+func (b *SPBuffer[T]) Len() int { return len(b.items) }
+
+// OldestNanos returns the UnixNano arrival stamp of the buffer's oldest
+// undelivered item, or 0 if the buffer is empty. Safe from any goroutine;
+// internal/rt's progress goroutine uses it to enforce the delivery deadline.
+func (b *SPBuffer[T]) OldestNanos() int64 { return b.first.Load() }
 
 // epoch is one generation of the multi-producer buffer.
-type epoch struct {
-	items  []uint64
+type epoch[T any] struct {
+	items  []T
 	pos    atomic.Int64 // next slot to claim (may overshoot cap)
 	filled atomic.Int64 // completed writes; == cap triggers seal
+	// first is the UnixNano stamp written by the claimer of slot 0. It can
+	// trail other slots' writes by an instant (the stamp lands after the
+	// claim), which only delays a deadline flush by that instant.
+	first atomic.Int64
 }
 
 // MPBuffer is the PP scheme's shared buffer: all workers of a process push
 // into it concurrently via an atomic claim, and the producer that completes
 // the last slot seals and emits the batch. Lock-free in the common path.
-type MPBuffer struct {
-	cap  int
-	emit func(Batch)
-	cur  atomic.Pointer[epoch]
-	seq  atomic.Uint64
+type MPBuffer[T any] struct {
+	cap   int
+	emit  func(Batch[T])
+	alloc AllocFunc[T]
+	cur   atomic.Pointer[epoch[T]]
+	seq   atomic.Uint64
 
 	flushMu sync.Mutex // serializes explicit Flush with epoch rotation
 }
 
 // NewMPBuffer creates a multi-producer buffer of the given capacity.
-func NewMPBuffer(capacity int, emit func(Batch)) *MPBuffer {
+func NewMPBuffer[T any](capacity int, emit func(Batch[T])) *MPBuffer[T] {
 	if capacity <= 0 {
 		panic("shmem: non-positive capacity")
 	}
-	b := &MPBuffer{cap: capacity, emit: emit}
+	b := &MPBuffer[T]{cap: capacity, emit: emit}
 	b.cur.Store(b.newEpoch())
 	return b
 }
 
-func (b *MPBuffer) newEpoch() *epoch {
-	return &epoch{items: make([]uint64, b.cap)}
+// SetAlloc installs a storage recycler used for every subsequent epoch. Must
+// be called before producers start pushing.
+func (b *MPBuffer[T]) SetAlloc(alloc AllocFunc[T]) { b.alloc = alloc }
+
+func (b *MPBuffer[T]) newEpoch() *epoch[T] {
+	if b.alloc != nil {
+		return &epoch[T]{items: b.alloc(b.cap)}
+	}
+	return &epoch[T]{items: make([]T, b.cap)}
 }
 
 // Push inserts one item from any goroutine. When the buffer fills, the
 // producer completing the final slot seals the batch, emits it, and installs
 // a fresh epoch.
-func (b *MPBuffer) Push(v uint64) {
+func (b *MPBuffer[T]) Push(v T) {
 	for {
 		e := b.cur.Load()
 		slot := e.pos.Add(1) - 1
@@ -123,44 +196,86 @@ func (b *MPBuffer) Push(v uint64) {
 			}
 			continue
 		}
+		if slot == 0 {
+			e.first.Store(nowNanos())
+		}
 		e.items[slot] = v
 		if e.filled.Add(1) == int64(b.cap) {
 			// Last writer seals: install the next epoch first so
 			// spinning producers can proceed, then emit.
 			b.cur.Store(b.newEpoch())
-			b.emit(Batch{Items: e.items, Seq: b.seq.Add(1) - 1})
+			b.emit(Batch[T]{Items: e.items, Seq: b.seq.Add(1) - 1})
 		}
 		return
 	}
 }
 
+// OldestNanos returns the UnixNano arrival stamp of the current epoch's first
+// item, or 0 if the epoch is empty (or its slot-0 claimer has not stamped
+// yet). Safe from any goroutine.
+func (b *MPBuffer[T]) OldestNanos() int64 { return b.cur.Load().first.Load() }
+
+// FlushIfOlder flushes the buffer iff its oldest item arrived at or before
+// cutoff (UnixNano), reporting whether a batch was actually emitted. This is
+// the progress goroutine's deadline enforcement: safe concurrently with
+// Push. The age check is re-validated under the flush lock, so an epoch that
+// seals and rotates between the caller's observation and the flush is never
+// flushed prematurely — only the epoch whose first item really is overdue.
+func (b *MPBuffer[T]) FlushIfOlder(cutoff int64) bool {
+	if o := b.OldestNanos(); o == 0 || o > cutoff {
+		return false
+	}
+	b.flushMu.Lock()
+	defer b.flushMu.Unlock()
+	e := b.cur.Load()
+	if f := e.first.Load(); f == 0 || f > cutoff {
+		// The overdue epoch sealed and rotated before we got the lock (or
+		// the fresh epoch's slot-0 stamp hasn't landed): nothing overdue.
+		return false
+	}
+	return b.flushLocked(e)
+}
+
 // Flush emits the current partial batch, if any. Safe to call concurrently
 // with Push; items racing with the flush land either in the emitted batch or
 // in the next epoch — never lost, never duplicated.
+func (b *MPBuffer[T]) Flush() {
+	b.flushMu.Lock()
+	defer b.flushMu.Unlock()
+	b.flushLocked(b.cur.Load())
+}
+
+// flushLocked flushes epoch e (loaded from cur under flushMu), reporting
+// whether a batch was emitted.
 //
 // The flush poisons the epoch's claim counter by jumping it past capacity in
 // one atomic add. The add's return value exactly delimits the set of slots
 // claimed for writing: earlier claimers hold slots below it, later claimers
 // land beyond capacity and retry on the fresh epoch.
-func (b *MPBuffer) Flush() {
-	b.flushMu.Lock()
-	defer b.flushMu.Unlock()
-	e := b.cur.Load()
+func (b *MPBuffer[T]) flushLocked(e *epoch[T]) bool {
+	if e.pos.Load() == 0 {
+		// Nothing claimed: skip the poison-and-rotate, which would discard
+		// the epoch's full-capacity items array to the GC for no batch.
+		// Callers that flush eagerly (internal/rt's idle flush) would
+		// otherwise churn an allocation per empty flush.
+		return false
+	}
 	claimed := e.pos.Add(int64(b.cap)) - int64(b.cap)
 	if claimed >= int64(b.cap) {
 		// The buffer filled before we poisoned it: a producer's seal
 		// is (or will be) emitting this epoch; nothing to flush.
-		return
+		return false
 	}
 	// claimed < cap: no seal can occur on e (filled cannot reach cap any
 	// more), so e is still current and only we may rotate it.
 	b.cur.Store(b.newEpoch())
 	if claimed == 0 {
-		return
+		return false
 	}
 	// Wait for the in-flight writers of slots [0, claimed) to land.
 	for e.filled.Load() < claimed {
 		runtime.Gosched()
 	}
-	b.emit(Batch{Items: e.items[:claimed], Seq: b.seq.Add(1) - 1})
+	b.emit(Batch[T]{Items: e.items[:claimed], Seq: b.seq.Add(1) - 1})
+	return true
 }

@@ -6,11 +6,12 @@ import (
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestSPBufferEmitsFullBatches(t *testing.T) {
-	var batches []Batch
-	b := NewSPBuffer(4, func(bt Batch) { batches = append(batches, bt) })
+	var batches []Batch[uint64]
+	b := NewSPBuffer(4, func(bt Batch[uint64]) { batches = append(batches, bt) })
 	for i := 0; i < 10; i++ {
 		b.Push(uint64(i))
 	}
@@ -44,7 +45,7 @@ func TestSPBufferEmitsFullBatches(t *testing.T) {
 
 func TestSPBufferFlushEmptyNoop(t *testing.T) {
 	calls := 0
-	b := NewSPBuffer(4, func(Batch) { calls++ })
+	b := NewSPBuffer(4, func(Batch[uint64]) { calls++ })
 	b.Flush()
 	if calls != 0 {
 		t.Fatal("empty flush emitted a batch")
@@ -55,7 +56,7 @@ func TestSPBufferProperty(t *testing.T) {
 	f := func(items []uint64, capRaw uint8) bool {
 		capacity := int(capRaw)%16 + 1
 		var got []uint64
-		b := NewSPBuffer(capacity, func(bt Batch) {
+		b := NewSPBuffer(capacity, func(bt Batch[uint64]) {
 			if len(bt.Items) > capacity {
 				t.Errorf("batch larger than capacity")
 			}
@@ -83,7 +84,7 @@ func TestSPBufferProperty(t *testing.T) {
 func TestMPBufferSingleProducer(t *testing.T) {
 	var mu sync.Mutex
 	var got []uint64
-	b := NewMPBuffer(8, func(bt Batch) {
+	b := NewMPBuffer(8, func(bt Batch[uint64]) {
 		mu.Lock()
 		got = append(got, bt.Items...)
 		mu.Unlock()
@@ -105,7 +106,7 @@ func TestMPBufferConcurrentNoLossNoDup(t *testing.T) {
 
 	seen := make([]atomic.Int32, producers*perProducer)
 	var emitted atomic.Int64
-	b := NewMPBuffer(capacity, func(bt Batch) {
+	b := NewMPBuffer(capacity, func(bt Batch[uint64]) {
 		for _, v := range bt.Items {
 			seen[v].Add(1)
 		}
@@ -142,7 +143,7 @@ func TestMPBufferConcurrentFlushes(t *testing.T) {
 	const perProducer = 10000
 	seen := make([]atomic.Int32, producers*perProducer)
 	var emitted atomic.Int64
-	b := NewMPBuffer(64, func(bt Batch) {
+	b := NewMPBuffer(64, func(bt Batch[uint64]) {
 		for _, v := range bt.Items {
 			seen[v].Add(1)
 		}
@@ -191,7 +192,7 @@ func TestMPBufferConcurrentFlushes(t *testing.T) {
 func TestMPBufferSealsExactBatches(t *testing.T) {
 	var batchSizes []int
 	var mu sync.Mutex
-	b := NewMPBuffer(16, func(bt Batch) {
+	b := NewMPBuffer(16, func(bt Batch[uint64]) {
 		mu.Lock()
 		batchSizes = append(batchSizes, len(bt.Items))
 		mu.Unlock()
@@ -209,8 +210,185 @@ func TestMPBufferSealsExactBatches(t *testing.T) {
 	}
 }
 
+func TestMPBufferOvershootEpochRetry(t *testing.T) {
+	// Producers far outnumber buffer slots, so almost every Push races a
+	// seal: claims overshoot capacity, spin on the epoch pointer, and retry
+	// on the fresh epoch. Run with -race: the invariant is still exactly
+	// once per item.
+	const producers = 16
+	const perProducer = 5000
+	const capacity = 2 // << producers: constant overshoot
+
+	seen := make([]atomic.Int32, producers*perProducer)
+	var emitted atomic.Int64
+	b := NewMPBuffer(capacity, func(bt Batch[uint64]) {
+		for _, v := range bt.Items {
+			seen[v].Add(1)
+		}
+		emitted.Add(int64(len(bt.Items)))
+	})
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				b.Push(uint64(p*perProducer + i))
+			}
+		}()
+	}
+	wg.Wait()
+	b.Flush()
+
+	if got := emitted.Load(); got != producers*perProducer {
+		t.Fatalf("emitted %d items, want %d", got, producers*perProducer)
+	}
+	for i := range seen {
+		if c := seen[i].Load(); c != 1 {
+			t.Fatalf("item %d emitted %d times", i, c)
+		}
+	}
+}
+
+func TestMPBufferDeadlineFlushExactlyOnce(t *testing.T) {
+	// A deadline flusher (FlushIfOlder, as internal/rt's progress goroutine
+	// drives it) races slow producers: every partial batch it cuts must be
+	// delivered exactly once, and at least one batch must actually be
+	// partial (the deadline path, not the seal path).
+	const producers = 4
+	const perProducer = 3000
+	const capacity = 64
+
+	seen := make([]atomic.Int32, producers*perProducer)
+	var emitted atomic.Int64
+	var partials atomic.Int64
+	b := NewMPBuffer(capacity, func(bt Batch[uint64]) {
+		if len(bt.Items) < capacity {
+			partials.Add(1)
+		}
+		for _, v := range bt.Items {
+			seen[v].Add(1)
+		}
+		emitted.Add(int64(len(bt.Items)))
+	})
+
+	stop := make(chan struct{})
+	var flusherWG sync.WaitGroup
+	flusherWG.Add(1)
+	go func() {
+		defer flusherWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				// Aggressive deadline: anything resident now is overdue.
+				b.FlushIfOlder(time.Now().UnixNano())
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				b.Push(uint64(p*perProducer + i))
+				if i%64 == 0 {
+					time.Sleep(10 * time.Microsecond) // keep batches partial
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	flusherWG.Wait()
+	b.Flush()
+
+	if got := emitted.Load(); got != producers*perProducer {
+		t.Fatalf("emitted %d items, want %d", got, producers*perProducer)
+	}
+	for i := range seen {
+		if c := seen[i].Load(); c != 1 {
+			t.Fatalf("item %d emitted %d times", i, c)
+		}
+	}
+	if partials.Load() == 0 {
+		t.Fatal("deadline flusher never cut a partial batch")
+	}
+	if b.OldestNanos() != 0 {
+		t.Fatalf("drained buffer reports oldest stamp %d, want 0", b.OldestNanos())
+	}
+}
+
+func TestSPBufferOldestNanosLifecycle(t *testing.T) {
+	var emitted int
+	b := NewSPBuffer(4, func(Batch[uint64]) { emitted++ })
+	if b.OldestNanos() != 0 {
+		t.Fatal("empty buffer has a stamp")
+	}
+	before := time.Now().UnixNano()
+	b.Push(1)
+	if o := b.OldestNanos(); o < before || o > time.Now().UnixNano() {
+		t.Fatalf("stamp %d outside push window", o)
+	}
+	first := b.OldestNanos()
+	time.Sleep(time.Millisecond)
+	b.Push(2)
+	if b.OldestNanos() != first {
+		t.Fatal("second push moved the oldest stamp")
+	}
+	b.Flush()
+	if b.OldestNanos() != 0 || emitted != 1 {
+		t.Fatalf("flush left stamp %d (emitted %d)", b.OldestNanos(), emitted)
+	}
+	for i := 0; i < 4; i++ {
+		b.Push(uint64(i))
+	}
+	if b.OldestNanos() != 0 || emitted != 2 {
+		t.Fatalf("seal left stamp %d (emitted %d)", b.OldestNanos(), emitted)
+	}
+}
+
+func TestSetAllocRecyclesStorage(t *testing.T) {
+	var handed [][]uint64
+	sp := NewSPBuffer(4, func(bt Batch[uint64]) { handed = append(handed, bt.Items) })
+	allocs := 0
+	sp.SetAlloc(func(n int) []uint64 {
+		allocs++
+		return make([]uint64, n)
+	})
+	for i := 0; i < 9; i++ { // two seals -> two alloc calls
+		sp.Push(uint64(i))
+	}
+	if allocs != 2 {
+		t.Fatalf("SP alloc called %d times, want 2", allocs)
+	}
+	if len(handed) != 2 {
+		t.Fatalf("emitted %d batches, want 2", len(handed))
+	}
+
+	mpAllocs := 0
+	mp := NewMPBuffer(4, func(Batch[uint64]) {})
+	mp.SetAlloc(func(n int) []uint64 {
+		mpAllocs++
+		return make([]uint64, n)
+	})
+	for i := 0; i < 8; i++ { // two seals -> two fresh epochs
+		mp.Push(uint64(i))
+	}
+	if mpAllocs != 2 {
+		t.Fatalf("MP alloc called %d times, want 2", mpAllocs)
+	}
+}
+
 func BenchmarkSPPush(b *testing.B) {
-	buf := NewSPBuffer(1024, func(Batch) {})
+	buf := NewSPBuffer(1024, func(Batch[uint64]) {})
 	for i := 0; i < b.N; i++ {
 		buf.Push(uint64(i))
 	}
@@ -223,7 +401,7 @@ func BenchmarkMPContention(b *testing.B) {
 	for _, procs := range []int{1, 2, 4, 8} {
 		procs := procs
 		b.Run(benchName(procs), func(b *testing.B) {
-			buf := NewMPBuffer(1024, func(Batch) {})
+			buf := NewMPBuffer(1024, func(Batch[uint64]) {})
 			b.SetParallelism(procs)
 			b.RunParallel(func(pb *testing.PB) {
 				i := uint64(0)

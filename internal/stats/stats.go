@@ -275,8 +275,13 @@ func FormatFloat(v float64) string {
 		return fmt.Sprintf("%.3e", v)
 	default:
 		s := fmt.Sprintf("%.*f", decimalsFor(av), v)
-		s = strings.TrimRight(s, "0")
-		s = strings.TrimRight(s, ".")
+		// Trim only fractional zeros: an integer rendering like "2540"
+		// (values >= 1000 round to 0 decimals) has significant trailing
+		// zeros that must stay.
+		if strings.Contains(s, ".") {
+			s = strings.TrimRight(s, "0")
+			s = strings.TrimRight(s, ".")
+		}
 		return s
 	}
 }

@@ -178,6 +178,11 @@ func TestFormatFloat(t *testing.T) {
 		{0.1235, "0.1235"},
 		{12.348, "12.35"},
 		{1234.8, "1235"},
+		// Integer renderings keep their significant trailing zeros
+		// (regression: these used to print as "254", "15", "1").
+		{2540.2, "2540"},
+		{1500.4, "1500"},
+		{1000, "1000"},
 		{123456, "1.235e+05"},
 		{0.00001234, "1.234e-05"},
 	}
