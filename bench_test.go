@@ -35,7 +35,7 @@ func BenchmarkFig01PingPong(b *testing.B) {
 		pts := pingpong.Run(cfg)
 		if i == 0 {
 			small := pts[0].OneWay
-			b.ReportMetric(small.Micros(), "small_us")
+			b.ReportMetric(float64(small)/1e3, "small_us")
 			b.ReportMetric(float64(cfg.Sizes[len(cfg.Sizes)-1])/float64(pts[len(pts)-1].OneWay), "GB/s_2MB")
 		}
 	}
@@ -68,8 +68,8 @@ func benchHistogram(b *testing.B, scheme core.Scheme, z, g int) {
 		res := histogram.Run(cfg)
 		if i == 0 {
 			b.ReportMetric(res.Time.Seconds()*1e3, "sim_ms")
-			b.ReportMetric(float64(res.RemoteMsgs), "msgs")
-			b.ReportMetric(float64(res.Events), "events")
+			b.ReportMetric(float64(res.M.RemoteMsgs), "msgs")
+			b.ReportMetric(float64(res.M.Events), "events")
 		}
 	}
 }

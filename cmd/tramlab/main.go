@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"tramlib/internal/bench"
+	"tramlib/tram"
 )
 
 func main() {
@@ -62,6 +63,11 @@ func main() {
 			seen[f.Title] = true
 			fmt.Printf("  %-3s %s\n", f.ID, f.Title)
 		}
+		names := make([]string, 0, len(tram.Schemes()))
+		for _, s := range tram.Schemes() {
+			names = append(names, s.String())
+		}
+		fmt.Printf("schemes: %s\n", strings.Join(names, ", "))
 		return
 	}
 

@@ -1,139 +1,79 @@
-// Liveagg: a real-concurrency (wall-clock, goroutine) demonstration of the
-// paper's core trade-off using the internal/shmem buffers.
+// Liveagg: a real-concurrency (wall-clock) demonstration of the paper's core
+// trade-off, driven through the public tram API on the Real backend.
 //
-// N producer goroutines ("workers of one process") stream small items toward
-// D destinations ("destination processes"). Three configurations mirror the
-// paper's schemes in miniature:
+// Every worker streams small items to uniformly random destinations; the
+// configured scheme decides how they are batched on the way:
 //
-//	direct  one channel send per item              (no aggregation)
-//	sp      per-producer, per-destination SPBuffer (WPs-style private buffers)
-//	mp      per-destination shared MPBuffer        (PP-style shared buffers,
-//	        atomic claim/seal across producers)
+//	Direct  one inbox delivery per item                 (no aggregation)
+//	WW/WPs/WsP  private single-producer buffers         (per worker)
+//	PP      shared per-process buffers, atomic claim/seal across workers
 //
-// The per-item cost of a channel send plays the role of the per-message α:
-// batching amortizes it. The shared MP buffers fill D× faster than each
-// producer's private buffer (lower item latency — the paper's Fig. 12
-// ordering), at the price of atomic contention, which this example measures
-// for real.
+// The per-item cost of an inbox handoff plays the role of the per-message α:
+// batching amortizes it. PP's shared buffers fill workers-per-process times
+// faster than each worker's private buffer (lower item latency — the paper's
+// Fig. 12 ordering), at the price of atomic contention, which this example
+// measures for real.
 //
 // Run with:
 //
-//	go run ./examples/liveagg [-items 2000000] [-producers 8] [-batch 1024] [-dests 8]
+//	go run ./examples/liveagg [-items 2000000] [-batch 1024] [-procs 2] [-workers 4]
 package main
 
 import (
 	"flag"
 	"fmt"
-	"sync"
 	"time"
 
 	"tramlib/internal/rng"
-	"tramlib/internal/shmem"
 	"tramlib/internal/stats"
+	"tramlib/tram"
 )
 
 func main() {
-	items := flag.Int("items", 2_000_000, "items per producer")
-	producers := flag.Int("producers", 8, "producer goroutines")
+	items := flag.Int("items", 2_000_000, "items per worker")
 	batch := flag.Int("batch", 1024, "aggregation buffer capacity")
-	dests := flag.Int("dests", 8, "destination count (buffers per producer / shared buffers)")
+	procs := flag.Int("procs", 2, "processes")
+	workers := flag.Int("workers", 4, "workers per process")
 	flag.Parse()
 
-	total := int64(*items) * int64(*producers)
-	tb := stats.NewTable(
-		fmt.Sprintf("Live aggregation: %d producers x %d items over %d destinations, batch=%d",
-			*producers, *items, *dests, *batch),
-		"mode", "wall_time", "items/us", "channel_sends", "mean_batch")
+	topo := tram.SMP(1, *procs, *workers)
+	W := topo.TotalWorkers()
+	total := int64(*items) * int64(W)
 
-	for _, mode := range []string{"direct", "sp", "mp"} {
-		elapsed, sends := run(mode, *producers, *items, *batch, *dests)
-		tb.AddRowf(mode, elapsed.Round(time.Millisecond).String(),
-			float64(total)/float64(elapsed.Microseconds()), sends,
-			float64(total)/float64(sends))
+	tb := stats.NewTable(
+		fmt.Sprintf("Live aggregation on %v: %d items/worker, batch=%d", topo, *items, *batch),
+		"scheme", "wall_time", "items/us", "batches", "mean_batch", "deadline_flush")
+
+	lib := tram.U64()
+	for _, s := range tram.Schemes() {
+		cfg := tram.DefaultConfig(topo, s)
+		cfg.BufferItems = *batch
+		m, err := lib.Run(tram.Real, cfg, tram.App[uint64]{
+			Deliver: func(ctx tram.Ctx, item uint64) { ctx.Contribute(1) },
+			Spawn: func(w tram.WorkerID) (int, tram.KernelFunc) {
+				r := rng.NewStream(11, int(w))
+				return *items, func(ctx tram.Ctx, _ int) {
+					lib.Insert(ctx, tram.WorkerID(r.Intn(W)), r.Uint64())
+				}
+			},
+			FlushOnDone: true,
+		})
+		if err != nil {
+			panic(err)
+		}
+		if m.Reduced != total {
+			panic(fmt.Sprintf("%v: delivered %d of %d items", s, m.Reduced, total))
+		}
+		meanBatch := 0.0
+		if m.Batches > 0 {
+			meanBatch = float64(m.Delivered-m.LocalDirect) / float64(m.Batches)
+		}
+		tb.AddRowf(s.String(), m.Wall.Round(time.Millisecond).String(),
+			float64(total)/float64(m.Wall.Microseconds()), m.Batches, meanBatch,
+			m.DeadlineFlushes)
 	}
 	fmt.Println(tb.String())
-	fmt.Println("direct pays one channel op per item; sp/mp amortize it over a batch.")
-	fmt.Println("mp shares each destination buffer across all producers (atomic claim/seal),")
-	fmt.Println("so its buffers fill ~producers x faster: fresher batches at equal sizes.")
-}
-
-// run streams items through the chosen mode and returns the wall time and the
-// number of channel sends the consumer saw.
-func run(mode string, producers, items, batch, dests int) (time.Duration, int64) {
-	ch := make(chan []uint64, 4096)
-	var consumed, sends int64
-	done := make(chan struct{})
-	go func() {
-		for b := range ch {
-			sends++
-			consumed += int64(len(b))
-		}
-		close(done)
-	}()
-
-	var wg sync.WaitGroup
-	start := time.Now()
-	switch mode {
-	case "direct":
-		for p := 0; p < producers; p++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := 0; i < items; i++ {
-					ch <- []uint64{uint64(i)}
-				}
-			}()
-		}
-		wg.Wait()
-
-	case "sp":
-		for p := 0; p < producers; p++ {
-			p := p
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				r := rng.NewStream(11, p)
-				bufs := make([]*shmem.SPBuffer[uint64], dests)
-				for d := range bufs {
-					bufs[d] = shmem.NewSPBuffer(batch, func(b shmem.Batch[uint64]) { ch <- b.Items })
-				}
-				for i := 0; i < items; i++ {
-					bufs[r.Intn(dests)].Push(uint64(i))
-				}
-				for _, b := range bufs {
-					b.Flush()
-				}
-			}()
-		}
-		wg.Wait()
-
-	case "mp":
-		bufs := make([]*shmem.MPBuffer[uint64], dests)
-		for d := range bufs {
-			bufs[d] = shmem.NewMPBuffer(batch, func(b shmem.Batch[uint64]) { ch <- b.Items })
-		}
-		for p := 0; p < producers; p++ {
-			p := p
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				r := rng.NewStream(11, p)
-				for i := 0; i < items; i++ {
-					bufs[r.Intn(dests)].Push(uint64(i))
-				}
-			}()
-		}
-		wg.Wait()
-		for _, b := range bufs {
-			b.Flush()
-		}
-	}
-	close(ch)
-	<-done
-	elapsed := time.Since(start)
-
-	if consumed != int64(producers)*int64(items) {
-		panic(fmt.Sprintf("%s: consumed %d of %d items", mode, consumed, int64(producers)*int64(items)))
-	}
-	return elapsed, sends
+	fmt.Println("Direct pays one inbox handoff per item; the schemes amortize it over a batch.")
+	fmt.Println("PP shares each destination buffer across the process's workers (atomic")
+	fmt.Println("claim/seal), so its buffers fill ~workers x faster: fresher batches at equal g.")
 }

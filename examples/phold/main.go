@@ -2,43 +2,60 @@
 // comparing how aggregation schemes affect rejected (out-of-order) events —
 // the arrivals a real Time Warp engine would pay rollback cascades for.
 //
+// The engine is written once against the public tram API; -backend picks the
+// execution engine. On "real" the events genuinely race through the
+// lock-free buffers, so the rejected count reflects live host scheduling.
+//
 // Expected shape (Fig. 18): PP rejects noticeably fewer events than WW/WPs
-// because its shared process-level buffers fill (and therefore flush) fastest,
-// minimizing item latency; WW's total time is several times worse because
-// every flush timeout sprays hundreds of near-empty per-worker buffers.
+// because its shared process-level buffers fill (and therefore flush)
+// fastest, minimizing item latency; WW's total time is several times worse
+// because every flush timeout sprays hundreds of near-empty per-worker
+// buffers.
 //
 // Run with:
 //
-//	go run ./examples/phold [-events 4194304] [-procs 2]
+//	go run ./examples/phold [-events 4194304] [-procs 2] [-backend sim]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"tramlib/internal/apps/phold"
-	"tramlib/internal/cluster"
-	"tramlib/internal/core"
 	"tramlib/internal/stats"
+	"tramlib/tram"
 )
 
 func main() {
 	events := flag.Int64("events", 1<<22, "event budget")
 	procs := flag.Int("procs", 2, "number of processes (32 workers each)")
+	backend := flag.String("backend", "sim", "execution backend: sim or real")
 	flag.Parse()
 
-	topo := cluster.SMP(*procs, 1, 32)
-	tb := stats.NewTable(
-		fmt.Sprintf("PHOLD, %d events, %v", *events, topo),
-		"scheme", "time", "rejected", "rejected%", "msgs", "items/msg")
+	var b tram.Backend
+	switch *backend {
+	case "sim":
+		b = tram.Sim
+	case "real":
+		b = tram.Real
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -backend %q (want sim or real)\n", *backend)
+		os.Exit(2)
+	}
 
-	for _, s := range []core.Scheme{core.WW, core.WPs, core.PP} {
+	topo := tram.SMP(*procs, 1, 32)
+	tb := stats.NewTable(
+		fmt.Sprintf("PHOLD, %d events, %v, backend=%v", *events, topo, b),
+		"scheme", "time", "rejected", "rejected%", "batches", "items/batch")
+
+	for _, s := range []tram.Scheme{tram.WW, tram.WPs, tram.PP} {
 		cfg := phold.DefaultConfig(topo, s)
 		cfg.EventsBudget = *events
-		res := phold.Run(cfg)
+		res := phold.RunOn(b, cfg)
 		tb.AddRowf(s.String(), res.Time.String(), res.Wasted,
-			100*res.WastedFrac, res.RemoteMsgs,
-			float64(res.RemoteRecv)/float64(res.RemoteMsgs))
+			100*res.WastedFrac, res.M.Batches,
+			float64(res.RemoteRecv)/float64(res.M.Batches))
 	}
 	fmt.Println(tb.String())
 	fmt.Println("rejected = events arriving behind their LP's committed clock (rollback triggers)")

@@ -1,72 +1,89 @@
-// Quickstart: aggregate fine-grained items across a simulated SMP cluster.
+// Quickstart: one aggregation kernel, two execution backends.
 //
-// This example builds a 2-node cluster (2 processes × 4 workers per node),
-// creates a TramLib instance with the WPs scheme (per-destination-process
-// buffers, grouped at the receiver), streams random 8-byte items from every
-// worker, and prints the aggregation statistics — including the message
-// reduction relative to sending every item individually.
+// This example is the public tram API in miniature. It describes a 2-node
+// SMP cluster (2 processes × 4 workers per node), defines an application —
+// every worker streams random items to random destinations through a
+// tram.Lib with the WPs scheme — and then runs the *same* App twice:
+//
+//   - on tram.Sim, the deterministic discrete-event simulator, which models
+//     the cluster's network and reports virtual-time metrics;
+//   - on tram.Real, the goroutine runtime over lock-free shared-memory
+//     buffers, which reports measured wall-clock metrics.
 //
 // Run with:
 //
-//	go run ./examples/quickstart
+//	go run ./examples/quickstart [-items 50000] [-buffer 256]
 package main
 
 import (
+	"flag"
 	"fmt"
 
-	"tramlib/internal/charm"
-	"tramlib/internal/cluster"
-	"tramlib/internal/core"
-	"tramlib/internal/netsim"
 	"tramlib/internal/rng"
+	"tramlib/tram"
 )
 
 func main() {
+	items := flag.Int("items", 50_000, "items streamed per worker")
+	buffer := flag.Int("buffer", 256, "aggregation buffer capacity (g)")
+	flag.Parse()
+
 	// 1. Describe the machine: 2 nodes, 2 processes each, 4 workers per
-	//    process (plus an implicit comm thread per process).
-	topo := cluster.SMP(2, 2, 4)
-
-	// 2. Build the message-driven runtime over the default Delta-like
-	//    network calibration.
-	rt := charm.NewRuntime(topo, netsim.DefaultParams())
-
-	// 3. Create the aggregation library: WPs scheme, buffers of 256 items.
-	cfg := core.DefaultConfig(core.WPs)
-	cfg.BufferItems = 256
-	received := make([]int, topo.TotalWorkers())
-	lib := core.New(rt, cfg, func(ctx *charm.Ctx, item uint64) {
-		received[ctx.Self()]++
-	})
-
-	// 4. Every worker streams 50k items to random destinations, then
-	//    flushes. The LoopDriver chunks the generation loop so sends and
-	//    receives interleave, as in a real message-driven program.
-	const itemsPerWorker = 50_000
-	drv := charm.NewLoopDriver(rt)
+	//    process (plus an implicit comm thread per process in the simulator).
+	topo := tram.SMP(2, 2, 4)
 	W := topo.TotalWorkers()
-	for w := 0; w < W; w++ {
-		r := rng.NewStream(42, w)
-		drv.Spawn(cluster.WorkerID(w), itemsPerWorker, 128,
-			func(ctx *charm.Ctx, i int) {
-				dst := cluster.WorkerID(r.Intn(W))
+
+	// 2. Configure the library: WPs scheme (per-destination-process buffers,
+	//    grouped at the receiver), buffers of `-buffer` items.
+	cfg := tram.DefaultConfig(topo, tram.WPs)
+	cfg.BufferItems = *buffer
+
+	// 3. Write the application once: a typed Lib for inserting, a Deliver
+	//    that counts arrivals, and a kernel per worker. The Ctx works on
+	//    either backend.
+	lib := tram.U64()
+	app := tram.App[uint64]{
+		Deliver: func(ctx tram.Ctx, item uint64) {
+			ctx.Contribute(1) // runs at the destination worker
+		},
+		Spawn: func(w tram.WorkerID) (int, tram.KernelFunc) {
+			r := rng.NewStream(42, int(w))
+			return *items, func(ctx tram.Ctx, _ int) {
+				dst := tram.WorkerID(r.Intn(W))
 				lib.Insert(ctx, dst, r.Uint64())
-			},
-			func(ctx *charm.Ctx) { lib.Flush(ctx) })
+			}
+		},
+		FlushOnDone: true, // end-of-phase flush once a worker's stream ends
 	}
 
-	// 5. Run to quiescence and report.
-	elapsed := rt.Run()
-	total := 0
-	for _, n := range received {
-		total += n
+	// 4. Run it on both backends and compare.
+	fmt.Printf("topology: %v, scheme WPs, g=%d, %d items/worker\n\n", topo, *buffer, *items)
+	for _, backend := range []tram.Backend{tram.Sim, tram.Real} {
+		m, err := lib.Run(backend, cfg, app)
+		if err != nil {
+			panic(err)
+		}
+		clock := "wall-clock"
+		if m.Virtual {
+			clock = "virtual"
+		}
+		fmt.Printf("%-4s  time=%-12v (%s)\n", backend, m.Time, clock)
+		fmt.Printf("      delivered %d of %d sent (reduction arrived at %d)\n",
+			m.Delivered, m.Inserted, m.Reduced)
+		meanBatch := 0.0
+		if m.Batches > 0 {
+			meanBatch = float64(m.Delivered-m.LocalDirect) / float64(m.Batches)
+		}
+		fmt.Printf("      %d aggregated batches vs %d unaggregated sends (%.1f items/batch)\n",
+			m.Batches, m.Inserted, meanBatch)
+		if m.Virtual {
+			fmt.Printf("      wire: %d remote messages, %d bytes, %d flush-sealed\n",
+				m.RemoteMsgs, m.BytesSent, m.FlushMsgs)
+		} else {
+			fmt.Printf("      flushes: %d (of which %d by the latency deadline)\n",
+				m.FlushMsgs, m.DeadlineFlushes)
+		}
+		fmt.Println()
 	}
-	fmt.Printf("topology:          %v\n", topo)
-	fmt.Printf("items delivered:   %d (of %d sent)\n", total, W*itemsPerWorker)
-	fmt.Printf("simulated time:    %v\n", elapsed)
-	fmt.Printf("remote messages:   %d aggregated (vs %d unaggregated)\n",
-		lib.M.RemoteMsgs.Value(), lib.M.Inserted.Value())
-	fmt.Printf("mean items/msg:    %.1f\n",
-		float64(lib.M.Delivered.Value()-lib.M.LocalDirect.Value())/float64(lib.M.RemoteMsgs.Value()+lib.M.LocalMsgs.Value()))
-	fmt.Printf("wire bytes:        %d\n", lib.M.BytesSent.Value())
-	fmt.Printf("flush messages:    %d (resized partial buffers)\n", lib.M.FlushMsgs.Value())
+	fmt.Println("same kernel, same config — only the backend changed.")
 }

@@ -3,12 +3,17 @@
 // wasted updates (stale distance updates that arrive after a better distance
 // is already known; §III-D).
 //
+// The solver is written once against the public tram API; -backend picks the
+// execution engine: "sim" (deterministic virtual time), "real" (goroutines,
+// measured wall-clock), or "both". On the real backend speculation races for
+// real, so wasted counts vary run to run — the distances still converge.
+//
 // Expected shape (Figs. 14–15): wasted updates PP < WPs < WW, because lower
 // item latency means fewer stale updates in flight.
 //
 // Run with:
 //
-//	go run ./examples/sssp [-scale 16] [-deg 8]
+//	go run ./examples/sssp [-scale 16] [-deg 8] [-backend sim]
 package main
 
 import (
@@ -17,17 +22,30 @@ import (
 	"os"
 
 	"tramlib/internal/apps/sssp"
-	"tramlib/internal/cluster"
-	"tramlib/internal/core"
 	"tramlib/internal/graph"
 	"tramlib/internal/stats"
+	"tramlib/tram"
 )
 
 func main() {
 	scale := flag.Int("scale", 16, "RMAT scale (2^scale vertices)")
 	deg := flag.Int("deg", 8, "average degree")
 	seed := flag.Uint64("seed", 7, "graph seed")
+	backend := flag.String("backend", "sim", "execution backend: sim, real, or both")
 	flag.Parse()
+
+	var backends []tram.Backend
+	switch *backend {
+	case "sim":
+		backends = []tram.Backend{tram.Sim}
+	case "real":
+		backends = []tram.Backend{tram.Real}
+	case "both":
+		backends = []tram.Backend{tram.Sim, tram.Real}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -backend %q (want sim, real, or both)\n", *backend)
+		os.Exit(2)
+	}
 
 	fmt.Printf("generating RMAT graph: 2^%d vertices, avg degree %d...\n", *scale, *deg)
 	g := graph.GenRMAT(*scale, *deg, *seed)
@@ -36,17 +54,19 @@ func main() {
 		os.Exit(1)
 	}
 
-	topo := cluster.SMP(2, 4, 8) // 2 nodes x 4 procs x 8 workers
-	tb := stats.NewTable(
-		fmt.Sprintf("Speculative SSSP on RMAT-%d (%d edges), %v", *scale, g.Edges(), topo),
-		"scheme", "time", "wasted", "useful", "wasted/1k", "msgs", "reached")
-
-	for _, s := range []core.Scheme{core.WW, core.WPs, core.WsP, core.PP} {
-		cfg := sssp.DefaultConfig(topo, s, g)
-		res := sssp.Run(cfg)
-		tb.AddRowf(s.String(), res.Time.String(), res.Wasted, res.Useful,
-			res.WastedNorm, res.RemoteMsgs, res.Reached)
+	topo := tram.SMP(2, 4, 8) // 2 nodes x 4 procs x 8 workers
+	for _, b := range backends {
+		tb := stats.NewTable(
+			fmt.Sprintf("Speculative SSSP on RMAT-%d (%d edges), %v, backend=%v",
+				*scale, g.Edges(), topo, b),
+			"scheme", "time", "wasted", "useful", "wasted/1k", "batches", "reached")
+		for _, s := range tram.Schemes()[1:] {
+			cfg := sssp.DefaultConfig(topo, s, g)
+			res := sssp.RunOn(b, cfg)
+			tb.AddRowf(s.String(), res.Time.String(), res.Wasted, res.Useful,
+				res.WastedNorm, res.M.Batches, res.Reached)
+		}
+		fmt.Println(tb.String())
 	}
-	fmt.Println(tb.String())
 	fmt.Println("lower wasted/1k = fewer stale speculative updates = less wasted work")
 }

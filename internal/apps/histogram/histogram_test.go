@@ -2,13 +2,14 @@ package histogram
 
 import (
 	"testing"
+	"time"
 
-	"tramlib/internal/cluster"
-	"tramlib/internal/core"
+	"tramlib/internal/rng"
+	"tramlib/tram"
 )
 
-func smallConfig(scheme core.Scheme) Config {
-	cfg := DefaultConfig(cluster.SMP(2, 2, 4), scheme)
+func smallConfig(scheme tram.Scheme) Config {
+	cfg := DefaultConfig(tram.SMP(2, 2, 4), scheme)
 	cfg.UpdatesPerPE = 2000
 	cfg.Tram.BufferItems = 64
 	cfg.SlotsPerPE = 128
@@ -16,12 +17,12 @@ func smallConfig(scheme core.Scheme) Config {
 }
 
 func TestUpdatesConserved(t *testing.T) {
-	for _, s := range []core.Scheme{core.WW, core.WPs, core.WsP, core.PP, core.Direct} {
+	for _, s := range tram.Schemes() {
 		s := s
 		t.Run(s.String(), func(t *testing.T) {
 			cfg := smallConfig(s)
 			res := Run(cfg)
-			want := int64(cfg.Topo.TotalWorkers()) * int64(cfg.UpdatesPerPE)
+			want := int64(cfg.Tram.Topo.TotalWorkers()) * int64(cfg.UpdatesPerPE)
 			if res.TotalUpdates != want {
 				t.Fatalf("applied %d updates, want %d", res.TotalUpdates, want)
 			}
@@ -36,18 +37,18 @@ func TestUpdatesConserved(t *testing.T) {
 }
 
 func TestAggregationBeatsDirect(t *testing.T) {
-	agg := Run(smallConfig(core.WPs))
-	direct := Run(smallConfig(core.Direct))
+	agg := Run(smallConfig(tram.WPs))
+	direct := Run(smallConfig(tram.Direct))
 	if agg.Time >= direct.Time {
 		t.Fatalf("aggregated (%v) not faster than direct (%v)", agg.Time, direct.Time)
 	}
-	if agg.RemoteMsgs >= direct.RemoteMsgs/4 {
-		t.Fatalf("aggregation reduced messages only %d -> %d", direct.RemoteMsgs, agg.RemoteMsgs)
+	if agg.M.RemoteMsgs >= direct.M.RemoteMsgs/4 {
+		t.Fatalf("aggregation reduced messages only %d -> %d", direct.M.RemoteMsgs, agg.M.RemoteMsgs)
 	}
 }
 
 func TestNonSMPRuns(t *testing.T) {
-	cfg := DefaultConfig(cluster.NonSMP(2, 8), core.WW)
+	cfg := DefaultConfig(tram.NonSMP(2, 8), tram.WW)
 	cfg.UpdatesPerPE = 1000
 	cfg.Tram.BufferItems = 32
 	cfg.SlotsPerPE = 64
@@ -62,31 +63,98 @@ func TestFlushDominatedRegimeSendsFlushMessages(t *testing.T) {
 	// Few updates spread over many destinations with a large buffer: WW
 	// never fills and everything goes out in flush messages (the Fig. 9
 	// WW cliff).
-	cfg := smallConfig(core.WW)
+	cfg := smallConfig(tram.WW)
 	cfg.UpdatesPerPE = 200
 	cfg.Tram.BufferItems = 1024
 	res := Run(cfg)
-	if res.FlushMsgs == 0 {
+	if res.M.FlushMsgs == 0 {
 		t.Fatal("expected flush-dominated run to emit flush messages")
 	}
-	if res.RemoteMsgs < res.FlushMsgs/2 {
-		t.Fatalf("remote %d vs flush %d inconsistent", res.RemoteMsgs, res.FlushMsgs)
+	if res.M.RemoteMsgs < res.M.FlushMsgs/2 {
+		t.Fatalf("remote %d vs flush %d inconsistent", res.M.RemoteMsgs, res.M.FlushMsgs)
 	}
 }
 
 func TestDeterministic(t *testing.T) {
-	a, b := Run(smallConfig(core.WPs)), Run(smallConfig(core.WPs))
-	if a.Time != b.Time || a.RemoteMsgs != b.RemoteMsgs || a.CheckSum != b.CheckSum {
-		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	a, b := Run(smallConfig(tram.WPs)), Run(smallConfig(tram.WPs))
+	if a.Time != b.Time || a.M.RemoteMsgs != b.M.RemoteMsgs || a.CheckSum != b.CheckSum {
+		t.Fatalf("nondeterministic: %+v vs %+v", a.M, b.M)
 	}
 }
 
 func TestSeedChangesTraffic(t *testing.T) {
-	cfg := smallConfig(core.WPs)
+	cfg := smallConfig(tram.WPs)
 	a := Run(cfg)
 	cfg.Seed = 2
 	b := Run(cfg)
-	if a.Time == b.Time && a.BytesSent == b.BytesSent {
+	if a.Time == b.Time && a.M.BytesSent == b.M.BytesSent {
 		t.Fatal("different seeds produced identical runs (suspicious)")
+	}
+}
+
+// TestRealMatchesSerialReference verifies, for every wiring, that the real
+// backend applies exactly the update multiset a serial replay of the
+// generators produces — element-wise per table slot, not just in aggregate.
+// The kernel is the same single-source App the simulator runs; only the
+// backend differs.
+func TestRealMatchesSerialReference(t *testing.T) {
+	topo := tram.SMP(2, 2, 2)
+	W := topo.TotalWorkers()
+	for _, s := range tram.Schemes() {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultConfig(topo, s)
+			cfg.UpdatesPerPE = 8192
+			cfg.SlotsPerPE = 64
+			cfg.Tram.BufferItems = 128
+			cfg.Tram.FlushDeadline = 500 * time.Microsecond
+			res := RunOn(tram.Real, cfg)
+
+			want := make([][]int64, W)
+			for i := range want {
+				want[i] = make([]int64, cfg.SlotsPerPE)
+			}
+			for w := 0; w < W; w++ {
+				r := rng.NewStream(cfg.Seed, w)
+				for i := 0; i < cfg.UpdatesPerPE; i++ {
+					dst, slot := update(r.Uint64(), W, cfg.SlotsPerPE)
+					apply(want[dst], slot, cfg.SlotsPerPE)
+				}
+			}
+			for w := 0; w < W; w++ {
+				for sl := range want[w] {
+					if res.Tables[w][sl] != want[w][sl] {
+						t.Fatalf("worker %d slot %d: got %d, want %d",
+							w, sl, res.Tables[w][sl], want[w][sl])
+					}
+				}
+			}
+			if exp := int64(W) * int64(cfg.UpdatesPerPE); res.TotalUpdates != exp || res.CheckSum != exp {
+				t.Fatalf("applied %d (checksum %d), want %d", res.TotalUpdates, res.CheckSum, exp)
+			}
+			if s != tram.Direct && res.M.Batches == 0 {
+				t.Fatal("aggregating scheme emitted no batches")
+			}
+		})
+	}
+}
+
+// TestBackendsAgreeOnTables is the single-source guarantee in miniature: the
+// identical App run on both backends produces identical tables.
+func TestBackendsAgreeOnTables(t *testing.T) {
+	cfg := smallConfig(tram.WsP)
+	simRes := RunOn(tram.Sim, cfg)
+	realRes := RunOn(tram.Real, cfg)
+	for w := range simRes.Tables {
+		for sl := range simRes.Tables[w] {
+			if simRes.Tables[w][sl] != realRes.Tables[w][sl] {
+				t.Fatalf("worker %d slot %d: sim %d vs real %d",
+					w, sl, simRes.Tables[w][sl], realRes.Tables[w][sl])
+			}
+		}
+	}
+	if !simRes.M.Virtual || realRes.M.Virtual {
+		t.Fatalf("Virtual flags wrong: sim %v real %v", simRes.M.Virtual, realRes.M.Virtual)
 	}
 }

@@ -9,21 +9,29 @@
 // latency reflects buffer-fill delay — the quantity the schemes trade against
 // overhead (PP fills shared buffers t× faster than WPs, which fills per-worker
 // process buffers N·t/N = t× faster than WW fills per-worker worker buffers).
+//
+// The kernel is single-sourced on the public tram API: on tram.Sim the born
+// timestamps are virtual nanoseconds, on tram.Real they are wall nanoseconds
+// since the run's start — the same skew-free trick either way, because the
+// response is observed on the goroutine/PE that stamped the request.
 package indexgather
 
 import (
-	"tramlib/internal/charm"
-	"tramlib/internal/cluster"
-	"tramlib/internal/core"
-	"tramlib/internal/netsim"
+	"time"
+
 	"tramlib/internal/rng"
-	"tramlib/internal/sim"
-	"tramlib/internal/stats"
+	"tramlib/tram"
 )
 
 // Payload layout: bit 63 = response flag.
 // Request:  [62:48] requester worker id (15 bits), [47:0] born timestamp ns.
-// Response: [62:0] born timestamp echoed back.
+// Response: [47:0] born timestamp echoed back.
+//
+// Born timestamps are truncated to 48 bits, so they wrap every 2^48 ns
+// (~3.26 days). Latency is therefore computed with wrap-safe modular
+// subtraction (see latency), which is exact as long as a single request's
+// in-flight time stays below the wrap window — comfortably true for both
+// millisecond-scale simulated runs and real runs.
 const (
 	respFlag  = uint64(1) << 63
 	reqShift  = 48
@@ -31,34 +39,37 @@ const (
 	reqIDMask = uint64(1)<<15 - 1
 )
 
+// latency returns now-born modulo the 48-bit wrap window, so a run that
+// crosses a timestamp wrap cannot produce negative or astronomically large
+// samples.
+func latency(now time.Duration, born uint64) int64 {
+	return int64((uint64(now) - born) & bornMask)
+}
+
 // Config parameterizes one IG run.
 type Config struct {
-	Topo   cluster.Topology
-	Params netsim.Params
-	Tram   core.Config
+	// Tram is the unified library configuration. DefaultConfig enables
+	// TrackLatency and FlushOnIdle as the paper's IG runs do.
+	Tram tram.Config
 	// RequestsPerPE is z: requests issued by each worker.
 	RequestsPerPE int
-	// LookupCost is charged at the responder per request served.
-	LookupCost sim.Time
-	// GenCost is charged per generated request.
-	GenCost   sim.Time
-	ChunkSize int
-	Seed      uint64
+	// LookupCost is charged at the responder per request served. Sim only.
+	LookupCost time.Duration
+	// GenCost is charged per generated request. Sim only.
+	GenCost time.Duration
+	Seed    uint64
 }
 
 // DefaultConfig returns a Fig. 12/13-style configuration.
-func DefaultConfig(topo cluster.Topology, scheme core.Scheme) Config {
-	tram := core.DefaultConfig(scheme)
-	tram.TrackLatency = true
-	tram.FlushOnIdle = true
+func DefaultConfig(topo tram.Topology, scheme tram.Scheme) Config {
+	tc := tram.DefaultConfig(topo, scheme)
+	tc.TrackLatency = true
+	tc.FlushOnIdle = true
 	return Config{
-		Topo:          topo,
-		Params:        netsim.DefaultParams(),
-		Tram:          tram,
+		Tram:          tc,
 		RequestsPerPE: 1 << 23,
-		LookupCost:    15 * sim.Nanosecond,
-		GenCost:       10 * sim.Nanosecond,
-		ChunkSize:     256,
+		LookupCost:    15 * time.Nanosecond,
+		GenCost:       10 * time.Nanosecond,
 		Seed:          1,
 	}
 }
@@ -66,68 +77,74 @@ func DefaultConfig(topo cluster.Topology, scheme core.Scheme) Config {
 // Result reports one run.
 type Result struct {
 	// Time is the makespan until the last response arrives.
-	Time sim.Time
-	// Latency is the distribution of request→response intervals.
-	Latency *stats.Hist
+	Time time.Duration
+	// Latency is the distribution of request→response intervals (virtual ns
+	// on tram.Sim, wall ns on tram.Real).
+	Latency *tram.Hist
 	// Responses received (must equal W·z).
 	Responses int64
-	// RemoteMsgs is TramLib's aggregated message count.
-	RemoteMsgs int64
+	// M carries the backend's full metrics.
+	M tram.Metrics
 }
 
-// Run executes the benchmark.
-func Run(cfg Config) Result {
-	topo := cfg.Topo
-	rt := charm.NewRuntime(topo, cfg.Params)
-	drv := charm.NewLoopDriver(rt)
+// Run executes the benchmark on the simulator.
+func Run(cfg Config) Result { return RunOn(tram.Sim, cfg) }
+
+// RunOn executes the benchmark on the given backend.
+func RunOn(b tram.Backend, cfg Config) Result {
+	topo := cfg.Tram.Topo
 	W := topo.TotalWorkers()
 
-	lat := stats.NewHist()
-	expected := int64(W) * int64(cfg.RequestsPerPE)
-	var responses int64
-	var doneAt sim.Time
+	// Per-worker latency histograms: responses arrive on the requester's
+	// context, so each worker owns its histogram; merged after the run.
+	lats := make([]*tram.Hist, W)
+	for i := range lats {
+		lats[i] = tram.NewHist()
+	}
 
-	var lib *core.Lib
-	lib = core.New(rt, cfg.Tram, func(ctx *charm.Ctx, v uint64) {
-		if v&respFlag != 0 {
-			// Response arrives at its requester.
-			born := sim.Time(v &^ respFlag)
-			lat.Observe(int64(ctx.Now() - born))
-			responses++
-			if responses == expected {
-				doneAt = ctx.Now()
+	lib := tram.U64()
+	m, err := lib.Run(b, cfg.Tram, tram.App[uint64]{
+		Deliver: func(ctx tram.Ctx, v uint64) {
+			if v&respFlag != 0 {
+				// Response arrives back at its requester.
+				born := v & bornMask
+				lats[ctx.Self()].Observe(latency(ctx.Now(), born))
+				ctx.Contribute(1)
+				return
 			}
-			return
-		}
-		// Request: serve and respond through the library.
-		ctx.Charge(cfg.LookupCost)
-		requester := cluster.WorkerID((v >> reqShift) & reqIDMask)
-		born := v & bornMask
-		lib.Insert(ctx, requester, respFlag|born)
-	})
-
-	for w := 0; w < W; w++ {
-		w := w
-		r := rng.NewStream(cfg.Seed, w)
-		self := cluster.WorkerID(w)
-		drv.Spawn(self, cfg.RequestsPerPE, cfg.ChunkSize,
-			func(ctx *charm.Ctx, _ int) {
+			// Request: serve and respond through the library.
+			ctx.Charge(cfg.LookupCost)
+			requester := tram.WorkerID((v >> reqShift) & reqIDMask)
+			born := v & bornMask
+			lib.Insert(ctx, requester, respFlag|born)
+		},
+		Spawn: func(w tram.WorkerID) (int, tram.KernelFunc) {
+			r := rng.NewStream(cfg.Seed, int(w))
+			self := w
+			return cfg.RequestsPerPE, func(ctx tram.Ctx, _ int) {
 				ctx.Charge(cfg.GenCost)
-				dst := cluster.WorkerID(r.Intn(W - 1))
+				dst := tram.WorkerID(r.Intn(W - 1))
 				if dst >= self {
 					dst++ // uniform over others, never self
 				}
 				born := uint64(ctx.Now()) & bornMask
 				lib.Insert(ctx, dst, uint64(w)<<reqShift|born)
-			},
-			func(ctx *charm.Ctx) { lib.Flush(ctx) })
+			}
+		},
+		FlushOnDone: true,
+	})
+	if err != nil {
+		panic(err)
 	}
-	rt.Run()
 
+	lat := tram.NewHist()
+	for _, h := range lats {
+		lat.Merge(h)
+	}
 	return Result{
-		Time:       doneAt,
-		Latency:    lat,
-		Responses:  responses,
-		RemoteMsgs: lib.M.RemoteMsgs.Value(),
+		Time:      m.LastDelivery,
+		Latency:   lat,
+		Responses: m.Reduced,
+		M:         m,
 	}
 }

@@ -2,25 +2,25 @@ package indexgather
 
 import (
 	"testing"
+	"time"
 
-	"tramlib/internal/cluster"
-	"tramlib/internal/core"
+	"tramlib/tram"
 )
 
-func smallConfig(scheme core.Scheme) Config {
-	cfg := DefaultConfig(cluster.SMP(2, 2, 4), scheme)
+func smallConfig(scheme tram.Scheme) Config {
+	cfg := DefaultConfig(tram.SMP(2, 2, 4), scheme)
 	cfg.RequestsPerPE = 1500
 	cfg.Tram.BufferItems = 64
 	return cfg
 }
 
 func TestAllResponsesReceived(t *testing.T) {
-	for _, s := range []core.Scheme{core.WW, core.WPs, core.PP} {
+	for _, s := range []tram.Scheme{tram.WW, tram.WPs, tram.PP} {
 		s := s
 		t.Run(s.String(), func(t *testing.T) {
 			cfg := smallConfig(s)
 			res := Run(cfg)
-			want := int64(cfg.Topo.TotalWorkers()) * int64(cfg.RequestsPerPE)
+			want := int64(cfg.Tram.Topo.TotalWorkers()) * int64(cfg.RequestsPerPE)
 			if res.Responses != want {
 				t.Fatalf("responses %d, want %d", res.Responses, want)
 			}
@@ -39,30 +39,73 @@ func TestAllResponsesReceived(t *testing.T) {
 
 func TestLatencyOrderingAcrossSchemes(t *testing.T) {
 	// Fig. 12: mean request latency PP < WPs < WW.
-	lat := func(s core.Scheme) float64 {
+	lat := func(s tram.Scheme) float64 {
 		res := Run(smallConfig(s))
 		return res.Latency.Mean()
 	}
-	ww, wps, pp := lat(core.WW), lat(core.WPs), lat(core.PP)
+	ww, wps, pp := lat(tram.WW), lat(tram.WPs), lat(tram.PP)
 	if !(pp < wps && wps < ww) {
 		t.Fatalf("latency ordering violated: PP=%.0f WPs=%.0f WW=%.0f", pp, wps, ww)
 	}
 }
 
 func TestLatencyAboveNetworkFloor(t *testing.T) {
-	cfg := smallConfig(core.WPs)
+	cfg := smallConfig(tram.WPs)
 	res := Run(cfg)
 	// A request+response crosses the network at least twice; latency can
 	// never beat two wire alphas.
-	floor := int64(2 * cfg.Params.AlphaIntraNode)
+	floor := int64(2 * cfg.Tram.Net.AlphaIntraNode)
 	if res.Latency.Min() < floor {
 		t.Fatalf("min latency %d below network floor %d", res.Latency.Min(), floor)
 	}
 }
 
 func TestDeterministic(t *testing.T) {
-	a, b := Run(smallConfig(core.PP)), Run(smallConfig(core.PP))
+	a, b := Run(smallConfig(tram.PP)), Run(smallConfig(tram.PP))
 	if a.Time != b.Time || a.Latency.Sum() != b.Latency.Sum() {
 		t.Fatal("nondeterministic")
+	}
+}
+
+// TestWrapSafeLatency pins the 48-bit timestamp arithmetic: a response whose
+// born stamp precedes a timestamp wrap must still yield the true (small)
+// interval, not a negative or astronomically large one.
+func TestWrapSafeLatency(t *testing.T) {
+	const wrap = uint64(1) << reqShift
+	born := (wrap - 100) & bornMask // stamped 100 ns before the wrap
+	now := time.Duration(wrap + 50) // observed 150 ns later, after the wrap
+	if got := latency(now, born); got != 150 {
+		t.Fatalf("wrapped latency = %d, want 150", got)
+	}
+	if got := latency(time.Duration(500), 100); got != 400 {
+		t.Fatalf("unwrapped latency = %d, want 400", got)
+	}
+}
+
+// TestRealAllResponsesArrive runs the identical single-source kernel on the
+// real backend: every request must come back, with plausible wall latencies.
+func TestRealAllResponsesArrive(t *testing.T) {
+	topo := tram.SMP(2, 2, 2)
+	W := topo.TotalWorkers()
+	for _, s := range []tram.Scheme{tram.WW, tram.WPs, tram.PP} {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultConfig(topo, s)
+			cfg.RequestsPerPE = 4096
+			cfg.Tram.BufferItems = 128
+			cfg.Tram.FlushDeadline = 500 * time.Microsecond
+			res := RunOn(tram.Real, cfg)
+			want := int64(W) * int64(cfg.RequestsPerPE)
+			if res.Responses != want {
+				t.Fatalf("responses %d, want %d", res.Responses, want)
+			}
+			if res.Latency.Count() != want {
+				t.Fatalf("latency samples %d, want %d", res.Latency.Count(), want)
+			}
+			if res.Latency.Min() < 0 {
+				t.Fatalf("negative latency %d", res.Latency.Min())
+			}
+		})
 	}
 }

@@ -11,15 +11,19 @@
 // directly controls how stale remote events are on arrival, so lower-latency
 // aggregation schemes yield fewer rejected updates (the paper reports >5%
 // fewer for PP).
+//
+// The engine is single-sourced on the public tram API: local event loops
+// yield between batches via Ctx.Post, so the same kernel runs deterministic
+// on tram.Sim and truly concurrent on tram.Real (where the rejected-update
+// count genuinely depends on host scheduling — the phenomenon itself, live).
 package phold
 
 import (
-	"tramlib/internal/charm"
-	"tramlib/internal/cluster"
-	"tramlib/internal/core"
-	"tramlib/internal/netsim"
+	"sync/atomic"
+	"time"
+
 	"tramlib/internal/rng"
-	"tramlib/internal/sim"
+	"tramlib/tram"
 )
 
 // Payload layout: [63:24] timestamp (40 bits), [23:0] global LP id.
@@ -30,9 +34,10 @@ const (
 
 // Config parameterizes one PHOLD run.
 type Config struct {
-	Topo   cluster.Topology
-	Params netsim.Params
-	Tram   core.Config
+	// Tram is the unified library configuration. DefaultConfig arms the
+	// timeout flush: PDES is latency-sensitive, and flush-on-idle would
+	// fire between every pair of events and destroy aggregation.
+	Tram tram.Config
 	// LPsPerWorker is the number of logical processes per worker.
 	LPsPerWorker int
 	// PopulationPerLP is the constant number of events in flight per LP.
@@ -46,34 +51,30 @@ type Config struct {
 	// RemoteProb is the probability that a successor event targets a
 	// uniformly random global LP instead of an LP on the same worker.
 	RemoteProb float64
-	// EventCost is charged per processed event.
-	EventCost sim.Time
-	// DrainChunk is local events processed per scheduler slot.
+	// EventCost is charged per processed event. Sim only.
+	EventCost time.Duration
+	// DrainChunk is local events processed per posted drain task.
 	DrainChunk int
 	Seed       uint64
 }
 
 // DefaultConfig returns a Fig. 18-style configuration.
-func DefaultConfig(topo cluster.Topology, scheme core.Scheme) Config {
-	tram := core.DefaultConfig(scheme)
-	// PDES is latency-sensitive: cap item residence with the timeout
-	// flush rather than flush-on-idle (which fires between every pair of
-	// events and destroys aggregation). Schemes whose buffers fill faster
-	// than the timeout (PP's shared buffers) deliver events fresher and
-	// reject fewer of them; WW's many near-empty buffers turn every
-	// timeout into a message storm (the paper saw >5x worse total time).
-	tram.FlushTimeout = 15 * sim.Microsecond
-	tram.BufferItems = 256
+func DefaultConfig(topo tram.Topology, scheme tram.Scheme) Config {
+	tc := tram.DefaultConfig(topo, scheme)
+	// Schemes whose buffers fill faster than the timeout (PP's shared
+	// buffers) deliver events fresher and reject fewer of them; WW's many
+	// near-empty buffers turn every timeout into a message storm (the paper
+	// saw >5x worse total time).
+	tc.FlushTimeout = 15 * time.Microsecond
+	tc.BufferItems = 256
 	return Config{
-		Topo:            topo,
-		Params:          netsim.DefaultParams(),
-		Tram:            tram,
+		Tram:            tc,
 		LPsPerWorker:    1024,
 		PopulationPerLP: 1,
 		EventsBudget:    1 << 22,
 		MeanDelay:       100,
 		RemoteProb:      0.5,
-		EventCost:       20 * sim.Nanosecond,
+		EventCost:       20 * time.Nanosecond,
 		DrainChunk:      256,
 		Seed:            1,
 	}
@@ -82,7 +83,7 @@ func DefaultConfig(topo cluster.Topology, scheme core.Scheme) Config {
 // Result reports one run.
 type Result struct {
 	// Time is the quiescence time.
-	Time sim.Time
+	Time time.Duration
 	// Processed events (>= EventsBudget when the budget stops the run).
 	Processed int64
 	// RemoteRecv counts events that arrived from another worker.
@@ -95,8 +96,8 @@ type Result struct {
 	WastedFrac float64
 	// MaxLVT is the largest LP local virtual time reached.
 	MaxLVT uint64
-	// RemoteMsgs is TramLib's aggregated message count.
-	RemoteMsgs int64
+	// M carries the backend's full metrics.
+	M tram.Metrics
 }
 
 type event struct {
@@ -149,18 +150,22 @@ func (h *eventHeap) pop() event {
 	return top
 }
 
-// workerState holds per-PE PDES state.
+// workerState holds per-PE PDES state, touched only on its own execution
+// context.
 type workerState struct {
 	clock    []uint64 // local virtual time per local LP
 	pending  eventHeap
 	draining bool
 	rng      *rng.RNG
+	drain    func(tram.Ctx) // pre-built drain continuation
 }
 
-// Run executes the benchmark.
-func Run(cfg Config) Result {
-	topo := cfg.Topo
-	rt := charm.NewRuntime(topo, cfg.Params)
+// Run executes the benchmark on the simulator.
+func Run(cfg Config) Result { return RunOn(tram.Sim, cfg) }
+
+// RunOn executes the benchmark on the given backend.
+func RunOn(b tram.Backend, cfg Config) Result {
+	topo := cfg.Tram.Topo
 	W := topo.TotalWorkers()
 	totalLPs := W * cfg.LPsPerWorker
 
@@ -172,11 +177,13 @@ func Run(cfg Config) Result {
 		}
 	}
 
-	var res Result
-	var lib *core.Lib
-	var hDrain charm.HandlerID
+	// Shared counters are atomics for the concurrent backend; the serial
+	// simulator sees the identical value sequence as plain increments.
+	var processed, remoteRecv, wasted atomic.Int64
 
-	schedule := func(ctx *charm.Ctx, st *workerState, self int, ts uint64) {
+	lib := tram.U64()
+
+	schedule := func(ctx tram.Ctx, st *workerState, self int, ts uint64) {
 		// Successor event: advance the timestamp, pick a destination LP.
 		inc := uint64(st.rng.ExpFloat64()*cfg.MeanDelay) + 1
 		nts := ts + inc
@@ -191,81 +198,90 @@ func Run(cfg Config) Result {
 			st.pending.push(event{lp: uint32(gLP % cfg.LPsPerWorker), ts: nts})
 			if !st.draining {
 				st.draining = true
-				ctx.Send(ctx.Self(), hDrain, st, 0, false)
+				ctx.Post(st.drain)
 			}
 			return
 		}
-		lib.Insert(ctx, cluster.WorkerID(owner), nts<<tsShift|uint64(gLP))
+		lib.Insert(ctx, tram.WorkerID(owner), nts<<tsShift|uint64(gLP))
 	}
 
 	// handle executes one event popped from the worker's timestamp-ordered
 	// pending set.
-	handle := func(ctx *charm.Ctx, st *workerState, self int, lp uint32, ts uint64) {
+	handle := func(ctx tram.Ctx, st *workerState, self int, lp uint32, ts uint64) {
 		ctx.Charge(cfg.EventCost)
-		res.Processed++
 		if ts > st.clock[lp] {
 			st.clock[lp] = ts
 		}
-		if res.Processed < cfg.EventsBudget {
+		if processed.Add(1) < cfg.EventsBudget {
 			schedule(ctx, st, self, ts)
 		}
 	}
 
-	hDrain = rt.Register("phold.drain", func(ctx *charm.Ctx, data any, _ int) {
-		st := data.(*workerState)
-		self := int(ctx.Self())
-		n := 0
-		for n < cfg.DrainChunk && len(st.pending) > 0 {
-			ev := st.pending.pop()
-			n++
-			handle(ctx, st, self, ev.lp, ev.ts)
-		}
-		if len(st.pending) == 0 {
-			st.draining = false
-			return
-		}
-		ctx.Send(ctx.Self(), hDrain, st, 0, false)
-	})
-
-	lib = core.New(rt, cfg.Tram, func(ctx *charm.Ctx, p uint64) {
-		// Remote event arrival. If its LP has already committed past the
-		// event's timestamp, the arrival is out of order: a real Time
-		// Warp engine would roll the LP back. The placeholder engine
-		// counts it (Fig. 18's metric) and executes anyway to keep the
-		// event population constant.
-		st := ws[ctx.Self()]
-		lp := uint32(p&lpMask) % uint32(cfg.LPsPerWorker)
-		ts := p >> tsShift
-		res.RemoteRecv++
-		if ts < st.clock[lp] {
-			res.Wasted++
-		}
-		st.pending.push(event{lp: lp, ts: ts})
-		if !st.draining {
-			st.draining = true
-			ctx.Send(ctx.Self(), hDrain, st, 0, false)
-		}
-	})
-
-	// Initial population: PopulationPerLP events per LP, local start.
-	hInit := rt.Register("phold.init", func(ctx *charm.Ctx, _ any, _ int) {
-		st := ws[ctx.Self()]
-		for lp := 0; lp < cfg.LPsPerWorker; lp++ {
-			for k := 0; k < cfg.PopulationPerLP; k++ {
-				ts := uint64(st.rng.ExpFloat64()*cfg.MeanDelay) + 1
-				st.pending.push(event{lp: uint32(lp), ts: ts})
+	for w, st := range ws {
+		st, self := st, w
+		st.drain = func(ctx tram.Ctx) {
+			n := 0
+			for n < cfg.DrainChunk && len(st.pending) > 0 {
+				ev := st.pending.pop()
+				n++
+				handle(ctx, st, self, ev.lp, ev.ts)
 			}
+			if len(st.pending) == 0 {
+				st.draining = false
+				return
+			}
+			ctx.Post(st.drain)
 		}
-		if !st.draining && len(st.pending) > 0 {
-			st.draining = true
-			ctx.Send(ctx.Self(), hDrain, st, 0, false)
-		}
-	})
-	for w := 0; w < W; w++ {
-		rt.Inject(0, cluster.WorkerID(w), hInit, nil)
 	}
-	res.Time = rt.Run()
 
+	m, err := lib.Run(b, cfg.Tram, tram.App[uint64]{
+		Deliver: func(ctx tram.Ctx, p uint64) {
+			// Remote event arrival. If its LP has already committed past
+			// the event's timestamp, the arrival is out of order: a real
+			// Time Warp engine would roll the LP back. The placeholder
+			// engine counts it (Fig. 18's metric) and executes anyway to
+			// keep the event population constant.
+			st := ws[ctx.Self()]
+			lp := uint32(p&lpMask) % uint32(cfg.LPsPerWorker)
+			ts := p >> tsShift
+			remoteRecv.Add(1)
+			if ts < st.clock[lp] {
+				wasted.Add(1)
+			}
+			st.pending.push(event{lp: lp, ts: ts})
+			if !st.draining {
+				st.draining = true
+				ctx.Post(st.drain)
+			}
+		},
+		Spawn: func(w tram.WorkerID) (int, tram.KernelFunc) {
+			// One init step per worker: seed the constant event population.
+			st := ws[w]
+			return 1, func(ctx tram.Ctx, _ int) {
+				for lp := 0; lp < cfg.LPsPerWorker; lp++ {
+					for k := 0; k < cfg.PopulationPerLP; k++ {
+						ts := uint64(st.rng.ExpFloat64()*cfg.MeanDelay) + 1
+						st.pending.push(event{lp: uint32(lp), ts: ts})
+					}
+				}
+				if !st.draining && len(st.pending) > 0 {
+					st.draining = true
+					ctx.Post(st.drain)
+				}
+			}
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	res := Result{
+		Time:       m.Time,
+		Processed:  processed.Load(),
+		RemoteRecv: remoteRecv.Load(),
+		Wasted:     wasted.Load(),
+		M:          m,
+	}
 	for _, st := range ws {
 		for _, c := range st.clock {
 			if c > res.MaxLVT {
@@ -276,6 +292,5 @@ func Run(cfg Config) Result {
 	if res.RemoteRecv > 0 {
 		res.WastedFrac = float64(res.Wasted) / float64(res.RemoteRecv)
 	}
-	res.RemoteMsgs = lib.M.RemoteMsgs.Value()
 	return res
 }

@@ -3,19 +3,18 @@ package phold
 import (
 	"testing"
 
-	"tramlib/internal/cluster"
-	"tramlib/internal/core"
+	"tramlib/tram"
 )
 
-func smallConfig(scheme core.Scheme) Config {
-	cfg := DefaultConfig(cluster.SMP(2, 1, 16), scheme)
+func smallConfig(scheme tram.Scheme) Config {
+	cfg := DefaultConfig(tram.SMP(2, 1, 16), scheme)
 	cfg.LPsPerWorker = 512
 	cfg.EventsBudget = 300000
 	return cfg
 }
 
 func TestBudgetRespected(t *testing.T) {
-	for _, s := range []core.Scheme{core.WW, core.WPs, core.PP} {
+	for _, s := range []tram.Scheme{tram.WW, tram.WPs, tram.PP} {
 		s := s
 		t.Run(s.String(), func(t *testing.T) {
 			cfg := smallConfig(s)
@@ -25,7 +24,7 @@ func TestBudgetRespected(t *testing.T) {
 			}
 			// Population is absorbed after the budget: at most
 			// budget + initial population events run.
-			pop := int64(cfg.Topo.TotalWorkers() * cfg.LPsPerWorker * cfg.PopulationPerLP)
+			pop := int64(cfg.Tram.Topo.TotalWorkers() * cfg.LPsPerWorker * cfg.PopulationPerLP)
 			if res.Processed > cfg.EventsBudget+pop {
 				t.Fatalf("processed %d exceeds budget+population %d", res.Processed, cfg.EventsBudget+pop)
 			}
@@ -42,7 +41,7 @@ func TestBudgetRespected(t *testing.T) {
 func TestOutOfOrderEventsObserved(t *testing.T) {
 	// With remote events travelling through buffers, some arrivals must be
 	// stale — that is the phenomenon Fig. 18 quantifies.
-	res := Run(smallConfig(core.WW))
+	res := Run(smallConfig(tram.WW))
 	if res.Wasted == 0 {
 		t.Fatal("no out-of-order events observed")
 	}
@@ -54,8 +53,8 @@ func TestOutOfOrderEventsObserved(t *testing.T) {
 func TestLowerLatencySchemeWastesLess(t *testing.T) {
 	// Fig. 18's headline: PP (lowest item latency) rejects >5% fewer
 	// updates than WW (highest latency).
-	ww := Run(smallConfig(core.WW))
-	pp := Run(smallConfig(core.PP))
+	ww := Run(smallConfig(tram.WW))
+	pp := Run(smallConfig(tram.PP))
 	if float64(pp.Wasted) >= 0.95*float64(ww.Wasted) {
 		t.Fatalf("PP wasted %d not >5%% below WW wasted %d", pp.Wasted, ww.Wasted)
 	}
@@ -65,28 +64,47 @@ func TestWWTimeWorseThanNodeAware(t *testing.T) {
 	// §IV: "WW's execution time was much higher (over 5x) compared to
 	// other schemes" — frequent timeout flushes over N·t near-empty
 	// buffers are a message storm.
-	ww := Run(smallConfig(core.WW))
-	wps := Run(smallConfig(core.WPs))
+	ww := Run(smallConfig(tram.WW))
+	wps := Run(smallConfig(tram.WPs))
 	if float64(ww.Time) < 2*float64(wps.Time) {
 		t.Fatalf("WW time %v not >> WPs time %v", ww.Time, wps.Time)
 	}
 }
 
 func TestDeterministic(t *testing.T) {
-	a, b := Run(smallConfig(core.WPs)), Run(smallConfig(core.WPs))
+	a, b := Run(smallConfig(tram.WPs)), Run(smallConfig(tram.WPs))
 	if a.Processed != b.Processed || a.Wasted != b.Wasted || a.Time != b.Time {
-		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+		t.Fatalf("nondeterministic: %+v vs %+v", a.Time, b.Time)
 	}
 }
 
 func TestRemoteProbZeroStaysLocal(t *testing.T) {
-	cfg := smallConfig(core.WPs)
+	cfg := smallConfig(tram.WPs)
 	cfg.RemoteProb = 0
 	res := Run(cfg)
 	if res.Wasted != 0 {
 		t.Fatalf("pure-local run wasted %d events", res.Wasted)
 	}
-	if res.RemoteMsgs != 0 {
-		t.Fatalf("pure-local run sent %d remote messages", res.RemoteMsgs)
+	if res.M.RemoteMsgs != 0 {
+		t.Fatalf("pure-local run sent %d remote messages", res.M.RemoteMsgs)
+	}
+}
+
+// TestRealBudgetAndConservation runs the same PDES kernel on the goroutine
+// backend: the budget bound and event-population conservation must hold
+// under real concurrency too.
+func TestRealBudgetAndConservation(t *testing.T) {
+	cfg := smallConfig(tram.PP)
+	cfg.EventsBudget = 100000
+	res := RunOn(tram.Real, cfg)
+	if res.Processed < cfg.EventsBudget {
+		t.Fatalf("processed %d < budget %d", res.Processed, cfg.EventsBudget)
+	}
+	pop := int64(cfg.Tram.Topo.TotalWorkers() * cfg.LPsPerWorker * cfg.PopulationPerLP)
+	if res.Processed > cfg.EventsBudget+pop {
+		t.Fatalf("processed %d exceeds budget+population %d", res.Processed, cfg.EventsBudget+pop)
+	}
+	if res.MaxLVT == 0 {
+		t.Fatal("LVT never advanced")
 	}
 }

@@ -7,24 +7,34 @@
 // global PE 0 after receiving its full quota. Total time is measured from the
 // start of the sends to the arrival of the last ack.
 //
-// With one process per node, all 64 worker streams funnel through a single
-// comm thread whose per-message processing serializes the run (the paper
-// measured SMP ≈ 5× slower than non-SMP). Adding processes adds comm threads
-// and closes the gap.
+// With one process per node, all worker streams funnel through a single comm
+// thread whose per-message processing serializes the run (the paper measured
+// SMP ≈ 5× slower than non-SMP). Adding processes adds comm threads and
+// closes the gap.
+//
+// PingAck predates TramLib, so the kernel runs on the Direct (unaggregated)
+// wiring with the per-operation cost model zeroed: every message is its own
+// delivery, per-message work is charged explicitly by the kernel, and the
+// message's wire size is the item size. On tram.Real the run measures the
+// per-message cost of the goroutine runtime's shared-memory transport itself
+// (inbox push, wakeup, scheduling) — the real-world counterpart of the
+// simulated comm-thread α.
 package pingack
 
 import (
 	"fmt"
+	"time"
 
-	"tramlib/internal/charm"
-	"tramlib/internal/cluster"
-	"tramlib/internal/netsim"
-	"tramlib/internal/sim"
+	"tramlib/tram"
 )
+
+// ackFlag marks an ack payload; data payloads carry the node-1 worker index.
+const ackFlag = uint64(1) << 63
 
 // Config parameterizes one PingAck run.
 type Config struct {
-	Params netsim.Params
+	// Net is the simulated network calibration.
+	Net tram.NetParams
 	// WorkersPerNode is the number of worker PEs on each of the two nodes.
 	WorkersPerNode int
 	// ProcsPerNode splits the node's workers into processes. 0 selects
@@ -34,12 +44,12 @@ type Config struct {
 	// among node-0 workers (the paper keeps this constant across
 	// configurations).
 	TotalMessages int
-	// MessageBytes is the payload size of each message.
+	// MessageBytes is the wire size of each message. Sim only.
 	MessageBytes int
 	// WorkCost is computation charged per message at both sender and
 	// receiver, modelling the application's work per message. Sweeping it
-	// locates the §III-A serialization threshold.
-	WorkCost sim.Time
+	// locates the §III-A serialization threshold. Sim only.
+	WorkCost time.Duration
 	// ChunkSize is the number of sends issued per scheduler slot.
 	ChunkSize int
 }
@@ -48,7 +58,7 @@ type Config struct {
 // messages of 32 bytes.
 func DefaultConfig() Config {
 	return Config{
-		Params:         netsim.DefaultParams(),
+		Net:            tram.DefaultNetParams(),
 		WorkersPerNode: 64,
 		ProcsPerNode:   1,
 		TotalMessages:  64000,
@@ -59,25 +69,46 @@ func DefaultConfig() Config {
 
 // Result reports one run.
 type Result struct {
-	Topology       cluster.Topology
-	TotalTime      sim.Time
-	CommUtilMax    float64 // peak comm-thread utilization (1.0 = saturated)
+	Topology tram.Topology
+	// TotalTime is first send to last ack (virtual on tram.Sim, wall on
+	// tram.Real).
+	TotalTime time.Duration
+	// CommUtilMax is the peak comm-thread utilization (1.0 = saturated).
+	// Sim only.
+	CommUtilMax float64
+	// MessagesOnWire counts inter-node messages. Sim only.
 	MessagesOnWire int64
+	// Acks received at worker 0 (must equal WorkersPerNode).
+	Acks int64
+	// M carries the backend's full metrics.
+	M tram.Metrics
 }
 
-// Run executes the benchmark and returns its measurements.
-func Run(cfg Config) Result {
-	var topo cluster.Topology
+// topology builds the two-node cluster for the configured process split.
+func (cfg Config) topology() tram.Topology {
 	if cfg.ProcsPerNode <= 0 {
-		topo = cluster.NonSMP(2, cfg.WorkersPerNode)
-	} else {
-		if cfg.WorkersPerNode%cfg.ProcsPerNode != 0 {
-			panic(fmt.Sprintf("pingack: %d workers not divisible by %d procs", cfg.WorkersPerNode, cfg.ProcsPerNode))
-		}
-		topo = cluster.SMP(2, cfg.ProcsPerNode, cfg.WorkersPerNode/cfg.ProcsPerNode)
+		return tram.NonSMP(2, cfg.WorkersPerNode)
 	}
-	rt := charm.NewRuntime(topo, cfg.Params)
-	drv := charm.NewLoopDriver(rt)
+	if cfg.WorkersPerNode%cfg.ProcsPerNode != 0 {
+		panic(fmt.Sprintf("pingack: %d workers not divisible by %d procs", cfg.WorkersPerNode, cfg.ProcsPerNode))
+	}
+	return tram.SMP(2, cfg.ProcsPerNode, cfg.WorkersPerNode/cfg.ProcsPerNode)
+}
+
+// Run executes the benchmark on the simulator.
+func Run(cfg Config) Result { return RunOn(tram.Sim, cfg) }
+
+// RunOn executes the benchmark on the given backend.
+func RunOn(b tram.Backend, cfg Config) Result {
+	topo := cfg.topology()
+	tc := tram.DefaultConfig(topo, tram.Direct)
+	tc.ItemBytes = cfg.MessageBytes
+	tc.MsgHeaderBytes = 0
+	tc.Costs = tram.CostParams{} // per-message work is charged by the kernel
+	tc.FlushDeadline = 0         // nothing is buffered on the Direct wiring
+	if cfg.ChunkSize > 0 {
+		tc.ChunkSize = cfg.ChunkSize
+	}
 
 	w := cfg.WorkersPerNode
 	perPE := cfg.TotalMessages / w
@@ -85,43 +116,45 @@ func Run(cfg Config) Result {
 		perPE = 1
 	}
 
-	received := make([]int, w) // per node-1 worker
-	acksPending := w
-	var start, end sim.Time
+	received := make([]int64, 2*w) // written only by the owning worker
 
-	var ack charm.HandlerID
-	ack = rt.Register("ack", func(ctx *charm.Ctx, _ any, _ int) {
-		acksPending--
-		if acksPending == 0 {
-			end = ctx.Now()
-		}
-	})
-	recv := rt.Register("recv", func(ctx *charm.Ctx, data any, _ int) {
-		ctx.Charge(cfg.WorkCost)
-		i := data.(int) // index of the node-1 worker
-		received[i]++
-		if received[i] == perPE {
-			ctx.Send(0, ack, nil, 8, false)
-		}
-	})
-
-	// Node-0 worker i sends perPE messages to node-1 worker i.
-	for i := 0; i < w; i++ {
-		i := i
-		src := cluster.WorkerID(i)
-		dst := cluster.WorkerID(w + i)
-		drv.Spawn(src, perPE, cfg.ChunkSize, func(ctx *charm.Ctx, _ int) {
+	lib := tram.U64()
+	m, err := lib.Run(b, tc, tram.App[uint64]{
+		Deliver: func(ctx tram.Ctx, v uint64) {
+			if v&ackFlag != 0 {
+				ctx.Contribute(1) // ack landed at worker 0
+				return
+			}
 			ctx.Charge(cfg.WorkCost)
-			ctx.Send(dst, recv, i, cfg.MessageBytes, false)
-		}, nil)
+			self := int(ctx.Self())
+			received[self]++
+			if received[self] == int64(perPE) {
+				lib.Insert(ctx, 0, ackFlag|v)
+			}
+		},
+		Spawn: func(id tram.WorkerID) (int, tram.KernelFunc) {
+			i := int(id)
+			if i >= w {
+				return 0, nil // node-1 workers only consume
+			}
+			dst := tram.WorkerID(w + i)
+			payload := uint64(i)
+			return perPE, func(ctx tram.Ctx, _ int) {
+				ctx.Charge(cfg.WorkCost)
+				lib.Insert(ctx, dst, payload)
+			}
+		},
+	})
+	if err != nil {
+		panic(err)
 	}
-	start = 0
-	rt.Run()
 
 	return Result{
 		Topology:       topo,
-		TotalTime:      end - start,
-		CommUtilMax:    rt.Net.MaxCommUtilization(end),
-		MessagesOnWire: rt.Net.M.MessagesInterNode.Value(),
+		TotalTime:      m.LastDelivery,
+		CommUtilMax:    m.CommUtilMax,
+		MessagesOnWire: m.InterNodeMsgs,
+		Acks:           m.Reduced,
+		M:              m,
 	}
 }

@@ -2,8 +2,9 @@ package pingack
 
 import (
 	"testing"
+	"time"
 
-	"tramlib/internal/sim"
+	"tramlib/tram"
 )
 
 func smallConfig() Config {
@@ -23,6 +24,9 @@ func TestAllMessagesDelivered(t *testing.T) {
 	// 4000 payload messages + 16 acks cross nodes.
 	if res.MessagesOnWire != 4000+16 {
 		t.Fatalf("wire messages = %d, want 4016", res.MessagesOnWire)
+	}
+	if res.Acks != int64(cfg.WorkersPerNode) {
+		t.Fatalf("acks = %d, want %d", res.Acks, cfg.WorkersPerNode)
 	}
 }
 
@@ -44,7 +48,7 @@ func TestSMPSingleProcSlowerThanNonSMP(t *testing.T) {
 
 func TestMoreProcsImproveSMP(t *testing.T) {
 	cfg := smallConfig()
-	var prev sim.Time
+	var prev time.Duration
 	for i, procs := range []int{1, 4, 8} {
 		cfg.ProcsPerNode = procs
 		res := Run(cfg)
@@ -74,7 +78,7 @@ func TestWorkCostHidesBottleneck(t *testing.T) {
 	cfg.ProcsPerNode = 1
 	cfg.WorkCost = 0
 	saturated := Run(cfg)
-	cfg.WorkCost = 20 * sim.Microsecond // work per message >> comm cost
+	cfg.WorkCost = 20 * time.Microsecond // work per message >> comm cost
 	relaxed := Run(cfg)
 	if relaxed.CommUtilMax >= saturated.CommUtilMax {
 		t.Fatalf("utilization did not drop with work: %.2f -> %.2f",
@@ -91,5 +95,20 @@ func TestDeterministic(t *testing.T) {
 	a, b := Run(cfg), Run(cfg)
 	if a.TotalTime != b.TotalTime {
 		t.Fatalf("nondeterministic: %v vs %v", a.TotalTime, b.TotalTime)
+	}
+}
+
+// TestRealAllAcksArrive runs the same kernel on the real backend across the
+// process-split sweep.
+func TestRealAllAcksArrive(t *testing.T) {
+	for _, procs := range []int{0, 1, 2} { // non-SMP, SMP 1p, SMP 2p
+		cfg := DefaultConfig()
+		cfg.WorkersPerNode = 4
+		cfg.TotalMessages = 4000
+		cfg.ProcsPerNode = procs
+		res := RunOn(tram.Real, cfg)
+		if res.Acks != int64(cfg.WorkersPerNode) {
+			t.Fatalf("procs=%d: acks %d, want %d", procs, res.Acks, cfg.WorkersPerNode)
+		}
 	}
 }

@@ -3,20 +3,24 @@
 // of message size. It demonstrates the α ≫ β gap that motivates aggregation:
 // time is flat (latency-dominated) for small messages and linear (bandwidth-
 // dominated) beyond a few KB.
+//
+// The kernel runs on the public tram API with the Direct wiring and a zeroed
+// cost model, so each ping/pong is exactly one wire message of the configured
+// size. On tram.Real the "one-way time" is half the measured round trip
+// through the goroutine runtime's shared-memory transport.
 package pingpong
 
 import (
-	"tramlib/internal/charm"
-	"tramlib/internal/cluster"
-	"tramlib/internal/netsim"
-	"tramlib/internal/sim"
+	"time"
+
+	"tramlib/tram"
 )
 
 // Config parameterizes the ping-pong run.
 type Config struct {
-	Params netsim.Params
-	Sizes  []int // message sizes in bytes
-	Trips  int   // round trips measured per size
+	Net   tram.NetParams
+	Sizes []int // message sizes in bytes
+	Trips int   // round trips measured per size
 }
 
 // DefaultSizes mirrors Fig. 1's x axis: 1 B to 2 MB.
@@ -26,57 +30,71 @@ func DefaultSizes() []int {
 
 // DefaultConfig returns the standard Fig. 1 configuration.
 func DefaultConfig() Config {
-	return Config{Params: netsim.DefaultParams(), Sizes: DefaultSizes(), Trips: 10}
+	return Config{Net: tram.DefaultNetParams(), Sizes: DefaultSizes(), Trips: 10}
 }
 
 // Point is one measured size.
 type Point struct {
 	Bytes  int
-	OneWay sim.Time // RTT/2
-}
-
-type pingMsg struct {
-	remaining int
-	bytes     int
+	OneWay time.Duration // RTT/2
 }
 
 // Run measures RTT/2 for each configured size on a 2-node, 1-worker-per-node
-// cluster (the classic OSU-style ping-pong).
-func Run(cfg Config) []Point {
+// cluster (the classic OSU-style ping-pong), on the simulator.
+func Run(cfg Config) []Point { return RunOn(tram.Sim, cfg) }
+
+// RunOn measures on the given backend.
+func RunOn(b tram.Backend, cfg Config) []Point {
 	points := make([]Point, 0, len(cfg.Sizes))
 	for _, size := range cfg.Sizes {
-		points = append(points, Point{Bytes: size, OneWay: oneWay(cfg, size)})
+		points = append(points, Point{Bytes: size, OneWay: oneWay(b, cfg, size)})
 	}
 	return points
 }
 
-func oneWay(cfg Config, size int) sim.Time {
-	topo := cluster.SMP(2, 1, 1)
-	rt := charm.NewRuntime(topo, cfg.Params)
-
-	var start, end sim.Time
-	var pong, ping charm.HandlerID
-	pong = rt.Register("pong", func(ctx *charm.Ctx, data any, bytes int) {
-		m := data.(*pingMsg)
-		ctx.Send(0, ping, m, m.bytes, false)
-	})
-	ping = rt.Register("ping", func(ctx *charm.Ctx, data any, bytes int) {
-		m := data.(*pingMsg)
-		m.remaining--
-		if m.remaining == 0 {
-			end = ctx.Now()
-			return
-		}
-		ctx.Send(1, pong, m, m.bytes, false)
-	})
-	kick := rt.Register("kick", func(ctx *charm.Ctx, _ any, _ int) {
-		start = ctx.Now()
-		ctx.Send(1, pong, &pingMsg{remaining: cfg.Trips, bytes: size}, size, false)
-	})
-	rt.Inject(0, 0, kick, nil)
-	rt.Run()
+func oneWay(b tram.Backend, cfg Config, size int) time.Duration {
 	if cfg.Trips <= 0 {
+		// Guard before the run: with no trips to count down, the ping/pong
+		// chain would never terminate.
 		return 0
 	}
-	return (end - start) / sim.Time(2*cfg.Trips)
+	topo := tram.SMP(2, 1, 1)
+	tc := tram.DefaultConfig(topo, tram.Direct)
+	tc.Net = cfg.Net
+	tc.ItemBytes = size // the whole message is the item
+	tc.MsgHeaderBytes = 0
+	tc.Costs = tram.CostParams{}
+	tc.FlushDeadline = 0
+
+	var start, end time.Duration
+	remaining := cfg.Trips
+
+	lib := tram.U64()
+	_, err := lib.Run(b, tc, tram.App[uint64]{
+		Deliver: func(ctx tram.Ctx, v uint64) {
+			if ctx.Self() == 1 {
+				lib.Insert(ctx, 0, v) // pong
+				return
+			}
+			remaining--
+			if remaining == 0 {
+				end = ctx.Now()
+				return
+			}
+			lib.Insert(ctx, 1, v) // next ping
+		},
+		Spawn: func(w tram.WorkerID) (int, tram.KernelFunc) {
+			if w != 0 {
+				return 0, nil
+			}
+			return 1, func(ctx tram.Ctx, _ int) {
+				start = ctx.Now()
+				lib.Insert(ctx, 1, 0)
+			}
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return (end - start) / time.Duration(2*cfg.Trips)
 }

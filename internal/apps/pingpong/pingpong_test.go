@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"tramlib/internal/netsim"
+	"tramlib/tram"
 )
 
 func TestSmallMessagesLatencyDominated(t *testing.T) {
@@ -52,6 +53,20 @@ func TestDeterministic(t *testing.T) {
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("nondeterministic at size %d", a[i].Bytes)
+		}
+	}
+}
+
+// TestRealRoundTripCompletes runs a few sizes on the real backend: the chain
+// must terminate with a positive measured RTT/2.
+func TestRealRoundTripCompletes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Sizes = []int{1, 1024}
+	cfg.Trips = 50
+	pts := RunOn(tram.Real, cfg)
+	for _, p := range pts {
+		if p.OneWay <= 0 {
+			t.Fatalf("size %d: non-positive one-way time %v", p.Bytes, p.OneWay)
 		}
 	}
 }

@@ -16,55 +16,61 @@
 //
 // Termination is by quiescence: timeout flushes drain the aggregation
 // buffers, and the run ends when no updates remain anywhere.
+//
+// The solver is single-sourced on the public tram API. Local worklist drains
+// yield between chunks via Ctx.Post, so the identical kernel runs on the
+// simulator (deterministic, virtual-time) and on the goroutine runtime
+// (concurrent, wall-clock) — on the latter, speculative updates race for
+// real, yet the solve still converges to exact distances because relaxation
+// is monotone.
 package sssp
 
 import (
-	"tramlib/internal/charm"
-	"tramlib/internal/cluster"
-	"tramlib/internal/core"
+	"sync/atomic"
+	"time"
+
 	"tramlib/internal/graph"
-	"tramlib/internal/netsim"
-	"tramlib/internal/sim"
+	"tramlib/tram"
 )
 
 // Config parameterizes one SSSP run.
 type Config struct {
-	Topo   cluster.Topology
-	Params netsim.Params
-	Tram   core.Config
-	Graph  *graph.CSR
+	// Tram is the unified library configuration. DefaultConfig arms the
+	// timeout flush (sim) and the deadline flush (real) instead of
+	// flush-on-idle: SSSP PEs go idle between every update wave, and
+	// flushing WW's N·t buffers on each idle transition degenerates into a
+	// storm of near-empty messages.
+	Tram  tram.Config
+	Graph *graph.CSR
+	// Source is the source vertex.
 	Source int
 	// Delta is the distance bucket width for local prioritization.
 	Delta uint32
 	// RelaxCost is charged per edge relaxation; UpdateCost per received
-	// distance update.
-	RelaxCost  sim.Time
-	UpdateCost sim.Time
-	// DrainChunk is the number of local vertices processed per scheduler
-	// slot while draining the worklist.
+	// distance update. Sim only.
+	RelaxCost  time.Duration
+	UpdateCost time.Duration
+	// DrainChunk is the number of local worklist entries processed per
+	// posted drain task.
 	DrainChunk int
 }
 
 // DefaultConfig returns a paper-like configuration; the caller supplies the
 // graph (figures use 8M/62M vertices; tests use small ones).
-func DefaultConfig(topo cluster.Topology, scheme core.Scheme, g *graph.CSR) Config {
-	tram := core.DefaultConfig(scheme)
-	// Timeout flush rather than flush-on-idle: SSSP PEs go idle between
-	// every update wave, and flushing WW's N·t buffers on each idle
-	// transition degenerates into a storm of near-empty messages. The
-	// timeout bounds both item latency and flush rate, and still
-	// guarantees termination (a timer always fires after the last insert).
-	tram.FlushTimeout = 20 * sim.Microsecond
-	tram.FlushBurst = 4
+func DefaultConfig(topo tram.Topology, scheme tram.Scheme, g *graph.CSR) Config {
+	tc := tram.DefaultConfig(topo, scheme)
+	// Timeout flush rather than flush-on-idle: the timeout bounds both item
+	// latency and flush rate, and still guarantees termination (a timer
+	// always fires after the last insert).
+	tc.FlushTimeout = 20 * time.Microsecond
+	tc.FlushBurst = 4
 	return Config{
-		Topo:       topo,
-		Params:     netsim.DefaultParams(),
-		Tram:       tram,
+		Tram:       tc,
 		Graph:      g,
 		Source:     0,
 		Delta:      8,
-		RelaxCost:  6 * sim.Nanosecond,
-		UpdateCost: 8 * sim.Nanosecond,
+		RelaxCost:  6 * time.Nanosecond,
+		UpdateCost: 8 * time.Nanosecond,
 		DrainChunk: 512,
 	}
 }
@@ -72,7 +78,7 @@ func DefaultConfig(topo cluster.Topology, scheme core.Scheme, g *graph.CSR) Conf
 // Result reports one run.
 type Result struct {
 	// Time is the quiescence time of the solve.
-	Time sim.Time
+	Time time.Duration
 	// Useful and Wasted count received remote updates that did / did not
 	// improve a distance. WastedNorm is wasted per 1000 useful updates.
 	Useful, Wasted int64
@@ -81,11 +87,11 @@ type Result struct {
 	Relaxations int64
 	// Reached is the number of vertices with finite distance.
 	Reached int64
-	// RemoteMsgs is TramLib's aggregated message count.
-	RemoteMsgs int64
 	// Dist holds the final distances (for validation); nil unless
-	// KeepDist was set.
+	// RunKeepDist was used.
 	Dist [][]uint32
+	// M carries the backend's full metrics.
+	M tram.Metrics
 }
 
 // packUpdate encodes <vertex, dist> into an item payload.
@@ -96,6 +102,8 @@ func unpackUpdate(p uint64) (v int, d uint32) { return int(p >> 32), uint32(p) }
 // worker holds the per-PE solver state. Bucket entries pack the local vertex
 // index with the distance at enqueue time; entries superseded by a later
 // improvement are skipped on pop (classic delta-stepping lazy deletion).
+// Each worker's state is touched only on its own execution context, so the
+// concurrent backend needs no locks.
 type worker struct {
 	lo, hi   int // owned vertex range
 	dist     []uint32
@@ -103,23 +111,25 @@ type worker struct {
 	base     int        // bucket index of the lowest non-empty bucket
 	pending  int
 	draining bool
+	drain    func(tram.Ctx) // pre-built drain continuation (posted, never reallocated)
 }
 
 const nBuckets = 64
 
-// Run executes the solve and returns its measurements.
-func Run(cfg Config) Result {
-	return run(cfg, false)
-}
+// Run executes the solve on the simulator.
+func Run(cfg Config) Result { return run(tram.Sim, cfg, false) }
 
 // RunKeepDist is Run but retains the distance arrays for validation.
-func RunKeepDist(cfg Config) Result {
-	return run(cfg, true)
-}
+func RunKeepDist(cfg Config) Result { return run(tram.Sim, cfg, true) }
 
-func run(cfg Config, keepDist bool) Result {
-	topo := cfg.Topo
-	rt := charm.NewRuntime(topo, cfg.Params)
+// RunOn executes the solve on the given backend.
+func RunOn(b tram.Backend, cfg Config) Result { return run(b, cfg, false) }
+
+// RunOnKeepDist is RunOn retaining the distance arrays.
+func RunOnKeepDist(b tram.Backend, cfg Config) Result { return run(b, cfg, true) }
+
+func run(b tram.Backend, cfg Config, keepDist bool) Result {
+	topo := cfg.Tram.Topo
 	W := topo.TotalWorkers()
 	g := cfg.Graph
 	part := graph.NewPartition(g.N, W)
@@ -137,24 +147,27 @@ func run(cfg Config, keepDist bool) Result {
 		ws[w] = st
 	}
 
-	var res Result
-	var lib *core.Lib
-	var hDrain charm.HandlerID
+	// Shared counters are atomics so the concurrent backend can update them
+	// from every worker goroutine; on the serial simulator the sequence of
+	// values is identical to plain increments.
+	var useful, wasted, relaxations atomic.Int64
 
-	// enqueueLocal places an improved local vertex into its distance
-	// bucket and makes sure a drain pass is scheduled.
-	enqueueLocal := func(ctx *charm.Ctx, st *worker, v int, d uint32) {
-		b := int(d/cfg.Delta) % nBuckets
-		st.buckets[b] = append(st.buckets[b], uint64(v-st.lo)<<32|uint64(d))
+	lib := tram.U64()
+
+	// enqueueLocal places an improved local vertex into its distance bucket
+	// and makes sure a drain pass is posted.
+	enqueueLocal := func(ctx tram.Ctx, st *worker, v int, d uint32) {
+		bk := int(d/cfg.Delta) % nBuckets
+		st.buckets[bk] = append(st.buckets[bk], uint64(v-st.lo)<<32|uint64(d))
 		st.pending++
 		if !st.draining {
 			st.draining = true
-			ctx.Send(ctx.Self(), hDrain, st, 0, false)
+			ctx.Post(st.drain)
 		}
 	}
 
 	// relax applies a candidate distance to a local vertex.
-	relax := func(ctx *charm.Ctx, st *worker, v int, d uint32) {
+	relax := func(ctx tram.Ctx, st *worker, v int, d uint32) {
 		li := v - st.lo
 		if d >= st.dist[li] {
 			return
@@ -164,77 +177,93 @@ func run(cfg Config, keepDist bool) Result {
 	}
 
 	// expand relaxes v's out-edges using its current distance.
-	expand := func(ctx *charm.Ctx, st *worker, li int, d uint32) {
+	expand := func(ctx tram.Ctx, st *worker, li int, d uint32) {
 		v := st.lo + li
 		ts, wts := g.Neighbors(v)
 		for i, t := range ts {
 			ctx.Charge(cfg.RelaxCost)
-			res.Relaxations++
+			relaxations.Add(1)
 			nd := d + uint32(wts[i])
 			tv := int(t)
 			if tv >= st.lo && tv < st.hi {
 				relax(ctx, st, tv, nd)
 				continue
 			}
-			lib.Insert(ctx, cluster.WorkerID(part.Owner(tv)), packUpdate(tv, nd))
+			lib.Insert(ctx, tram.WorkerID(part.Owner(tv)), packUpdate(tv, nd))
 		}
 	}
 
-	hDrain = rt.Register("sssp.drain", func(ctx *charm.Ctx, data any, _ int) {
-		st := data.(*worker)
-		processed := 0
-		for processed < cfg.DrainChunk && st.pending > 0 {
-			// Lowest non-empty bucket first: the threshold
-			// prioritization of §III-D.
-			b := st.base
-			for len(st.buckets[b%nBuckets]) == 0 {
-				b++
+	for _, st := range ws {
+		st := st
+		st.drain = func(ctx tram.Ctx) {
+			processed := 0
+			for processed < cfg.DrainChunk && st.pending > 0 {
+				// Lowest non-empty bucket first: the threshold
+				// prioritization of §III-D.
+				bk := st.base
+				for len(st.buckets[bk%nBuckets]) == 0 {
+					bk++
+				}
+				st.base = bk % nBuckets
+				bucket := st.buckets[st.base]
+				entry := bucket[len(bucket)-1]
+				st.buckets[st.base] = bucket[:len(bucket)-1]
+				st.pending--
+				li := int(entry >> 32)
+				d := uint32(entry)
+				if d != st.dist[li] {
+					// Superseded by a later improvement: a fresher
+					// bucket entry exists for this vertex.
+					continue
+				}
+				processed++
+				expand(ctx, st, li, d)
 			}
-			st.base = b % nBuckets
-			bucket := st.buckets[st.base]
-			entry := bucket[len(bucket)-1]
-			st.buckets[st.base] = bucket[:len(bucket)-1]
-			st.pending--
-			li := int(entry >> 32)
-			d := uint32(entry)
-			if d != st.dist[li] {
-				// Superseded by a later improvement: a fresher
-				// bucket entry exists for this vertex.
-				continue
+			if st.pending > 0 {
+				ctx.Post(st.drain)
+				return
 			}
-			processed++
-			expand(ctx, st, li, d)
+			st.draining = false
 		}
-		if st.pending > 0 {
-			ctx.Send(ctx.Self(), hDrain, st, 0, false)
-			return
-		}
-		st.draining = false
-	})
+	}
 
-	lib = core.New(rt, cfg.Tram, func(ctx *charm.Ctx, p uint64) {
-		ctx.Charge(cfg.UpdateCost)
-		v, d := unpackUpdate(p)
-		st := ws[ctx.Self()]
-		if d >= st.dist[v-st.lo] {
-			res.Wasted++
-			return
-		}
-		res.Useful++
-		st.dist[v-st.lo] = d
-		enqueueLocal(ctx, st, v, d)
+	srcOwner := tram.WorkerID(part.Owner(cfg.Source))
+	m, err := lib.Run(b, cfg.Tram, tram.App[uint64]{
+		Deliver: func(ctx tram.Ctx, p uint64) {
+			ctx.Charge(cfg.UpdateCost)
+			v, d := unpackUpdate(p)
+			st := ws[ctx.Self()]
+			if d >= st.dist[v-st.lo] {
+				wasted.Add(1)
+				return
+			}
+			useful.Add(1)
+			st.dist[v-st.lo] = d
+			enqueueLocal(ctx, st, v, d)
+		},
+		Spawn: func(w tram.WorkerID) (int, tram.KernelFunc) {
+			if w != srcOwner {
+				return 0, nil
+			}
+			// One seed step: set the source distance and start draining.
+			return 1, func(ctx tram.Ctx, _ int) {
+				st := ws[srcOwner]
+				st.dist[cfg.Source-st.lo] = 0
+				enqueueLocal(ctx, st, cfg.Source, 0)
+			}
+		},
 	})
+	if err != nil {
+		panic(err)
+	}
 
-	// Seed the source vertex.
-	srcOwner := cluster.WorkerID(part.Owner(cfg.Source))
-	hSeed := rt.Register("sssp.seed", func(ctx *charm.Ctx, _ any, _ int) {
-		st := ws[srcOwner]
-		st.dist[cfg.Source-st.lo] = 0
-		enqueueLocal(ctx, st, cfg.Source, 0)
-	})
-	rt.Inject(0, srcOwner, hSeed, nil)
-	res.Time = rt.Run()
-
+	res := Result{
+		Time:        m.Time,
+		Useful:      useful.Load(),
+		Wasted:      wasted.Load(),
+		Relaxations: relaxations.Load(),
+		M:           m,
+	}
 	for _, st := range ws {
 		for _, d := range st.dist {
 			if d != graph.Infinity {
@@ -245,7 +274,6 @@ func run(cfg Config, keepDist bool) Result {
 	if res.Useful > 0 {
 		res.WastedNorm = 1000 * float64(res.Wasted) / float64(res.Useful)
 	}
-	res.RemoteMsgs = lib.M.RemoteMsgs.Value()
 	if keepDist {
 		res.Dist = make([][]uint32, W)
 		for w, st := range ws {
@@ -256,7 +284,7 @@ func run(cfg Config, keepDist bool) Result {
 }
 
 // DistOf returns the computed distance of vertex v from a kept-dist result.
-func (r *Result) DistOf(topo cluster.Topology, g *graph.CSR, v int) uint32 {
+func (r *Result) DistOf(topo tram.Topology, g *graph.CSR, v int) uint32 {
 	part := graph.NewPartition(g.N, topo.TotalWorkers())
 	w := part.Owner(v)
 	lo, _ := part.Range(w)

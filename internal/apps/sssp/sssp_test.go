@@ -3,24 +3,23 @@ package sssp
 import (
 	"testing"
 
-	"tramlib/internal/cluster"
-	"tramlib/internal/core"
 	"tramlib/internal/graph"
+	"tramlib/tram"
 )
 
-func smallTopo() cluster.Topology { return cluster.SMP(2, 2, 2) }
+func smallTopo() tram.Topology { return tram.SMP(2, 2, 2) }
 
 func TestMatchesDijkstra(t *testing.T) {
 	g := graph.GenUniform(2000, 6, 11)
 	oracle := graph.Dijkstra(g, 0)
-	for _, s := range []core.Scheme{core.WW, core.WPs, core.PP} {
+	for _, s := range []tram.Scheme{tram.WW, tram.WPs, tram.PP} {
 		s := s
 		t.Run(s.String(), func(t *testing.T) {
 			cfg := DefaultConfig(smallTopo(), s, g)
 			cfg.Tram.BufferItems = 32
 			res := RunKeepDist(cfg)
 			for v := 0; v < g.N; v++ {
-				if got := res.DistOf(cfg.Topo, g, v); got != oracle[v] {
+				if got := res.DistOf(cfg.Tram.Topo, g, v); got != oracle[v] {
 					t.Fatalf("dist[%d] = %d, oracle %d", v, got, oracle[v])
 				}
 			}
@@ -34,11 +33,11 @@ func TestMatchesDijkstra(t *testing.T) {
 func TestMatchesDijkstraOnRMAT(t *testing.T) {
 	g := graph.GenRMAT(11, 8, 5)
 	oracle := graph.Dijkstra(g, 0)
-	cfg := DefaultConfig(smallTopo(), core.WPs, g)
+	cfg := DefaultConfig(smallTopo(), tram.WPs, g)
 	cfg.Tram.BufferItems = 64
 	res := RunKeepDist(cfg)
 	for v := 0; v < g.N; v++ {
-		if got := res.DistOf(cfg.Topo, g, v); got != oracle[v] {
+		if got := res.DistOf(cfg.Tram.Topo, g, v); got != oracle[v] {
 			t.Fatalf("dist[%d] = %d, oracle %d", v, got, oracle[v])
 		}
 	}
@@ -53,7 +52,7 @@ func TestReachedCountMatchesOracle(t *testing.T) {
 			wantReached++
 		}
 	}
-	cfg := DefaultConfig(smallTopo(), core.PP, g)
+	cfg := DefaultConfig(smallTopo(), tram.PP, g)
 	cfg.Tram.BufferItems = 32
 	res := Run(cfg)
 	if res.Reached != wantReached {
@@ -65,7 +64,7 @@ func TestWastedUpdatesCounted(t *testing.T) {
 	// A dense-ish graph with speculation must produce some wasted updates
 	// and report a consistent normalization.
 	g := graph.GenUniform(4000, 8, 23)
-	cfg := DefaultConfig(smallTopo(), core.WW, g)
+	cfg := DefaultConfig(smallTopo(), tram.WW, g)
 	cfg.Tram.BufferItems = 256
 	res := Run(cfg)
 	if res.Useful == 0 {
@@ -82,22 +81,45 @@ func TestWastedUpdatesCounted(t *testing.T) {
 
 func TestDeterministic(t *testing.T) {
 	g := graph.GenUniform(1000, 5, 7)
-	cfg := DefaultConfig(smallTopo(), core.WPs, g)
+	cfg := DefaultConfig(smallTopo(), tram.WPs, g)
 	a, b := Run(cfg), Run(cfg)
 	if a.Time != b.Time || a.Wasted != b.Wasted || a.Relaxations != b.Relaxations {
-		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+		t.Fatalf("nondeterministic: %+v vs %+v", a.Time, b.Time)
 	}
 }
 
 func TestSourceInArbitraryPartition(t *testing.T) {
 	g := graph.GenUniform(1000, 5, 7)
-	cfg := DefaultConfig(smallTopo(), core.WPs, g)
+	cfg := DefaultConfig(smallTopo(), tram.WPs, g)
 	cfg.Source = g.N - 1 // owned by the last worker
 	oracle := graph.Dijkstra(g, cfg.Source)
 	res := RunKeepDist(cfg)
 	for v := 0; v < g.N; v += 97 {
-		if got := res.DistOf(cfg.Topo, g, v); got != oracle[v] {
+		if got := res.DistOf(cfg.Tram.Topo, g, v); got != oracle[v] {
 			t.Fatalf("dist[%d] = %d, oracle %d", v, got, oracle[v])
 		}
+	}
+}
+
+// TestRealMatchesDijkstra runs the identical single-source solver on the
+// goroutine backend: despite truly concurrent speculative relaxation, the
+// monotone-improvement property must still converge every distance to the
+// oracle's.
+func TestRealMatchesDijkstra(t *testing.T) {
+	g := graph.GenUniform(2000, 6, 11)
+	oracle := graph.Dijkstra(g, 0)
+	for _, s := range []tram.Scheme{tram.WW, tram.WPs, tram.PP} {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultConfig(smallTopo(), s, g)
+			cfg.Tram.BufferItems = 32
+			res := RunOnKeepDist(tram.Real, cfg)
+			for v := 0; v < g.N; v++ {
+				if got := res.DistOf(cfg.Tram.Topo, g, v); got != oracle[v] {
+					t.Fatalf("dist[%d] = %d, oracle %d", v, got, oracle[v])
+				}
+			}
+		})
 	}
 }

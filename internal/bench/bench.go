@@ -22,6 +22,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"tramlib/internal/apps/histogram"
 	"tramlib/internal/apps/indexgather"
@@ -30,10 +31,9 @@ import (
 	"tramlib/internal/apps/pingpong"
 	"tramlib/internal/apps/sssp"
 	"tramlib/internal/cluster"
-	"tramlib/internal/core"
 	"tramlib/internal/graph"
-	"tramlib/internal/sim"
 	"tramlib/internal/stats"
+	"tramlib/tram"
 )
 
 // Options controls experiment scale.
@@ -127,7 +127,7 @@ func (o Options) nodes(def []int) []int {
 	return out
 }
 
-func seconds(t sim.Time) float64 { return t.Seconds() }
+func seconds(d time.Duration) float64 { return d.Seconds() }
 
 // Fig1 reproduces Fig. 1: ping-pong one-way time vs message size between two
 // physical nodes. Paper shape: flat (α-dominated) below ~1 KB, then linear
@@ -143,7 +143,7 @@ func Fig1(o Options) []*stats.Table {
 		if p.OneWay > 0 {
 			gbps = float64(p.Bytes) / float64(p.OneWay)
 		}
-		tb.AddRowf(p.Bytes, p.OneWay.Micros(), gbps)
+		tb.AddRowf(p.Bytes, float64(p.OneWay)/1e3, gbps)
 	}
 	return []*stats.Table{tb}
 }
@@ -199,7 +199,7 @@ func FigA1(o Options) []*stats.Table {
 	cfg.ProcsPerNode = 1
 	tb := stats.NewTable("A1: comm-thread saturation vs per-message work (SMP 1 proc)",
 		"work_ns_per_msg", "time_s", "comm_util")
-	works := []sim.Time{0, 100, 200, 400, 800, 1600, 3200, 6400, 12800, 25600, 51200}
+	works := []time.Duration{0, 100, 200, 400, 800, 1600, 3200, 6400, 12800, 25600, 51200}
 	res := make([]pingack.Result, len(works))
 	o.runPoints(len(works), func(i int) {
 		pc := cfg
@@ -224,13 +224,20 @@ func (o Options) histoSlots() int {
 }
 
 // histoPoint runs one histogram configuration and returns total seconds.
-func histoPoint(o Options, topo cluster.Topology, scheme core.Scheme, z, g int) histogram.Result {
+func histoPoint(o Options, topo cluster.Topology, scheme tram.Scheme, z, g int) histogram.Result {
+	cfg := histoConfig(o, topo, scheme, z, g)
+	return histogram.Run(cfg)
+}
+
+// histoConfig builds the histogram configuration shared by the simulated and
+// measured runners: one config, two backends.
+func histoConfig(o Options, topo cluster.Topology, scheme tram.Scheme, z, g int) histogram.Config {
 	cfg := histogram.DefaultConfig(topo, scheme)
 	cfg.UpdatesPerPE = z
 	cfg.Tram.BufferItems = g
 	cfg.SlotsPerPE = o.histoSlots()
 	cfg.Seed = o.Seed
-	return histogram.Run(cfg)
+	return cfg
 }
 
 // Fig8 reproduces Fig. 8: histogram, WPs with varying workers per process
@@ -256,7 +263,7 @@ func Fig8(o Options) []*stats.Table {
 		n := nodes[i/width]
 		c := i % width
 		if c == len(ppns) {
-			res[i] = histoPoint(o, cluster.NonSMP(n, w), core.WW, z, 1024)
+			res[i] = histoPoint(o, cluster.NonSMP(n, w), tram.WW, z, 1024)
 			valid[i] = true
 			o.progressf("fig8 n=%d nonSMP done: %v", n, res[i].Time)
 			return
@@ -265,7 +272,7 @@ func Fig8(o Options) []*stats.Table {
 		if ppn < 1 || w%ppn != 0 {
 			return
 		}
-		res[i] = histoPoint(o, cluster.SMP(n, w/ppn, ppn), core.WPs, z, 1024)
+		res[i] = histoPoint(o, cluster.SMP(n, w/ppn, ppn), tram.WPs, z, 1024)
 		valid[i] = true
 		o.progressf("fig8 n=%d ppn=%d done: %v", n, ppn, res[i].Time)
 	})
@@ -292,16 +299,16 @@ func Fig9(o Options) []*stats.Table {
 	nodes := o.nodes([]int{2, 4, 8, 16, 32, 64})
 	tb := stats.NewTable(fmt.Sprintf("Fig 9: histogram %d updates/PE, weak scaling (time_s)", z),
 		"nodes", "WW", "WPs", "PP", "WsP", "nonSMP")
-	schemes := []core.Scheme{core.WW, core.WPs, core.PP, core.WsP}
+	schemes := []tram.Scheme{tram.WW, tram.WPs, tram.PP, tram.WsP}
 	width := len(schemes) + 1
 	res := make([]histogram.Result, len(nodes)*width)
 	o.runPoints(len(res), func(i int) {
 		n := nodes[i/width]
 		if c := i % width; c < len(schemes) {
 			res[i] = histoPoint(o, o.smpTopo(n), schemes[c], z, 1024)
-			o.progressf("fig9 n=%d %v done: %v (msgs=%d flush=%d)", n, schemes[c], res[i].Time, res[i].RemoteMsgs, res[i].FlushMsgs)
+			o.progressf("fig9 n=%d %v done: %v (msgs=%d flush=%d)", n, schemes[c], res[i].Time, res[i].M.RemoteMsgs, res[i].M.FlushMsgs)
 		} else {
-			res[i] = histoPoint(o, cluster.NonSMP(n, o.workersPerNode()), core.WW, z, 1024)
+			res[i] = histoPoint(o, cluster.NonSMP(n, o.workersPerNode()), tram.WW, z, 1024)
 			o.progressf("fig9 n=%d nonSMP done: %v", n, res[i].Time)
 		}
 	})
@@ -325,7 +332,7 @@ func Fig10(o Options) []*stats.Table {
 	tb := stats.NewTable(fmt.Sprintf("Fig 10: histogram %d updates/PE, 8 nodes, buffer-size sweep (time_s)", z),
 		"buffer", "WW", "WPs", "PP")
 	gs := []int{512, 1024, 2048, 4096}
-	schemes := []core.Scheme{core.WW, core.WPs, core.PP}
+	schemes := []tram.Scheme{tram.WW, tram.WPs, tram.PP}
 	res := make([]histogram.Result, len(gs)*len(schemes))
 	o.runPoints(len(res), func(i int) {
 		g, s := gs[i/len(schemes)], schemes[i%len(schemes)]
@@ -352,7 +359,7 @@ func Fig11(o Options) []*stats.Table {
 	tb := stats.NewTable(fmt.Sprintf("Fig 11: histogram %d updates/PE, flush-dominated regime (time_s)", z),
 		"nodes", "WW_g512", "WPs_g1024", "PP_g1024", "WsP_g1024")
 	// Column 0 is WW at g=512; the rest run at g=1024.
-	schemes := []core.Scheme{core.WW, core.WPs, core.PP, core.WsP}
+	schemes := []tram.Scheme{tram.WW, tram.WPs, tram.PP, tram.WsP}
 	gs := []int{512, 1024, 1024, 1024}
 	res := make([]histogram.Result, len(nodes)*len(schemes))
 	o.runPoints(len(res), func(i int) {
@@ -384,7 +391,7 @@ func Fig12and13(o Options) []*stats.Table {
 		"nodes", "WW", "WPs", "PP")
 	tot := stats.NewTable(fmt.Sprintf("Fig 13: index-gather %d requests/PE, total time (s)", z),
 		"nodes", "WW", "WPs", "PP")
-	schemes := []core.Scheme{core.WW, core.WPs, core.PP}
+	schemes := []tram.Scheme{tram.WW, tram.WPs, tram.PP}
 	res := make([]indexgather.Result, len(nodes)*len(schemes))
 	o.runPoints(len(res), func(i int) {
 		n, s := nodes[i/len(schemes)], schemes[i%len(schemes)]
@@ -399,7 +406,7 @@ func Fig12and13(o Options) []*stats.Table {
 		trow := []any{n}
 		for c := range schemes {
 			r := res[ni*len(schemes)+c]
-			lrow = append(lrow, sim.Time(int64(r.Latency.Mean())).Micros())
+			lrow = append(lrow, float64(int64(r.Latency.Mean()))/1e3)
 			trow = append(trow, seconds(r.Time))
 		}
 		lat.AddRowf(lrow...)
@@ -420,7 +427,7 @@ func Fig14and15(o Options) []*stats.Table {
 	wasteTb := stats.NewTable(fmt.Sprintf("Fig 15: SSSP %dM vertices, wasted updates per 1000 useful", n>>20),
 		"procs", "WW", "WPs", "PP")
 	procSweep := []int{8, 16, 32}
-	schemes := []core.Scheme{core.WW, core.WPs, core.PP}
+	schemes := []tram.Scheme{tram.WW, tram.WPs, tram.PP}
 	res := make([]sssp.Result, len(procSweep)*len(schemes))
 	o.runPoints(len(res), func(i int) {
 		procs, s := procSweep[i/len(schemes)], schemes[i%len(schemes)]
@@ -460,7 +467,7 @@ func Fig16and17(o Options) []*stats.Table {
 	wasteTb := stats.NewTable(fmt.Sprintf("Fig 17: SSSP %dM vertices, wasted updates per 1000 useful", n>>20),
 		"nodes", "WW", "WPs")
 	nodes := o.nodes([]int{1, 2, 4, 8})
-	schemes := []core.Scheme{core.WW, core.WPs}
+	schemes := []tram.Scheme{tram.WW, tram.WPs}
 	res := make([]sssp.Result, len(nodes)*len(schemes))
 	o.runPoints(len(res), func(i int) {
 		nn, s := nodes[i/len(schemes)], schemes[i%len(schemes)]
@@ -493,7 +500,7 @@ func Fig18(o Options) []*stats.Table {
 	tb := stats.NewTable(fmt.Sprintf("Fig 18: PHOLD, rejected updates in millions (ppn %d, budget %dM events)", ppn, budget>>20),
 		"procs", "WW", "WPs", "PP", "WW_time_s", "WPs_time_s", "PP_time_s")
 	procSweep := []int{2, 4}
-	schemes := []core.Scheme{core.WW, core.WPs, core.PP}
+	schemes := []tram.Scheme{tram.WW, tram.WPs, tram.PP}
 	res := make([]phold.Result, len(procSweep)*len(schemes))
 	o.runPoints(len(res), func(i int) {
 		procs, s := procSweep[i/len(schemes)], schemes[i%len(schemes)]

@@ -5,10 +5,13 @@ import (
 	"time"
 
 	"tramlib/internal/apps/histogram"
+	"tramlib/internal/charm"
 	"tramlib/internal/cluster"
 	"tramlib/internal/core"
+	"tramlib/internal/netsim"
 	"tramlib/internal/rng"
 	"tramlib/internal/sim"
+	"tramlib/tram"
 )
 
 // This file measures the engine's real-world (wall-clock) performance, as
@@ -67,15 +70,70 @@ func measure(name string, f func() (events uint64, simMS float64)) PerfPoint {
 	return p
 }
 
+// insertTopo is the small cluster the wrapper-parity points run on.
+func insertTopo() cluster.Topology { return cluster.SMP(2, 2, 4) }
+
+const insertStreamPerPE = 1 << 16
+
+// coreDirectInserts streams uniform-destination items into internal/core
+// directly — the pre-tram hot path, kept as the baseline the public wrapper
+// is gated against.
+func coreDirectInserts(o Options) (uint64, float64) {
+	topo := insertTopo()
+	chrt := charm.NewRuntime(topo, netsim.DefaultParams())
+	drv := charm.NewLoopDriver(chrt)
+	lib := core.New(chrt, core.DefaultConfig(core.WPs), func(*charm.Ctx, uint64) {})
+	W := topo.TotalWorkers()
+	for w := 0; w < W; w++ {
+		r := rng.NewStream(o.Seed, w)
+		drv.Spawn(cluster.WorkerID(w), insertStreamPerPE, 256,
+			func(ctx *charm.Ctx, _ int) {
+				u := r.Uint64()
+				lib.Insert(ctx, cluster.WorkerID(u%uint64(W)), u)
+			},
+			func(ctx *charm.Ctx) { lib.Flush(ctx) })
+	}
+	chrt.Run()
+	return chrt.Eng.Processed(), 0
+}
+
+// tramWrapperInserts is the identical workload through the public
+// tram.Lib[uint64] surface on the Sim backend. Its allocs_per_event must
+// stay at parity with core-direct: the public API adds 0 allocs/op
+// (cmd/perfcheck gates both points).
+func tramWrapperInserts(o Options) (uint64, float64) {
+	topo := insertTopo()
+	lib := tram.U64()
+	W := topo.TotalWorkers()
+	m, err := lib.Run(tram.Sim, tram.DefaultConfig(topo, tram.WPs), tram.App[uint64]{
+		Spawn: func(w tram.WorkerID) (int, tram.KernelFunc) {
+			r := rng.NewStream(o.Seed, int(w))
+			return insertStreamPerPE, func(ctx tram.Ctx, _ int) {
+				u := r.Uint64()
+				lib.Insert(ctx, tram.WorkerID(u%uint64(W)), u)
+			}
+		},
+		FlushOnDone: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return m.Events, 0
+}
+
 // CorePerf measures the hot-path perf trajectory:
 //
 //   - engine-churn: raw schedule/run throughput of the event queue alone.
 //   - histogram-*: end-to-end figure workloads (engine + runtime + netsim +
-//     TramLib seal/deliver path) for an SMP-aware and the SMP-unaware scheme.
+//     TramLib seal/deliver path) for an SMP-aware and the SMP-unaware scheme,
+//     driven through the public tram API (the apps are single-sourced on it).
+//   - core-direct / tram-wrapper: the same uniform insert stream written
+//     against internal/core directly and against tram.Lib[uint64]; their
+//     allocs_per_event parity is the public API's zero-overhead gate.
 //   - fig11-j*: wall time of a full figure sweep at 1 worker vs all cores,
 //     measuring the parallel harness speedup.
 //   - real-histogram-*: the same histogram kernel on the real-concurrency
-//     runtime (internal/rt), one point per scheme wiring. Events counts
+//     backend (internal/rt), one point per scheme wiring. Events counts
 //     delivered updates, so allocs_per_event tracks the pooled seal/deliver
 //     hot path of the goroutine runtime. Wall time is scheduling-dependent;
 //     the alloc columns are the stable trajectory (cmd/perfcheck applies a
@@ -103,19 +161,21 @@ func CorePerf(o Options) Perf {
 		return e.Processed(), 0
 	}))
 
-	histo := func(scheme core.Scheme) func() (uint64, float64) {
+	histo := func(scheme tram.Scheme) func() (uint64, float64) {
 		return func() (uint64, float64) {
 			cfg := histogram.DefaultConfig(cluster.SMP(4, 2, 4), scheme)
 			cfg.UpdatesPerPE = 1 << 16
 			cfg.SlotsPerPE = 512
 			cfg.Seed = o.Seed
 			r := histogram.Run(cfg)
-			return r.Events, r.Time.Seconds() * 1e3
+			return r.M.Events, r.Time.Seconds() * 1e3
 		}
 	}
 	perf.Points = append(perf.Points,
-		measure("histogram-wps", histo(core.WPs)),
-		measure("histogram-ww", histo(core.WW)),
+		measure("histogram-wps", histo(tram.WPs)),
+		measure("histogram-ww", histo(tram.WW)),
+		measure("core-direct", func() (uint64, float64) { return coreDirectInserts(o) }),
+		measure("tram-wrapper", func() (uint64, float64) { return tramWrapperInserts(o) }),
 	)
 
 	fig11 := func(jobs int) func() (uint64, float64) {
@@ -132,14 +192,14 @@ func CorePerf(o Options) Perf {
 		measure("fig11-jmax", fig11(runtime.NumCPU())),
 	)
 
-	for _, s := range []core.Scheme{core.WW, core.WPs, core.WsP, core.PP} {
+	for _, s := range core.Schemes()[1:] {
 		s := s
 		perf.Points = append(perf.Points, measure("real-histogram-"+s.String(), func() (uint64, float64) {
-			cfg := histogram.DefaultRealConfig(cluster.SMP(2, 2, 4), s)
+			cfg := histogram.DefaultConfig(cluster.SMP(2, 2, 4), s)
 			cfg.UpdatesPerPE = 1 << 16
 			cfg.SlotsPerPE = 512
 			cfg.Seed = o.Seed
-			r := histogram.RunReal(cfg)
+			r := histogram.RunOn(tram.Real, cfg)
 			return uint64(r.TotalUpdates), 0
 		}))
 	}

@@ -9,12 +9,13 @@ import (
 	"tramlib/internal/cluster"
 	"tramlib/internal/core"
 	"tramlib/internal/stats"
+	"tramlib/tram"
 )
 
 // This file produces the simulated-vs-measured tables behind cmd/tramlab's
-// -real flag: the same kernels (identical rng streams and update derivation)
-// run once on the discrete-event simulator and once on the real-concurrency
-// runtime (internal/rt), per aggregation scheme. The simulated column is
+// -real flag. Since the apps are single-sourced on the public tram API, each
+// table is literally the same Config run twice — RunOn(tram.Sim, cfg) and
+// RunOn(tram.Real, cfg) — per aggregation scheme. The simulated column is
 // virtual time from the §III-C cost model; the measured column is host
 // wall-clock. Their *ratios across schemes* are what the calibration
 // argument compares — absolute values differ by construction (the simulator
@@ -28,8 +29,10 @@ import (
 // 2 processes x 4 workers = 16 PEs, host-sized for the goroutine runtime.
 func realTopo() cluster.Topology { return cluster.SMP(2, 2, 4) }
 
-// realSchemes are the wirings the -real mode exercises.
-var realSchemes = []core.Scheme{core.WW, core.WPs, core.WsP, core.PP}
+// realSchemes are the wirings the -real mode exercises: the canonical
+// aggregating subset (adding a scheme to core.Schemes is all it takes to
+// appear here).
+var realSchemes = core.Schemes()[1:]
 
 // RealHistogram returns the histogram sim-vs-real table.
 func RealHistogram(o Options) *stats.Table {
@@ -48,13 +51,8 @@ func RealHistogram(o Options) *stats.Table {
 		o.progressf("real-histogram sim %v done: %v", realSchemes[i], simRes[i].Time)
 	})
 	for i, s := range realSchemes {
-		cfg := histogram.DefaultRealConfig(topo, s)
-		cfg.UpdatesPerPE = z
-		cfg.BufferItems = g
-		cfg.SlotsPerPE = o.histoSlots()
-		cfg.Seed = o.Seed
-		res := histogram.RunReal(cfg)
-		o.progressf("real-histogram real %v done: %v (%d batches)", s, res.Wall, res.Batches)
+		res := histogram.RunOn(tram.Real, histoConfig(o, topo, s, z, g))
+		o.progressf("real-histogram real %v done: %v (%d batches)", s, res.M.Wall, res.M.Batches)
 
 		expected := int64(topo.TotalWorkers()) * int64(z)
 		ok := "yes"
@@ -64,10 +62,10 @@ func RealHistogram(o Options) *stats.Table {
 		sr := simRes[i]
 		tb.AddRowf(s.String(),
 			sr.Time.Seconds()*1e3,
-			float64(res.Wall)/1e6,
-			sr.RemoteMsgs+sr.FlushMsgs,
-			res.Batches,
-			res.DeadlineFlushes,
+			float64(res.M.Wall)/1e6,
+			sr.M.RemoteMsgs+sr.M.FlushMsgs,
+			res.M.Batches,
+			res.M.DeadlineFlushes,
 			ok)
 	}
 	return tb
@@ -80,25 +78,25 @@ func RealIndexGather(o Options) *stats.Table {
 	o = o.normalized()
 	topo := realTopo()
 	z := o.items(1 << 17)
-	igSchemes := []core.Scheme{core.WW, core.WPs, core.PP}
+	igSchemes := []tram.Scheme{tram.WW, tram.WPs, tram.PP}
 
 	tb := stats.NewTable(
 		fmt.Sprintf("Real index-gather: %d requests/PE on %v, request latency", z, topo),
 		"scheme", "sim_mean_us", "real_mean_us", "real_p99_us", "real_ms", "responses_ok")
 
-	simRes := make([]indexgather.Result, len(igSchemes))
-	o.runPoints(len(igSchemes), func(i int) {
-		cfg := indexgather.DefaultConfig(topo, igSchemes[i])
+	igConfig := func(s tram.Scheme) indexgather.Config {
+		cfg := indexgather.DefaultConfig(topo, s)
 		cfg.RequestsPerPE = z
 		cfg.Seed = o.Seed
-		simRes[i] = indexgather.Run(cfg)
+		return cfg
+	}
+	simRes := make([]indexgather.Result, len(igSchemes))
+	o.runPoints(len(igSchemes), func(i int) {
+		simRes[i] = indexgather.Run(igConfig(igSchemes[i]))
 		o.progressf("real-ig sim %v done: lat=%.0fns", igSchemes[i], simRes[i].Latency.Mean())
 	})
 	for i, s := range igSchemes {
-		cfg := indexgather.DefaultRealConfig(topo, s)
-		cfg.RequestsPerPE = z
-		cfg.Seed = o.Seed
-		res := indexgather.RunReal(cfg)
+		res := indexgather.RunOn(tram.Real, igConfig(s))
 		o.progressf("real-ig real %v done: lat=%.0fns", s, res.Latency.Mean())
 
 		ok := "yes"
@@ -109,7 +107,7 @@ func RealIndexGather(o Options) *stats.Table {
 			simRes[i].Latency.Mean()/1e3,
 			res.Latency.Mean()/1e3,
 			float64(res.Latency.Quantile(0.99))/1e3,
-			float64(res.Wall)/1e6,
+			float64(res.M.Wall)/1e6,
 			ok)
 	}
 	return tb
@@ -119,52 +117,55 @@ func RealIndexGather(o Options) *stats.Table {
 // cost without aggregation, over the SMP process sweep.
 func RealPingAck(o Options) *stats.Table {
 	o = o.normalized()
+	// realPAWorkers is the node-0 worker count every part of this table
+	// derives from: the per-PE split, the title, the config, and the ack
+	// validity check.
+	const realPAWorkers = 8
 	msgs := o.items(1 << 18)
-	// Both runners divide the total evenly among the 8 node-0 workers
+	// Both backends divide the total evenly among the node-0 workers
 	// (flooring, min 1 each); report the count actually sent.
-	perPE := msgs / 8
+	perPE := msgs / realPAWorkers
 	if perPE == 0 {
 		perPE = 1
 	}
-	sent := perPE * 8
+	sent := perPE * realPAWorkers
 
 	tb := stats.NewTable(
-		fmt.Sprintf("Real ping-ack: %d messages, 8 workers/node, simulated vs measured", sent),
+		fmt.Sprintf("Real ping-ack: %d messages, %d workers/node, simulated vs measured", sent, realPAWorkers),
 		"config", "sim_ms", "real_ms", "real_msgs_per_sec", "acks_ok")
 
+	paConfig := func(procs int) pingack.Config {
+		cfg := pingack.DefaultConfig()
+		cfg.WorkersPerNode = realPAWorkers
+		cfg.TotalMessages = msgs
+		cfg.ProcsPerNode = procs
+		return cfg
+	}
 	procSweep := []int{0, 1, 2, 4}
 	simRes := make([]pingack.Result, len(procSweep))
 	o.runPoints(len(procSweep), func(i int) {
-		cfg := pingack.DefaultConfig()
-		cfg.WorkersPerNode = 8
-		cfg.TotalMessages = msgs
-		cfg.ProcsPerNode = procSweep[i]
-		simRes[i] = pingack.Run(cfg)
+		simRes[i] = pingack.Run(paConfig(procSweep[i]))
 		o.progressf("real-pingack sim procs=%d done: %v", procSweep[i], simRes[i].TotalTime)
 	})
 	for i, procs := range procSweep {
-		cfg := pingack.DefaultRealConfig()
-		cfg.WorkersPerNode = 8
-		cfg.TotalMessages = msgs
-		cfg.ProcsPerNode = procs
-		res := pingack.RunReal(cfg)
-		o.progressf("real-pingack real procs=%d done: %v", procs, res.Wall)
+		res := pingack.RunOn(tram.Real, paConfig(procs))
+		o.progressf("real-pingack real procs=%d done: %v", procs, res.M.Wall)
 
 		name := "non-SMP"
 		if procs > 0 {
 			name = fmt.Sprintf("SMP %dp", procs)
 		}
 		rate := 0.0
-		if res.Wall > 0 {
-			rate = float64(sent) / res.Wall.Seconds()
+		if res.M.Wall > 0 {
+			rate = float64(sent) / res.M.Wall.Seconds()
 		}
 		ok := "yes"
-		if res.Acks != int64(cfg.WorkersPerNode) {
+		if res.Acks != realPAWorkers {
 			ok = "NO"
 		}
 		tb.AddRowf(name,
 			simRes[i].TotalTime.Seconds()*1e3,
-			float64(res.Wall)/1e6,
+			float64(res.M.Wall)/1e6,
 			rate,
 			ok)
 	}

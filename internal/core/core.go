@@ -94,8 +94,19 @@ func ParseScheme(name string) (Scheme, error) {
 }
 
 // AllSchemes lists every aggregating scheme in the order the paper's figures
-// use.
+// use. It must contain exactly the aggregating subset of Schemes() — a test
+// enforces the lockstep, so adding a scheme to one list without the other
+// fails CI.
 var AllSchemes = []Scheme{WW, WPs, PP, WsP}
+
+// Schemes returns the canonical enumeration of every scheme, Direct first and
+// the aggregating schemes in declaration order. Scheme-sweep loops, CLI
+// listings, and the real-runtime tables all derive from this single list, so
+// adding a scheme is a one-place change. The returned slice is fresh; callers
+// may reslice it (Schemes()[1:] is the aggregating subset).
+func Schemes() []Scheme {
+	return []Scheme{Direct, WW, WPs, WsP, PP}
+}
 
 // DeliverFunc receives one item at its destination worker. ctx executes on
 // the destination PE; value is the item payload as passed to Insert.

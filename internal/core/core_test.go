@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"tramlib/internal/charm"
@@ -520,6 +521,8 @@ func TestConfigValidation(t *testing.T) {
 		{Scheme: WPs, BufferItems: 8, ItemBytes: 0},
 		{Scheme: PP, BufferItems: 8, ItemBytes: 8, FlushTimeout: -1},
 		{Scheme: Scheme(99), BufferItems: 8, ItemBytes: 8},
+		{Scheme: WW, BufferItems: 8, ItemBytes: 8, WorkerTagBytes: -1},
+		{Scheme: WW, BufferItems: 8, ItemBytes: 8, MsgHeaderBytes: -1},
 	}
 	for _, c := range bad {
 		if err := c.Validate(); err == nil {
@@ -528,6 +531,50 @@ func TestConfigValidation(t *testing.T) {
 	}
 	if err := DefaultConfig(WW).Validate(); err != nil {
 		t.Errorf("default config invalid: %v", err)
+	}
+	// Direct needs no buffers: BufferItems is not validated for it.
+	if err := (Config{Scheme: Direct, ItemBytes: 8}).Validate(); err != nil {
+		t.Errorf("Direct config without buffers invalid: %v", err)
+	}
+}
+
+func TestSchemesEnumeration(t *testing.T) {
+	all := Schemes()
+	if len(all) != int(PP)+1 {
+		t.Fatalf("Schemes() has %d entries, want %d", len(all), int(PP)+1)
+	}
+	if all[0] != Direct {
+		t.Fatalf("Schemes()[0] = %v, want Direct", all[0])
+	}
+	seen := map[Scheme]bool{}
+	for _, s := range all {
+		if seen[s] {
+			t.Fatalf("scheme %v listed twice", s)
+		}
+		seen[s] = true
+		if s.String() == fmt.Sprintf("Scheme(%d)", uint8(s)) {
+			t.Fatalf("scheme %v has no name", s)
+		}
+		if got, err := ParseScheme(s.String()); err != nil || got != s {
+			t.Fatalf("ParseScheme(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	for _, s := range AllSchemes {
+		if !seen[s] {
+			t.Fatalf("AllSchemes entry %v missing from Schemes()", s)
+		}
+	}
+	// The two lists must stay in lockstep: every aggregating scheme in the
+	// canonical enumeration appears in the figure-order list too, so a new
+	// scheme added to Schemes() cannot silently skip the AllSchemes sweeps.
+	inFigureOrder := map[Scheme]bool{}
+	for _, s := range AllSchemes {
+		inFigureOrder[s] = true
+	}
+	for _, s := range all[1:] {
+		if !inFigureOrder[s] {
+			t.Fatalf("scheme %v in Schemes() but missing from AllSchemes", s)
+		}
 	}
 }
 

@@ -27,9 +27,11 @@
 //
 // Each simulated "process" is a group of worker goroutines. A worker runs
 // its kernel in chunks (Config.ChunkSize generation steps), draining its
-// inbox and checking the delivery deadline between chunks — the analogue of
-// Charm++'s scheduler slots. When its kernel is exhausted the worker flushes
-// its buffers and keeps draining deliveries until global quiescence.
+// inbox, running posted local tasks (Ctx.Post — the continuations of
+// worklist-driven kernels), and checking the delivery deadline between
+// chunks — the analogue of Charm++'s scheduler slots. When its kernel is
+// exhausted the worker flushes its buffers and keeps draining deliveries and
+// tasks until global quiescence.
 //
 // Quiescence mirrors charm.Runtime.Run: every inserted item is tracked in an
 // in-flight counter that is decremented only after the item's DeliverFunc
@@ -228,6 +230,13 @@ type worker struct {
 	// runScratch is reused across mkItems groupings (the worker handles one
 	// message at a time, and runs are consumed before the next grouping).
 	runScratch []runRef
+
+	// local is the worker's own task queue (Ctx.Post): continuations of
+	// worklist-driven kernels (SSSP drains, PDES event loops). Only the
+	// owning goroutine touches it; tasks count toward the runtime's
+	// in-flight work so quiescence waits for them.
+	local     []func(*Ctx)
+	localHead int
 
 	ctx     Ctx
 	contrib int64
@@ -575,6 +584,19 @@ func (c *Ctx) Send(dest cluster.WorkerID, value uint64) {
 // process's shared buffers) — the explicit end-of-phase flush of the paper.
 func (c *Ctx) Flush() { c.w.flushOwn(); c.rt.flushProc(c.w.proc) }
 
+// Post schedules fn to run later on this worker's goroutine, after currently
+// queued inbox messages have been drained — the real-runtime counterpart of a
+// normal-priority self-message in the simulator. It is how worklist-driven
+// kernels (SSSP bucket drains, PDES event loops) yield between batches so
+// arriving deliveries interleave with local work. Posted tasks count as
+// in-flight work: the run does not quiesce until every task has executed.
+// Must be called from the worker's own goroutine (kernels and DeliverFuncs
+// already run there).
+func (c *Ctx) Post(fn func(*Ctx)) {
+	c.rt.inflight.Add(1)
+	c.w.local = append(c.w.local, fn)
+}
+
 // --- worker loop ---
 
 func (w *worker) run() {
@@ -591,6 +613,7 @@ func (w *worker) run() {
 			}
 			done += n
 			w.drain()
+			w.runLocal()
 			w.deadlineFlush()
 		}
 	}
@@ -604,11 +627,15 @@ func (w *worker) run() {
 		if w.drain() {
 			continue
 		}
-		// Idle: everything delivered locally; flush what we buffered while
-		// draining (responses), then park until a message or quiescence.
+		if w.runLocal() {
+			continue
+		}
+		// Idle: everything delivered locally and no local tasks pending;
+		// flush what we buffered while draining (responses, relaxations),
+		// then park until a message or quiescence.
 		w.flushOwn()
 		rt.flushProc(w.proc)
-		if w.drain() {
+		if w.drain() || w.hasLocal() {
 			continue
 		}
 		select {
@@ -617,6 +644,43 @@ func (w *worker) run() {
 			return
 		}
 	}
+}
+
+// hasLocal reports whether posted tasks are pending.
+func (w *worker) hasLocal() bool { return w.localHead < len(w.local) }
+
+// runLocal executes up to ChunkSize posted tasks (a scheduler slot, so inbox
+// drains interleave with long local-work chains) and reports whether any ran.
+// Tasks posted by a running task land behind the existing queue, preserving
+// post order.
+func (w *worker) runLocal() bool {
+	if !w.hasLocal() {
+		return false
+	}
+	limit := w.rt.cfg.ChunkSize
+	if limit <= 0 {
+		limit = 1
+	}
+	ran := 0
+	for ; ran < limit && w.hasLocal(); ran++ {
+		fn := w.local[w.localHead]
+		w.local[w.localHead] = nil
+		w.localHead++
+		fn(&w.ctx)
+		w.rt.finish(1)
+	}
+	if w.localHead == len(w.local) {
+		w.local = w.local[:0]
+		w.localHead = 0
+	} else if w.localHead > 64 && w.localHead*2 > len(w.local) {
+		n := copy(w.local, w.local[w.localHead:])
+		for i := n; i < len(w.local); i++ {
+			w.local[i] = nil
+		}
+		w.local = w.local[:n]
+		w.localHead = 0
+	}
+	return ran > 0
 }
 
 // drain processes every currently queued inbox message, reporting whether

@@ -304,3 +304,80 @@ func TestValidate(t *testing.T) {
 		t.Errorf("default config invalid: %v", err)
 	}
 }
+
+// TestPostTasksRunToQuiescence checks the worker-local task queue: a chain of
+// posted continuations that keeps generating sends (a worklist-driven kernel
+// in miniature) must fully execute before the run quiesces, on every wiring.
+func TestPostTasksRunToQuiescence(t *testing.T) {
+	topo := cluster.SMP(2, 2, 2)
+	W := topo.TotalWorkers()
+	const chain = 500
+	for _, s := range core.Schemes() {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultConfig(topo, s)
+			cfg.BufferItems = 16
+			cfg.FlushDeadline = 200 * time.Microsecond
+			var delivered, ran atomic.Int64
+			rtm := New(cfg, func(ctx *Ctx, v uint64) {
+				delivered.Add(1)
+			}, func(w cluster.WorkerID) (int, KernelFunc) {
+				// Each worker's single kernel step posts a self-reposting
+				// task that sends one item per hop to the next worker.
+				return 1, func(ctx *Ctx, _ int) {
+					hops := 0
+					var step func(*Ctx)
+					step = func(ctx *Ctx) {
+						ran.Add(1)
+						hops++
+						ctx.Send(cluster.WorkerID((int(ctx.Self())+1)%W), uint64(hops))
+						if hops < chain {
+							ctx.Post(step)
+						}
+					}
+					ctx.Post(step)
+				}
+			})
+			rtm.Run()
+			if got := ran.Load(); got != int64(W*chain) {
+				t.Fatalf("ran %d posted tasks, want %d", got, W*chain)
+			}
+			if got := delivered.Load(); got != int64(W*chain) {
+				t.Fatalf("delivered %d items, want %d", got, W*chain)
+			}
+		})
+	}
+}
+
+// TestPostFromDeliver posts from a DeliverFunc (the SSSP enqueue pattern):
+// the task must run on the delivering worker and its sends must be tracked.
+func TestPostFromDeliver(t *testing.T) {
+	topo := cluster.SMP(1, 2, 2)
+	cfg := DefaultConfig(topo, core.PP)
+	cfg.BufferItems = 8
+	var forwarded, sunk atomic.Int64
+	rtm := New(cfg, func(ctx *Ctx, v uint64) {
+		if v == 0 {
+			sunk.Add(1)
+			return
+		}
+		self := ctx.Self()
+		ctx.Post(func(ctx *Ctx) {
+			if ctx.Self() != self {
+				panic("posted task ran on another worker")
+			}
+			forwarded.Add(1)
+			ctx.Send(cluster.WorkerID(0), v-1)
+		})
+	}, func(w cluster.WorkerID) (int, KernelFunc) {
+		if w != 3 {
+			return 0, nil
+		}
+		return 1, func(ctx *Ctx, _ int) { ctx.Send(0, 64) }
+	})
+	rtm.Run()
+	if forwarded.Load() != 64 || sunk.Load() != 1 {
+		t.Fatalf("forwarded %d (want 64), sunk %d (want 1)", forwarded.Load(), sunk.Load())
+	}
+}

@@ -1,0 +1,279 @@
+package tram
+
+import (
+	"time"
+
+	"tramlib/internal/charm"
+	"tramlib/internal/core"
+	"tramlib/internal/rt"
+	"tramlib/internal/sim"
+)
+
+// Metrics reports one completed run. Fields that only one backend can
+// measure are zero on the other; Virtual says which clock the times are on.
+type Metrics struct {
+	// Virtual is true for Sim runs: Time and LastDelivery are virtual
+	// (modelled) nanoseconds, bit-identical across hosts. False for Real
+	// runs: they are measured wall-clock.
+	Virtual bool
+	// Time is the makespan to global quiescence (the instant the last
+	// handler finished on Sim; goroutine launch to quiescence on Real).
+	Time time.Duration
+	// LastDelivery is the instant the last item was handed to Deliver —
+	// the completion time the paper's benchmarks report (flush/timer tails
+	// after it do not count). Equal to Time on Real.
+	LastDelivery time.Duration
+	// Wall is the host wall-clock time of the run (== Time on Real).
+	Wall time.Duration
+
+	// Inserted counts items submitted; Delivered counts items handed to
+	// the application (they are equal at quiescence). LocalDirect counts
+	// items delivered unbuffered through the SMP-aware same-process path.
+	Inserted, Delivered, LocalDirect int64
+	// Batches counts aggregated messages; FullMsgs of them sealed because
+	// a buffer filled, FlushMsgs by an explicit/idle/timeout flush, and
+	// DeadlineFlushes (Real) by the progress goroutine's latency bound.
+	Batches, FullMsgs, FlushMsgs, DeadlineFlushes int64
+	// RemoteMsgs / LocalMsgs split Batches by process-boundary crossing;
+	// InterNodeMsgs counts messages crossing physical nodes and BytesSent
+	// their wire bytes. Sim only (one host has no wire).
+	RemoteMsgs, LocalMsgs, InterNodeMsgs, BytesSent int64
+	// Reduced is the sum of all Contribute values.
+	Reduced int64
+	// CommUtilMax is the peak comm-thread utilization up to LastDelivery
+	// (1.0 = saturated). Sim only.
+	CommUtilMax float64
+	// Events is the number of simulator events executed. Sim only.
+	Events uint64
+	// Latency is the per-item insert→deliver latency histogram in virtual
+	// nanoseconds; nil unless Config.TrackLatency (Sim only).
+	Latency *Hist
+}
+
+// Sim is the simulated backend: the deterministic discrete-event simulator
+// modelling the multi-node SMP cluster, its alpha-beta network, and the
+// §III-C cost model. Metrics are virtual time — identical for a fixed seed
+// on every host.
+var Sim Backend = simBackend{}
+
+// Real is the measured backend: one goroutine per worker over the lock-free
+// shared-memory aggregation buffers, with the deadline-flushing progress
+// goroutine. Metrics are host wall-clock.
+var Real Backend = realBackend{}
+
+// --- simulated backend ---
+
+type simBackend struct{}
+
+func (simBackend) String() string { return "sim" }
+
+// simRun holds one simulated execution: the reusable per-worker contexts and
+// the library instance the Ctx verbs forward to.
+type simRun struct {
+	lib     *core.Lib
+	hPost   charm.HandlerID
+	ctxs    []simCtx
+	contrib []int64
+	lastDel sim.Time
+}
+
+// simCtx adapts a charm handler context to the tram Ctx interface. One per
+// worker, rebound (not reallocated) at each handler entry; handler execution
+// is serial per PE, so reuse is race-free.
+type simCtx struct {
+	run *simRun
+	ch  *charm.Ctx
+}
+
+func (c *simCtx) Self() WorkerID               { return c.ch.Self() }
+func (c *simCtx) Proc() ProcID                 { return c.ch.Proc() }
+func (c *simCtx) Send(dest WorkerID, w uint64) { c.run.lib.Insert(c.ch, dest, w) }
+func (c *simCtx) Contribute(v int64)           { c.run.contrib[c.ch.Self()] += v }
+func (c *simCtx) Flush()                       { c.run.lib.Flush(c.ch) }
+func (c *simCtx) Charge(d time.Duration)       { c.ch.Charge(sim.Time(d)) }
+func (c *simCtx) Now() time.Duration           { return time.Duration(c.ch.Now()) }
+
+// Post sends fn to self as a normal-priority zero-byte message, so queued
+// deliveries (including expedited aggregation packets) run first.
+func (c *simCtx) Post(fn func(Ctx)) { c.ch.Send(c.ch.Self(), c.run.hPost, fn, 0, false) }
+
+// bind points worker w's reusable context at the live charm context.
+func (b *simRun) bind(ctx *charm.Ctx) *simCtx {
+	sc := &b.ctxs[ctx.Self()]
+	sc.ch = ctx
+	return sc
+}
+
+func (simBackend) run(cfg Config, app rawApp) (Metrics, error) {
+	if err := cfg.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	start := time.Now()
+	chrt := charm.NewRuntime(cfg.Topo, cfg.Net)
+	drv := charm.NewLoopDriver(chrt)
+	W := cfg.Topo.TotalWorkers()
+
+	b := &simRun{
+		ctxs:    make([]simCtx, W),
+		contrib: make([]int64, W),
+	}
+	for i := range b.ctxs {
+		b.ctxs[i].run = b
+	}
+	b.hPost = chrt.Register("tram.post", func(ctx *charm.Ctx, data any, _ int) {
+		data.(func(Ctx))(b.bind(ctx))
+	})
+	b.lib = core.New(chrt, cfg.simConfig(), func(ctx *charm.Ctx, word uint64) {
+		app.deliver(b.bind(ctx), word)
+		b.lastDel = ctx.Now()
+	})
+
+	chunk := cfg.ChunkSize
+	var done func(*charm.Ctx)
+	if app.flushOnDone {
+		done = func(ctx *charm.Ctx) { b.lib.Flush(ctx) }
+	}
+	for w := 0; w < W; w++ {
+		steps, kernel := app.spawn(WorkerID(w))
+		if steps <= 0 || kernel == nil {
+			continue
+		}
+		drv.Spawn(WorkerID(w), steps, chunk, func(ctx *charm.Ctx, i int) {
+			kernel(b.bind(ctx), i)
+		}, done)
+	}
+	end := chrt.Run()
+
+	lm := &b.lib.M
+	m := Metrics{
+		Virtual:       true,
+		Time:          time.Duration(end),
+		LastDelivery:  time.Duration(b.lastDel),
+		Wall:          time.Since(start),
+		Inserted:      lm.Inserted.Value(),
+		Delivered:     lm.Delivered.Value(),
+		LocalDirect:   lm.LocalDirect.Value(),
+		Batches:       lm.RemoteMsgs.Value() + lm.LocalMsgs.Value(),
+		FullMsgs:      lm.FullMsgs.Value(),
+		FlushMsgs:     lm.FlushMsgs.Value(),
+		RemoteMsgs:    lm.RemoteMsgs.Value(),
+		LocalMsgs:     lm.LocalMsgs.Value(),
+		InterNodeMsgs: chrt.Net.M.MessagesInterNode.Value(),
+		BytesSent:     lm.BytesSent.Value(),
+		CommUtilMax:   chrt.Net.MaxCommUtilization(b.lastDel),
+		Events:        chrt.Eng.Processed(),
+	}
+	if cfg.TrackLatency {
+		m.Latency = lm.Latency
+	}
+	for _, v := range b.contrib {
+		m.Reduced += v
+	}
+	return m, nil
+}
+
+// --- real backend ---
+
+type realBackend struct{}
+
+func (realBackend) String() string { return "real" }
+
+// realRun holds one measured execution.
+type realRun struct {
+	start time.Time
+	ctxs  []realCtx
+}
+
+// realCtx adapts a goroutine-runtime context to the tram Ctx interface. One
+// per worker, touched only by the owning goroutine.
+type realCtx struct {
+	run *realRun
+	rc  *rt.Ctx
+
+	// pending queues tram-level posted tasks; pump is the single adapter
+	// closure (built once per worker) handed to rt.Ctx.Post, which pops and
+	// runs exactly one pending task per firing. Routing every Post through
+	// one reusable closure keeps the worklist hot path allocation-free.
+	pending     []func(Ctx)
+	pendingHead int
+	pump        func(*rt.Ctx)
+}
+
+func (c *realCtx) Self() WorkerID               { return c.rc.Self() }
+func (c *realCtx) Proc() ProcID                 { return c.rc.Proc() }
+func (c *realCtx) Send(dest WorkerID, w uint64) { c.rc.Send(dest, w) }
+func (c *realCtx) Contribute(v int64)           { c.rc.Contribute(v) }
+func (c *realCtx) Flush()                       { c.rc.Flush() }
+
+// Charge is a no-op: real time passes by itself.
+func (c *realCtx) Charge(time.Duration) {}
+
+// Now is wall time since the run started.
+func (c *realCtx) Now() time.Duration { return time.Since(c.run.start) }
+
+// Post enqueues fn on the worker's local task queue. The runtime sees only
+// the worker's pre-built pump closure; fn lands on the adapter's own FIFO,
+// so posting allocates nothing beyond amortized queue growth.
+func (c *realCtx) Post(fn func(Ctx)) {
+	c.pending = append(c.pending, fn)
+	c.rc.Post(c.pump)
+}
+
+// runPending pops and runs one posted task (the pump body).
+func (c *realCtx) runPending(ctx *rt.Ctx) {
+	c.rc = ctx
+	fn := c.pending[c.pendingHead]
+	c.pending[c.pendingHead] = nil
+	c.pendingHead++
+	if c.pendingHead == len(c.pending) {
+		c.pending = c.pending[:0]
+		c.pendingHead = 0
+	}
+	fn(c)
+}
+
+// bind points worker w's reusable context at the live runtime context.
+func (b *realRun) bind(ctx *rt.Ctx) *realCtx {
+	rc := &b.ctxs[ctx.Self()]
+	rc.rc = ctx
+	return rc
+}
+
+func (realBackend) run(cfg Config, app rawApp) (Metrics, error) {
+	if err := cfg.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	b := &realRun{
+		start: time.Now(),
+		ctxs:  make([]realCtx, cfg.Topo.TotalWorkers()),
+	}
+	for i := range b.ctxs {
+		rc := &b.ctxs[i]
+		rc.run = b
+		rc.pump = rc.runPending
+	}
+	rtm := rt.New(cfg.realConfig(), func(ctx *rt.Ctx, word uint64) {
+		app.deliver(b.bind(ctx), word)
+	}, func(w WorkerID) (int, rt.KernelFunc) {
+		steps, kernel := app.spawn(w)
+		if steps <= 0 || kernel == nil {
+			return 0, nil
+		}
+		return steps, func(ctx *rt.Ctx, i int) { kernel(b.bind(ctx), i) }
+	})
+	res := rtm.Run()
+
+	return Metrics{
+		Time:            res.Wall,
+		LastDelivery:    res.Wall,
+		Wall:            res.Wall,
+		Inserted:        res.Inserted,
+		Delivered:       res.Delivered,
+		LocalDirect:     res.LocalDirect,
+		Batches:         res.Batches,
+		FullMsgs:        res.FullBatches,
+		FlushMsgs:       res.Flushes,
+		DeadlineFlushes: res.DeadlineFlushes,
+		Reduced:         res.Reduced,
+	}, nil
+}

@@ -1,0 +1,134 @@
+package tram
+
+import (
+	"fmt"
+	"time"
+
+	"tramlib/internal/core"
+	"tramlib/internal/rt"
+	"tramlib/internal/sim"
+)
+
+// Config configures one TramLib application run: the machine, the
+// aggregation scheme, buffer sizing, the flush policy, and the simulated
+// backend's cost model. One Config drives both backends; fields that apply
+// to only one backend are marked (the other backend ignores them).
+type Config struct {
+	// Topo is the cluster the application runs on. The Sim backend models
+	// it over the discrete-event network; the Real backend runs one
+	// goroutine per worker on the host.
+	Topo Topology
+	// Scheme selects the aggregation buffer wiring (§III-B).
+	Scheme Scheme
+	// BufferItems is g: the number of items a buffer holds before it is
+	// sent automatically.
+	BufferItems int
+
+	// ItemBytes is m: the wire size of one item payload. Sim only.
+	ItemBytes int
+	// WorkerTagBytes is the per-item destination tag added on the wire by
+	// the process-addressed schemes (<item, dest_w>). Sim only.
+	WorkerTagBytes int
+	// MsgHeaderBytes is the fixed envelope size of an aggregated message.
+	// Sim only.
+	MsgHeaderBytes int
+	// BufferLocal also aggregates items whose destination lives in the
+	// sender's own process. True for WW (the SMP-unaware scheme); the
+	// SMP-aware schemes deliver same-process items directly.
+	BufferLocal bool
+	// TrackLatency records per-item insert→delivery latency into
+	// Metrics.Latency. Sim only (real-clock latency is an application
+	// concern: timestamp items via Ctx.Now, as the index-gather kernel
+	// does).
+	TrackLatency bool
+	// FlushOnIdle flushes a worker's buffers whenever it goes idle. Sim
+	// only: the Real backend always flushes idle workers (it is how the
+	// goroutine runtime guarantees progress).
+	FlushOnIdle bool
+	// FlushTimeout, if positive, flushes a worker's buffers that long
+	// (virtual time) after the first unflushed insert. Sim only; the
+	// Real backend's latency bound is FlushDeadline.
+	FlushTimeout time.Duration
+	// FlushBurst, if positive, caps how many buffers a timeout flush
+	// drains per firing. Sim only.
+	FlushBurst int
+	// Costs is the §III-C per-operation cost model. Sim only.
+	Costs CostParams
+	// Net is the alpha-beta network and comm-thread calibration. Sim only.
+	Net NetParams
+
+	// FlushDeadline is the paper's latency bound on the Real backend: the
+	// longest an item may sit in a buffer before the progress goroutine
+	// force-flushes it (wall clock). 0 disables deadline flushing. Real
+	// only; the Sim backend's timeout flush is FlushTimeout.
+	FlushDeadline time.Duration
+	// ChunkSize is the number of generation steps (and, on the Real
+	// backend, posted local tasks) a worker runs per scheduler slot,
+	// between message drains.
+	ChunkSize int
+}
+
+// DefaultConfig returns the configuration the paper's main experiments use
+// at the given topology and scheme: g=1024, 8-byte items, SMP-aware local
+// delivery except for WW, a 1 ms real-runtime flush deadline, and the
+// calibrated cost model. The sim-side fields are identical to
+// internal/core's DefaultConfig and the real-side fields to internal/rt's
+// DefaultConfig (asserted by tests).
+func DefaultConfig(topo Topology, scheme Scheme) Config {
+	return Config{
+		Topo:           topo,
+		Scheme:         scheme,
+		BufferItems:    1024,
+		ItemBytes:      8,
+		WorkerTagBytes: 2,
+		MsgHeaderBytes: 64,
+		BufferLocal:    scheme == WW,
+		Costs:          DefaultCosts(),
+		Net:            DefaultNetParams(),
+		FlushDeadline:  time.Millisecond,
+		ChunkSize:      256,
+	}
+}
+
+// simConfig projects the unified config onto the simulated library's config.
+func (c Config) simConfig() core.Config {
+	return core.Config{
+		Scheme:         c.Scheme,
+		BufferItems:    c.BufferItems,
+		ItemBytes:      c.ItemBytes,
+		WorkerTagBytes: c.WorkerTagBytes,
+		MsgHeaderBytes: c.MsgHeaderBytes,
+		FlushOnIdle:    c.FlushOnIdle,
+		FlushTimeout:   sim.Time(c.FlushTimeout),
+		FlushBurst:     c.FlushBurst,
+		BufferLocal:    c.BufferLocal,
+		TrackLatency:   c.TrackLatency,
+		Costs:          c.Costs,
+	}
+}
+
+// realConfig projects the unified config onto the goroutine runtime's config.
+func (c Config) realConfig() rt.Config {
+	return rt.Config{
+		Topo:          c.Topo,
+		Scheme:        c.Scheme,
+		BufferItems:   c.BufferItems,
+		FlushDeadline: c.FlushDeadline,
+		ChunkSize:     c.ChunkSize,
+	}
+}
+
+// Validate reports configuration errors. A valid Config is valid for both
+// backends.
+func (c Config) Validate() error {
+	if err := c.Topo.Validate(); err != nil {
+		return fmt.Errorf("tram: %w", err)
+	}
+	if err := c.simConfig().Validate(); err != nil {
+		return fmt.Errorf("tram: %w", err)
+	}
+	if err := c.realConfig().Validate(); err != nil {
+		return fmt.Errorf("tram: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package tram
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tramlib/internal/core"
+	"tramlib/internal/rt"
+)
+
+func validConfig() Config { return DefaultConfig(SMP(2, 2, 2), WPs) }
+
+// TestValidateRejectsEveryInvalidField drives one bad value through every
+// invalid-field branch reachable from tram.Config.Validate — its own topology
+// check plus every branch of the underlying core and rt validators.
+func TestValidateRejectsEveryInvalidField(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Config)
+		errLike string
+	}{
+		{"zero topology", func(c *Config) { c.Topo = Topology{} }, "topology"},
+		{"oversized topology", func(c *Config) { c.Topo = SMP(1<<14, 1<<14, 4) }, "too large"},
+		{"invalid scheme", func(c *Config) { c.Scheme = Scheme(99) }, "invalid scheme"},
+		{"zero BufferItems", func(c *Config) { c.BufferItems = 0 }, "BufferItems"},
+		{"negative BufferItems", func(c *Config) { c.BufferItems = -1 }, "BufferItems"},
+		{"zero ItemBytes", func(c *Config) { c.ItemBytes = 0 }, "ItemBytes"},
+		{"negative WorkerTagBytes", func(c *Config) { c.WorkerTagBytes = -1 }, "framing"},
+		{"negative MsgHeaderBytes", func(c *Config) { c.MsgHeaderBytes = -1 }, "framing"},
+		{"negative FlushTimeout", func(c *Config) { c.FlushTimeout = -time.Nanosecond }, "FlushTimeout"},
+		{"negative FlushDeadline", func(c *Config) { c.FlushDeadline = -time.Millisecond }, "FlushDeadline"},
+		{"zero ChunkSize", func(c *Config) { c.ChunkSize = 0 }, "ChunkSize"},
+		{"negative ChunkSize", func(c *Config) { c.ChunkSize = -5 }, "ChunkSize"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := validConfig()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatalf("invalid config validated: %+v", cfg)
+			}
+			if !strings.Contains(err.Error(), tc.errLike) {
+				t.Fatalf("error %q does not mention %q", err, tc.errLike)
+			}
+		})
+	}
+}
+
+func TestValidateAcceptsDefaults(t *testing.T) {
+	for _, s := range Schemes() {
+		if err := DefaultConfig(SMP(2, 2, 2), s).Validate(); err != nil {
+			t.Errorf("default config for %v invalid: %v", s, err)
+		}
+	}
+	// Direct needs no buffers (mirrors core's rule).
+	cfg := validConfig()
+	cfg.Scheme = Direct
+	cfg.BufferItems = 0
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("Direct config without buffers invalid: %v", err)
+	}
+}
+
+// TestDefaultsRoundTripToBackends pins the compatibility contract: tram's
+// defaults project onto exactly the configurations internal/core and
+// internal/rt ship as their own defaults, for every scheme.
+func TestDefaultsRoundTripToBackends(t *testing.T) {
+	topo := SMP(2, 2, 4)
+	for _, s := range Schemes() {
+		cfg := DefaultConfig(topo, s)
+		if got, want := cfg.simConfig(), core.DefaultConfig(s); got != want {
+			t.Errorf("%v: simConfig() = %+v, want core default %+v", s, got, want)
+		}
+		if got, want := cfg.realConfig(), rt.DefaultConfig(topo, s); got != want {
+			t.Errorf("%v: realConfig() = %+v, want rt default %+v", s, got, want)
+		}
+	}
+}
+
+func TestSchemeReexports(t *testing.T) {
+	if len(Schemes()) != len(core.Schemes()) {
+		t.Fatal("Schemes() disagrees with core.Schemes()")
+	}
+	for _, s := range Schemes() {
+		got, err := ParseScheme(s.String())
+		if err != nil || got != s {
+			t.Fatalf("ParseScheme(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseScheme("bogus"); err == nil {
+		t.Fatal("bogus scheme parsed")
+	}
+}

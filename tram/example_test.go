@@ -1,0 +1,49 @@
+package tram_test
+
+import (
+	"fmt"
+
+	"tramlib/internal/rng"
+	"tramlib/tram"
+)
+
+// Example is the README quickstart: describe a cluster, write the
+// aggregation kernel once, run it on the deterministic simulator. Swapping
+// tram.Sim for tram.Real runs the identical kernel on goroutines over the
+// lock-free shared-memory buffers instead (wall-clock metrics, so no fixed
+// output to assert — which is why the example prints the simulated run).
+func Example() {
+	// A 2-node cluster: 2 processes per node, 4 workers per process.
+	topo := tram.SMP(2, 2, 4)
+	W := topo.TotalWorkers()
+
+	// WPs scheme: per-destination-process buffers of 256 items, grouped by
+	// destination worker at the receiving process.
+	cfg := tram.DefaultConfig(topo, tram.WPs)
+	cfg.BufferItems = 256
+
+	// The application: every worker streams 10k random items; deliveries
+	// are counted into the global reduction at their destination.
+	lib := tram.U64()
+	app := tram.App[uint64]{
+		Deliver: func(ctx tram.Ctx, item uint64) { ctx.Contribute(1) },
+		Spawn: func(w tram.WorkerID) (int, tram.KernelFunc) {
+			r := rng.NewStream(42, int(w))
+			return 10_000, func(ctx tram.Ctx, _ int) {
+				lib.Insert(ctx, tram.WorkerID(r.Intn(W)), r.Uint64())
+			}
+		},
+		FlushOnDone: true,
+	}
+
+	m, err := lib.Run(tram.Sim, cfg, app)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("delivered %d of %d items\n", m.Reduced, m.Inserted)
+	fmt.Printf("aggregated into %d batches (%.0f items each on average)\n",
+		m.Batches, float64(m.Delivered-m.LocalDirect)/float64(m.Batches))
+	// Output:
+	// delivered 160000 of 160000 items
+	// aggregated into 1930 batches (62 items each on average)
+}

@@ -1,0 +1,199 @@
+package tram
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tramlib/internal/rng"
+)
+
+// streamApp builds the canonical test application: every worker streams n
+// uniform items, destinations count arrivals into the reduction.
+func streamApp(lib Lib[uint64], W, n int, recv []int64) App[uint64] {
+	return App[uint64]{
+		Deliver: func(ctx Ctx, v uint64) {
+			recv[ctx.Self()]++
+			ctx.Contribute(1)
+		},
+		Spawn: func(w WorkerID) (int, KernelFunc) {
+			r := rng.NewStream(9, int(w))
+			return n, func(ctx Ctx, _ int) {
+				lib.Insert(ctx, WorkerID(r.Intn(W)), r.Uint64())
+			}
+		},
+		FlushOnDone: true,
+	}
+}
+
+func TestBackendsDeliverExactlyOnce(t *testing.T) {
+	topo := SMP(2, 2, 2)
+	W := topo.TotalWorkers()
+	const n = 3000
+	for _, b := range []Backend{Sim, Real} {
+		for _, s := range Schemes() {
+			b, s := b, s
+			t.Run(b.String()+"/"+s.String(), func(t *testing.T) {
+				cfg := DefaultConfig(topo, s)
+				cfg.BufferItems = 64
+				lib := U64()
+				recv := make([]int64, W)
+				m, err := lib.Run(b, cfg, streamApp(lib, W, n, recv))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := int64(W * n)
+				if m.Reduced != want {
+					t.Fatalf("reduced %d, want %d", m.Reduced, want)
+				}
+				if m.Inserted != want {
+					t.Fatalf("inserted %d, want %d", m.Inserted, want)
+				}
+				var total int64
+				for _, c := range recv {
+					total += c
+				}
+				if total != want {
+					t.Fatalf("per-worker receipts sum to %d, want %d", total, want)
+				}
+				if m.Time <= 0 {
+					t.Fatalf("no makespan: %v", m.Time)
+				}
+			})
+		}
+	}
+}
+
+// TestBackendsAgreePerWorker: the same App on both backends routes every item
+// to the same destination (the workload is data-determined, not
+// schedule-determined).
+func TestBackendsAgreePerWorker(t *testing.T) {
+	topo := SMP(2, 2, 2)
+	W := topo.TotalWorkers()
+	cfg := DefaultConfig(topo, PP)
+	cfg.BufferItems = 32
+	lib := U64()
+
+	simRecv := make([]int64, W)
+	if _, err := lib.Run(Sim, cfg, streamApp(lib, W, 2000, simRecv)); err != nil {
+		t.Fatal(err)
+	}
+	realRecv := make([]int64, W)
+	if _, err := lib.Run(Real, cfg, streamApp(lib, W, 2000, realRecv)); err != nil {
+		t.Fatal(err)
+	}
+	for w := range simRecv {
+		if simRecv[w] != realRecv[w] {
+			t.Fatalf("worker %d received %d on sim vs %d on real", w, simRecv[w], realRecv[w])
+		}
+	}
+}
+
+func TestRunRejectsInvalidConfig(t *testing.T) {
+	lib := U64()
+	cfg := DefaultConfig(SMP(1, 1, 2), WPs)
+	cfg.BufferItems = -3
+	for _, b := range []Backend{Sim, Real} {
+		if _, err := lib.Run(b, cfg, App[uint64]{}); err == nil {
+			t.Fatalf("%v accepted an invalid config", b)
+		}
+	}
+	if _, err := (Lib[uint64]{}).Run(Sim, DefaultConfig(SMP(1, 1, 2), WPs), App[uint64]{}); err == nil {
+		t.Fatal("Lib without codec ran")
+	}
+}
+
+func TestPairCodecRoundTrip(t *testing.T) {
+	c := PairCodec{}
+	for _, p := range []Pair{{0, 0}, {1, 2}, {1<<32 - 1, 7}, {42, 1<<32 - 1}} {
+		if got := c.Decode(c.Encode(p)); got != p {
+			t.Fatalf("round trip %v -> %v", p, got)
+		}
+	}
+	lib := Pairs()
+	topo := SMP(1, 2, 2)
+	var sum atomic.Int64
+	m, err := lib.Run(Sim, DefaultConfig(topo, WsP), App[Pair]{
+		Deliver: func(ctx Ctx, p Pair) { sum.Add(int64(p.Val)); ctx.Contribute(1) },
+		Spawn: func(w WorkerID) (int, KernelFunc) {
+			return 100, func(ctx Ctx, i int) {
+				lib.Insert(ctx, WorkerID((int(w)+1)%topo.TotalWorkers()), Pair{Key: uint32(w), Val: uint32(i)})
+			}
+		},
+		FlushOnDone: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(topo.TotalWorkers()) * 99 * 100 / 2
+	if sum.Load() != want {
+		t.Fatalf("typed payload sum %d, want %d", sum.Load(), want)
+	}
+	if m.Reduced != int64(topo.TotalWorkers())*100 {
+		t.Fatalf("reduced %d", m.Reduced)
+	}
+}
+
+// TestPostOrdering: posted tasks run after already-queued deliveries and may
+// repost themselves; the run must not quiesce while tasks are pending.
+func TestPostOrdering(t *testing.T) {
+	topo := SMP(1, 1, 2)
+	for _, b := range []Backend{Sim, Real} {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			var chained int64
+			lib := U64()
+			var count atomic.Int64
+			_, err := lib.Run(b, DefaultConfig(topo, Direct), App[uint64]{
+				Deliver: func(ctx Ctx, v uint64) { count.Add(1) },
+				Spawn: func(w WorkerID) (int, KernelFunc) {
+					if w != 0 {
+						return 0, nil
+					}
+					return 1, func(ctx Ctx, _ int) {
+						var step func(Ctx)
+						step = func(ctx Ctx) {
+							chained++
+							if chained < 100 {
+								lib.Insert(ctx, 1, uint64(chained))
+								ctx.Post(step)
+							}
+						}
+						ctx.Post(step)
+					}
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if chained != 100 {
+				t.Fatalf("chained %d posts, want 100", chained)
+			}
+			if count.Load() != 99 {
+				t.Fatalf("delivered %d, want 99", count.Load())
+			}
+		})
+	}
+}
+
+// TestSimVirtualClock: Charge advances Now on the simulator; the real
+// backend's clock advances on its own.
+func TestSimVirtualClock(t *testing.T) {
+	lib := U64()
+	var before, after time.Duration
+	_, err := lib.Run(Sim, DefaultConfig(SMP(1, 1, 1), Direct), App[uint64]{
+		Spawn: func(w WorkerID) (int, KernelFunc) {
+			return 1, func(ctx Ctx, _ int) {
+				before = ctx.Now()
+				ctx.Charge(123 * time.Nanosecond)
+				after = ctx.Now()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after-before != 123*time.Nanosecond {
+		t.Fatalf("Charge advanced clock by %v, want 123ns", after-before)
+	}
+}
