@@ -9,15 +9,18 @@
 // Points are matched by name. Simulator points get the standard tolerance
 // (default 10%); points named real-* — the goroutine runtime, whose
 // per-event allocations depend mildly on scheduling (sync.Pool behavior
-// under preemption) — get the looser -real-tol (default 50%). A point
-// present in the baseline but missing from the fresh run fails the check
-// (lost coverage); new points pass (they become the baseline when
+// under preemption) — get the looser -real-tol (default 50%); points named
+// dist-* — the multi-process backend, where the gated column is the
+// coordinator's tiny per-item overhead (spawn + handshake + probes divided
+// by the items the worker processes moved) — get -dist-tol (default 75%).
+// A point present in the baseline but missing from the fresh run fails the
+// check (lost coverage); new points pass (they become the baseline when
 // committed). Tiny baselines are compared with an absolute slack so a
 // 0.0000‰ noise blip cannot fail a 0.00002 allocs/event point.
 //
 // Usage:
 //
-//	perfcheck -base BENCH_core.json -fresh fresh.json [-tol 0.10] [-real-tol 0.50]
+//	perfcheck -base BENCH_core.json -fresh fresh.json [-tol 0.10] [-real-tol 0.50] [-dist-tol 0.75]
 package main
 
 import (
@@ -51,6 +54,7 @@ func main() {
 		freshPath = flag.String("fresh", "", "freshly generated JSON to check")
 		tol       = flag.Float64("tol", 0.10, "allowed relative allocs_per_event increase for simulator points")
 		realTol   = flag.Float64("real-tol", 0.50, "allowed relative increase for real-* (goroutine runtime) points")
+		distTol   = flag.Float64("dist-tol", 0.75, "allowed relative increase for dist-* (multi-process coordinator) points")
 		slack     = flag.Float64("slack", 0.02, "absolute allocs_per_event slack added to every bound")
 	)
 	flag.Parse()
@@ -86,6 +90,9 @@ func main() {
 		t := *tol
 		if strings.HasPrefix(b.Name, "real-") {
 			t = *realTol
+		}
+		if strings.HasPrefix(b.Name, "dist-") {
+			t = *distTol
 		}
 		bound := b.AllocsPerEvent*(1+t) + *slack
 		status := "ok  "

@@ -15,6 +15,8 @@
 //	tramlab -bench-json BENCH_core.json      # emit the engine perf trajectory
 //	tramlab -real                    # run kernels on the real goroutine runtime
 //	                                 # and print simulated-vs-measured tables
+//	tramlab -backend dist            # run kernels across real OS processes
+//	                                 # (tram.Dist) and print real-vs-dist tables
 //
 // Experiment points within a figure are independent simulations; -j N runs
 // them on a deterministic worker pool (tables are byte-identical for every
@@ -37,6 +39,9 @@ import (
 )
 
 func main() {
+	// Dist worker processes (tramlab re-executes itself for -backend dist)
+	// run their share here and exit; every other invocation continues.
+	tram.Main()
 	var (
 		fig       = flag.String("fig", "", "figure id to run (1,3,8,9,10,11,12,13,14,15,16,17,18,a1)")
 		all       = flag.Bool("all", false, "run every figure")
@@ -51,8 +56,18 @@ func main() {
 		quiet     = flag.Bool("quiet", false, "suppress progress output on stderr")
 		benchJSON = flag.String("bench-json", "", "measure engine perf (events/sec, allocs/event, harness scaling) and write JSON to this file ('-' for stdout)")
 		real      = flag.Bool("real", false, "run the kernels on the real-concurrency runtime (goroutines + lock-free buffers) and emit simulated-vs-measured tables")
+		backend   = flag.String("backend", "", "comparison tables to run: 'real' (sim vs goroutine runtime, same as -real) or 'dist' (goroutine runtime vs one OS process per ProcID)")
 	)
 	flag.Parse()
+	switch *backend {
+	case "":
+	case "real":
+		*real = true
+	case "dist":
+	default:
+		fmt.Fprintf(os.Stderr, "tramlab: unknown -backend %q (want 'real' or 'dist')\n", *backend)
+		os.Exit(2)
+	}
 
 	if *list {
 		seen := map[string]bool{}
@@ -113,6 +128,20 @@ func main() {
 				fmt.Println(tb.String())
 			}
 		}
+		if !*all && *fig == "" && *backend != "dist" {
+			return
+		}
+	}
+
+	if *backend == "dist" {
+		tables := bench.DistTables(opts)
+		for _, tb := range tables {
+			if *csv {
+				fmt.Print(tb.CSV())
+			} else {
+				fmt.Println(tb.String())
+			}
+		}
 		if !*all && *fig == "" {
 			return
 		}
@@ -134,7 +163,7 @@ func main() {
 			ids = append(ids, strings.TrimSpace(id))
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "tramlab: pass -fig <id>, -all, -real, or -list")
+		fmt.Fprintln(os.Stderr, "tramlab: pass -fig <id>, -all, -real, -backend dist, or -list")
 		flag.Usage()
 		os.Exit(2)
 	}

@@ -4,7 +4,9 @@
 //
 // The engine is written once against the public tram API; -backend picks the
 // execution engine. On "real" the events genuinely race through the
-// lock-free buffers, so the rejected count reflects live host scheduling.
+// lock-free buffers, so the rejected count reflects live host scheduling; on
+// "dist" each simulated process is a real OS process and remote events cross
+// genuine socket hops (the event budget is split evenly per process).
 //
 // Expected shape (Fig. 18): PP rejects noticeably fewer events than WW/WPs
 // because its shared process-level buffers fill (and therefore flush)
@@ -28,9 +30,10 @@ import (
 )
 
 func main() {
+	tram.Main() // dist worker processes run their share here and exit
 	events := flag.Int64("events", 1<<22, "event budget")
 	procs := flag.Int("procs", 2, "number of processes (32 workers each)")
-	backend := flag.String("backend", "sim", "execution backend: sim or real")
+	backend := flag.String("backend", "sim", "execution backend: sim, real, or dist")
 	flag.Parse()
 
 	var b tram.Backend
@@ -39,8 +42,10 @@ func main() {
 		b = tram.Sim
 	case "real":
 		b = tram.Real
+	case "dist":
+		b = tram.Dist // each of the -procs processes becomes a real OS process
 	default:
-		fmt.Fprintf(os.Stderr, "unknown -backend %q (want sim or real)\n", *backend)
+		fmt.Fprintf(os.Stderr, "unknown -backend %q (want sim, real, or dist)\n", *backend)
 		os.Exit(2)
 	}
 

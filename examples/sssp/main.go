@@ -5,7 +5,9 @@
 //
 // The solver is written once against the public tram API; -backend picks the
 // execution engine: "sim" (deterministic virtual time), "real" (goroutines,
-// measured wall-clock), or "both". On the real backend speculation races for
+// measured wall-clock), "dist" (each process of the topology a real OS
+// process; the graph is regenerated deterministically in every worker), or
+// "both" (sim + real). On the concurrent backends speculation races for
 // real, so wasted counts vary run to run — the distances still converge.
 //
 // Expected shape (Figs. 14–15): wasted updates PP < WPs < WW, because lower
@@ -22,16 +24,16 @@ import (
 	"os"
 
 	"tramlib/internal/apps/sssp"
-	"tramlib/internal/graph"
 	"tramlib/internal/stats"
 	"tramlib/tram"
 )
 
 func main() {
+	tram.Main() // dist worker processes run their share here and exit
 	scale := flag.Int("scale", 16, "RMAT scale (2^scale vertices)")
 	deg := flag.Int("deg", 8, "average degree")
 	seed := flag.Uint64("seed", 7, "graph seed")
-	backend := flag.String("backend", "sim", "execution backend: sim, real, or both")
+	backend := flag.String("backend", "sim", "execution backend: sim, real, dist, or both")
 	flag.Parse()
 
 	var backends []tram.Backend
@@ -40,15 +42,22 @@ func main() {
 		backends = []tram.Backend{tram.Sim}
 	case "real":
 		backends = []tram.Backend{tram.Real}
+	case "dist":
+		backends = []tram.Backend{tram.Dist}
 	case "both":
 		backends = []tram.Backend{tram.Sim, tram.Real}
 	default:
-		fmt.Fprintf(os.Stderr, "unknown -backend %q (want sim, real, or both)\n", *backend)
+		fmt.Fprintf(os.Stderr, "unknown -backend %q (want sim, real, dist, or both)\n", *backend)
 		os.Exit(2)
 	}
 
 	fmt.Printf("generating RMAT graph: 2^%d vertices, avg degree %d...\n", *scale, *deg)
-	g := graph.GenRMAT(*scale, *deg, *seed)
+	recipe := sssp.Recipe{Kind: "rmat", Scale: *scale, AvgDeg: *deg, Seed: *seed}
+	g, err := recipe.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graph generation failed:", err)
+		os.Exit(1)
+	}
 	if err := g.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "graph generation failed:", err)
 		os.Exit(1)
@@ -62,6 +71,7 @@ func main() {
 			"scheme", "time", "wasted", "useful", "wasted/1k", "batches", "reached")
 		for _, s := range tram.Schemes()[1:] {
 			cfg := sssp.DefaultConfig(topo, s, g)
+			cfg.Recipe = &recipe // lets dist workers regenerate the graph
 			res := sssp.RunOn(b, cfg)
 			tb.AddRowf(s.String(), res.Time.String(), res.Wasted, res.Useful,
 				res.WastedNorm, res.M.Batches, res.Reached)

@@ -17,11 +17,30 @@
 package indexgather
 
 import (
+	"encoding/json"
 	"time"
 
 	"tramlib/internal/rng"
+	"tramlib/internal/stats"
 	"tramlib/tram"
 )
+
+// DistName is the index-gather Dist-backend registration: worker processes
+// rebuild the kernel from a JSON-encoded Config and report their local
+// latency histograms (responses are observed on the requesting worker, so
+// each process owns its samples).
+const DistName = "indexgather"
+
+func init() {
+	tram.RegisterDist(DistName, func(params []byte, _ tram.ProcID) (tram.DistApp, error) {
+		var cfg Config
+		if err := json.Unmarshal(params, &cfg); err != nil {
+			return tram.DistApp{}, err
+		}
+		in := newInstance(cfg)
+		return tram.BindDist(tram.U64(), cfg.Tram, in.app(), in.report)
+	})
+}
 
 // Payload layout: bit 63 = response flag.
 // Request:  [62:48] requester worker id (15 bits), [47:0] born timestamp ns.
@@ -87,28 +106,34 @@ type Result struct {
 	M tram.Metrics
 }
 
-// Run executes the benchmark on the simulator.
-func Run(cfg Config) Result { return RunOn(tram.Sim, cfg) }
+// instance is one bound run: per-worker latency histograms plus the kernel
+// closures over them. Responses arrive on the requester's context, so each
+// worker owns its histogram; they are merged after the run — locally for
+// Sim/Real, via per-process state reports for Dist.
+type instance struct {
+	cfg  Config
+	lib  tram.Lib[uint64]
+	lats []*tram.Hist
+}
 
-// RunOn executes the benchmark on the given backend.
-func RunOn(b tram.Backend, cfg Config) Result {
-	topo := cfg.Tram.Topo
-	W := topo.TotalWorkers()
-
-	// Per-worker latency histograms: responses arrive on the requester's
-	// context, so each worker owns its histogram; merged after the run.
-	lats := make([]*tram.Hist, W)
-	for i := range lats {
-		lats[i] = tram.NewHist()
+func newInstance(cfg Config) *instance {
+	W := cfg.Tram.Topo.TotalWorkers()
+	in := &instance{cfg: cfg, lib: tram.U64(), lats: make([]*tram.Hist, W)}
+	for i := range in.lats {
+		in.lats[i] = tram.NewHist()
 	}
+	return in
+}
 
-	lib := tram.U64()
-	m, err := lib.Run(b, cfg.Tram, tram.App[uint64]{
+func (in *instance) app() tram.App[uint64] {
+	cfg, lib := in.cfg, in.lib
+	W := cfg.Tram.Topo.TotalWorkers()
+	return tram.App[uint64]{
 		Deliver: func(ctx tram.Ctx, v uint64) {
 			if v&respFlag != 0 {
 				// Response arrives back at its requester.
 				born := v & bornMask
-				lats[ctx.Self()].Observe(latency(ctx.Now(), born))
+				in.lats[ctx.Self()].Observe(latency(ctx.Now(), born))
 				ctx.Contribute(1)
 				return
 			}
@@ -132,14 +157,55 @@ func RunOn(b tram.Backend, cfg Config) Result {
 			}
 		},
 		FlushOnDone: true,
-	})
+	}
+}
+
+// merged folds the per-worker histograms into one.
+func (in *instance) merged() *tram.Hist {
+	lat := tram.NewHist()
+	for _, h := range in.lats {
+		lat.Merge(h)
+	}
+	return lat
+}
+
+// distReport is one worker process's merged latency histogram.
+type distReport struct {
+	Latency stats.HistState `json:"latency"`
+}
+
+func (in *instance) report() []byte {
+	b, _ := json.Marshal(distReport{Latency: in.merged().State()})
+	return b
+}
+
+// Run executes the benchmark on the simulator.
+func Run(cfg Config) Result { return RunOn(tram.Sim, cfg) }
+
+// RunOn executes the benchmark on the given backend.
+func RunOn(b tram.Backend, cfg Config) Result {
+	in := newInstance(cfg)
+	tcfg := cfg.Tram
+	if tram.IsDist(b) {
+		params, err := json.Marshal(cfg)
+		if err != nil {
+			panic(err)
+		}
+		tcfg.Dist.App = DistName
+		tcfg.Dist.Params = params
+	}
+	m, err := in.lib.Run(b, tcfg, in.app())
 	if err != nil {
 		panic(err)
 	}
 
-	lat := tram.NewHist()
-	for _, h := range lats {
-		lat.Merge(h)
+	lat := in.merged()
+	for _, blob := range m.Reports {
+		var rep distReport
+		if err := json.Unmarshal(blob, &rep); err != nil {
+			panic(err)
+		}
+		lat.Merge(stats.FromState(rep.Latency))
 	}
 	return Result{
 		Time:      m.LastDelivery,

@@ -19,12 +19,38 @@
 package phold
 
 import (
+	"encoding/json"
 	"sync/atomic"
 	"time"
 
 	"tramlib/internal/rng"
 	"tramlib/tram"
 )
+
+// DistName is the PHOLD Dist-backend registration. The event budget is a
+// per-process counter under Dist: each worker process gets an even share
+// (EventsBudget / TotalProcs, floored), so the global number of successor
+// events is bounded the same way, and the exact conservation law
+// Processed == InitialPopulation + Scheduled holds on every backend via the
+// per-process Scheduled counters.
+const DistName = "phold"
+
+func init() {
+	tram.RegisterDist(DistName, func(params []byte, _ tram.ProcID) (tram.DistApp, error) {
+		var cfg Config
+		if err := json.Unmarshal(params, &cfg); err != nil {
+			return tram.DistApp{}, err
+		}
+		// Per-process share of the global budget.
+		P := int64(cfg.Tram.Topo.TotalProcs())
+		cfg.EventsBudget /= P
+		if cfg.EventsBudget == 0 {
+			cfg.EventsBudget = 1
+		}
+		in := newInstance(cfg)
+		return tram.BindDist(tram.U64(), cfg.Tram, in.app(), in.report)
+	})
+}
 
 // Payload layout: [63:24] timestamp (40 bits), [23:0] global LP id.
 const (
@@ -86,6 +112,10 @@ type Result struct {
 	Time time.Duration
 	// Processed events (>= EventsBudget when the budget stops the run).
 	Processed int64
+	// Scheduled counts successor events created by processed events. The
+	// population is conserved exactly: Processed == initial population +
+	// Scheduled, on every backend (under Dist, summed across processes).
+	Scheduled int64
 	// RemoteRecv counts events that arrived from another worker.
 	RemoteRecv int64
 	// Wasted counts out-of-order remote arrivals (timestamp behind the
@@ -160,71 +190,78 @@ type workerState struct {
 	drain    func(tram.Ctx) // pre-built drain continuation
 }
 
-// Run executes the benchmark on the simulator.
-func Run(cfg Config) Result { return RunOn(tram.Sim, cfg) }
+// instance is one bound run: per-worker PDES states plus the kernel closures
+// over them. Under Dist each worker process constructs its own (with its
+// per-process budget share) and reports its counters and max LVT.
+type instance struct {
+	cfg Config
+	lib tram.Lib[uint64]
+	ws  []*workerState
+	// Shared counters are atomics for the concurrent backends; the serial
+	// simulator sees the identical value sequence as plain increments.
+	processed, scheduled, remoteRecv, wasted atomic.Int64
+}
 
-// RunOn executes the benchmark on the given backend.
-func RunOn(b tram.Backend, cfg Config) Result {
-	topo := cfg.Tram.Topo
-	W := topo.TotalWorkers()
-	totalLPs := W * cfg.LPsPerWorker
-
-	ws := make([]*workerState, W)
-	for w := range ws {
-		ws[w] = &workerState{
+func newInstance(cfg Config) *instance {
+	W := cfg.Tram.Topo.TotalWorkers()
+	in := &instance{cfg: cfg, lib: tram.U64(), ws: make([]*workerState, W)}
+	for w := range in.ws {
+		in.ws[w] = &workerState{
 			clock: make([]uint64, cfg.LPsPerWorker),
 			rng:   rng.NewStream(cfg.Seed, w),
 		}
 	}
+	in.buildDrains()
+	return in
+}
 
-	// Shared counters are atomics for the concurrent backend; the serial
-	// simulator sees the identical value sequence as plain increments.
-	var processed, remoteRecv, wasted atomic.Int64
-
-	lib := tram.U64()
-
-	schedule := func(ctx tram.Ctx, st *workerState, self int, ts uint64) {
-		// Successor event: advance the timestamp, pick a destination LP.
-		inc := uint64(st.rng.ExpFloat64()*cfg.MeanDelay) + 1
-		nts := ts + inc
-		var gLP int
-		if st.rng.Float64() < cfg.RemoteProb {
-			gLP = st.rng.Intn(totalLPs)
-		} else {
-			gLP = self*cfg.LPsPerWorker + st.rng.Intn(cfg.LPsPerWorker)
-		}
-		owner := gLP / cfg.LPsPerWorker
-		if owner == self {
-			st.pending.push(event{lp: uint32(gLP % cfg.LPsPerWorker), ts: nts})
-			if !st.draining {
-				st.draining = true
-				ctx.Post(st.drain)
-			}
-			return
-		}
-		lib.Insert(ctx, tram.WorkerID(owner), nts<<tsShift|uint64(gLP))
+// schedule creates one successor event: advance the timestamp, pick a
+// destination LP.
+func (in *instance) schedule(ctx tram.Ctx, st *workerState, self int, ts uint64) {
+	cfg := in.cfg
+	totalLPs := len(in.ws) * cfg.LPsPerWorker
+	in.scheduled.Add(1)
+	inc := uint64(st.rng.ExpFloat64()*cfg.MeanDelay) + 1
+	nts := ts + inc
+	var gLP int
+	if st.rng.Float64() < cfg.RemoteProb {
+		gLP = st.rng.Intn(totalLPs)
+	} else {
+		gLP = self*cfg.LPsPerWorker + st.rng.Intn(cfg.LPsPerWorker)
 	}
-
-	// handle executes one event popped from the worker's timestamp-ordered
-	// pending set.
-	handle := func(ctx tram.Ctx, st *workerState, self int, lp uint32, ts uint64) {
-		ctx.Charge(cfg.EventCost)
-		if ts > st.clock[lp] {
-			st.clock[lp] = ts
+	owner := gLP / cfg.LPsPerWorker
+	if owner == self {
+		st.pending.push(event{lp: uint32(gLP % cfg.LPsPerWorker), ts: nts})
+		if !st.draining {
+			st.draining = true
+			ctx.Post(st.drain)
 		}
-		if processed.Add(1) < cfg.EventsBudget {
-			schedule(ctx, st, self, ts)
-		}
+		return
 	}
+	in.lib.Insert(ctx, tram.WorkerID(owner), nts<<tsShift|uint64(gLP))
+}
 
-	for w, st := range ws {
+// handle executes one event popped from the worker's timestamp-ordered
+// pending set.
+func (in *instance) handle(ctx tram.Ctx, st *workerState, self int, lp uint32, ts uint64) {
+	ctx.Charge(in.cfg.EventCost)
+	if ts > st.clock[lp] {
+		st.clock[lp] = ts
+	}
+	if in.processed.Add(1) < in.cfg.EventsBudget {
+		in.schedule(ctx, st, self, ts)
+	}
+}
+
+func (in *instance) buildDrains() {
+	for w, st := range in.ws {
 		st, self := st, w
 		st.drain = func(ctx tram.Ctx) {
 			n := 0
-			for n < cfg.DrainChunk && len(st.pending) > 0 {
+			for n < in.cfg.DrainChunk && len(st.pending) > 0 {
 				ev := st.pending.pop()
 				n++
-				handle(ctx, st, self, ev.lp, ev.ts)
+				in.handle(ctx, st, self, ev.lp, ev.ts)
 			}
 			if len(st.pending) == 0 {
 				st.draining = false
@@ -233,20 +270,23 @@ func RunOn(b tram.Backend, cfg Config) Result {
 			ctx.Post(st.drain)
 		}
 	}
+}
 
-	m, err := lib.Run(b, cfg.Tram, tram.App[uint64]{
+func (in *instance) app() tram.App[uint64] {
+	cfg := in.cfg
+	return tram.App[uint64]{
 		Deliver: func(ctx tram.Ctx, p uint64) {
 			// Remote event arrival. If its LP has already committed past
 			// the event's timestamp, the arrival is out of order: a real
 			// Time Warp engine would roll the LP back. The placeholder
 			// engine counts it (Fig. 18's metric) and executes anyway to
 			// keep the event population constant.
-			st := ws[ctx.Self()]
+			st := in.ws[ctx.Self()]
 			lp := uint32(p&lpMask) % uint32(cfg.LPsPerWorker)
 			ts := p >> tsShift
-			remoteRecv.Add(1)
+			in.remoteRecv.Add(1)
 			if ts < st.clock[lp] {
-				wasted.Add(1)
+				in.wasted.Add(1)
 			}
 			st.pending.push(event{lp: lp, ts: ts})
 			if !st.draining {
@@ -256,7 +296,7 @@ func RunOn(b tram.Backend, cfg Config) Result {
 		},
 		Spawn: func(w tram.WorkerID) (int, tram.KernelFunc) {
 			// One init step per worker: seed the constant event population.
-			st := ws[w]
+			st := in.ws[w]
 			return 1, func(ctx tram.Ctx, _ int) {
 				for lp := 0; lp < cfg.LPsPerWorker; lp++ {
 					for k := 0; k < cfg.PopulationPerLP; k++ {
@@ -270,23 +310,82 @@ func RunOn(b tram.Backend, cfg Config) Result {
 				}
 			}
 		},
+	}
+}
+
+// maxLVT scans the local clocks.
+func (in *instance) maxLVT() uint64 {
+	var m uint64
+	for _, st := range in.ws {
+		for _, c := range st.clock {
+			if c > m {
+				m = c
+			}
+		}
+	}
+	return m
+}
+
+// distReport is one worker process's counters.
+type distReport struct {
+	Processed  int64  `json:"processed"`
+	Scheduled  int64  `json:"scheduled"`
+	RemoteRecv int64  `json:"remote_recv"`
+	Wasted     int64  `json:"wasted"`
+	MaxLVT     uint64 `json:"max_lvt"`
+}
+
+func (in *instance) report() []byte {
+	b, _ := json.Marshal(distReport{
+		Processed:  in.processed.Load(),
+		Scheduled:  in.scheduled.Load(),
+		RemoteRecv: in.remoteRecv.Load(),
+		Wasted:     in.wasted.Load(),
+		MaxLVT:     in.maxLVT(),
 	})
+	return b
+}
+
+// Run executes the benchmark on the simulator.
+func Run(cfg Config) Result { return RunOn(tram.Sim, cfg) }
+
+// RunOn executes the benchmark on the given backend.
+func RunOn(b tram.Backend, cfg Config) Result {
+	in := newInstance(cfg)
+	tcfg := cfg.Tram
+	if tram.IsDist(b) {
+		params, err := json.Marshal(cfg)
+		if err != nil {
+			panic(err)
+		}
+		tcfg.Dist.App = DistName
+		tcfg.Dist.Params = params
+	}
+	m, err := in.lib.Run(b, tcfg, in.app())
 	if err != nil {
 		panic(err)
 	}
 
 	res := Result{
 		Time:       m.Time,
-		Processed:  processed.Load(),
-		RemoteRecv: remoteRecv.Load(),
-		Wasted:     wasted.Load(),
+		Processed:  in.processed.Load(),
+		Scheduled:  in.scheduled.Load(),
+		RemoteRecv: in.remoteRecv.Load(),
+		Wasted:     in.wasted.Load(),
+		MaxLVT:     in.maxLVT(),
 		M:          m,
 	}
-	for _, st := range ws {
-		for _, c := range st.clock {
-			if c > res.MaxLVT {
-				res.MaxLVT = c
-			}
+	for _, blob := range m.Reports {
+		var rep distReport
+		if err := json.Unmarshal(blob, &rep); err != nil {
+			panic(err)
+		}
+		res.Processed += rep.Processed
+		res.Scheduled += rep.Scheduled
+		res.RemoteRecv += rep.RemoteRecv
+		res.Wasted += rep.Wasted
+		if rep.MaxLVT > res.MaxLVT {
+			res.MaxLVT = rep.MaxLVT
 		}
 	}
 	if res.RemoteRecv > 0 {

@@ -22,6 +22,7 @@
 package pingack
 
 import (
+	"encoding/json"
 	"fmt"
 	"time"
 
@@ -30,6 +31,22 @@ import (
 
 // ackFlag marks an ack payload; data payloads carry the node-1 worker index.
 const ackFlag = uint64(1) << 63
+
+// DistName is the ping-ack Dist-backend registration. The kernel's only
+// cross-run result (the ack count) travels through the global reduction, so
+// no report hook is needed.
+const DistName = "pingack"
+
+func init() {
+	tram.RegisterDist(DistName, func(params []byte, _ tram.ProcID) (tram.DistApp, error) {
+		var cfg Config
+		if err := json.Unmarshal(params, &cfg); err != nil {
+			return tram.DistApp{}, err
+		}
+		tc, app := cfg.build()
+		return tram.BindDist(tram.U64(), tc, app, nil)
+	})
+}
 
 // Config parameterizes one PingAck run.
 type Config struct {
@@ -95,11 +112,9 @@ func (cfg Config) topology() tram.Topology {
 	return tram.SMP(2, cfg.ProcsPerNode, cfg.WorkersPerNode/cfg.ProcsPerNode)
 }
 
-// Run executes the benchmark on the simulator.
-func Run(cfg Config) Result { return RunOn(tram.Sim, cfg) }
-
-// RunOn executes the benchmark on the given backend.
-func RunOn(b tram.Backend, cfg Config) Result {
+// build constructs the library configuration and the bound kernel — once per
+// process under Dist, once in-process otherwise.
+func (cfg Config) build() (tram.Config, tram.App[uint64]) {
 	topo := cfg.topology()
 	tc := tram.DefaultConfig(topo, tram.Direct)
 	tc.ItemBytes = cfg.MessageBytes
@@ -119,7 +134,7 @@ func RunOn(b tram.Backend, cfg Config) Result {
 	received := make([]int64, 2*w) // written only by the owning worker
 
 	lib := tram.U64()
-	m, err := lib.Run(b, tc, tram.App[uint64]{
+	return tc, tram.App[uint64]{
 		Deliver: func(ctx tram.Ctx, v uint64) {
 			if v&ackFlag != 0 {
 				ctx.Contribute(1) // ack landed at worker 0
@@ -144,7 +159,25 @@ func RunOn(b tram.Backend, cfg Config) Result {
 				lib.Insert(ctx, dst, payload)
 			}
 		},
-	})
+	}
+}
+
+// Run executes the benchmark on the simulator.
+func Run(cfg Config) Result { return RunOn(tram.Sim, cfg) }
+
+// RunOn executes the benchmark on the given backend.
+func RunOn(b tram.Backend, cfg Config) Result {
+	topo := cfg.topology()
+	tc, app := cfg.build()
+	if tram.IsDist(b) {
+		params, err := json.Marshal(cfg)
+		if err != nil {
+			panic(err)
+		}
+		tc.Dist.App = DistName
+		tc.Dist.Params = params
+	}
+	m, err := tram.U64().Run(b, tc, app)
 	if err != nil {
 		panic(err)
 	}

@@ -26,12 +26,57 @@
 package sssp
 
 import (
+	"encoding/json"
+	"fmt"
 	"sync/atomic"
 	"time"
 
 	"tramlib/internal/graph"
 	"tramlib/tram"
 )
+
+// DistName is the SSSP Dist-backend registration: worker processes rebuild
+// the solver — regenerating the input graph deterministically from
+// Config.Recipe, since the CSR itself never crosses the process boundary —
+// and report their local distance arrays for validation.
+const DistName = "sssp"
+
+func init() {
+	tram.RegisterDist(DistName, func(params []byte, proc tram.ProcID) (tram.DistApp, error) {
+		var cfg Config
+		if err := json.Unmarshal(params, &cfg); err != nil {
+			return tram.DistApp{}, err
+		}
+		if cfg.Recipe == nil {
+			return tram.DistApp{}, fmt.Errorf("sssp: dist run needs Config.Recipe")
+		}
+		s := newSolver(cfg)
+		return tram.BindDist(tram.U64(), cfg.Tram, s.app(), func() []byte { return s.report(proc) })
+	})
+}
+
+// Recipe deterministically regenerates the input graph (the form a graph
+// takes when a run crosses process boundaries). Kind selects the generator.
+type Recipe struct {
+	// Kind is "rmat" (n = 1<<Scale) or "uniform" (n = N).
+	Kind   string `json:"kind"`
+	Scale  int    `json:"scale,omitempty"`
+	N      int    `json:"n,omitempty"`
+	AvgDeg int    `json:"avg_deg"`
+	Seed   uint64 `json:"seed"`
+}
+
+// Build generates the recipe's graph.
+func (r Recipe) Build() (*graph.CSR, error) {
+	switch r.Kind {
+	case "rmat":
+		return graph.GenRMAT(r.Scale, r.AvgDeg, r.Seed), nil
+	case "uniform":
+		return graph.GenUniform(r.N, r.AvgDeg, r.Seed), nil
+	default:
+		return nil, fmt.Errorf("sssp: unknown graph recipe kind %q", r.Kind)
+	}
+}
 
 // Config parameterizes one SSSP run.
 type Config struct {
@@ -40,8 +85,14 @@ type Config struct {
 	// flush-on-idle: SSSP PEs go idle between every update wave, and
 	// flushing WW's N·t buffers on each idle transition degenerates into a
 	// storm of near-empty messages.
-	Tram  tram.Config
-	Graph *graph.CSR
+	Tram tram.Config
+	// Graph is the input CSR. It never crosses a process boundary (the JSON
+	// tag keeps it out of Dist params); runs on the Dist backend set Recipe
+	// instead, and a nil Graph is generated from it on first use.
+	Graph *graph.CSR `json:"-"`
+	// Recipe regenerates the graph deterministically inside Dist worker
+	// processes. Required for RunOn(tram.Dist, ...); optional otherwise.
+	Recipe *Recipe
 	// Source is the source vertex.
 	Source int
 	// Delta is the distance bucket width for local prioritization.
@@ -128,76 +179,101 @@ func RunOn(b tram.Backend, cfg Config) Result { return run(b, cfg, false) }
 // RunOnKeepDist is RunOn retaining the distance arrays.
 func RunOnKeepDist(b tram.Backend, cfg Config) Result { return run(b, cfg, true) }
 
-func run(b tram.Backend, cfg Config, keepDist bool) Result {
-	topo := cfg.Tram.Topo
-	W := topo.TotalWorkers()
-	g := cfg.Graph
-	part := graph.NewPartition(g.N, W)
+// solver is one bound solve: the per-worker states plus the kernel closures
+// over them. Under Dist it is constructed independently in every worker
+// process (with the graph regenerated from the recipe) and its report ships
+// the local distance arrays back to the coordinator.
+type solver struct {
+	cfg  Config
+	g    *graph.CSR
+	part graph.Partition
+	ws   []*worker
+	lib  tram.Lib[uint64]
+	// Shared counters are atomics so the concurrent backends can update
+	// them from every worker goroutine; on the serial simulator the
+	// sequence of values is identical to plain increments.
+	useful, wasted, relaxations atomic.Int64
+}
+
+func newSolver(cfg Config) *solver {
+	if cfg.Graph == nil && cfg.Recipe != nil {
+		g, err := cfg.Recipe.Build()
+		if err != nil {
+			panic(err)
+		}
+		cfg.Graph = g
+	}
+	if cfg.Graph == nil {
+		panic("sssp: Config needs a Graph or a Recipe")
+	}
 	if cfg.Delta == 0 {
 		cfg.Delta = 1
 	}
-
-	ws := make([]*worker, W)
+	W := cfg.Tram.Topo.TotalWorkers()
+	s := &solver{
+		cfg:  cfg,
+		g:    cfg.Graph,
+		part: graph.NewPartition(cfg.Graph.N, W),
+		ws:   make([]*worker, W),
+		lib:  tram.U64(),
+	}
 	for w := 0; w < W; w++ {
-		lo, hi := part.Range(w)
+		lo, hi := s.part.Range(w)
 		st := &worker{lo: lo, hi: hi, dist: make([]uint32, hi-lo), buckets: make([][]uint64, nBuckets)}
 		for i := range st.dist {
 			st.dist[i] = graph.Infinity
 		}
-		ws[w] = st
+		s.ws[w] = st
 	}
+	s.buildDrains()
+	return s
+}
 
-	// Shared counters are atomics so the concurrent backend can update them
-	// from every worker goroutine; on the serial simulator the sequence of
-	// values is identical to plain increments.
-	var useful, wasted, relaxations atomic.Int64
+// enqueueLocal places an improved local vertex into its distance bucket and
+// makes sure a drain pass is posted.
+func (s *solver) enqueueLocal(ctx tram.Ctx, st *worker, v int, d uint32) {
+	bk := int(d/s.cfg.Delta) % nBuckets
+	st.buckets[bk] = append(st.buckets[bk], uint64(v-st.lo)<<32|uint64(d))
+	st.pending++
+	if !st.draining {
+		st.draining = true
+		ctx.Post(st.drain)
+	}
+}
 
-	lib := tram.U64()
+// relax applies a candidate distance to a local vertex.
+func (s *solver) relax(ctx tram.Ctx, st *worker, v int, d uint32) {
+	li := v - st.lo
+	if d >= st.dist[li] {
+		return
+	}
+	st.dist[li] = d
+	s.enqueueLocal(ctx, st, v, d)
+}
 
-	// enqueueLocal places an improved local vertex into its distance bucket
-	// and makes sure a drain pass is posted.
-	enqueueLocal := func(ctx tram.Ctx, st *worker, v int, d uint32) {
-		bk := int(d/cfg.Delta) % nBuckets
-		st.buckets[bk] = append(st.buckets[bk], uint64(v-st.lo)<<32|uint64(d))
-		st.pending++
-		if !st.draining {
-			st.draining = true
-			ctx.Post(st.drain)
+// expand relaxes v's out-edges using its current distance.
+func (s *solver) expand(ctx tram.Ctx, st *worker, li int, d uint32) {
+	v := st.lo + li
+	ts, wts := s.g.Neighbors(v)
+	for i, t := range ts {
+		ctx.Charge(s.cfg.RelaxCost)
+		s.relaxations.Add(1)
+		nd := d + uint32(wts[i])
+		tv := int(t)
+		if tv >= st.lo && tv < st.hi {
+			s.relax(ctx, st, tv, nd)
+			continue
 		}
+		s.lib.Insert(ctx, tram.WorkerID(s.part.Owner(tv)), packUpdate(tv, nd))
 	}
+}
 
-	// relax applies a candidate distance to a local vertex.
-	relax := func(ctx tram.Ctx, st *worker, v int, d uint32) {
-		li := v - st.lo
-		if d >= st.dist[li] {
-			return
-		}
-		st.dist[li] = d
-		enqueueLocal(ctx, st, v, d)
-	}
-
-	// expand relaxes v's out-edges using its current distance.
-	expand := func(ctx tram.Ctx, st *worker, li int, d uint32) {
-		v := st.lo + li
-		ts, wts := g.Neighbors(v)
-		for i, t := range ts {
-			ctx.Charge(cfg.RelaxCost)
-			relaxations.Add(1)
-			nd := d + uint32(wts[i])
-			tv := int(t)
-			if tv >= st.lo && tv < st.hi {
-				relax(ctx, st, tv, nd)
-				continue
-			}
-			lib.Insert(ctx, tram.WorkerID(part.Owner(tv)), packUpdate(tv, nd))
-		}
-	}
-
-	for _, st := range ws {
+func (s *solver) buildDrains() {
+	for _, st := range s.ws {
 		st := st
 		st.drain = func(ctx tram.Ctx) {
 			processed := 0
-			for processed < cfg.DrainChunk && st.pending > 0 {
+			for processed < s.cfg.DrainChunk && st.pending > 0 {
 				// Lowest non-empty bucket first: the threshold
 				// prioritization of §III-D.
 				bk := st.base
@@ -217,7 +293,7 @@ func run(b tram.Backend, cfg Config, keepDist bool) Result {
 					continue
 				}
 				processed++
-				expand(ctx, st, li, d)
+				s.expand(ctx, st, li, d)
 			}
 			if st.pending > 0 {
 				ctx.Post(st.drain)
@@ -226,20 +302,22 @@ func run(b tram.Backend, cfg Config, keepDist bool) Result {
 			st.draining = false
 		}
 	}
+}
 
-	srcOwner := tram.WorkerID(part.Owner(cfg.Source))
-	m, err := lib.Run(b, cfg.Tram, tram.App[uint64]{
+func (s *solver) app() tram.App[uint64] {
+	srcOwner := tram.WorkerID(s.part.Owner(s.cfg.Source))
+	return tram.App[uint64]{
 		Deliver: func(ctx tram.Ctx, p uint64) {
-			ctx.Charge(cfg.UpdateCost)
+			ctx.Charge(s.cfg.UpdateCost)
 			v, d := unpackUpdate(p)
-			st := ws[ctx.Self()]
+			st := s.ws[ctx.Self()]
 			if d >= st.dist[v-st.lo] {
-				wasted.Add(1)
+				s.wasted.Add(1)
 				return
 			}
-			useful.Add(1)
+			s.useful.Add(1)
 			st.dist[v-st.lo] = d
-			enqueueLocal(ctx, st, v, d)
+			s.enqueueLocal(ctx, st, v, d)
 		},
 		Spawn: func(w tram.WorkerID) (int, tram.KernelFunc) {
 			if w != srcOwner {
@@ -247,24 +325,98 @@ func run(b tram.Backend, cfg Config, keepDist bool) Result {
 			}
 			// One seed step: set the source distance and start draining.
 			return 1, func(ctx tram.Ctx, _ int) {
-				st := ws[srcOwner]
-				st.dist[cfg.Source-st.lo] = 0
-				enqueueLocal(ctx, st, cfg.Source, 0)
+				st := s.ws[srcOwner]
+				st.dist[s.cfg.Source-st.lo] = 0
+				s.enqueueLocal(ctx, st, s.cfg.Source, 0)
 			}
 		},
-	})
+	}
+}
+
+// distReport is one worker process's solver results: its own workers'
+// distance arrays (a vertex's distance is only ever written by its owning
+// worker, so every entry appears in exactly one report), placed by First,
+// plus the process's counters.
+type distReport struct {
+	First       int        `json:"first"`
+	Dist        [][]uint32 `json:"dist"`
+	Useful      int64      `json:"useful"`
+	Wasted      int64      `json:"wasted"`
+	Relaxations int64      `json:"relaxations"`
+}
+
+func (s *solver) report(proc tram.ProcID) []byte {
+	topo := s.cfg.Tram.Topo
+	first := int(topo.FirstWorkerOf(proc))
+	rep := distReport{
+		First:       first,
+		Dist:        make([][]uint32, topo.WorkersPerProc),
+		Useful:      s.useful.Load(),
+		Wasted:      s.wasted.Load(),
+		Relaxations: s.relaxations.Load(),
+	}
+	for i := range rep.Dist {
+		rep.Dist[i] = s.ws[first+i].dist
+	}
+	b, err := json.Marshal(rep)
 	if err != nil {
 		panic(err)
+	}
+	return b
+}
+
+// absorb merges per-process reports into the local state (element-wise min,
+// so unreached Infinity entries never overwrite a solved distance).
+func (s *solver) absorb(reports [][]byte) {
+	for _, blob := range reports {
+		var rep distReport
+		if err := json.Unmarshal(blob, &rep); err != nil {
+			panic(err)
+		}
+		s.useful.Add(rep.Useful)
+		s.wasted.Add(rep.Wasted)
+		s.relaxations.Add(rep.Relaxations)
+		for i, arr := range rep.Dist {
+			dst := s.ws[rep.First+i].dist
+			for j, d := range arr {
+				if d < dst[j] {
+					dst[j] = d
+				}
+			}
+		}
+	}
+}
+
+func run(b tram.Backend, cfg Config, keepDist bool) Result {
+	s := newSolver(cfg)
+	tcfg := cfg.Tram
+	if tram.IsDist(b) {
+		if cfg.Recipe == nil {
+			panic("sssp: RunOn(tram.Dist, ...) needs Config.Recipe (the graph is regenerated per process)")
+		}
+		params, err := json.Marshal(cfg)
+		if err != nil {
+			panic(err)
+		}
+		tcfg.Dist.App = DistName
+		tcfg.Dist.Params = params
+	}
+	m, err := s.lib.Run(b, tcfg, s.app())
+	if err != nil {
+		panic(err)
+	}
+	if m.Reports != nil {
+		s.absorb(m.Reports)
 	}
 
 	res := Result{
 		Time:        m.Time,
-		Useful:      useful.Load(),
-		Wasted:      wasted.Load(),
-		Relaxations: relaxations.Load(),
+		Useful:      s.useful.Load(),
+		Wasted:      s.wasted.Load(),
+		Relaxations: s.relaxations.Load(),
 		M:           m,
 	}
-	for _, st := range ws {
+	for _, st := range s.ws {
 		for _, d := range st.dist {
 			if d != graph.Infinity {
 				res.Reached++
@@ -275,8 +427,8 @@ func run(b tram.Backend, cfg Config, keepDist bool) Result {
 		res.WastedNorm = 1000 * float64(res.Wasted) / float64(res.Useful)
 	}
 	if keepDist {
-		res.Dist = make([][]uint32, W)
-		for w, st := range ws {
+		res.Dist = make([][]uint32, len(s.ws))
+		for w, st := range s.ws {
 			res.Dist[w] = st.dist
 		}
 	}

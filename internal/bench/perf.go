@@ -203,5 +203,22 @@ func CorePerf(o Options) Perf {
 			return uint64(r.TotalUpdates), 0
 		}))
 	}
+	// dist-histogram-*: the same kernel across real OS processes (tram.Dist,
+	// 4 worker processes over Unix sockets). Events counts delivered updates
+	// as above, but the updates execute in the worker processes — the alloc
+	// columns therefore gate the *coordinator's* per-item overhead (spawn,
+	// handshake, probe loop, report decode), which must stay near zero, while
+	// wall time records the end-to-end multi-process makespan.
+	for _, s := range []tram.Scheme{tram.WW, tram.WPs, tram.PP} {
+		s := s
+		perf.Points = append(perf.Points, measure("dist-histogram-"+s.String(), func() (uint64, float64) {
+			cfg := histogram.DefaultConfig(cluster.SMP(2, 2, 4), s)
+			cfg.UpdatesPerPE = 1 << 16
+			cfg.SlotsPerPE = 512
+			cfg.Seed = o.Seed
+			r := histogram.RunOn(tram.Dist, cfg)
+			return uint64(r.TotalUpdates), 0
+		}))
+	}
 	return perf
 }

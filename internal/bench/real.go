@@ -176,3 +176,146 @@ func RealPingAck(o Options) *stats.Table {
 func RealTables(o Options) []*stats.Table {
 	return []*stats.Table{RealHistogram(o), RealIndexGather(o), RealPingAck(o)}
 }
+
+// --- dist mode: one address space vs real OS processes ---
+//
+// The -backend dist tables run the same kernels on tram.Real (goroutines in
+// one address space; process boundaries simulated by the scheme wiring) and
+// on tram.Dist (each ProcID a real OS process; cross-proc batches framed
+// over Unix sockets). For the first time WW vs WPs vs PP differ by a *real*
+// process-boundary cost: the dist column pays encode + syscall + decode on
+// every process-crossing batch, so the aggregating schemes' advantage over
+// Direct (and the SMP-aware schemes' advantage over WW) is measured, not
+// modelled. Runs execute strictly one at a time so each owns the host.
+
+// DistHistogram returns the histogram real-vs-dist table, checking dist
+// tables element-wise against the real run's.
+func DistHistogram(o Options) *stats.Table {
+	o = o.normalized()
+	topo := realTopo()
+	z := o.items(1 << 16)
+	const g = 1024
+
+	tb := stats.NewTable(
+		fmt.Sprintf("Dist histogram: %d updates/PE on %v (%d OS processes), real vs dist",
+			z, topo, topo.TotalProcs()),
+		"scheme", "real_ms", "dist_ms", "dist_batches", "dist_deadline_flush", "tables_ok")
+
+	for _, s := range realSchemes {
+		cfg := histoConfig(o, topo, s, z, g)
+		real := histogram.RunOn(tram.Real, cfg)
+		o.progressf("dist-histogram real %v done: %v", s, real.M.Wall)
+		dist := histogram.RunOn(tram.Dist, cfg)
+		o.progressf("dist-histogram dist %v done: %v (%d batches)", s, dist.M.Wall, dist.M.Batches)
+
+		ok := "yes"
+		expected := int64(topo.TotalWorkers()) * int64(z)
+		if dist.TotalUpdates != expected || dist.CheckSum != expected {
+			ok = "NO"
+		}
+		for w := range real.Tables {
+			for sl := range real.Tables[w] {
+				if real.Tables[w][sl] != dist.Tables[w][sl] {
+					ok = "NO"
+				}
+			}
+		}
+		tb.AddRowf(s.String(),
+			float64(real.M.Wall)/1e6,
+			float64(dist.M.Wall)/1e6,
+			dist.M.Batches,
+			dist.M.DeadlineFlushes,
+			ok)
+	}
+	return tb
+}
+
+// DistIndexGather returns the index-gather real-vs-dist latency table: the
+// dist column's request latency includes the real wire hop.
+func DistIndexGather(o Options) *stats.Table {
+	o = o.normalized()
+	topo := realTopo()
+	z := o.items(1 << 15)
+	igSchemes := []tram.Scheme{tram.WW, tram.WPs, tram.PP}
+
+	tb := stats.NewTable(
+		fmt.Sprintf("Dist index-gather: %d requests/PE on %v (%d OS processes), request latency",
+			z, topo, topo.TotalProcs()),
+		"scheme", "real_mean_us", "dist_mean_us", "dist_p99_us", "dist_ms", "responses_ok")
+
+	igConfig := func(s tram.Scheme) indexgather.Config {
+		cfg := indexgather.DefaultConfig(topo, s)
+		cfg.RequestsPerPE = z
+		cfg.Seed = o.Seed
+		return cfg
+	}
+	for _, s := range igSchemes {
+		real := indexgather.RunOn(tram.Real, igConfig(s))
+		o.progressf("dist-ig real %v done: lat=%.0fns", s, real.Latency.Mean())
+		dist := indexgather.RunOn(tram.Dist, igConfig(s))
+		o.progressf("dist-ig dist %v done: lat=%.0fns", s, dist.Latency.Mean())
+
+		ok := "yes"
+		want := int64(topo.TotalWorkers()) * int64(z)
+		if dist.Responses != want || real.Responses != want {
+			ok = "NO"
+		}
+		tb.AddRowf(s.String(),
+			real.Latency.Mean()/1e3,
+			dist.Latency.Mean()/1e3,
+			float64(dist.Latency.Quantile(0.99))/1e3,
+			float64(dist.M.Wall)/1e6,
+			ok)
+	}
+	return tb
+}
+
+// DistPingAck returns the ping-ack real-vs-dist table: the per-message cost
+// of the socket transport vs the in-process inbox (the Direct wiring ships
+// every item as its own frame, so this is the worst case the aggregating
+// schemes amortize).
+func DistPingAck(o Options) *stats.Table {
+	o = o.normalized()
+	const workers = 8
+	msgs := o.items(1 << 14)
+	perPE := msgs / workers
+	if perPE == 0 {
+		perPE = 1
+	}
+	sent := perPE * workers
+
+	tb := stats.NewTable(
+		fmt.Sprintf("Dist ping-ack: %d messages, %d workers/node, real vs dist", sent, workers),
+		"config", "real_ms", "dist_ms", "dist_msgs_per_sec", "acks_ok")
+
+	for _, procs := range []int{1, 2, 4} {
+		cfg := pingack.DefaultConfig()
+		cfg.WorkersPerNode = workers
+		cfg.TotalMessages = msgs
+		cfg.ProcsPerNode = procs
+		real := pingack.RunOn(tram.Real, cfg)
+		o.progressf("dist-pingack real procs=%d done: %v", procs, real.M.Wall)
+		dist := pingack.RunOn(tram.Dist, cfg)
+		o.progressf("dist-pingack dist procs=%d done: %v", procs, dist.M.Wall)
+
+		rate := 0.0
+		if dist.M.Wall > 0 {
+			rate = float64(sent) / dist.M.Wall.Seconds()
+		}
+		ok := "yes"
+		if real.Acks != workers || dist.Acks != workers {
+			ok = "NO"
+		}
+		tb.AddRowf(fmt.Sprintf("SMP %dp", procs),
+			float64(real.M.Wall)/1e6,
+			float64(dist.M.Wall)/1e6,
+			rate,
+			ok)
+	}
+	return tb
+}
+
+// DistTables runs every real-vs-dist comparison (the -backend dist mode).
+func DistTables(o Options) []*stats.Table {
+	return []*stats.Table{DistHistogram(o), DistIndexGather(o), DistPingAck(o)}
+}

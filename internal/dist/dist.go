@@ -1,0 +1,555 @@
+// Package dist is the multi-process execution layer of the Dist backend: it
+// runs each ProcID of a topology as a real OS process on one machine,
+// coordinated by the parent over Unix-domain sockets, with the aggregated
+// batches of internal/rt's partitioned mode framed by internal/wire.
+//
+// # Process model
+//
+// The coordinator (the process that called Run) spawns one worker per
+// ProcID by re-executing its own binary with TRAMLIB_DIST_PROC set; worker
+// processes detect the environment in WorkerMain — called first thing in
+// main (or TestMain) — build the registered application from the
+// coordinator-supplied name/params, and never reach the program's normal
+// flow. Intra-process traffic stays in shared memory (internal/shmem
+// buffers, exactly as the Real backend wires them); only process-crossing
+// batches are encoded onto the full mesh of worker-to-worker sockets.
+//
+// # Handshake
+//
+//	worker  -> parent   Hello       (connects to the control socket)
+//	parent  -> worker   Setup       (app name/params, proc count, frame cap, config digest)
+//	worker  -> parent   Listening   (data listener up; echoes its config digest)
+//	parent  -> worker   Connect     (all listeners up: dial lower-numbered peers)
+//	worker  -> parent   Ready       (full mesh established, inbound and outbound)
+//	parent  -> worker   Start       (run kernels)
+//
+// # Distributed quiescence
+//
+// Each worker's runtime counts items it ships to (sent) and receives from
+// (recv) other processes — monotone counters maintained so an in-flight item
+// is always visible either in the local in-flight count or in the global
+// sent-recv imbalance. The coordinator runs Mattern-style four-counter
+// termination detection over probe rounds: it declares global quiescence
+// after two consecutive rounds in which every worker reports itself locally
+// quiet, every worker's counters are unchanged from the previous round, and
+// the global sent and recv totals balance. Each worker's probe reply is a
+// consistent local snapshot — the quiet predicate is sandwiched between two
+// counter reads and demoted to non-quiet if they moved (snapshotCounts) —
+// which is what makes the classical proof carry over to a multi-threaded
+// process. Workers push Quiet hints when
+// they transition to local quiescence so detection follows completion by a
+// couple of probe round-trips rather than a polling interval. On success the
+// coordinator broadcasts Finish; each worker stops its runtime, serializes
+// its application report, and exits.
+package dist
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+
+	"tramlib/internal/rt"
+	"tramlib/internal/wire"
+)
+
+// Config parameterizes one distributed run.
+type Config struct {
+	// RT is the runtime configuration every worker process runs (Part must
+	// be nil; each worker installs its own partition). The coordinator uses
+	// it for the process count and the config digest the workers must match.
+	RT rt.Config
+	// Name and Params identify the application for the workers' BuildFunc.
+	Name   string
+	Params []byte
+
+	// SockDir is where the run's socket directory is created ("" uses the
+	// system temp dir). Unix socket paths are length-limited (~100 bytes),
+	// so keep it short.
+	SockDir string
+	// StartTimeout bounds spawn plus handshake plus final-report collection
+	// (not the application run itself). <= 0 selects 30s.
+	StartTimeout time.Duration
+	// ProbeInterval is the idle pacing of quiescence probe rounds; Quiet
+	// hints from workers trigger immediate rounds regardless. <= 0 selects
+	// 250µs.
+	ProbeInterval time.Duration
+	// MaxFrameBytes caps data-plane frames. <= 0 selects
+	// wire.DefaultMaxFrameBytes.
+	MaxFrameBytes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.StartTimeout <= 0 {
+		c.StartTimeout = 30 * time.Second
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 250 * time.Microsecond
+	}
+	if c.MaxFrameBytes <= 0 {
+		c.MaxFrameBytes = wire.DefaultMaxFrameBytes
+	}
+	return c
+}
+
+// ProcResult is one worker process's contribution to a run.
+type ProcResult struct {
+	// RT is the worker's local runtime result (its metrics cover the items
+	// its workers inserted/delivered; sum across procs for global totals).
+	RT rt.Result
+	// Report is the application's opaque per-process report (App.Report).
+	Report []byte
+}
+
+// Result reports one completed distributed run.
+type Result struct {
+	// Wall is the coordinator-measured makespan: Start broadcast to proven
+	// global quiescence (it includes up to two probe round-trips of
+	// detection latency, not the workers' final-report serialization).
+	Wall time.Duration
+	// Procs holds each process's result, indexed by ProcID.
+	Procs []ProcResult
+}
+
+// event is one control-plane message as seen by the coordinator loop.
+type event struct {
+	proc int
+	op   uint32
+	f    wire.Frame
+	err  error // read error; io.EOF after Done is a clean exit
+}
+
+// ctrlPath is the coordinator's control socket inside the run directory.
+func ctrlPath(dir string) string { return filepath.Join(dir, "ctrl.sock") }
+
+// Run executes one distributed run: spawn, handshake, probe to global
+// quiescence, collect reports. The calling binary must invoke WorkerMain
+// (via tram.Main or directly) before its normal flow, or the spawned
+// children will not act as workers.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.RT.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.RT.Part != nil {
+		return Result{}, fmt.Errorf("dist: Config.RT must not be partitioned")
+	}
+	P := cfg.RT.Topo.TotalProcs()
+
+	dir, err := os.MkdirTemp(cfg.SockDir, "tram-dist-*")
+	if err != nil {
+		return Result{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	ln, err := net.Listen("unix", ctrlPath(dir))
+	if err != nil {
+		return Result{}, err
+	}
+	defer ln.Close()
+
+	exe, err := os.Executable()
+	if err != nil {
+		return Result{}, fmt.Errorf("dist: resolve executable: %w", err)
+	}
+
+	co := &coordinator{
+		cfg:     cfg,
+		P:       P,
+		dir:     dir,
+		waitErr: make(chan error, P),
+		events:  make(chan event, 4*P),
+		ctrls:   make([]*ctrlConn, P),
+		done:    make(chan struct{}),
+	}
+	// Tear the control plane down on every exit path: closing done releases
+	// reader goroutines blocked sending on the bounded events channel, and
+	// closing the connections releases readers blocked in recv — without
+	// this, each failed run would leak up to P goroutines and fds for the
+	// life of the process (bench tables and the conformance suite run many
+	// dist runs per process).
+	defer func() {
+		close(co.done)
+		for _, cc := range co.ctrls {
+			if cc != nil {
+				cc.conn.Close()
+			}
+		}
+	}()
+
+	for p := 0; p < P; p++ {
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(),
+			fmt.Sprintf("%s=%d", envProc, p),
+			fmt.Sprintf("%s=%s", envCtrl, ctrlPath(dir)),
+		)
+		cmd.Stdout = os.Stderr // a worker must never pollute the parent's stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			co.killAndReap()
+			return Result{}, fmt.Errorf("dist: spawn worker %d: %w", p, err)
+		}
+		co.cmds = append(co.cmds, cmd)
+		co.unreaped++
+		go func(c *exec.Cmd, p int) {
+			if err := c.Wait(); err != nil {
+				co.waitErr <- fmt.Errorf("worker %d: %w", p, err)
+			} else {
+				co.waitErr <- nil
+			}
+		}(cmd, p)
+	}
+
+	res, err := co.run(ln)
+	if err != nil {
+		co.killAndReap()
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// coordinator holds the parent-side state of one run.
+type coordinator struct {
+	cfg      Config
+	P        int
+	dir      string
+	cmds     []*exec.Cmd
+	waitErr  chan error
+	unreaped int // workers not yet reaped via waitErr
+	events   chan event
+	ctrls    []*ctrlConn
+	done     chan struct{} // closed on teardown; releases blocked readers
+}
+
+// reapOne consumes one waitErr message.
+func (co *coordinator) reapOne() error {
+	err := <-co.waitErr
+	co.unreaped--
+	return err
+}
+
+// killAndReap force-terminates every remaining worker and reaps it.
+func (co *coordinator) killAndReap() {
+	for _, c := range co.cmds {
+		if c.Process != nil {
+			_ = c.Process.Kill()
+		}
+	}
+	for co.unreaped > 0 {
+		co.reapOne()
+	}
+}
+
+// run drives the protocol: handshake, probing, report collection.
+func (co *coordinator) run(ln net.Listener) (Result, error) {
+	cfg, P := co.cfg, co.P
+	timeout := time.NewTimer(cfg.StartTimeout)
+	defer timeout.Stop()
+
+	// Accept the P control connections; each identifies itself with Hello,
+	// then gets a reader goroutine feeding the event channel.
+	acceptErr := make(chan error, 1)
+	go func() {
+		for i := 0; i < P; i++ {
+			c, err := ln.Accept()
+			if err != nil {
+				acceptErr <- err
+				return
+			}
+			cc := newCtrlConn(c)
+			f, err := cc.recv()
+			if err != nil || f.Dest != opHello || int(f.Source) >= P {
+				acceptErr <- fmt.Errorf("dist: bad hello (err=%v)", err)
+				return
+			}
+			p := int(f.Source)
+			if co.ctrls[p] != nil {
+				acceptErr <- fmt.Errorf("dist: duplicate hello from proc %d", p)
+				return
+			}
+			co.ctrls[p] = cc
+			go func(p int, cc *ctrlConn) {
+				for {
+					f, err := cc.recv()
+					if err != nil {
+						select {
+						case co.events <- event{proc: p, err: err}:
+						case <-co.done:
+						}
+						return
+					}
+					select {
+					case co.events <- event{proc: p, op: f.Dest, f: cloneFrame(f)}:
+					case <-co.done:
+						return
+					}
+				}
+			}(p, cc)
+		}
+		acceptErr <- nil
+	}()
+	select {
+	case err := <-acceptErr:
+		if err != nil {
+			return Result{}, err
+		}
+	case err := <-co.waitErr:
+		co.unreaped--
+		return Result{}, fmt.Errorf("dist: worker exited during handshake: %v", err)
+	case <-timeout.C:
+		return Result{}, fmt.Errorf("dist: handshake timeout (%v) waiting for hellos", cfg.StartTimeout)
+	}
+
+	digest := configDigest(cfg.RT)
+	if err := co.broadcast(opSetup, setupMsg{
+		Name:          cfg.Name,
+		Params:        cfg.Params,
+		Procs:         P,
+		Dir:           co.dir,
+		MaxFrameBytes: cfg.MaxFrameBytes,
+		Digest:        digest,
+	}); err != nil {
+		return Result{}, err
+	}
+	listens, err := co.collect(opListening, "listen phase", timeout, false)
+	if err != nil {
+		return Result{}, err
+	}
+	for p, f := range listens {
+		lm, err := decode[listeningMsg](f)
+		if err != nil {
+			return Result{}, err
+		}
+		if lm.Digest != digest {
+			return Result{}, fmt.Errorf("dist: worker %d config digest %q != coordinator %q", p, lm.Digest, digest)
+		}
+	}
+	if err := co.broadcast(opConnect, nil); err != nil {
+		return Result{}, err
+	}
+	if _, err := co.collect(opReady, "connect phase", timeout, false); err != nil {
+		return Result{}, err
+	}
+	if err := co.broadcast(opStart, nil); err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+
+	if err := co.probeToQuiescence(); err != nil {
+		return Result{}, err
+	}
+	wall := time.Since(start)
+
+	// Proven quiet: stop the workers and collect their reports. Workers
+	// exit right after Done, so clean EOFs/exits are expected here.
+	if err := co.broadcast(opFinish, nil); err != nil {
+		return Result{}, err
+	}
+	resetTimer(timeout, cfg.StartTimeout)
+	dones, err := co.collect(opDone, "report phase", timeout, true)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Wall: wall, Procs: make([]ProcResult, P)}
+	for p, f := range dones {
+		dm, err := decode[doneMsg](f)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Procs[p] = ProcResult{RT: dm.Result, Report: dm.Report}
+	}
+	// Reap the remaining workers (collect may have reaped some already).
+	for co.unreaped > 0 {
+		select {
+		case err := <-co.waitErr:
+			co.unreaped--
+			if err != nil {
+				return Result{}, fmt.Errorf("dist: %v", err)
+			}
+		case <-timeout.C:
+			return Result{}, fmt.Errorf("dist: timeout waiting for worker exit")
+		}
+	}
+	return res, nil
+}
+
+func (co *coordinator) broadcast(op uint32, msg any) error {
+	for _, cc := range co.ctrls {
+		if err := cc.send(0, op, msg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// collect waits for one frame of the given op from every worker. With
+// exitOK, clean worker exits and post-reply EOFs are tolerated (the report
+// phase); otherwise any exit or read error is fatal.
+func (co *coordinator) collect(op uint32, phase string, timeout *time.Timer, exitOK bool) ([]wire.Frame, error) {
+	got := make([]wire.Frame, co.P)
+	seen := 0
+	for seen < co.P {
+		select {
+		case ev := <-co.events:
+			if ev.err != nil {
+				if exitOK && got[ev.proc].Kind != wire.KindInvalid {
+					continue // EOF after its reply: the worker is done
+				}
+				return nil, fmt.Errorf("dist: worker %d control error during %s: %v", ev.proc, phase, ev.err)
+			}
+			switch ev.op {
+			case op:
+				if got[ev.proc].Kind == wire.KindInvalid {
+					seen++
+				}
+				got[ev.proc] = ev.f
+			case opQuiet:
+				// Harmless hint; ignore.
+			case opError:
+				em, _ := decode[errorMsg](ev.f)
+				return nil, fmt.Errorf("dist: worker %d failed: %s", ev.proc, em.Msg)
+			default:
+				return nil, fmt.Errorf("dist: unexpected op %d from worker %d during %s", ev.op, ev.proc, phase)
+			}
+		case err := <-co.waitErr:
+			co.unreaped--
+			if err != nil {
+				return nil, fmt.Errorf("dist: %v (during %s)", err, phase)
+			}
+			if !exitOK {
+				return nil, fmt.Errorf("dist: worker exited prematurely during %s", phase)
+			}
+		case <-timeout.C:
+			return nil, fmt.Errorf("dist: timeout (%v) during %s", co.cfg.StartTimeout, phase)
+		}
+	}
+	return got, nil
+}
+
+// probeToQuiescence runs four-counter termination detection: repeat probe
+// rounds until two consecutive rounds agree on unchanged per-worker counters
+// with everyone locally quiet and globally sent == recv.
+func (co *coordinator) probeToQuiescence() error {
+	type obs struct {
+		sent, recv int64
+		quiet      bool
+	}
+	var prev []obs
+	prevBalanced := false
+	round := 0
+	for {
+		round++
+		if err := co.broadcast(opProbe, countsMsg{Round: round}); err != nil {
+			return err
+		}
+		cur := make([]obs, co.P)
+		replied := make([]bool, co.P)
+		seen := 0
+		for seen < co.P {
+			select {
+			case ev := <-co.events:
+				if ev.err != nil {
+					return fmt.Errorf("dist: worker %d control error mid-run: %v", ev.proc, ev.err)
+				}
+				switch ev.op {
+				case opCounts:
+					cm, err := decode[countsMsg](ev.f)
+					if err != nil {
+						return err
+					}
+					if cm.Round != round {
+						continue // stale reply from an earlier round
+					}
+					if !replied[ev.proc] {
+						replied[ev.proc] = true
+						seen++
+					}
+					cur[ev.proc] = obs{sent: cm.Sent, recv: cm.Recv, quiet: cm.Quiet}
+				case opQuiet:
+					// Hint only; the counters decide.
+				case opError:
+					em, _ := decode[errorMsg](ev.f)
+					return fmt.Errorf("dist: worker %d failed: %s", ev.proc, em.Msg)
+				default:
+					return fmt.Errorf("dist: unexpected op %d mid-run", ev.op)
+				}
+			case err := <-co.waitErr:
+				co.unreaped--
+				return fmt.Errorf("dist: worker exited mid-run: %v", err)
+			}
+		}
+		var sent, recv int64
+		allQuiet := true
+		for _, o := range cur {
+			sent += o.sent
+			recv += o.recv
+			if !o.quiet {
+				allQuiet = false
+			}
+		}
+		balanced := allQuiet && sent == recv
+		if balanced && prevBalanced && sameObs(prev, cur) {
+			return nil
+		}
+		prev, prevBalanced = prevObs(cur), balanced
+		if !balanced {
+			// Still working: pace the next round, but let a Quiet hint (or
+			// a failure) cut the wait short.
+			select {
+			case ev := <-co.events:
+				if ev.err != nil {
+					return fmt.Errorf("dist: worker %d control error mid-run: %v", ev.proc, ev.err)
+				}
+				if ev.op == opError {
+					em, _ := decode[errorMsg](ev.f)
+					return fmt.Errorf("dist: worker %d failed: %s", ev.proc, em.Msg)
+				}
+			case err := <-co.waitErr:
+				co.unreaped--
+				return fmt.Errorf("dist: worker exited mid-run: %v", err)
+			case <-time.After(co.cfg.ProbeInterval):
+			}
+		}
+	}
+}
+
+// prevObs copies an observation vector (cur is reused next round).
+func prevObs[T any](cur []T) []T {
+	out := make([]T, len(cur))
+	copy(out, cur)
+	return out
+}
+
+func sameObs[T comparable](a, b []T) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// resetTimer drains and restarts a possibly-fired timer.
+func resetTimer(t *time.Timer, d time.Duration) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	t.Reset(d)
+}
+
+// cloneFrame deep-copies a frame so it survives the reader's buffer reuse
+// (coordinator events cross a channel).
+func cloneFrame(f wire.Frame) wire.Frame {
+	p := make([]byte, len(f.Payload))
+	copy(p, f.Payload)
+	f.Payload = p
+	return f
+}

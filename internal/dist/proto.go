@@ -1,0 +1,137 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"tramlib/internal/rt"
+	"tramlib/internal/wire"
+)
+
+// Control opcodes, carried in the Dest field of wire.KindControl frames. The
+// coordinator (parent) and its worker processes speak them over the control
+// socket; opPeerHello is the one opcode on worker-to-worker data connections.
+const (
+	opHello     uint32 = iota + 1 // worker -> parent: here I am (Source = proc)
+	opSetup                       // parent -> worker: app identity + run layout
+	opListening                   // worker -> parent: my data listener is up
+	opConnect                     // parent -> worker: all listeners up; dial your peers
+	opReady                       // worker -> parent: peer dials done
+	opStart                       // parent -> worker: run the kernels
+	opQuiet                       // worker -> parent: I transitioned to local quiescence (hint)
+	opProbe                       // parent -> worker: report your counters
+	opCounts                      // worker -> parent: termination-detection counters
+	opFinish                      // parent -> worker: global quiescence proven; stop and report
+	opDone                        // worker -> parent: final result + application report
+	opError                       // worker -> parent: fatal error text
+	opPeerHello                   // worker -> worker: identifies the dialing process
+)
+
+// setupMsg is the opSetup payload: everything a worker needs to build the
+// application and join the mesh.
+type setupMsg struct {
+	// Name and Params identify the registered application; the worker's
+	// build function reconstructs the run configuration from them.
+	Name   string `json:"name"`
+	Params []byte `json:"params,omitempty"`
+	// Procs is the process count; Dir holds the per-proc data sockets
+	// (p<p>.sock, see sockPath).
+	Procs int    `json:"procs"`
+	Dir   string `json:"dir"`
+	// MaxFrameBytes caps data-connection frames.
+	MaxFrameBytes int `json:"max_frame_bytes"`
+	// Digest is the parent's fingerprint of the runtime configuration; the
+	// worker must derive the same one from its rebuilt config (a mismatch
+	// means the registered builder and the caller disagree about the run).
+	Digest string `json:"digest"`
+}
+
+// listeningMsg is the opListening payload.
+type listeningMsg struct {
+	Digest string `json:"digest"`
+}
+
+// countsMsg is the opCounts payload: one observation of the four-counter
+// termination scheme. Sent/Recv are the monotone cross-process item counters;
+// Quiet is the local-quiescence snapshot taken between reading them.
+type countsMsg struct {
+	Round int   `json:"round"`
+	Sent  int64 `json:"sent"`
+	Recv  int64 `json:"recv"`
+	Quiet bool  `json:"quiet"`
+}
+
+// doneMsg is the opDone payload: the worker's local runtime result and the
+// application's opaque report.
+type doneMsg struct {
+	Result rt.Result `json:"result"`
+	Report []byte    `json:"report,omitempty"`
+}
+
+// errorMsg is the opError payload.
+type errorMsg struct {
+	Msg string `json:"msg"`
+}
+
+// ctrlConn is a frame-oriented control connection: JSON control frames with
+// a write lock (the worker side sends Quiet hints from the runtime's notify
+// goroutine concurrently with Counts replies from the control loop).
+type ctrlConn struct {
+	conn net.Conn
+	rd   *wire.Reader
+	mu   sync.Mutex
+	buf  []byte
+}
+
+func newCtrlConn(conn net.Conn) *ctrlConn {
+	// Control frames are small except the final report; allow the default
+	// (generous) frame cap rather than the data-plane limit.
+	return &ctrlConn{conn: conn, rd: wire.NewReader(conn, wire.DefaultMaxFrameBytes)}
+}
+
+// send marshals msg (nil for opcode-only frames) and writes one control frame.
+func (c *ctrlConn) send(source uint32, opcode uint32, msg any) error {
+	var doc []byte
+	if msg != nil {
+		var err error
+		doc, err = json.Marshal(msg)
+		if err != nil {
+			return err
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.buf = wire.AppendControl(c.buf[:0], source, opcode, doc)
+	_, err := c.conn.Write(c.buf)
+	return err
+}
+
+// recv reads the next control frame.
+func (c *ctrlConn) recv() (wire.Frame, error) {
+	f, err := c.rd.Next()
+	if err != nil {
+		return f, err
+	}
+	if f.Kind != wire.KindControl {
+		return f, fmt.Errorf("dist: unexpected %v frame on control connection", f.Kind)
+	}
+	return f, nil
+}
+
+// decode unmarshals a control frame's JSON payload.
+func decode[T any](f wire.Frame) (T, error) {
+	var v T
+	if err := json.Unmarshal(f.Payload, &v); err != nil {
+		return v, fmt.Errorf("dist: bad op %d payload: %w", f.Dest, err)
+	}
+	return v, nil
+}
+
+// configDigest fingerprints the parts of an rt.Config that every process must
+// agree on (the partition itself is per-process).
+func configDigest(cfg rt.Config) string {
+	return fmt.Sprintf("topo=%v scheme=%v g=%d deadline=%v chunk=%d",
+		cfg.Topo, cfg.Scheme, cfg.BufferItems, cfg.FlushDeadline, cfg.ChunkSize)
+}

@@ -1,0 +1,483 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+
+	"tramlib/internal/cluster"
+	"tramlib/internal/rt"
+	"tramlib/internal/wire"
+)
+
+// Environment variables marking a process as a dist worker. The coordinator
+// sets them on the self-exec'd children; WorkerMain reads them.
+const (
+	envProc = "TRAMLIB_DIST_PROC"
+	envCtrl = "TRAMLIB_DIST_CTRL"
+)
+
+// App is one worker process's share of a distributed run: the full-topology
+// runtime configuration (the worker installs its own partition), the
+// word-level application callbacks, and an optional post-run report.
+type App struct {
+	// RT is the runtime configuration, identical in every process (Part is
+	// owned by the worker and must be nil).
+	RT rt.Config
+	// Deliver and Spawn are the application callbacks internal/rt executes.
+	// Spawn is consulted only for the local process's workers.
+	Deliver rt.DeliverFunc
+	Spawn   rt.SpawnFunc
+	// Report, if non-nil, serializes the process's application results after
+	// quiescence (it runs after every worker goroutine has exited). The
+	// coordinator returns the bytes verbatim in ProcResult.Report.
+	Report func() []byte
+}
+
+// BuildFunc reconstructs a registered application inside a worker process
+// from the name/params the coordinator was given. It must derive the exact
+// configuration the coordinating process runs with (the handshake verifies a
+// digest of it).
+type BuildFunc func(name string, params []byte, proc cluster.ProcID) (App, error)
+
+// WorkerMain is the worker-process entry point: programs that run the Dist
+// backend call it first thing in main (tram.Main does). If the dist worker
+// environment is present the call never returns — it runs the worker to
+// completion and exits the process; otherwise it returns immediately.
+func WorkerMain(build BuildFunc) {
+	procStr := os.Getenv(envProc)
+	if procStr == "" {
+		return
+	}
+	proc, err := strconv.Atoi(procStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dist worker: bad %s=%q\n", envProc, procStr)
+		os.Exit(1)
+	}
+	if err := runWorker(cluster.ProcID(proc), os.Getenv(envCtrl), build); err != nil {
+		fmt.Fprintf(os.Stderr, "dist worker %d: %v\n", proc, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// peer is one data connection to another worker process.
+type peer struct {
+	conn net.Conn
+	mu   sync.Mutex
+	// Scratch reused under mu across batch encodes.
+	buf   []byte
+	items []wire.Item
+	runs  []wire.Run
+}
+
+// transport implements rt.Remote over the peer mesh.
+type transport struct {
+	self  uint32
+	topo  cluster.Topology
+	peers []*peer // by ProcID; nil for self
+	rtm   *rt.Runtime
+}
+
+func (t *transport) peerOf(w cluster.WorkerID) *peer { return t.peers[t.topo.ProcOf(w)] }
+
+func (t *transport) SendOne(dest cluster.WorkerID, value uint64) {
+	p := t.peerOf(dest)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var one [1]uint64
+	one[0] = value
+	p.buf = wire.AppendPayloads(p.buf[:0], t.self, uint32(dest), one[:], false)
+	p.write()
+}
+
+func (t *transport) SendPayloads(dest cluster.WorkerID, payloads []uint64, full bool) {
+	p := t.peerOf(dest)
+	p.mu.Lock()
+	p.buf = wire.AppendPayloads(p.buf[:0], t.self, uint32(dest), payloads, full)
+	p.write()
+	p.mu.Unlock()
+	t.rtm.RecyclePayloads(payloads)
+}
+
+func (t *transport) SendItems(dest cluster.ProcID, items []rt.Item, full bool) {
+	p := t.peers[dest]
+	p.mu.Lock()
+	p.items = p.items[:0]
+	for _, it := range items {
+		p.items = append(p.items, wire.Item{Dest: uint32(it.Dest), Val: it.Val})
+	}
+	p.buf = wire.AppendItems(p.buf[:0], t.self, uint32(dest), p.items, full)
+	p.write()
+	p.mu.Unlock()
+	t.rtm.RecycleItems(items)
+}
+
+func (t *transport) SendRuns(dest cluster.ProcID, runs []rt.Run, full bool) {
+	p := t.peers[dest]
+	p.mu.Lock()
+	p.runs = p.runs[:0]
+	for _, r := range runs {
+		p.runs = append(p.runs, wire.Run{Dest: uint32(r.Dest), Payloads: r.Payloads})
+	}
+	p.buf = wire.AppendRuns(p.buf[:0], t.self, uint32(dest), p.runs, full)
+	p.write()
+	p.mu.Unlock()
+	for _, r := range runs {
+		t.rtm.RecyclePayloads(r.Payloads)
+	}
+}
+
+// write flushes p.buf to the connection. A write error is fatal to the run
+// (the coordinator sees the process exit); panicking unwinds the worker
+// goroutine with a diagnosable message rather than silently dropping items.
+func (p *peer) write() {
+	if _, err := p.conn.Write(p.buf); err != nil {
+		panic(fmt.Sprintf("dist: peer write: %v", err))
+	}
+}
+
+// sockPath returns process p's data socket inside the run directory.
+func sockPath(dir string, p int) string {
+	return filepath.Join(dir, fmt.Sprintf("p%d.sock", p))
+}
+
+// snapshotCounts takes the consistent local observation the four-counter
+// termination proof needs: (sent, recv, locally-quiet) as one atomic-enough
+// snapshot. The control goroutine reads concurrently with the worker
+// goroutines, so a receive→deliver→respond sequence could otherwise land
+// entirely between a counter read and the quiet read — making the reply
+// claim an *older* counter state together with quiet, which can balance
+// globally while a message chain is still in flight (observed as premature
+// Finish under load). Sandwiching the quiet read between two counter reads
+// closes that window: any hidden hop bumps a monotone counter, and a
+// counter-silent local task chain overlapping the quiet read reports
+// non-quiet by itself.
+func snapshotCounts(rtm *rt.Runtime) (sent, recv int64, quiet bool) {
+	s1, r1 := rtm.CrossCounts()
+	quiet = rtm.LocallyQuiet()
+	s2, r2 := rtm.CrossCounts()
+	if s1 != s2 || r1 != r2 {
+		// Counters moved mid-snapshot: the process is demonstrably active.
+		return s2, r2, false
+	}
+	return s1, r1, quiet
+}
+
+// runWorker executes one worker process from handshake to final report.
+func runWorker(proc cluster.ProcID, ctrlPath string, build BuildFunc) error {
+	if ctrlPath == "" {
+		return fmt.Errorf("missing %s", envCtrl)
+	}
+	conn, err := net.Dial("unix", ctrlPath)
+	if err != nil {
+		return fmt.Errorf("dial control: %w", err)
+	}
+	defer conn.Close()
+	ctrl := newCtrlConn(conn)
+	self := uint32(proc)
+
+	fail := func(err error) error {
+		_ = ctrl.send(self, opError, errorMsg{Msg: err.Error()})
+		return err
+	}
+
+	if err := ctrl.send(self, opHello, nil); err != nil {
+		return err
+	}
+	f, err := ctrl.recv()
+	if err != nil {
+		return err
+	}
+	if f.Dest != opSetup {
+		return fmt.Errorf("expected setup, got op %d", f.Dest)
+	}
+	setup, err := decode[setupMsg](f)
+	if err != nil {
+		return err
+	}
+
+	app, err := build(setup.Name, setup.Params, proc)
+	if err != nil {
+		return fail(fmt.Errorf("build %q: %w", setup.Name, err))
+	}
+	if app.RT.Part != nil {
+		return fail(fmt.Errorf("build %q returned a partitioned config", setup.Name))
+	}
+	digest := configDigest(app.RT)
+	if digest != setup.Digest {
+		return fail(fmt.Errorf("config mismatch: worker %q vs coordinator %q", digest, setup.Digest))
+	}
+	topo := app.RT.Topo
+	if topo.TotalProcs() != setup.Procs {
+		return fail(fmt.Errorf("topology has %d procs, run has %d", topo.TotalProcs(), setup.Procs))
+	}
+
+	// Build the runtime around the peer transport (the transport needs the
+	// runtime for pools; set after New).
+	tr := &transport{self: self, topo: topo, peers: make([]*peer, setup.Procs)}
+	cfg := app.RT
+	cfg.Part = &rt.Partition{Proc: proc, Remote: tr}
+	rtm := rt.New(cfg, app.Deliver, app.Spawn)
+	tr.rtm = rtm
+	quiet := make(chan struct{}, 1)
+	rtm.SetQuietNotify(quiet)
+
+	// Data listener up, then report Listening.
+	ln, err := net.Listen("unix", sockPath(setup.Dir, int(proc)))
+	if err != nil {
+		return fail(fmt.Errorf("listen: %w", err))
+	}
+	defer ln.Close()
+	if err := ctrl.send(self, opListening, listeningMsg{Digest: digest}); err != nil {
+		return err
+	}
+
+	// Accept inbound peer connections (from higher-numbered procs) in the
+	// background: read each dialer's hello synchronously (it is written
+	// immediately after connect), register the peer, then hand the stream to
+	// a dedicated reader.
+	inbound := setup.Procs - 1 - int(proc)
+	peerErr := make(chan error, setup.Procs+1)
+	acceptDone := make(chan error, 1)
+	go func() {
+		for i := 0; i < inbound; i++ {
+			c, err := ln.Accept()
+			if err != nil {
+				acceptDone <- fmt.Errorf("accept: %w", err)
+				return
+			}
+			rd := wire.NewReader(c, setup.MaxFrameBytes)
+			hello, err := rd.Next()
+			if err != nil || hello.Kind != wire.KindControl || hello.Dest != opPeerHello {
+				acceptDone <- fmt.Errorf("bad peer hello (err=%v)", err)
+				return
+			}
+			// The hello's Source is wire-controlled: validate it before it
+			// becomes a slice index (inbound dials come only from
+			// higher-numbered procs, each exactly once).
+			if hello.Source <= self || int(hello.Source) >= setup.Procs {
+				acceptDone <- fmt.Errorf("peer hello from invalid proc %d", hello.Source)
+				return
+			}
+			if tr.peers[hello.Source] != nil {
+				acceptDone <- fmt.Errorf("duplicate peer hello from proc %d", hello.Source)
+				return
+			}
+			tr.peers[hello.Source] = &peer{conn: c}
+			pr := &peerReader{rtm: rtm, topo: topo, proc: proc}
+			go pr.readPeerFrom(rd, peerErr)
+		}
+		acceptDone <- nil
+	}()
+
+	// Wait for Connect, then dial every lower-numbered peer.
+	if f, err = ctrl.recv(); err != nil {
+		return err
+	}
+	if f.Dest != opConnect {
+		return fmt.Errorf("expected connect, got op %d", f.Dest)
+	}
+	for q := 0; q < int(proc); q++ {
+		c, err := net.Dial("unix", sockPath(setup.Dir, q))
+		if err != nil {
+			return fail(fmt.Errorf("dial peer %d: %w", q, err))
+		}
+		defer c.Close()
+		hello := wire.AppendControl(nil, self, opPeerHello, nil)
+		if _, err := c.Write(hello); err != nil {
+			return fail(fmt.Errorf("peer hello %d: %w", q, err))
+		}
+		tr.peers[q] = &peer{conn: c}
+		pr := &peerReader{rtm: rtm, topo: topo, proc: proc}
+		go pr.readPeerFrom(wire.NewReader(c, setup.MaxFrameBytes), peerErr)
+	}
+	// Every peer entry must be in place before Ready: once the coordinator
+	// broadcasts Start, any worker may send to any process immediately.
+	if err := <-acceptDone; err != nil {
+		return fail(err)
+	}
+	if err := ctrl.send(self, opReady, nil); err != nil {
+		return err
+	}
+
+	// Wait for Start, then run the kernels.
+	if f, err = ctrl.recv(); err != nil {
+		return err
+	}
+	if f.Dest != opStart {
+		return fmt.Errorf("expected start, got op %d", f.Dest)
+	}
+	resC := make(chan rt.Result, 1)
+	go func() { resC <- rtm.Run() }()
+
+	// Forward local-quiescence transitions to the coordinator as hints.
+	stopNotify := make(chan struct{})
+	var notifyWG sync.WaitGroup
+	notifyWG.Add(1)
+	go func() {
+		defer notifyWG.Done()
+		for {
+			select {
+			case <-quiet:
+				if err := ctrl.send(self, opQuiet, nil); err != nil {
+					return
+				}
+			case <-stopNotify:
+				return
+			}
+		}
+	}()
+
+	// Control loop: answer probes until the coordinator proves termination.
+	for {
+		select {
+		case err := <-peerErr:
+			if err != nil {
+				return fail(err)
+			}
+			continue
+		default:
+		}
+		f, err := ctrl.recv()
+		if err != nil {
+			return err
+		}
+		switch f.Dest {
+		case opProbe:
+			probe, err := decode[countsMsg](f)
+			if err != nil {
+				return err
+			}
+			reply := countsMsg{Round: probe.Round}
+			reply.Sent, reply.Recv, reply.Quiet = snapshotCounts(rtm)
+			if err := ctrl.send(self, opCounts, reply); err != nil {
+				return err
+			}
+		case opFinish:
+			rtm.Stop()
+			res := <-resC
+			close(stopNotify)
+			notifyWG.Wait()
+			var report []byte
+			if app.Report != nil {
+				report = app.Report()
+			}
+			if err := ctrl.send(self, opDone, doneMsg{Result: res, Report: report}); err != nil {
+				return err
+			}
+			// Close data connections so peers' readers see clean EOFs; the
+			// listener closes via defer.
+			for _, p := range tr.peers {
+				if p != nil {
+					p.conn.Close()
+				}
+			}
+			return nil
+		default:
+			return fmt.Errorf("unexpected op %d during run", f.Dest)
+		}
+	}
+}
+
+// peerReader drains one data connection into the runtime.
+type peerReader struct {
+	rtm        *rt.Runtime
+	topo       cluster.Topology
+	proc       cluster.ProcID
+	runScratch []rt.Run
+}
+
+// checkDest rejects frames addressed to a worker this process does not host:
+// the wire format is unchecksummed, so a corrupt-but-well-formed (or
+// version-skewed) frame must surface as a protocol error, never as an
+// out-of-range index inside the runtime.
+func (pr *peerReader) checkDest(dest uint32) error {
+	w := cluster.WorkerID(dest)
+	if int(dest) >= pr.topo.TotalWorkers() || pr.topo.ProcOf(w) != pr.proc {
+		return fmt.Errorf("dist: frame addressed to worker %d, which proc %d does not host", dest, pr.proc)
+	}
+	return nil
+}
+
+// readPeerFrom drains an already-positioned reader (the accept path reads
+// the hello frame first) until EOF, reporting any decode/protocol error.
+func (pr *peerReader) readPeerFrom(rd *wire.Reader, errc chan<- error) {
+	for {
+		f, err := rd.Next()
+		if err != nil {
+			if err == io.EOF {
+				errc <- nil
+			} else {
+				errc <- fmt.Errorf("dist: peer read: %w", err)
+			}
+			return
+		}
+		if err := pr.dispatchFrame(f); err != nil {
+			errc <- err
+			return
+		}
+	}
+}
+
+// dispatchFrame routes one decoded data frame into the runtime.
+func (pr *peerReader) dispatchFrame(f wire.Frame) error {
+	rtm := pr.rtm
+	switch f.Kind {
+	case wire.KindPayloads:
+		if err := pr.checkDest(f.Dest); err != nil {
+			return err
+		}
+		dest := cluster.WorkerID(f.Dest)
+		if f.Count == 1 {
+			var one [1]uint64
+			rtm.EnqueueOne(dest, f.Payloads(one[:])[0])
+			return nil
+		}
+		dst := rtm.AllocPayloads(int(f.Count))
+		f.Payloads(dst)
+		rtm.EnqueuePayloads(dest, dst)
+	case wire.KindItems:
+		var bad error
+		dst := rtm.AllocItemSlice(int(f.Count))
+		i := 0
+		f.EachItem(func(dest uint32, val uint64) {
+			if bad == nil {
+				bad = pr.checkDest(dest)
+			}
+			dst[i] = rt.Item{Dest: cluster.WorkerID(dest), Val: val}
+			i++
+		})
+		if bad != nil {
+			rtm.RecycleItems(dst)
+			return bad
+		}
+		rtm.EnqueueItems(dst)
+	case wire.KindRuns:
+		var bad error
+		rs := pr.runScratch[:0]
+		f.EachRun(func(dest uint32, n int, dec func([]uint64)) {
+			if bad == nil {
+				bad = pr.checkDest(dest)
+			}
+			p := rtm.AllocPayloads(n)
+			dec(p)
+			rs = append(rs, rt.Run{Dest: cluster.WorkerID(dest), Payloads: p})
+		})
+		pr.runScratch = rs
+		if bad != nil {
+			for _, r := range rs {
+				rtm.RecyclePayloads(r.Payloads)
+			}
+			return bad
+		}
+		rtm.EnqueueRuns(rs)
+	default:
+		return fmt.Errorf("dist: unexpected %v frame on data connection", f.Kind)
+	}
+	return nil
+}

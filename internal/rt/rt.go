@@ -39,6 +39,21 @@
 // extend the run; the runtime completes when no worker is generating and no
 // item is undelivered.
 //
+// # Partitioned mode
+//
+// Config.Part restricts a runtime to ONE process of the topology: only that
+// process's workers run as goroutines, and batches addressed outside it are
+// handed to a Remote transport instead of a local inbox — internal/dist
+// implements Remote over Unix-domain sockets, running each ProcID as a real
+// OS process. Intra-process traffic still flows through the internal/shmem
+// buffers exactly as in whole-topology mode; only the cross-process legs
+// change transport. In this mode local quiescence (no producing worker, no
+// in-flight local item) is necessary but not sufficient — items may be on
+// the wire — so the runtime does not stop itself: it signals each local
+// transition to quiet (SetQuietNotify), exposes monotone cross-process
+// sent/received counters (CrossCounts) for the coordinator's distributed
+// termination detection, and terminates when the coordinator calls Stop.
+//
 // # Latency bound
 //
 // A progress goroutine enforces the paper's §III delivery deadline
@@ -94,6 +109,32 @@ type KernelFunc func(ctx *Ctx, step int)
 // only consumes). Called once per worker before the run starts.
 type SpawnFunc func(w cluster.WorkerID) (steps int, kernel KernelFunc)
 
+// Remote is the cross-process transport of partitioned mode: sealed batches
+// addressed outside the local process are flushed through it (internal/dist
+// implements it over wire-framed Unix-domain sockets). Implementations
+// receive ownership of every slice argument and must return the storage via
+// the runtime's Recycle methods once encoded. Calls arrive from worker and
+// progress goroutines concurrently and may block (socket backpressure).
+type Remote interface {
+	// SendOne ships one unbuffered item (Direct wiring).
+	SendOne(dest cluster.WorkerID, value uint64)
+	// SendPayloads ships a worker-addressed batch (WW wiring).
+	SendPayloads(dest cluster.WorkerID, payloads []uint64, full bool)
+	// SendItems ships an ungrouped process-addressed batch (WPs, PP).
+	SendItems(dest cluster.ProcID, items []Item, full bool)
+	// SendRuns ships a source-grouped process-addressed batch (WsP).
+	SendRuns(dest cluster.ProcID, runs []Run, full bool)
+}
+
+// Partition restricts a runtime to one process of the topology (see the
+// package comment's partitioned-mode section).
+type Partition struct {
+	// Proc is the process this runtime hosts; only its workers run here.
+	Proc cluster.ProcID
+	// Remote carries batches addressed to other processes.
+	Remote Remote
+}
+
 // Config parameterizes one real run.
 type Config struct {
 	Topo   cluster.Topology
@@ -107,6 +148,10 @@ type Config struct {
 	// ChunkSize is the number of generation steps a worker runs between
 	// inbox drains and deadline checks (a Charm++ scheduler slot).
 	ChunkSize int
+	// Part, when non-nil, runs the runtime in partitioned mode: only
+	// Part.Proc's workers execute locally and cross-process batches flow
+	// through Part.Remote. Nil runs the whole topology in-process.
+	Part *Partition
 }
 
 // DefaultConfig returns a paper-like real-runtime configuration.
@@ -136,6 +181,14 @@ func (c Config) Validate() error {
 	}
 	if c.FlushDeadline < 0 {
 		return fmt.Errorf("rt: negative FlushDeadline")
+	}
+	if c.Part != nil {
+		if p := int(c.Part.Proc); p < 0 || p >= c.Topo.TotalProcs() {
+			return fmt.Errorf("rt: partition proc %d outside topology %v", p, c.Topo)
+		}
+		if c.Part.Remote == nil {
+			return fmt.Errorf("rt: partitioned config needs a Remote transport")
+		}
 	}
 	return nil
 }
@@ -175,6 +228,10 @@ type Result struct {
 	Flushes         int64
 	DeadlineFlushes int64
 	LocalDirect     int64
+	// RemoteSent / RemoteRecv count items shipped to and received from other
+	// OS processes (partitioned mode only; zero otherwise).
+	RemoteSent int64
+	RemoteRecv int64
 }
 
 // msgKind discriminates inbox message layouts.
@@ -187,10 +244,12 @@ const (
 	mkFlushReq                // progress goroutine: deadline-flush your SP buffers
 )
 
-// runRef is one pre-grouped run inside an mkRuns message.
-type runRef struct {
-	dest     cluster.WorkerID
-	payloads []uint64
+// Run is one pre-grouped run: payload words all addressed to a single
+// destination worker (the mkRuns message body, and the unit Remote.SendRuns
+// ships for WsP).
+type Run struct {
+	Dest     cluster.WorkerID
+	Payloads []uint64
 }
 
 // msg is one inbox delivery. Nodes and their slices are pooled; see the
@@ -200,7 +259,7 @@ type msg struct {
 	kind     msgKind
 	payloads []uint64 // mkToWorker
 	items    []Item   // mkItems
-	runs     []runRef // mkRuns
+	runs     []Run    // mkRuns
 	inlined  bool     // payloads aliases inline (single-item fast path)
 	inline   [1]uint64
 }
@@ -229,7 +288,12 @@ type worker struct {
 
 	// runScratch is reused across mkItems groupings (the worker handles one
 	// message at a time, and runs are consumed before the next grouping).
-	runScratch []runRef
+	runScratch []Run
+
+	// remoteRuns is the partitioned-mode WsP emit scratch: Remote.SendRuns
+	// encodes synchronously, so the headers are dead when it returns and the
+	// slice can be reused by the next sealed batch of this worker's buffers.
+	remoteRuns []Run
 
 	// local is the worker's own task queue (Ctx.Post): continuations of
 	// worklist-driven kernels (SSSP drains, PDES event loops). Only the
@@ -273,6 +337,14 @@ type Runtime struct {
 	done      chan struct{}
 	doneOnce  sync.Once
 
+	// Partitioned-mode state: sentCross/recvCross are the monotone item
+	// counters of the coordinator's four-counter termination detection;
+	// quietC (if set) is notified on every transition to local quiescence.
+	part      *Partition
+	sentCross atomic.Int64
+	recvCross atomic.Int64
+	quietC    chan struct{}
+
 	msgPool  sync.Pool // *msg
 	u64s     slicePool[uint64]
 	itemsPkd slicePool[Item]
@@ -292,6 +364,7 @@ func New(cfg Config, deliver DeliverFunc, spawn SpawnFunc) *Runtime {
 		deliver: deliver,
 		done:    make(chan struct{}),
 		procRR:  make([]atomic.Int32, topo.TotalProcs()),
+		part:    cfg.Part,
 	}
 	rt.msgPool.New = func() any { return &msg{} }
 	minCap := cfg.BufferItems
@@ -303,19 +376,36 @@ func New(cfg Config, deliver DeliverFunc, spawn SpawnFunc) *Runtime {
 
 	W := topo.TotalWorkers()
 	P := topo.TotalProcs()
+	// In partitioned mode only the local process's workers exist (and spawn
+	// is consulted only for them); slots for remote workers stay nil.
 	rt.workers = make([]*worker, W)
+	local := 0
 	for i := range rt.workers {
+		id := cluster.WorkerID(i)
+		if rt.part != nil && topo.ProcOf(id) != rt.part.Proc {
+			continue
+		}
 		w := &worker{
-			id:   cluster.WorkerID(i),
-			proc: topo.ProcOf(cluster.WorkerID(i)),
-			rank: topo.RankInProc(cluster.WorkerID(i)),
+			id:   id,
+			proc: topo.ProcOf(id),
+			rank: topo.RankInProc(id),
 			rt:   rt,
 			note: make(chan struct{}, 1),
 		}
 		w.ctx = Ctx{rt: rt, w: w}
 		w.steps, w.kernel = spawn(w.id)
 		rt.workers[i] = w
+		local++
 	}
+	// The producing count is armed HERE, synchronously at construction — not
+	// in Run — so the runtime reads as non-quiet from the moment it exists.
+	// In partitioned mode, termination probes can arrive on the control
+	// goroutine before the goroutine running Run has been scheduled at all;
+	// if the count were armed inside Run, such a probe would observe
+	// producing == 0 && inflight == 0 and report a brand-new, never-started
+	// runtime as quiet — letting the coordinator declare global quiescence
+	// before the run begins (observed on single-CPU hosts).
+	rt.producing.Store(int64(local))
 
 	// Slots that can never receive an item stay nil (scan loops skip them):
 	// Send short-circuits dest == self inline, so wwBufs[w.id] is unused;
@@ -324,6 +414,9 @@ func New(cfg Config, deliver DeliverFunc, spawn SpawnFunc) *Runtime {
 	switch cfg.Scheme {
 	case core.WW:
 		for _, w := range rt.workers {
+			if w == nil {
+				continue
+			}
 			w.wwBufs = make([]*shmem.SPBuffer[uint64], W)
 			for d := range w.wwBufs {
 				if cluster.WorkerID(d) == w.id {
@@ -340,6 +433,10 @@ func New(cfg Config, deliver DeliverFunc, spawn SpawnFunc) *Runtime {
 	case core.WPs, core.WsP:
 		grouped := cfg.Scheme == core.WsP
 		for _, w := range rt.workers {
+			if w == nil {
+				continue
+			}
+			w := w
 			w.wpsBufs = make([]*shmem.SPBuffer[Item], P)
 			for p := range w.wpsBufs {
 				if cluster.ProcID(p) == w.proc {
@@ -347,7 +444,7 @@ func New(cfg Config, deliver DeliverFunc, spawn SpawnFunc) *Runtime {
 				}
 				dst := cluster.ProcID(p)
 				b := shmem.NewSPBuffer(cfg.BufferItems, func(bt shmem.Batch[Item]) {
-					rt.emitToProc(dst, bt.Items, grouped, len(bt.Items) == cfg.BufferItems)
+					rt.emitToProc(w, dst, bt.Items, grouped, len(bt.Items) == cfg.BufferItems)
 				})
 				b.SetAlloc(rt.allocItems)
 				w.wpsBufs[p] = b
@@ -356,6 +453,9 @@ func New(cfg Config, deliver DeliverFunc, spawn SpawnFunc) *Runtime {
 	case core.PP:
 		rt.procs = make([]*procState, P)
 		for sp := range rt.procs {
+			if rt.part != nil && cluster.ProcID(sp) != rt.part.Proc {
+				continue
+			}
 			ps := &procState{ppBufs: make([]*shmem.MPBuffer[Item], P)}
 			for p := range ps.ppBufs {
 				if p == sp {
@@ -363,7 +463,7 @@ func New(cfg Config, deliver DeliverFunc, spawn SpawnFunc) *Runtime {
 				}
 				dst := cluster.ProcID(p)
 				b := shmem.NewMPBuffer(cfg.BufferItems, func(bt shmem.Batch[Item]) {
-					rt.emitToProc(dst, bt.Items, false, len(bt.Items) == cfg.BufferItems)
+					rt.emitToProc(nil, dst, bt.Items, false, len(bt.Items) == cfg.BufferItems)
 				})
 				b.SetAlloc(rt.allocItemsFull)
 				ps.ppBufs[p] = b
@@ -374,13 +474,17 @@ func New(cfg Config, deliver DeliverFunc, spawn SpawnFunc) *Runtime {
 	return rt
 }
 
-// Run launches every worker goroutine plus the progress goroutine, executes
-// to global quiescence, and returns the measured result.
+// Run launches every (local) worker goroutine plus the progress goroutine
+// and executes to quiescence: global quiescence in whole-topology mode, or —
+// in partitioned mode — until the coordinator calls Stop after its
+// distributed termination detection. Returns the measured local result.
 func (rt *Runtime) Run() Result {
-	rt.producing.Store(int64(len(rt.workers)))
 	var wg sync.WaitGroup
 	start := time.Now()
 	for _, w := range rt.workers {
+		if w == nil {
+			continue
+		}
 		w := w
 		wg.Add(1)
 		go func() {
@@ -407,15 +511,107 @@ func (rt *Runtime) Run() Result {
 		Flushes:         rt.M.Flushes.Load(),
 		DeadlineFlushes: rt.M.DeadlineFlushes.Load(),
 		LocalDirect:     rt.M.LocalDirect.Load(),
+		RemoteSent:      rt.sentCross.Load(),
+		RemoteRecv:      rt.recvCross.Load(),
 	}
 	for _, w := range rt.workers {
-		res.Reduced += w.contrib
+		if w != nil {
+			res.Reduced += w.contrib
+		}
 	}
 	return res
 }
 
 // Workers returns the total worker count.
 func (rt *Runtime) Workers() int { return len(rt.workers) }
+
+// --- partitioned-mode coordination surface ---
+
+// SetQuietNotify installs the local-quiescence notification channel: every
+// transition to local quiet performs a non-blocking send on ch. Must be
+// called before Run. Partitioned mode only.
+func (rt *Runtime) SetQuietNotify(ch chan struct{}) { rt.quietC = ch }
+
+// Stop terminates a partitioned run: the coordinator calls it once its
+// termination detection proves global quiescence. Idempotent.
+func (rt *Runtime) Stop() { rt.doneOnce.Do(func() { close(rt.done) }) }
+
+// CrossCounts returns the monotone counts of items shipped to and received
+// from other processes. An item is counted in sent *before* it leaves the
+// local in-flight count and in recv only *after* it enters it, so at any
+// instant every item is visible in at least one of {in-flight, sent-recv
+// imbalance} — the invariant the four-counter termination scheme needs.
+func (rt *Runtime) CrossCounts() (sent, recv int64) {
+	return rt.sentCross.Load(), rt.recvCross.Load()
+}
+
+// LocallyQuiet reports whether no local worker is generating and no local
+// item is in flight. Transient in partitioned mode: a frame arriving off the
+// wire (visible in CrossCounts) can re-activate the process.
+func (rt *Runtime) LocallyQuiet() bool {
+	return rt.producing.Load() == 0 && rt.inflight.Load() == 0
+}
+
+// AllocPayloads returns pooled storage for n payload words (for decoding
+// incoming frames; ownership passes back on Enqueue).
+func (rt *Runtime) AllocPayloads(n int) []uint64 { return rt.u64s.get(n) }
+
+// AllocItemSlice returns pooled storage for n items.
+func (rt *Runtime) AllocItemSlice(n int) []Item { return rt.itemsPkd.get(n) }
+
+// RecyclePayloads returns payload storage a Remote finished encoding.
+func (rt *Runtime) RecyclePayloads(s []uint64) { rt.putU64(s) }
+
+// RecycleItems returns item storage a Remote finished encoding.
+func (rt *Runtime) RecycleItems(s []Item) { rt.putItems(s) }
+
+// EnqueueOne injects one item received off the wire for local worker dest
+// (the Direct wiring's single-item frames). Safe from any goroutine.
+func (rt *Runtime) EnqueueOne(dest cluster.WorkerID, value uint64) {
+	rt.inflight.Add(1)
+	rt.recvCross.Add(1)
+	rt.postInline(dest, value)
+}
+
+// EnqueuePayloads injects a worker-addressed batch received off the wire.
+// payloads must come from AllocPayloads; ownership transfers.
+func (rt *Runtime) EnqueuePayloads(dest cluster.WorkerID, payloads []uint64) {
+	rt.inflight.Add(int64(len(payloads)))
+	rt.recvCross.Add(int64(len(payloads)))
+	m := rt.getMsg()
+	m.kind = mkToWorker
+	m.payloads = payloads
+	rt.post(rt.workers[dest], m)
+}
+
+// EnqueueItems injects a process-addressed batch received off the wire; a
+// local worker (round-robin, as in whole-topology mode) groups it by
+// destination worker. items must come from AllocItemSlice; ownership
+// transfers.
+func (rt *Runtime) EnqueueItems(items []Item) {
+	rt.inflight.Add(int64(len(items)))
+	rt.recvCross.Add(int64(len(items)))
+	m := rt.getMsg()
+	m.kind = mkItems
+	m.items = items
+	rt.post(rt.nextRecv(rt.part.Proc), m)
+}
+
+// EnqueueRuns injects a source-grouped batch received off the wire. The runs
+// slice itself is copied (callers reuse their scratch); each run's payload
+// slice must come from AllocPayloads and transfers ownership.
+func (rt *Runtime) EnqueueRuns(runs []Run) {
+	var n int64
+	for _, r := range runs {
+		n += int64(len(r.Payloads))
+	}
+	rt.inflight.Add(n)
+	rt.recvCross.Add(n)
+	m := rt.getMsg()
+	m.kind = mkRuns
+	m.runs = append(m.runs[:0], runs...)
+	rt.post(rt.nextRecv(rt.part.Proc), m)
+}
 
 // --- pools ---
 
@@ -444,8 +640,15 @@ func (rt *Runtime) post(w *worker, m *msg) {
 
 // postInline ships one unbuffered item as a worker-addressed message whose
 // payload lives in the message node itself (no slice pooling involved): the
-// Direct scheme and the SMP-aware local path.
+// Direct scheme and the SMP-aware local path. In partitioned mode a
+// remote-process destination goes to the wire instead.
 func (rt *Runtime) postInline(dest cluster.WorkerID, value uint64) {
+	if rt.part != nil && rt.topo.ProcOf(dest) != rt.part.Proc {
+		rt.sentCross.Add(1)
+		rt.part.Remote.SendOne(dest, value)
+		rt.finish(1)
+		return
+	}
 	m := rt.getMsg()
 	m.kind = mkToWorker
 	m.inlined = true
@@ -466,6 +669,13 @@ func (rt *Runtime) nextRecv(p cluster.ProcID) *worker {
 // emitToWorker ships a sealed worker-addressed batch (WW and forwarded runs).
 func (rt *Runtime) emitToWorker(dest cluster.WorkerID, payloads []uint64, full bool) {
 	rt.accountBatch(full)
+	if rt.part != nil && rt.topo.ProcOf(dest) != rt.part.Proc {
+		n := int64(len(payloads))
+		rt.sentCross.Add(n)
+		rt.part.Remote.SendPayloads(dest, payloads, full)
+		rt.finish(n)
+		return
+	}
 	m := rt.getMsg()
 	m.kind = mkToWorker
 	m.payloads = payloads
@@ -475,9 +685,30 @@ func (rt *Runtime) emitToWorker(dest cluster.WorkerID, payloads []uint64, full b
 // emitToProc ships a sealed process-addressed batch. For WsP (grouped) the
 // items are counting-sorted into per-worker runs here, on the emitting
 // goroutine — the source-side grouping cost of Fig. 6; for WPs/PP the
-// receiver pays it instead.
-func (rt *Runtime) emitToProc(dst cluster.ProcID, items []Item, grouped, full bool) {
+// receiver pays it instead. owner is the worker whose single-producer buffer
+// sealed the batch (nil for the shared PP buffers, which are never grouped).
+func (rt *Runtime) emitToProc(owner *worker, dst cluster.ProcID, items []Item, grouped, full bool) {
 	rt.accountBatch(full)
+	if rt.part != nil && dst != rt.part.Proc {
+		n := int64(len(items))
+		rt.sentCross.Add(n)
+		if grouped {
+			// Source-side grouping happens here even for the wire: the runs
+			// travel pre-grouped, so the receiving process only scatters.
+			// SendRuns encodes before returning, so the owner's scratch is
+			// reusable immediately (only the owning goroutine seals this
+			// buffer — the same single-producer discipline as the buffer
+			// itself).
+			runs := rt.groupRuns(owner.remoteRuns[:0], dst, items)
+			owner.remoteRuns = runs[:0]
+			rt.putItems(items)
+			rt.part.Remote.SendRuns(dst, runs, full)
+		} else {
+			rt.part.Remote.SendItems(dst, items, full)
+		}
+		rt.finish(n)
+		return
+	}
 	m := rt.getMsg()
 	if grouped {
 		m.kind = mkRuns
@@ -492,7 +723,7 @@ func (rt *Runtime) emitToProc(dst cluster.ProcID, items []Item, grouped, full bo
 
 // groupRuns counting-sorts items by destination rank into pooled per-run
 // payload slices.
-func (rt *Runtime) groupRuns(runs []runRef, dst cluster.ProcID, items []Item) []runRef {
+func (rt *Runtime) groupRuns(runs []Run, dst cluster.ProcID, items []Item) []Run {
 	first := rt.topo.FirstWorkerOf(dst)
 	t := rt.topo.WorkersPerProc
 	var scratch [][]uint64
@@ -511,7 +742,7 @@ func (rt *Runtime) groupRuns(runs []runRef, dst cluster.ProcID, items []Item) []
 	}
 	for r := 0; r < t; r++ {
 		if scratch[r] != nil {
-			runs = append(runs, runRef{dest: first + cluster.WorkerID(r), payloads: scratch[r]})
+			runs = append(runs, Run{Dest: first + cluster.WorkerID(r), Payloads: scratch[r]})
 		}
 	}
 	return runs
@@ -742,22 +973,22 @@ func (w *worker) handle(m *msg) {
 // the others to their owners as worker-addressed messages (the shared-memory
 // forwarding of Figs. 5–6). Run payload slices transfer ownership with the
 // forwarded message; the inline run's slice is recycled here.
-func (w *worker) scatterRuns(runs []runRef) {
+func (w *worker) scatterRuns(runs []Run) {
 	rt := w.rt
 	var own int64
 	for _, r := range runs {
-		if r.dest == w.id {
-			for _, v := range r.payloads {
+		if r.Dest == w.id {
+			for _, v := range r.Payloads {
 				rt.deliver(&w.ctx, v)
 			}
-			own += int64(len(r.payloads))
-			rt.putU64(r.payloads)
+			own += int64(len(r.Payloads))
+			rt.putU64(r.Payloads)
 			continue
 		}
 		fm := rt.getMsg()
 		fm.kind = mkToWorker
-		fm.payloads = r.payloads
-		rt.post(rt.workers[r.dest], fm)
+		fm.payloads = r.Payloads
+		rt.post(rt.workers[r.Dest], fm)
 	}
 	if own > 0 {
 		rt.M.Delivered.Add(own)
@@ -776,6 +1007,17 @@ func (rt *Runtime) finish(n int64) {
 
 func (rt *Runtime) checkQuiesce() {
 	if rt.producing.Load() == 0 && rt.inflight.Load() == 0 {
+		if rt.part != nil {
+			// Local quiet is not global quiet: items may be on the wire.
+			// Notify the coordinator glue and keep running until Stop.
+			if rt.quietC != nil {
+				select {
+				case rt.quietC <- struct{}{}:
+				default:
+				}
+			}
+			return
+		}
 		rt.doneOnce.Do(func() { close(rt.done) })
 	}
 }
@@ -852,6 +1094,9 @@ func (rt *Runtime) progress() {
 		cutoff := time.Now().Add(-rt.cfg.FlushDeadline).UnixNano()
 		// Shared PP buffers can be flushed from here directly.
 		for _, ps := range rt.procs {
+			if ps == nil {
+				continue
+			}
 			for _, b := range ps.ppBufs {
 				if b != nil && b.FlushIfOlder(cutoff) {
 					rt.M.DeadlineFlushes.Add(1)
@@ -861,7 +1106,7 @@ func (rt *Runtime) progress() {
 		// Single-producer buffers belong to their workers: post one flush
 		// request per worker holding overdue items (it wakes parked owners).
 		for _, w := range rt.workers {
-			if w.flushReq.Load() || !w.overdue(cutoff) {
+			if w == nil || w.flushReq.Load() || !w.overdue(cutoff) {
 				continue
 			}
 			if w.flushReq.CompareAndSwap(false, true) {

@@ -140,6 +140,46 @@ func (h *Hist) Quantile(q float64) int64 {
 	return h.max
 }
 
+// HistState is a serializable snapshot of a Hist, the form histograms take
+// when they cross a process boundary (the Dist backend's per-process latency
+// reports). Zero-suffix buckets are trimmed.
+type HistState struct {
+	Buckets []int64 `json:"buckets,omitempty"`
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	Min     int64   `json:"min"`
+	Max     int64   `json:"max"`
+}
+
+// State snapshots h. An empty histogram yields the zero HistState (its
+// sentinel min is normalized away), so State/FromState round-trips compare
+// with reflect.DeepEqual.
+func (h *Hist) State() HistState {
+	s := HistState{Count: h.count, Sum: h.sum, Max: h.max}
+	if h.count > 0 {
+		s.Min = h.min
+	}
+	hi := len(h.buckets)
+	for hi > 0 && h.buckets[hi-1] == 0 {
+		hi--
+	}
+	if hi > 0 {
+		s.Buckets = append([]int64(nil), h.buckets[:hi]...)
+	}
+	return s
+}
+
+// FromState reconstructs the histogram a State call snapshotted.
+func FromState(s HistState) *Hist {
+	h := NewHist()
+	if s.Count == 0 {
+		return h
+	}
+	copy(h.buckets[:], s.Buckets)
+	h.count, h.sum, h.min, h.max = s.Count, s.Sum, s.Min, s.Max
+	return h
+}
+
 // Merge adds all of other's samples into h.
 func (h *Hist) Merge(other *Hist) {
 	if other.count == 0 {

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -121,6 +122,49 @@ func TestHistMergeProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestHistStateRoundTrip checks that State/FromState (including a JSON hop,
+// the way Dist worker reports travel) reproduces the histogram exactly.
+func TestHistStateRoundTrip(t *testing.T) {
+	f := func(a []uint16) bool {
+		h := NewHist()
+		for _, v := range a {
+			h.Observe(int64(v))
+		}
+		blob, err := json.Marshal(h.State())
+		if err != nil {
+			return false
+		}
+		var s HistState
+		if err := json.Unmarshal(blob, &s); err != nil {
+			return false
+		}
+		got := FromState(s)
+		if got.Count() != h.Count() || got.Sum() != h.Sum() ||
+			got.Min() != h.Min() || got.Max() != h.Max() {
+			return false
+		}
+		// Quantiles come from the buckets; spot-check a few.
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			if got.Quantile(q) != h.Quantile(q) {
+				return false
+			}
+		}
+		// A reconstructed histogram must keep merging correctly.
+		got.Observe(7)
+		return got.Count() == h.Count()+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Empty histogram: zero state, and FromState keeps Min() semantics.
+	var s HistState
+	blob, _ := json.Marshal(NewHist().State())
+	json.Unmarshal(blob, &s)
+	if h := FromState(s); h.Count() != 0 || h.Min() != 0 {
+		t.Fatalf("empty round-trip: count=%d min=%d", h.Count(), h.Min())
 	}
 }
 

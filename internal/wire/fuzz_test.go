@@ -1,0 +1,145 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes to the decoder: it must either return a
+// structurally valid frame or an error — never panic, never over-read, and
+// a frame it accepts must re-encode to the identical bytes (canonical form).
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add(AppendPayloads(nil, 1, 2, []uint64{3, 4}, true))
+	f.Add(AppendItems(nil, 0, 1, []Item{{Dest: 5, Val: 6}}, false))
+	f.Add(AppendRuns(nil, 2, 0, []Run{{Dest: 1, Payloads: []uint64{7}}, {Dest: 2}}, false))
+	f.Add(AppendControl(nil, 0, 3, []byte(`{"round":1}`)))
+	// A corrupt runs frame: inner count inflated past the payload.
+	bad := AppendRuns(nil, 0, 0, []Run{{Dest: 1, Payloads: []uint64{5}}}, false)
+	binary.LittleEndian.PutUint32(bad[24:], 1<<20)
+	f.Add(bad)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := Decode(data, 1<<20)
+		if err != nil {
+			return
+		}
+		if n < prefixBytes+HeaderBytes || n > len(data) {
+			t.Fatalf("consumed %d bytes of %d", n, len(data))
+		}
+		// Re-encode the decoded frame; it must reproduce the consumed bytes.
+		var out []byte
+		switch fr.Kind {
+		case KindPayloads:
+			out = AppendPayloads(nil, fr.Source, fr.Dest, fr.Payloads(make([]uint64, fr.Count)), fr.Full())
+		case KindItems:
+			out = AppendItems(nil, fr.Source, fr.Dest, fr.Items(make([]Item, fr.Count)), fr.Full())
+		case KindRuns:
+			var runs []Run
+			fr.EachRun(func(dest uint32, n int, decode func([]uint64)) {
+				p := make([]uint64, n)
+				decode(p)
+				runs = append(runs, Run{Dest: dest, Payloads: p})
+			})
+			out = AppendRuns(nil, fr.Source, fr.Dest, runs, fr.Full())
+		case KindControl:
+			out = AppendControl(nil, fr.Source, fr.Dest, fr.Payload)
+		default:
+			t.Fatalf("decoder accepted unknown kind %v", fr.Kind)
+		}
+		// The encoders emit only the canonical flag values (0, or FlagFull on
+		// batch frames); compare byte-exactness only for frames in that set.
+		canonical := fr.Flags == 0 || (fr.Flags == FlagFull && fr.Kind != KindControl)
+		if canonical && !bytes.Equal(out, data[:n]) {
+			t.Fatalf("re-encode mismatch:\n in  %x\n out %x", data[:n], out)
+		}
+	})
+}
+
+// FuzzFrameRoundTrip builds frames from fuzzer-chosen batch contents and
+// checks exact round-trips through encode -> stream reader -> decode.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(uint32(0), uint32(0), []byte{}, false)
+	f.Add(uint32(1), uint32(2), []byte{1, 2, 3, 4, 5, 6, 7, 8}, true)
+	f.Add(uint32(1<<31), uint32(7), bytes.Repeat([]byte{0xAB}, 96), false)
+
+	f.Fuzz(func(t *testing.T, source, dest uint32, raw []byte, full bool) {
+		// Derive the three batch shapes from the same raw bytes.
+		payloads := make([]uint64, len(raw)/8)
+		for i := range payloads {
+			payloads[i] = binary.LittleEndian.Uint64(raw[8*i:])
+		}
+		items := make([]Item, len(raw)/itemBytes)
+		for i := range items {
+			items[i] = Item{
+				Dest: binary.LittleEndian.Uint32(raw[itemBytes*i:]),
+				Val:  binary.LittleEndian.Uint64(raw[itemBytes*i+4:]),
+			}
+		}
+		var runs []Run
+		for i := 0; i < len(payloads); {
+			n := 1 + int(payloads[i]%3)
+			if n > len(payloads)-i {
+				n = len(payloads) - i
+			}
+			runs = append(runs, Run{Dest: dest + uint32(len(runs)), Payloads: payloads[i : i+n]})
+			i += n
+		}
+
+		var stream []byte
+		stream = AppendPayloads(stream, source, dest, payloads, full)
+		stream = AppendItems(stream, source, dest, items, full)
+		stream = AppendRuns(stream, source, dest, runs, full)
+		stream = AppendControl(stream, source, dest, raw)
+
+		r := NewReader(bytes.NewReader(stream), 0)
+
+		fp, err := r.Next()
+		if err != nil || fp.Kind != KindPayloads || int(fp.Count) != len(payloads) || fp.Full() != full {
+			t.Fatalf("payloads frame: %+v err=%v", fp.Header, err)
+		}
+		got := fp.Payloads(make([]uint64, fp.Count))
+		for i := range payloads {
+			if got[i] != payloads[i] {
+				t.Fatalf("payload %d: %d != %d", i, got[i], payloads[i])
+			}
+		}
+
+		fi, err := r.Next()
+		if err != nil || fi.Kind != KindItems || int(fi.Count) != len(items) {
+			t.Fatalf("items frame: %+v err=%v", fi.Header, err)
+		}
+		gi := fi.Items(make([]Item, fi.Count))
+		for i := range items {
+			if gi[i] != items[i] {
+				t.Fatalf("item %d: %+v != %+v", i, gi[i], items[i])
+			}
+		}
+
+		frn, err := r.Next()
+		if err != nil || frn.Kind != KindRuns || int(frn.Count) != len(runs) {
+			t.Fatalf("runs frame: %+v err=%v", frn.Header, err)
+		}
+		ri := 0
+		frn.EachRun(func(d uint32, n int, decode func([]uint64)) {
+			if d != runs[ri].Dest || n != len(runs[ri].Payloads) {
+				t.Fatalf("run %d: (%d,%d) != (%d,%d)", ri, d, n, runs[ri].Dest, len(runs[ri].Payloads))
+			}
+			p := make([]uint64, n)
+			decode(p)
+			for j := range p {
+				if p[j] != runs[ri].Payloads[j] {
+					t.Fatalf("run %d payload %d: %d != %d", ri, j, p[j], runs[ri].Payloads[j])
+				}
+			}
+			ri++
+		})
+
+		fc, err := r.Next()
+		if err != nil || fc.Kind != KindControl || !bytes.Equal(fc.Payload, raw) {
+			t.Fatalf("control frame: %+v err=%v", fc.Header, err)
+		}
+	})
+}

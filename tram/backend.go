@@ -48,6 +48,11 @@ type Metrics struct {
 	// Latency is the per-item insert→deliver latency histogram in virtual
 	// nanoseconds; nil unless Config.TrackLatency (Sim only).
 	Latency *Hist
+	// Reports holds each worker process's application report, indexed by
+	// ProcID. Dist only: it is how results living in worker-process memory
+	// (histogram tables, distance arrays) reach the coordinating process —
+	// see BindDist's report hook.
+	Reports [][]byte
 }
 
 // Sim is the simulated backend: the deterministic discrete-event simulator
@@ -178,10 +183,42 @@ type realBackend struct{}
 
 func (realBackend) String() string { return "real" }
 
-// realRun holds one measured execution.
+// realRun holds the pooled per-worker context adapters of one execution on
+// the goroutine runtime — used by the Real backend directly and by the Dist
+// backend's worker processes (tram.Main), which run the same runtime
+// restricted to one process of the topology.
 type realRun struct {
 	start time.Time
 	ctxs  []realCtx
+}
+
+// newRTBinding returns a fresh adapter set for W workers.
+func newRTBinding(W int) *realRun {
+	b := &realRun{start: time.Now(), ctxs: make([]realCtx, W)}
+	for i := range b.ctxs {
+		rc := &b.ctxs[i]
+		rc.run = b
+		rc.pump = rc.runPending
+	}
+	return b
+}
+
+// deliverFunc adapts the word-level app to the runtime's delivery hook.
+func (b *realRun) deliverFunc(app rawApp) rt.DeliverFunc {
+	return func(ctx *rt.Ctx, word uint64) {
+		app.deliver(b.bind(ctx), word)
+	}
+}
+
+// spawnFunc adapts the word-level app to the runtime's spawn hook.
+func (b *realRun) spawnFunc(app rawApp) rt.SpawnFunc {
+	return func(w WorkerID) (int, rt.KernelFunc) {
+		steps, kernel := app.spawn(w)
+		if steps <= 0 || kernel == nil {
+			return 0, nil
+		}
+		return steps, func(ctx *rt.Ctx, i int) { kernel(b.bind(ctx), i) }
+	}
 }
 
 // realCtx adapts a goroutine-runtime context to the tram Ctx interface. One
@@ -243,24 +280,8 @@ func (realBackend) run(cfg Config, app rawApp) (Metrics, error) {
 	if err := cfg.Validate(); err != nil {
 		return Metrics{}, err
 	}
-	b := &realRun{
-		start: time.Now(),
-		ctxs:  make([]realCtx, cfg.Topo.TotalWorkers()),
-	}
-	for i := range b.ctxs {
-		rc := &b.ctxs[i]
-		rc.run = b
-		rc.pump = rc.runPending
-	}
-	rtm := rt.New(cfg.realConfig(), func(ctx *rt.Ctx, word uint64) {
-		app.deliver(b.bind(ctx), word)
-	}, func(w WorkerID) (int, rt.KernelFunc) {
-		steps, kernel := app.spawn(w)
-		if steps <= 0 || kernel == nil {
-			return 0, nil
-		}
-		return steps, func(ctx *rt.Ctx, i int) { kernel(b.bind(ctx), i) }
-	})
+	b := newRTBinding(cfg.Topo.TotalWorkers())
+	rtm := rt.New(cfg.realConfig(), b.deliverFunc(app), b.spawnFunc(app))
 	res := rtm.Run()
 
 	return Metrics{

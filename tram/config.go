@@ -57,15 +57,42 @@ type Config struct {
 	// Net is the alpha-beta network and comm-thread calibration. Sim only.
 	Net NetParams
 
-	// FlushDeadline is the paper's latency bound on the Real backend: the
-	// longest an item may sit in a buffer before the progress goroutine
-	// force-flushes it (wall clock). 0 disables deadline flushing. Real
-	// only; the Sim backend's timeout flush is FlushTimeout.
+	// FlushDeadline is the paper's latency bound on the Real and Dist
+	// backends: the longest an item may sit in a buffer before the progress
+	// goroutine force-flushes it (wall clock). 0 disables deadline
+	// flushing. The Sim backend's timeout flush is FlushTimeout.
 	FlushDeadline time.Duration
 	// ChunkSize is the number of generation steps (and, on the Real
 	// backend, posted local tasks) a worker runs per scheduler slot,
 	// between message drains.
 	ChunkSize int
+
+	// Dist configures the multi-process backend. Ignored by Sim and Real.
+	Dist DistOptions
+}
+
+// DistOptions are the Dist backend's knobs: the application registration the
+// worker processes rebuild, plus socket and framing parameters.
+type DistOptions struct {
+	// App names the RegisterDist registration worker processes build;
+	// required to run on the Dist backend.
+	App string
+	// Params is handed verbatim to the registered builder in every process.
+	Params []byte
+	// SockDir is where the run's Unix-socket directory is created ("" uses
+	// the system temp dir). Socket paths are length-limited (~100 bytes),
+	// so keep it short.
+	SockDir string
+	// StartTimeout bounds worker spawn + handshake + final-report
+	// collection (not the run itself). 0 means 30s.
+	StartTimeout time.Duration
+	// ProbeInterval paces idle quiescence-probe rounds; workers' quiet
+	// hints trigger immediate rounds regardless. 0 means 250µs.
+	ProbeInterval time.Duration
+	// MaxFrameBytes caps frames on the worker-to-worker data sockets. 0
+	// means the wire package's default (64 MiB). Must fit a full buffer of
+	// items (12 bytes each plus a 20-byte frame header) when set.
+	MaxFrameBytes int
 }
 
 // DefaultConfig returns the configuration the paper's main experiments use
@@ -118,8 +145,17 @@ func (c Config) realConfig() rt.Config {
 	}
 }
 
-// Validate reports configuration errors. A valid Config is valid for both
-// backends.
+// wireFrameOverhead is the fixed per-frame cost on the Dist data sockets
+// (4-byte length prefix + 16-byte header) and itemWireBytes the worst-case
+// per-item cost (a WsP runs frame degenerating to one run per item: 8-byte
+// run header + 8-byte word).
+const (
+	wireFrameOverhead = 20
+	itemWireBytes     = 16
+)
+
+// Validate reports configuration errors. A valid Config is valid for every
+// backend.
 func (c Config) Validate() error {
 	if err := c.Topo.Validate(); err != nil {
 		return fmt.Errorf("tram: %w", err)
@@ -129,6 +165,21 @@ func (c Config) Validate() error {
 	}
 	if err := c.realConfig().Validate(); err != nil {
 		return fmt.Errorf("tram: %w", err)
+	}
+	if c.Dist.StartTimeout < 0 {
+		return fmt.Errorf("tram: negative Dist.StartTimeout")
+	}
+	if c.Dist.ProbeInterval < 0 {
+		return fmt.Errorf("tram: negative Dist.ProbeInterval")
+	}
+	if c.Dist.MaxFrameBytes < 0 {
+		return fmt.Errorf("tram: negative Dist.MaxFrameBytes")
+	}
+	if c.Dist.MaxFrameBytes > 0 {
+		if need := c.BufferItems*itemWireBytes + wireFrameOverhead; c.Dist.MaxFrameBytes < need {
+			return fmt.Errorf("tram: Dist.MaxFrameBytes %d cannot carry a full buffer of %d items (need >= %d)",
+				c.Dist.MaxFrameBytes, c.BufferItems, need)
+		}
 	}
 	return nil
 }

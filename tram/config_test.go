@@ -32,6 +32,10 @@ func TestValidateRejectsEveryInvalidField(t *testing.T) {
 		{"negative FlushDeadline", func(c *Config) { c.FlushDeadline = -time.Millisecond }, "FlushDeadline"},
 		{"zero ChunkSize", func(c *Config) { c.ChunkSize = 0 }, "ChunkSize"},
 		{"negative ChunkSize", func(c *Config) { c.ChunkSize = -5 }, "ChunkSize"},
+		{"negative Dist.StartTimeout", func(c *Config) { c.Dist.StartTimeout = -time.Second }, "StartTimeout"},
+		{"negative Dist.ProbeInterval", func(c *Config) { c.Dist.ProbeInterval = -time.Microsecond }, "ProbeInterval"},
+		{"negative Dist.MaxFrameBytes", func(c *Config) { c.Dist.MaxFrameBytes = -1 }, "MaxFrameBytes"},
+		{"tiny Dist.MaxFrameBytes", func(c *Config) { c.Dist.MaxFrameBytes = 64 }, "full buffer"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -76,6 +80,69 @@ func TestDefaultsRoundTripToBackends(t *testing.T) {
 		if got, want := cfg.realConfig(), rt.DefaultConfig(topo, s); got != want {
 			t.Errorf("%v: realConfig() = %+v, want rt default %+v", s, got, want)
 		}
+	}
+}
+
+func TestValidateAcceptsDistKnobs(t *testing.T) {
+	cfg := validConfig()
+	cfg.Dist = DistOptions{
+		App:           "anything",
+		Params:        []byte("{}"),
+		StartTimeout:  5 * time.Second,
+		ProbeInterval: time.Millisecond,
+		MaxFrameBytes: cfg.BufferItems*16 + 20,
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("dist-configured config invalid: %v", err)
+	}
+}
+
+// TestDistBackendRequiresRegistration pins the Dist backend's error paths
+// that precede any process spawning.
+func TestDistBackendRequiresRegistration(t *testing.T) {
+	lib := U64()
+	cfg := validConfig()
+	if _, err := lib.Run(Dist, cfg, App[uint64]{}); err == nil ||
+		!strings.Contains(err.Error(), "Config.Dist.App") {
+		t.Fatalf("missing Dist.App: err = %v", err)
+	}
+	cfg.Dist.App = "no-such-registration"
+	if _, err := lib.Run(Dist, cfg, App[uint64]{}); err == nil ||
+		!strings.Contains(err.Error(), "no dist registration") {
+		t.Fatalf("unknown registration: err = %v", err)
+	}
+}
+
+func TestRegisterDistPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("empty name", func() { RegisterDist("", func([]byte, ProcID) (DistApp, error) { return DistApp{}, nil }) })
+	mustPanic("nil builder", func() { RegisterDist("x", nil) })
+	RegisterDist("tram-test-dup", func([]byte, ProcID) (DistApp, error) { return DistApp{}, nil })
+	mustPanic("duplicate", func() {
+		RegisterDist("tram-test-dup", func([]byte, ProcID) (DistApp, error) { return DistApp{}, nil })
+	})
+	found := false
+	for _, n := range DistApps() {
+		if n == "tram-test-dup" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("DistApps() does not list the registration")
+	}
+}
+
+func TestBindDistRequiresCodec(t *testing.T) {
+	var lib Lib[uint64] // no codec
+	if _, err := BindDist(lib, validConfig(), App[uint64]{}, nil); err == nil {
+		t.Fatal("BindDist accepted a Lib without a Codec")
 	}
 }
 

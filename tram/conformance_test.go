@@ -1,0 +1,291 @@
+package tram_test
+
+// The cross-backend conformance suite: every application kernel, on every
+// aggregation scheme, must produce backend-independent results on Sim
+// (deterministic simulator), Real (goroutines in one address space), and
+// Dist (one OS process per ProcID over Unix sockets). Each application pins
+// the strongest invariant it has:
+//
+//	histogram     tables element-wise equal to a serial replay of the RNG
+//	index-gather  response completeness (every request answered exactly once)
+//	ping-ack      one ack per node-0 worker, for each SMP process split
+//	sssp          distances exactly equal to a sequential Dijkstra oracle
+//	phold         exact event conservation: processed = population + scheduled
+//
+// Dist runs spawn real worker processes: TestMain routes the self-exec'd
+// children into tram.Main before any test runs.
+
+import (
+	"os"
+	"testing"
+
+	"tramlib/internal/apps/histogram"
+	"tramlib/internal/apps/indexgather"
+	"tramlib/internal/apps/phold"
+	"tramlib/internal/apps/pingack"
+	"tramlib/internal/apps/sssp"
+	"tramlib/internal/graph"
+	"tramlib/internal/rng"
+	"tramlib/tram"
+)
+
+func TestMain(m *testing.M) {
+	tram.Main() // dist worker processes run their share here and exit
+	os.Exit(m.Run())
+}
+
+// confTopo is the conformance topology: 2 "nodes" x 1 process x 2 workers —
+// 4 workers in 2 processes, so every scheme has real process-crossing
+// traffic and Dist runs across 2 OS processes.
+func confTopo() tram.Topology { return tram.SMP(2, 1, 2) }
+
+// backends lists the three execution backends under test.
+func backends() []tram.Backend { return []tram.Backend{tram.Sim, tram.Real, tram.Dist} }
+
+// forEachSchemeBackend runs fn across the full scheme x backend matrix.
+func forEachSchemeBackend(t *testing.T, fn func(t *testing.T, s tram.Scheme, b tram.Backend)) {
+	for _, s := range tram.Schemes() {
+		for _, b := range backends() {
+			s, b := s, b
+			t.Run(s.String()+"/"+b.String(), func(t *testing.T) {
+				fn(t, s, b)
+			})
+		}
+	}
+}
+
+func TestConformanceHistogram(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full backend matrix (spawns processes)")
+	}
+	topo := confTopo()
+	W := topo.TotalWorkers()
+	const (
+		z     = 3000
+		slots = 64
+		seed  = 9
+	)
+
+	// Serial replay of the generators — the derivation mirrors the kernel's:
+	// one RNG draw u yields destination u % W and slot (u>>32) % slots.
+	want := make([][]int64, W)
+	for w := range want {
+		want[w] = make([]int64, slots)
+	}
+	for w := 0; w < W; w++ {
+		r := rng.NewStream(seed, w)
+		for i := 0; i < z; i++ {
+			u := r.Uint64()
+			want[u%uint64(W)][(u>>32)%slots]++
+		}
+	}
+
+	forEachSchemeBackend(t, func(t *testing.T, s tram.Scheme, b tram.Backend) {
+		cfg := histogram.DefaultConfig(topo, s)
+		cfg.UpdatesPerPE = z
+		cfg.SlotsPerPE = slots
+		cfg.Seed = seed
+		cfg.Tram.BufferItems = 64
+		res := histogram.RunOn(b, cfg)
+
+		if res.TotalUpdates != int64(W)*z {
+			t.Fatalf("total updates %d, want %d", res.TotalUpdates, int64(W)*z)
+		}
+		if res.CheckSum != int64(W)*z {
+			t.Fatalf("checksum %d, want %d", res.CheckSum, int64(W)*z)
+		}
+		for w := 0; w < W; w++ {
+			for sl := 0; sl < slots; sl++ {
+				if res.Tables[w][sl] != want[w][sl] {
+					t.Fatalf("table[%d][%d] = %d, want %d (replay)", w, sl, res.Tables[w][sl], want[w][sl])
+				}
+			}
+		}
+	})
+}
+
+func TestConformanceIndexGather(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full backend matrix (spawns processes)")
+	}
+	topo := confTopo()
+	W := topo.TotalWorkers()
+	const z = 2000
+
+	forEachSchemeBackend(t, func(t *testing.T, s tram.Scheme, b tram.Backend) {
+		cfg := indexgather.DefaultConfig(topo, s)
+		cfg.RequestsPerPE = z
+		cfg.Tram.BufferItems = 64
+		cfg.Seed = 5
+		res := indexgather.RunOn(b, cfg)
+
+		// Completeness: every one of the W*z requests came back exactly
+		// once — no response lost, duplicated, or misrouted.
+		if want := int64(W) * z; res.Responses != want {
+			t.Fatalf("responses %d, want %d", res.Responses, want)
+		}
+		if res.Latency.Count() != int64(W)*z {
+			t.Fatalf("latency samples %d, want %d", res.Latency.Count(), int64(W)*z)
+		}
+		if res.Latency.Min() < 0 {
+			t.Fatalf("negative latency %d", res.Latency.Min())
+		}
+	})
+}
+
+func TestConformancePingAck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full backend matrix (spawns processes)")
+	}
+	const workers = 4
+	for _, procs := range []int{1, 2} {
+		for _, b := range backends() {
+			procs, b := procs, b
+			t.Run(b.String(), func(t *testing.T) {
+				cfg := pingack.DefaultConfig()
+				cfg.WorkersPerNode = workers
+				cfg.ProcsPerNode = procs
+				cfg.TotalMessages = 2000
+				res := pingack.RunOn(b, cfg)
+				if res.Acks != workers {
+					t.Fatalf("procs=%d: acks %d, want %d", procs, res.Acks, workers)
+				}
+				if want := int64(2000 + workers); res.M.Inserted != want {
+					t.Fatalf("procs=%d: inserted %d, want %d", procs, res.M.Inserted, want)
+				}
+			})
+		}
+	}
+}
+
+func TestConformanceSSSP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full backend matrix (spawns processes)")
+	}
+	topo := confTopo()
+	recipe := sssp.Recipe{Kind: "uniform", N: 600, AvgDeg: 5, Seed: 11}
+	g, err := recipe.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := graph.Dijkstra(g, 0)
+
+	forEachSchemeBackend(t, func(t *testing.T, s tram.Scheme, b tram.Backend) {
+		cfg := sssp.DefaultConfig(topo, s, g)
+		cfg.Recipe = &recipe
+		cfg.Tram.BufferItems = 32
+		res := sssp.RunOnKeepDist(b, cfg)
+		for v := 0; v < g.N; v++ {
+			if got := res.DistOf(topo, g, v); got != oracle[v] {
+				t.Fatalf("dist[%d] = %d, oracle %d", v, got, oracle[v])
+			}
+		}
+		var wantReached int64
+		for _, d := range oracle {
+			if d != graph.Infinity {
+				wantReached++
+			}
+		}
+		if res.Reached != wantReached {
+			t.Fatalf("reached %d, oracle %d", res.Reached, wantReached)
+		}
+	})
+}
+
+func TestConformancePHOLD(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full backend matrix (spawns processes)")
+	}
+	topo := confTopo()
+	const (
+		lps    = 64
+		budget = 20000
+	)
+	pop := int64(topo.TotalWorkers() * lps) // PopulationPerLP = 1
+
+	forEachSchemeBackend(t, func(t *testing.T, s tram.Scheme, b tram.Backend) {
+		cfg := phold.DefaultConfig(topo, s)
+		cfg.LPsPerWorker = lps
+		cfg.EventsBudget = budget
+		cfg.Tram.BufferItems = 64
+		res := phold.RunOn(b, cfg)
+
+		// Exact conservation on every backend: each of the initial events
+		// and each scheduled successor is processed exactly once.
+		if res.Processed != pop+res.Scheduled {
+			t.Fatalf("conservation violated: processed %d != population %d + scheduled %d",
+				res.Processed, pop, res.Scheduled)
+		}
+		// The budget bounds successor creation (under Dist it is split
+		// per-process, so the bound is the same global total).
+		if res.Scheduled >= budget {
+			t.Fatalf("scheduled %d events, budget %d", res.Scheduled, budget)
+		}
+		if tram.IsDist(b) {
+			// Per-process budgeting still has to do real work everywhere.
+			if res.Processed < pop {
+				t.Fatalf("processed %d below initial population %d", res.Processed, pop)
+			}
+		} else if res.Scheduled != budget-1 {
+			// Single-counter backends pin the schedule count exactly.
+			t.Fatalf("scheduled %d, want %d", res.Scheduled, budget-1)
+		}
+		if res.MaxLVT == 0 {
+			t.Fatal("LVT never advanced")
+		}
+		if res.Wasted > res.RemoteRecv {
+			t.Fatalf("wasted %d exceeds remote receives %d", res.Wasted, res.RemoteRecv)
+		}
+	})
+}
+
+// TestConformanceDistMatchesReal is the acceptance pin: histogram,
+// index-gather, and ping-ack on tram.Dist across >= 2 OS processes produce
+// results identical to tram.Real (itself already validated against the
+// serial replays above).
+func TestConformanceDistMatchesReal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	topo := confTopo()
+	W := topo.TotalWorkers()
+	if topo.TotalProcs() < 2 {
+		t.Fatal("conformance topology must span >= 2 OS processes")
+	}
+
+	hcfg := histogram.DefaultConfig(topo, tram.WPs)
+	hcfg.UpdatesPerPE = 2000
+	hcfg.SlotsPerPE = 32
+	hcfg.Tram.BufferItems = 64
+	hReal := histogram.RunOn(tram.Real, hcfg)
+	hDist := histogram.RunOn(tram.Dist, hcfg)
+	for w := 0; w < W; w++ {
+		for s := range hReal.Tables[w] {
+			if hReal.Tables[w][s] != hDist.Tables[w][s] {
+				t.Fatalf("histogram table[%d][%d]: real %d != dist %d", w, s, hReal.Tables[w][s], hDist.Tables[w][s])
+			}
+		}
+	}
+	if hReal.TotalUpdates != hDist.TotalUpdates {
+		t.Fatalf("histogram totals: real %d != dist %d", hReal.TotalUpdates, hDist.TotalUpdates)
+	}
+
+	icfg := indexgather.DefaultConfig(topo, tram.PP)
+	icfg.RequestsPerPE = 1500
+	icfg.Tram.BufferItems = 64
+	iReal := indexgather.RunOn(tram.Real, icfg)
+	iDist := indexgather.RunOn(tram.Dist, icfg)
+	if iReal.Responses != iDist.Responses {
+		t.Fatalf("index-gather responses: real %d != dist %d", iReal.Responses, iDist.Responses)
+	}
+
+	pcfg := pingack.DefaultConfig()
+	pcfg.WorkersPerNode = 4
+	pcfg.ProcsPerNode = 2
+	pcfg.TotalMessages = 1000
+	pReal := pingack.RunOn(tram.Real, pcfg)
+	pDist := pingack.RunOn(tram.Dist, pcfg)
+	if pReal.Acks != pDist.Acks {
+		t.Fatalf("ping-ack acks: real %d != dist %d", pReal.Acks, pDist.Acks)
+	}
+}

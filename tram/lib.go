@@ -133,22 +133,22 @@ type rawApp struct {
 	flushOnDone bool
 }
 
-// Backend executes applications. The two implementations are Sim (the
-// deterministic discrete-event simulator, virtual-time metrics) and Real
-// (goroutines over lock-free shared-memory buffers, wall-clock metrics).
+// Backend executes applications. The three implementations are Sim (the
+// deterministic discrete-event simulator, virtual-time metrics), Real
+// (goroutines over lock-free shared-memory buffers, wall-clock metrics),
+// and Dist (one OS process per ProcID over Unix-domain sockets, wall-clock
+// metrics aggregated from per-process reports; requires a RegisterDist
+// registration — see the dist.go package section).
 type Backend interface {
-	// String names the backend ("sim" or "real").
+	// String names the backend ("sim", "real", or "dist").
 	String() string
 	run(cfg Config, app rawApp) (Metrics, error)
 }
 
-// Run executes app under cfg on backend b and returns the run's metrics.
-// The typed Deliver is bound through l's codec; kernels insert through
-// l.Insert. Run blocks until global quiescence: every inserted item
-// delivered, every posted task executed, every kernel exhausted.
-func (l Lib[T]) Run(b Backend, cfg Config, app App[T]) (Metrics, error) {
+// bind lowers the typed app to the word-level rawApp the backends execute.
+func (l Lib[T]) bind(app App[T]) (rawApp, error) {
 	if l.Codec == nil {
-		return Metrics{}, fmt.Errorf("tram: Lib has no Codec")
+		return rawApp{}, fmt.Errorf("tram: Lib has no Codec")
 	}
 	raw := rawApp{spawn: app.Spawn, flushOnDone: app.FlushOnDone}
 	if raw.spawn == nil {
@@ -159,6 +159,22 @@ func (l Lib[T]) Run(b Backend, cfg Config, app App[T]) (Metrics, error) {
 		raw.deliver = func(ctx Ctx, word uint64) { deliver(ctx, codec.Decode(word)) }
 	} else {
 		raw.deliver = func(Ctx, uint64) {}
+	}
+	return raw, nil
+}
+
+// Run executes app under cfg on backend b and returns the run's metrics.
+// The typed Deliver is bound through l's codec; kernels insert through
+// l.Insert. Run blocks until global quiescence: every inserted item
+// delivered, every posted task executed, every kernel exhausted.
+//
+// On the Dist backend the bound closures never execute in this process —
+// worker processes rebuild the application from cfg.Dist's registration,
+// and in-memory results come back through Metrics.Reports.
+func (l Lib[T]) Run(b Backend, cfg Config, app App[T]) (Metrics, error) {
+	raw, err := l.bind(app)
+	if err != nil {
+		return Metrics{}, err
 	}
 	return b.run(cfg, raw)
 }

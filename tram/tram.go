@@ -1,7 +1,7 @@
 // Package tram is the public face of this repository's TramLib reproduction:
 // a shared memory-aware, latency-sensitive message aggregation library for
 // fine-grained communication (Chandrasekar & Kale, SC 2024), with one typed
-// API over two interchangeable execution backends.
+// API over three interchangeable execution backends.
 //
 // An application is written once against three small pieces:
 //
@@ -13,19 +13,31 @@
 //   - App[T] — the kernel: Deliver runs at each item's destination worker,
 //     Spawn assigns each worker its generation loop.
 //
-// The same App then runs on either backend:
+// The same App then runs on any backend:
 //
 //   - Sim executes on the deterministic discrete-event simulator
 //     (internal/charm + internal/sim): virtual-time metrics, bit-identical
 //     across runs and hosts, modelling a multi-node SMP cluster.
 //   - Real executes on actual goroutines over the lock-free shared-memory
 //     buffers (internal/rt + internal/shmem): wall-clock metrics measured on
-//     the host.
+//     the host, every "process" of the topology in one address space.
+//   - Dist runs each ProcID as a real OS process (internal/dist +
+//     internal/wire): the binary re-executes itself once per process,
+//     intra-process traffic keeps the shared-memory buffers, and
+//     process-crossing batches are length-prefix framed onto a mesh of
+//     Unix-domain sockets. Because worker processes are fresh executions,
+//     Dist apps are registered by name (RegisterDist) and rebuilt from
+//     serialized parameters — call Main first thing in main — and
+//     application results come back as per-process reports
+//     (Metrics.Reports).
 //
-// Both backends hand kernels the same Ctx interface (Self / Proc / Send /
+// Every backend hands kernels the same Ctx interface (Self / Proc / Send /
 // Contribute / Flush, plus Charge / Now / Post for cost modelling and local
 // scheduling), so the sim-vs-real comparison behind the paper's cost-model
-// calibration is a one-line backend swap.
+// calibration — and the one-address-space vs real-process-boundary
+// comparison behind its shared-memory argument — is a one-line backend
+// swap. The conformance suite (conformance_test.go) holds all three to
+// backend-independent results on every scheme.
 //
 // # Aggregation schemes
 //
