@@ -17,6 +17,8 @@
 //	                                 # and print simulated-vs-measured tables
 //	tramlab -backend dist            # run kernels across real OS processes
 //	                                 # (tram.Dist) and print real-vs-dist tables
+//	tramlab -backend dist -transport shm     # dist index-gather/ping-ack over
+//	                                 # shared-memory rings instead of sockets
 //
 // Experiment points within a figure are independent simulations; -j N runs
 // them on a deterministic worker pool (tables are byte-identical for every
@@ -57,6 +59,7 @@ func main() {
 		benchJSON = flag.String("bench-json", "", "measure engine perf (events/sec, allocs/event, harness scaling) and write JSON to this file ('-' for stdout)")
 		real      = flag.Bool("real", false, "run the kernels on the real-concurrency runtime (goroutines + lock-free buffers) and emit simulated-vs-measured tables")
 		backend   = flag.String("backend", "", "comparison tables to run: 'real' (sim vs goroutine runtime, same as -real) or 'dist' (goroutine runtime vs one OS process per ProcID)")
+		trans     = flag.String("transport", "socket", "dist peer data plane for the index-gather and ping-ack tables: 'socket' (wire-framed Unix sockets) or 'shm' (mmap'd shared-memory rings); the dist histogram table always compares both")
 	)
 	flag.Parse()
 	switch *backend {
@@ -66,6 +69,12 @@ func main() {
 	case "dist":
 	default:
 		fmt.Fprintf(os.Stderr, "tramlab: unknown -backend %q (want 'real' or 'dist')\n", *backend)
+		os.Exit(2)
+	}
+	switch *trans {
+	case "socket", "shm":
+	default:
+		fmt.Fprintf(os.Stderr, "tramlab: unknown -transport %q (want 'socket' or 'shm')\n", *trans)
 		os.Exit(2)
 	}
 
@@ -87,12 +96,13 @@ func main() {
 	}
 
 	opts := bench.Options{
-		WorkerDiv: *workerdiv,
-		ItemDiv:   *itemdiv,
-		IGItemDiv: *igdiv,
-		NodesCap:  *nodescap,
-		Seed:      *seed,
-		Jobs:      *jobs,
+		WorkerDiv:     *workerdiv,
+		ItemDiv:       *itemdiv,
+		IGItemDiv:     *igdiv,
+		NodesCap:      *nodescap,
+		Seed:          *seed,
+		Jobs:          *jobs,
+		DistTransport: *trans,
 	}
 	var progress io.Writer = os.Stderr
 	if *quiet {

@@ -1,5 +1,7 @@
-// Liveagg: a real-concurrency (wall-clock) demonstration of the paper's core
-// trade-off, driven through the public tram API on the Real backend.
+// Liveagg: a wall-clock demonstration of the paper's core trade-off, driven
+// through the public tram API on the concurrent backends — like sssp and
+// phold it sweeps every scheme on the Real backend (goroutines in one
+// address space) and, with -backend dist, across real OS processes.
 //
 // Every worker streams small items to uniformly random destinations; the
 // configured scheme decides how they are batched on the way:
@@ -12,16 +14,22 @@
 // batching amortizes it. PP's shared buffers fill workers-per-process times
 // faster than each worker's private buffer (lower item latency — the paper's
 // Fig. 12 ordering), at the price of atomic contention, which this example
-// measures for real.
+// measures for real. On the Dist backend the process boundary is a real one,
+// and -transport picks what crossing it costs: wire-framed Unix sockets, or
+// the mmap'd shared-memory rings of same-node peers.
 //
 // Run with:
 //
 //	go run ./examples/liveagg [-items 2000000] [-batch 1024] [-procs 2] [-workers 4]
+//	go run ./examples/liveagg -backend dist [-transport shm]
+//	go run ./examples/liveagg -backend both     # real then dist
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"tramlib/internal/rng"
@@ -29,50 +37,120 @@ import (
 	"tramlib/tram"
 )
 
+// distName registers the stream kernel for the Dist backend's worker
+// processes (they rebuild it from the JSON-encoded params below).
+const distName = "liveagg"
+
+// params is everything a worker process needs to reproduce the exact run
+// configuration and kernel the coordinator launched.
+type params struct {
+	Items   int         `json:"items"`
+	Batch   int         `json:"batch"`
+	Procs   int         `json:"procs"`
+	Workers int         `json:"workers"`
+	Scheme  tram.Scheme `json:"scheme"`
+}
+
+// build constructs the run configuration and kernel from params — once in
+// the coordinating process, once in every Dist worker (the handshake's
+// config digest verifies both derivations agree).
+func (p params) build() (tram.Config, tram.App[uint64]) {
+	topo := tram.SMP(1, p.Procs, p.Workers)
+	W := topo.TotalWorkers()
+	cfg := tram.DefaultConfig(topo, p.Scheme)
+	cfg.BufferItems = p.Batch
+	lib := tram.U64()
+	return cfg, tram.App[uint64]{
+		Deliver: func(ctx tram.Ctx, item uint64) { ctx.Contribute(1) },
+		Spawn: func(w tram.WorkerID) (int, tram.KernelFunc) {
+			r := rng.NewStream(11, int(w))
+			return p.Items, func(ctx tram.Ctx, _ int) {
+				lib.Insert(ctx, tram.WorkerID(r.Intn(W)), r.Uint64())
+			}
+		},
+		FlushOnDone: true,
+	}
+}
+
+func init() {
+	tram.RegisterDist(distName, func(raw []byte, _ tram.ProcID) (tram.DistApp, error) {
+		var p params
+		if err := json.Unmarshal(raw, &p); err != nil {
+			return tram.DistApp{}, err
+		}
+		cfg, app := p.build()
+		return tram.BindDist(tram.U64(), cfg, app, nil)
+	})
+}
+
 func main() {
+	tram.Main() // dist worker processes run their share here and exit
 	items := flag.Int("items", 2_000_000, "items per worker")
 	batch := flag.Int("batch", 1024, "aggregation buffer capacity")
 	procs := flag.Int("procs", 2, "processes")
 	workers := flag.Int("workers", 4, "workers per process")
+	backend := flag.String("backend", "real", "execution backend: real, dist, or both")
+	transport := flag.String("transport", "socket", "dist peer data plane: socket or shm")
 	flag.Parse()
 
-	topo := tram.SMP(1, *procs, *workers)
-	W := topo.TotalWorkers()
-	total := int64(*items) * int64(W)
-
-	tb := stats.NewTable(
-		fmt.Sprintf("Live aggregation on %v: %d items/worker, batch=%d", topo, *items, *batch),
-		"scheme", "wall_time", "items/us", "batches", "mean_batch", "deadline_flush")
-
-	lib := tram.U64()
-	for _, s := range tram.Schemes() {
-		cfg := tram.DefaultConfig(topo, s)
-		cfg.BufferItems = *batch
-		m, err := lib.Run(tram.Real, cfg, tram.App[uint64]{
-			Deliver: func(ctx tram.Ctx, item uint64) { ctx.Contribute(1) },
-			Spawn: func(w tram.WorkerID) (int, tram.KernelFunc) {
-				r := rng.NewStream(11, int(w))
-				return *items, func(ctx tram.Ctx, _ int) {
-					lib.Insert(ctx, tram.WorkerID(r.Intn(W)), r.Uint64())
-				}
-			},
-			FlushOnDone: true,
-		})
-		if err != nil {
-			panic(err)
-		}
-		if m.Reduced != total {
-			panic(fmt.Sprintf("%v: delivered %d of %d items", s, m.Reduced, total))
-		}
-		meanBatch := 0.0
-		if m.Batches > 0 {
-			meanBatch = float64(m.Delivered-m.LocalDirect) / float64(m.Batches)
-		}
-		tb.AddRowf(s.String(), m.Wall.Round(time.Millisecond).String(),
-			float64(total)/float64(m.Wall.Microseconds()), m.Batches, meanBatch,
-			m.DeadlineFlushes)
+	var backends []tram.Backend
+	switch *backend {
+	case "real":
+		backends = []tram.Backend{tram.Real}
+	case "dist":
+		backends = []tram.Backend{tram.Dist}
+	case "both":
+		backends = []tram.Backend{tram.Real, tram.Dist}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -backend %q (want real, dist, or both)\n", *backend)
+		os.Exit(2)
 	}
-	fmt.Println(tb.String())
+	switch *transport {
+	case "socket", "shm":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -transport %q (want socket or shm)\n", *transport)
+		os.Exit(2)
+	}
+
+	for _, b := range backends {
+		title := fmt.Sprintf("Live aggregation on %v: %d items/worker, batch=%d, backend=%v",
+			tram.SMP(1, *procs, *workers), *items, *batch, b)
+		if tram.IsDist(b) {
+			title += fmt.Sprintf(" (%s transport)", *transport)
+		}
+		tb := stats.NewTable(title,
+			"scheme", "wall_time", "items/us", "batches", "mean_batch", "deadline_flush")
+
+		for _, s := range tram.Schemes() {
+			p := params{Items: *items, Batch: *batch, Procs: *procs, Workers: *workers, Scheme: s}
+			cfg, app := p.build()
+			if tram.IsDist(b) {
+				raw, err := json.Marshal(p)
+				if err != nil {
+					panic(err)
+				}
+				cfg.Dist.App = distName
+				cfg.Dist.Params = raw
+				cfg.Dist.Transport = tram.DistTransport(*transport)
+			}
+			m, err := tram.U64().Run(b, cfg, app)
+			if err != nil {
+				panic(err)
+			}
+			total := int64(*items) * int64(*procs) * int64(*workers)
+			if m.Reduced != total {
+				panic(fmt.Sprintf("%v: delivered %d of %d items", s, m.Reduced, total))
+			}
+			meanBatch := 0.0
+			if m.Batches > 0 {
+				meanBatch = float64(m.Delivered-m.LocalDirect) / float64(m.Batches)
+			}
+			tb.AddRowf(s.String(), m.Wall.Round(time.Millisecond).String(),
+				float64(total)/float64(m.Wall.Microseconds()), m.Batches, meanBatch,
+				m.DeadlineFlushes)
+		}
+		fmt.Println(tb.String())
+	}
 	fmt.Println("Direct pays one inbox handoff per item; the schemes amortize it over a batch.")
 	fmt.Println("PP shares each destination buffer across the process's workers (atomic")
 	fmt.Println("claim/seal), so its buffers fill ~workers x faster: fresher batches at equal g.")

@@ -69,6 +69,9 @@ type Config struct {
 	WorkCost time.Duration
 	// ChunkSize is the number of sends issued per scheduler slot.
 	ChunkSize int
+	// Transport selects the Dist backend's same-node data plane ("" =
+	// socket). Dist only.
+	Transport tram.DistTransport
 }
 
 // DefaultConfig returns the Fig. 3 baseline: 64 workers per node, 64000 total
@@ -124,6 +127,7 @@ func (cfg Config) build() (tram.Config, tram.App[uint64]) {
 	if cfg.ChunkSize > 0 {
 		tc.ChunkSize = cfg.ChunkSize
 	}
+	tc.Dist.Transport = cfg.Transport
 
 	w := cfg.WorkersPerNode
 	perPE := cfg.TotalMessages / w

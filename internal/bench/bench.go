@@ -57,6 +57,10 @@ type Options struct {
 	// Lines from concurrent points are serialized but may interleave in
 	// any order.
 	Progress io.Writer
+	// DistTransport selects the peer data plane of the -backend dist
+	// index-gather and ping-ack tables: "socket" (default) or "shm". The
+	// dist histogram table always compares both side by side.
+	DistTransport string
 }
 
 // Default returns laptop-scale options.
@@ -76,6 +80,9 @@ func (o Options) normalized() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.DistTransport == "" {
+		o.DistTransport = "socket"
 	}
 	return o
 }

@@ -203,22 +203,31 @@ func CorePerf(o Options) Perf {
 			return uint64(r.TotalUpdates), 0
 		}))
 	}
-	// dist-histogram-*: the same kernel across real OS processes (tram.Dist,
-	// 4 worker processes over Unix sockets). Events counts delivered updates
-	// as above, but the updates execute in the worker processes — the alloc
-	// columns therefore gate the *coordinator's* per-item overhead (spawn,
-	// handshake, probe loop, report decode), which must stay near zero, while
-	// wall time records the end-to-end multi-process makespan.
-	for _, s := range []tram.Scheme{tram.WW, tram.WPs, tram.PP} {
-		s := s
-		perf.Points = append(perf.Points, measure("dist-histogram-"+s.String(), func() (uint64, float64) {
+	// dist-histogram-* / dist-shm-histogram-*: the same kernel across real
+	// OS processes (tram.Dist, 4 worker processes), once per peer transport
+	// — Unix sockets and same-node shared-memory rings. Events counts
+	// delivered updates as above, but the updates execute in the worker
+	// processes — the alloc columns therefore gate the *coordinator's*
+	// per-item overhead (spawn, handshake, probe loop, report decode), which
+	// must stay near zero and transport-independent (the coordinator never
+	// touches the data plane), while wall time records the end-to-end
+	// multi-process makespan each transport delivers.
+	distHisto := func(s tram.Scheme, transport string) func() (uint64, float64) {
+		return func() (uint64, float64) {
 			cfg := histogram.DefaultConfig(cluster.SMP(2, 2, 4), s)
 			cfg.UpdatesPerPE = 1 << 16
 			cfg.SlotsPerPE = 512
 			cfg.Seed = o.Seed
+			cfg.Tram.Dist.Transport = tram.DistTransport(transport)
 			r := histogram.RunOn(tram.Dist, cfg)
 			return uint64(r.TotalUpdates), 0
-		}))
+		}
+	}
+	for _, s := range []tram.Scheme{tram.WW, tram.WPs, tram.PP} {
+		perf.Points = append(perf.Points, measure("dist-histogram-"+s.String(), distHisto(s, "socket")))
+	}
+	for _, s := range []tram.Scheme{tram.WW, tram.WPs, tram.PP} {
+		perf.Points = append(perf.Points, measure("dist-shm-histogram-"+s.String(), distHisto(s, "shm")))
 	}
 	return perf
 }

@@ -181,15 +181,24 @@ func RealTables(o Options) []*stats.Table {
 //
 // The -backend dist tables run the same kernels on tram.Real (goroutines in
 // one address space; process boundaries simulated by the scheme wiring) and
-// on tram.Dist (each ProcID a real OS process; cross-proc batches framed
-// over Unix sockets). For the first time WW vs WPs vs PP differ by a *real*
-// process-boundary cost: the dist column pays encode + syscall + decode on
-// every process-crossing batch, so the aggregating schemes' advantage over
-// Direct (and the SMP-aware schemes' advantage over WW) is measured, not
-// modelled. Runs execute strictly one at a time so each owns the host.
+// on tram.Dist (each ProcID a real OS process). For the first time WW vs
+// WPs vs PP differ by a *real* process-boundary cost, and the histogram
+// table measures that cost under both peer transports side by side: the
+// socket column pays encode + write syscall + kernel copy + read syscall on
+// every process-crossing batch, while the shm column pays one in-place
+// encode into an mmap'd ring — the paper's same-node fast path against its
+// framed slow path, on identical workloads with element-wise identical
+// results. Runs execute strictly one at a time so each owns the host.
 
-// DistHistogram returns the histogram real-vs-dist table, checking dist
-// tables element-wise against the real run's.
+// withTransport returns cfg with the Dist data plane set.
+func withTransport(cfg tram.Config, tr string) tram.Config {
+	cfg.Dist.Transport = tram.DistTransport(tr)
+	return cfg
+}
+
+// DistHistogram returns the histogram real-vs-dist table with the dist leg
+// run over both transports (same-node socket vs shm), checking both dist
+// runs element-wise against the real run's tables.
 func DistHistogram(o Options) *stats.Table {
 	o = o.normalized()
 	topo := realTopo()
@@ -197,34 +206,41 @@ func DistHistogram(o Options) *stats.Table {
 	const g = 1024
 
 	tb := stats.NewTable(
-		fmt.Sprintf("Dist histogram: %d updates/PE on %v (%d OS processes), real vs dist",
+		fmt.Sprintf("Dist histogram: %d updates/PE on %v (%d OS processes), real vs dist socket vs dist shm",
 			z, topo, topo.TotalProcs()),
-		"scheme", "real_ms", "dist_ms", "dist_batches", "dist_deadline_flush", "tables_ok")
+		"scheme", "real_ms", "sock_ms", "shm_ms", "sock_batches", "shm_batches", "tables_ok")
 
 	for _, s := range realSchemes {
 		cfg := histoConfig(o, topo, s, z, g)
 		real := histogram.RunOn(tram.Real, cfg)
 		o.progressf("dist-histogram real %v done: %v", s, real.M.Wall)
-		dist := histogram.RunOn(tram.Dist, cfg)
-		o.progressf("dist-histogram dist %v done: %v (%d batches)", s, dist.M.Wall, dist.M.Batches)
+		cfg.Tram = withTransport(cfg.Tram, "socket")
+		sock := histogram.RunOn(tram.Dist, cfg)
+		o.progressf("dist-histogram socket %v done: %v (%d batches)", s, sock.M.Wall, sock.M.Batches)
+		cfg.Tram = withTransport(cfg.Tram, "shm")
+		shm := histogram.RunOn(tram.Dist, cfg)
+		o.progressf("dist-histogram shm %v done: %v (%d batches)", s, shm.M.Wall, shm.M.Batches)
 
 		ok := "yes"
 		expected := int64(topo.TotalWorkers()) * int64(z)
-		if dist.TotalUpdates != expected || dist.CheckSum != expected {
-			ok = "NO"
-		}
-		for w := range real.Tables {
-			for sl := range real.Tables[w] {
-				if real.Tables[w][sl] != dist.Tables[w][sl] {
-					ok = "NO"
+		for _, dist := range []*histogram.Result{&sock, &shm} {
+			if dist.TotalUpdates != expected || dist.CheckSum != expected {
+				ok = "NO"
+			}
+			for w := range real.Tables {
+				for sl := range real.Tables[w] {
+					if real.Tables[w][sl] != dist.Tables[w][sl] {
+						ok = "NO"
+					}
 				}
 			}
 		}
 		tb.AddRowf(s.String(),
 			float64(real.M.Wall)/1e6,
-			float64(dist.M.Wall)/1e6,
-			dist.M.Batches,
-			dist.M.DeadlineFlushes,
+			float64(sock.M.Wall)/1e6,
+			float64(shm.M.Wall)/1e6,
+			sock.M.Batches,
+			shm.M.Batches,
 			ok)
 	}
 	return tb
@@ -239,14 +255,15 @@ func DistIndexGather(o Options) *stats.Table {
 	igSchemes := []tram.Scheme{tram.WW, tram.WPs, tram.PP}
 
 	tb := stats.NewTable(
-		fmt.Sprintf("Dist index-gather: %d requests/PE on %v (%d OS processes), request latency",
-			z, topo, topo.TotalProcs()),
+		fmt.Sprintf("Dist index-gather: %d requests/PE on %v (%d OS processes, %s transport), request latency",
+			z, topo, topo.TotalProcs(), o.DistTransport),
 		"scheme", "real_mean_us", "dist_mean_us", "dist_p99_us", "dist_ms", "responses_ok")
 
 	igConfig := func(s tram.Scheme) indexgather.Config {
 		cfg := indexgather.DefaultConfig(topo, s)
 		cfg.RequestsPerPE = z
 		cfg.Seed = o.Seed
+		cfg.Tram = withTransport(cfg.Tram, o.DistTransport)
 		return cfg
 	}
 	for _, s := range igSchemes {
@@ -285,7 +302,8 @@ func DistPingAck(o Options) *stats.Table {
 	sent := perPE * workers
 
 	tb := stats.NewTable(
-		fmt.Sprintf("Dist ping-ack: %d messages, %d workers/node, real vs dist", sent, workers),
+		fmt.Sprintf("Dist ping-ack: %d messages, %d workers/node, real vs dist (%s transport)",
+			sent, workers, o.DistTransport),
 		"config", "real_ms", "dist_ms", "dist_msgs_per_sec", "acks_ok")
 
 	for _, procs := range []int{1, 2, 4} {
@@ -293,6 +311,7 @@ func DistPingAck(o Options) *stats.Table {
 		cfg.WorkersPerNode = workers
 		cfg.TotalMessages = msgs
 		cfg.ProcsPerNode = procs
+		cfg.Transport = tram.DistTransport(o.DistTransport)
 		real := pingack.RunOn(tram.Real, cfg)
 		o.progressf("dist-pingack real procs=%d done: %v", procs, real.M.Wall)
 		dist := pingack.RunOn(tram.Dist, cfg)

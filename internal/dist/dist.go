@@ -1,7 +1,9 @@
 // Package dist is the multi-process execution layer of the Dist backend: it
 // runs each ProcID of a topology as a real OS process on one machine,
 // coordinated by the parent over Unix-domain sockets, with the aggregated
-// batches of internal/rt's partitioned mode framed by internal/wire.
+// batches of internal/rt's partitioned mode carried by the pluggable peer
+// data plane of internal/transport (wire-framed Unix sockets, or mmap'd
+// shared-memory rings between same-node processes).
 //
 // # Process model
 //
@@ -12,14 +14,21 @@
 // coordinator-supplied name/params, and never reach the program's normal
 // flow. Intra-process traffic stays in shared memory (internal/shmem
 // buffers, exactly as the Real backend wires them); only process-crossing
-// batches are encoded onto the full mesh of worker-to-worker sockets.
+// batches go to the transport mesh, whose per-pair link kind the
+// coordinator selects from Config.Transport and the Nodes grouping. This
+// package holds no peer-data socket or ring code of its own — it routes
+// rt.Remote through transport.PeerTransport, so the quiescence protocol
+// below is transport-agnostic.
 //
 // # Handshake
 //
 //	worker  -> parent   Hello       (connects to the control socket)
-//	parent  -> worker   Setup       (app name/params, proc count, frame cap, config digest)
-//	worker  -> parent   Listening   (data listener up; echoes its config digest)
-//	parent  -> worker   Connect     (all listeners up: dial lower-numbered peers)
+//	parent  -> worker   Setup       (app name/params, proc count, frame cap,
+//	                                 transport kind + node map, config digest)
+//	worker  -> parent   Listening   (inbound endpoints up: data listener and/or
+//	                                 created ring segments; echoes its digest)
+//	parent  -> worker   Connect     (all inbound sides up: dial socket peers,
+//	                                 open outbound ring segments)
 //	worker  -> parent   Ready       (full mesh established, inbound and outbound)
 //	parent  -> worker   Start       (run kernels)
 //
@@ -52,6 +61,7 @@ import (
 	"time"
 
 	"tramlib/internal/rt"
+	"tramlib/internal/transport"
 	"tramlib/internal/wire"
 )
 
@@ -79,6 +89,20 @@ type Config struct {
 	// MaxFrameBytes caps data-plane frames. <= 0 selects
 	// wire.DefaultMaxFrameBytes.
 	MaxFrameBytes int
+
+	// Transport selects the peer data plane for same-node process pairs:
+	// transport.Socket (the zero value) frames every pair over Unix
+	// sockets; transport.Shm carries same-node pairs over mmap'd SPSC
+	// rings. Pairs on different nodes (per Nodes) always use sockets.
+	Transport transport.Kind
+	// Nodes maps each ProcID to a physical-node id for transport selection.
+	// Nil places every process on one node; otherwise it must have one
+	// entry per process.
+	Nodes []int
+	// RingBytes sizes each shm ring segment's data area. <= 0 selects the
+	// shmring default (1 MiB). Must fit the largest wire frame a full
+	// aggregation buffer can produce.
+	RingBytes int
 }
 
 func (c Config) withDefaults() Config {
@@ -137,6 +161,12 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("dist: Config.RT must not be partitioned")
 	}
 	P := cfg.RT.Topo.TotalProcs()
+	if cfg.Transport > transport.Shm {
+		return Result{}, fmt.Errorf("dist: unknown transport %v", cfg.Transport)
+	}
+	if cfg.Nodes != nil && len(cfg.Nodes) != P {
+		return Result{}, fmt.Errorf("dist: node map has %d entries for %d procs", len(cfg.Nodes), P)
+	}
 
 	dir, err := os.MkdirTemp(cfg.SockDir, "tram-dist-*")
 	if err != nil {
@@ -309,6 +339,9 @@ func (co *coordinator) run(ln net.Listener) (Result, error) {
 		Procs:         P,
 		Dir:           co.dir,
 		MaxFrameBytes: cfg.MaxFrameBytes,
+		Transport:     cfg.Transport.String(),
+		Nodes:         cfg.Nodes,
+		RingBytes:     cfg.RingBytes,
 		Digest:        digest,
 	}); err != nil {
 		return Result{}, err

@@ -11,6 +11,7 @@ import (
 	"tramlib/internal/core"
 	"tramlib/internal/rng"
 	"tramlib/internal/rt"
+	"tramlib/internal/transport"
 )
 
 // The test binary doubles as the worker binary: TestMain routes dist-worker
@@ -138,12 +139,13 @@ func buildReqResp(p histoParams) App {
 }
 
 // runHisto executes the histo app across real processes and validates the
-// aggregate against a serial replay.
-func runHisto(t *testing.T, topo cluster.Topology, scheme core.Scheme, z, g int) Result {
+// aggregate against a serial replay. mutate, if non-nil, adjusts the run
+// configuration (transport selection) before launch.
+func runHisto(t *testing.T, topo cluster.Topology, scheme core.Scheme, z, g int, mutate ...func(*Config)) Result {
 	t.Helper()
 	p := histoParams{Topo: topo, Scheme: scheme, Z: z, G: g, Seed: 7}
 	params, _ := json.Marshal(p)
-	res, err := Run(Config{
+	cfg := Config{
 		RT: rt.Config{
 			Topo:          topo,
 			Scheme:        scheme,
@@ -153,7 +155,11 @@ func runHisto(t *testing.T, topo cluster.Topology, scheme core.Scheme, z, g int)
 		},
 		Name:   "histo",
 		Params: params,
-	})
+	}
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,6 +239,81 @@ func TestFourProcesses(t *testing.T) {
 		t.Skip("spawns real processes")
 	}
 	runHisto(t, cluster.SMP(2, 2, 2), core.WPs, 3000, 16)
+}
+
+// shmConfig switches a run to the shared-memory data plane (all procs on
+// one node by default).
+func shmConfig(cfg *Config) { cfg.Transport = transport.Shm }
+
+func TestAllSchemesAcrossProcessesShm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	topo := cluster.SMP(1, 2, 2)
+	for _, s := range core.Schemes() {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			runHisto(t, topo, s, 4000, 32, shmConfig)
+		})
+	}
+}
+
+func TestFourProcessesShm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	runHisto(t, cluster.SMP(2, 2, 2), core.WPs, 3000, 16, shmConfig)
+}
+
+func TestMixedNodesShmAndSocket(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	// Four processes on two "nodes": pairs {0,1} and {2,3} ride rings,
+	// everything across the node split rides sockets — one run, both
+	// transports, same replay-validated result.
+	runHisto(t, cluster.SMP(2, 2, 2), core.PP, 3000, 16, func(cfg *Config) {
+		cfg.Transport = transport.Shm
+		cfg.Nodes = []int{0, 0, 1, 1}
+	})
+}
+
+func TestShmSocketIdenticalResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	// The transport must never change what the run computes: same app, same
+	// seed, per-worker counts and checksums compared element-wise across the
+	// two data planes (runHisto already pins both against the serial replay;
+	// this pins them against each other including the metrics totals).
+	topo := cluster.SMP(1, 2, 2)
+	sock := runHisto(t, topo, core.WsP, 3000, 32)
+	shm := runHisto(t, topo, core.WsP, 3000, 32, shmConfig)
+	var sockIns, shmIns int64
+	for p := range sock.Procs {
+		sockIns += sock.Procs[p].RT.Inserted
+		shmIns += shm.Procs[p].RT.Inserted
+	}
+	if sockIns != shmIns {
+		t.Fatalf("inserted: socket %d != shm %d", sockIns, shmIns)
+	}
+}
+
+func TestBadTransportConfigRejected(t *testing.T) {
+	topo := cluster.SMP(1, 2, 1)
+	base := rt.Config{
+		Topo:          topo,
+		Scheme:        core.WW,
+		BufferItems:   8,
+		FlushDeadline: time.Millisecond,
+		ChunkSize:     64,
+	}
+	if _, err := Run(Config{RT: base, Name: "histo", Transport: transport.Kind(9)}); err == nil {
+		t.Fatal("unknown transport kind accepted")
+	}
+	if _, err := Run(Config{RT: base, Name: "histo", Nodes: []int{0}}); err == nil {
+		t.Fatal("short node map accepted")
+	}
 }
 
 func TestRequestResponseChainsQuiesce(t *testing.T) {

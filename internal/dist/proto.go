@@ -12,7 +12,8 @@ import (
 
 // Control opcodes, carried in the Dest field of wire.KindControl frames. The
 // coordinator (parent) and its worker processes speak them over the control
-// socket; opPeerHello is the one opcode on worker-to-worker data connections.
+// socket. Worker-to-worker traffic is the transport package's business
+// (transport.PeerHello is its one data-link opcode).
 const (
 	opHello     uint32 = iota + 1 // worker -> parent: here I am (Source = proc)
 	opSetup                       // parent -> worker: app identity + run layout
@@ -26,7 +27,6 @@ const (
 	opFinish                      // parent -> worker: global quiescence proven; stop and report
 	opDone                        // worker -> parent: final result + application report
 	opError                       // worker -> parent: fatal error text
-	opPeerHello                   // worker -> worker: identifies the dialing process
 )
 
 // setupMsg is the opSetup payload: everything a worker needs to build the
@@ -36,12 +36,20 @@ type setupMsg struct {
 	// build function reconstructs the run configuration from them.
 	Name   string `json:"name"`
 	Params []byte `json:"params,omitempty"`
-	// Procs is the process count; Dir holds the per-proc data sockets
-	// (p<p>.sock, see sockPath).
+	// Procs is the process count; Dir holds the run's data-plane endpoints
+	// (sockets and ring segments; internal/transport names them).
 	Procs int    `json:"procs"`
 	Dir   string `json:"dir"`
-	// MaxFrameBytes caps data-connection frames.
+	// MaxFrameBytes caps data-plane frames.
 	MaxFrameBytes int `json:"max_frame_bytes"`
+	// Transport names the same-node peer data plane ("socket" or "shm";
+	// empty means socket), Nodes maps each ProcID to a physical-node id
+	// (nil = all one node), and RingBytes sizes shm ring segments (0 =
+	// shmring default). Run layout, like Dir — not part of the config
+	// digest: the transport must never change what the run computes.
+	Transport string `json:"transport,omitempty"`
+	Nodes     []int  `json:"nodes,omitempty"`
+	RingBytes int    `json:"ring_bytes,omitempty"`
 	// Digest is the parent's fingerprint of the runtime configuration; the
 	// worker must derive the same one from its rebuilt config (a mismatch
 	// means the registered builder and the caller disagree about the run).

@@ -2,15 +2,14 @@ package dist
 
 import (
 	"fmt"
-	"io"
 	"net"
 	"os"
-	"path/filepath"
 	"strconv"
 	"sync"
 
 	"tramlib/internal/cluster"
 	"tramlib/internal/rt"
+	"tramlib/internal/transport"
 	"tramlib/internal/wire"
 )
 
@@ -65,85 +64,67 @@ func WorkerMain(build BuildFunc) {
 	os.Exit(0)
 }
 
-// peer is one data connection to another worker process.
-type peer struct {
-	conn net.Conn
-	mu   sync.Mutex
-	// Scratch reused under mu across batch encodes.
-	buf   []byte
+// remote implements rt.Remote over the transport mesh: it resolves runtime
+// destinations to peer links and converts the runtime's batch types into
+// wire types in per-peer scratch. Which bytes then move — a socket write or
+// an in-place ring encode — is the link's business; the runtime's
+// CrossCounts accounting, deadline-flush requests, and quiescence protocol
+// upstream never see the difference.
+type remote struct {
+	topo cluster.Topology
+	mesh *transport.Mesh
+	rtm  *rt.Runtime
+	// convs[q] is the conversion scratch toward peer q, reused under its
+	// lock across batch sends (worker and progress goroutines emit
+	// concurrently toward the same peer).
+	convs []*conv
+}
+
+type conv struct {
+	mu    sync.Mutex
 	items []wire.Item
 	runs  []wire.Run
 }
 
-// transport implements rt.Remote over the peer mesh.
-type transport struct {
-	self  uint32
-	topo  cluster.Topology
-	peers []*peer // by ProcID; nil for self
-	rtm   *rt.Runtime
+func (t *remote) peerOf(w cluster.WorkerID) transport.PeerTransport {
+	return t.mesh.Peer(int(t.topo.ProcOf(w)))
 }
 
-func (t *transport) peerOf(w cluster.WorkerID) *peer { return t.peers[t.topo.ProcOf(w)] }
-
-func (t *transport) SendOne(dest cluster.WorkerID, value uint64) {
-	p := t.peerOf(dest)
-	p.mu.Lock()
-	defer p.mu.Unlock()
+func (t *remote) SendOne(dest cluster.WorkerID, value uint64) {
 	var one [1]uint64
 	one[0] = value
-	p.buf = wire.AppendPayloads(p.buf[:0], t.self, uint32(dest), one[:], false)
-	p.write()
+	t.peerOf(dest).SendPayloads(uint32(dest), one[:], false)
 }
 
-func (t *transport) SendPayloads(dest cluster.WorkerID, payloads []uint64, full bool) {
-	p := t.peerOf(dest)
-	p.mu.Lock()
-	p.buf = wire.AppendPayloads(p.buf[:0], t.self, uint32(dest), payloads, full)
-	p.write()
-	p.mu.Unlock()
+func (t *remote) SendPayloads(dest cluster.WorkerID, payloads []uint64, full bool) {
+	t.peerOf(dest).SendPayloads(uint32(dest), payloads, full)
 	t.rtm.RecyclePayloads(payloads)
 }
 
-func (t *transport) SendItems(dest cluster.ProcID, items []rt.Item, full bool) {
-	p := t.peers[dest]
-	p.mu.Lock()
-	p.items = p.items[:0]
+func (t *remote) SendItems(dest cluster.ProcID, items []rt.Item, full bool) {
+	c := t.convs[dest]
+	c.mu.Lock()
+	c.items = c.items[:0]
 	for _, it := range items {
-		p.items = append(p.items, wire.Item{Dest: uint32(it.Dest), Val: it.Val})
+		c.items = append(c.items, wire.Item{Dest: uint32(it.Dest), Val: it.Val})
 	}
-	p.buf = wire.AppendItems(p.buf[:0], t.self, uint32(dest), p.items, full)
-	p.write()
-	p.mu.Unlock()
+	t.mesh.Peer(int(dest)).SendItems(uint32(dest), c.items, full)
+	c.mu.Unlock()
 	t.rtm.RecycleItems(items)
 }
 
-func (t *transport) SendRuns(dest cluster.ProcID, runs []rt.Run, full bool) {
-	p := t.peers[dest]
-	p.mu.Lock()
-	p.runs = p.runs[:0]
+func (t *remote) SendRuns(dest cluster.ProcID, runs []rt.Run, full bool) {
+	c := t.convs[dest]
+	c.mu.Lock()
+	c.runs = c.runs[:0]
 	for _, r := range runs {
-		p.runs = append(p.runs, wire.Run{Dest: uint32(r.Dest), Payloads: r.Payloads})
+		c.runs = append(c.runs, wire.Run{Dest: uint32(r.Dest), Payloads: r.Payloads})
 	}
-	p.buf = wire.AppendRuns(p.buf[:0], t.self, uint32(dest), p.runs, full)
-	p.write()
-	p.mu.Unlock()
+	t.mesh.Peer(int(dest)).SendRuns(uint32(dest), c.runs, full)
+	c.mu.Unlock()
 	for _, r := range runs {
 		t.rtm.RecyclePayloads(r.Payloads)
 	}
-}
-
-// write flushes p.buf to the connection. A write error is fatal to the run
-// (the coordinator sees the process exit); panicking unwinds the worker
-// goroutine with a diagnosable message rather than silently dropping items.
-func (p *peer) write() {
-	if _, err := p.conn.Write(p.buf); err != nil {
-		panic(fmt.Sprintf("dist: peer write: %v", err))
-	}
-}
-
-// sockPath returns process p's data socket inside the run directory.
-func sockPath(dir string, p int) string {
-	return filepath.Join(dir, fmt.Sprintf("p%d.sock", p))
 }
 
 // snapshotCounts takes the consistent local observation the four-counter
@@ -166,6 +147,30 @@ func snapshotCounts(rtm *rt.Runtime) (sent, recv int64, quiet bool) {
 		return s2, r2, false
 	}
 	return s1, r1, quiet
+}
+
+// meshKindOf builds the per-peer transport selector a setup message
+// describes: shm for peers sharing the local process's node when the run
+// requests it, sockets otherwise. A nil node map places every process on
+// one node.
+func meshKindOf(setup setupMsg, self cluster.ProcID) func(int) transport.Kind {
+	if setup.Transport != transport.Shm.String() {
+		return nil // all-socket (the mesh default)
+	}
+	nodes := setup.Nodes
+	nodeOf := func(p int) int {
+		if nodes == nil {
+			return 0
+		}
+		return nodes[p]
+	}
+	selfNode := nodeOf(int(self))
+	return func(q int) transport.Kind {
+		if nodeOf(q) == selfNode {
+			return transport.Shm
+		}
+		return transport.Socket
+	}
 }
 
 // runWorker executes one worker process from handshake to final report.
@@ -216,10 +221,16 @@ func runWorker(proc cluster.ProcID, ctrlPath string, build BuildFunc) error {
 	if topo.TotalProcs() != setup.Procs {
 		return fail(fmt.Errorf("topology has %d procs, run has %d", topo.TotalProcs(), setup.Procs))
 	}
+	if setup.Nodes != nil && len(setup.Nodes) != setup.Procs {
+		return fail(fmt.Errorf("node map has %d entries for %d procs", len(setup.Nodes), setup.Procs))
+	}
 
-	// Build the runtime around the peer transport (the transport needs the
-	// runtime for pools; set after New).
-	tr := &transport{self: self, topo: topo, peers: make([]*peer, setup.Procs)}
+	// Build the runtime around the mesh-backed remote (the remote needs the
+	// runtime for pools and the mesh for links; both are set after New).
+	tr := &remote{topo: topo, convs: make([]*conv, setup.Procs)}
+	for i := range tr.convs {
+		tr.convs[i] = &conv{}
+	}
 	cfg := app.RT
 	cfg.Part = &rt.Partition{Proc: proc, Remote: tr}
 	rtm := rt.New(cfg, app.Deliver, app.Spawn)
@@ -227,78 +238,39 @@ func runWorker(proc cluster.ProcID, ctrlPath string, build BuildFunc) error {
 	quiet := make(chan struct{}, 1)
 	rtm.SetQuietNotify(quiet)
 
-	// Data listener up, then report Listening.
-	ln, err := net.Listen("unix", sockPath(setup.Dir, int(proc)))
-	if err != nil {
-		return fail(fmt.Errorf("listen: %w", err))
+	// The data plane: inbound frames dispatch straight into the runtime
+	// from each link's receive goroutine; loop exits land on peerErr (nil
+	// for a clean peer close).
+	pr := &peerReader{rtm: rtm, topo: topo, proc: proc}
+	peerErr := make(chan error, setup.Procs+1)
+	mesh := transport.NewMesh(transport.MeshConfig{
+		Dir:           setup.Dir,
+		Self:          int(proc),
+		Procs:         setup.Procs,
+		MaxFrameBytes: setup.MaxFrameBytes,
+		RingBytes:     setup.RingBytes,
+		KindOf:        meshKindOf(setup, proc),
+	}, pr.dispatchFrame, peerErr)
+	tr.mesh = mesh
+	defer mesh.Close()
+
+	// Inbound endpoints up, then report Listening.
+	if err := mesh.Listen(); err != nil {
+		return fail(err)
 	}
-	defer ln.Close()
 	if err := ctrl.send(self, opListening, listeningMsg{Digest: digest}); err != nil {
 		return err
 	}
 
-	// Accept inbound peer connections (from higher-numbered procs) in the
-	// background: read each dialer's hello synchronously (it is written
-	// immediately after connect), register the peer, then hand the stream to
-	// a dedicated reader.
-	inbound := setup.Procs - 1 - int(proc)
-	peerErr := make(chan error, setup.Procs+1)
-	acceptDone := make(chan error, 1)
-	go func() {
-		for i := 0; i < inbound; i++ {
-			c, err := ln.Accept()
-			if err != nil {
-				acceptDone <- fmt.Errorf("accept: %w", err)
-				return
-			}
-			rd := wire.NewReader(c, setup.MaxFrameBytes)
-			hello, err := rd.Next()
-			if err != nil || hello.Kind != wire.KindControl || hello.Dest != opPeerHello {
-				acceptDone <- fmt.Errorf("bad peer hello (err=%v)", err)
-				return
-			}
-			// The hello's Source is wire-controlled: validate it before it
-			// becomes a slice index (inbound dials come only from
-			// higher-numbered procs, each exactly once).
-			if hello.Source <= self || int(hello.Source) >= setup.Procs {
-				acceptDone <- fmt.Errorf("peer hello from invalid proc %d", hello.Source)
-				return
-			}
-			if tr.peers[hello.Source] != nil {
-				acceptDone <- fmt.Errorf("duplicate peer hello from proc %d", hello.Source)
-				return
-			}
-			tr.peers[hello.Source] = &peer{conn: c}
-			pr := &peerReader{rtm: rtm, topo: topo, proc: proc}
-			go pr.readPeerFrom(rd, peerErr)
-		}
-		acceptDone <- nil
-	}()
-
-	// Wait for Connect, then dial every lower-numbered peer.
+	// Wait for Connect, then establish the full mesh (outbound dials and
+	// ring opens; inbound socket dials land in the background).
 	if f, err = ctrl.recv(); err != nil {
 		return err
 	}
 	if f.Dest != opConnect {
 		return fmt.Errorf("expected connect, got op %d", f.Dest)
 	}
-	for q := 0; q < int(proc); q++ {
-		c, err := net.Dial("unix", sockPath(setup.Dir, q))
-		if err != nil {
-			return fail(fmt.Errorf("dial peer %d: %w", q, err))
-		}
-		defer c.Close()
-		hello := wire.AppendControl(nil, self, opPeerHello, nil)
-		if _, err := c.Write(hello); err != nil {
-			return fail(fmt.Errorf("peer hello %d: %w", q, err))
-		}
-		tr.peers[q] = &peer{conn: c}
-		pr := &peerReader{rtm: rtm, topo: topo, proc: proc}
-		go pr.readPeerFrom(wire.NewReader(c, setup.MaxFrameBytes), peerErr)
-	}
-	// Every peer entry must be in place before Ready: once the coordinator
-	// broadcasts Start, any worker may send to any process immediately.
-	if err := <-acceptDone; err != nil {
+	if err := mesh.Connect(); err != nil {
 		return fail(err)
 	}
 	if err := ctrl.send(self, opReady, nil); err != nil {
@@ -370,13 +342,9 @@ func runWorker(proc cluster.ProcID, ctrlPath string, build BuildFunc) error {
 			if err := ctrl.send(self, opDone, doneMsg{Result: res, Report: report}); err != nil {
 				return err
 			}
-			// Close data connections so peers' readers see clean EOFs; the
-			// listener closes via defer.
-			for _, p := range tr.peers {
-				if p != nil {
-					p.conn.Close()
-				}
-			}
+			// Tear the data plane down so peers' receive loops see clean
+			// ends (socket EOFs, ring end-of-stream markers).
+			mesh.Close()
 			return nil
 		default:
 			return fmt.Errorf("unexpected op %d during run", f.Dest)
@@ -384,11 +352,12 @@ func runWorker(proc cluster.ProcID, ctrlPath string, build BuildFunc) error {
 	}
 }
 
-// peerReader drains one data connection into the runtime.
+// peerReader dispatches one peer link's inbound frames into the runtime.
 type peerReader struct {
 	rtm        *rt.Runtime
 	topo       cluster.Topology
 	proc       cluster.ProcID
+	mu         sync.Mutex // guards runScratch: links dispatch concurrently
 	runScratch []rt.Run
 }
 
@@ -404,27 +373,10 @@ func (pr *peerReader) checkDest(dest uint32) error {
 	return nil
 }
 
-// readPeerFrom drains an already-positioned reader (the accept path reads
-// the hello frame first) until EOF, reporting any decode/protocol error.
-func (pr *peerReader) readPeerFrom(rd *wire.Reader, errc chan<- error) {
-	for {
-		f, err := rd.Next()
-		if err != nil {
-			if err == io.EOF {
-				errc <- nil
-			} else {
-				errc <- fmt.Errorf("dist: peer read: %w", err)
-			}
-			return
-		}
-		if err := pr.dispatchFrame(f); err != nil {
-			errc <- err
-			return
-		}
-	}
-}
-
-// dispatchFrame routes one decoded data frame into the runtime.
+// dispatchFrame routes one decoded data frame into the runtime. It is the
+// transport.Handler every peer link's receive loop feeds; the frame's
+// payload aliases transport-owned memory, so items are copied into pooled
+// runtime storage here.
 func (pr *peerReader) dispatchFrame(f wire.Frame) error {
 	rtm := pr.rtm
 	switch f.Kind {
@@ -459,6 +411,7 @@ func (pr *peerReader) dispatchFrame(f wire.Frame) error {
 		rtm.EnqueueItems(dst)
 	case wire.KindRuns:
 		var bad error
+		pr.mu.Lock()
 		rs := pr.runScratch[:0]
 		f.EachRun(func(dest uint32, n int, dec func([]uint64)) {
 			if bad == nil {
@@ -470,12 +423,16 @@ func (pr *peerReader) dispatchFrame(f wire.Frame) error {
 		})
 		pr.runScratch = rs
 		if bad != nil {
+			// Recycle while still holding mu: rs aliases the shared
+			// runScratch, which another link's dispatch would reuse.
 			for _, r := range rs {
 				rtm.RecyclePayloads(r.Payloads)
 			}
+			pr.mu.Unlock()
 			return bad
 		}
 		rtm.EnqueueRuns(rs)
+		pr.mu.Unlock()
 	default:
 		return fmt.Errorf("dist: unexpected %v frame on data connection", f.Kind)
 	}

@@ -44,15 +44,20 @@
 // Config.Part restricts a runtime to ONE process of the topology: only that
 // process's workers run as goroutines, and batches addressed outside it are
 // handed to a Remote transport instead of a local inbox — internal/dist
-// implements Remote over Unix-domain sockets, running each ProcID as a real
-// OS process. Intra-process traffic still flows through the internal/shmem
-// buffers exactly as in whole-topology mode; only the cross-process legs
-// change transport. In this mode local quiescence (no producing worker, no
-// in-flight local item) is necessary but not sufficient — items may be on
-// the wire — so the runtime does not stop itself: it signals each local
-// transition to quiet (SetQuietNotify), exposes monotone cross-process
-// sent/received counters (CrossCounts) for the coordinator's distributed
-// termination detection, and terminates when the coordinator calls Stop.
+// implements Remote over internal/transport's pluggable peer links
+// (wire-framed Unix sockets, or mmap'd shared-memory rings between
+// same-node processes), running each ProcID as a real OS process.
+// Intra-process traffic still flows through the internal/shmem buffers
+// exactly as in whole-topology mode; only the cross-process legs change
+// transport. The runtime is transport-agnostic by construction: Remote is
+// the entire seam, so the quiescence counters, deadline-flush requests, and
+// batch-ownership rules below hold identically whichever link kind carries
+// a batch. In this mode local quiescence (no producing worker, no in-flight
+// local item) is necessary but not sufficient — items may be in transit —
+// so the runtime does not stop itself: it signals each local transition to
+// quiet (SetQuietNotify), exposes monotone cross-process sent/received
+// counters (CrossCounts) for the coordinator's distributed termination
+// detection, and terminates when the coordinator calls Stop.
 //
 // # Latency bound
 //
@@ -111,10 +116,12 @@ type SpawnFunc func(w cluster.WorkerID) (steps int, kernel KernelFunc)
 
 // Remote is the cross-process transport of partitioned mode: sealed batches
 // addressed outside the local process are flushed through it (internal/dist
-// implements it over wire-framed Unix-domain sockets). Implementations
+// implements it by routing to internal/transport peer links — sockets or
+// shared-memory rings; the runtime never knows which). Implementations
 // receive ownership of every slice argument and must return the storage via
 // the runtime's Recycle methods once encoded. Calls arrive from worker and
-// progress goroutines concurrently and may block (socket backpressure).
+// progress goroutines concurrently and may block on backpressure (a full
+// socket buffer or ring).
 type Remote interface {
 	// SendOne ships one unbuffered item (Direct wiring).
 	SendOne(dest cluster.WorkerID, value uint64)

@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// The Dist backend merges per-process latency histograms by shipping each
+// worker's Hist as a HistState and folding them together in whatever order
+// the per-proc reports arrive. These property tests pin the two algebraic
+// facts that makes correct, directly rather than via the conformance suite:
+// State/FromState round-trips losslessly, and merging any partition of a
+// sample stream in any order equals observing the stream in one histogram.
+
+// randomSamples draws n samples spanning many buckets (including the 0 and
+// 1 edge buckets and large magnitudes).
+func randomSamples(r *rand.Rand, n int) []int64 {
+	xs := make([]int64, n)
+	for i := range xs {
+		switch r.Intn(4) {
+		case 0:
+			xs[i] = int64(r.Intn(3)) // 0, 1, 2: the edge buckets
+		case 1:
+			xs[i] = r.Int63n(1 << 10)
+		case 2:
+			xs[i] = r.Int63n(1 << 30)
+		default:
+			xs[i] = r.Int63() // up to the top bucket
+		}
+	}
+	return xs
+}
+
+func TestHistStateRoundTripExact(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		h := NewHist()
+		for _, v := range randomSamples(r, 1+r.Intn(500)) {
+			h.Observe(v)
+		}
+		got := FromState(h.State())
+		if !reflect.DeepEqual(got, h) {
+			t.Fatalf("trial %d: FromState(State()) != original", trial)
+		}
+	}
+	// The empty histogram round-trips through the zero HistState.
+	if s := NewHist().State(); !reflect.DeepEqual(s, HistState{}) {
+		t.Fatalf("empty State() = %+v, want zero", s)
+	}
+	if !reflect.DeepEqual(FromState(HistState{}), NewHist()) {
+		t.Fatal("FromState(zero) != NewHist()")
+	}
+}
+
+func TestHistMergeOrderIndependentAndComplete(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(2000)
+		samples := randomSamples(r, n)
+
+		// The single-process ground truth: one histogram sees everything.
+		whole := NewHist()
+		for _, v := range samples {
+			whole.Observe(v)
+		}
+
+		// Partition the samples across k "processes" (some possibly empty —
+		// a proc whose workers never observed a latency ships a zero state).
+		k := 1 + r.Intn(8)
+		parts := make([]*Hist, k)
+		for i := range parts {
+			parts[i] = NewHist()
+		}
+		for _, v := range samples {
+			parts[r.Intn(k)].Observe(v)
+		}
+
+		// Ship every part through its serialized form, then merge in two
+		// different random orders.
+		merge := func(order []int) *Hist {
+			total := NewHist()
+			for _, i := range order {
+				total.Merge(FromState(parts[i].State()))
+			}
+			return total
+		}
+		order1 := r.Perm(k)
+		order2 := r.Perm(k)
+		m1, m2 := merge(order1), merge(order2)
+
+		if !reflect.DeepEqual(m1, m2) {
+			t.Fatalf("trial %d: merge order %v != order %v", trial, order1, order2)
+		}
+		if !reflect.DeepEqual(m1, whole) {
+			t.Fatalf("trial %d: merged partition != single-process histogram\nmerged %+v\nwhole  %+v",
+				trial, m1.State(), whole.State())
+		}
+		// The derived statistics follow, but assert the user-facing ones
+		// explicitly: quantiles and the mean come out identical too.
+		for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+			if m1.Quantile(q) != whole.Quantile(q) {
+				t.Fatalf("trial %d: Quantile(%v) %d != %d", trial, q, m1.Quantile(q), whole.Quantile(q))
+			}
+		}
+		if m1.Mean() != whole.Mean() {
+			t.Fatalf("trial %d: Mean %v != %v", trial, m1.Mean(), whole.Mean())
+		}
+	}
+}

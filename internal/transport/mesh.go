@@ -1,0 +1,269 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"tramlib/internal/transport/shmring"
+	"tramlib/internal/wire"
+)
+
+// MeshConfig parameterizes one process's side of the peer data plane.
+type MeshConfig struct {
+	// Dir is the run directory holding the data sockets and ring segments
+	// (the coordinator creates it and ships it in the setup message).
+	Dir string
+	// Self and Procs are this process's id and the run's process count.
+	Self, Procs int
+	// MaxFrameBytes caps data-plane frames; <= 0 selects the wire default.
+	MaxFrameBytes int
+	// RingBytes sizes each shm ring segment's data area; <= 0 selects the
+	// shmring default.
+	RingBytes int
+	// KindOf selects the link implementation for the pair {Self, peer}.
+	// It must be symmetric across processes (both sides of a pair must
+	// agree); nil selects Socket for every peer.
+	KindOf func(peer int) Kind
+}
+
+func (c MeshConfig) kindOf(peer int) Kind {
+	if c.KindOf == nil {
+		return Socket
+	}
+	return c.KindOf(peer)
+}
+
+// Mesh is one process's set of peer links, built in the Listen/Connect
+// phases the coordinator's handshake barriers order (see the package
+// comment). After Connect, Peer(q) is non-nil for every q != Self and each
+// link's receive loop is running, feeding handle and reporting its exit on
+// errc (nil for a clean peer close).
+type Mesh struct {
+	cfg    MeshConfig
+	handle Handler
+	errc   chan<- error
+
+	mu    sync.Mutex
+	peers []PeerTransport
+	ln    net.Listener
+	// recvRings[q] is the created (inbound) ring from shm peer q, mapped
+	// during Listen and bound into the link during Connect.
+	recvRings  []*shmring.Ring
+	inbound    int // socket peers expected to dial in
+	acceptDone chan error
+	closed     bool
+}
+
+// NewMesh prepares a mesh; Listen and Connect do the work.
+func NewMesh(cfg MeshConfig, handle Handler, errc chan<- error) *Mesh {
+	if cfg.MaxFrameBytes <= 0 {
+		cfg.MaxFrameBytes = wire.DefaultMaxFrameBytes
+	}
+	return &Mesh{
+		cfg:        cfg,
+		handle:     handle,
+		errc:       errc,
+		peers:      make([]PeerTransport, cfg.Procs),
+		recvRings:  make([]*shmring.Ring, cfg.Procs),
+		acceptDone: make(chan error, 1),
+	}
+}
+
+// Listen brings up the inbound side: the ring segment this process reads
+// from each shm peer, and — if any peer is socket-kind — the data listener
+// plus a background accept loop for the higher-numbered socket peers that
+// will dial in during their Connect phase. After Listen returns (and the
+// coordinator's barrier confirms every process got here), remote peers may
+// establish.
+func (m *Mesh) Listen() error {
+	needListener := false
+	for q := 0; q < m.cfg.Procs; q++ {
+		if q == m.cfg.Self {
+			continue
+		}
+		switch m.cfg.kindOf(q) {
+		case Shm:
+			r, err := shmring.Create(ringPath(m.cfg.Dir, q, m.cfg.Self), m.cfg.RingBytes)
+			if err != nil {
+				return fmt.Errorf("transport: create ring %d->%d: %w", q, m.cfg.Self, err)
+			}
+			m.recvRings[q] = r
+		case Socket:
+			needListener = true
+			if q > m.cfg.Self {
+				m.inbound++
+			}
+		default:
+			return fmt.Errorf("transport: unknown kind %v for peer %d", m.cfg.kindOf(q), q)
+		}
+	}
+	if !needListener {
+		m.acceptDone <- nil
+		return nil
+	}
+	ln, err := net.Listen("unix", sockPath(m.cfg.Dir, m.cfg.Self))
+	if err != nil {
+		return fmt.Errorf("transport: listen: %w", err)
+	}
+	m.ln = ln
+	go m.acceptLoop()
+	return nil
+}
+
+// acceptLoop accepts the expected inbound socket dials: read each dialer's
+// hello synchronously (it is written immediately after connect), validate
+// and register the peer, then hand the stream to a dedicated receive loop.
+func (m *Mesh) acceptLoop() {
+	for i := 0; i < m.inbound; i++ {
+		c, err := m.ln.Accept()
+		if err != nil {
+			m.acceptDone <- fmt.Errorf("transport: accept: %w", err)
+			return
+		}
+		rd := wire.NewReader(c, m.cfg.MaxFrameBytes)
+		hello, err := rd.Next()
+		if err != nil || hello.Kind != wire.KindControl || hello.Dest != PeerHello {
+			c.Close()
+			m.acceptDone <- fmt.Errorf("transport: bad peer hello (err=%v)", err)
+			return
+		}
+		// The hello's Source is wire-controlled: validate it before it
+		// becomes a slice index. Inbound dials come only from
+		// higher-numbered socket-kind peers, each exactly once.
+		q := int(hello.Source)
+		if q <= m.cfg.Self || q >= m.cfg.Procs || m.cfg.kindOf(q) != Socket {
+			c.Close()
+			m.acceptDone <- fmt.Errorf("transport: peer hello from invalid proc %d", hello.Source)
+			return
+		}
+		p := newSocketPeer(uint32(m.cfg.Self), c, rd)
+		m.mu.Lock()
+		dup := m.peers[q] != nil
+		if !dup {
+			m.peers[q] = p
+		}
+		m.mu.Unlock()
+		if dup {
+			c.Close()
+			m.acceptDone <- fmt.Errorf("transport: duplicate peer hello from proc %d", q)
+			return
+		}
+		m.startRecv(p)
+	}
+	m.acceptDone <- nil
+}
+
+// Connect establishes the outbound side — dial every lower-numbered socket
+// peer, open every shm peer's outbound ring — waits for the inbound socket
+// dials to land, and leaves one receive loop running per peer. It must be
+// called only after the coordinator's barrier confirms every process
+// finished Listen.
+func (m *Mesh) Connect() error {
+	for q := 0; q < m.cfg.Procs; q++ {
+		if q == m.cfg.Self {
+			continue
+		}
+		switch m.cfg.kindOf(q) {
+		case Shm:
+			send, err := shmring.Open(ringPath(m.cfg.Dir, m.cfg.Self, q))
+			if err != nil {
+				return fmt.Errorf("transport: open ring %d->%d: %w", m.cfg.Self, q, err)
+			}
+			p := &shmPeer{
+				self:     uint32(m.cfg.Self),
+				maxFrame: m.cfg.MaxFrameBytes,
+				send:     send,
+				recv:     m.recvRings[q],
+			}
+			m.mu.Lock()
+			m.peers[q] = p
+			m.mu.Unlock()
+			m.startRecv(p)
+		case Socket:
+			if q > m.cfg.Self {
+				continue // it dials us; acceptLoop registers it
+			}
+			c, err := net.Dial("unix", sockPath(m.cfg.Dir, q))
+			if err != nil {
+				return fmt.Errorf("transport: dial peer %d: %w", q, err)
+			}
+			hello := wire.AppendControl(nil, uint32(m.cfg.Self), PeerHello, nil)
+			if _, err := c.Write(hello); err != nil {
+				c.Close()
+				return fmt.Errorf("transport: peer hello %d: %w", q, err)
+			}
+			p := newSocketPeer(uint32(m.cfg.Self), c, wire.NewReader(c, m.cfg.MaxFrameBytes))
+			m.mu.Lock()
+			m.peers[q] = p
+			m.mu.Unlock()
+			m.startRecv(p)
+		}
+	}
+	// Every peer entry must be in place before the caller reports Ready:
+	// once the coordinator broadcasts Start, any worker may send to any
+	// process immediately.
+	return <-m.acceptDone
+}
+
+// startRecv runs one link's receive loop on its own goroutine, reporting
+// the exit (nil for a clean peer close) on the mesh's error channel.
+func (m *Mesh) startRecv(p PeerTransport) {
+	go func() { m.errc <- p.RecvLoop(m.handle) }()
+}
+
+// Peer returns the established link to process q (nil for Self or before
+// the link exists).
+func (m *Mesh) Peer(q int) PeerTransport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.peers[q]
+}
+
+// OldestNanos returns the oldest pending-batch stamp across every link, or
+// 0 if nothing is pending (see PeerTransport.OldestNanos).
+func (m *Mesh) OldestNanos() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var oldest int64
+	for _, p := range m.peers {
+		if p == nil {
+			continue
+		}
+		if o := p.OldestNanos(); o != 0 && (oldest == 0 || o < oldest) {
+			oldest = o
+		}
+	}
+	return oldest
+}
+
+// Close tears the mesh down: every link is closed (peers' receive loops see
+// a clean end) and the listener released. Idempotent.
+func (m *Mesh) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.closed = true
+	for _, p := range m.peers {
+		if p != nil {
+			p.Close()
+		}
+	}
+	for q, r := range m.recvRings {
+		if r == nil {
+			continue
+		}
+		if m.peers[q] == nil {
+			// Never bound into a link: no receive loop owns it, release it.
+			r.Close()
+		} else {
+			// The link's RecvLoop unmaps on return; just unblock it.
+			r.Interrupt()
+		}
+	}
+	if m.ln != nil {
+		m.ln.Close()
+	}
+}

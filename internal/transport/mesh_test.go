@@ -1,0 +1,225 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"tramlib/internal/wire"
+)
+
+// testMesh is one simulated process: a mesh plus a recorder of every frame
+// it received.
+type testMesh struct {
+	m    *Mesh
+	errc chan error
+
+	mu     sync.Mutex
+	frames []wire.Frame
+}
+
+func (tm *testMesh) handle(f wire.Frame) error {
+	// Frames alias transport memory: deep-copy before recording.
+	p := append([]byte(nil), f.Payload...)
+	f.Payload = p
+	tm.mu.Lock()
+	tm.frames = append(tm.frames, f)
+	tm.mu.Unlock()
+	return nil
+}
+
+// buildMesh runs the coordinator's barrier discipline in-process: every
+// mesh Listens, then every mesh Connects (concurrently: socket dials block
+// until the dialed side accepts).
+func buildMeshes(t *testing.T, procs int, kindOf func(self, peer int) Kind) []*testMesh {
+	t.Helper()
+	dir := t.TempDir()
+	tms := make([]*testMesh, procs)
+	for p := 0; p < procs; p++ {
+		p := p
+		tm := &testMesh{errc: make(chan error, procs+1)}
+		tm.m = NewMesh(MeshConfig{
+			Dir:   dir,
+			Self:  p,
+			Procs: procs,
+			KindOf: func(q int) Kind {
+				return kindOf(p, q)
+			},
+		}, tm.handle, tm.errc)
+		tms[p] = tm
+	}
+	for _, tm := range tms {
+		if err := tm.m.Listen(); err != nil {
+			t.Fatalf("Listen: %v", err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, procs)
+	for _, tm := range tms {
+		tm := tm
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- tm.m.Connect()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("Connect: %v", err)
+		}
+	}
+	return tms
+}
+
+// waitFrames blocks until tm recorded want frames (or times out).
+func (tm *testMesh) waitFrames(t *testing.T, want int) []wire.Frame {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		tm.mu.Lock()
+		n := len(tm.frames)
+		frames := append([]wire.Frame(nil), tm.frames...)
+		tm.mu.Unlock()
+		if n >= want {
+			return frames
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out with %d of %d frames", n, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// exerciseMesh sends one frame of each kind across every ordered pair and
+// checks arrival, then closes and checks clean receive-loop exits.
+func exerciseMesh(t *testing.T, procs int, kindOf func(self, peer int) Kind) {
+	t.Helper()
+	tms := buildMeshes(t, procs, kindOf)
+	for src, tm := range tms {
+		for dst := range tms {
+			if dst == src {
+				continue
+			}
+			p := tm.m.Peer(dst)
+			if p == nil {
+				t.Fatalf("mesh %d has no link to %d", src, dst)
+			}
+			p.SendPayloads(uint32(dst*10), []uint64{uint64(src), uint64(dst), 7}, true)
+			p.SendItems(uint32(dst), []wire.Item{{Dest: uint32(dst*10 + 1), Val: uint64(100*src + dst)}}, false)
+			p.SendRuns(uint32(dst), []wire.Run{
+				{Dest: uint32(dst * 10), Payloads: []uint64{1, 2}},
+				{Dest: uint32(dst*10 + 1), Payloads: []uint64{3}},
+			}, false)
+		}
+	}
+	perDest := 3 * (procs - 1)
+	for dst, tm := range tms {
+		frames := tm.waitFrames(t, perDest)
+		if len(frames) != perDest {
+			t.Fatalf("mesh %d received %d frames, want %d", dst, len(frames), perDest)
+		}
+		counts := map[wire.Kind]int{}
+		bySrc := map[uint32]int{}
+		for _, f := range frames {
+			counts[f.Kind]++
+			bySrc[f.Source]++
+			switch f.Kind {
+			case wire.KindPayloads:
+				if f.Dest != uint32(dst*10) || !f.Full() {
+					t.Fatalf("mesh %d: bad payloads frame %+v", dst, f.Header)
+				}
+				var buf [3]uint64
+				got := f.Payloads(buf[:])
+				if got[0] != uint64(f.Source) || got[1] != uint64(dst) || got[2] != 7 {
+					t.Fatalf("mesh %d: payloads %v from %d", dst, got, f.Source)
+				}
+			case wire.KindItems:
+				f.EachItem(func(d uint32, v uint64) {
+					if d != uint32(dst*10+1) || v != uint64(100*int(f.Source)+dst) {
+						t.Fatalf("mesh %d: item (%d,%d) from %d", dst, d, v, f.Source)
+					}
+				})
+			case wire.KindRuns:
+				if f.Count != 2 {
+					t.Fatalf("mesh %d: runs frame with %d runs", dst, f.Count)
+				}
+			default:
+				t.Fatalf("mesh %d: unexpected %v frame", dst, f.Kind)
+			}
+		}
+		for src := range tms {
+			if src == dst {
+				continue
+			}
+			if bySrc[uint32(src)] != 3 {
+				t.Fatalf("mesh %d: %d frames from %d, want 3", dst, bySrc[uint32(src)], src)
+			}
+		}
+	}
+	// Teardown: every close must surface as a clean receive-loop exit (nil)
+	// on the peers' error channels.
+	for _, tm := range tms {
+		tm.m.Close()
+	}
+	for p, tm := range tms {
+		for i := 0; i < procs-1; i++ {
+			select {
+			case err := <-tm.errc:
+				if err != nil {
+					t.Fatalf("mesh %d recv loop: %v", p, err)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatalf("mesh %d: recv loop %d never exited", p, i)
+			}
+		}
+	}
+}
+
+func TestMeshAllSocket(t *testing.T) {
+	exerciseMesh(t, 3, func(self, peer int) Kind { return Socket })
+}
+
+func TestMeshAllShm(t *testing.T) {
+	exerciseMesh(t, 3, func(self, peer int) Kind { return Shm })
+}
+
+func TestMeshMixed(t *testing.T) {
+	// Nodes {0,0,1}: the 0-1 pair shares a node (shm); everything touching
+	// proc 2 crosses nodes (socket) — the grouping the Dist coordinator
+	// derives from its Nodes map.
+	nodes := []int{0, 0, 1}
+	exerciseMesh(t, 3, func(self, peer int) Kind {
+		if nodes[self] == nodes[peer] {
+			return Shm
+		}
+		return Socket
+	})
+}
+
+func TestMeshOldestNanos(t *testing.T) {
+	tms := buildMeshes(t, 2, func(self, peer int) Kind { return Shm })
+	// A drained mesh reports no pending batch age.
+	tms[0].m.Peer(1).SendPayloads(10, []uint64{1}, false)
+	tms[1].waitFrames(t, 1)
+	deadline := time.Now().Add(5 * time.Second)
+	for tms[0].m.OldestNanos() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("OldestNanos stuck nonzero after the peer drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for _, tm := range tms {
+		tm.m.Close()
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Socket.String() != "socket" || Shm.String() != "shm" {
+		t.Fatalf("kind names: %q, %q", Socket, Shm)
+	}
+	if s := Kind(9).String(); s != "kind(9)" {
+		t.Fatalf("unknown kind renders %q", s)
+	}
+}

@@ -1,0 +1,99 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"tramlib/internal/transport/shmring"
+	"tramlib/internal/wire"
+)
+
+// shmPeer is the shared-memory link: a pair of directed mmap'd SPSC rings
+// (send: self -> peer, recv: peer -> self). A send computes the frame's
+// exact size, reserves that many contiguous bytes in the ring, and encodes
+// the wire frame directly into the shared mapping — the receive side parses
+// it in place, so the bytes are written once and read once with no
+// intermediate copies or syscalls.
+//
+// The send mutex serializes this process's worker and progress goroutines,
+// which is what makes the process a single producer for the SPSC ring —
+// the same role the write lock plays for the socket link.
+type shmPeer struct {
+	self     uint32
+	maxFrame int
+	mu       sync.Mutex // serializes producers on the send ring
+	send     *shmring.Ring
+	recv     *shmring.Ring
+}
+
+func (p *shmPeer) SendPayloads(destWorker uint32, payloads []uint64, full bool) {
+	p.writeFrame(wire.PayloadsFrameBytes(len(payloads)), func(dst []byte) []byte {
+		return wire.AppendPayloads(dst, p.self, destWorker, payloads, full)
+	})
+}
+
+func (p *shmPeer) SendItems(destProc uint32, items []wire.Item, full bool) {
+	p.writeFrame(wire.ItemsFrameBytes(len(items)), func(dst []byte) []byte {
+		return wire.AppendItems(dst, p.self, destProc, items, full)
+	})
+}
+
+func (p *shmPeer) SendRuns(destProc uint32, runs []wire.Run, full bool) {
+	p.writeFrame(wire.RunsFrameBytes(runs), func(dst []byte) []byte {
+		return wire.AppendRuns(dst, p.self, destProc, runs, full)
+	})
+}
+
+// writeFrame publishes one frame of exactly total bytes into the send ring.
+// Failures are fatal to the run, as for socket writes.
+func (p *shmPeer) writeFrame(total int, fill func(dst []byte) []byte) {
+	p.mu.Lock()
+	err := p.send.Write(total, fill)
+	p.mu.Unlock()
+	if err != nil {
+		panic(fmt.Sprintf("transport: ring write: %v", err))
+	}
+}
+
+func (p *shmPeer) RecvLoop(handle Handler) error {
+	// The receive goroutine owns the recv ring's mapping: unmap only after
+	// Recv has returned (Close, on other goroutines, just interrupts).
+	defer p.recv.Close()
+	err := p.recv.Recv(p.maxFrame+4, func(rec []byte) error {
+		f, n, derr := wire.Decode(rec, p.maxFrame)
+		if derr != nil {
+			return fmt.Errorf("transport: ring frame: %w", derr)
+		}
+		if n != len(rec) {
+			return fmt.Errorf("transport: ring record %d bytes, frame consumed %d", len(rec), n)
+		}
+		return handle(f)
+	})
+	if err == shmring.ErrClosed {
+		// Local teardown interrupted a parked read: the run is over; report
+		// it as a clean end like a socket close would.
+		return nil
+	}
+	return err
+}
+
+// OldestNanos reports the send ring's oldest unconsumed publish stamp —
+// unlike a socket, the ring's cursors make transport-level batch age
+// observable to the sender.
+func (p *shmPeer) OldestNanos() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.send.OldestNanos()
+}
+
+func (p *shmPeer) Close() error {
+	// Interrupt before taking the lock: a sender parked inside a full-ring
+	// Write holds p.mu and only the ring's closed flag can release it (the
+	// socket analogue is conn.Close unblocking a blocked writer).
+	p.send.Interrupt()
+	p.mu.Lock()
+	err := p.send.CloseSend() // publishes EOF: the peer's RecvLoop ends cleanly
+	p.mu.Unlock()
+	p.recv.Interrupt() // unblock our parked RecvLoop; it unmaps on return
+	return err
+}

@@ -1,0 +1,18 @@
+//go:build !unix
+
+package shmring
+
+import (
+	"fmt"
+	"os"
+)
+
+// Non-unix hosts have no file-backed shared mappings here; the Dist backend
+// falls back to the socket transport (Create/Open fail cleanly and the
+// configuration layer reports shm as unavailable). Memory-backed rings
+// (Attach) still work everywhere — they carry the unit tests.
+func mapFile(*os.File, int) ([]byte, error) {
+	return nil, fmt.Errorf("shmring: file-backed segments unsupported on this OS")
+}
+
+func unmapMem([]byte) error { return nil }

@@ -1,0 +1,17 @@
+//go:build unix
+
+package shmring
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f shared and writable: both processes of a
+// directed peer pair see the same physical pages, which is what makes the
+// ring's atomics a cross-process SPSC protocol.
+func mapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+}
+
+func unmapMem(mem []byte) error { return syscall.Munmap(mem) }

@@ -1,0 +1,17 @@
+package shmring
+
+import "unsafe"
+
+// ptrAt returns a pointer to mem[off] for the atomic cursor views. The
+// header offsets (64, 128) are 8-aligned and mmap returns page-aligned
+// memory, so the resulting *atomic.Uint64 accesses are aligned on every
+// supported architecture; Attach additionally guarantees len(mem) covers
+// the header.
+func ptrAt(mem []byte, off int) unsafe.Pointer {
+	return unsafe.Pointer(&mem[off])
+}
+
+// aligned8 reports whether mem's base address is 8-byte aligned.
+func aligned8(mem []byte) bool {
+	return uintptr(unsafe.Pointer(&mem[0]))%8 == 0
+}

@@ -1,0 +1,86 @@
+package transport
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"tramlib/internal/wire"
+)
+
+// socketPeer is the Unix-socket link: one bidirectional stream connection
+// per unordered peer pair, established by the higher-numbered process
+// dialing the lower-numbered one's listener. Encodes under a write lock
+// into a reused scratch buffer, then writes the frame in one syscall.
+type socketPeer struct {
+	self uint32
+	conn net.Conn
+	rd   *wire.Reader
+
+	mu     sync.Mutex
+	buf    []byte
+	closed atomic.Bool
+}
+
+func newSocketPeer(self uint32, conn net.Conn, rd *wire.Reader) *socketPeer {
+	return &socketPeer{self: self, conn: conn, rd: rd}
+}
+
+func (p *socketPeer) SendPayloads(destWorker uint32, payloads []uint64, full bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.buf = wire.AppendPayloads(p.buf[:0], p.self, destWorker, payloads, full)
+	p.write()
+}
+
+func (p *socketPeer) SendItems(destProc uint32, items []wire.Item, full bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.buf = wire.AppendItems(p.buf[:0], p.self, destProc, items, full)
+	p.write()
+}
+
+func (p *socketPeer) SendRuns(destProc uint32, runs []wire.Run, full bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.buf = wire.AppendRuns(p.buf[:0], p.self, destProc, runs, full)
+	p.write()
+}
+
+// write flushes p.buf to the connection. A write error is fatal to the run
+// (the coordinator sees the process exit); panicking unwinds the worker
+// goroutine with a diagnosable message rather than silently dropping items.
+func (p *socketPeer) write() {
+	if _, err := p.conn.Write(p.buf); err != nil {
+		panic(fmt.Sprintf("transport: peer write: %v", err))
+	}
+}
+
+func (p *socketPeer) RecvLoop(handle Handler) error {
+	for {
+		f, err := p.rd.Next()
+		if err != nil {
+			if err == io.EOF || p.closed.Load() {
+				// A peer EOF, or our own Close tearing the (bidirectional)
+				// connection out from under the reader: both are the run
+				// ending, not a failure.
+				return nil
+			}
+			return fmt.Errorf("transport: peer read: %w", err)
+		}
+		if err := handle(f); err != nil {
+			return err
+		}
+	}
+}
+
+// OldestNanos is always 0 for sockets: once written, a batch's age inside
+// the kernel socket buffer is not observable from user space.
+func (p *socketPeer) OldestNanos() int64 { return 0 }
+
+func (p *socketPeer) Close() error {
+	p.closed.Store(true)
+	return p.conn.Close()
+}

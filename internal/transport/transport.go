@@ -1,0 +1,132 @@
+// Package transport is the pluggable peer data plane of the multi-process
+// (Dist) backend: it owns how one worker process's aggregated batches reach
+// another worker process on the same machine, behind one PeerTransport
+// interface the runtime glue (internal/dist) routes through. internal/dist
+// keeps the control plane (coordinator handshake, quiescence probes,
+// reports); everything peer-data — dialing, accepting, batch encode/send,
+// the per-peer receive loop, teardown — lives here.
+//
+// Two implementations exist, selected per peer pair by the mesh's node
+// grouping:
+//
+//   - Socket: the PR-4 data plane — wire-framed batches on a full mesh of
+//     Unix-domain stream sockets. Every batch pays an encode into a scratch
+//     buffer, a write syscall, a kernel socket-buffer copy, and a read
+//     syscall. This is the "framed slow path" the paper's same-node argument
+//     is measured against, and the shape a future TCP multi-node transport
+//     will take.
+//
+//   - Shm: an mmap-backed SPSC byte ring per *directed* peer pair
+//     (internal/transport/shmring). The sender encodes the identical wire
+//     frame directly into the shared mapping and the receiver parses it in
+//     place — no syscalls, no kernel copies, cache-line-padded cursors, and
+//     a bounded-spin + park wakeup. This is the genuine shared-memory fast
+//     path for processes that share a physical node.
+//
+// Both implementations speak the exact same wire encoding, so a frame is a
+// frame regardless of how it traveled: the receive dispatch, the validation
+// rules, and the four-counter quiescence accounting upstream are transport-
+// agnostic, and a run mixing both kinds (some peers same-node, some not) is
+// just a mesh whose links differ.
+//
+// # Mesh establishment
+//
+// Mesh builds one process's side of the data plane in the two phases the
+// coordinator's handshake already has:
+//
+//	Listen   create the inbound endpoints: the Unix-socket listener (if any
+//	         peer is socket-kind) and the ring segments this process reads
+//	         (one per shm peer). After Listen, remote peers may establish.
+//	Connect  establish the outbound side — dial lower-numbered socket peers,
+//	         open the ring segments this process writes — wait for inbound
+//	         socket peers to finish dialing in, and start one receive loop
+//	         per peer.
+//
+// The coordinator's Listening/Connect/Ready barriers order the phases
+// across processes: every Listen completes before any Connect begins, so an
+// Open never races a Create and a dial never races a listener.
+package transport
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"tramlib/internal/wire"
+)
+
+// Kind selects a peer-link implementation.
+type Kind uint8
+
+const (
+	// Socket frames batches over a Unix-domain stream socket.
+	Socket Kind = iota
+	// Shm carries wire-encoded batches over mmap'd SPSC rings.
+	Shm
+)
+
+// String names the kind for diagnostics and CLI flags.
+func (k Kind) String() string {
+	switch k {
+	case Socket:
+		return "socket"
+	case Shm:
+		return "shm"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// PeerHello is the one control opcode on peer data links: the dialing or
+// ring-opening process identifies itself (frame Source = its proc id)
+// before any data frame.
+const PeerHello uint32 = 0x70656572 // "peer"
+
+// Handler consumes one decoded inbound data frame. It runs on the link's
+// receive goroutine; the frame's payload aliases the link's receive buffer
+// (or shared mapping) and must not be retained past the call.
+type Handler func(f wire.Frame) error
+
+// PeerTransport is one established data link between the local worker
+// process and one peer process. Send methods encode and ship a sealed batch
+// synchronously — the caller's storage is dead when they return — and may
+// block on backpressure (a full socket buffer, a full ring). They are safe
+// for concurrent use; a send failure panics, which unwinds the calling
+// worker goroutine with a diagnosable message instead of silently dropping
+// items (the coordinator sees the process exit — exactly the PR-4 socket
+// contract).
+type PeerTransport interface {
+	// SendPayloads ships a worker-addressed batch (frame Dest = destWorker):
+	// WW wiring, forwarded runs, Direct items.
+	SendPayloads(destWorker uint32, payloads []uint64, full bool)
+	// SendItems ships an ungrouped process-addressed batch (WPs, PP).
+	SendItems(destProc uint32, items []wire.Item, full bool)
+	// SendRuns ships a source-grouped process-addressed batch (WsP).
+	SendRuns(destProc uint32, runs []wire.Run, full bool)
+	// RecvLoop decodes inbound frames into handle until the peer closes the
+	// link (returns nil), the link fails, or handle errors. One call per
+	// link, on a dedicated goroutine (Mesh.Connect starts it).
+	RecvLoop(handle Handler) error
+	// OldestNanos returns the local arrival stamp (UnixNano) of the oldest
+	// batch accepted by a Send method but not yet consumed by the peer, or 0
+	// if none is pending or the link cannot observe it (a socket's kernel
+	// buffer is opaque; a ring's cursors are not). It is the transport-level
+	// analogue of shmem's oldest-arrival stamp — a diagnostic surface (the
+	// mesh tests assert the drained/pending transitions) and the hook a
+	// transport-level deadline enforcer would poll; the runtime's progress
+	// loop currently watches only the application buffers above the seam.
+	OldestNanos() int64
+	// Close tears the link down; the peer's RecvLoop observes a clean end
+	// where the implementation can signal one.
+	Close() error
+}
+
+// sockPath returns process p's data-socket path inside the run directory.
+func sockPath(dir string, p int) string {
+	return filepath.Join(dir, fmt.Sprintf("p%d.sock", p))
+}
+
+// ringPath returns the segment path of the directed ring src -> dst inside
+// the run directory. The reader (dst) creates it; the writer (src) opens it.
+func ringPath(dir string, src, dst int) string {
+	return filepath.Join(dir, fmt.Sprintf("r%d-%d.ring", src, dst))
+}

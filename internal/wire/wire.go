@@ -149,6 +149,32 @@ func appendHeader(buf []byte, kind Kind, flags uint8, source, dest, count uint32
 	return buf
 }
 
+// The FrameBytes helpers return the exact encoded size of a frame, length
+// prefix included. Transports that reserve space before encoding (the
+// shared-memory ring writes frames in place) size their reservation with
+// these; Append* into a slice of exactly this capacity never reallocates.
+
+// PayloadsFrameBytes returns the encoded size of a KindPayloads frame
+// carrying n payload words.
+func PayloadsFrameBytes(n int) int { return prefixBytes + HeaderBytes + 8*n }
+
+// ItemsFrameBytes returns the encoded size of a KindItems frame carrying n
+// items.
+func ItemsFrameBytes(n int) int { return prefixBytes + HeaderBytes + itemBytes*n }
+
+// RunsFrameBytes returns the encoded size of a KindRuns frame carrying runs.
+func RunsFrameBytes(runs []Run) int {
+	n := prefixBytes + HeaderBytes
+	for _, r := range runs {
+		n += runHeaderBytes + 8*len(r.Payloads)
+	}
+	return n
+}
+
+// ControlFrameBytes returns the encoded size of a KindControl frame with a
+// docBytes-byte payload.
+func ControlFrameBytes(docBytes int) int { return prefixBytes + HeaderBytes + docBytes }
+
 // AppendPayloads appends a KindPayloads frame carrying a worker-addressed
 // batch to buf and returns the extended buffer.
 func AppendPayloads(buf []byte, source, destWorker uint32, payloads []uint64, full bool) []byte {

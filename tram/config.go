@@ -7,6 +7,7 @@ import (
 	"tramlib/internal/core"
 	"tramlib/internal/rt"
 	"tramlib/internal/sim"
+	"tramlib/internal/transport/shmring"
 )
 
 // Config configures one TramLib application run: the machine, the
@@ -71,14 +72,47 @@ type Config struct {
 	Dist DistOptions
 }
 
+// DistTransport selects the Dist backend's peer data plane for same-node
+// process pairs (see DistOptions.Transport).
+type DistTransport string
+
+const (
+	// TransportSocket frames every peer pair's batches over Unix-domain
+	// stream sockets (encode + write syscall + kernel copy + read syscall).
+	TransportSocket DistTransport = "socket"
+	// TransportShm carries same-node pairs' batches over mmap'd
+	// shared-memory SPSC rings, encoded once into the shared mapping and
+	// parsed in place by the receiver. Pairs whose processes sit on
+	// different nodes (per DistOptions.Nodes) still use sockets.
+	TransportShm DistTransport = "shm"
+)
+
 // DistOptions are the Dist backend's knobs: the application registration the
-// worker processes rebuild, plus socket and framing parameters.
+// worker processes rebuild, plus transport, socket, and framing parameters.
 type DistOptions struct {
 	// App names the RegisterDist registration worker processes build;
 	// required to run on the Dist backend.
 	App string
 	// Params is handed verbatim to the registered builder in every process.
 	Params []byte
+	// Transport selects the same-node peer data plane: TransportSocket
+	// (also the "" default) or TransportShm. The transport changes how
+	// bytes move, never what the run computes — the conformance suite pins
+	// socket and shm results element-wise identical.
+	Transport DistTransport
+	// Nodes maps each ProcID to a physical-node id, telling the coordinator
+	// which process pairs may share memory: same node id selects the shm
+	// ring (under TransportShm), different ids select sockets. Nil places
+	// every process on one node — on the single machine the Dist backend
+	// runs on, that is the truth. Must have Topo.TotalProcs() entries when
+	// set.
+	Nodes []int
+	// RingBytes sizes each shm ring segment's data area (one segment per
+	// directed same-node pair). 0 selects the 1 MiB default. A single ring
+	// record is capped at half the data area, so RingBytes must be at least
+	// twice the largest frame a full aggregation buffer can produce;
+	// Validate enforces it against BufferItems.
+	RingBytes int
 	// SockDir is where the run's Unix-socket directory is created ("" uses
 	// the system temp dir). Socket paths are length-limited (~100 bytes),
 	// so keep it short.
@@ -179,6 +213,29 @@ func (c Config) Validate() error {
 		if need := c.BufferItems*itemWireBytes + wireFrameOverhead; c.Dist.MaxFrameBytes < need {
 			return fmt.Errorf("tram: Dist.MaxFrameBytes %d cannot carry a full buffer of %d items (need >= %d)",
 				c.Dist.MaxFrameBytes, c.BufferItems, need)
+		}
+	}
+	switch c.Dist.Transport {
+	case "", TransportSocket, TransportShm:
+	default:
+		return fmt.Errorf("tram: unknown Dist.Transport %q (want %q or %q)",
+			c.Dist.Transport, TransportSocket, TransportShm)
+	}
+	if c.Dist.Nodes != nil && len(c.Dist.Nodes) != c.Topo.TotalProcs() {
+		return fmt.Errorf("tram: Dist.Nodes has %d entries for %d processes",
+			len(c.Dist.Nodes), c.Topo.TotalProcs())
+	}
+	if c.Dist.RingBytes < 0 {
+		return fmt.Errorf("tram: negative Dist.RingBytes")
+	}
+	if c.Dist.Transport == TransportShm {
+		ring := c.Dist.RingBytes
+		if ring == 0 {
+			ring = shmring.DefaultDataBytes
+		}
+		if need := 2 * (c.BufferItems*itemWireBytes + wireFrameOverhead); ring < need {
+			return fmt.Errorf("tram: Dist.RingBytes %d cannot carry a full buffer of %d items (records are capped at half the ring; need >= %d)",
+				ring, c.BufferItems, need)
 		}
 	}
 	return nil

@@ -36,6 +36,18 @@ func TestValidateRejectsEveryInvalidField(t *testing.T) {
 		{"negative Dist.ProbeInterval", func(c *Config) { c.Dist.ProbeInterval = -time.Microsecond }, "ProbeInterval"},
 		{"negative Dist.MaxFrameBytes", func(c *Config) { c.Dist.MaxFrameBytes = -1 }, "MaxFrameBytes"},
 		{"tiny Dist.MaxFrameBytes", func(c *Config) { c.Dist.MaxFrameBytes = 64 }, "full buffer"},
+		{"unknown Dist.Transport", func(c *Config) { c.Dist.Transport = "carrier-pigeon" }, "Dist.Transport"},
+		{"short Dist.Nodes", func(c *Config) { c.Dist.Nodes = []int{0} }, "Dist.Nodes"},
+		{"long Dist.Nodes", func(c *Config) { c.Dist.Nodes = make([]int, c.Topo.TotalProcs()+1) }, "Dist.Nodes"},
+		{"negative Dist.RingBytes", func(c *Config) { c.Dist.RingBytes = -1 }, "RingBytes"},
+		{"tiny Dist.RingBytes for shm", func(c *Config) {
+			c.Dist.Transport = TransportShm
+			c.Dist.RingBytes = 256
+		}, "half the ring"},
+		{"default ring too small for huge buffers under shm", func(c *Config) {
+			c.Dist.Transport = TransportShm
+			c.BufferItems = 1 << 20 // 2*(16 MiB + 20) > the 1 MiB default ring
+		}, "half the ring"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -94,6 +106,19 @@ func TestValidateAcceptsDistKnobs(t *testing.T) {
 	}
 	if err := cfg.Validate(); err != nil {
 		t.Fatalf("dist-configured config invalid: %v", err)
+	}
+	// The shm transport with an explicit node grouping and a ring sized to
+	// exactly the validation floor.
+	cfg.Dist.Transport = TransportShm
+	cfg.Dist.Nodes = make([]int, cfg.Topo.TotalProcs())
+	cfg.Dist.RingBytes = 2 * (cfg.BufferItems*16 + 20)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("shm-configured config invalid: %v", err)
+	}
+	cfg.Dist.Transport = TransportSocket
+	cfg.Dist.RingBytes = 0
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("socket-configured config invalid: %v", err)
 	}
 }
 

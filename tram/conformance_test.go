@@ -3,8 +3,9 @@ package tram_test
 // The cross-backend conformance suite: every application kernel, on every
 // aggregation scheme, must produce backend-independent results on Sim
 // (deterministic simulator), Real (goroutines in one address space), and
-// Dist (one OS process per ProcID over Unix sockets). Each application pins
-// the strongest invariant it has:
+// Dist (one OS process per ProcID) — the last under both peer transports,
+// wire-framed Unix sockets and mmap'd shared-memory rings. Each application
+// pins the strongest invariant it has:
 //
 //	histogram     tables element-wise equal to a serial replay of the RNG
 //	index-gather  response completeness (every request answered exactly once)
@@ -39,16 +40,35 @@ func TestMain(m *testing.M) {
 // traffic and Dist runs across 2 OS processes.
 func confTopo() tram.Topology { return tram.SMP(2, 1, 2) }
 
-// backends lists the three execution backends under test.
-func backends() []tram.Backend { return []tram.Backend{tram.Sim, tram.Real, tram.Dist} }
+// backendCell is one execution engine under test. The Dist backend appears
+// twice — once per peer transport — so every kernel x scheme cell runs over
+// both the socket and the shared-memory-ring data planes.
+type backendCell struct {
+	name      string
+	b         tram.Backend
+	transport tram.DistTransport // Dist cells only
+}
 
-// forEachSchemeBackend runs fn across the full scheme x backend matrix.
-func forEachSchemeBackend(t *testing.T, fn func(t *testing.T, s tram.Scheme, b tram.Backend)) {
+// prep applies the cell's transport selection to a run configuration.
+func (c backendCell) prep(cfg *tram.Config) { cfg.Dist.Transport = c.transport }
+
+// backends lists the execution cells under test.
+func backends() []backendCell {
+	return []backendCell{
+		{name: "sim", b: tram.Sim},
+		{name: "real", b: tram.Real},
+		{name: "dist-socket", b: tram.Dist, transport: tram.TransportSocket},
+		{name: "dist-shm", b: tram.Dist, transport: tram.TransportShm},
+	}
+}
+
+// forEachSchemeBackend runs fn across the full scheme x backend-cell matrix.
+func forEachSchemeBackend(t *testing.T, fn func(t *testing.T, s tram.Scheme, c backendCell)) {
 	for _, s := range tram.Schemes() {
-		for _, b := range backends() {
-			s, b := s, b
-			t.Run(s.String()+"/"+b.String(), func(t *testing.T) {
-				fn(t, s, b)
+		for _, c := range backends() {
+			s, c := s, c
+			t.Run(s.String()+"/"+c.name, func(t *testing.T) {
+				fn(t, s, c)
 			})
 		}
 	}
@@ -80,13 +100,14 @@ func TestConformanceHistogram(t *testing.T) {
 		}
 	}
 
-	forEachSchemeBackend(t, func(t *testing.T, s tram.Scheme, b tram.Backend) {
+	forEachSchemeBackend(t, func(t *testing.T, s tram.Scheme, c backendCell) {
 		cfg := histogram.DefaultConfig(topo, s)
 		cfg.UpdatesPerPE = z
 		cfg.SlotsPerPE = slots
 		cfg.Seed = seed
 		cfg.Tram.BufferItems = 64
-		res := histogram.RunOn(b, cfg)
+		c.prep(&cfg.Tram)
+		res := histogram.RunOn(c.b, cfg)
 
 		if res.TotalUpdates != int64(W)*z {
 			t.Fatalf("total updates %d, want %d", res.TotalUpdates, int64(W)*z)
@@ -112,12 +133,13 @@ func TestConformanceIndexGather(t *testing.T) {
 	W := topo.TotalWorkers()
 	const z = 2000
 
-	forEachSchemeBackend(t, func(t *testing.T, s tram.Scheme, b tram.Backend) {
+	forEachSchemeBackend(t, func(t *testing.T, s tram.Scheme, c backendCell) {
 		cfg := indexgather.DefaultConfig(topo, s)
 		cfg.RequestsPerPE = z
 		cfg.Tram.BufferItems = 64
 		cfg.Seed = 5
-		res := indexgather.RunOn(b, cfg)
+		c.prep(&cfg.Tram)
+		res := indexgather.RunOn(c.b, cfg)
 
 		// Completeness: every one of the W*z requests came back exactly
 		// once — no response lost, duplicated, or misrouted.
@@ -139,14 +161,15 @@ func TestConformancePingAck(t *testing.T) {
 	}
 	const workers = 4
 	for _, procs := range []int{1, 2} {
-		for _, b := range backends() {
-			procs, b := procs, b
-			t.Run(b.String(), func(t *testing.T) {
+		for _, c := range backends() {
+			procs, c := procs, c
+			t.Run(c.name, func(t *testing.T) {
 				cfg := pingack.DefaultConfig()
 				cfg.WorkersPerNode = workers
 				cfg.ProcsPerNode = procs
 				cfg.TotalMessages = 2000
-				res := pingack.RunOn(b, cfg)
+				cfg.Transport = c.transport
+				res := pingack.RunOn(c.b, cfg)
 				if res.Acks != workers {
 					t.Fatalf("procs=%d: acks %d, want %d", procs, res.Acks, workers)
 				}
@@ -170,11 +193,12 @@ func TestConformanceSSSP(t *testing.T) {
 	}
 	oracle := graph.Dijkstra(g, 0)
 
-	forEachSchemeBackend(t, func(t *testing.T, s tram.Scheme, b tram.Backend) {
+	forEachSchemeBackend(t, func(t *testing.T, s tram.Scheme, c backendCell) {
 		cfg := sssp.DefaultConfig(topo, s, g)
 		cfg.Recipe = &recipe
 		cfg.Tram.BufferItems = 32
-		res := sssp.RunOnKeepDist(b, cfg)
+		c.prep(&cfg.Tram)
+		res := sssp.RunOnKeepDist(c.b, cfg)
 		for v := 0; v < g.N; v++ {
 			if got := res.DistOf(topo, g, v); got != oracle[v] {
 				t.Fatalf("dist[%d] = %d, oracle %d", v, got, oracle[v])
@@ -203,12 +227,13 @@ func TestConformancePHOLD(t *testing.T) {
 	)
 	pop := int64(topo.TotalWorkers() * lps) // PopulationPerLP = 1
 
-	forEachSchemeBackend(t, func(t *testing.T, s tram.Scheme, b tram.Backend) {
+	forEachSchemeBackend(t, func(t *testing.T, s tram.Scheme, c backendCell) {
 		cfg := phold.DefaultConfig(topo, s)
 		cfg.LPsPerWorker = lps
 		cfg.EventsBudget = budget
 		cfg.Tram.BufferItems = 64
-		res := phold.RunOn(b, cfg)
+		c.prep(&cfg.Tram)
+		res := phold.RunOn(c.b, cfg)
 
 		// Exact conservation on every backend: each of the initial events
 		// and each scheduled successor is processed exactly once.
@@ -221,7 +246,7 @@ func TestConformancePHOLD(t *testing.T) {
 		if res.Scheduled >= budget {
 			t.Fatalf("scheduled %d events, budget %d", res.Scheduled, budget)
 		}
-		if tram.IsDist(b) {
+		if tram.IsDist(c.b) {
 			// Per-process budgeting still has to do real work everywhere.
 			if res.Processed < pop {
 				t.Fatalf("processed %d below initial population %d", res.Processed, pop)
@@ -240,9 +265,11 @@ func TestConformancePHOLD(t *testing.T) {
 }
 
 // TestConformanceDistMatchesReal is the acceptance pin: histogram,
-// index-gather, and ping-ack on tram.Dist across >= 2 OS processes produce
-// results identical to tram.Real (itself already validated against the
-// serial replays above).
+// index-gather, and ping-ack on tram.Dist across >= 2 OS processes — over
+// BOTH peer transports — produce results identical to tram.Real (itself
+// already validated against the serial replays above), and the socket and
+// shm data planes are element-wise identical to each other: the transport
+// moves bytes, it never changes what the run computes.
 func TestConformanceDistMatchesReal(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns processes")
@@ -258,25 +285,36 @@ func TestConformanceDistMatchesReal(t *testing.T) {
 	hcfg.SlotsPerPE = 32
 	hcfg.Tram.BufferItems = 64
 	hReal := histogram.RunOn(tram.Real, hcfg)
-	hDist := histogram.RunOn(tram.Dist, hcfg)
+	hcfg.Tram.Dist.Transport = tram.TransportSocket
+	hSock := histogram.RunOn(tram.Dist, hcfg)
+	hcfg.Tram.Dist.Transport = tram.TransportShm
+	hShm := histogram.RunOn(tram.Dist, hcfg)
 	for w := 0; w < W; w++ {
 		for s := range hReal.Tables[w] {
-			if hReal.Tables[w][s] != hDist.Tables[w][s] {
-				t.Fatalf("histogram table[%d][%d]: real %d != dist %d", w, s, hReal.Tables[w][s], hDist.Tables[w][s])
+			if hReal.Tables[w][s] != hSock.Tables[w][s] {
+				t.Fatalf("histogram table[%d][%d]: real %d != dist/socket %d", w, s, hReal.Tables[w][s], hSock.Tables[w][s])
+			}
+			if hSock.Tables[w][s] != hShm.Tables[w][s] {
+				t.Fatalf("histogram table[%d][%d]: dist/socket %d != dist/shm %d", w, s, hSock.Tables[w][s], hShm.Tables[w][s])
 			}
 		}
 	}
-	if hReal.TotalUpdates != hDist.TotalUpdates {
-		t.Fatalf("histogram totals: real %d != dist %d", hReal.TotalUpdates, hDist.TotalUpdates)
+	if hReal.TotalUpdates != hSock.TotalUpdates || hSock.TotalUpdates != hShm.TotalUpdates {
+		t.Fatalf("histogram totals: real %d, dist/socket %d, dist/shm %d",
+			hReal.TotalUpdates, hSock.TotalUpdates, hShm.TotalUpdates)
 	}
 
 	icfg := indexgather.DefaultConfig(topo, tram.PP)
 	icfg.RequestsPerPE = 1500
 	icfg.Tram.BufferItems = 64
 	iReal := indexgather.RunOn(tram.Real, icfg)
-	iDist := indexgather.RunOn(tram.Dist, icfg)
-	if iReal.Responses != iDist.Responses {
-		t.Fatalf("index-gather responses: real %d != dist %d", iReal.Responses, iDist.Responses)
+	icfg.Tram.Dist.Transport = tram.TransportSocket
+	iSock := indexgather.RunOn(tram.Dist, icfg)
+	icfg.Tram.Dist.Transport = tram.TransportShm
+	iShm := indexgather.RunOn(tram.Dist, icfg)
+	if iReal.Responses != iSock.Responses || iSock.Responses != iShm.Responses {
+		t.Fatalf("index-gather responses: real %d, dist/socket %d, dist/shm %d",
+			iReal.Responses, iSock.Responses, iShm.Responses)
 	}
 
 	pcfg := pingack.DefaultConfig()
@@ -284,8 +322,11 @@ func TestConformanceDistMatchesReal(t *testing.T) {
 	pcfg.ProcsPerNode = 2
 	pcfg.TotalMessages = 1000
 	pReal := pingack.RunOn(tram.Real, pcfg)
-	pDist := pingack.RunOn(tram.Dist, pcfg)
-	if pReal.Acks != pDist.Acks {
-		t.Fatalf("ping-ack acks: real %d != dist %d", pReal.Acks, pDist.Acks)
+	pcfg.Transport = tram.TransportSocket
+	pSock := pingack.RunOn(tram.Dist, pcfg)
+	pcfg.Transport = tram.TransportShm
+	pShm := pingack.RunOn(tram.Dist, pcfg)
+	if pReal.Acks != pSock.Acks || pSock.Acks != pShm.Acks {
+		t.Fatalf("ping-ack acks: real %d, dist/socket %d, dist/shm %d", pReal.Acks, pSock.Acks, pShm.Acks)
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"tramlib/internal/cluster"
 	"tramlib/internal/dist"
+	"tramlib/internal/transport"
 )
 
 // The Dist backend runs each process of the topology as a real OS process.
@@ -164,6 +165,10 @@ func (distBackend) run(cfg Config, _ rawApp) (Metrics, error) {
 	if _, ok := distBuilderFor(cfg.Dist.App); !ok {
 		return Metrics{}, fmt.Errorf("tram: no dist registration %q", cfg.Dist.App)
 	}
+	kind := transport.Socket
+	if cfg.Dist.Transport == TransportShm {
+		kind = transport.Shm
+	}
 	start := time.Now()
 	res, err := dist.Run(dist.Config{
 		RT:            cfg.realConfig(),
@@ -173,6 +178,9 @@ func (distBackend) run(cfg Config, _ rawApp) (Metrics, error) {
 		StartTimeout:  cfg.Dist.StartTimeout,
 		ProbeInterval: cfg.Dist.ProbeInterval,
 		MaxFrameBytes: cfg.Dist.MaxFrameBytes,
+		Transport:     kind,
+		Nodes:         cfg.Dist.Nodes,
+		RingBytes:     cfg.Dist.RingBytes,
 	})
 	if err != nil {
 		return Metrics{}, err
