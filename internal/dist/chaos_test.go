@@ -1,0 +1,244 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"tramlib/internal/cluster"
+	"tramlib/internal/core"
+	"tramlib/internal/faultinject"
+	"tramlib/internal/rt"
+	"tramlib/internal/transport"
+)
+
+// The chaos suite injects deterministic faults (via TRAMLIB_FAULTS, which
+// the coordinator's environment carries into every worker) into real
+// multi-process runs and asserts the failure contract: a typed error naming
+// the right process and phase, bounded detection latency, no leaked
+// goroutines, no leftover socket/ring files, and never a partial result
+// dressed up as success.
+
+// chaosTimeout is the run-phase bound every chaos run uses; the contract is
+// a clean error within twice this.
+const chaosTimeout = 5 * time.Second
+
+// chaosRun launches the histo app with a fault spec armed in the worker
+// processes and returns the run error plus elapsed wall time. It asserts
+// the mechanical parts of the failure contract shared by every scenario:
+// no result on error, the run directory removed, no goroutines leaked.
+func chaosRun(t *testing.T, kind transport.Kind, spec string) (error, time.Duration) {
+	t.Helper()
+	t.Setenv(faultinject.EnvVar, spec)
+	topo := cluster.SMP(1, 3, 1)
+	p := histoParams{Topo: topo, Scheme: core.WPs, Z: 20000, G: 32, Seed: 7}
+	params, _ := json.Marshal(p)
+	sockDir := t.TempDir()
+	before := runtime.NumGoroutine()
+	start := time.Now()
+	res, err := Run(Config{
+		RT: rt.Config{
+			Topo:          topo,
+			Scheme:        core.WPs,
+			BufferItems:   32,
+			FlushDeadline: time.Millisecond,
+			ChunkSize:     64,
+		},
+		Name:              "histo",
+		Params:            params,
+		SockDir:           sockDir,
+		StartTimeout:      20 * time.Second,
+		RunTimeout:        chaosTimeout,
+		HeartbeatInterval: 100 * time.Millisecond,
+		Transport:         kind,
+	})
+	elapsed := time.Since(start)
+	if err != nil && res.Procs != nil {
+		t.Fatalf("failed run returned partial results: %+v", res)
+	}
+	// Every coordinator exit path must remove the run directory (sockets,
+	// ring segments) from under SockDir.
+	ents, derr := os.ReadDir(sockDir)
+	if derr != nil {
+		t.Fatalf("read sock dir: %v", derr)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("run left %d entries in the socket dir (first: %s)", len(ents), ents[0].Name())
+	}
+	assertNoGoroutineLeak(t, before)
+	return err, elapsed
+}
+
+// assertNoGoroutineLeak polls until the goroutine count returns to (near)
+// its pre-run level: the coordinator's control readers, child waiters, and
+// accept loop must all unwind on every exit path.
+func assertNoGoroutineLeak(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= before+2 { // tolerate test-runner/GC jitter
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak after run: %d -> %d\n%s",
+				before, n, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// wantPeerFailure asserts the typed failure contract: a *PeerFailureError
+// naming the expected proc and phase, wrapping ErrPeerDied, within the
+// latency bound.
+func wantPeerFailure(t *testing.T, err error, elapsed time.Duration, proc int, phase string) {
+	t.Helper()
+	if err == nil {
+		t.Fatal("faulted run succeeded")
+	}
+	var pfe *PeerFailureError
+	if !errors.As(err, &pfe) {
+		t.Fatalf("error is not a *PeerFailureError: %v", err)
+	}
+	if pfe.Proc != proc || pfe.Phase != phase {
+		t.Fatalf("failure attributed to proc=%d phase=%s, want proc=%d phase=%s (err: %v)",
+			pfe.Proc, pfe.Phase, proc, phase, err)
+	}
+	if !errors.Is(err, ErrPeerDied) {
+		t.Fatalf("error chain misses ErrPeerDied: %v", err)
+	}
+	if elapsed > 2*chaosTimeout {
+		t.Fatalf("detection took %v, bound is %v", elapsed, 2*chaosTimeout)
+	}
+}
+
+// TestPhaseKillMatrix SIGKILLs worker 1 at its entry into each protocol
+// phase, on each transport, and asserts the coordinator attributes the
+// failure to the right process and phase without hanging. (The worker-side
+// phase fault points sit just inside each coordinator collection window, so
+// worker-phase and attributed coordinator-phase names line up.)
+func TestPhaseKillMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	phases := []struct{ phase, point string }{
+		{"listen", faultinject.PointPhaseListen},
+		{"connect", faultinject.PointPhaseConnect},
+		{"run", faultinject.PointPhaseRun},
+		{"report", faultinject.PointPhaseReport},
+	}
+	for _, kind := range []transport.Kind{transport.Socket, transport.Shm} {
+		for _, ph := range phases {
+			t.Run(kind.String()+"/"+ph.phase, func(t *testing.T) {
+				err, elapsed := chaosRun(t, kind, ph.point+":crash:proc=1")
+				wantPeerFailure(t, err, elapsed, 1, ph.phase)
+			})
+		}
+	}
+}
+
+// TestChaosMatrix drives the non-phase fault scenarios — mid-run crash,
+// wedged receive loop, dropped and stalled control connections, a ring torn
+// down mid-write — across both transports.
+func TestChaosMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	type check func(t *testing.T, err error, elapsed time.Duration)
+	peerDied := func(proc int) check {
+		return func(t *testing.T, err error, elapsed time.Duration) {
+			t.Helper()
+			wantPeerFailure(t, err, elapsed, proc, "run")
+		}
+	}
+	cases := []struct {
+		name  string
+		spec  string
+		kinds []transport.Kind
+		check check
+	}{
+		// Worker 1 SIGKILLs itself after its third outbound batch: the
+		// classic mid-run crash, detected via child exit or a peer's report
+		// and attributed to the process that actually died.
+		{"kill-after-batches", faultinject.PointSendBatch + ":crash:proc=1:after=3",
+			[]transport.Kind{transport.Socket, transport.Shm}, peerDied(1)},
+		// Worker 1's receive loop wedges on its second inbound frame; the
+		// process stays alive and keeps answering probes, so the counters
+		// never balance. Either the coordinator's RunTimeout fires or a
+		// sender's bounded send trips first — both within the bound.
+		{"stall-recv", faultinject.PointRecvFrame + ":stall:proc=1:after=2",
+			[]transport.Kind{transport.Socket, transport.Shm},
+			func(t *testing.T, err error, elapsed time.Duration) {
+				t.Helper()
+				if err == nil {
+					t.Fatal("wedged run succeeded")
+				}
+				var pfe *PeerFailureError
+				if !errors.Is(err, ErrRunTimeout) && !errors.As(err, &pfe) {
+					t.Fatalf("want ErrRunTimeout or a *PeerFailureError, got: %v", err)
+				}
+				if elapsed > 2*chaosTimeout {
+					t.Fatalf("detection took %v, bound is %v", elapsed, 2*chaosTimeout)
+				}
+			}},
+		// Worker 1 closes its control connection on the first probe; the
+		// coordinator's reader breaks and the worker self-terminates
+		// (ErrCoordinatorLost) instead of running orphaned.
+		{"drop-control-conn", faultinject.PointCtrlDrop + ":drop:proc=1",
+			[]transport.Kind{transport.Socket, transport.Shm}, peerDied(1)},
+		// Worker 1 stalls inside its control loop without dying or closing
+		// anything: only heartbeat staleness can catch this one.
+		{"stall-control-conn", faultinject.PointCtrlStall + ":stall:proc=1",
+			[]transport.Kind{transport.Socket, transport.Shm}, peerDied(1)},
+		// Worker 1's outbound ring is torn down mid-write; the failed send
+		// is latched, reported, and attributed.
+		{"close-ring-mid-write", faultinject.PointRingWrite + ":error:proc=1:after=2",
+			[]transport.Kind{transport.Shm}, peerDied(1)},
+	}
+	for _, tc := range cases {
+		for _, kind := range tc.kinds {
+			t.Run(tc.name+"/"+kind.String(), func(t *testing.T) {
+				err, elapsed := chaosRun(t, kind, tc.spec)
+				tc.check(t, err, elapsed)
+			})
+		}
+	}
+}
+
+// TestRunTimeoutFiresOnDroppedBatch arms a silent batch drop: worker 1's
+// fourth outbound batch vanishes, permanently imbalancing the cross
+// counters. Nothing crashes and every process stays healthy — only
+// RunTimeout can end this run, proving the liveness loop never converts a
+// wedged run into a hang or a fake success.
+func TestRunTimeoutFiresOnDroppedBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	err, elapsed := chaosRun(t, transport.Socket, faultinject.PointSendBatch+":drop:proc=1:after=4")
+	if !errors.Is(err, ErrRunTimeout) {
+		t.Fatalf("want ErrRunTimeout, got: %v", err)
+	}
+	if elapsed > 2*chaosTimeout {
+		t.Fatalf("timeout took %v, bound is %v", elapsed, 2*chaosTimeout)
+	}
+	if elapsed < chaosTimeout {
+		t.Fatalf("run ended after %v, before the %v timeout — drop did not wedge it", elapsed, chaosTimeout)
+	}
+}
+
+// TestCleanRunLeavesNothingBehind is the control case: no faults, and the
+// same no-leftovers assertions must hold on the success path.
+func TestCleanRunLeavesNothingBehind(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	err, _ := chaosRun(t, transport.Shm, "")
+	if err != nil {
+		t.Fatalf("clean run failed: %v", err)
+	}
+}

@@ -49,10 +49,30 @@
 // they transition to local quiescence so detection follows completion by a
 // couple of probe round-trips rather than a polling interval. On success the
 // coordinator broadcasts Finish; each worker stops its runtime, serializes
-// its application report, and exits.
+// its application report, and replies Done — then holds its links open until
+// the coordinator's Release, so a clean link EOF mid-run always means a dead
+// peer, never a fast finisher.
+//
+// # Failure model
+//
+// Probe replies double as heartbeats: during the run phase the coordinator
+// tracks when it last heard each worker, retransmits the outstanding probe
+// round while replies are overdue (so a round stalled on one wedged worker
+// cannot make the live ones look silent), and treats a worker silent for
+// 4×Config.HeartbeatInterval — or one whose process exited, or whose control
+// connection broke — as dead. Failures surface as a *PeerFailureError naming
+// the ProcID and protocol phase, wrapping ErrPeerDied (errors.Is/As work);
+// Config.RunTimeout bounds the whole run phase with ErrRunTimeout. On any
+// failure the coordinator broadcasts Abort, grants a short grace for live
+// workers to unwind, kills stragglers, reaps every child, and removes the
+// run directory — a failed run never hangs, leaks processes, or leaves
+// socket/ring files behind. Workers, symmetrically, stop their runtime and
+// exit on a broken coordinator connection (ErrCoordinatorLost), a peer link
+// failure, or a failed send — a dead coordinator never orphans workers.
 package dist
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"os"
@@ -82,6 +102,17 @@ type Config struct {
 	// StartTimeout bounds spawn plus handshake plus final-report collection
 	// (not the application run itself). <= 0 selects 30s.
 	StartTimeout time.Duration
+	// RunTimeout bounds the run phase — Start broadcast to proven global
+	// quiescence. Past it the coordinator aborts the run and returns an
+	// error wrapping ErrRunTimeout. <= 0 leaves the run phase unbounded.
+	// It also bounds each worker's data-plane sends (a send blocked on
+	// backpressure past it fails with transport.ErrStalled).
+	RunTimeout time.Duration
+	// HeartbeatInterval paces run-phase liveness checks: probe replies count
+	// as heartbeats, overdue probe rounds are retransmitted past one
+	// interval, and a worker silent for four intervals is declared dead.
+	// <= 0 selects 500ms.
+	HeartbeatInterval time.Duration
 	// ProbeInterval is the idle pacing of quiescence probe rounds; Quiet
 	// hints from workers trigger immediate rounds regardless. <= 0 selects
 	// 250µs.
@@ -108,6 +139,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.StartTimeout <= 0 {
 		c.StartTimeout = 30 * time.Second
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 500 * time.Millisecond
 	}
 	if c.ProbeInterval <= 0 {
 		c.ProbeInterval = 250 * time.Microsecond
@@ -145,6 +179,12 @@ type event struct {
 	err  error // read error; io.EOF after Done is a clean exit
 }
 
+// procExit is one child's exit as seen by the coordinator loop.
+type procExit struct {
+	proc int
+	err  error // non-nil: the os/exec wait error (crash, kill, exit != 0)
+}
+
 // ctrlPath is the coordinator's control socket inside the run directory.
 func ctrlPath(dir string) string { return filepath.Join(dir, "ctrl.sock") }
 
@@ -172,6 +212,9 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	// Every exit path removes the run directory — sockets, ring segments,
+	// all of it. This defer runs after the teardown defer below, i.e. after
+	// every worker has been reaped, so nothing can recreate files under it.
 	defer os.RemoveAll(dir)
 
 	ln, err := net.Listen("unix", ctrlPath(dir))
@@ -186,13 +229,15 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	co := &coordinator{
-		cfg:     cfg,
-		P:       P,
-		dir:     dir,
-		waitErr: make(chan error, P),
-		events:  make(chan event, 4*P),
-		ctrls:   make([]*ctrlConn, P),
-		done:    make(chan struct{}),
+		cfg:       cfg,
+		P:         P,
+		dir:       dir,
+		waitErr:   make(chan procExit, P),
+		events:    make(chan event, 4*P),
+		ctrls:     make([]*ctrlConn, P),
+		exited:    make([]bool, P),
+		lastHeard: make([]time.Time, P),
+		done:      make(chan struct{}),
 	}
 	// Tear the control plane down on every exit path: closing done releases
 	// reader goroutines blocked sending on the bounded events channel, and
@@ -219,45 +264,53 @@ func Run(cfg Config) (Result, error) {
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
 			co.killAndReap()
-			return Result{}, fmt.Errorf("dist: spawn worker %d: %w", p, err)
+			return Result{}, &PeerFailureError{Proc: p, Phase: "spawn",
+				Err: fmt.Errorf("spawn worker: %w", err)}
 		}
 		co.cmds = append(co.cmds, cmd)
 		co.unreaped++
 		go func(c *exec.Cmd, p int) {
-			if err := c.Wait(); err != nil {
-				co.waitErr <- fmt.Errorf("worker %d: %w", p, err)
-			} else {
-				co.waitErr <- nil
+			err := c.Wait()
+			if err != nil {
+				err = fmt.Errorf("worker %d exited: %w", p, err)
 			}
+			co.waitErr <- procExit{proc: p, err: err}
 		}(cmd, p)
 	}
 
 	res, err := co.run(ln)
 	if err != nil {
-		co.killAndReap()
+		co.abortAndReap(err.Error())
 		return Result{}, err
 	}
 	return res, nil
 }
 
-// coordinator holds the parent-side state of one run.
+// coordinator holds the parent-side state of one run. All fields are owned
+// by the Run goroutine; child waiters and control readers only send on the
+// waitErr/events channels.
 type coordinator struct {
 	cfg      Config
 	P        int
 	dir      string
 	cmds     []*exec.Cmd
-	waitErr  chan error
+	waitErr  chan procExit
 	unreaped int // workers not yet reaped via waitErr
 	events   chan event
 	ctrls    []*ctrlConn
-	done     chan struct{} // closed on teardown; releases blocked readers
+	exited   []bool // per-proc: reaped (don't probe, don't expect heartbeats)
+	// lastHeard[p] is when proc p's control connection last produced a
+	// frame; maintained during the run phase for the liveness check.
+	lastHeard []time.Time
+	done      chan struct{} // closed on teardown; releases blocked readers
 }
 
-// reapOne consumes one waitErr message.
-func (co *coordinator) reapOne() error {
-	err := <-co.waitErr
+// reap consumes one child exit.
+func (co *coordinator) reap(ex procExit) {
 	co.unreaped--
-	return err
+	if ex.proc >= 0 && ex.proc < co.P {
+		co.exited[ex.proc] = true
+	}
 }
 
 // killAndReap force-terminates every remaining worker and reaps it.
@@ -268,8 +321,71 @@ func (co *coordinator) killAndReap() {
 		}
 	}
 	for co.unreaped > 0 {
-		co.reapOne()
+		co.reap(<-co.waitErr)
 	}
+}
+
+// abortAndReap tears a failed run down without hanging: broadcast Abort so
+// live workers stop their runtimes and exit on their own, grant a short
+// grace for them to do so, then kill and reap whatever is left. Send errors
+// are ignored — a worker whose connection is already gone is exactly the
+// kind Kill handles.
+func (co *coordinator) abortAndReap(reason string) {
+	for p, cc := range co.ctrls {
+		if cc == nil || co.exited[p] {
+			continue
+		}
+		_ = cc.send(0, opAbort, abortMsg{Reason: reason})
+	}
+	grace := time.NewTimer(time.Second)
+	defer grace.Stop()
+	for co.unreaped > 0 {
+		select {
+		case ex := <-co.waitErr:
+			co.reap(ex)
+		case <-grace.C:
+			co.killAndReap()
+			return
+		}
+	}
+}
+
+// peerFailure attributes a run failure to one worker. The immediate trigger
+// (a control read error, a transport-level peer death, heartbeat silence)
+// often races the real evidence — the worker's own exit status — so a short
+// drain of waitErr prefers the richer cause: the named proc's exit status if
+// it arrives, or another proc's crash (the trigger proc was then merely the
+// first observer of its peer's death).
+func (co *coordinator) peerFailure(phase string, proc int, cause error) error {
+	if !killedBySignal(cause) {
+		// The trigger is an observation (a report, a broken control read, a
+		// plain exit), not an unambiguous death; drain briefly for one.
+		grace := time.NewTimer(150 * time.Millisecond)
+		defer grace.Stop()
+	drain:
+		for {
+			select {
+			case ex := <-co.waitErr:
+				co.reap(ex)
+				if ex.err == nil {
+					continue
+				}
+				if killedBySignal(ex.err) {
+					// A signal death is the victim, whoever reported first.
+					proc, cause = ex.proc, ex.err
+					break drain
+				}
+				// A plain nonzero exit is a worker unwinding after whatever
+				// it observed; the trigger already carries the richer cause.
+			case <-grace.C:
+				break drain
+			}
+		}
+	}
+	if !errors.Is(cause, ErrPeerDied) && !errors.Is(cause, ErrRunTimeout) {
+		cause = fmt.Errorf("%w: %v", ErrPeerDied, cause)
+	}
+	return &PeerFailureError{Proc: proc, Phase: phase, Err: cause}
 }
 
 // run drives the protocol: handshake, probing, report collection.
@@ -325,14 +441,18 @@ func (co *coordinator) run(ln net.Listener) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-	case err := <-co.waitErr:
-		co.unreaped--
-		return Result{}, fmt.Errorf("dist: worker exited during handshake: %v", err)
+	case ex := <-co.waitErr:
+		co.reap(ex)
+		return Result{}, co.peerFailure("spawn", ex.proc, exitCause(ex))
 	case <-timeout.C:
 		return Result{}, fmt.Errorf("dist: handshake timeout (%v) waiting for hellos", cfg.StartTimeout)
 	}
 
 	digest := configDigest(cfg.RT)
+	sendDeadline := cfg.RunTimeout
+	if sendDeadline < 0 {
+		sendDeadline = 0
+	}
 	if err := co.broadcast(opSetup, setupMsg{
 		Name:          cfg.Name,
 		Params:        cfg.Params,
@@ -342,11 +462,12 @@ func (co *coordinator) run(ln net.Listener) (Result, error) {
 		Transport:     cfg.Transport.String(),
 		Nodes:         cfg.Nodes,
 		RingBytes:     cfg.RingBytes,
+		SendDeadline:  sendDeadline,
 		Digest:        digest,
 	}); err != nil {
 		return Result{}, err
 	}
-	listens, err := co.collect(opListening, "listen phase", timeout, false)
+	listens, err := co.collect(opListening, "listen", timeout)
 	if err != nil {
 		return Result{}, err
 	}
@@ -362,7 +483,7 @@ func (co *coordinator) run(ln net.Listener) (Result, error) {
 	if err := co.broadcast(opConnect, nil); err != nil {
 		return Result{}, err
 	}
-	if _, err := co.collect(opReady, "connect phase", timeout, false); err != nil {
+	if _, err := co.collect(opReady, "connect", timeout); err != nil {
 		return Result{}, err
 	}
 	if err := co.broadcast(opStart, nil); err != nil {
@@ -370,18 +491,20 @@ func (co *coordinator) run(ln net.Listener) (Result, error) {
 	}
 	start := time.Now()
 
-	if err := co.probeToQuiescence(); err != nil {
+	if err := co.probeToQuiescence(start); err != nil {
 		return Result{}, err
 	}
 	wall := time.Since(start)
 
-	// Proven quiet: stop the workers and collect their reports. Workers
-	// exit right after Done, so clean EOFs/exits are expected here.
+	// Proven quiet: stop the workers and collect their reports. Workers hold
+	// their links and control connection open through this phase (so a clean
+	// link EOF during the run always means peer death); Release below lets
+	// them tear down and exit.
 	if err := co.broadcast(opFinish, nil); err != nil {
 		return Result{}, err
 	}
 	resetTimer(timeout, cfg.StartTimeout)
-	dones, err := co.collect(opDone, "report phase", timeout, true)
+	dones, err := co.collect(opDone, "report", timeout)
 	if err != nil {
 		return Result{}, err
 	}
@@ -393,13 +516,21 @@ func (co *coordinator) run(ln net.Listener) (Result, error) {
 		}
 		res.Procs[p] = ProcResult{RT: dm.Result, Report: dm.Report}
 	}
-	// Reap the remaining workers (collect may have reaped some already).
+	// Release the workers (best-effort: one whose connection already broke
+	// is caught by the exit reap below) and reap their clean exits.
+	for p, cc := range co.ctrls {
+		if cc == nil || co.exited[p] {
+			continue
+		}
+		_ = cc.send(0, opRelease, nil)
+	}
 	for co.unreaped > 0 {
 		select {
-		case err := <-co.waitErr:
-			co.unreaped--
-			if err != nil {
-				return Result{}, fmt.Errorf("dist: %v", err)
+		case ex := <-co.waitErr:
+			co.reap(ex)
+			if ex.err != nil {
+				return Result{}, &PeerFailureError{Proc: ex.proc, Phase: "release",
+					Err: fmt.Errorf("%w: %v", ErrPeerDied, ex.err)}
 			}
 		case <-timeout.C:
 			return Result{}, fmt.Errorf("dist: timeout waiting for worker exit")
@@ -417,20 +548,45 @@ func (co *coordinator) broadcast(op uint32, msg any) error {
 	return nil
 }
 
-// collect waits for one frame of the given op from every worker. With
-// exitOK, clean worker exits and post-reply EOFs are tolerated (the report
-// phase); otherwise any exit or read error is fatal.
-func (co *coordinator) collect(op uint32, phase string, timeout *time.Timer, exitOK bool) ([]wire.Frame, error) {
+// exitCause turns a procExit into an error (a clean-but-premature exit is
+// still a failure when the protocol expected the worker to stay).
+func exitCause(ex procExit) error {
+	if ex.err != nil {
+		return ex.err
+	}
+	return fmt.Errorf("worker %d exited prematurely", ex.proc)
+}
+
+// killedBySignal reports whether an exit error means the process was
+// terminated by a signal (SIGKILL, SIGSEGV, ...) rather than exiting with a
+// nonzero status of its own.
+func killedBySignal(err error) bool {
+	var ee *exec.ExitError
+	return errors.As(err, &ee) && ee.ExitCode() == -1
+}
+
+// blamed resolves an errorMsg's attribution: the blamed peer when the
+// reporter named one, the reporter itself otherwise.
+func blamed(reporter int, em errorMsg, P int) int {
+	if em.Blame >= 0 && em.Blame < P && em.Blame != reporter {
+		return em.Blame
+	}
+	return reporter
+}
+
+// collect waits for one frame of the given op from every worker. Any worker
+// exit, control error, or reported error during collection fails the phase
+// with a *PeerFailureError naming the culprit (workers hold their control
+// connection open until Release, so even the report phase tolerates no
+// exits).
+func (co *coordinator) collect(op uint32, phase string, timeout *time.Timer) ([]wire.Frame, error) {
 	got := make([]wire.Frame, co.P)
 	seen := 0
 	for seen < co.P {
 		select {
 		case ev := <-co.events:
 			if ev.err != nil {
-				if exitOK && got[ev.proc].Kind != wire.KindInvalid {
-					continue // EOF after its reply: the worker is done
-				}
-				return nil, fmt.Errorf("dist: worker %d control error during %s: %v", ev.proc, phase, ev.err)
+				return nil, co.peerFailure(phase, ev.proc, fmt.Errorf("control read: %w", ev.err))
 			}
 			switch ev.op {
 			case op:
@@ -441,78 +597,83 @@ func (co *coordinator) collect(op uint32, phase string, timeout *time.Timer, exi
 			case opQuiet:
 				// Harmless hint; ignore.
 			case opError:
+				// The report may observe another process's death (a failed
+				// dial to a killed peer): honor the reporter's blame, and let
+				// peerFailure's drain catch a crashed process's exit status.
 				em, _ := decode[errorMsg](ev.f)
-				return nil, fmt.Errorf("dist: worker %d failed: %s", ev.proc, em.Msg)
+				return nil, co.peerFailure(phase, blamed(ev.proc, em, co.P), errors.New(em.Msg))
 			default:
-				return nil, fmt.Errorf("dist: unexpected op %d from worker %d during %s", ev.op, ev.proc, phase)
+				return nil, fmt.Errorf("dist: unexpected op %d from proc=%d phase=%s", ev.op, ev.proc, phase)
 			}
-		case err := <-co.waitErr:
-			co.unreaped--
-			if err != nil {
-				return nil, fmt.Errorf("dist: %v (during %s)", err, phase)
-			}
-			if !exitOK {
-				return nil, fmt.Errorf("dist: worker exited prematurely during %s", phase)
-			}
+		case ex := <-co.waitErr:
+			co.reap(ex)
+			return nil, co.peerFailure(phase, ex.proc, exitCause(ex))
 		case <-timeout.C:
-			return nil, fmt.Errorf("dist: timeout (%v) during %s", co.cfg.StartTimeout, phase)
+			return nil, fmt.Errorf("dist: timeout (%v) during %s phase", co.cfg.StartTimeout, phase)
 		}
 	}
 	return got, nil
 }
 
+// sendProbes (re)transmits the current probe round to every live worker.
+func (co *coordinator) sendProbes(round int) error {
+	for p, cc := range co.ctrls {
+		if co.exited[p] {
+			continue
+		}
+		if err := cc.send(0, opProbe, countsMsg{Round: round}); err != nil {
+			return co.peerFailure("run", p, fmt.Errorf("probe send: %w", err))
+		}
+	}
+	return nil
+}
+
 // probeToQuiescence runs four-counter termination detection: repeat probe
 // rounds until two consecutive rounds agree on unchanged per-worker counters
 // with everyone locally quiet and globally sent == recv.
-func (co *coordinator) probeToQuiescence() error {
+//
+// Probe replies double as heartbeats. While a round is outstanding past one
+// HeartbeatInterval it is retransmitted (replies are deduplicated per round),
+// so a round stalled on one wedged worker keeps proving the live ones alive;
+// a worker silent for four intervals — and any worker exit or control-plane
+// error — fails the run with a *PeerFailureError, and RunTimeout bounds the
+// whole phase. Mid-run failure can therefore stall detection but never hang
+// it.
+func (co *coordinator) probeToQuiescence(start time.Time) error {
 	type obs struct {
 		sent, recv int64
 		quiet      bool
 	}
-	var prev []obs
-	prevBalanced := false
-	round := 0
-	for {
+	const phase = "run"
+	cfg := co.cfg
+	hb := cfg.HeartbeatInterval
+	now := time.Now()
+	for p := range co.lastHeard {
+		co.lastHeard[p] = now
+	}
+
+	var (
+		prev          []obs
+		prevBalanced  bool
+		round         int
+		cur           []obs
+		replied       []bool
+		seen          int
+		awaiting      bool      // a probe round is outstanding
+		awaitingSince time.Time // when it was first sent
+	)
+	startRound := func() error {
 		round++
-		if err := co.broadcast(opProbe, countsMsg{Round: round}); err != nil {
-			return err
-		}
-		cur := make([]obs, co.P)
-		replied := make([]bool, co.P)
-		seen := 0
-		for seen < co.P {
-			select {
-			case ev := <-co.events:
-				if ev.err != nil {
-					return fmt.Errorf("dist: worker %d control error mid-run: %v", ev.proc, ev.err)
-				}
-				switch ev.op {
-				case opCounts:
-					cm, err := decode[countsMsg](ev.f)
-					if err != nil {
-						return err
-					}
-					if cm.Round != round {
-						continue // stale reply from an earlier round
-					}
-					if !replied[ev.proc] {
-						replied[ev.proc] = true
-						seen++
-					}
-					cur[ev.proc] = obs{sent: cm.Sent, recv: cm.Recv, quiet: cm.Quiet}
-				case opQuiet:
-					// Hint only; the counters decide.
-				case opError:
-					em, _ := decode[errorMsg](ev.f)
-					return fmt.Errorf("dist: worker %d failed: %s", ev.proc, em.Msg)
-				default:
-					return fmt.Errorf("dist: unexpected op %d mid-run", ev.op)
-				}
-			case err := <-co.waitErr:
-				co.unreaped--
-				return fmt.Errorf("dist: worker exited mid-run: %v", err)
-			}
-		}
+		cur = make([]obs, co.P)
+		replied = make([]bool, co.P)
+		seen = 0
+		awaiting = true
+		awaitingSince = time.Now()
+		return co.sendProbes(round)
+	}
+	// evaluate closes a completed round; true means termination is proven.
+	evaluate := func() bool {
+		awaiting = false
 		var sent, recv int64
 		allQuiet := true
 		for _, o := range cur {
@@ -523,26 +684,90 @@ func (co *coordinator) probeToQuiescence() error {
 			}
 		}
 		balanced := allQuiet && sent == recv
-		if balanced && prevBalanced && sameObs(prev, cur) {
-			return nil
-		}
+		done := balanced && prevBalanced && sameObs(prev, cur)
 		prev, prevBalanced = prevObs(cur), balanced
-		if !balanced {
-			// Still working: pace the next round, but let a Quiet hint (or
-			// a failure) cut the wait short.
-			select {
-			case ev := <-co.events:
-				if ev.err != nil {
-					return fmt.Errorf("dist: worker %d control error mid-run: %v", ev.proc, ev.err)
+		return done
+	}
+
+	if err := startRound(); err != nil {
+		return err
+	}
+	hbTick := time.NewTicker(hb / 2)
+	defer hbTick.Stop()
+	pace := time.NewTimer(cfg.ProbeInterval)
+	defer pace.Stop()
+
+	for {
+		select {
+		case ev := <-co.events:
+			if ev.err != nil {
+				return co.peerFailure(phase, ev.proc, fmt.Errorf("control read: %w", ev.err))
+			}
+			co.lastHeard[ev.proc] = time.Now()
+			switch ev.op {
+			case opCounts:
+				cm, err := decode[countsMsg](ev.f)
+				if err != nil {
+					return err
 				}
-				if ev.op == opError {
-					em, _ := decode[errorMsg](ev.f)
-					return fmt.Errorf("dist: worker %d failed: %s", ev.proc, em.Msg)
+				if !awaiting || cm.Round != round {
+					continue // stale reply from an earlier round (or a retransmit)
 				}
-			case err := <-co.waitErr:
-				co.unreaped--
-				return fmt.Errorf("dist: worker exited mid-run: %v", err)
-			case <-time.After(co.cfg.ProbeInterval):
+				if !replied[ev.proc] {
+					replied[ev.proc] = true
+					seen++
+				}
+				cur[ev.proc] = obs{sent: cm.Sent, recv: cm.Recv, quiet: cm.Quiet}
+				if seen == co.P {
+					if evaluate() {
+						return nil
+					}
+					// Still working: pace the next round, but let a Quiet
+					// hint cut the wait short.
+					resetTimer(pace, cfg.ProbeInterval)
+				}
+			case opQuiet:
+				if !awaiting {
+					if err := startRound(); err != nil {
+						return err
+					}
+				}
+			case opError:
+				// A worker's mid-run error report frequently *observes* a
+				// peer's death rather than its own failure: honor the
+				// reporter's blame, and let peerFailure's drain catch a
+				// crashed process's exit status.
+				em, _ := decode[errorMsg](ev.f)
+				return co.peerFailure(phase, blamed(ev.proc, em, co.P), errors.New(em.Msg))
+			default:
+				return fmt.Errorf("dist: unexpected op %d from proc=%d phase=%s", ev.op, ev.proc, phase)
+			}
+		case ex := <-co.waitErr:
+			co.reap(ex)
+			return co.peerFailure(phase, ex.proc, exitCause(ex))
+		case <-pace.C:
+			if !awaiting {
+				if err := startRound(); err != nil {
+					return err
+				}
+			}
+		case tick := <-hbTick.C:
+			if cfg.RunTimeout > 0 && tick.Sub(start) > cfg.RunTimeout {
+				return fmt.Errorf("dist: phase=%s: %w (%v)", phase, ErrRunTimeout, cfg.RunTimeout)
+			}
+			for p := 0; p < co.P; p++ {
+				if co.exited[p] {
+					continue
+				}
+				if silent := tick.Sub(co.lastHeard[p]); silent > 4*hb {
+					return co.peerFailure(phase, p,
+						fmt.Errorf("%w: no control traffic for %v", ErrPeerDied, silent.Round(time.Millisecond)))
+				}
+			}
+			if awaiting && tick.Sub(awaitingSince) > hb {
+				if err := co.sendProbes(round); err != nil {
+					return err
+				}
 			}
 		}
 	}

@@ -1,0 +1,44 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel failure causes. Every run-level failure the coordinator returns
+// wraps one of these (test with errors.Is); most are further wrapped in a
+// *PeerFailureError attributing the failure to a process and protocol phase
+// (extract with errors.As).
+var (
+	// ErrPeerDied marks a worker process that exited, crashed, or stopped
+	// responding mid-run.
+	ErrPeerDied = errors.New("dist: peer process died")
+	// ErrCoordinatorLost is returned by a worker whose control connection to
+	// the coordinator broke: with nobody to report to, the worker stops its
+	// runtime and exits rather than orphan itself.
+	ErrCoordinatorLost = errors.New("dist: coordinator control connection lost")
+	// ErrRunTimeout marks a run that exceeded Config.RunTimeout without
+	// proving global quiescence.
+	ErrRunTimeout = errors.New("dist: run timeout exceeded")
+)
+
+// PeerFailureError attributes a failed distributed run to one worker process
+// and the protocol phase ("spawn", "listen", "connect", "run", "report",
+// "release") it failed in. Its cause chain (Unwrap) reaches one of the
+// sentinel errors above plus whatever detail the trigger carried — the
+// worker's exit status, the control-plane read error, or the worker's own
+// error report.
+type PeerFailureError struct {
+	// Proc is the ProcID of the worker the failure is attributed to.
+	Proc int
+	// Phase names the protocol phase the run failed in.
+	Phase string
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *PeerFailureError) Error() string {
+	return fmt.Sprintf("dist: proc=%d phase=%s: %v", e.Proc, e.Phase, e.Err)
+}
+
+func (e *PeerFailureError) Unwrap() error { return e.Err }

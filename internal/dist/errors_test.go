@@ -1,0 +1,92 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// The typed-error contract: failures surface as *PeerFailureError values
+// that errors.As can extract and whose chains errors.Is can classify, with
+// proc and phase readable both as fields and in the message.
+
+func TestPeerFailureErrorContract(t *testing.T) {
+	cause := errors.New("connection reset")
+	err := error(&PeerFailureError{Proc: 2, Phase: "run",
+		Err: fmt.Errorf("%w: %v", ErrPeerDied, cause)})
+	// One level of wrapping on top, as Run's callers will add.
+	err = fmt.Errorf("dist run failed: %w", err)
+
+	var pfe *PeerFailureError
+	if !errors.As(err, &pfe) {
+		t.Fatalf("errors.As failed to extract *PeerFailureError from %v", err)
+	}
+	if pfe.Proc != 2 || pfe.Phase != "run" {
+		t.Fatalf("extracted proc=%d phase=%s, want proc=2 phase=run", pfe.Proc, pfe.Phase)
+	}
+	if !errors.Is(err, ErrPeerDied) {
+		t.Fatalf("errors.Is(err, ErrPeerDied) = false for %v", err)
+	}
+	if errors.Is(err, ErrRunTimeout) || errors.Is(err, ErrCoordinatorLost) {
+		t.Fatalf("error matches sentinels it does not wrap: %v", err)
+	}
+	want := "dist: proc=2 phase=run: dist: peer process died: connection reset"
+	if pfe.Error() != want {
+		t.Fatalf("Error() = %q, want %q", pfe.Error(), want)
+	}
+}
+
+func TestPeerFailureErrorUnwrapsTimeout(t *testing.T) {
+	err := error(&PeerFailureError{Proc: 0, Phase: "run", Err: ErrRunTimeout})
+	if !errors.Is(err, ErrRunTimeout) {
+		t.Fatalf("errors.Is(err, ErrRunTimeout) = false for %v", err)
+	}
+	if errors.Is(err, ErrPeerDied) {
+		t.Fatalf("timeout failure must not read as a peer death: %v", err)
+	}
+}
+
+// peerFailure must wrap any bare cause in ErrPeerDied exactly once, and
+// leave already-classified causes alone.
+func TestPeerFailureNormalizesCause(t *testing.T) {
+	co := &coordinator{P: 3, waitErr: make(chan procExit, 3),
+		exited: make([]bool, 3)}
+
+	err := co.peerFailure("connect", 1, errors.New("dial refused"))
+	var pfe *PeerFailureError
+	if !errors.As(err, &pfe) || pfe.Proc != 1 || pfe.Phase != "connect" {
+		t.Fatalf("peerFailure built %v", err)
+	}
+	if !errors.Is(err, ErrPeerDied) {
+		t.Fatalf("bare cause not wrapped in ErrPeerDied: %v", err)
+	}
+
+	already := fmt.Errorf("%w: silent too long", ErrPeerDied)
+	err = co.peerFailure("run", 2, already)
+	if !errors.As(err, &pfe) {
+		t.Fatalf("peerFailure built %v", err)
+	}
+	if got := pfe.Err; !errors.Is(got, ErrPeerDied) {
+		t.Fatalf("classified cause lost its sentinel: %v", got)
+	}
+}
+
+// blamed must trust an in-range blame that names someone other than the
+// reporter, and fall back to the reporter otherwise.
+func TestBlamedAttribution(t *testing.T) {
+	cases := []struct {
+		reporter, blame, want int
+	}{
+		{2, 1, 1},  // reporter saw peer 1 die
+		{2, -1, 2}, // reporter's own failure
+		{2, 2, 2},  // self-blame is just the reporter
+		{2, 7, 2},  // out of range: distrust
+		{2, -5, 2}, // out of range: distrust
+		{0, 3, 3},  // boundary: last proc
+	}
+	for _, c := range cases {
+		if got := blamed(c.reporter, errorMsg{Blame: c.blame}, 4); got != c.want {
+			t.Errorf("blamed(reporter=%d, blame=%d) = %d, want %d", c.reporter, c.blame, got, c.want)
+		}
+	}
+}

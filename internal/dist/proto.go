@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"tramlib/internal/rt"
 	"tramlib/internal/wire"
@@ -27,6 +28,8 @@ const (
 	opFinish                      // parent -> worker: global quiescence proven; stop and report
 	opDone                        // worker -> parent: final result + application report
 	opError                       // worker -> parent: fatal error text
+	opAbort                       // parent -> worker: run failed; stop and exit
+	opRelease                     // parent -> worker: all reports in; tear down and exit
 )
 
 // setupMsg is the opSetup payload: everything a worker needs to build the
@@ -50,6 +53,11 @@ type setupMsg struct {
 	Transport string `json:"transport,omitempty"`
 	Nodes     []int  `json:"nodes,omitempty"`
 	RingBytes int    `json:"ring_bytes,omitempty"`
+	// SendDeadline bounds how long one data-plane send may block on
+	// backpressure before failing with transport.ErrStalled (the coordinator
+	// sets it from Config.RunTimeout; 0 leaves sends unbounded). Run layout,
+	// not part of the digest.
+	SendDeadline time.Duration `json:"send_deadline,omitempty"`
 	// Digest is the parent's fingerprint of the runtime configuration; the
 	// worker must derive the same one from its rebuilt config (a mismatch
 	// means the registered builder and the caller disagree about the run).
@@ -78,9 +86,20 @@ type doneMsg struct {
 	Report []byte    `json:"report,omitempty"`
 }
 
-// errorMsg is the opError payload.
+// errorMsg is the opError payload. Blame is the ProcID the reporting worker
+// holds responsible (it knows which peer's link died or which send failed);
+// -1 when the failure is the reporter's own. The coordinator uses it to
+// attribute the run failure to the process that actually died rather than
+// to the first process that noticed.
 type errorMsg struct {
-	Msg string `json:"msg"`
+	Msg   string `json:"msg"`
+	Blame int    `json:"blame"`
+}
+
+// abortMsg is the opAbort payload: why the coordinator is tearing the run
+// down (for worker-side logs; the coordinator already holds the real error).
+type abortMsg struct {
+	Reason string `json:"reason,omitempty"`
 }
 
 // ctrlConn is a frame-oriented control connection: JSON control frames with

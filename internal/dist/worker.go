@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"os"
@@ -8,6 +9,7 @@ import (
 	"sync"
 
 	"tramlib/internal/cluster"
+	"tramlib/internal/faultinject"
 	"tramlib/internal/rt"
 	"tramlib/internal/transport"
 	"tramlib/internal/wire"
@@ -57,6 +59,9 @@ func WorkerMain(build BuildFunc) {
 		fmt.Fprintf(os.Stderr, "dist worker: bad %s=%q\n", envProc, procStr)
 		os.Exit(1)
 	}
+	// The coordinator's environment (including any TRAMLIB_FAULTS spec)
+	// reached us at spawn; scope proc-filtered fault points to this process.
+	faultinject.SetProc(proc)
 	if err := runWorker(cluster.ProcID(proc), os.Getenv(envCtrl), build); err != nil {
 		fmt.Fprintf(os.Stderr, "dist worker %d: %v\n", proc, err)
 		os.Exit(1)
@@ -70,6 +75,11 @@ func WorkerMain(build BuildFunc) {
 // an in-place ring encode — is the link's business; the runtime's
 // CrossCounts accounting, deadline-flush requests, and quiescence protocol
 // upstream never see the difference.
+//
+// Send failures (a dead peer, a ring stalled past its deadline) cannot be
+// returned to the kernel: the first one is latched, the runtime is stopped,
+// and the worker's control loop picks the error up on failC and reports it
+// to the coordinator.
 type remote struct {
 	topo cluster.Topology
 	mesh *transport.Mesh
@@ -78,6 +88,17 @@ type remote struct {
 	// lock across batch sends (worker and progress goroutines emit
 	// concurrently toward the same peer).
 	convs []*conv
+
+	failOnce sync.Once
+	failC    chan sendFailure // capacity 1; carries the first send failure
+}
+
+// sendFailure is a latched data-plane send failure: the peer the send was
+// addressed to (blamed only when the error is the transport saying that peer
+// is gone or wedged) and the error itself.
+type sendFailure struct {
+	peer int
+	err  error
 }
 
 type conv struct {
@@ -86,42 +107,85 @@ type conv struct {
 	runs  []wire.Run
 }
 
-func (t *remote) peerOf(w cluster.WorkerID) transport.PeerTransport {
-	return t.mesh.Peer(int(t.topo.ProcOf(w)))
+// fail latches the first send failure and stops the runtime so the worker
+// goroutines unwind instead of piling more sends onto a dead link.
+func (t *remote) fail(peer int, err error) {
+	t.failOnce.Do(func() {
+		t.failC <- sendFailure{peer: peer, err: fmt.Errorf("send to peer %d: %w", peer, err)}
+		t.rtm.Stop()
+	})
+}
+
+// injectSend applies the dist.send-batch fault point; true means the batch
+// must be dropped instead of sent (an injected Drop deliberately imbalances
+// the cross counters — the run can then only end via RunTimeout — while an
+// injected Error exercises the send-failure path).
+func (t *remote) injectSend(peer int) bool {
+	switch faultinject.Fire(faultinject.PointSendBatch) {
+	case faultinject.Drop:
+		return true
+	case faultinject.Error:
+		t.fail(peer, errors.New("injected send-batch fault"))
+		return true
+	}
+	return false
 }
 
 func (t *remote) SendOne(dest cluster.WorkerID, value uint64) {
+	peer := int(t.topo.ProcOf(dest))
+	if t.injectSend(peer) {
+		return
+	}
 	var one [1]uint64
 	one[0] = value
-	t.peerOf(dest).SendPayloads(uint32(dest), one[:], false)
+	if err := t.mesh.Peer(peer).SendPayloads(uint32(dest), one[:], false); err != nil {
+		t.fail(peer, err)
+	}
 }
 
 func (t *remote) SendPayloads(dest cluster.WorkerID, payloads []uint64, full bool) {
-	t.peerOf(dest).SendPayloads(uint32(dest), payloads, full)
+	peer := int(t.topo.ProcOf(dest))
+	if !t.injectSend(peer) {
+		if err := t.mesh.Peer(peer).SendPayloads(uint32(dest), payloads, full); err != nil {
+			t.fail(peer, err)
+		}
+	}
 	t.rtm.RecyclePayloads(payloads)
 }
 
 func (t *remote) SendItems(dest cluster.ProcID, items []rt.Item, full bool) {
+	if t.injectSend(int(dest)) {
+		t.rtm.RecycleItems(items)
+		return
+	}
 	c := t.convs[dest]
 	c.mu.Lock()
 	c.items = c.items[:0]
 	for _, it := range items {
 		c.items = append(c.items, wire.Item{Dest: uint32(it.Dest), Val: it.Val})
 	}
-	t.mesh.Peer(int(dest)).SendItems(uint32(dest), c.items, full)
+	err := t.mesh.Peer(int(dest)).SendItems(uint32(dest), c.items, full)
 	c.mu.Unlock()
+	if err != nil {
+		t.fail(int(dest), err)
+	}
 	t.rtm.RecycleItems(items)
 }
 
 func (t *remote) SendRuns(dest cluster.ProcID, runs []rt.Run, full bool) {
-	c := t.convs[dest]
-	c.mu.Lock()
-	c.runs = c.runs[:0]
-	for _, r := range runs {
-		c.runs = append(c.runs, wire.Run{Dest: uint32(r.Dest), Payloads: r.Payloads})
+	if !t.injectSend(int(dest)) {
+		c := t.convs[dest]
+		c.mu.Lock()
+		c.runs = c.runs[:0]
+		for _, r := range runs {
+			c.runs = append(c.runs, wire.Run{Dest: uint32(r.Dest), Payloads: r.Payloads})
+		}
+		err := t.mesh.Peer(int(dest)).SendRuns(uint32(dest), c.runs, full)
+		c.mu.Unlock()
+		if err != nil {
+			t.fail(int(dest), err)
+		}
 	}
-	t.mesh.Peer(int(dest)).SendRuns(uint32(dest), c.runs, full)
-	c.mu.Unlock()
 	for _, r := range runs {
 		t.rtm.RecyclePayloads(r.Payloads)
 	}
@@ -173,8 +237,23 @@ func meshKindOf(setup setupMsg, self cluster.ProcID) func(int) transport.Kind {
 	}
 }
 
+// ctrlMsg is one control frame (or read error) as seen by the worker's run
+// loop, delivered by the control-reader goroutine.
+type ctrlMsg struct {
+	f   wire.Frame
+	err error
+}
+
 // runWorker executes one worker process from handshake to final report.
+// Every error it returns is prefixed proc=N phase=X so the coordinator's
+// stderr passthrough stays attributable.
 func runWorker(proc cluster.ProcID, ctrlPath string, build BuildFunc) error {
+	wrap := func(phase string, err error) error {
+		return fmt.Errorf("proc=%d phase=%s: %w", proc, phase, err)
+	}
+	lost := func(phase string, err error) error {
+		return wrap(phase, fmt.Errorf("%w: %v", ErrCoordinatorLost, err))
+	}
 	if ctrlPath == "" {
 		return fmt.Errorf("missing %s", envCtrl)
 	}
@@ -186,48 +265,51 @@ func runWorker(proc cluster.ProcID, ctrlPath string, build BuildFunc) error {
 	ctrl := newCtrlConn(conn)
 	self := uint32(proc)
 
-	fail := func(err error) error {
-		_ = ctrl.send(self, opError, errorMsg{Msg: err.Error()})
-		return err
+	fail := func(phase string, err error) error {
+		_ = ctrl.send(self, opError, errorMsg{Msg: err.Error(), Blame: -1})
+		return wrap(phase, err)
 	}
 
 	if err := ctrl.send(self, opHello, nil); err != nil {
-		return err
+		return lost("spawn", err)
 	}
 	f, err := ctrl.recv()
 	if err != nil {
-		return err
+		return lost("spawn", err)
+	}
+	if f.Dest == opAbort {
+		return nil
 	}
 	if f.Dest != opSetup {
-		return fmt.Errorf("expected setup, got op %d", f.Dest)
+		return wrap("spawn", fmt.Errorf("expected setup, got op %d", f.Dest))
 	}
 	setup, err := decode[setupMsg](f)
 	if err != nil {
-		return err
+		return wrap("spawn", err)
 	}
 
 	app, err := build(setup.Name, setup.Params, proc)
 	if err != nil {
-		return fail(fmt.Errorf("build %q: %w", setup.Name, err))
+		return fail("spawn", fmt.Errorf("build %q: %w", setup.Name, err))
 	}
 	if app.RT.Part != nil {
-		return fail(fmt.Errorf("build %q returned a partitioned config", setup.Name))
+		return fail("spawn", fmt.Errorf("build %q returned a partitioned config", setup.Name))
 	}
 	digest := configDigest(app.RT)
 	if digest != setup.Digest {
-		return fail(fmt.Errorf("config mismatch: worker %q vs coordinator %q", digest, setup.Digest))
+		return fail("spawn", fmt.Errorf("config mismatch: worker %q vs coordinator %q", digest, setup.Digest))
 	}
 	topo := app.RT.Topo
 	if topo.TotalProcs() != setup.Procs {
-		return fail(fmt.Errorf("topology has %d procs, run has %d", topo.TotalProcs(), setup.Procs))
+		return fail("spawn", fmt.Errorf("topology has %d procs, run has %d", topo.TotalProcs(), setup.Procs))
 	}
 	if setup.Nodes != nil && len(setup.Nodes) != setup.Procs {
-		return fail(fmt.Errorf("node map has %d entries for %d procs", len(setup.Nodes), setup.Procs))
+		return fail("spawn", fmt.Errorf("node map has %d entries for %d procs", len(setup.Nodes), setup.Procs))
 	}
 
 	// Build the runtime around the mesh-backed remote (the remote needs the
 	// runtime for pools and the mesh for links; both are set after New).
-	tr := &remote{topo: topo, convs: make([]*conv, setup.Procs)}
+	tr := &remote{topo: topo, convs: make([]*conv, setup.Procs), failC: make(chan sendFailure, 1)}
 	for i := range tr.convs {
 		tr.convs[i] = &conv{}
 	}
@@ -240,50 +322,60 @@ func runWorker(proc cluster.ProcID, ctrlPath string, build BuildFunc) error {
 
 	// The data plane: inbound frames dispatch straight into the runtime
 	// from each link's receive goroutine; loop exits land on peerErr (nil
-	// for a clean peer close).
+	// Err for a clean peer close).
 	pr := &peerReader{rtm: rtm, topo: topo, proc: proc}
-	peerErr := make(chan error, setup.Procs+1)
+	peerErr := make(chan transport.PeerExit, setup.Procs+1)
 	mesh := transport.NewMesh(transport.MeshConfig{
 		Dir:           setup.Dir,
 		Self:          int(proc),
 		Procs:         setup.Procs,
 		MaxFrameBytes: setup.MaxFrameBytes,
 		RingBytes:     setup.RingBytes,
+		WaitDeadline:  setup.SendDeadline,
 		KindOf:        meshKindOf(setup, proc),
 	}, pr.dispatchFrame, peerErr)
 	tr.mesh = mesh
 	defer mesh.Close()
 
 	// Inbound endpoints up, then report Listening.
+	faultinject.Fire(faultinject.PointPhaseListen)
 	if err := mesh.Listen(); err != nil {
-		return fail(err)
+		return fail("listen", err)
 	}
 	if err := ctrl.send(self, opListening, listeningMsg{Digest: digest}); err != nil {
-		return err
+		return lost("listen", err)
 	}
 
 	// Wait for Connect, then establish the full mesh (outbound dials and
 	// ring opens; inbound socket dials land in the background).
 	if f, err = ctrl.recv(); err != nil {
-		return err
+		return lost("connect", err)
+	}
+	if f.Dest == opAbort {
+		return nil
 	}
 	if f.Dest != opConnect {
-		return fmt.Errorf("expected connect, got op %d", f.Dest)
+		return wrap("connect", fmt.Errorf("expected connect, got op %d", f.Dest))
 	}
+	faultinject.Fire(faultinject.PointPhaseConnect)
 	if err := mesh.Connect(); err != nil {
-		return fail(err)
+		return fail("connect", err)
 	}
 	if err := ctrl.send(self, opReady, nil); err != nil {
-		return err
+		return lost("connect", err)
 	}
 
 	// Wait for Start, then run the kernels.
 	if f, err = ctrl.recv(); err != nil {
-		return err
+		return lost("connect", err)
+	}
+	if f.Dest == opAbort {
+		return nil
 	}
 	if f.Dest != opStart {
-		return fmt.Errorf("expected start, got op %d", f.Dest)
+		return wrap("connect", fmt.Errorf("expected start, got op %d", f.Dest))
 	}
+	faultinject.Fire(faultinject.PointPhaseRun)
 	resC := make(chan rt.Result, 1)
 	go func() { resC <- rtm.Run() }()
 
@@ -305,49 +397,132 @@ func runWorker(proc cluster.ProcID, ctrlPath string, build BuildFunc) error {
 		}
 	}()
 
-	// Control loop: answer probes until the coordinator proves termination.
+	// Control frames now arrive on their own goroutine so the run loop can
+	// select over control traffic, peer-link exits, and send failures at
+	// once. Frames are cloned: the reader may overwrite its buffer with the
+	// next frame before the loop decodes this one.
+	ctrlC := make(chan ctrlMsg, 4)
+	go func() {
+		for {
+			f, err := ctrl.recv()
+			if err != nil {
+				ctrlC <- ctrlMsg{err: err}
+				return
+			}
+			ctrlC <- ctrlMsg{f: cloneFrame(f)}
+		}
+	}()
+
+	// stopAll unwinds the run: stop the runtime, interrupt the data plane so
+	// blocked sends error out instead of parking, and wait for the runtime
+	// goroutines to exit.
+	stopAll := func() {
+		rtm.Stop()
+		mesh.Close()
+		<-resC
+		close(stopNotify)
+		notifyWG.Wait()
+	}
+	// failed reports a run-phase failure to the coordinator and exits. blame
+	// is the peer this worker watched die (-1 when the failure is its own);
+	// the coordinator uses it to attribute the run failure to the process
+	// that failed rather than to the first one that noticed.
+	failed := func(blame int, err error) error {
+		stopAll()
+		_ = ctrl.send(self, opError, errorMsg{Msg: err.Error(), Blame: blame})
+		return wrap("run", err)
+	}
+
+	// Run loop: answer probes until the coordinator proves termination,
+	// watching the data plane and the coordinator link for failures.
 	for {
 		select {
-		case err := <-peerErr:
-			if err != nil {
-				return fail(err)
+		case m := <-ctrlC:
+			if m.err != nil {
+				// The coordinator vanished. Nobody is left to prove
+				// quiescence or collect the report: stop and exit rather
+				// than run orphaned forever.
+				stopAll()
+				return lost("run", m.err)
 			}
-			continue
-		default:
-		}
-		f, err := ctrl.recv()
-		if err != nil {
-			return err
-		}
-		switch f.Dest {
-		case opProbe:
-			probe, err := decode[countsMsg](f)
-			if err != nil {
-				return err
+			switch m.f.Dest {
+			case opProbe:
+				faultinject.Fire(faultinject.PointCtrlStall)
+				if faultinject.Fire(faultinject.PointCtrlDrop) == faultinject.Drop {
+					conn.Close() // simulate a dropped control connection
+					continue
+				}
+				probe, err := decode[countsMsg](m.f)
+				if err != nil {
+					return failed(-1, err)
+				}
+				reply := countsMsg{Round: probe.Round}
+				reply.Sent, reply.Recv, reply.Quiet = snapshotCounts(rtm)
+				if err := ctrl.send(self, opCounts, reply); err != nil {
+					stopAll()
+					return lost("run", err)
+				}
+			case opAbort:
+				// The coordinator is tearing the run down (some peer
+				// failed); unwind quietly — it already has the real error.
+				stopAll()
+				return nil
+			case opFinish:
+				faultinject.Fire(faultinject.PointPhaseReport)
+				rtm.Stop()
+				res := <-resC
+				close(stopNotify)
+				notifyWG.Wait()
+				var report []byte
+				if app.Report != nil {
+					report = app.Report()
+				}
+				if err := ctrl.send(self, opDone, doneMsg{Result: res, Report: report}); err != nil {
+					return lost("report", err)
+				}
+				// Hold the mesh and control connection open until Release:
+				// peers may still be draining toward their own Done, and a
+				// clean link EOF mid-run must always mean a dead peer.
+				for {
+					select {
+					case m := <-ctrlC:
+						if m.err != nil {
+							mesh.Close()
+							return lost("report", m.err)
+						}
+						switch m.f.Dest {
+						case opRelease, opAbort:
+							// Tear the data plane down so peers' receive
+							// loops see clean ends (socket EOFs, ring
+							// end-of-stream markers).
+							mesh.Close()
+							return nil
+						}
+						// Late probes and the like: ignore.
+					case <-peerErr:
+						// Peers released before us close their links;
+						// harmless after global quiescence.
+					}
+				}
+			default:
+				return failed(-1, fmt.Errorf("unexpected op %d during run", m.f.Dest))
 			}
-			reply := countsMsg{Round: probe.Round}
-			reply.Sent, reply.Recv, reply.Quiet = snapshotCounts(rtm)
-			if err := ctrl.send(self, opCounts, reply); err != nil {
-				return err
+		case ex := <-peerErr:
+			if ex.Err != nil {
+				return failed(ex.Peer, fmt.Errorf("peer %d link: %w", ex.Peer, ex.Err))
 			}
-		case opFinish:
-			rtm.Stop()
-			res := <-resC
-			close(stopNotify)
-			notifyWG.Wait()
-			var report []byte
-			if app.Report != nil {
-				report = app.Report()
+			// A clean link EOF mid-run is still evidence of peer death:
+			// live workers hold their links open until Release.
+			return failed(ex.Peer, fmt.Errorf("peer %d closed its link mid-run: %w", ex.Peer, transport.ErrPeerDead))
+		case sf := <-tr.failC:
+			// Blame the destination peer only when the transport itself says
+			// that peer is gone or wedged; any other send error (an injected
+			// fault, a local encode problem) is this worker's own failure.
+			blame := -1
+			if errors.Is(sf.err, transport.ErrPeerDead) || errors.Is(sf.err, transport.ErrStalled) {
+				blame = sf.peer
 			}
-			if err := ctrl.send(self, opDone, doneMsg{Result: res, Report: report}); err != nil {
-				return err
-			}
-			// Tear the data plane down so peers' receive loops see clean
-			// ends (socket EOFs, ring end-of-stream markers).
-			mesh.Close()
-			return nil
-		default:
-			return fmt.Errorf("unexpected op %d during run", f.Dest)
+			return failed(blame, sf.err)
 		}
 	}
 }

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package faultinject
+
+import "os"
+
+// crashSelf approximates SIGKILL where signals are unavailable: exit
+// immediately without running deferred cleanup handlers.
+func crashSelf() {
+	os.Exit(137)
+}

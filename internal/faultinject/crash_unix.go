@@ -1,0 +1,17 @@
+//go:build unix
+
+package faultinject
+
+import (
+	"os"
+	"syscall"
+)
+
+// crashSelf kills the calling process the hard way: SIGKILL cannot be
+// caught, so no deferred cleanup runs and no EOFs are written — the closest
+// a test can get to a machine losing power under one process.
+func crashSelf() {
+	_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	// SIGKILL delivery is asynchronous; never return from a crash.
+	select {}
+}

@@ -1,0 +1,309 @@
+// Package faultinject is the deterministic fault-injection registry behind
+// the Dist backend's chaos tests: named injection points threaded through
+// dist, transport, and shmring fire configured crash/stall/drop/error
+// actions at an exact hit count in an exact process, so a "worker 1 dies on
+// its third batch" scenario is reproducible run after run.
+//
+// # Wiring
+//
+// Production code calls Fire(point) at each named point; with no faults
+// configured that is one atomic load (the package stays out of the hot
+// path's way). Faults arrive two ways:
+//
+//   - The TRAMLIB_FAULTS environment variable, parsed at process init. The
+//     Dist coordinator spawns workers with its own environment, so a fault
+//     set in a test (t.Setenv) reaches every worker process of a run for
+//     free.
+//   - Set/Reset, for in-process unit tests.
+//
+// # Spec syntax
+//
+// TRAMLIB_FAULTS holds one or more specs joined by ';':
+//
+//	point:action[:proc=N][:after=K][:delay=D]
+//
+// where action is crash, stall, drop, or error; proc=N restricts the fault
+// to the process that called SetProc(N) (the Dist worker id; omitted means
+// any process); after=K fires on the K-th hit of the point (1-based,
+// default 1); delay=D sets the stall duration (a time.ParseDuration string,
+// default 1h — "forever" at run-timeout scale). Each spec fires exactly
+// once.
+//
+// # Actions
+//
+//	crash  SIGKILL the calling process from inside Fire (no deferred
+//	       cleanup, no EOFs — the hardest death available).
+//	stall  sleep inside Fire for the spec's delay, wedging the calling
+//	       goroutine without killing anything.
+//	drop   returned to the caller, which discards the unit of work it was
+//	       about to process (a frame, a control connection).
+//	error  returned to the caller, which fails the operation the way a real
+//	       environment fault would (e.g. tearing down a ring mid-write).
+package faultinject
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EnvVar names the environment variable holding fault specs.
+const EnvVar = "TRAMLIB_FAULTS"
+
+// The named injection points production code fires. Constants live here so
+// tests and the firing sites cannot drift apart.
+const (
+	// PointSendBatch fires in the worker's remote send path, once per
+	// outbound cross-process batch ("kill-after-N-batches").
+	PointSendBatch = "dist.send-batch"
+	// PointRecvFrame fires in both transports' receive loops, once per
+	// inbound data frame ("stall-recv"; drop discards the frame).
+	PointRecvFrame = "transport.recv-frame"
+	// PointRingWrite fires before each shm ring write; the error action
+	// tears the ring down mid-write ("close-ring-mid-write").
+	PointRingWrite = "transport.ring-write"
+	// PointCtrlDrop fires in the worker's control loop on each probe; the
+	// drop action closes the control connection ("drop-control-conn").
+	PointCtrlDrop = "dist.ctrl-drop"
+	// PointCtrlStall fires in the worker's control loop before each probe
+	// reply; stalling it starves the coordinator's heartbeats while the
+	// process stays alive.
+	PointCtrlStall = "dist.ctrl-stall"
+	// PointPhaseListen/Connect/Run/Report fire at the worker's entry into
+	// each protocol phase (crash here = "SIGKILL one worker per phase").
+	PointPhaseListen  = "dist.phase.listen"
+	PointPhaseConnect = "dist.phase.connect"
+	PointPhaseRun     = "dist.phase.run"
+	PointPhaseReport  = "dist.phase.report"
+)
+
+// Action is what a fired injection point does.
+type Action uint8
+
+const (
+	// None: the point is not armed (the usual case).
+	None Action = iota
+	// Crash SIGKILLs the calling process inside Fire.
+	Crash
+	// Stall sleeps inside Fire for the spec's delay.
+	Stall
+	// Drop tells the caller to discard the unit of work at the point.
+	Drop
+	// Error tells the caller to fail the operation at the point.
+	Error
+)
+
+// String names the action (the spec syntax uses the same words).
+func (a Action) String() string {
+	switch a {
+	case None:
+		return "none"
+	case Crash:
+		return "crash"
+	case Stall:
+		return "stall"
+	case Drop:
+		return "drop"
+	case Error:
+		return "error"
+	default:
+		return fmt.Sprintf("action(%d)", uint8(a))
+	}
+}
+
+// Spec is one armed fault: an action at a point, optionally restricted to
+// one process, firing on the After-th hit.
+type Spec struct {
+	Point string
+	Act   Action
+	// Proc restricts the fault to the process whose SetProc matches; < 0
+	// (the Parse default) means any process.
+	Proc int
+	// After is the 1-based hit count the fault fires at; <= 1 means the
+	// first hit.
+	After int
+	// Delay is the stall duration; <= 0 selects 1h.
+	Delay time.Duration
+}
+
+// state is one armed spec's runtime: its local hit count and whether it
+// already fired (each spec fires exactly once per process).
+type state struct {
+	spec  Spec
+	hits  atomic.Int64
+	fired atomic.Bool
+}
+
+var (
+	armed atomic.Bool
+	self  atomic.Int64 // SetProc value; -1 until set
+	mu    sync.Mutex
+	table atomic.Pointer[map[string][]*state]
+)
+
+func init() {
+	self.Store(-1)
+	env := os.Getenv(EnvVar)
+	if env == "" {
+		return
+	}
+	specs, err := Parse(env)
+	if err != nil {
+		// A malformed spec must not take the host process down — report and
+		// run faultless (the chaos test asserting the fault fired will fail
+		// loudly instead).
+		fmt.Fprintf(os.Stderr, "faultinject: ignoring %s: %v\n", EnvVar, err)
+		return
+	}
+	Set(specs...)
+}
+
+// Parse decodes the EnvVar spec syntax (see the package comment).
+func Parse(s string) ([]Spec, error) {
+	var specs []Spec
+	for _, raw := range strings.Split(s, ";") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		fields := strings.Split(raw, ":")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("faultinject: spec %q needs point:action", raw)
+		}
+		sp := Spec{Point: fields[0], Proc: -1}
+		switch fields[1] {
+		case "crash":
+			sp.Act = Crash
+		case "stall":
+			sp.Act = Stall
+		case "drop":
+			sp.Act = Drop
+		case "error":
+			sp.Act = Error
+		default:
+			return nil, fmt.Errorf("faultinject: spec %q: unknown action %q", raw, fields[1])
+		}
+		for _, opt := range fields[2:] {
+			k, v, ok := strings.Cut(opt, "=")
+			if !ok {
+				return nil, fmt.Errorf("faultinject: spec %q: bad option %q", raw, opt)
+			}
+			switch k {
+			case "proc":
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("faultinject: spec %q: bad proc %q", raw, v)
+				}
+				sp.Proc = n
+			case "after":
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 1 {
+					return nil, fmt.Errorf("faultinject: spec %q: bad after %q", raw, v)
+				}
+				sp.After = n
+			case "delay":
+				d, err := time.ParseDuration(v)
+				if err != nil || d <= 0 {
+					return nil, fmt.Errorf("faultinject: spec %q: bad delay %q", raw, v)
+				}
+				sp.Delay = d
+			default:
+				return nil, fmt.Errorf("faultinject: spec %q: unknown option %q", raw, k)
+			}
+		}
+		specs = append(specs, sp)
+	}
+	return specs, nil
+}
+
+// String renders specs back into the EnvVar syntax (Parse round-trips it).
+func String(specs []Spec) string {
+	parts := make([]string, 0, len(specs))
+	for _, sp := range specs {
+		s := sp.Point + ":" + sp.Act.String()
+		if sp.Proc >= 0 {
+			s += ":proc=" + strconv.Itoa(sp.Proc)
+		}
+		if sp.After > 1 {
+			s += ":after=" + strconv.Itoa(sp.After)
+		}
+		if sp.Delay > 0 {
+			s += ":delay=" + sp.Delay.String()
+		}
+		parts = append(parts, s)
+	}
+	return strings.Join(parts, ";")
+}
+
+// Set arms the given specs, replacing any previous set (hit counts reset).
+// Tests that use it must Reset afterwards.
+func Set(specs ...Spec) {
+	mu.Lock()
+	defer mu.Unlock()
+	tbl := make(map[string][]*state, len(specs))
+	for _, sp := range specs {
+		tbl[sp.Point] = append(tbl[sp.Point], &state{spec: sp})
+	}
+	table.Store(&tbl)
+	armed.Store(len(specs) > 0)
+}
+
+// Reset disarms every fault.
+func Reset() { Set() }
+
+// Enabled reports whether any fault is armed.
+func Enabled() bool { return armed.Load() }
+
+// SetProc identifies the calling process for proc-restricted specs; the Dist
+// worker entry point calls it with the worker's ProcID. Unset (-1) matches
+// only specs without a proc restriction.
+func SetProc(p int) { self.Store(int64(p)) }
+
+// Fire triggers the named point: it returns the action the caller must
+// apply (Drop or Error; None almost always), and executes Crash and Stall
+// actions itself. With no faults armed it costs one atomic load.
+func Fire(point string) Action {
+	if !armed.Load() {
+		return None
+	}
+	return fire(point)
+}
+
+func fire(point string) Action {
+	tbl := table.Load()
+	if tbl == nil {
+		return None
+	}
+	act := None
+	for _, st := range (*tbl)[point] {
+		if st.spec.Proc >= 0 && self.Load() != int64(st.spec.Proc) {
+			continue
+		}
+		after := int64(st.spec.After)
+		if after < 1 {
+			after = 1
+		}
+		if st.hits.Add(1) != after || !st.fired.CompareAndSwap(false, true) {
+			continue
+		}
+		switch st.spec.Act {
+		case Crash:
+			fmt.Fprintf(os.Stderr, "faultinject: crash at %s (hit %d)\n", point, after)
+			crashSelf()
+		case Stall:
+			d := st.spec.Delay
+			if d <= 0 {
+				d = time.Hour
+			}
+			time.Sleep(d)
+		}
+		if st.spec.Act > act {
+			act = st.spec.Act
+		}
+	}
+	return act
+}

@@ -1,0 +1,124 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParse(t *testing.T) {
+	specs, err := Parse("dist.send-batch:crash:proc=1:after=3; transport.recv-frame:stall:delay=50ms;dist.ctrl-drop:drop")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	want := []Spec{
+		{Point: "dist.send-batch", Act: Crash, Proc: 1, After: 3},
+		{Point: "transport.recv-frame", Act: Stall, Proc: -1, Delay: 50 * time.Millisecond},
+		{Point: "dist.ctrl-drop", Act: Drop, Proc: -1},
+	}
+	if len(specs) != len(want) {
+		t.Fatalf("parsed %d specs, want %d", len(specs), len(want))
+	}
+	for i := range want {
+		if specs[i] != want[i] {
+			t.Fatalf("spec %d = %+v, want %+v", i, specs[i], want[i])
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"noaction",
+		"p:frobnicate",
+		"p:crash:proc=x",
+		"p:crash:after=0",
+		"p:stall:delay=banana",
+		"p:crash:wat",
+		"p:crash:color=red",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	in := []Spec{
+		{Point: "a.b", Act: Error, Proc: 2, After: 5, Delay: time.Second},
+		{Point: "c", Act: Drop, Proc: -1},
+	}
+	out, err := Parse(String(in))
+	if err != nil {
+		t.Fatalf("re-Parse: %v", err)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("round trip spec %d = %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestFireDisabledAndOneShot(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if Enabled() || Fire("p") != None {
+		t.Fatal("disarmed registry fired")
+	}
+	Set(Spec{Point: "p", Act: Drop, Proc: -1, After: 3})
+	if !Enabled() {
+		t.Fatal("armed registry reports disabled")
+	}
+	got := []Action{Fire("p"), Fire("p"), Fire("p"), Fire("p")}
+	want := []Action{None, None, Drop, None}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hit %d fired %v, want %v (all: %v)", i+1, got[i], want[i], got)
+		}
+	}
+	if Fire("other") != None {
+		t.Fatal("unrelated point fired")
+	}
+}
+
+func TestFireProcFilter(t *testing.T) {
+	t.Cleanup(func() { Reset(); SetProc(-1) })
+	Set(Spec{Point: "p", Act: Error, Proc: 2})
+	SetProc(1)
+	if Fire("p") != None {
+		t.Fatal("fired in the wrong process")
+	}
+	SetProc(2)
+	if Fire("p") != Error {
+		t.Fatal("did not fire in the matching process")
+	}
+	// One-shot: the earlier non-matching hit must not have consumed it, and
+	// the firing hit must have.
+	if Fire("p") != None {
+		t.Fatal("fired twice")
+	}
+}
+
+func TestFireStallSleeps(t *testing.T) {
+	t.Cleanup(Reset)
+	Set(Spec{Point: "p", Act: Stall, Proc: -1, Delay: 30 * time.Millisecond})
+	start := time.Now()
+	if act := Fire("p"); act != Stall {
+		t.Fatalf("Fire = %v, want Stall", act)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("stall returned after %v, want >= 30ms", d)
+	}
+}
+
+func TestMultipleSpecsSamePoint(t *testing.T) {
+	t.Cleanup(Reset)
+	Set(
+		Spec{Point: "p", Act: Drop, Proc: -1, After: 1},
+		Spec{Point: "p", Act: Error, Proc: -1, After: 2},
+	)
+	if a := Fire("p"); a != Drop {
+		t.Fatalf("hit 1 = %v, want Drop", a)
+	}
+	if a := Fire("p"); a != Error {
+		t.Fatalf("hit 2 = %v, want Error", a)
+	}
+}

@@ -853,6 +853,15 @@ func (w *worker) run() {
 			w.drain()
 			w.runLocal()
 			w.deadlineFlush()
+			// An external Stop mid-generation (a distributed run aborting
+			// after a peer failure) must halt the kernel promptly, not after
+			// the remaining steps: check once per chunk, like the consume
+			// phase's park does.
+			select {
+			case <-rt.done:
+				return
+			default:
+			}
 		}
 	}
 	// Generation over: flush and enter the consume-only phase.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"tramlib/internal/transport/shmring"
 	"tramlib/internal/wire"
@@ -21,6 +22,12 @@ type MeshConfig struct {
 	// RingBytes sizes each shm ring segment's data area; <= 0 selects the
 	// shmring default.
 	RingBytes int
+	// WaitDeadline, when positive, bounds how long one send may block on
+	// backpressure (a full ring's parked wait, a socket write): past it the
+	// send fails with ErrStalled instead of waiting forever on a wedged
+	// peer. 0 leaves sends unbounded. Keep it far above the runtime's flush
+	// cadence — a busy-but-live peer must never trip it.
+	WaitDeadline time.Duration
 	// KindOf selects the link implementation for the pair {Self, peer}.
 	// It must be symmetric across processes (both sides of a pair must
 	// agree); nil selects Socket for every peer.
@@ -38,11 +45,11 @@ func (c MeshConfig) kindOf(peer int) Kind {
 // phases the coordinator's handshake barriers order (see the package
 // comment). After Connect, Peer(q) is non-nil for every q != Self and each
 // link's receive loop is running, feeding handle and reporting its exit on
-// errc (nil for a clean peer close).
+// errc as a PeerExit naming the peer (Err nil for a clean peer close).
 type Mesh struct {
 	cfg    MeshConfig
 	handle Handler
-	errc   chan<- error
+	errc   chan<- PeerExit
 
 	mu    sync.Mutex
 	peers []PeerTransport
@@ -56,7 +63,7 @@ type Mesh struct {
 }
 
 // NewMesh prepares a mesh; Listen and Connect do the work.
-func NewMesh(cfg MeshConfig, handle Handler, errc chan<- error) *Mesh {
+func NewMesh(cfg MeshConfig, handle Handler, errc chan<- PeerExit) *Mesh {
 	if cfg.MaxFrameBytes <= 0 {
 		cfg.MaxFrameBytes = wire.DefaultMaxFrameBytes
 	}
@@ -137,7 +144,7 @@ func (m *Mesh) acceptLoop() {
 			m.acceptDone <- fmt.Errorf("transport: peer hello from invalid proc %d", hello.Source)
 			return
 		}
-		p := newSocketPeer(uint32(m.cfg.Self), c, rd)
+		p := newSocketPeer(uint32(m.cfg.Self), q, c, rd, m.cfg.WaitDeadline)
 		m.mu.Lock()
 		dup := m.peers[q] != nil
 		if !dup {
@@ -149,7 +156,7 @@ func (m *Mesh) acceptLoop() {
 			m.acceptDone <- fmt.Errorf("transport: duplicate peer hello from proc %d", q)
 			return
 		}
-		m.startRecv(p)
+		m.startRecv(q, p)
 	}
 	m.acceptDone <- nil
 }
@@ -170,8 +177,10 @@ func (m *Mesh) Connect() error {
 			if err != nil {
 				return fmt.Errorf("transport: open ring %d->%d: %w", m.cfg.Self, q, err)
 			}
+			send.SetDeadline(m.cfg.WaitDeadline)
 			p := &shmPeer{
 				self:     uint32(m.cfg.Self),
+				peer:     q,
 				maxFrame: m.cfg.MaxFrameBytes,
 				send:     send,
 				recv:     m.recvRings[q],
@@ -179,7 +188,7 @@ func (m *Mesh) Connect() error {
 			m.mu.Lock()
 			m.peers[q] = p
 			m.mu.Unlock()
-			m.startRecv(p)
+			m.startRecv(q, p)
 		case Socket:
 			if q > m.cfg.Self {
 				continue // it dials us; acceptLoop registers it
@@ -193,11 +202,11 @@ func (m *Mesh) Connect() error {
 				c.Close()
 				return fmt.Errorf("transport: peer hello %d: %w", q, err)
 			}
-			p := newSocketPeer(uint32(m.cfg.Self), c, wire.NewReader(c, m.cfg.MaxFrameBytes))
+			p := newSocketPeer(uint32(m.cfg.Self), q, c, wire.NewReader(c, m.cfg.MaxFrameBytes), m.cfg.WaitDeadline)
 			m.mu.Lock()
 			m.peers[q] = p
 			m.mu.Unlock()
-			m.startRecv(p)
+			m.startRecv(q, p)
 		}
 	}
 	// Every peer entry must be in place before the caller reports Ready:
@@ -207,9 +216,10 @@ func (m *Mesh) Connect() error {
 }
 
 // startRecv runs one link's receive loop on its own goroutine, reporting
-// the exit (nil for a clean peer close) on the mesh's error channel.
-func (m *Mesh) startRecv(p PeerTransport) {
-	go func() { m.errc <- p.RecvLoop(m.handle) }()
+// the exit — tagged with the peer id, nil Err for a clean peer close — on
+// the mesh's error channel.
+func (m *Mesh) startRecv(q int, p PeerTransport) {
+	go func() { m.errc <- PeerExit{Peer: q, Err: p.RecvLoop(m.handle)} }()
 }
 
 // Peer returns the established link to process q (nil for Self or before

@@ -12,7 +12,7 @@ import (
 // it received.
 type testMesh struct {
 	m    *Mesh
-	errc chan error
+	errc chan PeerExit
 
 	mu     sync.Mutex
 	frames []wire.Frame
@@ -37,7 +37,7 @@ func buildMeshes(t *testing.T, procs int, kindOf func(self, peer int) Kind) []*t
 	tms := make([]*testMesh, procs)
 	for p := 0; p < procs; p++ {
 		p := p
-		tm := &testMesh{errc: make(chan error, procs+1)}
+		tm := &testMesh{errc: make(chan PeerExit, procs+1)}
 		tm.m = NewMesh(MeshConfig{
 			Dir:   dir,
 			Self:  p,
@@ -106,12 +106,18 @@ func exerciseMesh(t *testing.T, procs int, kindOf func(self, peer int) Kind) {
 			if p == nil {
 				t.Fatalf("mesh %d has no link to %d", src, dst)
 			}
-			p.SendPayloads(uint32(dst*10), []uint64{uint64(src), uint64(dst), 7}, true)
-			p.SendItems(uint32(dst), []wire.Item{{Dest: uint32(dst*10 + 1), Val: uint64(100*src + dst)}}, false)
-			p.SendRuns(uint32(dst), []wire.Run{
+			if err := p.SendPayloads(uint32(dst*10), []uint64{uint64(src), uint64(dst), 7}, true); err != nil {
+				t.Fatalf("mesh %d SendPayloads to %d: %v", src, dst, err)
+			}
+			if err := p.SendItems(uint32(dst), []wire.Item{{Dest: uint32(dst*10 + 1), Val: uint64(100*src + dst)}}, false); err != nil {
+				t.Fatalf("mesh %d SendItems to %d: %v", src, dst, err)
+			}
+			if err := p.SendRuns(uint32(dst), []wire.Run{
 				{Dest: uint32(dst * 10), Payloads: []uint64{1, 2}},
 				{Dest: uint32(dst*10 + 1), Payloads: []uint64{3}},
-			}, false)
+			}, false); err != nil {
+				t.Fatalf("mesh %d SendRuns to %d: %v", src, dst, err)
+			}
 		}
 	}
 	perDest := 3 * (procs - 1)
@@ -164,12 +170,17 @@ func exerciseMesh(t *testing.T, procs int, kindOf func(self, peer int) Kind) {
 		tm.m.Close()
 	}
 	for p, tm := range tms {
+		seen := map[int]bool{}
 		for i := 0; i < procs-1; i++ {
 			select {
-			case err := <-tm.errc:
-				if err != nil {
-					t.Fatalf("mesh %d recv loop: %v", p, err)
+			case ex := <-tm.errc:
+				if ex.Err != nil {
+					t.Fatalf("mesh %d recv loop for peer %d: %v", p, ex.Peer, ex.Err)
 				}
+				if ex.Peer == p || ex.Peer < 0 || ex.Peer >= procs || seen[ex.Peer] {
+					t.Fatalf("mesh %d: bad or duplicate peer id %d in exit", p, ex.Peer)
+				}
+				seen[ex.Peer] = true
 			case <-time.After(10 * time.Second):
 				t.Fatalf("mesh %d: recv loop %d never exited", p, i)
 			}

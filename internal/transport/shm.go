@@ -1,9 +1,11 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
+	"tramlib/internal/faultinject"
 	"tramlib/internal/transport/shmring"
 	"tramlib/internal/wire"
 )
@@ -20,38 +22,52 @@ import (
 // the same role the write lock plays for the socket link.
 type shmPeer struct {
 	self     uint32
+	peer     int
 	maxFrame int
 	mu       sync.Mutex // serializes producers on the send ring
 	send     *shmring.Ring
 	recv     *shmring.Ring
 }
 
-func (p *shmPeer) SendPayloads(destWorker uint32, payloads []uint64, full bool) {
-	p.writeFrame(wire.PayloadsFrameBytes(len(payloads)), func(dst []byte) []byte {
+func (p *shmPeer) SendPayloads(destWorker uint32, payloads []uint64, full bool) error {
+	return p.writeFrame(wire.PayloadsFrameBytes(len(payloads)), func(dst []byte) []byte {
 		return wire.AppendPayloads(dst, p.self, destWorker, payloads, full)
 	})
 }
 
-func (p *shmPeer) SendItems(destProc uint32, items []wire.Item, full bool) {
-	p.writeFrame(wire.ItemsFrameBytes(len(items)), func(dst []byte) []byte {
+func (p *shmPeer) SendItems(destProc uint32, items []wire.Item, full bool) error {
+	return p.writeFrame(wire.ItemsFrameBytes(len(items)), func(dst []byte) []byte {
 		return wire.AppendItems(dst, p.self, destProc, items, full)
 	})
 }
 
-func (p *shmPeer) SendRuns(destProc uint32, runs []wire.Run, full bool) {
-	p.writeFrame(wire.RunsFrameBytes(runs), func(dst []byte) []byte {
+func (p *shmPeer) SendRuns(destProc uint32, runs []wire.Run, full bool) error {
+	return p.writeFrame(wire.RunsFrameBytes(runs), func(dst []byte) []byte {
 		return wire.AppendRuns(dst, p.self, destProc, runs, full)
 	})
 }
 
-// writeFrame publishes one frame of exactly total bytes into the send ring.
-// Failures are fatal to the run, as for socket writes.
-func (p *shmPeer) writeFrame(total int, fill func(dst []byte) []byte) {
+// writeFrame publishes one frame of exactly total bytes into the send ring,
+// mapping the ring's failure modes onto the transport-level sentinels (a
+// dead consumer process, a stalled parked wait).
+func (p *shmPeer) writeFrame(total int, fill func(dst []byte) []byte) error {
+	if faultinject.Fire(faultinject.PointRingWrite) == faultinject.Error {
+		// Tear the ring down under the writer, as a racing teardown (or a
+		// corrupted segment unmapped by the kernel) would.
+		p.send.Interrupt()
+	}
 	p.mu.Lock()
 	err := p.send.Write(total, fill)
 	p.mu.Unlock()
-	if err != nil {
-		panic(fmt.Sprintf("transport: ring write: %v", err))
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, shmring.ErrPeerDead):
+		return fmt.Errorf("transport: peer %d ring write: %w (%v)", p.peer, ErrPeerDead, err)
+	case errors.Is(err, shmring.ErrStalled):
+		return fmt.Errorf("transport: peer %d ring write: %w (%v)", p.peer, ErrStalled, err)
+	default:
+		return fmt.Errorf("transport: peer %d ring write: %w", p.peer, err)
 	}
 }
 
@@ -60,6 +76,12 @@ func (p *shmPeer) RecvLoop(handle Handler) error {
 	// Recv has returned (Close, on other goroutines, just interrupts).
 	defer p.recv.Close()
 	err := p.recv.Recv(p.maxFrame+4, func(rec []byte) error {
+		switch faultinject.Fire(faultinject.PointRecvFrame) {
+		case faultinject.Drop:
+			return nil
+		case faultinject.Error:
+			return fmt.Errorf("transport: peer %d ring read: injected fault", p.peer)
+		}
 		f, n, derr := wire.Decode(rec, p.maxFrame)
 		if derr != nil {
 			return fmt.Errorf("transport: ring frame: %w", derr)
@@ -69,10 +91,16 @@ func (p *shmPeer) RecvLoop(handle Handler) error {
 		}
 		return handle(f)
 	})
-	if err == shmring.ErrClosed {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, shmring.ErrClosed):
 		// Local teardown interrupted a parked read: the run is over; report
 		// it as a clean end like a socket close would.
 		return nil
+	case errors.Is(err, shmring.ErrPeerDead):
+		// The producer process died without publishing end-of-stream.
+		return fmt.Errorf("transport: peer %d ring read: %w (%v)", p.peer, ErrPeerDead, err)
 	}
 	return err
 }

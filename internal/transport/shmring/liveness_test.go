@@ -1,0 +1,182 @@
+package shmring
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// nonexistentPID is far above any OS pid_max, so a liveness probe of it
+// always reports dead (on platforms with a real probe).
+const nonexistentPID = 1 << 30
+
+// attachPair maps one in-memory image as a producer ring and a consumer
+// ring, the two sides of a directed pair sharing the mapping.
+func attachPair(t *testing.T, dataBytes int) (prod, cons *Ring) {
+	t.Helper()
+	mem := newImage(dataBytes)
+	var err error
+	if prod, err = Attach(mem); err != nil {
+		t.Fatalf("attach producer: %v", err)
+	}
+	if cons, err = Attach(mem); err != nil {
+		t.Fatalf("attach consumer: %v", err)
+	}
+	prod.role, cons.role = roleProducer, roleConsumer
+	return prod, cons
+}
+
+// fillRing writes fixed-size records until the next one cannot fit without
+// blocking, returning the record size used.
+func fillRing(t *testing.T, r *Ring) int {
+	t.Helper()
+	const rec = 64
+	for {
+		head := r.head().Load()
+		if _, ok, err := r.tryReserve(head, rec); err != nil {
+			t.Fatalf("tryReserve: %v", err)
+		} else if !ok {
+			return rec
+		}
+		if err := r.Write(rec, fillRecord(rec)); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+}
+
+// Regression for the parked-wait shutdown ordering: an Interrupt that lands
+// before the wait even starts (or between its spin and park phases) must
+// surface immediately — the old implementation polled the closed flag only
+// once per 20µs nap, and not at all during the spin.
+func TestInterruptBeforeWaitReturnsImmediately(t *testing.T) {
+	prod, _ := attachPair(t, 1<<12)
+	fillRing(t, prod)
+	prod.Interrupt()
+	start := time.Now()
+	err := prod.Write(64, fillRecord(64))
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("Write on interrupted full ring: %v, want ErrClosed", err)
+	}
+	if d := time.Since(start); d > 10*time.Millisecond {
+		t.Fatalf("interrupted Write took %v; the closed check must precede parking", d)
+	}
+}
+
+// A mid-park Interrupt must wake the wait via the interrupt channel, not
+// wait out the nap (or, worse, the full poll loop).
+func TestInterruptWakesParkedRecv(t *testing.T) {
+	_, cons := attachPair(t, 1<<12)
+	done := make(chan error, 1)
+	go func() {
+		done <- cons.Recv(0, func([]byte) error { return nil })
+	}()
+	time.Sleep(5 * time.Millisecond) // let it reach the parked phase
+	start := time.Now()
+	cons.Interrupt()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("Recv: %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("parked Recv never woke after Interrupt")
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("parked Recv woke %v after Interrupt", d)
+	}
+}
+
+func TestProducerUnblocksOnDeadConsumer(t *testing.T) {
+	if pidAlive(nonexistentPID) {
+		t.Skip("no PID liveness probe on this platform")
+	}
+	prod, _ := attachPair(t, 1<<12)
+	(*atomic.Uint64)(ptrAt(prod.mem, consPIDOff)).Store(nonexistentPID)
+	rec := fillRing(t, prod)
+	start := time.Now()
+	err := prod.Write(rec, fillRecord(rec))
+	if !errors.Is(err, ErrPeerDead) {
+		t.Fatalf("Write on full ring with dead consumer: %v, want ErrPeerDead", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("dead-consumer Write took %v", d)
+	}
+}
+
+func TestRecvDeadProducerDeliversPublishedFirst(t *testing.T) {
+	if pidAlive(nonexistentPID) {
+		t.Skip("no PID liveness probe on this platform")
+	}
+	prod, cons := attachPair(t, 1<<12)
+	if err := prod.Write(64, fillRecord(64)); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	(*atomic.Uint64)(ptrAt(cons.mem, prodPIDOff)).Store(nonexistentPID)
+	got := 0
+	err := cons.Recv(0, func(rec []byte) error { got++; return nil })
+	if !errors.Is(err, ErrPeerDead) {
+		t.Fatalf("Recv with dead producer: %v, want ErrPeerDead", err)
+	}
+	if got != 1 {
+		t.Fatalf("delivered %d records before the death report, want 1", got)
+	}
+}
+
+func TestSetDeadlineStalls(t *testing.T) {
+	prod, _ := attachPair(t, 1<<12)
+	prod.SetDeadline(30 * time.Millisecond)
+	rec := fillRing(t, prod)
+	start := time.Now()
+	err := prod.Write(rec, fillRecord(rec))
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("Write past deadline: %v, want ErrStalled", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond || d > 2*time.Second {
+		t.Fatalf("deadline of 30ms enforced after %v", d)
+	}
+}
+
+func TestCreateOpenStampLiveness(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.ring")
+	cons, err := Create(path, 1<<12)
+	if err != nil {
+		t.Skipf("file-backed segments unsupported here: %v", err)
+	}
+	defer cons.Close()
+	prod, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer prod.Close()
+	pid := uint64(os.Getpid())
+	if got := (*atomic.Uint64)(ptrAt(cons.mem, consPIDOff)).Load(); got != pid {
+		t.Fatalf("consumer PID stamp %d, want %d", got, pid)
+	}
+	if got := (*atomic.Uint64)(ptrAt(cons.mem, prodPIDOff)).Load(); got != pid {
+		t.Fatalf("producer PID stamp %d, want %d", got, pid)
+	}
+	for _, off := range []int{consEpochOff, prodEpochOff} {
+		if (*atomic.Uint64)(ptrAt(cons.mem, off)).Load() == 0 {
+			t.Fatalf("epoch at offset %d unstamped", off)
+		}
+	}
+	if !prod.peerAlive() || !cons.peerAlive() {
+		t.Fatal("live process probes dead")
+	}
+}
+
+// fillRecord builds a Write fill func producing a well-formed record of
+// exactly total bytes (4-byte prefix + payload).
+func fillRecord(total int) func([]byte) []byte {
+	return func(dst []byte) []byte {
+		dst = append(dst, byte(total-4), byte((total-4)>>8), byte((total-4)>>16), byte((total-4)>>24))
+		for len(dst) < total {
+			dst = append(dst, 0xAB)
+		}
+		return dst
+	}
+}

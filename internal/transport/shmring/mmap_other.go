@@ -16,3 +16,7 @@ func mapFile(*os.File, int) ([]byte, error) {
 }
 
 func unmapMem([]byte) error { return nil }
+
+// pidAlive has no portable probe here; report alive so liveness never
+// false-positives (run-level timeouts still bound dead-peer waits).
+func pidAlive(int) bool { return true }

@@ -15,3 +15,11 @@ func mapFile(f *os.File, size int) ([]byte, error) {
 }
 
 func unmapMem(mem []byte) error { return syscall.Munmap(mem) }
+
+// pidAlive probes process existence with signal 0. EPERM means the process
+// exists but is not ours — alive; only ESRCH (or any other failure to
+// address it) reads as dead.
+func pidAlive(pid int) bool {
+	err := syscall.Kill(pid, 0)
+	return err == nil || err == syscall.EPERM
+}

@@ -22,7 +22,11 @@
 //	              false-share with the consumer's tail line)
 //	128     8     tail — consumer cursor (monotone byte count, atomic)
 //	136     56    pad
-//	192     64    reserved line
+//	192     8     consumer liveness stamp: owner PID (atomic)
+//	200     8     consumer attach epoch (UnixNano)
+//	208     8     producer liveness stamp: owner PID (atomic)
+//	216     8     producer attach epoch (UnixNano)
+//	224     32    reserved
 //	256     cap   data area (records, wrapped)
 //
 // head and tail are monotone uint64 byte counts; position in the data area is
@@ -62,6 +66,23 @@
 // latency-sensitive progress loop) and then a parked phase of short sleeps —
 // the wakeup latency trade documented on Wait.
 //
+// # Liveness
+//
+// Create (the consumer) and Open (the producer) each stamp their PID and an
+// attach epoch into the header's reserved line, so either side of a parked
+// wait can ask "is my peer still a live process?" A producer blocked on a
+// full ring whose consumer died returns ErrPeerDead within a few
+// milliseconds instead of waiting forever, and a consumer parked on an empty
+// ring whose producer died without publishing the end-of-stream marker does
+// the same — with the published state rechecked first, so an EOF or record
+// that made it into the mapping before the death is never lost. The check is
+// a signal-0 probe of the stamped PID; the epoch disambiguates diagnostics
+// (PID reuse makes a false "alive" possible but merely delays detection
+// until the run-level timeout). SetDeadline additionally bounds any single
+// parked wait outright (ErrStalled) for callers that must not block on a
+// live-but-wedged peer. Attach'd (role-less, in-memory) rings skip liveness
+// entirely — fuzz images carry arbitrary header bytes.
+//
 // # Robustness
 //
 // The segment header and every cursor/prefix read off the shared mapping are
@@ -93,7 +114,14 @@ const (
 	headerBytes = 256 // data area offset
 	headOff     = 64
 	tailOff     = 128
-	prefixBytes = 4
+	// Liveness stamps live in the (formerly reserved, zero on creation) 192
+	// line, so segments carrying them stay Version 1: a stamp-less image
+	// reads PID 0, which every liveness check treats as "alive".
+	consPIDOff   = 192
+	consEpochOff = 200
+	prodPIDOff   = 208
+	prodEpochOff = 216
+	prefixBytes  = 4
 
 	// padMarker and eofMarker are reserved prefix values (see the package
 	// comment). maxRecordCap keeps every legal record length below both.
@@ -108,6 +136,9 @@ const (
 	// latency a sleeping side adds to an otherwise idle ring; 20µs is far
 	// below the millisecond-scale FlushDeadline the runtime enforces.
 	parkSleep = 20 * time.Microsecond
+	// livenessEvery is how many parked naps pass between peer-PID liveness
+	// probes: one kill(pid, 0) syscall per ~1.3ms of parked waiting.
+	livenessEvery = 64
 )
 
 // Errors surfaced by segment validation and the reader.
@@ -118,6 +149,11 @@ var (
 	ErrCorrupt  = errors.New("shmring: corrupt ring state")
 	ErrClosed   = errors.New("shmring: ring closed")
 	ErrTooLarge = errors.New("shmring: record exceeds ring capacity")
+	// ErrPeerDead ends a parked wait whose peer process no longer exists
+	// (liveness stamp probe failed with nothing newly published).
+	ErrPeerDead = errors.New("shmring: peer process died")
+	// ErrStalled ends a parked wait that outlived the SetDeadline bound.
+	ErrStalled = errors.New("shmring: wait deadline exceeded")
 )
 
 // Ring is one mapped segment. The creating (consumer) side uses Recv; the
@@ -131,8 +167,17 @@ type Ring struct {
 	file *os.File // nil for memory-backed (test/fuzz) rings
 	mapd bool     // mem came from mmap (Close must munmap)
 
-	closed   atomic.Bool // local interrupt flag: unblocks parked waits
-	released bool        // mapping freed (Close is owning-goroutine-only)
+	closed   atomic.Bool   // local interrupt flag: unblocks parked waits
+	intr     chan struct{} // closed with the flag: wakes a parked wait NOW
+	released bool          // mapping freed (Close is owning-goroutine-only)
+
+	// role says which liveness stamp is ours and which is the peer's:
+	// roleConsumer for Create, roleProducer for Open, roleNone for Attach
+	// (no file, no peer process, no liveness checks).
+	role role
+	// deadline, when positive, bounds each blocking Write/Recv wait
+	// (SetDeadline); parked waits that exceed it return ErrStalled.
+	deadline time.Duration
 
 	// Producer-side bookkeeping for OldestNanos: enqueue stamps of records
 	// the consumer has not retired yet. Local memory — stamps never cross
@@ -145,6 +190,15 @@ type pendStamp struct {
 	end   uint64
 	nanos int64
 }
+
+// role is a Ring's side of the directed pair (which liveness stamp is ours).
+type role uint8
+
+const (
+	roleNone role = iota
+	roleConsumer
+	roleProducer
+)
 
 func (r *Ring) head() *atomic.Uint64 {
 	return (*atomic.Uint64)(ptrAt(r.mem, headOff))
@@ -188,6 +242,8 @@ func Create(path string, dataBytes int) (*Ring, error) {
 		return nil, err
 	}
 	r.file, r.mapd = f, true
+	r.role = roleConsumer
+	r.stampOwner()
 	return r, nil
 }
 
@@ -215,6 +271,8 @@ func Open(path string) (*Ring, error) {
 		return nil, err
 	}
 	r.file, r.mapd = f, true
+	r.role = roleProducer
+	r.stampOwner()
 	return r, nil
 }
 
@@ -249,7 +307,39 @@ func attach(mem []byte) (*Ring, error) {
 	if capb == 0 || capb > maxRecordCap || capb != uint64(len(mem)-headerBytes) {
 		return nil, fmt.Errorf("%w: capacity %d, data area %d", ErrCapacity, capb, len(mem)-headerBytes)
 	}
-	return &Ring{mem: mem, data: mem[headerBytes:], cap: capb}, nil
+	return &Ring{mem: mem, data: mem[headerBytes:], cap: capb, intr: make(chan struct{})}, nil
+}
+
+// stampOwner publishes this side's PID and attach epoch into the header so
+// the peer's parked waits can probe our liveness.
+func (r *Ring) stampOwner() {
+	pidOff, epochOff := consPIDOff, consEpochOff
+	if r.role == roleProducer {
+		pidOff, epochOff = prodPIDOff, prodEpochOff
+	}
+	(*atomic.Uint64)(ptrAt(r.mem, epochOff)).Store(uint64(time.Now().UnixNano()))
+	(*atomic.Uint64)(ptrAt(r.mem, pidOff)).Store(uint64(os.Getpid()))
+}
+
+// peerAlive probes the peer side's liveness stamp. An unstamped (zero) PID —
+// the peer not attached yet, or a pre-liveness segment — reads as alive, as
+// does a role-less ring: liveness can declare death only when a real peer
+// once stamped itself.
+func (r *Ring) peerAlive() bool {
+	var pidOff int
+	switch r.role {
+	case roleConsumer:
+		pidOff = prodPIDOff
+	case roleProducer:
+		pidOff = consPIDOff
+	default:
+		return true
+	}
+	pid := (*atomic.Uint64)(ptrAt(r.mem, pidOff)).Load()
+	if pid == 0 || pid > uint64(^uint32(0)) {
+		return true
+	}
+	return pidAlive(int(pid))
 }
 
 // Capacity returns the data-area size in bytes.
@@ -265,13 +355,25 @@ func MaxRecordBytes(dataBytes int) int { return dataBytes / 2 }
 // other than the side's owner: the owner (a consumer inside Recv, a producer
 // inside Write) may still be dereferencing the mapping, so the actual unmap
 // must wait for Close from the owning goroutine once those calls return.
-func (r *Ring) Interrupt() { r.closed.Store(true) }
+// Delivery is immediate: closing the interrupt channel wakes a parked wait
+// out of its nap rather than waiting for the next poll.
+func (r *Ring) Interrupt() {
+	if r.closed.CompareAndSwap(false, true) {
+		close(r.intr)
+	}
+}
+
+// SetDeadline bounds every subsequent blocking Write/Recv wait: a parked
+// wait that exceeds d returns ErrStalled. d <= 0 (the default) leaves waits
+// unbounded. Set it before the ring is in use (it is read without
+// synchronization by this side's waits).
+func (r *Ring) SetDeadline(d time.Duration) { r.deadline = d }
 
 // Close releases the local mapping and backing file handle. Owning goroutine
 // only (see Interrupt); idempotent. It does not signal the peer — CloseSend
 // does.
 func (r *Ring) Close() error {
-	r.closed.Store(true)
+	r.Interrupt()
 	if r.released {
 		return nil
 	}
@@ -298,14 +400,20 @@ func (r *Ring) Close() error {
 // fill must fill exactly total bytes whose prefix reads total-4; anything
 // else is a programming error and returns ErrCorrupt with the ring poisoned.
 // Blocks (bounded spin, then parked sleep) while the consumer is behind;
-// returns ErrClosed if Close is called mid-wait and ErrTooLarge if the
-// record can never fit.
+// returns ErrClosed if Interrupt/Close lands mid-wait, ErrPeerDead if the
+// consumer's process dies while we wait, ErrStalled past a SetDeadline
+// bound, and ErrTooLarge if the record can never fit.
 func (r *Ring) Write(total int, fill func(dst []byte) []byte) error {
 	// Records are capped at half the data area: a record that must wrap
 	// costs its contiguous size plus the skipped remainder against the
 	// head-tail budget, and rem < total <= cap/2 keeps that sum below
 	// capacity — without the cap, an unluckily placed large record could
 	// need more than the ring can ever free (see MaxRecordBytes).
+	if r.closed.Load() {
+		// Interrupted or closed: the mapping may already be released; never
+		// dereference it (a send racing teardown must error, not fault).
+		return ErrClosed
+	}
 	if total < prefixBytes || uint64(total) > r.cap/2 || total > maxRecordCap {
 		return fmt.Errorf("%w: %d bytes, capacity %d (records are capped at half the data area)", ErrTooLarge, total, r.cap)
 	}
@@ -330,8 +438,9 @@ func (r *Ring) Write(total int, fill func(dst []byte) []byte) error {
 
 // CloseSend publishes the end-of-stream marker (the consumer's Recv returns
 // nil once it drains to it) and releases the local mapping. If the consumer
-// stops draining, the marker is abandoned after a bounded wait — the run's
-// coordinator owns hung-peer recovery, not the ring.
+// stops draining — or its process is dead, per the liveness stamp — the
+// marker is abandoned after a bounded wait: the run's coordinator owns
+// hung-peer recovery, not the ring.
 func (r *Ring) CloseSend() error {
 	head := r.head().Load()
 	deadline := time.Now().Add(100 * time.Millisecond)
@@ -348,7 +457,7 @@ func (r *Ring) CloseSend() error {
 			r.head().Store(head + prefixBytes)
 			break
 		}
-		if time.Now().After(deadline) {
+		if time.Now().After(deadline) || !r.peerAlive() {
 			break
 		}
 		time.Sleep(parkSleep)
@@ -430,6 +539,9 @@ func (r *Ring) stamp(end uint64) {
 // observe latency accumulating in the ring (a socket's kernel buffer hides
 // the equivalent). Producer side only.
 func (r *Ring) OldestNanos() int64 {
+	if r.closed.Load() {
+		return 0
+	}
 	tail := r.tail().Load()
 	for _, p := range r.pend {
 		if p.end > tail {
@@ -443,7 +555,9 @@ func (r *Ring) OldestNanos() int64 {
 
 // Recv drains the ring until the producer's end-of-stream marker (returns
 // nil), a validation failure (ErrCorrupt etc.), handle returning an error,
-// or a local Close (ErrClosed). handle receives each record's full bytes —
+// a local Interrupt/Close (ErrClosed), the producer's process dying without
+// an end-of-stream marker (ErrPeerDead), or a SetDeadline bound expiring on
+// one wait (ErrStalled). handle receives each record's full bytes —
 // prefix included, aliasing the mapping — and must not retain them past its
 // return. maxRecord <= 0 accepts records up to the ring capacity.
 func (r *Ring) Recv(maxRecord int, handle func(rec []byte) error) error {
@@ -559,20 +673,64 @@ func (r *Ring) retire(n int) {
 }
 
 // wait blocks until ready() holds: a spinBudget of Gosched-yielding polls,
-// then parked parkSleep naps. Returns ErrClosed if the ring is closed
-// locally mid-wait (ready is rechecked first so nothing published is lost).
+// then parked parkSleep naps. It returns ErrClosed on a local
+// Interrupt/Close, ErrPeerDead when the peer's liveness stamp stops probing
+// alive, and ErrStalled when a SetDeadline bound expires — and before any of
+// those, ready is rechecked one last time, so state the peer published
+// before dying (an EOF marker, a final record) is never lost. The closed
+// flag is checked in the spin phase too, so an Interrupt delivered between
+// spinning and parking returns immediately instead of costing a nap, and
+// the parked phase selects on the interrupt channel so a mid-nap Interrupt
+// wakes it instantly.
 func (r *Ring) wait(ready func() bool) error {
 	for i := 0; i < spinBudget; i++ {
 		if ready() {
 			return nil
 		}
-		runtime.Gosched()
-	}
-	for !ready() {
 		if r.closed.Load() {
+			if ready() {
+				return nil
+			}
 			return ErrClosed
 		}
-		time.Sleep(parkSleep)
+		runtime.Gosched()
 	}
-	return nil
+	var timer *time.Timer
+	var parked time.Duration
+	for parks := 0; ; {
+		if ready() {
+			return nil
+		}
+		if r.closed.Load() {
+			if ready() {
+				return nil
+			}
+			return ErrClosed
+		}
+		if timer == nil {
+			timer = time.NewTimer(parkSleep)
+			defer timer.Stop()
+		} else {
+			timer.Reset(parkSleep)
+		}
+		select {
+		case <-r.intr:
+			// Loop: the top-of-loop rechecks ready, then reports ErrClosed.
+		case <-timer.C:
+			parks++
+			parked += parkSleep
+			if parks%livenessEvery == 0 && !r.peerAlive() {
+				if ready() {
+					return nil
+				}
+				return ErrPeerDead
+			}
+			if r.deadline > 0 && parked >= r.deadline {
+				if ready() {
+					return nil
+				}
+				return ErrStalled
+			}
+		}
+	}
 }

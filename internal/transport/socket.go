@@ -1,12 +1,17 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
+	"syscall"
+	"time"
 
+	"tramlib/internal/faultinject"
 	"tramlib/internal/wire"
 )
 
@@ -15,46 +20,63 @@ import (
 // dialing the lower-numbered one's listener. Encodes under a write lock
 // into a reused scratch buffer, then writes the frame in one syscall.
 type socketPeer struct {
-	self uint32
-	conn net.Conn
-	rd   *wire.Reader
+	self      uint32
+	peer      int
+	conn      net.Conn
+	rd        *wire.Reader
+	writeWait time.Duration // per-write deadline; 0 = block indefinitely
 
 	mu     sync.Mutex
 	buf    []byte
 	closed atomic.Bool
 }
 
-func newSocketPeer(self uint32, conn net.Conn, rd *wire.Reader) *socketPeer {
-	return &socketPeer{self: self, conn: conn, rd: rd}
+func newSocketPeer(self uint32, peer int, conn net.Conn, rd *wire.Reader, writeWait time.Duration) *socketPeer {
+	return &socketPeer{self: self, peer: peer, conn: conn, rd: rd, writeWait: writeWait}
 }
 
-func (p *socketPeer) SendPayloads(destWorker uint32, payloads []uint64, full bool) {
+func (p *socketPeer) SendPayloads(destWorker uint32, payloads []uint64, full bool) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.buf = wire.AppendPayloads(p.buf[:0], p.self, destWorker, payloads, full)
-	p.write()
+	return p.write()
 }
 
-func (p *socketPeer) SendItems(destProc uint32, items []wire.Item, full bool) {
+func (p *socketPeer) SendItems(destProc uint32, items []wire.Item, full bool) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.buf = wire.AppendItems(p.buf[:0], p.self, destProc, items, full)
-	p.write()
+	return p.write()
 }
 
-func (p *socketPeer) SendRuns(destProc uint32, runs []wire.Run, full bool) {
+func (p *socketPeer) SendRuns(destProc uint32, runs []wire.Run, full bool) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.buf = wire.AppendRuns(p.buf[:0], p.self, destProc, runs, full)
-	p.write()
+	return p.write()
 }
 
-// write flushes p.buf to the connection. A write error is fatal to the run
-// (the coordinator sees the process exit); panicking unwinds the worker
-// goroutine with a diagnosable message rather than silently dropping items.
-func (p *socketPeer) write() {
-	if _, err := p.conn.Write(p.buf); err != nil {
-		panic(fmt.Sprintf("transport: peer write: %v", err))
+// write flushes p.buf to the connection, classifying the failure modes the
+// run-level failure detector distinguishes: a broken pipe or connection
+// reset is the peer process dying (ErrPeerDead); a write-deadline expiry is
+// a live peer that stopped draining (ErrStalled); anything after our own
+// Close is local teardown, left unclassified.
+func (p *socketPeer) write() error {
+	if p.writeWait > 0 {
+		_ = p.conn.SetWriteDeadline(time.Now().Add(p.writeWait))
+	}
+	_, err := p.conn.Write(p.buf)
+	switch {
+	case err == nil:
+		return nil
+	case p.closed.Load():
+		return fmt.Errorf("transport: peer %d write after close: %w", p.peer, err)
+	case errors.Is(err, syscall.EPIPE) || errors.Is(err, syscall.ECONNRESET):
+		return fmt.Errorf("transport: peer %d write: %w (%v)", p.peer, ErrPeerDead, err)
+	case os.IsTimeout(err):
+		return fmt.Errorf("transport: peer %d write: %w (%v)", p.peer, ErrStalled, err)
+	default:
+		return fmt.Errorf("transport: peer %d write: %w", p.peer, err)
 	}
 }
 
@@ -68,7 +90,13 @@ func (p *socketPeer) RecvLoop(handle Handler) error {
 				// ending, not a failure.
 				return nil
 			}
-			return fmt.Errorf("transport: peer read: %w", err)
+			return fmt.Errorf("transport: peer %d read: %w", p.peer, err)
+		}
+		switch faultinject.Fire(faultinject.PointRecvFrame) {
+		case faultinject.Drop:
+			continue
+		case faultinject.Error:
+			return fmt.Errorf("transport: peer %d read: injected fault", p.peer)
 		}
 		if err := handle(f); err != nil {
 			return err

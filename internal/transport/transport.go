@@ -48,11 +48,31 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"path/filepath"
 
 	"tramlib/internal/wire"
 )
+
+// Errors classifying send/receive failures across both link kinds.
+var (
+	// ErrPeerDead marks a failure whose proximate cause is the peer process
+	// being gone: a broken pipe or connection reset on a socket, a failed
+	// liveness probe on a ring.
+	ErrPeerDead = errors.New("transport: peer process died")
+	// ErrStalled marks a send that exceeded the mesh's WaitDeadline while
+	// blocked on backpressure — the peer is (apparently) alive but not
+	// draining.
+	ErrStalled = errors.New("transport: peer stopped draining")
+)
+
+// PeerExit reports one link receive loop's exit on the mesh's error channel:
+// which peer's loop ended, and how (nil for a clean peer close).
+type PeerExit struct {
+	Peer int
+	Err  error
+}
 
 // Kind selects a peer-link implementation.
 type Kind uint8
@@ -90,18 +110,18 @@ type Handler func(f wire.Frame) error
 // process and one peer process. Send methods encode and ship a sealed batch
 // synchronously — the caller's storage is dead when they return — and may
 // block on backpressure (a full socket buffer, a full ring). They are safe
-// for concurrent use; a send failure panics, which unwinds the calling
-// worker goroutine with a diagnosable message instead of silently dropping
-// items (the coordinator sees the process exit — exactly the PR-4 socket
-// contract).
+// for concurrent use. A send failure returns an error (never a panic): the
+// caller owns failing the run cleanly, and errors.Is(err, ErrPeerDead)
+// distinguishes "the peer process is gone" from local teardown and protocol
+// faults so the runtime layer above can attribute the failure.
 type PeerTransport interface {
 	// SendPayloads ships a worker-addressed batch (frame Dest = destWorker):
 	// WW wiring, forwarded runs, Direct items.
-	SendPayloads(destWorker uint32, payloads []uint64, full bool)
+	SendPayloads(destWorker uint32, payloads []uint64, full bool) error
 	// SendItems ships an ungrouped process-addressed batch (WPs, PP).
-	SendItems(destProc uint32, items []wire.Item, full bool)
+	SendItems(destProc uint32, items []wire.Item, full bool) error
 	// SendRuns ships a source-grouped process-addressed batch (WsP).
-	SendRuns(destProc uint32, runs []wire.Run, full bool)
+	SendRuns(destProc uint32, runs []wire.Run, full bool) error
 	// RecvLoop decodes inbound frames into handle until the peer closes the
 	// link (returns nil), the link fails, or handle errors. One call per
 	// link, on a dedicated goroutine (Mesh.Connect starts it).

@@ -1,0 +1,142 @@
+package tram_test
+
+// The public-surface chaos rotation: real application kernels, on every
+// aggregation scheme and both peer transports, with one worker process
+// SIGKILLed mid-run. Whatever the kernel's communication shape, the failure
+// must surface through the tram API as a *tram.PeerFailureError naming the
+// killed process and wrapping tram.ErrPeerDied — within a hard latency
+// bound, never as a hang or a fabricated result.
+//
+// The full kernel x scheme x transport matrix runs with TRAM_CHAOS=full; by
+// default each kernel runs one rotating (scheme, transport) cell so the
+// suite stays cheap while CI's full job covers everything. Cases share
+// process-wide fault-injection state via the environment, so they run
+// sequentially (t.Setenv forbids t.Parallel).
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"testing"
+	"time"
+
+	"tramlib/internal/apps/histogram"
+	"tramlib/internal/apps/indexgather"
+	"tramlib/internal/apps/sssp"
+	"tramlib/internal/faultinject"
+	"tramlib/tram"
+)
+
+// chaosRunTimeout bounds each faulted run; the contract is an error within
+// twice this.
+const chaosRunTimeout = 10 * time.Second
+
+// chaosKernel marshals one registered application at the chaos topology and
+// returns its Dist registration name, parameters, and the tram.Config the
+// coordinating Run must use (digest-identical to what the workers rebuild).
+type chaosKernel struct {
+	name string
+	prep func(s tram.Scheme) (params []byte, cfg tram.Config)
+}
+
+func chaosKernels(t *testing.T) []chaosKernel {
+	t.Helper()
+	topo := tram.SMP(2, 1, 2) // 2 processes: proc 1 is the victim
+	marshal := func(v any) []byte {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	return []chaosKernel{
+		{name: histogram.DistName, prep: func(s tram.Scheme) ([]byte, tram.Config) {
+			cfg := histogram.DefaultConfig(topo, s)
+			cfg.UpdatesPerPE = 200000
+			cfg.SlotsPerPE = 64
+			cfg.Tram.BufferItems = 64
+			return marshal(cfg), cfg.Tram
+		}},
+		{name: indexgather.DistName, prep: func(s tram.Scheme) ([]byte, tram.Config) {
+			cfg := indexgather.DefaultConfig(topo, s)
+			cfg.RequestsPerPE = 100000
+			cfg.Tram.BufferItems = 64
+			return marshal(cfg), cfg.Tram
+		}},
+		{name: sssp.DistName, prep: func(s tram.Scheme) ([]byte, tram.Config) {
+			recipe := sssp.Recipe{Kind: "uniform", N: 20000, AvgDeg: 8, Seed: 3}
+			g, err := recipe.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := sssp.DefaultConfig(topo, s, g)
+			cfg.Recipe = &recipe
+			cfg.Tram.BufferItems = 32
+			return marshal(cfg), cfg.Tram
+		}},
+	}
+}
+
+// chaosCell runs one registered kernel on the Dist backend with worker 1
+// armed to SIGKILL itself as it enters the run phase, and asserts the
+// public failure contract.
+func chaosCell(t *testing.T, k chaosKernel, s tram.Scheme, tp tram.DistTransport) {
+	t.Setenv(faultinject.EnvVar, faultinject.PointPhaseRun+":crash:proc=1")
+	params, cfg := k.prep(s)
+	cfg.Dist.App = k.name
+	cfg.Dist.Params = params
+	cfg.Dist.Transport = tp
+	cfg.Dist.SockDir = t.TempDir()
+	cfg.Dist.StartTimeout = 30 * time.Second
+	cfg.Dist.RunTimeout = chaosRunTimeout
+	cfg.Dist.HeartbeatInterval = 100 * time.Millisecond
+
+	// The Dist backend ignores the closures — worker processes rebuild the
+	// kernel from the registration — so an empty App drives the run.
+	start := time.Now()
+	m, err := tram.U64().Run(tram.Dist, cfg, tram.App[uint64]{})
+	elapsed := time.Since(start)
+
+	if err == nil {
+		t.Fatalf("faulted %s run succeeded: %+v", k.name, m)
+	}
+	var pfe *tram.PeerFailureError
+	if !errors.As(err, &pfe) {
+		t.Fatalf("error is not a *tram.PeerFailureError: %v", err)
+	}
+	if pfe.Proc != 1 {
+		t.Fatalf("failure attributed to proc=%d, want proc=1 (err: %v)", pfe.Proc, err)
+	}
+	if !errors.Is(err, tram.ErrPeerDied) {
+		t.Fatalf("error chain misses tram.ErrPeerDied: %v", err)
+	}
+	if m.Reports != nil {
+		t.Fatalf("failed run returned reports: %v", m.Reports)
+	}
+	if elapsed > 2*chaosRunTimeout {
+		t.Fatalf("detection took %v, bound is %v", elapsed, 2*chaosRunTimeout)
+	}
+}
+
+func TestChaosRotation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	full := os.Getenv("TRAM_CHAOS") == "full"
+	schemes := tram.Schemes()
+	transports := []tram.DistTransport{tram.TransportSocket, tram.TransportShm}
+	for ki, k := range chaosKernels(t) {
+		for si, s := range schemes {
+			for ti, tp := range transports {
+				if !full && (si != ki%len(schemes) || ti != ki%len(transports)) {
+					continue // rotate one cell per kernel by default
+				}
+				name := k.name + "/" + s.String() + "/" + map[tram.DistTransport]string{
+					tram.TransportSocket: "socket", tram.TransportShm: "shm"}[tp]
+				t.Run(name, func(t *testing.T) {
+					chaosCell(t, k, s, tp)
+				})
+			}
+		}
+	}
+}

@@ -120,6 +120,15 @@ type DistOptions struct {
 	// StartTimeout bounds worker spawn + handshake + final-report
 	// collection (not the run itself). 0 means 30s.
 	StartTimeout time.Duration
+	// RunTimeout bounds the run phase (Start broadcast to proven global
+	// quiescence). Past it the coordinator aborts the run and Run returns an
+	// error wrapping ErrRunTimeout. It also bounds how long one worker's
+	// data-plane send may block on backpressure. 0 leaves the run unbounded.
+	RunTimeout time.Duration
+	// HeartbeatInterval paces the coordinator's run-phase liveness checks
+	// (probe replies double as heartbeats; a worker silent for four
+	// intervals is declared dead). 0 means 500ms.
+	HeartbeatInterval time.Duration
 	// ProbeInterval paces idle quiescence-probe rounds; workers' quiet
 	// hints trigger immediate rounds regardless. 0 means 250µs.
 	ProbeInterval time.Duration
@@ -202,6 +211,12 @@ func (c Config) Validate() error {
 	}
 	if c.Dist.StartTimeout < 0 {
 		return fmt.Errorf("tram: negative Dist.StartTimeout")
+	}
+	if c.Dist.RunTimeout < 0 {
+		return fmt.Errorf("tram: negative Dist.RunTimeout")
+	}
+	if c.Dist.HeartbeatInterval < 0 {
+		return fmt.Errorf("tram: negative Dist.HeartbeatInterval")
 	}
 	if c.Dist.ProbeInterval < 0 {
 		return fmt.Errorf("tram: negative Dist.ProbeInterval")

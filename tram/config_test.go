@@ -33,6 +33,8 @@ func TestValidateRejectsEveryInvalidField(t *testing.T) {
 		{"zero ChunkSize", func(c *Config) { c.ChunkSize = 0 }, "ChunkSize"},
 		{"negative ChunkSize", func(c *Config) { c.ChunkSize = -5 }, "ChunkSize"},
 		{"negative Dist.StartTimeout", func(c *Config) { c.Dist.StartTimeout = -time.Second }, "StartTimeout"},
+		{"negative Dist.RunTimeout", func(c *Config) { c.Dist.RunTimeout = -time.Second }, "RunTimeout"},
+		{"negative Dist.HeartbeatInterval", func(c *Config) { c.Dist.HeartbeatInterval = -time.Millisecond }, "HeartbeatInterval"},
 		{"negative Dist.ProbeInterval", func(c *Config) { c.Dist.ProbeInterval = -time.Microsecond }, "ProbeInterval"},
 		{"negative Dist.MaxFrameBytes", func(c *Config) { c.Dist.MaxFrameBytes = -1 }, "MaxFrameBytes"},
 		{"tiny Dist.MaxFrameBytes", func(c *Config) { c.Dist.MaxFrameBytes = 64 }, "full buffer"},

@@ -171,16 +171,18 @@ func (distBackend) run(cfg Config, _ rawApp) (Metrics, error) {
 	}
 	start := time.Now()
 	res, err := dist.Run(dist.Config{
-		RT:            cfg.realConfig(),
-		Name:          cfg.Dist.App,
-		Params:        cfg.Dist.Params,
-		SockDir:       cfg.Dist.SockDir,
-		StartTimeout:  cfg.Dist.StartTimeout,
-		ProbeInterval: cfg.Dist.ProbeInterval,
-		MaxFrameBytes: cfg.Dist.MaxFrameBytes,
-		Transport:     kind,
-		Nodes:         cfg.Dist.Nodes,
-		RingBytes:     cfg.Dist.RingBytes,
+		RT:                cfg.realConfig(),
+		Name:              cfg.Dist.App,
+		Params:            cfg.Dist.Params,
+		SockDir:           cfg.Dist.SockDir,
+		StartTimeout:      cfg.Dist.StartTimeout,
+		RunTimeout:        cfg.Dist.RunTimeout,
+		HeartbeatInterval: cfg.Dist.HeartbeatInterval,
+		ProbeInterval:     cfg.Dist.ProbeInterval,
+		MaxFrameBytes:     cfg.Dist.MaxFrameBytes,
+		Transport:         kind,
+		Nodes:             cfg.Dist.Nodes,
+		RingBytes:         cfg.Dist.RingBytes,
 	})
 	if err != nil {
 		return Metrics{}, err

@@ -1,0 +1,25 @@
+package tram
+
+import "tramlib/internal/dist"
+
+// Failure sentinels of the Dist backend, re-exported so applications can
+// classify a failed Run without importing internal packages. Test with
+// errors.Is; extract the failing process and phase with
+// errors.As(err, &pfe) where pfe is a *PeerFailureError.
+var (
+	// ErrPeerDied marks a worker process that exited, crashed, or stopped
+	// responding mid-run.
+	ErrPeerDied = dist.ErrPeerDied
+	// ErrCoordinatorLost is what a worker process reports when its control
+	// connection to the coordinator breaks (it appears in worker stderr, not
+	// in Run's return: a coordinator healthy enough to return an error never
+	// lost its own socket).
+	ErrCoordinatorLost = dist.ErrCoordinatorLost
+	// ErrRunTimeout marks a run that exceeded Config.Dist.RunTimeout without
+	// proving global quiescence.
+	ErrRunTimeout = dist.ErrRunTimeout
+)
+
+// PeerFailureError attributes a failed Dist run to one worker process and
+// the protocol phase it failed in (see the dist package's failure model).
+type PeerFailureError = dist.PeerFailureError
