@@ -13,9 +13,10 @@
 // dist-* — the multi-process backend, where the gated column is the
 // coordinator's tiny per-item overhead (spawn + handshake + probes divided
 // by the items the worker processes moved) — get -dist-tol (default 75%),
-// and the dist-shm-* points (the same coordinator overhead with the
+// the dist-shm-* points (the same coordinator overhead with the
 // shared-memory ring transport carrying the data plane) get -shm-tol
-// (default 75%).
+// (default 75%), and the dist-tcp-* points (loopback TCP streams carrying
+// the data plane) get -tcp-tol (default 75%).
 // A point present in the baseline but missing from the fresh run fails the
 // check (lost coverage); new points pass (they become the baseline when
 // committed). Tiny baselines are compared with an absolute slack so a
@@ -23,7 +24,7 @@
 //
 // Usage:
 //
-//	perfcheck -base BENCH_core.json -fresh fresh.json [-tol 0.10] [-real-tol 0.50] [-dist-tol 0.75] [-shm-tol 0.75]
+//	perfcheck -base BENCH_core.json -fresh fresh.json [-tol 0.10] [-real-tol 0.50] [-dist-tol 0.75] [-shm-tol 0.75] [-tcp-tol 0.75]
 package main
 
 import (
@@ -59,6 +60,7 @@ func main() {
 		realTol   = flag.Float64("real-tol", 0.50, "allowed relative increase for real-* (goroutine runtime) points")
 		distTol   = flag.Float64("dist-tol", 0.75, "allowed relative increase for dist-* (multi-process coordinator) points")
 		shmTol    = flag.Float64("shm-tol", 0.75, "allowed relative increase for dist-shm-* (shared-memory transport) points")
+		tcpTol    = flag.Float64("tcp-tol", 0.75, "allowed relative increase for dist-tcp-* (TCP transport) points")
 		slack     = flag.Float64("slack", 0.02, "absolute allocs_per_event slack added to every bound")
 	)
 	flag.Parse()
@@ -100,6 +102,9 @@ func main() {
 		}
 		if strings.HasPrefix(b.Name, "dist-shm-") {
 			t = *shmTol
+		}
+		if strings.HasPrefix(b.Name, "dist-tcp-") {
+			t = *tcpTol
 		}
 		bound := b.AllocsPerEvent*(1+t) + *slack
 		status := "ok  "

@@ -19,6 +19,7 @@
 //	                                 # (tram.Dist) and print real-vs-dist tables
 //	tramlab -backend dist -transport shm     # dist index-gather/ping-ack over
 //	                                 # shared-memory rings instead of sockets
+//	tramlab -backend dist -transport tcp     # ...over loopback TCP streams
 //
 // Experiment points within a figure are independent simulations; -j N runs
 // them on a deterministic worker pool (tables are byte-identical for every
@@ -59,7 +60,7 @@ func main() {
 		benchJSON = flag.String("bench-json", "", "measure engine perf (events/sec, allocs/event, harness scaling) and write JSON to this file ('-' for stdout)")
 		real      = flag.Bool("real", false, "run the kernels on the real-concurrency runtime (goroutines + lock-free buffers) and emit simulated-vs-measured tables")
 		backend   = flag.String("backend", "", "comparison tables to run: 'real' (sim vs goroutine runtime, same as -real) or 'dist' (goroutine runtime vs one OS process per ProcID)")
-		trans     = flag.String("transport", "socket", "dist peer data plane for the index-gather and ping-ack tables: 'socket' (wire-framed Unix sockets) or 'shm' (mmap'd shared-memory rings); the dist histogram table always compares both")
+		trans     = flag.String("transport", "socket", "dist peer data plane for the index-gather and ping-ack tables: 'socket' (wire-framed Unix sockets), 'shm' (mmap'd shared-memory rings), or 'tcp' (loopback TCP streams); the dist histogram table always compares all three")
 	)
 	flag.Parse()
 	switch *backend {
@@ -72,9 +73,9 @@ func main() {
 		os.Exit(2)
 	}
 	switch *trans {
-	case "socket", "shm":
+	case "socket", "shm", "tcp":
 	default:
-		fmt.Fprintf(os.Stderr, "tramlab: unknown -transport %q (want 'socket' or 'shm')\n", *trans)
+		fmt.Fprintf(os.Stderr, "tramlab: unknown -transport %q (want 'socket', 'shm', or 'tcp')\n", *trans)
 		os.Exit(2)
 	}
 

@@ -15,8 +15,9 @@
 // faster than each worker's private buffer (lower item latency — the paper's
 // Fig. 12 ordering), at the price of atomic contention, which this example
 // measures for real. On the Dist backend the process boundary is a real one,
-// and -transport picks what crossing it costs: wire-framed Unix sockets, or
-// the mmap'd shared-memory rings of same-node peers.
+// and -transport picks what crossing it costs: wire-framed Unix sockets,
+// the mmap'd shared-memory rings of same-node peers, or loopback TCP
+// streams (the same link kind a multi-machine run uses; see docs/DEPLOY.md).
 //
 // Run with:
 //
@@ -90,7 +91,7 @@ func main() {
 	procs := flag.Int("procs", 2, "processes")
 	workers := flag.Int("workers", 4, "workers per process")
 	backend := flag.String("backend", "real", "execution backend: real, dist, or both")
-	transport := flag.String("transport", "socket", "dist peer data plane: socket or shm")
+	transport := flag.String("transport", "socket", "dist peer data plane: socket, shm, or tcp")
 	flag.Parse()
 
 	var backends []tram.Backend
@@ -106,9 +107,9 @@ func main() {
 		os.Exit(2)
 	}
 	switch *transport {
-	case "socket", "shm":
+	case "socket", "shm", "tcp":
 	default:
-		fmt.Fprintf(os.Stderr, "unknown -transport %q (want socket or shm)\n", *transport)
+		fmt.Fprintf(os.Stderr, "unknown -transport %q (want socket, shm, or tcp)\n", *transport)
 		os.Exit(2)
 	}
 

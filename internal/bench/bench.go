@@ -58,8 +58,9 @@ type Options struct {
 	// any order.
 	Progress io.Writer
 	// DistTransport selects the peer data plane of the -backend dist
-	// index-gather and ping-ack tables: "socket" (default) or "shm". The
-	// dist histogram table always compares both side by side.
+	// index-gather and ping-ack tables: "socket" (default), "shm", or
+	// "tcp". The dist histogram table always compares all three side by
+	// side.
 	DistTransport string
 }
 

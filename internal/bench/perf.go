@@ -203,9 +203,10 @@ func CorePerf(o Options) Perf {
 			return uint64(r.TotalUpdates), 0
 		}))
 	}
-	// dist-histogram-* / dist-shm-histogram-*: the same kernel across real
-	// OS processes (tram.Dist, 4 worker processes), once per peer transport
-	// — Unix sockets and same-node shared-memory rings. Events counts
+	// dist-histogram-* / dist-shm-histogram-* / dist-tcp-histogram-*: the
+	// same kernel across real OS processes (tram.Dist, 4 worker
+	// processes), once per peer transport — Unix sockets, same-node
+	// shared-memory rings, and loopback TCP streams. Events counts
 	// delivered updates as above, but the updates execute in the worker
 	// processes — the alloc columns therefore gate the *coordinator's*
 	// per-item overhead (spawn, handshake, probe loop, report decode), which
@@ -228,6 +229,9 @@ func CorePerf(o Options) Perf {
 	}
 	for _, s := range []tram.Scheme{tram.WW, tram.WPs, tram.PP} {
 		perf.Points = append(perf.Points, measure("dist-shm-histogram-"+s.String(), distHisto(s, "shm")))
+	}
+	for _, s := range []tram.Scheme{tram.WW, tram.WPs, tram.PP} {
+		perf.Points = append(perf.Points, measure("dist-tcp-histogram-"+s.String(), distHisto(s, "tcp")))
 	}
 	return perf
 }

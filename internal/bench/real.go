@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"time"
 
 	"tramlib/internal/apps/histogram"
 	"tramlib/internal/apps/indexgather"
@@ -183,12 +184,14 @@ func RealTables(o Options) []*stats.Table {
 // one address space; process boundaries simulated by the scheme wiring) and
 // on tram.Dist (each ProcID a real OS process). For the first time WW vs
 // WPs vs PP differ by a *real* process-boundary cost, and the histogram
-// table measures that cost under both peer transports side by side: the
-// socket column pays encode + write syscall + kernel copy + read syscall on
-// every process-crossing batch, while the shm column pays one in-place
+// table measures that cost under all three peer transports side by side:
+// the socket column pays encode + write syscall + kernel copy + read
+// syscall on every process-crossing batch, the shm column pays one in-place
 // encode into an mmap'd ring — the paper's same-node fast path against its
-// framed slow path, on identical workloads with element-wise identical
-// results. Runs execute strictly one at a time so each owns the host.
+// framed slow path — and the tcp column pays the full network stack over
+// loopback, the cost floor a multi-machine deployment starts from. All on
+// identical workloads with element-wise identical results. Runs execute
+// strictly one at a time so each owns the host.
 
 // withTransport returns cfg with the Dist data plane set.
 func withTransport(cfg tram.Config, tr string) tram.Config {
@@ -196,9 +199,12 @@ func withTransport(cfg tram.Config, tr string) tram.Config {
 	return cfg
 }
 
+// distHistoTransports are the Dist data planes DistHistogram compares.
+var distHistoTransports = []string{"socket", "shm", "tcp"}
+
 // DistHistogram returns the histogram real-vs-dist table with the dist leg
-// run over both transports (same-node socket vs shm), checking both dist
-// runs element-wise against the real run's tables.
+// run over all three transports (same-node socket vs shm vs loopback tcp),
+// checking every dist run element-wise against the real run's tables.
 func DistHistogram(o Options) *stats.Table {
 	o = o.normalized()
 	topo := realTopo()
@@ -206,30 +212,28 @@ func DistHistogram(o Options) *stats.Table {
 	const g = 1024
 
 	tb := stats.NewTable(
-		fmt.Sprintf("Dist histogram: %d updates/PE on %v (%d OS processes), real vs dist socket vs dist shm",
+		fmt.Sprintf("Dist histogram: %d updates/PE on %v (%d OS processes), real vs dist socket vs shm vs tcp",
 			z, topo, topo.TotalProcs()),
-		"scheme", "real_ms", "sock_ms", "shm_ms", "sock_batches", "shm_batches", "tables_ok")
+		"scheme", "real_ms", "sock_ms", "shm_ms", "tcp_ms", "sock_batches", "shm_batches", "tcp_batches", "tables_ok")
 
 	for _, s := range realSchemes {
 		cfg := histoConfig(o, topo, s, z, g)
 		real := histogram.RunOn(tram.Real, cfg)
 		o.progressf("dist-histogram real %v done: %v", s, real.M.Wall)
-		cfg.Tram = withTransport(cfg.Tram, "socket")
-		sock := histogram.RunOn(tram.Dist, cfg)
-		o.progressf("dist-histogram socket %v done: %v (%d batches)", s, sock.M.Wall, sock.M.Batches)
-		cfg.Tram = withTransport(cfg.Tram, "shm")
-		shm := histogram.RunOn(tram.Dist, cfg)
-		o.progressf("dist-histogram shm %v done: %v (%d batches)", s, shm.M.Wall, shm.M.Batches)
 
 		ok := "yes"
 		expected := int64(topo.TotalWorkers()) * int64(z)
-		for _, dist := range []*histogram.Result{&sock, &shm} {
-			if dist.TotalUpdates != expected || dist.CheckSum != expected {
+		dist := make([]histogram.Result, len(distHistoTransports))
+		for i, tr := range distHistoTransports {
+			cfg.Tram = withTransport(cfg.Tram, tr)
+			dist[i] = histogram.RunOn(tram.Dist, cfg)
+			o.progressf("dist-histogram %s %v done: %v (%d batches)", tr, s, dist[i].M.Wall, dist[i].M.Batches)
+			if dist[i].TotalUpdates != expected || dist[i].CheckSum != expected {
 				ok = "NO"
 			}
 			for w := range real.Tables {
 				for sl := range real.Tables[w] {
-					if real.Tables[w][sl] != dist.Tables[w][sl] {
+					if real.Tables[w][sl] != dist[i].Tables[w][sl] {
 						ok = "NO"
 					}
 				}
@@ -237,11 +241,60 @@ func DistHistogram(o Options) *stats.Table {
 		}
 		tb.AddRowf(s.String(),
 			float64(real.M.Wall)/1e6,
-			float64(sock.M.Wall)/1e6,
-			float64(shm.M.Wall)/1e6,
-			sock.M.Batches,
-			shm.M.Batches,
+			float64(dist[0].M.Wall)/1e6,
+			float64(dist[1].M.Wall)/1e6,
+			float64(dist[2].M.Wall)/1e6,
+			dist[0].M.Batches,
+			dist[1].M.Batches,
+			dist[2].M.Batches,
 			ok)
+	}
+	return tb
+}
+
+// DistLatencyInjection returns the injected-latency table: the histogram
+// kernel over loopback TCP with per-link delays injected at the receive
+// side (the in-process netem mode), showing how the aggregating schemes
+// absorb growing link latency. The 0µs row is the plain TCP baseline; every
+// row's tables are still checked element-wise against the real run.
+func DistLatencyInjection(o Options) *stats.Table {
+	o = o.normalized()
+	topo := realTopo()
+	z := o.items(1 << 14)
+	const g = 1024
+
+	tb := stats.NewTable(
+		fmt.Sprintf("Dist injected latency: histogram %d updates/PE on %v (%d OS processes, tcp transport)",
+			z, topo, topo.TotalProcs()),
+		"link_delay_us", "WPs_ms", "PP_ms", "tables_ok")
+
+	cfgFor := func(s tram.Scheme, delay time.Duration) histogram.Config {
+		cfg := histoConfig(o, topo, s, z, g)
+		cfg.Tram = withTransport(cfg.Tram, "tcp")
+		cfg.Tram.Dist.LinkDelay = delay
+		return cfg
+	}
+	real := map[tram.Scheme]histogram.Result{
+		tram.WPs: histogram.RunOn(tram.Real, histoConfig(o, topo, tram.WPs, z, g)),
+		tram.PP:  histogram.RunOn(tram.Real, histoConfig(o, topo, tram.PP, z, g)),
+	}
+	for _, delay := range []time.Duration{0, 200 * time.Microsecond, time.Millisecond} {
+		ok := "yes"
+		var wall [2]float64
+		for i, s := range []tram.Scheme{tram.WPs, tram.PP} {
+			res := histogram.RunOn(tram.Dist, cfgFor(s, delay))
+			o.progressf("dist-latency delay=%v %v done: %v", delay, s, res.M.Wall)
+			wall[i] = float64(res.M.Wall) / 1e6
+			want := real[s]
+			for w := range want.Tables {
+				for sl := range want.Tables[w] {
+					if want.Tables[w][sl] != res.Tables[w][sl] {
+						ok = "NO"
+					}
+				}
+			}
+		}
+		tb.AddRowf(delay.Microseconds(), wall[0], wall[1], ok)
 	}
 	return tb
 }
@@ -336,5 +389,5 @@ func DistPingAck(o Options) *stats.Table {
 
 // DistTables runs every real-vs-dist comparison (the -backend dist mode).
 func DistTables(o Options) []*stats.Table {
-	return []*stats.Table{DistHistogram(o), DistIndexGather(o), DistPingAck(o)}
+	return []*stats.Table{DistHistogram(o), DistIndexGather(o), DistPingAck(o), DistLatencyInjection(o)}
 }

@@ -132,7 +132,7 @@ func TestPhaseKillMatrix(t *testing.T) {
 		{"run", faultinject.PointPhaseRun},
 		{"report", faultinject.PointPhaseReport},
 	}
-	for _, kind := range []transport.Kind{transport.Socket, transport.Shm} {
+	for _, kind := range []transport.Kind{transport.Socket, transport.Shm, transport.TCP} {
 		for _, ph := range phases {
 			t.Run(kind.String()+"/"+ph.phase, func(t *testing.T) {
 				err, elapsed := chaosRun(t, kind, ph.point+":crash:proc=1")
@@ -144,7 +144,8 @@ func TestPhaseKillMatrix(t *testing.T) {
 
 // TestChaosMatrix drives the non-phase fault scenarios — mid-run crash,
 // wedged receive loop, dropped and stalled control connections, a ring torn
-// down mid-write — across both transports.
+// down mid-write, a TCP stream faulting mid-write — across the transports
+// each fault applies to.
 func TestChaosMatrix(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns real processes")
@@ -166,13 +167,13 @@ func TestChaosMatrix(t *testing.T) {
 		// classic mid-run crash, detected via child exit or a peer's report
 		// and attributed to the process that actually died.
 		{"kill-after-batches", faultinject.PointSendBatch + ":crash:proc=1:after=3",
-			[]transport.Kind{transport.Socket, transport.Shm}, peerDied(1)},
+			[]transport.Kind{transport.Socket, transport.Shm, transport.TCP}, peerDied(1)},
 		// Worker 1's receive loop wedges on its second inbound frame; the
 		// process stays alive and keeps answering probes, so the counters
 		// never balance. Either the coordinator's RunTimeout fires or a
 		// sender's bounded send trips first — both within the bound.
 		{"stall-recv", faultinject.PointRecvFrame + ":stall:proc=1:after=2",
-			[]transport.Kind{transport.Socket, transport.Shm},
+			[]transport.Kind{transport.Socket, transport.Shm, transport.TCP},
 			func(t *testing.T, err error, elapsed time.Duration) {
 				t.Helper()
 				if err == nil {
@@ -190,15 +191,20 @@ func TestChaosMatrix(t *testing.T) {
 		// coordinator's reader breaks and the worker self-terminates
 		// (ErrCoordinatorLost) instead of running orphaned.
 		{"drop-control-conn", faultinject.PointCtrlDrop + ":drop:proc=1",
-			[]transport.Kind{transport.Socket, transport.Shm}, peerDied(1)},
+			[]transport.Kind{transport.Socket, transport.Shm, transport.TCP}, peerDied(1)},
 		// Worker 1 stalls inside its control loop without dying or closing
 		// anything: only heartbeat staleness can catch this one.
 		{"stall-control-conn", faultinject.PointCtrlStall + ":stall:proc=1",
-			[]transport.Kind{transport.Socket, transport.Shm}, peerDied(1)},
+			[]transport.Kind{transport.Socket, transport.Shm, transport.TCP}, peerDied(1)},
 		// Worker 1's outbound ring is torn down mid-write; the failed send
 		// is latched, reported, and attributed.
 		{"close-ring-mid-write", faultinject.PointRingWrite + ":error:proc=1:after=2",
 			[]transport.Kind{transport.Shm}, peerDied(1)},
+		// Worker 1's second outbound TCP frame hits an injected network
+		// fault mid-write; the failed send is latched, reported, and
+		// attributed exactly like a ring teardown.
+		{"error-tcp-mid-write", faultinject.PointTCPWrite + ":error:proc=1:after=2",
+			[]transport.Kind{transport.TCP}, peerDied(1)},
 	}
 	for _, tc := range cases {
 		for _, kind := range tc.kinds {
@@ -220,6 +226,27 @@ func TestRunTimeoutFiresOnDroppedBatch(t *testing.T) {
 		t.Skip("spawns real processes")
 	}
 	err, elapsed := chaosRun(t, transport.Socket, faultinject.PointSendBatch+":drop:proc=1:after=4")
+	if !errors.Is(err, ErrRunTimeout) {
+		t.Fatalf("want ErrRunTimeout, got: %v", err)
+	}
+	if elapsed > 2*chaosTimeout {
+		t.Fatalf("timeout took %v, bound is %v", elapsed, 2*chaosTimeout)
+	}
+	if elapsed < chaosTimeout {
+		t.Fatalf("run ended after %v, before the %v timeout — drop did not wedge it", elapsed, chaosTimeout)
+	}
+}
+
+// TestRunTimeoutFiresOnDroppedTCPFrame is the TCP twin of the dropped-batch
+// scenario, armed one layer lower: worker 1's fourth outbound TCP frame is
+// silently discarded at the stream-write point, the network-drop failure
+// mode unix sockets cannot exhibit. Every process stays healthy, so only
+// RunTimeout can end the run.
+func TestRunTimeoutFiresOnDroppedTCPFrame(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	err, elapsed := chaosRun(t, transport.TCP, faultinject.PointTCPWrite+":drop:proc=1:after=4")
 	if !errors.Is(err, ErrRunTimeout) {
 		t.Fatalf("want ErrRunTimeout, got: %v", err)
 	}

@@ -1,34 +1,43 @@
 // Package dist is the multi-process execution layer of the Dist backend: it
-// runs each ProcID of a topology as a real OS process on one machine,
-// coordinated by the parent over Unix-domain sockets, with the aggregated
-// batches of internal/rt's partitioned mode carried by the pluggable peer
-// data plane of internal/transport (wire-framed Unix sockets, or mmap'd
-// shared-memory rings between same-node processes).
+// runs each ProcID of a topology as a real OS process — on one machine or
+// across several — coordinated by the parent over a control connection
+// (a Unix socket in the run directory, or TCP when workers live on other
+// hosts), with the aggregated batches of internal/rt's partitioned mode
+// carried by the pluggable peer data plane of internal/transport
+// (wire-framed Unix sockets, mmap'd shared-memory rings between same-node
+// processes, or TCP streams between machines).
 //
 // # Process model
 //
 // The coordinator (the process that called Run) spawns one worker per
-// ProcID by re-executing its own binary with TRAMLIB_DIST_PROC set; worker
-// processes detect the environment in WorkerMain — called first thing in
-// main (or TestMain) — build the registered application from the
+// ProcID with TRAMLIB_DIST_PROC set, through the launcher layer
+// (launch.go): local workers re-execute the coordinator's own binary, and
+// entries of a static host file (Config.Hosts, internal/dist/hostfile)
+// start the worker binary on remote hosts over SSH. Worker processes
+// detect the environment in WorkerMain — called first thing in main (or
+// TestMain) — build the registered application from the
 // coordinator-supplied name/params, and never reach the program's normal
 // flow. Intra-process traffic stays in shared memory (internal/shmem
 // buffers, exactly as the Real backend wires them); only process-crossing
 // batches go to the transport mesh, whose per-pair link kind the
 // coordinator selects from Config.Transport and the Nodes grouping. This
-// package holds no peer-data socket or ring code of its own — it routes
-// rt.Remote through transport.PeerTransport, so the quiescence protocol
-// below is transport-agnostic.
+// package holds no peer-data socket, ring, or TCP code of its own — it
+// routes rt.Remote through transport.PeerTransport, so the quiescence
+// protocol below is transport-agnostic.
 //
 // # Handshake
 //
-//	worker  -> parent   Hello       (connects to the control socket)
+//	worker  -> parent   Hello       (connects to the control endpoint)
 //	parent  -> worker   Setup       (app name/params, proc count, frame cap,
-//	                                 transport kind + node map, config digest)
-//	worker  -> parent   Listening   (inbound endpoints up: data listener and/or
-//	                                 created ring segments; echoes its digest)
-//	parent  -> worker   Connect     (all inbound sides up: dial socket peers,
-//	                                 open outbound ring segments)
+//	                                 transport kind + node map + TCP layout,
+//	                                 config digest)
+//	worker  -> parent   Listening   (inbound endpoints up: data listeners
+//	                                 and/or created ring segments; echoes its
+//	                                 digest and its resolved TCP data address)
+//	parent  -> worker   Connect     (all inbound sides up: dial socket/TCP
+//	                                 peers — the payload carries every
+//	                                 worker's gathered TCP address — and open
+//	                                 outbound ring segments)
 //	worker  -> parent   Ready       (full mesh established, inbound and outbound)
 //	parent  -> worker   Start       (run kernels)
 //
@@ -80,6 +89,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"tramlib/internal/dist/hostfile"
 	"tramlib/internal/rt"
 	"tramlib/internal/transport"
 	"tramlib/internal/wire"
@@ -121,10 +131,11 @@ type Config struct {
 	// wire.DefaultMaxFrameBytes.
 	MaxFrameBytes int
 
-	// Transport selects the peer data plane for same-node process pairs:
-	// transport.Socket (the zero value) frames every pair over Unix
-	// sockets; transport.Shm carries same-node pairs over mmap'd SPSC
-	// rings. Pairs on different nodes (per Nodes) always use sockets.
+	// Transport selects the peer data plane: transport.Socket (the zero
+	// value) frames every pair over Unix sockets; transport.Shm carries
+	// same-node pairs (per Nodes) over mmap'd SPSC rings with sockets
+	// between nodes; transport.TCP frames every pair over TCP streams —
+	// the only kind that works across machines.
 	Transport transport.Kind
 	// Nodes maps each ProcID to a physical-node id for transport selection.
 	// Nil places every process on one node; otherwise it must have one
@@ -134,6 +145,27 @@ type Config struct {
 	// shmring default (1 MiB). Must fit the largest wire frame a full
 	// aggregation buffer can produce.
 	RingBytes int
+
+	// Hosts launches workers from a static host list (see
+	// internal/dist/hostfile) instead of P local self-execs. Local entries
+	// self-exec exactly as an empty list does; remote entries start the
+	// worker over SSH and require Transport TCP plus a ListenAddr reachable
+	// from every host. Proc counts must sum to the topology's process count.
+	Hosts []hostfile.Host
+	// ListenAddr binds the coordinator's control endpoint on TCP
+	// (host:port; port 0 picks an ephemeral one). Required when Hosts has a
+	// remote entry — remote workers cannot dial a Unix socket — and honored
+	// for all-local runs too (loopback control-plane testing). "" keeps the
+	// control plane on the run directory's Unix socket.
+	ListenAddr string
+	// KeepAlive sets the TCP keepalive probe period on TCP data links so a
+	// dead remote machine surfaces as a peer failure; 0 keeps the stack
+	// default (~15s).
+	KeepAlive time.Duration
+	// LinkDelay and LinkJitter inject artificial per-frame one-way latency
+	// on TCP data links (deterministic per-link jitter), making the paper's
+	// latency-sensitivity story measurable on one box.
+	LinkDelay, LinkJitter time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -201,11 +233,22 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("dist: Config.RT must not be partitioned")
 	}
 	P := cfg.RT.Topo.TotalProcs()
-	if cfg.Transport > transport.Shm {
+	if cfg.Transport > transport.TCP {
 		return Result{}, fmt.Errorf("dist: unknown transport %v", cfg.Transport)
 	}
 	if cfg.Nodes != nil && len(cfg.Nodes) != P {
 		return Result{}, fmt.Errorf("dist: node map has %d entries for %d procs", len(cfg.Nodes), P)
+	}
+	specs, err := expandHosts(cfg.Hosts, P)
+	if err != nil {
+		return Result{}, err
+	}
+	remote := anyRemote(cfg.Hosts)
+	if remote && cfg.Transport != transport.TCP {
+		return Result{}, fmt.Errorf("dist: remote hosts require the tcp transport, not %v", cfg.Transport)
+	}
+	if remote && cfg.ListenAddr == "" {
+		return Result{}, fmt.Errorf("dist: remote hosts require ListenAddr (workers cannot dial a unix control socket)")
 	}
 
 	dir, err := os.MkdirTemp(cfg.SockDir, "tram-dist-*")
@@ -217,11 +260,23 @@ func Run(cfg Config) (Result, error) {
 	// every worker has been reaped, so nothing can recreate files under it.
 	defer os.RemoveAll(dir)
 
-	ln, err := net.Listen("unix", ctrlPath(dir))
+	// The control plane rides TCP whenever a worker may live on another
+	// machine (and whenever ListenAddr asks for it); otherwise it stays on
+	// a Unix socket inside the private run directory. Workers learn which
+	// from the envCtrl scheme.
+	ctrlNet, ctrlBind := "unix", ctrlPath(dir)
+	if cfg.ListenAddr != "" {
+		ctrlNet, ctrlBind = "tcp", cfg.ListenAddr
+	}
+	ln, err := net.Listen(ctrlNet, ctrlBind)
 	if err != nil {
 		return Result{}, err
 	}
 	defer ln.Close()
+	ctrlAddr := ctrlPath(dir)
+	if ctrlNet == "tcp" {
+		ctrlAddr = "tcp://" + ln.Addr().String()
+	}
 
 	exe, err := os.Executable()
 	if err != nil {
@@ -254,12 +309,9 @@ func Run(cfg Config) (Result, error) {
 		}
 	}()
 
-	for p := 0; p < P; p++ {
-		cmd := exec.Command(exe)
-		cmd.Env = append(os.Environ(),
-			fmt.Sprintf("%s=%d", envProc, p),
-			fmt.Sprintf("%s=%s", envCtrl, ctrlPath(dir)),
-		)
+	for _, sp := range specs {
+		p := sp.proc
+		cmd := workerCommand(sp, exe, ctrlAddr)
 		cmd.Stdout = os.Stderr // a worker must never pollute the parent's stdout
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
@@ -277,6 +329,7 @@ func Run(cfg Config) (Result, error) {
 			co.waitErr <- procExit{proc: p, err: err}
 		}(cmd, p)
 	}
+	co.specs = specs
 
 	res, err := co.run(ln)
 	if err != nil {
@@ -293,6 +346,7 @@ type coordinator struct {
 	cfg      Config
 	P        int
 	dir      string
+	specs    []spawn
 	cmds     []*exec.Cmd
 	waitErr  chan procExit
 	unreaped int // workers not yet reaped via waitErr
@@ -453,6 +507,10 @@ func (co *coordinator) run(ln net.Listener) (Result, error) {
 	if sendDeadline < 0 {
 		sendDeadline = 0
 	}
+	listenAddrs := make([]string, P)
+	for _, sp := range co.specs {
+		listenAddrs[sp.proc] = sp.listen
+	}
 	if err := co.broadcast(opSetup, setupMsg{
 		Name:          cfg.Name,
 		Params:        cfg.Params,
@@ -463,6 +521,10 @@ func (co *coordinator) run(ln net.Listener) (Result, error) {
 		Nodes:         cfg.Nodes,
 		RingBytes:     cfg.RingBytes,
 		SendDeadline:  sendDeadline,
+		ListenAddrs:   listenAddrs,
+		KeepAlive:     cfg.KeepAlive,
+		LinkDelay:     cfg.LinkDelay,
+		LinkJitter:    cfg.LinkJitter,
 		Digest:        digest,
 	}); err != nil {
 		return Result{}, err
@@ -471,6 +533,10 @@ func (co *coordinator) run(ln net.Listener) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	// Gather each worker's resolved TCP data address (empty for non-TCP
+	// runs) while checking the digests; the Connect broadcast redistributes
+	// the full slice so every worker can dial its lower-numbered peers.
+	dataAddrs := make([]string, P)
 	for p, f := range listens {
 		lm, err := decode[listeningMsg](f)
 		if err != nil {
@@ -479,8 +545,9 @@ func (co *coordinator) run(ln net.Listener) (Result, error) {
 		if lm.Digest != digest {
 			return Result{}, fmt.Errorf("dist: worker %d config digest %q != coordinator %q", p, lm.Digest, digest)
 		}
+		dataAddrs[p] = lm.Addr
 	}
-	if err := co.broadcast(opConnect, nil); err != nil {
+	if err := co.broadcast(opConnect, connectMsg{Addrs: dataAddrs}); err != nil {
 		return Result{}, err
 	}
 	if _, err := co.collect(opReady, "connect", timeout); err != nil {

@@ -9,6 +9,7 @@ import (
 
 	"tramlib/internal/cluster"
 	"tramlib/internal/core"
+	"tramlib/internal/dist/hostfile"
 	"tramlib/internal/rng"
 	"tramlib/internal/rt"
 	"tramlib/internal/transport"
@@ -265,6 +266,61 @@ func TestFourProcessesShm(t *testing.T) {
 	runHisto(t, cluster.SMP(2, 2, 2), core.WPs, 3000, 16, shmConfig)
 }
 
+// tcpConfig switches a run's data plane to TCP loopback streams.
+func tcpConfig(cfg *Config) { cfg.Transport = transport.TCP }
+
+func TestAllSchemesAcrossProcessesTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	topo := cluster.SMP(1, 2, 2)
+	for _, s := range core.Schemes() {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			runHisto(t, topo, s, 4000, 32, tcpConfig)
+		})
+	}
+}
+
+func TestFourProcessesTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	runHisto(t, cluster.SMP(2, 2, 2), core.WPs, 3000, 16, tcpConfig)
+}
+
+// TestDistTCPControlPlane runs the full launcher path an SSH deployment
+// uses — an explicit host list, the TCP control endpoint, TCP data links,
+// keepalive — on loopback, with the local provider standing in for SSH.
+func TestDistTCPControlPlane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	runHisto(t, cluster.SMP(1, 3, 1), core.WPs, 3000, 16, func(cfg *Config) {
+		cfg.Transport = transport.TCP
+		cfg.Hosts = []hostfile.Host{{Target: "local", Procs: 3}}
+		cfg.ListenAddr = "127.0.0.1:0"
+		cfg.KeepAlive = 2 * time.Second
+	})
+}
+
+// TestTCPInjectedLatency pins the injected-latency mode end to end: the
+// run still computes the exact replay-validated result, and the wall time
+// reflects the configured delay.
+func TestTCPInjectedLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	res := runHisto(t, cluster.SMP(1, 2, 2), core.WPs, 1000, 32, func(cfg *Config) {
+		cfg.Transport = transport.TCP
+		cfg.LinkDelay = 2 * time.Millisecond
+		cfg.LinkJitter = time.Millisecond
+	})
+	if res.Wall < 2*time.Millisecond {
+		t.Fatalf("wall %v under the per-frame injected delay", res.Wall)
+	}
+}
+
 func TestMixedNodesShmAndSocket(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns real processes")
@@ -284,18 +340,21 @@ func TestShmSocketIdenticalResults(t *testing.T) {
 	}
 	// The transport must never change what the run computes: same app, same
 	// seed, per-worker counts and checksums compared element-wise across the
-	// two data planes (runHisto already pins both against the serial replay;
-	// this pins them against each other including the metrics totals).
+	// three data planes (runHisto already pins each against the serial
+	// replay; this pins them against each other including the metrics
+	// totals).
 	topo := cluster.SMP(1, 2, 2)
 	sock := runHisto(t, topo, core.WsP, 3000, 32)
 	shm := runHisto(t, topo, core.WsP, 3000, 32, shmConfig)
-	var sockIns, shmIns int64
+	tcp := runHisto(t, topo, core.WsP, 3000, 32, tcpConfig)
+	var sockIns, shmIns, tcpIns int64
 	for p := range sock.Procs {
 		sockIns += sock.Procs[p].RT.Inserted
 		shmIns += shm.Procs[p].RT.Inserted
+		tcpIns += tcp.Procs[p].RT.Inserted
 	}
-	if sockIns != shmIns {
-		t.Fatalf("inserted: socket %d != shm %d", sockIns, shmIns)
+	if sockIns != shmIns || sockIns != tcpIns {
+		t.Fatalf("inserted: socket %d != shm %d != tcp %d", sockIns, shmIns, tcpIns)
 	}
 }
 
@@ -313,6 +372,17 @@ func TestBadTransportConfigRejected(t *testing.T) {
 	}
 	if _, err := Run(Config{RT: base, Name: "histo", Nodes: []int{0}}); err == nil {
 		t.Fatal("short node map accepted")
+	}
+	remote := []hostfile.Host{{Target: "local", Procs: 1}, {Target: "node1", Procs: 1}}
+	if _, err := Run(Config{RT: base, Name: "histo", Hosts: remote}); err == nil {
+		t.Fatal("remote hosts without tcp transport accepted")
+	}
+	if _, err := Run(Config{RT: base, Name: "histo", Transport: transport.TCP, Hosts: remote}); err == nil {
+		t.Fatal("remote hosts without ListenAddr accepted")
+	}
+	short := []hostfile.Host{{Target: "local", Procs: 1}}
+	if _, err := Run(Config{RT: base, Name: "histo", Hosts: short}); err == nil {
+		t.Fatal("host list undersupplying procs accepted")
 	}
 }
 

@@ -1,0 +1,125 @@
+// Package hostfile parses the static host files the Dist launcher starts
+// worker processes from.
+//
+// A host file is line-oriented: one launch target per line, optionally
+// followed by whitespace-separated key=value options. Blank lines and
+// #-comments (full-line or trailing) are ignored.
+//
+//	# two nodes, four workers each, fixed data-plane ports
+//	local        procs=4
+//	10.0.0.2     procs=4  listen=10.0.0.2:9100  cmd=/opt/tram/worker
+//
+// The target "local" (or "localhost") launches workers on the
+// coordinator's machine by self-exec — the degenerate provider every
+// single-machine run uses. Any other target is an SSH destination
+// (host or user@host). Options:
+//
+//	procs=N    worker processes on this host (default 1)
+//	listen=A   data-plane bind address for this host's workers; a nonzero
+//	           port is a base — worker i on the host binds port+i. Empty
+//	           lets each worker bind a loopback ephemeral port.
+//	cmd=P      worker binary path on this host (default: the coordinator's
+//	           own executable path, which assumes a shared filesystem).
+package hostfile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Host is one parsed host-file entry.
+type Host struct {
+	// Target is the launch destination: "local"/"localhost" for the
+	// self-exec provider, anything else an SSH destination.
+	Target string
+	// Procs is the number of worker processes this host runs (>= 1).
+	Procs int
+	// Listen is the data-plane bind spec for this host's workers ("" =
+	// loopback ephemeral). A nonzero port is a per-host base port.
+	Listen string
+	// Cmd is the worker binary path on this host ("" = the coordinator's
+	// executable path).
+	Cmd string
+}
+
+// Local reports whether the entry uses the self-exec provider.
+func (h Host) Local() bool {
+	return h.Target == "local" || h.Target == "localhost"
+}
+
+// TotalProcs sums the worker counts across hosts.
+func TotalProcs(hosts []Host) int {
+	n := 0
+	for _, h := range hosts {
+		n += h.Procs
+	}
+	return n
+}
+
+// Parse reads a host file. It errors on a line with no target, an unknown
+// or malformed option, a non-positive proc count, or a duplicate target
+// (one line per host; use procs=N for multiple workers).
+func Parse(r io.Reader) ([]Host, error) {
+	var hosts []Host
+	seen := make(map[string]bool)
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		h := Host{Target: fields[0], Procs: 1}
+		if strings.Contains(h.Target, "=") {
+			return nil, fmt.Errorf("hostfile: line %d: first field %q must be a host, not an option", lineno, h.Target)
+		}
+		if seen[h.Target] {
+			return nil, fmt.Errorf("hostfile: line %d: duplicate host %q (use procs=N for multiple workers)", lineno, h.Target)
+		}
+		seen[h.Target] = true
+		for _, opt := range fields[1:] {
+			k, v, ok := strings.Cut(opt, "=")
+			if !ok || v == "" {
+				return nil, fmt.Errorf("hostfile: line %d: bad option %q", lineno, opt)
+			}
+			switch k {
+			case "procs":
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 1 {
+					return nil, fmt.Errorf("hostfile: line %d: bad proc count %q", lineno, v)
+				}
+				h.Procs = n
+			case "listen":
+				h.Listen = v
+			case "cmd":
+				h.Cmd = v
+			default:
+				return nil, fmt.Errorf("hostfile: line %d: unknown option %q", lineno, k)
+			}
+		}
+		hosts = append(hosts, h)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("hostfile: %w", err)
+	}
+	return hosts, nil
+}
+
+// ParseFile reads a host file from disk.
+func ParseFile(path string) ([]Host, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Parse(f)
+}

@@ -1,0 +1,134 @@
+package hostfile
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	tests := []struct {
+		name    string
+		in      string
+		want    []Host
+		wantErr string
+	}{
+		{
+			name: "basic",
+			in:   "local procs=2\n10.0.0.2 procs=4 listen=10.0.0.2:9100 cmd=/opt/w\n",
+			want: []Host{
+				{Target: "local", Procs: 2},
+				{Target: "10.0.0.2", Procs: 4, Listen: "10.0.0.2:9100", Cmd: "/opt/w"},
+			},
+		},
+		{
+			name: "comments and blank lines",
+			in:   "# cluster A\n\nlocal procs=3   # trailing comment\n   \n# done\n",
+			want: []Host{{Target: "local", Procs: 3}},
+		},
+		{
+			name: "default one proc, user@host target",
+			in:   "deploy@node7\n",
+			want: []Host{{Target: "deploy@node7", Procs: 1}},
+		},
+		{
+			name: "empty file",
+			in:   "# nothing here\n",
+			want: nil,
+		},
+		{
+			name:    "duplicate hosts",
+			in:      "node1 procs=2\nnode1 procs=2\n",
+			wantErr: "duplicate host",
+		},
+		{
+			name:    "duplicate local",
+			in:      "local\nlocal\n",
+			wantErr: "duplicate host",
+		},
+		{
+			name:    "zero procs",
+			in:      "node1 procs=0\n",
+			wantErr: "bad proc count",
+		},
+		{
+			name:    "negative procs",
+			in:      "node1 procs=-3\n",
+			wantErr: "bad proc count",
+		},
+		{
+			name:    "non-numeric procs",
+			in:      "node1 procs=lots\n",
+			wantErr: "bad proc count",
+		},
+		{
+			name:    "unknown option",
+			in:      "node1 port=99\n",
+			wantErr: "unknown option",
+		},
+		{
+			name:    "valueless option",
+			in:      "node1 procs\n",
+			wantErr: "bad option",
+		},
+		{
+			name:    "option without host",
+			in:      "procs=4\n",
+			wantErr: "must be a host",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Parse(strings.NewReader(tt.in))
+			if tt.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+					t.Fatalf("err = %v, want containing %q", err, tt.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			if len(got) != len(tt.want) {
+				t.Fatalf("got %d hosts %v, want %d", len(got), got, len(tt.want))
+			}
+			for i := range got {
+				if got[i] != tt.want[i] {
+					t.Fatalf("host %d = %+v, want %+v", i, got[i], tt.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestLocalAndTotals(t *testing.T) {
+	hosts := []Host{
+		{Target: "local", Procs: 2},
+		{Target: "localhost", Procs: 1},
+		{Target: "node1", Procs: 5},
+	}
+	if !hosts[0].Local() || !hosts[1].Local() || hosts[2].Local() {
+		t.Fatalf("Local() misclassifies: %+v", hosts)
+	}
+	if n := TotalProcs(hosts); n != 8 {
+		t.Fatalf("TotalProcs = %d, want 8", n)
+	}
+}
+
+func TestParseFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hosts")
+	if err := os.WriteFile(path, []byte("local procs=2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hosts, err := ParseFile(path)
+	if err != nil {
+		t.Fatalf("ParseFile: %v", err)
+	}
+	if len(hosts) != 1 || hosts[0].Procs != 2 {
+		t.Fatalf("hosts = %+v", hosts)
+	}
+	if _, err := ParseFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("ParseFile on a missing file succeeded")
+	}
+}

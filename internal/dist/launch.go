@@ -1,0 +1,113 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+
+	"tramlib/internal/dist/hostfile"
+	"tramlib/internal/faultinject"
+)
+
+// spawn is one worker process's launch plan: which proc it runs, which host
+// entry launches it, and the data-plane bind spec it should use.
+type spawn struct {
+	proc   int
+	host   hostfile.Host
+	listen string // per-proc data bind spec ("" = loopback ephemeral)
+}
+
+// expandHosts resolves a host list into one spawn per proc, assigning procs
+// 0..P-1 to hosts in file order. An empty list degenerates to P local
+// workers (today's single-machine behavior). A host's listen spec with a
+// nonzero port is treated as a base port: worker i on that host binds
+// port+i, so one firewall rule covers the host's whole range.
+func expandHosts(hosts []hostfile.Host, P int) ([]spawn, error) {
+	if len(hosts) == 0 {
+		hosts = []hostfile.Host{{Target: "local", Procs: P}}
+	}
+	if n := hostfile.TotalProcs(hosts); n != P {
+		return nil, fmt.Errorf("dist: host file supplies %d procs for a %d-proc topology", n, P)
+	}
+	specs := make([]spawn, 0, P)
+	for _, h := range hosts {
+		for i := 0; i < h.Procs; i++ {
+			listen := h.Listen
+			if listen != "" {
+				hostPart, portPart, err := net.SplitHostPort(listen)
+				if err != nil {
+					return nil, fmt.Errorf("dist: host %s: bad listen spec %q: %w", h.Target, listen, err)
+				}
+				base, err := strconv.Atoi(portPart)
+				if err != nil || base < 0 {
+					return nil, fmt.Errorf("dist: host %s: bad listen port %q", h.Target, portPart)
+				}
+				if base > 0 {
+					listen = net.JoinHostPort(hostPart, strconv.Itoa(base+i))
+				}
+			}
+			specs = append(specs, spawn{proc: len(specs), host: h, listen: listen})
+		}
+	}
+	return specs, nil
+}
+
+// anyRemote reports whether any host needs the SSH provider.
+func anyRemote(hosts []hostfile.Host) bool {
+	for _, h := range hosts {
+		if !h.Local() {
+			return true
+		}
+	}
+	return false
+}
+
+// workerCommand builds the command that starts one worker: a plain
+// self-exec for local spawns, or an SSH invocation running the worker
+// binary on the remote host with the dist environment set. ctrlAddr is the
+// coordinator's control endpoint as the worker should dial it (a Unix
+// socket path, or tcp://host:port).
+func workerCommand(sp spawn, exe, ctrlAddr string) *exec.Cmd {
+	env := workerEnv(sp.proc, ctrlAddr)
+	if sp.host.Local() {
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(), env...)
+		return cmd
+	}
+	remoteExe := sp.host.Cmd
+	if remoteExe == "" {
+		remoteExe = exe
+	}
+	// BatchMode forbids interactive prompts (a launcher must fail fast, not
+	// hang on a password ask); env(1) carries the worker environment since
+	// sshd filters most client-sent variables.
+	args := []string{"-o", "BatchMode=yes", sp.host.Target, "env"}
+	for _, kv := range env {
+		args = append(args, shellQuote(kv))
+	}
+	args = append(args, shellQuote(remoteExe))
+	return exec.Command("ssh", args...)
+}
+
+// workerEnv is the dist environment for worker p: its proc id, the control
+// endpoint, and — so chaos specs reach remote workers the same way they
+// reach local ones — any armed fault injection.
+func workerEnv(p int, ctrlAddr string) []string {
+	env := []string{
+		fmt.Sprintf("%s=%d", envProc, p),
+		fmt.Sprintf("%s=%s", envCtrl, ctrlAddr),
+	}
+	if faults := os.Getenv(faultinject.EnvVar); faults != "" {
+		env = append(env, fmt.Sprintf("%s=%s", faultinject.EnvVar, faults))
+	}
+	return env
+}
+
+// shellQuote wraps s in single quotes for the remote shell ssh always
+// interposes (fault specs carry ';', which would otherwise split commands).
+func shellQuote(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", `'\''`) + "'"
+}

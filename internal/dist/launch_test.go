@@ -1,0 +1,145 @@
+package dist
+
+import (
+	"strings"
+	"testing"
+
+	"tramlib/internal/dist/hostfile"
+)
+
+func TestExpandHosts(t *testing.T) {
+	t.Run("empty degenerates to local", func(t *testing.T) {
+		specs, err := expandHosts(nil, 3)
+		if err != nil {
+			t.Fatalf("expandHosts: %v", err)
+		}
+		if len(specs) != 3 {
+			t.Fatalf("got %d specs, want 3", len(specs))
+		}
+		for i, sp := range specs {
+			if sp.proc != i || !sp.host.Local() || sp.listen != "" {
+				t.Fatalf("spec %d = %+v", i, sp)
+			}
+		}
+	})
+	t.Run("procs assigned in file order with base-port offsets", func(t *testing.T) {
+		hosts := []hostfile.Host{
+			{Target: "local", Procs: 2},
+			{Target: "node1", Procs: 2, Listen: "10.0.0.2:9100"},
+		}
+		specs, err := expandHosts(hosts, 4)
+		if err != nil {
+			t.Fatalf("expandHosts: %v", err)
+		}
+		wantListen := []string{"", "", "10.0.0.2:9100", "10.0.0.2:9101"}
+		for i, sp := range specs {
+			if sp.proc != i || sp.listen != wantListen[i] {
+				t.Fatalf("spec %d = %+v, want listen %q", i, sp, wantListen[i])
+			}
+		}
+		if specs[2].host.Target != "node1" {
+			t.Fatalf("proc 2 on %q, want node1", specs[2].host.Target)
+		}
+	})
+	t.Run("ephemeral listen spec passes through", func(t *testing.T) {
+		specs, err := expandHosts([]hostfile.Host{{Target: "node1", Procs: 2, Listen: "10.0.0.2:0"}}, 2)
+		if err != nil {
+			t.Fatalf("expandHosts: %v", err)
+		}
+		for _, sp := range specs {
+			if sp.listen != "10.0.0.2:0" {
+				t.Fatalf("spec %+v, want verbatim ephemeral spec", sp)
+			}
+		}
+	})
+	t.Run("count mismatch", func(t *testing.T) {
+		_, err := expandHosts([]hostfile.Host{{Target: "local", Procs: 2}}, 3)
+		if err == nil || !strings.Contains(err.Error(), "2 procs for a 3-proc") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("bad listen spec", func(t *testing.T) {
+		_, err := expandHosts([]hostfile.Host{{Target: "n", Procs: 1, Listen: "no-port"}}, 1)
+		if err == nil || !strings.Contains(err.Error(), "bad listen spec") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}
+
+func TestAnyRemote(t *testing.T) {
+	if anyRemote(nil) || anyRemote([]hostfile.Host{{Target: "local"}, {Target: "localhost"}}) {
+		t.Fatal("all-local hosts classified remote")
+	}
+	if !anyRemote([]hostfile.Host{{Target: "local"}, {Target: "node1"}}) {
+		t.Fatal("remote host not detected")
+	}
+}
+
+// TestWorkerCommand pins the launch command shapes. CI has no SSH peers, so
+// the SSH provider is covered at the command-construction seam: the full
+// protocol over a real network is the same code path the local provider
+// exercises over loopback TCP (TestDistTCPControlPlane).
+func TestWorkerCommand(t *testing.T) {
+	t.Run("local self-exec", func(t *testing.T) {
+		cmd := workerCommand(spawn{proc: 1, host: hostfile.Host{Target: "local"}}, "/bin/worker", "/run/ctrl.sock")
+		if cmd.Path != "/bin/worker" || len(cmd.Args) != 1 {
+			t.Fatalf("cmd = %v %v", cmd.Path, cmd.Args)
+		}
+		var gotProc, gotCtrl string
+		for _, kv := range cmd.Env {
+			if v, ok := strings.CutPrefix(kv, envProc+"="); ok {
+				gotProc = v
+			}
+			if v, ok := strings.CutPrefix(kv, envCtrl+"="); ok {
+				gotCtrl = v
+			}
+		}
+		if gotProc != "1" || gotCtrl != "/run/ctrl.sock" {
+			t.Fatalf("env proc=%q ctrl=%q", gotProc, gotCtrl)
+		}
+	})
+	t.Run("ssh provider", func(t *testing.T) {
+		sp := spawn{proc: 3, host: hostfile.Host{Target: "deploy@node7", Procs: 1, Cmd: "/opt/tram/worker"}}
+		cmd := workerCommand(sp, "/bin/worker", "tcp://10.0.0.1:9000")
+		args := cmd.Args
+		if !strings.HasSuffix(args[0], "ssh") {
+			t.Fatalf("argv0 = %q, want ssh", args[0])
+		}
+		joined := strings.Join(args, " ")
+		for _, want := range []string{
+			"-o BatchMode=yes",
+			"deploy@node7",
+			" env ",
+			"'" + envProc + "=3'",
+			"'" + envCtrl + "=tcp://10.0.0.1:9000'",
+			"'/opt/tram/worker'",
+		} {
+			if !strings.Contains(joined, want) {
+				t.Fatalf("ssh command %q missing %q", joined, want)
+			}
+		}
+	})
+	t.Run("ssh defaults to coordinator executable", func(t *testing.T) {
+		cmd := workerCommand(spawn{proc: 0, host: hostfile.Host{Target: "node1"}}, "/bin/worker", "tcp://h:1")
+		if joined := strings.Join(cmd.Args, " "); !strings.Contains(joined, "'/bin/worker'") {
+			t.Fatalf("ssh command %q missing coordinator exe fallback", joined)
+		}
+	})
+	t.Run("fault specs are forwarded and quoted", func(t *testing.T) {
+		t.Setenv("TRAMLIB_FAULTS", "dist.send-batch:crash:proc=1;transport.tcp-write:drop")
+		cmd := workerCommand(spawn{proc: 1, host: hostfile.Host{Target: "node1"}}, "/bin/worker", "tcp://h:1")
+		joined := strings.Join(cmd.Args, " ")
+		if !strings.Contains(joined, "'TRAMLIB_FAULTS=dist.send-batch:crash:proc=1;transport.tcp-write:drop'") {
+			t.Fatalf("ssh command %q does not forward quoted fault spec", joined)
+		}
+	})
+}
+
+func TestShellQuote(t *testing.T) {
+	if got := shellQuote("a b;c"); got != "'a b;c'" {
+		t.Fatalf("shellQuote = %q", got)
+	}
+	if got := shellQuote("it's"); got != `'it'\''s'` {
+		t.Fatalf("shellQuote embedded quote = %q", got)
+	}
+}

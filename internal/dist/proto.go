@@ -45,7 +45,7 @@ type setupMsg struct {
 	Dir   string `json:"dir"`
 	// MaxFrameBytes caps data-plane frames.
 	MaxFrameBytes int `json:"max_frame_bytes"`
-	// Transport names the same-node peer data plane ("socket" or "shm";
+	// Transport names the peer data plane ("socket", "shm", or "tcp";
 	// empty means socket), Nodes maps each ProcID to a physical-node id
 	// (nil = all one node), and RingBytes sizes shm ring segments (0 =
 	// shmring default). Run layout, like Dir — not part of the config
@@ -53,6 +53,14 @@ type setupMsg struct {
 	Transport string `json:"transport,omitempty"`
 	Nodes     []int  `json:"nodes,omitempty"`
 	RingBytes int    `json:"ring_bytes,omitempty"`
+	// ListenAddrs[p] is proc p's TCP data-listener bind spec ("" = loopback
+	// ephemeral); KeepAlive is the TCP keepalive period; LinkDelay and
+	// LinkJitter configure injected per-frame latency on TCP links. All run
+	// layout, not part of the digest.
+	ListenAddrs []string      `json:"listen_addrs,omitempty"`
+	KeepAlive   time.Duration `json:"keep_alive,omitempty"`
+	LinkDelay   time.Duration `json:"link_delay,omitempty"`
+	LinkJitter  time.Duration `json:"link_jitter,omitempty"`
 	// SendDeadline bounds how long one data-plane send may block on
 	// backpressure before failing with transport.ErrStalled (the coordinator
 	// sets it from Config.RunTimeout; 0 leaves sends unbounded). Run layout,
@@ -64,9 +72,19 @@ type setupMsg struct {
 	Digest string `json:"digest"`
 }
 
-// listeningMsg is the opListening payload.
+// listeningMsg is the opListening payload. Addr is the worker's resolved
+// TCP data-listener address ("" for runs with no TCP links): TCP workers
+// bind an ephemeral port at Listen, so the real address exists only
+// worker-side and must travel back through the coordinator.
 type listeningMsg struct {
 	Digest string `json:"digest"`
+	Addr   string `json:"addr,omitempty"`
+}
+
+// connectMsg is the opConnect payload: every worker's gathered TCP data
+// address, indexed by proc (empty strings for non-TCP runs).
+type connectMsg struct {
+	Addrs []string `json:"addrs,omitempty"`
 }
 
 // countsMsg is the opCounts payload: one observation of the four-counter

@@ -6,6 +6,7 @@ import (
 	"net"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
 
 	"tramlib/internal/cluster"
@@ -214,10 +215,14 @@ func snapshotCounts(rtm *rt.Runtime) (sent, recv int64, quiet bool) {
 }
 
 // meshKindOf builds the per-peer transport selector a setup message
-// describes: shm for peers sharing the local process's node when the run
-// requests it, sockets otherwise. A nil node map places every process on
-// one node.
+// describes: every pair over TCP when the run requests it (the only kind
+// that crosses machines, so no pair may fall back to a same-box link), shm
+// for peers sharing the local process's node under the shm transport, and
+// sockets otherwise. A nil node map places every process on one node.
 func meshKindOf(setup setupMsg, self cluster.ProcID) func(int) transport.Kind {
+	if setup.Transport == transport.TCP.String() {
+		return func(int) transport.Kind { return transport.TCP }
+	}
 	if setup.Transport != transport.Shm.String() {
 		return nil // all-socket (the mesh default)
 	}
@@ -257,7 +262,13 @@ func runWorker(proc cluster.ProcID, ctrlPath string, build BuildFunc) error {
 	if ctrlPath == "" {
 		return fmt.Errorf("missing %s", envCtrl)
 	}
-	conn, err := net.Dial("unix", ctrlPath)
+	// The control endpoint is a Unix socket path, or tcp://host:port when
+	// the coordinator listens on TCP (remote workers, or ListenAddr set).
+	ctrlNet, ctrlAddr := "unix", ctrlPath
+	if addr, ok := strings.CutPrefix(ctrlPath, "tcp://"); ok {
+		ctrlNet, ctrlAddr = "tcp", addr
+	}
+	conn, err := net.Dial(ctrlNet, ctrlAddr)
 	if err != nil {
 		return fmt.Errorf("dial control: %w", err)
 	}
@@ -325,6 +336,10 @@ func runWorker(proc cluster.ProcID, ctrlPath string, build BuildFunc) error {
 	// Err for a clean peer close).
 	pr := &peerReader{rtm: rtm, topo: topo, proc: proc}
 	peerErr := make(chan transport.PeerExit, setup.Procs+1)
+	tcpListen := ""
+	if int(proc) < len(setup.ListenAddrs) {
+		tcpListen = setup.ListenAddrs[proc]
+	}
 	mesh := transport.NewMesh(transport.MeshConfig{
 		Dir:           setup.Dir,
 		Self:          int(proc),
@@ -333,6 +348,11 @@ func runWorker(proc cluster.ProcID, ctrlPath string, build BuildFunc) error {
 		RingBytes:     setup.RingBytes,
 		WaitDeadline:  setup.SendDeadline,
 		KindOf:        meshKindOf(setup, proc),
+		TCPListen:     tcpListen,
+		HelloDigest:   setup.Digest,
+		KeepAlive:     setup.KeepAlive,
+		LinkDelay:     setup.LinkDelay,
+		LinkJitter:    setup.LinkJitter,
 	}, pr.dispatchFrame, peerErr)
 	tr.mesh = mesh
 	defer mesh.Close()
@@ -342,7 +362,7 @@ func runWorker(proc cluster.ProcID, ctrlPath string, build BuildFunc) error {
 	if err := mesh.Listen(); err != nil {
 		return fail("listen", err)
 	}
-	if err := ctrl.send(self, opListening, listeningMsg{Digest: digest}); err != nil {
+	if err := ctrl.send(self, opListening, listeningMsg{Digest: digest, Addr: mesh.Addr()}); err != nil {
 		return lost("listen", err)
 	}
 
@@ -357,8 +377,12 @@ func runWorker(proc cluster.ProcID, ctrlPath string, build BuildFunc) error {
 	if f.Dest != opConnect {
 		return wrap("connect", fmt.Errorf("expected connect, got op %d", f.Dest))
 	}
+	cm, err := decode[connectMsg](f)
+	if err != nil {
+		return wrap("connect", err)
+	}
 	faultinject.Fire(faultinject.PointPhaseConnect)
-	if err := mesh.Connect(); err != nil {
+	if err := mesh.Connect(cm.Addrs); err != nil {
 		return fail("connect", err)
 	}
 	if err := ctrl.send(self, opReady, nil); err != nil {

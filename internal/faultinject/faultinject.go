@@ -66,6 +66,10 @@ const (
 	// PointRingWrite fires before each shm ring write; the error action
 	// tears the ring down mid-write ("close-ring-mid-write").
 	PointRingWrite = "transport.ring-write"
+	// PointTCPWrite fires before each TCP frame write; drop discards the
+	// encoded batch without writing ("silent drop on the network"), error
+	// fails the send the way a mid-write network fault would.
+	PointTCPWrite = "transport.tcp-write"
 	// PointCtrlDrop fires in the worker's control loop on each probe; the
 	// drop action closes the control connection ("drop-control-conn").
 	PointCtrlDrop = "dist.ctrl-drop"

@@ -32,6 +32,38 @@ type MeshConfig struct {
 	// It must be symmetric across processes (both sides of a pair must
 	// agree); nil selects Socket for every peer.
 	KindOf func(peer int) Kind
+	// TCPListen is the bind spec for this process's TCP data listener, used
+	// when any peer is TCP-kind; "" selects a loopback ephemeral port
+	// ("127.0.0.1:0"). After Listen, Addr reports the resolved address; the
+	// coordinator gathers every process's address and redistributes the full
+	// slice as Connect's peerAddrs argument.
+	TCPListen string
+	// HelloDigest authenticates inbound TCP dials: each dialer ships it as
+	// its PeerHello payload, and the accepting side closes connections whose
+	// digest differs. Unlike the Unix listener's strict accept path, a bad
+	// TCP hello never fails the mesh — the listener is network-reachable, so
+	// strays, mismatched digests, and half-open connections are dropped and
+	// the accept loop keeps going.
+	HelloDigest string
+	// HelloTimeout bounds how long an accepted TCP connection may take to
+	// deliver a valid PeerHello before being dropped (a half-open connection
+	// must not wedge establishment); <= 0 selects 10s.
+	HelloTimeout time.Duration
+	// KeepAlive sets the TCP keepalive probe period on TCP links so a dead
+	// remote machine surfaces as ErrPeerDead; 0 keeps the stack default.
+	KeepAlive time.Duration
+	// LinkDelay and LinkJitter inject artificial one-way latency on TCP
+	// links: each inbound frame waits LinkDelay plus a deterministic
+	// pseudo-random slice of LinkJitter before dispatch (see linkDelay).
+	LinkDelay, LinkJitter time.Duration
+}
+
+// helloTimeout returns the effective TCP hello deadline.
+func (c MeshConfig) helloTimeout() time.Duration {
+	if c.HelloTimeout > 0 {
+		return c.HelloTimeout
+	}
+	return 10 * time.Second
 }
 
 func (c MeshConfig) kindOf(peer int) Kind {
@@ -54,11 +86,15 @@ type Mesh struct {
 	mu    sync.Mutex
 	peers []PeerTransport
 	ln    net.Listener
+	tln   net.Listener
 	// recvRings[q] is the created (inbound) ring from shm peer q, mapped
 	// during Listen and bound into the link during Connect.
 	recvRings  []*shmring.Ring
 	inbound    int // socket peers expected to dial in
+	tcpInbound int // TCP peers expected to dial in
+	tcpSeen    int // TCP peers registered so far (under mu)
 	acceptDone chan error
+	tcpDone    chan error
 	closed     bool
 }
 
@@ -74,17 +110,18 @@ func NewMesh(cfg MeshConfig, handle Handler, errc chan<- PeerExit) *Mesh {
 		peers:      make([]PeerTransport, cfg.Procs),
 		recvRings:  make([]*shmring.Ring, cfg.Procs),
 		acceptDone: make(chan error, 1),
+		tcpDone:    make(chan error, 1),
 	}
 }
 
 // Listen brings up the inbound side: the ring segment this process reads
-// from each shm peer, and — if any peer is socket-kind — the data listener
-// plus a background accept loop for the higher-numbered socket peers that
-// will dial in during their Connect phase. After Listen returns (and the
-// coordinator's barrier confirms every process got here), remote peers may
-// establish.
+// from each shm peer, the Unix data listener (if any peer is socket-kind),
+// and the TCP data listener (if any peer is TCP-kind), each with a
+// background accept loop for the higher-numbered peers that will dial in
+// during their Connect phase. After Listen returns (and the coordinator's
+// barrier confirms every process got here), remote peers may establish.
 func (m *Mesh) Listen() error {
-	needListener := false
+	needSock, needTCP := false, false
 	for q := 0; q < m.cfg.Procs; q++ {
 		if q == m.cfg.Self {
 			continue
@@ -97,25 +134,57 @@ func (m *Mesh) Listen() error {
 			}
 			m.recvRings[q] = r
 		case Socket:
-			needListener = true
+			needSock = true
 			if q > m.cfg.Self {
 				m.inbound++
+			}
+		case TCP:
+			needTCP = true
+			if q > m.cfg.Self {
+				m.tcpInbound++
 			}
 		default:
 			return fmt.Errorf("transport: unknown kind %v for peer %d", m.cfg.kindOf(q), q)
 		}
 	}
-	if !needListener {
+	if !needSock {
 		m.acceptDone <- nil
-		return nil
+	} else {
+		ln, err := net.Listen("unix", sockPath(m.cfg.Dir, m.cfg.Self))
+		if err != nil {
+			return fmt.Errorf("transport: listen: %w", err)
+		}
+		m.ln = ln
+		go m.acceptLoop()
 	}
-	ln, err := net.Listen("unix", sockPath(m.cfg.Dir, m.cfg.Self))
-	if err != nil {
-		return fmt.Errorf("transport: listen: %w", err)
+	if !needTCP {
+		m.tcpDone <- nil
+	} else {
+		bind := m.cfg.TCPListen
+		if bind == "" {
+			bind = "127.0.0.1:0"
+		}
+		tln, err := net.Listen("tcp", bind)
+		if err != nil {
+			return fmt.Errorf("transport: tcp listen %s: %w", bind, err)
+		}
+		m.tln = tln
+		if m.tcpInbound == 0 {
+			m.tcpDone <- nil
+		}
+		go m.acceptTCPLoop()
 	}
-	m.ln = ln
-	go m.acceptLoop()
 	return nil
+}
+
+// Addr returns the TCP data listener's resolved address, or "" when no peer
+// is TCP-kind. Valid after Listen; each process reports it to the
+// coordinator, which redistributes the full per-process slice for Connect.
+func (m *Mesh) Addr() string {
+	if m.tln == nil {
+		return ""
+	}
+	return m.tln.Addr().String()
 }
 
 // acceptLoop accepts the expected inbound socket dials: read each dialer's
@@ -161,12 +230,77 @@ func (m *Mesh) acceptLoop() {
 	m.acceptDone <- nil
 }
 
+// acceptTCPLoop accepts inbound TCP dials until the listener closes.
+// Unlike the Unix accept path, it is tolerant: the listener is reachable by
+// anything that can route to the port, so a garbage hello, a digest
+// mismatch, a duplicate, or a half-open connection is closed and the loop
+// keeps accepting. Each hello is validated on its own goroutine under a
+// read deadline, so one wedged dialer cannot stall the peers behind it; the
+// coordinator's StartTimeout bounds overall establishment.
+func (m *Mesh) acceptTCPLoop() {
+	for {
+		c, err := m.tln.Accept()
+		if err != nil {
+			// Listener closed: teardown after establishment (tcpDone already
+			// holds nil, the send below hits the default) or a failure while
+			// Connect still waits (the error lands in the buffer).
+			select {
+			case m.tcpDone <- fmt.Errorf("transport: tcp accept: %w", err):
+			default:
+			}
+			return
+		}
+		go m.tcpHello(c)
+	}
+}
+
+// tcpHello validates one accepted TCP connection's PeerHello — well-formed
+// control frame, in-range higher-numbered TCP-kind source, matching config
+// digest, not a duplicate — and registers the link, or closes the
+// connection. The read deadline bounds half-open connections.
+func (m *Mesh) tcpHello(c net.Conn) {
+	_ = c.SetReadDeadline(time.Now().Add(m.cfg.helloTimeout()))
+	rd := wire.NewReader(c, m.cfg.MaxFrameBytes)
+	hello, err := rd.Next()
+	if err != nil || hello.Kind != wire.KindControl || hello.Dest != PeerHello {
+		c.Close()
+		return
+	}
+	q := int(hello.Source)
+	if q <= m.cfg.Self || q >= m.cfg.Procs || m.cfg.kindOf(q) != TCP {
+		c.Close()
+		return
+	}
+	if string(hello.Payload) != m.cfg.HelloDigest {
+		c.Close()
+		return
+	}
+	_ = c.SetReadDeadline(time.Time{})
+	p := newTCPPeer(m.cfg, q, c, rd)
+	m.mu.Lock()
+	if m.closed || m.peers[q] != nil {
+		m.mu.Unlock()
+		c.Close()
+		return
+	}
+	m.peers[q] = p
+	m.tcpSeen++
+	done := m.tcpSeen == m.tcpInbound
+	m.mu.Unlock()
+	m.startRecv(q, p)
+	if done {
+		m.tcpDone <- nil
+	}
+}
+
 // Connect establishes the outbound side — dial every lower-numbered socket
-// peer, open every shm peer's outbound ring — waits for the inbound socket
+// and TCP peer, open every shm peer's outbound ring — waits for the inbound
 // dials to land, and leaves one receive loop running per peer. It must be
 // called only after the coordinator's barrier confirms every process
-// finished Listen.
-func (m *Mesh) Connect() error {
+// finished Listen. peerAddrs maps proc id -> TCP data address (the gathered
+// Mesh.Addr values); it is ignored for non-TCP peers and may be nil in a
+// mesh with no TCP links.
+func (m *Mesh) Connect(peerAddrs []string) error {
 	for q := 0; q < m.cfg.Procs; q++ {
 		if q == m.cfg.Self {
 			continue
@@ -207,12 +341,36 @@ func (m *Mesh) Connect() error {
 			m.peers[q] = p
 			m.mu.Unlock()
 			m.startRecv(q, p)
+		case TCP:
+			if q > m.cfg.Self {
+				continue // it dials us; acceptTCPLoop registers it
+			}
+			if q >= len(peerAddrs) || peerAddrs[q] == "" {
+				return fmt.Errorf("transport: no address for tcp peer %d", q)
+			}
+			c, err := net.Dial("tcp", peerAddrs[q])
+			if err != nil {
+				return fmt.Errorf("transport: dial peer %d (%s): %w", q, peerAddrs[q], err)
+			}
+			p := newTCPPeer(m.cfg, q, c, wire.NewReader(c, m.cfg.MaxFrameBytes))
+			hello := wire.AppendControl(nil, uint32(m.cfg.Self), PeerHello, []byte(m.cfg.HelloDigest))
+			if _, err := c.Write(hello); err != nil {
+				c.Close()
+				return fmt.Errorf("transport: peer hello %d: %w", q, err)
+			}
+			m.mu.Lock()
+			m.peers[q] = p
+			m.mu.Unlock()
+			m.startRecv(q, p)
 		}
 	}
 	// Every peer entry must be in place before the caller reports Ready:
 	// once the coordinator broadcasts Start, any worker may send to any
 	// process immediately.
-	return <-m.acceptDone
+	if err := <-m.acceptDone; err != nil {
+		return err
+	}
+	return <-m.tcpDone
 }
 
 // startRecv runs one link's receive loop on its own goroutine, reporting
@@ -275,5 +433,8 @@ func (m *Mesh) Close() {
 	}
 	if m.ln != nil {
 		m.ln.Close()
+	}
+	if m.tln != nil {
+		m.tln.Close()
 	}
 }

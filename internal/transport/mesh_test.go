@@ -29,29 +29,40 @@ func (tm *testMesh) handle(f wire.Frame) error {
 }
 
 // buildMesh runs the coordinator's barrier discipline in-process: every
-// mesh Listens, then every mesh Connects (concurrently: socket dials block
-// until the dialed side accepts).
+// mesh Listens, the TCP data addresses are gathered (the coordinator's
+// Listening barrier), then every mesh Connects (concurrently: stream dials
+// block until the dialed side accepts).
 func buildMeshes(t *testing.T, procs int, kindOf func(self, peer int) Kind) []*testMesh {
+	return buildMeshesCfg(t, procs, kindOf, func(*MeshConfig) {})
+}
+
+func buildMeshesCfg(t *testing.T, procs int, kindOf func(self, peer int) Kind, tweak func(*MeshConfig)) []*testMesh {
 	t.Helper()
 	dir := t.TempDir()
 	tms := make([]*testMesh, procs)
 	for p := 0; p < procs; p++ {
 		p := p
 		tm := &testMesh{errc: make(chan PeerExit, procs+1)}
-		tm.m = NewMesh(MeshConfig{
+		cfg := MeshConfig{
 			Dir:   dir,
 			Self:  p,
 			Procs: procs,
 			KindOf: func(q int) Kind {
 				return kindOf(p, q)
 			},
-		}, tm.handle, tm.errc)
+		}
+		tweak(&cfg)
+		tm.m = NewMesh(cfg, tm.handle, tm.errc)
 		tms[p] = tm
 	}
 	for _, tm := range tms {
 		if err := tm.m.Listen(); err != nil {
 			t.Fatalf("Listen: %v", err)
 		}
+	}
+	addrs := make([]string, procs)
+	for p, tm := range tms {
+		addrs[p] = tm.m.Addr()
 	}
 	var wg sync.WaitGroup
 	errs := make(chan error, procs)
@@ -60,7 +71,7 @@ func buildMeshes(t *testing.T, procs int, kindOf func(self, peer int) Kind) []*t
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			errs <- tm.m.Connect()
+			errs <- tm.m.Connect(addrs)
 		}()
 	}
 	wg.Wait()
@@ -196,6 +207,10 @@ func TestMeshAllShm(t *testing.T) {
 	exerciseMesh(t, 3, func(self, peer int) Kind { return Shm })
 }
 
+func TestMeshAllTCP(t *testing.T) {
+	exerciseMesh(t, 3, func(self, peer int) Kind { return TCP })
+}
+
 func TestMeshMixed(t *testing.T) {
 	// Nodes {0,0,1}: the 0-1 pair shares a node (shm); everything touching
 	// proc 2 crosses nodes (socket) — the grouping the Dist coordinator
@@ -207,6 +222,43 @@ func TestMeshMixed(t *testing.T) {
 		}
 		return Socket
 	})
+}
+
+func TestMeshMixedTCP(t *testing.T) {
+	// The multi-node shape TCP exists for: same-node pairs on rings,
+	// node-crossing pairs on TCP streams.
+	nodes := []int{0, 0, 1}
+	exerciseMesh(t, 3, func(self, peer int) Kind {
+		if nodes[self] == nodes[peer] {
+			return Shm
+		}
+		return TCP
+	})
+}
+
+func TestMeshTCPInjectedLatency(t *testing.T) {
+	// Injected per-link latency must delay frames without corrupting or
+	// dropping them: the full exercise passes, just slower.
+	start := time.Now()
+	exerciseMesh(t, 2, func(self, peer int) Kind { return TCP })
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("latency-free exercise too slow: %v", time.Since(start))
+	}
+	tms := buildMeshesCfg(t, 2, func(self, peer int) Kind { return TCP }, func(c *MeshConfig) {
+		c.LinkDelay = 20 * time.Millisecond
+		c.LinkJitter = 5 * time.Millisecond
+	})
+	sent := time.Now()
+	if err := tms[0].m.Peer(1).SendPayloads(10, []uint64{1, 2, 3}, false); err != nil {
+		t.Fatalf("SendPayloads: %v", err)
+	}
+	tms[1].waitFrames(t, 1)
+	if d := time.Since(sent); d < 20*time.Millisecond {
+		t.Fatalf("frame arrived after %v, want >= the 20ms injected delay", d)
+	}
+	for _, tm := range tms {
+		tm.m.Close()
+	}
 }
 
 func TestMeshOldestNanos(t *testing.T) {
@@ -227,8 +279,8 @@ func TestMeshOldestNanos(t *testing.T) {
 }
 
 func TestKindString(t *testing.T) {
-	if Socket.String() != "socket" || Shm.String() != "shm" {
-		t.Fatalf("kind names: %q, %q", Socket, Shm)
+	if Socket.String() != "socket" || Shm.String() != "shm" || TCP.String() != "tcp" {
+		t.Fatalf("kind names: %q, %q, %q", Socket, Shm, TCP)
 	}
 	if s := Kind(9).String(); s != "kind(9)" {
 		t.Fatalf("unknown kind renders %q", s)

@@ -15,16 +15,25 @@ import (
 	"tramlib/internal/wire"
 )
 
-// socketPeer is the Unix-socket link: one bidirectional stream connection
-// per unordered peer pair, established by the higher-numbered process
-// dialing the lower-numbered one's listener. Encodes under a write lock
-// into a reused scratch buffer, then writes the frame in one syscall.
+// socketPeer is the stream link shared by the Unix-socket and TCP kinds:
+// one bidirectional stream connection per unordered peer pair, established
+// by the higher-numbered process dialing the lower-numbered one's listener.
+// Encodes under a write lock into a reused scratch buffer, then writes the
+// frame in one syscall.
 type socketPeer struct {
 	self      uint32
 	peer      int
 	conn      net.Conn
 	rd        *wire.Reader
 	writeWait time.Duration // per-write deadline; 0 = block indefinitely
+
+	// writePoint, when non-empty, names the faultinject point fired before
+	// each frame write (the TCP kind arms transport.tcp-write here).
+	writePoint string
+	// recvDelay, when non-nil, runs before each inbound frame is dispatched —
+	// the TCP kind's injected-latency hook. It is called only from the
+	// single receive goroutine.
+	recvDelay func()
 
 	mu     sync.Mutex
 	buf    []byte
@@ -62,6 +71,14 @@ func (p *socketPeer) SendRuns(destProc uint32, runs []wire.Run, full bool) error
 // a live peer that stopped draining (ErrStalled); anything after our own
 // Close is local teardown, left unclassified.
 func (p *socketPeer) write() error {
+	if p.writePoint != "" {
+		switch faultinject.Fire(p.writePoint) {
+		case faultinject.Drop:
+			return nil // silently discard the encoded batch
+		case faultinject.Error:
+			return fmt.Errorf("transport: peer %d write: injected fault", p.peer)
+		}
+	}
 	if p.writeWait > 0 {
 		_ = p.conn.SetWriteDeadline(time.Now().Add(p.writeWait))
 	}
@@ -91,6 +108,9 @@ func (p *socketPeer) RecvLoop(handle Handler) error {
 				return nil
 			}
 			return fmt.Errorf("transport: peer %d read: %w", p.peer, err)
+		}
+		if p.recvDelay != nil {
+			p.recvDelay()
 		}
 		switch faultinject.Fire(faultinject.PointRecvFrame) {
 		case faultinject.Drop:

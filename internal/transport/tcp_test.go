@@ -1,0 +1,173 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"tramlib/internal/faultinject"
+	"tramlib/internal/wire"
+)
+
+// expectClosed asserts the server side closed conn: a read must fail (EOF
+// or reset) within the deadline rather than block on an admitted link.
+func expectClosed(t *testing.T, c net.Conn, what string) {
+	t.Helper()
+	_ = c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var buf [1]byte
+	if _, err := c.Read(buf[:]); err == nil {
+		t.Fatalf("%s: connection still open (read succeeded), want closed", what)
+	}
+	c.Close()
+}
+
+// TestTCPHelloRejection drives the tolerant TCP accept path: garbage
+// hellos, digest mismatches, out-of-range sources, and half-open
+// connections are all dropped — and the legitimate peer still establishes
+// afterwards, proving the accept loop survives every rejection.
+func TestTCPHelloRejection(t *testing.T) {
+	const digest = "topo=test scheme=WW"
+	tms := make([]*testMesh, 2)
+	for p := 0; p < 2; p++ {
+		tm := &testMesh{errc: make(chan PeerExit, 4)}
+		tm.m = NewMesh(MeshConfig{
+			Dir:          t.TempDir(),
+			Self:         p,
+			Procs:        2,
+			KindOf:       func(int) Kind { return TCP },
+			HelloDigest:  digest,
+			HelloTimeout: 300 * time.Millisecond,
+		}, tm.handle, tm.errc)
+		tms[p] = tm
+	}
+	for _, tm := range tms {
+		if err := tm.m.Listen(); err != nil {
+			t.Fatalf("Listen: %v", err)
+		}
+	}
+	addrs := []string{tms[0].m.Addr(), tms[1].m.Addr()}
+	if addrs[0] == "" {
+		t.Fatal("mesh 0 reports no TCP address after Listen")
+	}
+
+	dial := func(what string) net.Conn {
+		c, err := net.Dial("tcp", addrs[0])
+		if err != nil {
+			t.Fatalf("%s: dial: %v", what, err)
+		}
+		return c
+	}
+
+	// 1: not a wire frame at all (a huge bogus length prefix).
+	garbage := dial("garbage")
+	if _, err := garbage.Write([]byte("\xff\xff\xff\xffnonsense")); err != nil {
+		t.Fatalf("garbage write: %v", err)
+	}
+	// 2: well-formed hello, wrong digest.
+	badDigest := dial("bad digest")
+	if _, err := badDigest.Write(wire.AppendControl(nil, 1, PeerHello, []byte("some other run"))); err != nil {
+		t.Fatalf("bad-digest write: %v", err)
+	}
+	// 3: right digest, impossible source proc.
+	badSource := dial("bad source")
+	if _, err := badSource.Write(wire.AppendControl(nil, 9, PeerHello, []byte(digest))); err != nil {
+		t.Fatalf("bad-source write: %v", err)
+	}
+	// 4: half-open — connects, never says hello. The hello deadline must
+	// reap it instead of letting it wedge establishment.
+	halfOpen := dial("half-open")
+
+	// The legitimate peer establishes after all four rejects.
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	for _, tm := range tms {
+		tm := tm
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- tm.m.Connect(addrs)
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("Connect: %v", err)
+		}
+	}
+
+	expectClosed(t, garbage, "garbage hello")
+	expectClosed(t, badDigest, "digest mismatch")
+	expectClosed(t, badSource, "invalid source")
+	expectClosed(t, halfOpen, "half-open connection")
+
+	// 5: a duplicate hello for an already-registered peer is also dropped.
+	dup := dial("duplicate")
+	if _, err := dup.Write(wire.AppendControl(nil, 1, PeerHello, []byte(digest))); err != nil {
+		t.Fatalf("duplicate write: %v", err)
+	}
+	expectClosed(t, dup, "duplicate hello")
+
+	// The established link still works.
+	if err := tms[1].m.Peer(0).SendItems(0, []wire.Item{{Dest: 3, Val: 42}}, false); err != nil {
+		t.Fatalf("SendItems after rejections: %v", err)
+	}
+	frames := tms[0].waitFrames(t, 1)
+	if frames[0].Source != 1 {
+		t.Fatalf("frame source %d, want 1", frames[0].Source)
+	}
+	for _, tm := range tms {
+		tm.m.Close()
+	}
+}
+
+// TestTCPWriteInjection exercises the transport.tcp-write fault point: the
+// error action must fail the send with a classified error, and the drop
+// action must silently discard exactly the targeted frame.
+func TestTCPWriteInjection(t *testing.T) {
+	// Covered end-to-end by the dist chaos matrix; here pin the link-level
+	// contract in isolation.
+	t.Run("error", func(t *testing.T) {
+		tms := buildTCPPairWithFault(t, "transport.tcp-write:error")
+		defer closeAll(tms)
+		err := tms[0].m.Peer(1).SendItems(1, []wire.Item{{Dest: 1, Val: 1}}, false)
+		if err == nil {
+			t.Fatal("injected tcp-write error did not fail the send")
+		}
+	})
+	t.Run("drop", func(t *testing.T) {
+		tms := buildTCPPairWithFault(t, "transport.tcp-write:drop")
+		defer closeAll(tms)
+		// First send is dropped on the floor; the second arrives.
+		if err := tms[0].m.Peer(1).SendItems(1, []wire.Item{{Dest: 1, Val: 1}}, false); err != nil {
+			t.Fatalf("dropped send errored: %v", err)
+		}
+		if err := tms[0].m.Peer(1).SendItems(1, []wire.Item{{Dest: 2, Val: 2}}, false); err != nil {
+			t.Fatalf("second send: %v", err)
+		}
+		frames := tms[1].waitFrames(t, 1)
+		var dest uint32
+		frames[0].EachItem(func(d uint32, v uint64) { dest = d })
+		if len(frames) != 1 || dest != 2 {
+			t.Fatalf("got %d frames (first dest %d), want only the second send", len(frames), dest)
+		}
+	})
+}
+
+func buildTCPPairWithFault(t *testing.T, spec string) []*testMesh {
+	t.Helper()
+	specs, err := faultinject.Parse(spec)
+	if err != nil {
+		t.Fatalf("parse fault spec: %v", err)
+	}
+	faultinject.Set(specs...)
+	t.Cleanup(faultinject.Reset)
+	return buildMeshes(t, 2, func(self, peer int) Kind { return TCP })
+}
+
+func closeAll(tms []*testMesh) {
+	for _, tm := range tms {
+		tm.m.Close()
+	}
+}

@@ -6,15 +6,14 @@
 // reports); everything peer-data — dialing, accepting, batch encode/send,
 // the per-peer receive loop, teardown — lives here.
 //
-// Two implementations exist, selected per peer pair by the mesh's node
+// Three implementations exist, selected per peer pair by the mesh's node
 // grouping:
 //
 //   - Socket: the PR-4 data plane — wire-framed batches on a full mesh of
 //     Unix-domain stream sockets. Every batch pays an encode into a scratch
 //     buffer, a write syscall, a kernel socket-buffer copy, and a read
 //     syscall. This is the "framed slow path" the paper's same-node argument
-//     is measured against, and the shape a future TCP multi-node transport
-//     will take.
+//     is measured against.
 //
 //   - Shm: an mmap-backed SPSC byte ring per *directed* peer pair
 //     (internal/transport/shmring). The sender encodes the identical wire
@@ -23,11 +22,23 @@
 //     a bounded-spin + park wakeup. This is the genuine shared-memory fast
 //     path for processes that share a physical node.
 //
-// Both implementations speak the exact same wire encoding, so a frame is a
+//   - TCP: the Socket link's framing and coalesced writes over a TCP stream,
+//     for peers on different machines. TCP_NODELAY keeps fine-grained
+//     latency-sensitive flushes from being Nagle-delayed, a configurable
+//     keepalive period makes a dead remote peer surface as ErrPeerDead (the
+//     same classification the run-level failure detector already consumes),
+//     and because a TCP listener is network-reachable — unlike a Unix socket
+//     inside a private run directory — the PeerHello carries the run's
+//     config digest, which the accepting side validates before admitting a
+//     link. TCP links can also inject deterministic per-frame latency
+//     (MeshConfig.LinkDelay/LinkJitter, tc-netem style but in process) so
+//     the paper's latency-sensitivity story is measurable on one box.
+//
+// All implementations speak the exact same wire encoding, so a frame is a
 // frame regardless of how it traveled: the receive dispatch, the validation
 // rules, and the four-counter quiescence accounting upstream are transport-
-// agnostic, and a run mixing both kinds (some peers same-node, some not) is
-// just a mesh whose links differ.
+// agnostic, and a run mixing kinds (some peers same-node, some not) is just
+// a mesh whose links differ.
 //
 // # Mesh establishment
 //
@@ -35,12 +46,15 @@
 // coordinator's handshake already has:
 //
 //	Listen   create the inbound endpoints: the Unix-socket listener (if any
-//	         peer is socket-kind) and the ring segments this process reads
-//	         (one per shm peer). After Listen, remote peers may establish.
-//	Connect  establish the outbound side — dial lower-numbered socket peers,
-//	         open the ring segments this process writes — wait for inbound
-//	         socket peers to finish dialing in, and start one receive loop
-//	         per peer.
+//	         peer is socket-kind), the TCP data listener (if any peer is
+//	         TCP-kind; its resolved address is Mesh.Addr, which the
+//	         coordinator gathers and redistributes), and the ring segments
+//	         this process reads (one per shm peer). After Listen, remote
+//	         peers may establish.
+//	Connect  establish the outbound side — dial lower-numbered socket and
+//	         TCP peers, open the ring segments this process writes — wait
+//	         for inbound socket and TCP peers to finish dialing in, and
+//	         start one receive loop per peer.
 //
 // The coordinator's Listening/Connect/Ready barriers order the phases
 // across processes: every Listen completes before any Connect begins, so an
@@ -82,6 +96,9 @@ const (
 	Socket Kind = iota
 	// Shm carries wire-encoded batches over mmap'd SPSC rings.
 	Shm
+	// TCP frames batches over a TCP stream (multi-node capable), with
+	// TCP_NODELAY, configurable keepalive, and a digest-validated hello.
+	TCP
 )
 
 // String names the kind for diagnostics and CLI flags.
@@ -91,6 +108,8 @@ func (k Kind) String() string {
 		return "socket"
 	case Shm:
 		return "shm"
+	case TCP:
+		return "tcp"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -98,7 +117,9 @@ func (k Kind) String() string {
 
 // PeerHello is the one control opcode on peer data links: the dialing or
 // ring-opening process identifies itself (frame Source = its proc id)
-// before any data frame.
+// before any data frame. On TCP links — whose listeners are reachable
+// beyond the run directory — the hello payload additionally carries the
+// run's config digest, validated by the accepting side.
 const PeerHello uint32 = 0x70656572 // "peer"
 
 // Handler consumes one decoded inbound data frame. It runs on the link's

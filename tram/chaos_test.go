@@ -1,7 +1,7 @@
 package tram_test
 
 // The public-surface chaos rotation: real application kernels, on every
-// aggregation scheme and both peer transports, with one worker process
+// aggregation scheme and every peer transport, with one worker process
 // SIGKILLed mid-run. Whatever the kernel's communication shape, the failure
 // must surface through the tram API as a *tram.PeerFailureError naming the
 // killed process and wrapping tram.ErrPeerDied — within a hard latency
@@ -124,15 +124,14 @@ func TestChaosRotation(t *testing.T) {
 	}
 	full := os.Getenv("TRAM_CHAOS") == "full"
 	schemes := tram.Schemes()
-	transports := []tram.DistTransport{tram.TransportSocket, tram.TransportShm}
+	transports := []tram.DistTransport{tram.TransportSocket, tram.TransportShm, tram.TransportTCP}
 	for ki, k := range chaosKernels(t) {
 		for si, s := range schemes {
 			for ti, tp := range transports {
 				if !full && (si != ki%len(schemes) || ti != ki%len(transports)) {
 					continue // rotate one cell per kernel by default
 				}
-				name := k.name + "/" + s.String() + "/" + map[tram.DistTransport]string{
-					tram.TransportSocket: "socket", tram.TransportShm: "shm"}[tp]
+				name := k.name + "/" + s.String() + "/" + string(tp)
 				t.Run(name, func(t *testing.T) {
 					chaosCell(t, k, s, tp)
 				})

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"tramlib/internal/core"
+	"tramlib/internal/dist/hostfile"
 	"tramlib/internal/rt"
 	"tramlib/internal/sim"
 	"tramlib/internal/transport/shmring"
@@ -85,7 +86,53 @@ const (
 	// parsed in place by the receiver. Pairs whose processes sit on
 	// different nodes (per DistOptions.Nodes) still use sockets.
 	TransportShm DistTransport = "shm"
+	// TransportTCP frames every peer pair's batches over TCP streams
+	// (TCP_NODELAY, optional keepalive, a digest-checked hello on accept).
+	// The only transport that can cross machines: with DistOptions.Hosts
+	// naming remote targets, workers are launched over SSH and dial each
+	// other by the addresses gathered through the coordinator.
+	TransportTCP DistTransport = "tcp"
 )
+
+// DistHost describes one machine of a Dist run and how many worker
+// processes it hosts. Build the slice directly or parse a host file with
+// ParseHostFile. Processes are assigned to hosts in slice order: the first
+// host gets ProcIDs 0..Procs-1, and so on; the totals must cover the
+// topology exactly.
+type DistHost struct {
+	// Target is the SSH destination ("node1", "deploy@10.0.0.2"), or
+	// "local"/"localhost" for processes forked on the coordinator's
+	// machine without SSH.
+	Target string
+	// Procs is how many worker processes run on this host (>= 1).
+	Procs int
+	// Listen, if non-empty, is the "host:port" the first worker on this
+	// target binds its data listener to; subsequent workers on the same
+	// target use consecutive ports (port 0 lets each pick an ephemeral
+	// port, usable only when the coordinator can route to whatever
+	// address the kernel reports). Empty binds 127.0.0.1:0 — local-only.
+	Listen string
+	// Cmd, if non-empty, overrides the worker executable path on this
+	// host (remote hosts otherwise re-run the coordinator's executable
+	// path verbatim, which assumes a shared filesystem layout).
+	Cmd string
+}
+
+// ParseHostFile reads a host file (one host per line: a target followed by
+// key=value options procs=, listen=, cmd=; '#' comments) into the slice
+// DistOptions.Hosts takes. See docs/DEPLOY.md for the format and a worked
+// deployment.
+func ParseHostFile(path string) ([]DistHost, error) {
+	hosts, err := hostfile.ParseFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tram: %w", err)
+	}
+	out := make([]DistHost, len(hosts))
+	for i, h := range hosts {
+		out[i] = DistHost{Target: h.Target, Procs: h.Procs, Listen: h.Listen, Cmd: h.Cmd}
+	}
+	return out, nil
+}
 
 // DistOptions are the Dist backend's knobs: the application registration the
 // worker processes rebuild, plus transport, socket, and framing parameters.
@@ -95,10 +142,10 @@ type DistOptions struct {
 	App string
 	// Params is handed verbatim to the registered builder in every process.
 	Params []byte
-	// Transport selects the same-node peer data plane: TransportSocket
-	// (also the "" default) or TransportShm. The transport changes how
+	// Transport selects the peer data plane: TransportSocket (also the ""
+	// default), TransportShm, or TransportTCP. The transport changes how
 	// bytes move, never what the run computes — the conformance suite pins
-	// socket and shm results element-wise identical.
+	// socket, shm, and tcp results element-wise identical.
 	Transport DistTransport
 	// Nodes maps each ProcID to a physical-node id, telling the coordinator
 	// which process pairs may share memory: same node id selects the shm
@@ -136,6 +183,30 @@ type DistOptions struct {
 	// means the wire package's default (64 MiB). Must fit a full buffer of
 	// items (12 bytes each plus a 20-byte frame header) when set.
 	MaxFrameBytes int
+
+	// Hosts places worker processes on machines (TransportTCP). Nil forks
+	// every process locally. With any remote target, Transport must be
+	// TransportTCP and ListenAddr must be set; the proc totals must cover
+	// the topology exactly. See ParseHostFile and docs/DEPLOY.md.
+	Hosts []DistHost
+	// ListenAddr, if non-empty, binds the coordinator's control endpoint
+	// on TCP at this "host:port" (port 0 for ephemeral) instead of a
+	// Unix socket. Required when Hosts names remote targets — it must be
+	// an address those machines can dial.
+	ListenAddr string
+	// KeepAlive sets the TCP keepalive probe period on peer data links,
+	// turning a vanished remote machine into ErrPeerDied instead of an
+	// indefinite stall. 0 keeps keepalive on at the OS default period.
+	// Ignored by the socket and shm transports.
+	KeepAlive time.Duration
+	// LinkDelay injects a fixed receive-side delay on every TCP peer
+	// frame — an in-process netem for testing latency sensitivity on one
+	// machine. Requires TransportTCP when positive.
+	LinkDelay time.Duration
+	// LinkJitter adds a deterministic per-frame pseudo-random delay in
+	// [0, LinkJitter) on top of LinkDelay (seeded per directed link, so
+	// runs are reproducible). Requires TransportTCP when positive.
+	LinkJitter time.Duration
 }
 
 // DefaultConfig returns the configuration the paper's main experiments use
@@ -231,10 +302,46 @@ func (c Config) Validate() error {
 		}
 	}
 	switch c.Dist.Transport {
-	case "", TransportSocket, TransportShm:
+	case "", TransportSocket, TransportShm, TransportTCP:
 	default:
-		return fmt.Errorf("tram: unknown Dist.Transport %q (want %q or %q)",
-			c.Dist.Transport, TransportSocket, TransportShm)
+		return fmt.Errorf("tram: unknown Dist.Transport %q (want %q, %q, or %q)",
+			c.Dist.Transport, TransportSocket, TransportShm, TransportTCP)
+	}
+	if c.Dist.KeepAlive < 0 {
+		return fmt.Errorf("tram: negative Dist.KeepAlive")
+	}
+	if c.Dist.LinkDelay < 0 {
+		return fmt.Errorf("tram: negative Dist.LinkDelay")
+	}
+	if c.Dist.LinkJitter < 0 {
+		return fmt.Errorf("tram: negative Dist.LinkJitter")
+	}
+	if (c.Dist.LinkDelay > 0 || c.Dist.LinkJitter > 0) && c.Dist.Transport != TransportTCP {
+		return fmt.Errorf("tram: Dist.LinkDelay/LinkJitter inject latency on TCP links only (set Dist.Transport = %q)", TransportTCP)
+	}
+	if len(c.Dist.Hosts) > 0 {
+		total, remote := 0, false
+		for i, h := range c.Dist.Hosts {
+			if h.Target == "" {
+				return fmt.Errorf("tram: Dist.Hosts[%d] has no target", i)
+			}
+			if h.Procs < 1 {
+				return fmt.Errorf("tram: Dist.Hosts[%d] (%s) has proc count %d", i, h.Target, h.Procs)
+			}
+			total += h.Procs
+			if h.Target != "local" && h.Target != "localhost" {
+				remote = true
+			}
+		}
+		if total != c.Topo.TotalProcs() {
+			return fmt.Errorf("tram: Dist.Hosts supplies %d procs for a %d-proc topology", total, c.Topo.TotalProcs())
+		}
+		if remote && c.Dist.Transport != TransportTCP {
+			return fmt.Errorf("tram: remote Dist.Hosts require Dist.Transport = %q", TransportTCP)
+		}
+		if remote && c.Dist.ListenAddr == "" {
+			return fmt.Errorf("tram: remote Dist.Hosts require Dist.ListenAddr (workers cannot dial a unix control socket)")
+		}
 	}
 	if c.Dist.Nodes != nil && len(c.Dist.Nodes) != c.Topo.TotalProcs() {
 		return fmt.Errorf("tram: Dist.Nodes has %d entries for %d processes",

@@ -1,6 +1,8 @@
 package tram
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -10,6 +12,16 @@ import (
 )
 
 func validConfig() Config { return DefaultConfig(SMP(2, 2, 2), WPs) }
+
+// hostsFor pads a host list with local procs so only the interesting host
+// trips validation, never the proc-total check.
+func hostsFor(topo Topology, h DistHost) []DistHost {
+	rest := topo.TotalProcs() - h.Procs
+	if rest <= 0 {
+		return []DistHost{h}
+	}
+	return []DistHost{h, {Target: "local", Procs: rest}}
+}
 
 // TestValidateRejectsEveryInvalidField drives one bad value through every
 // invalid-field branch reachable from tram.Config.Validate — its own topology
@@ -50,6 +62,34 @@ func TestValidateRejectsEveryInvalidField(t *testing.T) {
 			c.Dist.Transport = TransportShm
 			c.BufferItems = 1 << 20 // 2*(16 MiB + 20) > the 1 MiB default ring
 		}, "half the ring"},
+		{"negative Dist.KeepAlive", func(c *Config) { c.Dist.KeepAlive = -time.Second }, "KeepAlive"},
+		{"negative Dist.LinkDelay", func(c *Config) { c.Dist.LinkDelay = -time.Millisecond }, "LinkDelay"},
+		{"negative Dist.LinkJitter", func(c *Config) { c.Dist.LinkJitter = -time.Millisecond }, "LinkJitter"},
+		{"latency injection without tcp", func(c *Config) { c.Dist.LinkDelay = time.Millisecond }, "TCP links only"},
+		{"jitter without tcp", func(c *Config) {
+			c.Dist.Transport = TransportShm
+			c.Dist.LinkJitter = time.Millisecond
+		}, "TCP links only"},
+		{"host without target", func(c *Config) {
+			c.Dist.Hosts = hostsFor(c.Topo, DistHost{Procs: 1})
+		}, "no target"},
+		{"host with zero procs", func(c *Config) {
+			c.Dist.Hosts = hostsFor(c.Topo, DistHost{Target: "node1", Procs: 0})
+		}, "proc count"},
+		{"hosts undersupply procs", func(c *Config) {
+			c.Dist.Hosts = []DistHost{{Target: "local", Procs: 1}}
+		}, "supplies 1 procs"},
+		{"hosts oversupply procs", func(c *Config) {
+			c.Dist.Hosts = []DistHost{{Target: "local", Procs: c.Topo.TotalProcs() + 1}}
+		}, "procs for a"},
+		{"remote hosts without tcp", func(c *Config) {
+			c.Dist.Hosts = hostsFor(c.Topo, DistHost{Target: "node1", Procs: 1})
+			c.Dist.ListenAddr = "10.0.0.1:9000"
+		}, "require Dist.Transport"},
+		{"remote hosts without ListenAddr", func(c *Config) {
+			c.Dist.Transport = TransportTCP
+			c.Dist.Hosts = hostsFor(c.Topo, DistHost{Target: "node1", Procs: 1})
+		}, "ListenAddr"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -121,6 +161,55 @@ func TestValidateAcceptsDistKnobs(t *testing.T) {
 	cfg.Dist.RingBytes = 0
 	if err := cfg.Validate(); err != nil {
 		t.Fatalf("socket-configured config invalid: %v", err)
+	}
+	// The tcp transport with latency injection, keepalive, a remote host
+	// list, and a control endpoint — the full multi-node surface.
+	cfg.Dist.Transport = TransportTCP
+	cfg.Dist.KeepAlive = 15 * time.Second
+	cfg.Dist.LinkDelay = 2 * time.Millisecond
+	cfg.Dist.LinkJitter = time.Millisecond
+	cfg.Dist.Hosts = []DistHost{
+		{Target: "local", Procs: 1},
+		{Target: "deploy@node1", Procs: cfg.Topo.TotalProcs() - 1, Listen: "10.0.0.2:9100", Cmd: "/opt/tram/worker"},
+	}
+	cfg.Dist.ListenAddr = "10.0.0.1:9000"
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("tcp-configured config invalid: %v", err)
+	}
+}
+
+func TestParseHostFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hosts")
+	content := "# cluster\nlocal procs=2\ndeploy@node1 procs=2 listen=10.0.0.2:9100 cmd=/opt/tram/worker\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hosts, err := ParseHostFile(path)
+	if err != nil {
+		t.Fatalf("ParseHostFile: %v", err)
+	}
+	want := []DistHost{
+		{Target: "local", Procs: 2},
+		{Target: "deploy@node1", Procs: 2, Listen: "10.0.0.2:9100", Cmd: "/opt/tram/worker"},
+	}
+	if len(hosts) != len(want) {
+		t.Fatalf("hosts = %+v, want %+v", hosts, want)
+	}
+	for i := range hosts {
+		if hosts[i] != want[i] {
+			t.Fatalf("host %d = %+v, want %+v", i, hosts[i], want[i])
+		}
+	}
+	// A parsed host file drops straight into a valid config.
+	cfg := validConfig()
+	cfg.Dist.Transport = TransportTCP
+	cfg.Dist.ListenAddr = "10.0.0.1:9000"
+	cfg.Dist.Hosts = hosts
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("parsed host list invalid: %v", err)
+	}
+	if _, err := ParseHostFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("ParseHostFile on a missing file succeeded")
 	}
 }
 

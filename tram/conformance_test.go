@@ -3,9 +3,9 @@ package tram_test
 // The cross-backend conformance suite: every application kernel, on every
 // aggregation scheme, must produce backend-independent results on Sim
 // (deterministic simulator), Real (goroutines in one address space), and
-// Dist (one OS process per ProcID) — the last under both peer transports,
-// wire-framed Unix sockets and mmap'd shared-memory rings. Each application
-// pins the strongest invariant it has:
+// Dist (one OS process per ProcID) — the last under all three peer
+// transports: wire-framed Unix sockets, mmap'd shared-memory rings, and TCP
+// streams. Each application pins the strongest invariant it has:
 //
 //	histogram     tables element-wise equal to a serial replay of the RNG
 //	index-gather  response completeness (every request answered exactly once)
@@ -41,8 +41,8 @@ func TestMain(m *testing.M) {
 func confTopo() tram.Topology { return tram.SMP(2, 1, 2) }
 
 // backendCell is one execution engine under test. The Dist backend appears
-// twice — once per peer transport — so every kernel x scheme cell runs over
-// both the socket and the shared-memory-ring data planes.
+// once per peer transport, so every kernel x scheme cell runs over the
+// socket, shared-memory-ring, and TCP data planes.
 type backendCell struct {
 	name      string
 	b         tram.Backend
@@ -59,6 +59,7 @@ func backends() []backendCell {
 		{name: "real", b: tram.Real},
 		{name: "dist-socket", b: tram.Dist, transport: tram.TransportSocket},
 		{name: "dist-shm", b: tram.Dist, transport: tram.TransportShm},
+		{name: "dist-tcp", b: tram.Dist, transport: tram.TransportTCP},
 	}
 }
 
@@ -264,12 +265,15 @@ func TestConformancePHOLD(t *testing.T) {
 	})
 }
 
+// distTransports are the Dist data planes the acceptance pin sweeps.
+var distTransports = []tram.DistTransport{tram.TransportSocket, tram.TransportShm, tram.TransportTCP}
+
 // TestConformanceDistMatchesReal is the acceptance pin: histogram,
 // index-gather, and ping-ack on tram.Dist across >= 2 OS processes — over
-// BOTH peer transports — produce results identical to tram.Real (itself
-// already validated against the serial replays above), and the socket and
-// shm data planes are element-wise identical to each other: the transport
-// moves bytes, it never changes what the run computes.
+// ALL THREE peer transports — produce results identical to tram.Real
+// (itself already validated against the serial replays above), and the
+// socket, shm, and tcp data planes are element-wise identical to each
+// other: the transport moves bytes, it never changes what the run computes.
 func TestConformanceDistMatchesReal(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns processes")
@@ -285,36 +289,30 @@ func TestConformanceDistMatchesReal(t *testing.T) {
 	hcfg.SlotsPerPE = 32
 	hcfg.Tram.BufferItems = 64
 	hReal := histogram.RunOn(tram.Real, hcfg)
-	hcfg.Tram.Dist.Transport = tram.TransportSocket
-	hSock := histogram.RunOn(tram.Dist, hcfg)
-	hcfg.Tram.Dist.Transport = tram.TransportShm
-	hShm := histogram.RunOn(tram.Dist, hcfg)
-	for w := 0; w < W; w++ {
-		for s := range hReal.Tables[w] {
-			if hReal.Tables[w][s] != hSock.Tables[w][s] {
-				t.Fatalf("histogram table[%d][%d]: real %d != dist/socket %d", w, s, hReal.Tables[w][s], hSock.Tables[w][s])
-			}
-			if hSock.Tables[w][s] != hShm.Tables[w][s] {
-				t.Fatalf("histogram table[%d][%d]: dist/socket %d != dist/shm %d", w, s, hSock.Tables[w][s], hShm.Tables[w][s])
+	for _, tr := range distTransports {
+		hcfg.Tram.Dist.Transport = tr
+		hDist := histogram.RunOn(tram.Dist, hcfg)
+		for w := 0; w < W; w++ {
+			for s := range hReal.Tables[w] {
+				if hReal.Tables[w][s] != hDist.Tables[w][s] {
+					t.Fatalf("histogram table[%d][%d]: real %d != dist/%s %d", w, s, hReal.Tables[w][s], tr, hDist.Tables[w][s])
+				}
 			}
 		}
-	}
-	if hReal.TotalUpdates != hSock.TotalUpdates || hSock.TotalUpdates != hShm.TotalUpdates {
-		t.Fatalf("histogram totals: real %d, dist/socket %d, dist/shm %d",
-			hReal.TotalUpdates, hSock.TotalUpdates, hShm.TotalUpdates)
+		if hReal.TotalUpdates != hDist.TotalUpdates {
+			t.Fatalf("histogram totals: real %d, dist/%s %d", hReal.TotalUpdates, tr, hDist.TotalUpdates)
+		}
 	}
 
 	icfg := indexgather.DefaultConfig(topo, tram.PP)
 	icfg.RequestsPerPE = 1500
 	icfg.Tram.BufferItems = 64
 	iReal := indexgather.RunOn(tram.Real, icfg)
-	icfg.Tram.Dist.Transport = tram.TransportSocket
-	iSock := indexgather.RunOn(tram.Dist, icfg)
-	icfg.Tram.Dist.Transport = tram.TransportShm
-	iShm := indexgather.RunOn(tram.Dist, icfg)
-	if iReal.Responses != iSock.Responses || iSock.Responses != iShm.Responses {
-		t.Fatalf("index-gather responses: real %d, dist/socket %d, dist/shm %d",
-			iReal.Responses, iSock.Responses, iShm.Responses)
+	for _, tr := range distTransports {
+		icfg.Tram.Dist.Transport = tr
+		if iDist := indexgather.RunOn(tram.Dist, icfg); iReal.Responses != iDist.Responses {
+			t.Fatalf("index-gather responses: real %d, dist/%s %d", iReal.Responses, tr, iDist.Responses)
+		}
 	}
 
 	pcfg := pingack.DefaultConfig()
@@ -322,11 +320,10 @@ func TestConformanceDistMatchesReal(t *testing.T) {
 	pcfg.ProcsPerNode = 2
 	pcfg.TotalMessages = 1000
 	pReal := pingack.RunOn(tram.Real, pcfg)
-	pcfg.Transport = tram.TransportSocket
-	pSock := pingack.RunOn(tram.Dist, pcfg)
-	pcfg.Transport = tram.TransportShm
-	pShm := pingack.RunOn(tram.Dist, pcfg)
-	if pReal.Acks != pSock.Acks || pSock.Acks != pShm.Acks {
-		t.Fatalf("ping-ack acks: real %d, dist/socket %d, dist/shm %d", pReal.Acks, pSock.Acks, pShm.Acks)
+	for _, tr := range distTransports {
+		pcfg.Transport = tr
+		if pDist := pingack.RunOn(tram.Dist, pcfg); pReal.Acks != pDist.Acks {
+			t.Fatalf("ping-ack acks: real %d, dist/%s %d", pReal.Acks, tr, pDist.Acks)
+		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"tramlib/internal/cluster"
 	"tramlib/internal/dist"
+	"tramlib/internal/dist/hostfile"
 	"tramlib/internal/transport"
 )
 
@@ -34,10 +35,13 @@ import (
 // the per-process blobs in Metrics.Reports.
 
 // Dist is the multi-process backend: every ProcID of the topology is a real
-// OS process (self-exec'd and coordinated by the parent over Unix-domain
-// sockets); intra-process traffic uses the same lock-free shared-memory
-// buffers as Real, while process-crossing batches are framed onto the
-// socket mesh. Metrics are wall-clock, aggregated from per-process reports.
+// OS process — self-exec'd locally, or launched over SSH onto the machines
+// DistOptions.Hosts names — coordinated by the parent over a Unix-domain or
+// TCP control connection. Intra-process traffic uses the same lock-free
+// shared-memory buffers as Real, while process-crossing batches are framed
+// onto the peer mesh (unix sockets, shm rings, or TCP streams per
+// DistOptions.Transport). Metrics are wall-clock, aggregated from
+// per-process reports.
 var Dist Backend = distBackend{}
 
 // IsDist reports whether b is the multi-process backend (applications use it
@@ -166,8 +170,15 @@ func (distBackend) run(cfg Config, _ rawApp) (Metrics, error) {
 		return Metrics{}, fmt.Errorf("tram: no dist registration %q", cfg.Dist.App)
 	}
 	kind := transport.Socket
-	if cfg.Dist.Transport == TransportShm {
+	switch cfg.Dist.Transport {
+	case TransportShm:
 		kind = transport.Shm
+	case TransportTCP:
+		kind = transport.TCP
+	}
+	var hosts []hostfile.Host
+	for _, h := range cfg.Dist.Hosts {
+		hosts = append(hosts, hostfile.Host{Target: h.Target, Procs: h.Procs, Listen: h.Listen, Cmd: h.Cmd})
 	}
 	start := time.Now()
 	res, err := dist.Run(dist.Config{
@@ -183,6 +194,11 @@ func (distBackend) run(cfg Config, _ rawApp) (Metrics, error) {
 		Transport:         kind,
 		Nodes:             cfg.Dist.Nodes,
 		RingBytes:         cfg.Dist.RingBytes,
+		Hosts:             hosts,
+		ListenAddr:        cfg.Dist.ListenAddr,
+		KeepAlive:         cfg.Dist.KeepAlive,
+		LinkDelay:         cfg.Dist.LinkDelay,
+		LinkJitter:        cfg.Dist.LinkJitter,
 	})
 	if err != nil {
 		return Metrics{}, err

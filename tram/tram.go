@@ -22,14 +22,17 @@
 //     buffers (internal/rt + internal/shmem): wall-clock metrics measured on
 //     the host, every "process" of the topology in one address space.
 //   - Dist runs each ProcID as a real OS process (internal/dist +
-//     internal/wire): the binary re-executes itself once per process,
+//     internal/wire): the binary re-executes itself once per process (or,
+//     with Config.Dist.Hosts, workers launch over SSH on other machines),
 //     intra-process traffic keeps the shared-memory buffers, and
 //     process-crossing batches are length-prefix framed onto a mesh of
-//     Unix-domain sockets. Because worker processes are fresh executions,
-//     Dist apps are registered by name (RegisterDist) and rebuilt from
-//     serialized parameters — call Main first thing in main — and
-//     application results come back as per-process reports
-//     (Metrics.Reports).
+//     peer links — Unix-domain sockets, mmap'd shared-memory rings, or TCP
+//     streams, per Config.Dist.Transport. Because worker processes are
+//     fresh executions, Dist apps are registered by name (RegisterDist) and
+//     rebuilt from serialized parameters — call Main first thing in main —
+//     and application results come back as per-process reports
+//     (Metrics.Reports). See ARCHITECTURE.md for the seams and
+//     docs/DEPLOY.md for multi-machine deployment and the failure model.
 //
 // Every backend hands kernels the same Ctx interface (Self / Proc / Send /
 // Contribute / Flush, plus Charge / Now / Post for cost modelling and local
