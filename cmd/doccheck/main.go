@@ -1,5 +1,5 @@
 // Command doccheck gates the documentation layer in CI. The prose documents
-// (README.md, ARCHITECTURE.md, docs/DEPLOY.md) make checkable claims —
+// (README.md, ARCHITECTURE.md, docs/DEPLOY.md, docs/SERVE.md) make checkable claims —
 // links to files in this repository, names of identifiers in the tram
 // package, fault-injection point strings, transport kind strings, and the
 // list of CI jobs — and every one of those claims rots silently when the
@@ -37,7 +37,7 @@ import (
 )
 
 // docFiles are the prose documents under contract, relative to the root.
-var docFiles = []string{"README.md", "ARCHITECTURE.md", "docs/DEPLOY.md"}
+var docFiles = []string{"README.md", "ARCHITECTURE.md", "docs/DEPLOY.md", "docs/SERVE.md"}
 
 var (
 	linkRe  = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)

@@ -22,9 +22,21 @@
 // committed). Tiny baselines are compared with an absolute slack so a
 // 0.0000‰ noise blip cannot fail a 0.00002 allocs/event point.
 //
+// With -serve-fresh, perfcheck also (or instead) gates the tramserve
+// trajectory: the fresh tramlab -serve-json document against the committed
+// BENCH_serve.json baseline. Serve gating runs the other way around — it is
+// a throughput floor, not an allocation ceiling: every baseline point marked
+// "gate" (the sustained-throughput and client-scale points; the paced
+// latency-curve points are reported, never gated) must achieve at least
+// baseline * (1 - serve-tol) acked events/sec. The default -serve-tol is
+// deliberately loose (50%): absolute throughput varies with the CI runner,
+// while a genuine serve-path regression (a lost fast path, an accidental
+// serialization) costs integer factors.
+//
 // Usage:
 //
 //	perfcheck -base BENCH_core.json -fresh fresh.json [-tol 0.10] [-real-tol 0.50] [-dist-tol 0.75] [-shm-tol 0.75] [-tcp-tol 0.75]
+//	perfcheck -serve-base BENCH_serve.json -serve-fresh fresh_serve.json [-serve-tol 0.50]
 package main
 
 import (
@@ -52,6 +64,78 @@ func load(path string) (bench.Perf, error) {
 	return p, nil
 }
 
+// loadServe reads a tramlab -serve-json document.
+func loadServe(path string) (bench.ServePerf, error) {
+	var p bench.ServePerf
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return p, err
+	}
+	if err := json.Unmarshal(data, &p); err != nil {
+		return p, fmt.Errorf("%s: %w", path, err)
+	}
+	if p.Schema != bench.ServeSchema {
+		return p, fmt.Errorf("%s: unexpected schema %q", path, p.Schema)
+	}
+	return p, nil
+}
+
+// checkServe gates the serve trajectory: a throughput floor on the gated
+// points, lost-coverage detection on all of them. Returns true on failure.
+func checkServe(basePath, freshPath string, tol float64) bool {
+	base, err := loadServe(basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfcheck:", err)
+		os.Exit(2)
+	}
+	fresh, err := loadServe(freshPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfcheck:", err)
+		os.Exit(2)
+	}
+	freshByName := map[string]bench.ServePoint{}
+	for _, p := range fresh.Points {
+		freshByName[p.Name] = p
+	}
+	failed := false
+	for _, b := range base.Points {
+		f, ok := freshByName[b.Name]
+		if !ok {
+			fmt.Printf("FAIL %-22s missing from fresh serve run (lost coverage)\n", b.Name)
+			failed = true
+			continue
+		}
+		if !b.Gate {
+			fmt.Printf("info %-22s events/sec %.0f -> %.0f  p99 %.2fms -> %.2fms (curve point, not gated)\n",
+				b.Name, b.AchievedEPS, f.AchievedEPS, float64(b.P99AckNS)/1e6, float64(f.P99AckNS)/1e6)
+			continue
+		}
+		floor := b.AchievedEPS * (1 - tol)
+		status := "ok  "
+		if f.AchievedEPS < floor {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %-22s events/sec %.0f -> %.0f (floor %.0f)  p99 %.2fms -> %.2fms\n",
+			status, b.Name, b.AchievedEPS, f.AchievedEPS, floor,
+			float64(b.P99AckNS)/1e6, float64(f.P99AckNS)/1e6)
+	}
+	for _, f := range fresh.Points {
+		if _, seen := func() (bench.ServePoint, bool) {
+			for _, b := range base.Points {
+				if b.Name == f.Name {
+					return b, true
+				}
+			}
+			return bench.ServePoint{}, false
+		}(); !seen {
+			fmt.Printf("new  %-22s events/sec %.0f (no baseline; commit the fresh JSON to adopt)\n",
+				f.Name, f.AchievedEPS)
+		}
+	}
+	return failed
+}
+
 func main() {
 	var (
 		basePath  = flag.String("base", "BENCH_core.json", "committed baseline JSON")
@@ -62,11 +146,23 @@ func main() {
 		shmTol    = flag.Float64("shm-tol", 0.75, "allowed relative increase for dist-shm-* (shared-memory transport) points")
 		tcpTol    = flag.Float64("tcp-tol", 0.75, "allowed relative increase for dist-tcp-* (TCP transport) points")
 		slack     = flag.Float64("slack", 0.02, "absolute allocs_per_event slack added to every bound")
+
+		serveBase  = flag.String("serve-base", "BENCH_serve.json", "committed tramserve baseline JSON")
+		serveFresh = flag.String("serve-fresh", "", "freshly generated tramlab -serve-json document to check")
+		serveTol   = flag.Float64("serve-tol", 0.50, "allowed relative achieved-events/sec decrease for gated serve points")
 	)
 	flag.Parse()
-	if *freshPath == "" {
-		fmt.Fprintln(os.Stderr, "perfcheck: -fresh is required")
+	if *freshPath == "" && *serveFresh == "" {
+		fmt.Fprintln(os.Stderr, "perfcheck: -fresh or -serve-fresh is required")
 		os.Exit(2)
+	}
+	if *freshPath == "" {
+		if checkServe(*serveBase, *serveFresh, *serveTol) {
+			fmt.Println("perfcheck: serve throughput regression detected")
+			os.Exit(1)
+		}
+		fmt.Println("perfcheck: ok")
+		return
 	}
 
 	base, err := load(*basePath)
@@ -128,8 +224,11 @@ func main() {
 				f.Name, f.AllocsPerEvent)
 		}
 	}
+	if *serveFresh != "" && checkServe(*serveBase, *serveFresh, *serveTol) {
+		failed = true
+	}
 	if failed {
-		fmt.Println("perfcheck: allocation regression detected")
+		fmt.Println("perfcheck: regression detected")
 		os.Exit(1)
 	}
 	fmt.Println("perfcheck: ok")

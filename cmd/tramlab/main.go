@@ -13,6 +13,8 @@
 //	tramlab -fig 12 -csv             # machine-readable output
 //	tramlab -fig 3 -quiet            # suppress progress lines on stderr
 //	tramlab -bench-json BENCH_core.json      # emit the engine perf trajectory
+//	tramlab -serve-json BENCH_serve.json     # emit the tramserve throughput +
+//	                                 # ack-latency-vs-offered-load trajectory
 //	tramlab -real                    # run kernels on the real goroutine runtime
 //	                                 # and print simulated-vs-measured tables
 //	tramlab -backend dist            # run kernels across real OS processes
@@ -58,6 +60,7 @@ func main() {
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		quiet     = flag.Bool("quiet", false, "suppress progress output on stderr")
 		benchJSON = flag.String("bench-json", "", "measure engine perf (events/sec, allocs/event, harness scaling) and write JSON to this file ('-' for stdout)")
+		serveJSON = flag.String("serve-json", "", "measure the tramserve subsystem (sustained throughput, p99 ack latency vs offered load, the 100k-client scale point) and write JSON to this file ('-' for stdout)")
 		real      = flag.Bool("real", false, "run the kernels on the real-concurrency runtime (goroutines + lock-free buffers) and emit simulated-vs-measured tables")
 		backend   = flag.String("backend", "", "comparison tables to run: 'real' (sim vs goroutine runtime, same as -real) or 'dist' (goroutine runtime vs one OS process per ProcID)")
 		trans     = flag.String("transport", "socket", "dist peer data plane for the index-gather and ping-ack tables: 'socket' (wire-framed Unix sockets), 'shm' (mmap'd shared-memory rings), or 'tcp' (loopback TCP streams); the dist histogram table always compares all three")
@@ -125,7 +128,26 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tramlab:", err)
 			os.Exit(1)
 		}
-		if !*all && *fig == "" && !*real {
+		if !*all && *fig == "" && !*real && *serveJSON == "" {
+			return
+		}
+	}
+
+	if *serveJSON != "" {
+		perf := bench.ServeCurve(opts)
+		out, err := json.MarshalIndent(perf, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tramlab:", err)
+			os.Exit(1)
+		}
+		out = append(out, '\n')
+		if *serveJSON == "-" {
+			os.Stdout.Write(out)
+		} else if err := os.WriteFile(*serveJSON, out, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "tramlab:", err)
+			os.Exit(1)
+		}
+		if !*all && *fig == "" && !*real && *backend != "dist" {
 			return
 		}
 	}

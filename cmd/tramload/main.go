@@ -1,0 +1,178 @@
+// Command tramload drives load into a tramserve frontend: N simulated
+// clients — each an independent event source — multiplexed over a handful of
+// TCP connections (the standard way to model 10^5..10^6 fine-grained
+// producers from one box), paced to an offered rate or running as fast as
+// backpressure admits. It reports throughput and ack-latency quantiles as a
+// JSON LoadReport (internal/serve).
+//
+// Two modes:
+//
+//	tramload -addr 127.0.0.1:7600 -workers 8     # against a running tramserve
+//	tramload -self real                           # self-contained: starts the
+//	                                              # server in-process, loads,
+//	                                              # drains, verifies zero loss
+//	tramload -self dist -procs 2 -workers 4       # same across OS processes
+//
+// In -self mode the run ends with the server's graceful drain and the exit
+// status asserts the service contract: every acknowledged event must appear
+// in the drained account (zero loss) and throughput must be nonzero — the CI
+// smoke runs exactly this. Against -addr the server stays up; the run
+// barriers on acknowledgments only.
+//
+// Usage:
+//
+//	tramload -self real -clients 100000 -conns 64 -events 10
+//	tramload -addr :7600 -workers 8 -clients 50000 -conns 32 -events 20 -rate 200000
+//	tramload -self real -json -                   # LoadReport on stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tramlib/internal/apps/serveagg"
+	"tramlib/internal/serve"
+	"tramlib/tram"
+)
+
+func main() {
+	// Dist worker processes (tramload re-executes itself for -self dist) run
+	// their share here and exit; every other invocation continues.
+	tram.Main()
+	var (
+		addr      = flag.String("addr", "", "address of a running tramserve frontend")
+		self      = flag.String("self", "", "start the server in this process: 'real' or 'dist' (mutually exclusive with -addr)")
+		transport = flag.String("transport", "socket", "dist peer data plane for -self dist: socket, shm, or tcp")
+		nodes     = flag.Int("nodes", 1, "-self topology: nodes")
+		procs     = flag.Int("procs", 2, "-self topology: processes per node")
+		workers   = flag.Int("workers", 4, "workers per process (destination space; for -addr it must match the server)")
+		scheme    = flag.String("scheme", "WPs", "-self aggregation scheme")
+		deadline  = flag.Duration("deadline", 200*time.Microsecond, "-self flush deadline")
+		clients   = flag.Int("clients", 100_000, "simulated client event sources")
+		conns     = flag.Int("conns", 64, "TCP connections multiplexing them")
+		events    = flag.Int("events", 10, "events per simulated client")
+		rate      = flag.Float64("rate", 0, "aggregate offered load in events/sec (0 = unpaced)")
+		window    = flag.Int("window", 0, "per-connection unacked-event window (0 = client default)")
+		batch     = flag.Int("batch", 0, "per-connection send batch (0 = client default)")
+		seed      = flag.Int64("seed", 1, "destination stream seed")
+		jsonOut   = flag.String("json", "", "write the LoadReport JSON to this file ('-' for stdout)")
+	)
+	flag.Parse()
+	if (*addr == "") == (*self == "") {
+		fmt.Fprintln(os.Stderr, "tramload: pass exactly one of -addr or -self")
+		os.Exit(2)
+	}
+
+	cfg := serve.LoadConfig{
+		Addr:            *addr,
+		Clients:         *clients,
+		Conns:           *conns,
+		EventsPerClient: *events,
+		Workers:         *nodes * *procs * *workers,
+		Rate:            *rate,
+		Window:          *window,
+		Batch:           *batch,
+		Seed:            *seed,
+	}
+
+	// -self: stand the server up first and wire its drain into the load run.
+	var srv *tram.Server
+	var in *serveagg.Instance
+	if *self != "" {
+		var b tram.Backend
+		switch *self {
+		case "real":
+			b = tram.Real
+		case "dist":
+			b = tram.Dist
+		default:
+			fmt.Fprintf(os.Stderr, "tramload: unknown -self %q (want real or dist)\n", *self)
+			os.Exit(2)
+		}
+		var sch tram.Scheme
+		found := false
+		for _, s := range tram.Schemes() {
+			if s.String() == *scheme {
+				sch, found = s, true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "tramload: unknown -scheme %q\n", *scheme)
+			os.Exit(2)
+		}
+		p := serveagg.Params{
+			Nodes: *nodes, Procs: *procs, Workers: *workers, Scheme: sch,
+			FlushDeadline: *deadline,
+		}
+		var err error
+		srv, in, err = serveagg.Serve(b, p, "127.0.0.1:0", "", tram.DistTransport(*transport))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tramload: serve:", err)
+			os.Exit(1)
+		}
+		cfg.Addr = srv.Addr()
+		cfg.Drain = func() error {
+			_, err := srv.Drain()
+			return err
+		}
+	}
+
+	rep, err := serve.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tramload:", err)
+		os.Exit(1)
+	}
+
+	if *jsonOut != "" {
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tramload:", err)
+			os.Exit(1)
+		}
+		out = append(out, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(out)
+		} else if err := os.WriteFile(*jsonOut, out, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "tramload:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("tramload: %d clients over %d conns: %d sent, %d acked, %.0f events/sec (offered %.0f), p50 %v, p99 %v, wall %.2fs\n",
+		rep.Clients, rep.Conns, rep.Sent, rep.Acked, rep.Achieved, rep.Offered,
+		time.Duration(rep.P50).Round(time.Microsecond), time.Duration(rep.P99).Round(time.Microsecond), rep.WallSec)
+
+	// The contract the exit status asserts.
+	fail := false
+	if rep.Achieved <= 0 || rep.Acked <= 0 {
+		fmt.Fprintln(os.Stderr, "tramload: FAIL zero throughput")
+		fail = true
+	}
+	if rep.Acked != rep.Sent {
+		fmt.Fprintf(os.Stderr, "tramload: FAIL acked %d != sent %d\n", rep.Acked, rep.Sent)
+		fail = true
+	}
+	if srv != nil {
+		m, err := srv.Drain() // idempotent: returns the load run's drain result
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tramload: FAIL drain:", err)
+			fail = true
+		} else {
+			total, err := serveagg.Sum(m, in)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tramload: FAIL", err)
+				fail = true
+			} else if total.Count != rep.Acked {
+				fmt.Fprintf(os.Stderr, "tramload: FAIL drained account %d != acked %d (event loss)\n", total.Count, rep.Acked)
+				fail = true
+			} else {
+				fmt.Printf("tramload: drain clean, account matches: %d events\n", total.Count)
+			}
+		}
+	}
+	if fail {
+		os.Exit(1)
+	}
+}

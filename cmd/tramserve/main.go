@@ -1,0 +1,112 @@
+// Command tramserve runs the live aggregation counter (internal/apps/serveagg)
+// as a long-running ingestion service: a TCP frontend accepts wire-framed
+// events from any number of concurrent clients (cmd/tramload, serve.Client),
+// routes them into the aggregation runtime of the chosen backend, and serves
+// live metrics on an HTTP scrape endpoint. SIGINT/SIGTERM triggers a graceful
+// drain: the listener closes, every client gets its final acknowledgment,
+// all buffers flush, the topology quiesces, and the final account — which
+// covers every acknowledged event — prints before exit (docs/SERVE.md).
+//
+// Usage:
+//
+//	tramserve -listen 127.0.0.1:7600                      # Real backend
+//	tramserve -listen :7600 -metrics :7601                # + scrape endpoint
+//	tramserve -backend dist -procs 4 -workers 4           # frontend on worker
+//	                                                      # process 0
+//	tramserve -backend dist -transport shm                 # shm peer rings
+//	tramserve -scheme PP -deadline 500us -ingress-cap 8192
+//
+// The process exits 0 after a clean drain, 1 on any serve failure (a dead
+// worker process surfaces as a typed *tram.PeerFailureError naming the
+// process, to connected clients and on stderr alike).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tramlib/internal/apps/serveagg"
+	"tramlib/tram"
+)
+
+func main() {
+	// Dist worker processes (tramserve re-executes itself for -backend dist)
+	// run their share here and exit; every other invocation continues.
+	tram.Main()
+	var (
+		listen     = flag.String("listen", "127.0.0.1:7600", "client listener address")
+		metrics    = flag.String("metrics", "", "metrics scrape address (empty = disabled)")
+		backend    = flag.String("backend", "real", "execution backend: real or dist")
+		transport  = flag.String("transport", "socket", "dist peer data plane: socket, shm, or tcp")
+		nodes      = flag.Int("nodes", 1, "nodes of the topology")
+		procs      = flag.Int("procs", 2, "processes per node")
+		workers    = flag.Int("workers", 4, "workers per process")
+		scheme     = flag.String("scheme", "WPs", "aggregation scheme (Direct, WW, WPs, WsP, PP)")
+		buffer     = flag.Int("buffer", 64, "aggregation buffer capacity (items)")
+		deadline   = flag.Duration("deadline", 200*time.Microsecond, "flush deadline bounding in-buffer latency")
+		ingressCap = flag.Int("ingress-cap", 0, "per-destination admission window (0 = runtime default)")
+		drainTO    = flag.Duration("drain-timeout", 0, "graceful drain bound (0 = backend default)")
+	)
+	flag.Parse()
+
+	var b tram.Backend
+	switch *backend {
+	case "real":
+		b = tram.Real
+	case "dist":
+		b = tram.Dist
+	default:
+		fmt.Fprintf(os.Stderr, "tramserve: unknown -backend %q (want real or dist)\n", *backend)
+		os.Exit(2)
+	}
+	var sch tram.Scheme
+	found := false
+	for _, s := range tram.Schemes() {
+		if s.String() == *scheme {
+			sch, found = s, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "tramserve: unknown -scheme %q\n", *scheme)
+		os.Exit(2)
+	}
+
+	p := serveagg.Params{
+		Nodes: *nodes, Procs: *procs, Workers: *workers, Scheme: sch,
+		BufferItems: *buffer, FlushDeadline: *deadline, IngressCap: *ingressCap,
+		DrainTimeout: *drainTO,
+	}
+	srv, in, err := serveagg.Serve(b, p, *listen, *metrics, tram.DistTransport(*transport))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tramserve:", err)
+		os.Exit(1)
+	}
+	topo := tram.SMP(*nodes, *procs, *workers)
+	fmt.Printf("tramserve: %v %v on %s, serving on %s", topo, sch, *backend, srv.Addr())
+	if srv.MetricsAddr() != "" {
+		fmt.Printf(", metrics on http://%s/metrics", srv.MetricsAddr())
+	}
+	fmt.Println()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Fprintf(os.Stderr, "tramserve: %v, draining...\n", s)
+
+	m, err := srv.Drain()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tramserve: drain:", err)
+		os.Exit(1)
+	}
+	total, err := serveagg.Sum(m, in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tramserve:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("tramserve: drained clean: %d events delivered (xor %016x), %d batches, %d deadline flushes, wall %v\n",
+		total.Count, total.Xor, m.Batches, m.DeadlineFlushes, m.Wall.Round(time.Millisecond))
+}

@@ -1,96 +1,52 @@
-// Liveagg: a wall-clock demonstration of the paper's core trade-off, driven
-// through the public tram API on the concurrent backends — like sssp and
-// phold it sweeps every scheme on the Real backend (goroutines in one
-// address space) and, with -backend dist, across real OS processes.
+// Liveagg: the paper's latency-vs-amortization trade-off measured live,
+// through the tramserve subsystem instead of a batch run. For every scheme it
+// stands up the ingestion service (`tram.Lib.Serve` with the shared
+// internal/apps/serveagg counter), streams events from simulated clients
+// multiplexed over TCP connections (the internal/serve load generator — the
+// same machinery as cmd/tramload), scrapes the live metrics endpoint
+// mid-stream, then drains gracefully and verifies the zero-loss contract:
+// the drained account equals the acknowledged event count exactly.
 //
-// Every worker streams small items to uniformly random destinations; the
-// configured scheme decides how they are batched on the way:
-//
-//	Direct  one inbox delivery per item                 (no aggregation)
-//	WW/WPs/WsP  private single-producer buffers         (per worker)
-//	PP      shared per-process buffers, atomic claim/seal across workers
-//
-// The per-item cost of an inbox handoff plays the role of the per-message α:
-// batching amortizes it. PP's shared buffers fill workers-per-process times
-// faster than each worker's private buffer (lower item latency — the paper's
-// Fig. 12 ordering), at the price of atomic contention, which this example
-// measures for real. On the Dist backend the process boundary is a real one,
-// and -transport picks what crossing it costs: wire-framed Unix sockets,
-// the mmap'd shared-memory rings of same-node peers, or loopback TCP
-// streams (the same link kind a multi-machine run uses; see docs/DEPLOY.md).
+// The columns show what serving adds over a batch sweep: ack latency
+// (p50/p99 from send to cumulative acknowledgment, i.e. admission latency
+// under backpressure) next to the scheme's batching behavior (batches,
+// deadline-triggered flushes). Direct pays one handoff per event; the
+// aggregating schemes amortize it and the flush deadline bounds how stale a
+// partial buffer may get — the knob the paper's latency-sensitive
+// aggregation is about.
 //
 // Run with:
 //
-//	go run ./examples/liveagg [-items 2000000] [-batch 1024] [-procs 2] [-workers 4]
+//	go run ./examples/liveagg [-clients 20000] [-conns 16] [-events 20]
 //	go run ./examples/liveagg -backend dist [-transport shm]
-//	go run ./examples/liveagg -backend both     # real then dist
+//	go run ./examples/liveagg -backend both [-rate 500000]
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"strings"
 	"time"
 
-	"tramlib/internal/rng"
+	"tramlib/internal/apps/serveagg"
+	"tramlib/internal/serve"
 	"tramlib/internal/stats"
 	"tramlib/tram"
 )
 
-// distName registers the stream kernel for the Dist backend's worker
-// processes (they rebuild it from the JSON-encoded params below).
-const distName = "liveagg"
-
-// params is everything a worker process needs to reproduce the exact run
-// configuration and kernel the coordinator launched.
-type params struct {
-	Items   int         `json:"items"`
-	Batch   int         `json:"batch"`
-	Procs   int         `json:"procs"`
-	Workers int         `json:"workers"`
-	Scheme  tram.Scheme `json:"scheme"`
-}
-
-// build constructs the run configuration and kernel from params — once in
-// the coordinating process, once in every Dist worker (the handshake's
-// config digest verifies both derivations agree).
-func (p params) build() (tram.Config, tram.App[uint64]) {
-	topo := tram.SMP(1, p.Procs, p.Workers)
-	W := topo.TotalWorkers()
-	cfg := tram.DefaultConfig(topo, p.Scheme)
-	cfg.BufferItems = p.Batch
-	lib := tram.U64()
-	return cfg, tram.App[uint64]{
-		Deliver: func(ctx tram.Ctx, item uint64) { ctx.Contribute(1) },
-		Spawn: func(w tram.WorkerID) (int, tram.KernelFunc) {
-			r := rng.NewStream(11, int(w))
-			return p.Items, func(ctx tram.Ctx, _ int) {
-				lib.Insert(ctx, tram.WorkerID(r.Intn(W)), r.Uint64())
-			}
-		},
-		FlushOnDone: true,
-	}
-}
-
-func init() {
-	tram.RegisterDist(distName, func(raw []byte, _ tram.ProcID) (tram.DistApp, error) {
-		var p params
-		if err := json.Unmarshal(raw, &p); err != nil {
-			return tram.DistApp{}, err
-		}
-		cfg, app := p.build()
-		return tram.BindDist(tram.U64(), cfg, app, nil)
-	})
-}
-
 func main() {
 	tram.Main() // dist worker processes run their share here and exit
-	items := flag.Int("items", 2_000_000, "items per worker")
-	batch := flag.Int("batch", 1024, "aggregation buffer capacity")
+	clients := flag.Int("clients", 20_000, "simulated client event sources")
+	conns := flag.Int("conns", 16, "TCP connections multiplexing them")
+	events := flag.Int("events", 20, "events per simulated client")
+	rate := flag.Float64("rate", 0, "aggregate offered events/sec (0 = unpaced)")
 	procs := flag.Int("procs", 2, "processes")
 	workers := flag.Int("workers", 4, "workers per process")
-	backend := flag.String("backend", "real", "execution backend: real, dist, or both")
+	deadline := flag.Duration("deadline", 200*time.Microsecond, "flush deadline bounding in-buffer latency")
+	backend := flag.String("backend", "real", "serving backend: real, dist, or both")
 	transport := flag.String("transport", "socket", "dist peer data plane: socket, shm, or tcp")
 	flag.Parse()
 
@@ -114,45 +70,74 @@ func main() {
 	}
 
 	for _, b := range backends {
-		title := fmt.Sprintf("Live aggregation on %v: %d items/worker, batch=%d, backend=%v",
-			tram.SMP(1, *procs, *workers), *items, *batch, b)
+		title := fmt.Sprintf("Live aggregation service on %v: %d clients x %d events over %d conns, backend=%v",
+			tram.SMP(1, *procs, *workers), *clients, *events, *conns, b)
 		if tram.IsDist(b) {
 			title += fmt.Sprintf(" (%s transport)", *transport)
 		}
 		tb := stats.NewTable(title,
-			"scheme", "wall_time", "items/us", "batches", "mean_batch", "deadline_flush")
+			"scheme", "events/us", "p50_ack", "p99_ack", "batches", "deadline_flush", "drained")
 
 		for _, s := range tram.Schemes() {
-			p := params{Items: *items, Batch: *batch, Procs: *procs, Workers: *workers, Scheme: s}
-			cfg, app := p.build()
-			if tram.IsDist(b) {
-				raw, err := json.Marshal(p)
-				if err != nil {
-					panic(err)
-				}
-				cfg.Dist.App = distName
-				cfg.Dist.Params = raw
-				cfg.Dist.Transport = tram.DistTransport(*transport)
+			p := serveagg.Params{
+				Nodes: 1, Procs: *procs, Workers: *workers, Scheme: s,
+				FlushDeadline: *deadline,
 			}
-			m, err := tram.U64().Run(b, cfg, app)
+			srv, in, err := serveagg.Serve(b, p, "127.0.0.1:0", "127.0.0.1:0", tram.DistTransport(*transport))
 			if err != nil {
 				panic(err)
 			}
-			total := int64(*items) * int64(*procs) * int64(*workers)
-			if m.Reduced != total {
-				panic(fmt.Sprintf("%v: delivered %d of %d items", s, m.Reduced, total))
+
+			// Scrape the live endpoint mid-stream, once the load is flowing.
+			scraped := make(chan string, 1)
+			go func(addr string) {
+				time.Sleep(20 * time.Millisecond)
+				resp, err := http.Get("http://" + addr + "/metrics")
+				if err != nil {
+					scraped <- ""
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				scraped <- string(body)
+			}(srv.MetricsAddr())
+
+			var m tram.Metrics
+			rep, err := serve.Run(serve.LoadConfig{
+				Addr:            srv.Addr(),
+				Clients:         *clients,
+				Conns:           *conns,
+				EventsPerClient: *events,
+				Workers:         *procs * *workers,
+				Rate:            *rate,
+				Seed:            11,
+				Drain: func() error {
+					var derr error
+					m, derr = srv.Drain()
+					return derr
+				},
+			})
+			if err != nil {
+				panic(err)
 			}
-			meanBatch := 0.0
-			if m.Batches > 0 {
-				meanBatch = float64(m.Delivered-m.LocalDirect) / float64(m.Batches)
+			total, err := serveagg.Sum(m, in)
+			if err != nil {
+				panic(err)
 			}
-			tb.AddRowf(s.String(), m.Wall.Round(time.Millisecond).String(),
-				float64(total)/float64(m.Wall.Microseconds()), m.Batches, meanBatch,
-				m.DeadlineFlushes)
+			if total.Count != rep.Acked {
+				panic(fmt.Sprintf("%v: drained account %d != acked %d (event loss)", s, total.Count, rep.Acked))
+			}
+			if text := <-scraped; text != "" && !strings.Contains(text, "tramserve_admitted_total") {
+				panic("metrics endpoint scraped but missing tramserve_admitted_total")
+			}
+			tb.AddRowf(s.String(), rep.Achieved/1e6,
+				time.Duration(rep.P50).Round(time.Microsecond).String(),
+				time.Duration(rep.P99).Round(time.Microsecond).String(),
+				m.Batches, m.DeadlineFlushes, total.Count)
 		}
 		fmt.Println(tb.String())
 	}
-	fmt.Println("Direct pays one inbox handoff per item; the schemes amortize it over a batch.")
-	fmt.Println("PP shares each destination buffer across the process's workers (atomic")
-	fmt.Println("claim/seal), so its buffers fill ~workers x faster: fresher batches at equal g.")
+	fmt.Println("Acks return on admission; the flush deadline bounds how long an admitted event")
+	fmt.Println("may sit in a partial buffer, so p99 ack latency tracks the deadline while the")
+	fmt.Println("aggregating schemes amortize the per-event handoff that Direct pays in full.")
 }

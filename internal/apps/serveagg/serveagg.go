@@ -1,0 +1,151 @@
+// Package serveagg is the canonical tramserve application: a live
+// aggregation counter shared by cmd/tramserve (the server binary),
+// cmd/tramload's -self mode, examples/liveagg, and the serve bench harness.
+//
+// Every event a client streams in is one word delivered to the destination
+// worker it names; the app counts and xor-folds deliveries so a drain can
+// account for every acknowledged event (the count proves none were lost, the
+// xor proves none were duplicated or corrupted in flight). On the Dist
+// backend each worker process reports its local {count, xor} share and
+// Sum folds the per-process reports back together.
+package serveagg
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"tramlib/tram"
+)
+
+// DistName is the Dist-backend registration (see tram.Dist); binaries that
+// serve on Dist import this package so their self-exec'd worker processes
+// carry the registration too.
+const DistName = "serveagg"
+
+// Params travels to Dist worker processes; both sides rebuild the identical
+// Config through Params.Config (the handshake digest verifies they agree).
+type Params struct {
+	Nodes   int         `json:"nodes"`
+	Procs   int         `json:"procs"`
+	Workers int         `json:"workers"`
+	Scheme  tram.Scheme `json:"scheme"`
+	// BufferItems is the aggregation buffer capacity (0: 64).
+	BufferItems int `json:"buffer_items,omitempty"`
+	// FlushDeadline bounds how long an admitted event may sit in a partial
+	// buffer (0: 200us). Serving requires a positive deadline.
+	FlushDeadline time.Duration `json:"flush_deadline,omitempty"`
+	// IngressCap is the per-destination admission window (0: runtime default).
+	IngressCap int `json:"ingress_cap,omitempty"`
+	// DrainTimeout bounds the graceful drain (0: backend default).
+	DrainTimeout time.Duration `json:"drain_timeout,omitempty"`
+}
+
+// Config lowers the parameters to the unified library configuration.
+func (p Params) Config() tram.Config {
+	if p.BufferItems == 0 {
+		p.BufferItems = 64
+	}
+	if p.FlushDeadline == 0 {
+		p.FlushDeadline = 200 * time.Microsecond
+	}
+	cfg := tram.DefaultConfig(tram.SMP(p.Nodes, p.Procs, p.Workers), p.Scheme)
+	cfg.BufferItems = p.BufferItems
+	cfg.FlushDeadline = p.FlushDeadline
+	cfg.ChunkSize = 64
+	cfg.Serve.IngressCap = p.IngressCap
+	cfg.Serve.DrainTimeout = p.DrainTimeout
+	return cfg
+}
+
+// Report is one process's delivery account.
+type Report struct {
+	Count int64  `json:"count"`
+	Xor   uint64 `json:"xor"`
+}
+
+// Instance is a bound counter: the app plus access to its local tallies.
+type Instance struct {
+	count atomic.Int64
+	xor   atomic.Uint64
+}
+
+// App returns the delivery closure over the instance's tallies.
+func (in *Instance) App() tram.App[uint64] {
+	return tram.App[uint64]{
+		Deliver: func(ctx tram.Ctx, v uint64) {
+			in.count.Add(1)
+			for {
+				old := in.xor.Load()
+				if in.xor.CompareAndSwap(old, old^v) {
+					break
+				}
+			}
+			ctx.Contribute(1)
+		},
+	}
+}
+
+// Report snapshots the local tallies.
+func (in *Instance) Report() Report {
+	return Report{Count: in.count.Load(), Xor: in.xor.Load()}
+}
+
+func init() {
+	tram.RegisterDist(DistName, func(raw []byte, _ tram.ProcID) (tram.DistApp, error) {
+		var p Params
+		if err := json.Unmarshal(raw, &p); err != nil {
+			return tram.DistApp{}, err
+		}
+		in := &Instance{}
+		return tram.BindDist(tram.U64(), p.Config(), in.App(), func() []byte {
+			b, _ := json.Marshal(in.Report())
+			return b
+		})
+	})
+}
+
+// Serve starts the counting service on backend b with the given listeners.
+// On Real the returned Instance carries the live tallies; on Dist the tallies
+// live in the worker processes (nil Instance) and come back through
+// Metrics.Reports — use Sum. transport applies to Dist only ("" = socket).
+func Serve(b tram.Backend, p Params, listen, metricsListen string, transport tram.DistTransport) (*tram.Server, *Instance, error) {
+	cfg := p.Config()
+	cfg.Serve.Listen = listen
+	cfg.Serve.MetricsListen = metricsListen
+	in := &Instance{}
+	if tram.IsDist(b) {
+		raw, err := json.Marshal(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg.Dist.App = DistName
+		cfg.Dist.Params = raw
+		if transport != "" {
+			cfg.Dist.Transport = transport
+		}
+		srv, err := tram.U64().Serve(b, cfg, tram.App[uint64]{})
+		return srv, nil, err
+	}
+	srv, err := tram.U64().Serve(b, cfg, in.App())
+	return srv, in, err
+}
+
+// Sum folds drain metrics into the run's total account: the local instance's
+// tallies on Real, the per-process reports on Dist.
+func Sum(m tram.Metrics, in *Instance) (Report, error) {
+	if in != nil {
+		return in.Report(), nil
+	}
+	var total Report
+	for proc, raw := range m.Reports {
+		var r Report
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return Report{}, fmt.Errorf("serveagg: proc %d report: %w", proc, err)
+		}
+		total.Count += r.Count
+		total.Xor ^= r.Xor
+	}
+	return total, nil
+}

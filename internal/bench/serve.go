@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"tramlib/internal/apps/serveagg"
+	"tramlib/internal/serve"
+	"tramlib/tram"
+)
+
+// This file measures the tramserve subsystem: sustained ingestion throughput
+// and the p99 ack-latency-vs-offered-load curve of the live service, through
+// real TCP clients against a real serving topology. cmd/tramlab's -serve-json
+// flag serializes the result to BENCH_serve.json; cmd/perfcheck gates the
+// sustained-throughput points (Gate == true) with -serve-tol.
+//
+// Every point ends with the server's graceful drain and asserts the zero-loss
+// contract — a measurement that lost events would be meaningless, so it
+// panics instead of reporting one.
+
+// ServePoint is one measured serve workload.
+type ServePoint struct {
+	Name   string `json:"name"`
+	Scheme string `json:"scheme"`
+	// Clients is the simulated client count, Conns the TCP connections
+	// multiplexing them.
+	Clients int `json:"clients"`
+	Conns   int `json:"conns"`
+	// OfferedEPS is the configured offered load (0 = unpaced: as fast as
+	// backpressure admits); AchievedEPS the measured acked throughput.
+	OfferedEPS  float64 `json:"offered_eps"`
+	AchievedEPS float64 `json:"achieved_eps"`
+	// P50AckNS/P99AckNS are ack-latency quantiles (send to cumulative ack —
+	// admission latency as clients observe it, queueing included).
+	P50AckNS int64 `json:"p50_ack_ns"`
+	P99AckNS int64 `json:"p99_ack_ns"`
+	// Acked is the events acknowledged (== drained account, zero loss).
+	Acked  int64   `json:"acked"`
+	WallMS float64 `json:"wall_ms"`
+	// Gate marks sustained-throughput points cmd/perfcheck holds to a floor:
+	// fresh AchievedEPS >= baseline * (1 - serve-tol). Paced curve points
+	// measure latency at a fixed rate and are reported, never gated.
+	Gate bool `json:"gate,omitempty"`
+}
+
+// ServePerf is the BENCH_serve.json document.
+type ServePerf struct {
+	Schema string       `json:"schema"`
+	Go     string       `json:"go"`
+	NumCPU int          `json:"num_cpu"`
+	Points []ServePoint `json:"points"`
+}
+
+// ServeSchema is the BENCH_serve.json schema tag.
+const ServeSchema = "tramlib-serve-perf/v1"
+
+// servePoint stands up the service, drives the load, drains, verifies the
+// account, and fills the point.
+type serveCase struct {
+	name    string
+	backend tram.Backend
+	scheme  tram.Scheme
+	clients int
+	conns   int
+	events  int
+	rate    float64
+	gate    bool
+}
+
+func runServeCase(c serveCase, o Options) ServePoint {
+	p := serveagg.Params{
+		Nodes: 1, Procs: 2, Workers: 4, Scheme: c.scheme,
+		FlushDeadline: 200 * time.Microsecond,
+	}
+	srv, in, err := serveagg.Serve(c.backend, p, "127.0.0.1:0", "", "")
+	if err != nil {
+		panic(fmt.Sprintf("bench serve %s: %v", c.name, err))
+	}
+	var m tram.Metrics
+	rep, err := serve.Run(serve.LoadConfig{
+		Addr:            srv.Addr(),
+		Clients:         c.clients,
+		Conns:           c.conns,
+		EventsPerClient: c.events,
+		Workers:         p.Procs * p.Workers,
+		Rate:            c.rate,
+		Seed:            int64(o.Seed),
+		Drain: func() error {
+			var derr error
+			m, derr = srv.Drain()
+			return derr
+		},
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench serve %s: %v", c.name, err))
+	}
+	total, err := serveagg.Sum(m, in)
+	if err != nil {
+		panic(fmt.Sprintf("bench serve %s: %v", c.name, err))
+	}
+	if total.Count != rep.Acked || rep.Acked != rep.Sent {
+		panic(fmt.Sprintf("bench serve %s: sent/acked/drained = %d/%d/%d (event loss)",
+			c.name, rep.Sent, rep.Acked, total.Count))
+	}
+	return ServePoint{
+		Name:        c.name,
+		Scheme:      c.scheme.String(),
+		Clients:     rep.Clients,
+		Conns:       rep.Conns,
+		OfferedEPS:  rep.Offered,
+		AchievedEPS: rep.Achieved,
+		P50AckNS:    rep.P50,
+		P99AckNS:    rep.P99,
+		Acked:       rep.Acked,
+		WallMS:      rep.WallSec * 1e3,
+		Gate:        c.gate,
+	}
+}
+
+// ServeCurve measures the serve perf trajectory:
+//
+//   - serve-peak-*: unpaced sustained throughput on the Real backend for an
+//     SMP-aware and the shared-buffer scheme — the gated floor.
+//   - serve-rate-*: the p99 ack-latency-vs-offered-load curve at fixed paced
+//     rates (the paper's latency-sensitivity story, measured at the service
+//     edge; reported, not gated).
+//   - serve-clients-100k: 1.2x10^5 concurrent simulated clients multiplexed
+//     over 64 connections — the scale point; gated.
+//   - serve-dist-*: the same service across real OS processes (frontend on
+//     worker process 0); wall time includes process spawn + handshake, so the
+//     point is reported, not gated.
+func ServeCurve(o Options) ServePerf {
+	o = o.normalized()
+	perf := ServePerf{
+		Schema: ServeSchema,
+		Go:     runtime.Version(),
+		NumCPU: runtime.NumCPU(),
+	}
+	cases := []serveCase{
+		{name: "serve-peak-wps", backend: tram.Real, scheme: tram.WPs,
+			clients: 4096, conns: 32, events: 250, gate: true},
+		{name: "serve-peak-pp", backend: tram.Real, scheme: tram.PP,
+			clients: 4096, conns: 32, events: 250, gate: true},
+		{name: "serve-rate-100k", backend: tram.Real, scheme: tram.WPs,
+			clients: 20_000, conns: 16, events: 10, rate: 100_000},
+		{name: "serve-rate-400k", backend: tram.Real, scheme: tram.WPs,
+			clients: 40_000, conns: 32, events: 10, rate: 400_000},
+		{name: "serve-rate-1m", backend: tram.Real, scheme: tram.WPs,
+			clients: 50_000, conns: 32, events: 20, rate: 1_000_000},
+		{name: "serve-clients-100k", backend: tram.Real, scheme: tram.WPs,
+			clients: 120_000, conns: 64, events: 8, gate: true},
+		{name: "serve-dist-wps", backend: tram.Dist, scheme: tram.WPs,
+			clients: 4096, conns: 16, events: 50},
+	}
+	for _, c := range cases {
+		start := time.Now()
+		pt := runServeCase(c, o)
+		o.progressf("serve point %s finished in %v (%.0f events/sec)",
+			c.name, time.Since(start).Round(time.Millisecond), pt.AchievedEPS)
+		perf.Points = append(perf.Points, pt)
+	}
+	return perf
+}

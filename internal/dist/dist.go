@@ -166,6 +166,24 @@ type Config struct {
 	// on TCP data links (deterministic per-link jitter), making the paper's
 	// latency-sensitivity story measurable on one box.
 	LinkDelay, LinkJitter time.Duration
+
+	// Serve, when non-nil, turns the run into a long-running ingestion
+	// service (use Serve, not Run): the frontend process accepts client
+	// events until the coordinator drains it. See ServeSpec.
+	Serve *ServeSpec
+}
+
+// serveSetup converts the public serve spec into its setup-message form (nil
+// for batch runs).
+func (c Config) serveSetup() *serveSetup {
+	if c.Serve == nil {
+		return nil
+	}
+	return &serveSetup{
+		Listen:        c.Serve.Listen,
+		MetricsListen: c.Serve.MetricsListen,
+		IngressCap:    c.Serve.IngressCap,
+	}
 }
 
 func (c Config) withDefaults() Config {
@@ -225,40 +243,56 @@ func ctrlPath(dir string) string { return filepath.Join(dir, "ctrl.sock") }
 // (via tram.Main or directly) before its normal flow, or the spawned
 // children will not act as workers.
 func Run(cfg Config) (Result, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.RT.Validate(); err != nil {
-		return Result{}, err
-	}
-	if cfg.RT.Part != nil {
-		return Result{}, fmt.Errorf("dist: Config.RT must not be partitioned")
-	}
-	P := cfg.RT.Topo.TotalProcs()
-	if cfg.Transport > transport.TCP {
-		return Result{}, fmt.Errorf("dist: unknown transport %v", cfg.Transport)
-	}
-	if cfg.Nodes != nil && len(cfg.Nodes) != P {
-		return Result{}, fmt.Errorf("dist: node map has %d entries for %d procs", len(cfg.Nodes), P)
-	}
-	specs, err := expandHosts(cfg.Hosts, P)
+	co, ln, cleanup, err := prepare(cfg)
 	if err != nil {
 		return Result{}, err
 	}
+	defer cleanup()
+	res, err := co.run(ln)
+	if err != nil {
+		co.abortAndReap(err)
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// prepare validates the configuration, creates the run directory and control
+// listener, and spawns the worker processes — everything before the
+// handshake, shared by Run and Serve. On success the returned cleanup tears
+// the control plane down and removes the run directory; it must run after
+// every worker has been reaped (abortAndReap or a clean release), so nothing
+// can recreate files under the directory.
+func prepare(cfg Config) (*coordinator, net.Listener, func(), error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.RT.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	if cfg.RT.Part != nil {
+		return nil, nil, nil, fmt.Errorf("dist: Config.RT must not be partitioned")
+	}
+	P := cfg.RT.Topo.TotalProcs()
+	if cfg.Transport > transport.TCP {
+		return nil, nil, nil, fmt.Errorf("dist: unknown transport %v", cfg.Transport)
+	}
+	if cfg.Nodes != nil && len(cfg.Nodes) != P {
+		return nil, nil, nil, fmt.Errorf("dist: node map has %d entries for %d procs", len(cfg.Nodes), P)
+	}
+	specs, err := expandHosts(cfg.Hosts, P)
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	remote := anyRemote(cfg.Hosts)
 	if remote && cfg.Transport != transport.TCP {
-		return Result{}, fmt.Errorf("dist: remote hosts require the tcp transport, not %v", cfg.Transport)
+		return nil, nil, nil, fmt.Errorf("dist: remote hosts require the tcp transport, not %v", cfg.Transport)
 	}
 	if remote && cfg.ListenAddr == "" {
-		return Result{}, fmt.Errorf("dist: remote hosts require ListenAddr (workers cannot dial a unix control socket)")
+		return nil, nil, nil, fmt.Errorf("dist: remote hosts require ListenAddr (workers cannot dial a unix control socket)")
 	}
 
 	dir, err := os.MkdirTemp(cfg.SockDir, "tram-dist-*")
 	if err != nil {
-		return Result{}, err
+		return nil, nil, nil, err
 	}
-	// Every exit path removes the run directory — sockets, ring segments,
-	// all of it. This defer runs after the teardown defer below, i.e. after
-	// every worker has been reaped, so nothing can recreate files under it.
-	defer os.RemoveAll(dir)
 
 	// The control plane rides TCP whenever a worker may live on another
 	// machine (and whenever ListenAddr asks for it); otherwise it stays on
@@ -270,9 +304,9 @@ func Run(cfg Config) (Result, error) {
 	}
 	ln, err := net.Listen(ctrlNet, ctrlBind)
 	if err != nil {
-		return Result{}, err
+		os.RemoveAll(dir)
+		return nil, nil, nil, err
 	}
-	defer ln.Close()
 	ctrlAddr := ctrlPath(dir)
 	if ctrlNet == "tcp" {
 		ctrlAddr = "tcp://" + ln.Addr().String()
@@ -280,7 +314,9 @@ func Run(cfg Config) (Result, error) {
 
 	exe, err := os.Executable()
 	if err != nil {
-		return Result{}, fmt.Errorf("dist: resolve executable: %w", err)
+		ln.Close()
+		os.RemoveAll(dir)
+		return nil, nil, nil, fmt.Errorf("dist: resolve executable: %w", err)
 	}
 
 	co := &coordinator{
@@ -294,20 +330,23 @@ func Run(cfg Config) (Result, error) {
 		lastHeard: make([]time.Time, P),
 		done:      make(chan struct{}),
 	}
-	// Tear the control plane down on every exit path: closing done releases
-	// reader goroutines blocked sending on the bounded events channel, and
-	// closing the connections releases readers blocked in recv — without
-	// this, each failed run would leak up to P goroutines and fds for the
-	// life of the process (bench tables and the conformance suite run many
-	// dist runs per process).
-	defer func() {
+	// cleanup tears the control plane down: closing done releases reader
+	// goroutines blocked sending on the bounded events channel, and closing
+	// the connections releases readers blocked in recv — without this, each
+	// failed run would leak up to P goroutines and fds for the life of the
+	// process (bench tables and the conformance suite run many dist runs per
+	// process). The run directory — sockets, ring segments, all of it — goes
+	// last.
+	cleanup := func() {
 		close(co.done)
 		for _, cc := range co.ctrls {
 			if cc != nil {
 				cc.conn.Close()
 			}
 		}
-	}()
+		ln.Close()
+		os.RemoveAll(dir)
+	}
 
 	for _, sp := range specs {
 		p := sp.proc
@@ -316,7 +355,8 @@ func Run(cfg Config) (Result, error) {
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
 			co.killAndReap()
-			return Result{}, &PeerFailureError{Proc: p, Phase: "spawn",
+			cleanup()
+			return nil, nil, nil, &PeerFailureError{Proc: p, Phase: "spawn",
 				Err: fmt.Errorf("spawn worker: %w", err)}
 		}
 		co.cmds = append(co.cmds, cmd)
@@ -330,13 +370,7 @@ func Run(cfg Config) (Result, error) {
 		}(cmd, p)
 	}
 	co.specs = specs
-
-	res, err := co.run(ln)
-	if err != nil {
-		co.abortAndReap(err.Error())
-		return Result{}, err
-	}
-	return res, nil
+	return co, ln, cleanup, nil
 }
 
 // coordinator holds the parent-side state of one run. All fields are owned
@@ -383,13 +417,20 @@ func (co *coordinator) killAndReap() {
 // live workers stop their runtimes and exit on their own, grant a short
 // grace for them to do so, then kill and reap whatever is left. Send errors
 // are ignored — a worker whose connection is already gone is exactly the
-// kind Kill handles.
-func (co *coordinator) abortAndReap(reason string) {
+// kind Kill handles. The abort message carries the failure's attribution
+// (proc, phase) when the cause is a *PeerFailureError, so a serve-mode
+// frontend can relay a typed failure to its connected clients.
+func (co *coordinator) abortAndReap(cause error) {
+	msg := abortMsg{Reason: cause.Error(), Proc: -1}
+	var pf *PeerFailureError
+	if errors.As(cause, &pf) {
+		msg.Proc, msg.Phase = pf.Proc, pf.Phase
+	}
 	for p, cc := range co.ctrls {
 		if cc == nil || co.exited[p] {
 			continue
 		}
-		_ = cc.send(0, opAbort, abortMsg{Reason: reason})
+		_ = cc.send(0, opAbort, msg)
 	}
 	grace := time.NewTimer(time.Second)
 	defer grace.Stop()
@@ -442,11 +483,31 @@ func (co *coordinator) peerFailure(phase string, proc int, cause error) error {
 	return &PeerFailureError{Proc: proc, Phase: phase, Err: cause}
 }
 
-// run drives the protocol: handshake, probing, report collection.
+// run drives the batch protocol: handshake, probing, report collection.
 func (co *coordinator) run(ln net.Listener) (Result, error) {
-	cfg, P := co.cfg, co.P
-	timeout := time.NewTimer(cfg.StartTimeout)
+	timeout := time.NewTimer(co.cfg.StartTimeout)
 	defer timeout.Stop()
+	if err := co.handshake(ln, timeout); err != nil {
+		return Result{}, err
+	}
+	if err := co.broadcast(opStart, nil); err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+
+	if err := co.probeToQuiescence(start); err != nil {
+		return Result{}, err
+	}
+	wall := time.Since(start)
+	resetTimer(timeout, co.cfg.StartTimeout)
+	return co.finish(wall, timeout)
+}
+
+// handshake accepts the P control connections and drives Setup through Ready,
+// leaving every worker one Start broadcast away from running. Shared by the
+// batch coordinator (run) and the serve coordinator (Serve).
+func (co *coordinator) handshake(ln net.Listener, timeout *time.Timer) error {
+	cfg, P := co.cfg, co.P
 
 	// Accept the P control connections; each identifies itself with Hello,
 	// then gets a reader goroutine feeding the event channel.
@@ -493,13 +554,13 @@ func (co *coordinator) run(ln net.Listener) (Result, error) {
 	select {
 	case err := <-acceptErr:
 		if err != nil {
-			return Result{}, err
+			return err
 		}
 	case ex := <-co.waitErr:
 		co.reap(ex)
-		return Result{}, co.peerFailure("spawn", ex.proc, exitCause(ex))
+		return co.peerFailure("spawn", ex.proc, exitCause(ex))
 	case <-timeout.C:
-		return Result{}, fmt.Errorf("dist: handshake timeout (%v) waiting for hellos", cfg.StartTimeout)
+		return fmt.Errorf("dist: handshake timeout (%v) waiting for hellos", cfg.StartTimeout)
 	}
 
 	digest := configDigest(cfg.RT)
@@ -525,13 +586,14 @@ func (co *coordinator) run(ln net.Listener) (Result, error) {
 		KeepAlive:     cfg.KeepAlive,
 		LinkDelay:     cfg.LinkDelay,
 		LinkJitter:    cfg.LinkJitter,
+		Serve:         cfg.serveSetup(),
 		Digest:        digest,
 	}); err != nil {
-		return Result{}, err
+		return err
 	}
 	listens, err := co.collect(opListening, "listen", timeout)
 	if err != nil {
-		return Result{}, err
+		return err
 	}
 	// Gather each worker's resolved TCP data address (empty for non-TCP
 	// runs) while checking the digests; the Connect broadcast redistributes
@@ -540,42 +602,36 @@ func (co *coordinator) run(ln net.Listener) (Result, error) {
 	for p, f := range listens {
 		lm, err := decode[listeningMsg](f)
 		if err != nil {
-			return Result{}, err
+			return err
 		}
 		if lm.Digest != digest {
-			return Result{}, fmt.Errorf("dist: worker %d config digest %q != coordinator %q", p, lm.Digest, digest)
+			return fmt.Errorf("dist: worker %d config digest %q != coordinator %q", p, lm.Digest, digest)
 		}
 		dataAddrs[p] = lm.Addr
 	}
 	if err := co.broadcast(opConnect, connectMsg{Addrs: dataAddrs}); err != nil {
-		return Result{}, err
+		return err
 	}
 	if _, err := co.collect(opReady, "connect", timeout); err != nil {
-		return Result{}, err
+		return err
 	}
-	if err := co.broadcast(opStart, nil); err != nil {
-		return Result{}, err
-	}
-	start := time.Now()
+	return nil
+}
 
-	if err := co.probeToQuiescence(start); err != nil {
-		return Result{}, err
-	}
-	wall := time.Since(start)
-
-	// Proven quiet: stop the workers and collect their reports. Workers hold
-	// their links and control connection open through this phase (so a clean
-	// link EOF during the run always means peer death); Release below lets
-	// them tear down and exit.
+// finish closes a proven-quiet run: stop the workers, collect their reports,
+// release them, and reap their clean exits. Workers hold their links and
+// control connection open through the report phase (so a clean link EOF
+// during the run always means peer death); Release lets them tear down and
+// exit. Shared by the batch and serve coordinators.
+func (co *coordinator) finish(wall time.Duration, timeout *time.Timer) (Result, error) {
 	if err := co.broadcast(opFinish, nil); err != nil {
 		return Result{}, err
 	}
-	resetTimer(timeout, cfg.StartTimeout)
 	dones, err := co.collect(opDone, "report", timeout)
 	if err != nil {
 		return Result{}, err
 	}
-	res := Result{Wall: wall, Procs: make([]ProcResult, P)}
+	res := Result{Wall: wall, Procs: make([]ProcResult, co.P)}
 	for p, f := range dones {
 		dm, err := decode[doneMsg](f)
 		if err != nil {

@@ -30,6 +30,12 @@ const (
 	opError                       // worker -> parent: fatal error text
 	opAbort                       // parent -> worker: run failed; stop and exit
 	opRelease                     // parent -> worker: all reports in; tear down and exit
+
+	// Serve-mode extensions (appended so batch-run binaries and serve-run
+	// binaries agree on every opcode above).
+	opServing // worker -> parent: the frontend proc's listeners are up
+	opDrain   // parent -> worker: stop accepting, drain the ingestion edge
+	opDrained // worker -> parent: edge drained; every acked event is in the runtime
 )
 
 // setupMsg is the opSetup payload: everything a worker needs to build the
@@ -66,6 +72,12 @@ type setupMsg struct {
 	// sets it from Config.RunTimeout; 0 leaves sends unbounded). Run layout,
 	// not part of the digest.
 	SendDeadline time.Duration `json:"send_deadline,omitempty"`
+	// Serve, when non-nil, turns the run into a long-running ingestion
+	// service: the frontend process (proc 0) binds the client and metrics
+	// listeners and runs its runtime in serve mode. Run layout, not part of
+	// the digest: serving changes how events arrive, not what the run
+	// computes from them.
+	Serve *serveSetup `json:"serve,omitempty"`
 	// Digest is the parent's fingerprint of the runtime configuration; the
 	// worker must derive the same one from its rebuilt config (a mismatch
 	// means the registered builder and the caller disagree about the run).
@@ -114,10 +126,32 @@ type errorMsg struct {
 	Blame int    `json:"blame"`
 }
 
+// serveSetup is setupMsg's serve-mode block.
+type serveSetup struct {
+	// Listen and MetricsListen are the frontend's bind addresses (metrics
+	// optional, "" disables the scrape endpoint).
+	Listen        string `json:"listen"`
+	MetricsListen string `json:"metrics_listen,omitempty"`
+	// IngressCap is the per-destination-worker admission window
+	// (rt.Config.IngressCap; 0 selects the runtime default).
+	IngressCap int `json:"ingress_cap,omitempty"`
+}
+
+// servingMsg is the opServing payload: the frontend's resolved addresses.
+type servingMsg struct {
+	Addr        string `json:"addr"`
+	MetricsAddr string `json:"metrics_addr,omitempty"`
+}
+
 // abortMsg is the opAbort payload: why the coordinator is tearing the run
-// down (for worker-side logs; the coordinator already holds the real error).
+// down (for worker-side logs, and — in serve mode — for the frontend to
+// relay to connected clients as a typed failure). Proc and Phase attribute
+// the failure (-1: unattributed); the coordinator already holds the real
+// error.
 type abortMsg struct {
 	Reason string `json:"reason,omitempty"`
+	Proc   int    `json:"proc"`
+	Phase  string `json:"phase,omitempty"`
 }
 
 // ctrlConn is a frame-oriented control connection: JSON control frames with

@@ -1,0 +1,342 @@
+// Serve mode: the coordinator side of the tramserve subsystem. A batch run
+// (Run) ends itself at global quiescence; a serve run keeps the topology
+// alive while the frontend process (proc 0) feeds an open client event
+// stream into it, and ends only when the operator drains it. The run phase
+// splits in three:
+//
+//	startup  — identical to Run through the Start broadcast, plus one extra
+//	           collect: the frontend's Serving message with its resolved
+//	           listener addresses.
+//	serving  — the coordinator loop only keeps the topology honest: probe
+//	           rounds pace heartbeats both ways (their counters are ignored —
+//	           an open stream never balances), worker exits and error reports
+//	           abort the service, and the abort broadcast carries the
+//	           failure's attribution so the frontend can relay a typed
+//	           failure to every connected client.
+//	shutdown — Drain tells the frontend to close the ingestion edge (stop
+//	           accepting, final acks, flush ingress buffers); once the edge
+//	           reports Drained the stream is finite, the standard
+//	           four-counter probing proves the tail delivered, and the batch
+//	           finish phase (reports, release, reap) closes the run.
+//
+// This package never touches the frontend's sockets: the frontend lives in
+// the worker process behind the FrontendHandle seam (built by the App.Serve
+// binder, implemented by internal/serve), which keeps dist ignorant of the
+// client protocol and serve ignorant of process management — and breaks the
+// import cycle between them.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"tramlib/internal/rt"
+	"tramlib/internal/stats"
+)
+
+// ServeSpec configures the ingestion service of a serve run.
+type ServeSpec struct {
+	// Listen is the frontend's client bind address ("127.0.0.1:0" for an
+	// ephemeral loopback port).
+	Listen string
+	// MetricsListen, if non-empty, binds the frontend's HTTP scrape
+	// endpoint.
+	MetricsListen string
+	// IngressCap is the per-destination-worker admission window
+	// (rt.Config.IngressCap; 0 selects the runtime default).
+	IngressCap int
+	// DrainTimeout bounds the edge-drain step of Drain (<= 0 selects
+	// StartTimeout). The post-drain quiescence probe is bounded by
+	// Config.RunTimeout as usual.
+	DrainTimeout time.Duration
+}
+
+// ServeOpts is what a worker process hands the App.Serve binder: the
+// coordinator-supplied listen spec plus the flush-latency histogram the
+// runtime was wired with (the binder feeds it to the metrics endpoint).
+type ServeOpts struct {
+	Listen        string
+	MetricsListen string
+	IngressCap    int
+	FlushHist     *stats.AtomicHist
+}
+
+// FrontendHandle is the worker-side seam to the ingestion frontend. The
+// App.Serve binder returns one (internal/serve.Frontend satisfies it); the
+// worker's control loop drives it and never sees the client protocol.
+type FrontendHandle interface {
+	// Addr and MetricsAddr are the resolved listener addresses (MetricsAddr
+	// "" when the scrape endpoint is disabled).
+	Addr() string
+	MetricsAddr() string
+	// Drain stops accepting, finishes in-flight admissions, sends every
+	// client its final ack, and force-seals the ingress buffers. When it
+	// returns, every acked event is in the runtime.
+	Drain() error
+	// Abort notifies every connected client of a topology failure
+	// attributed to proc/phase, and unblocks in-flight admissions.
+	Abort(proc int, phase, msg string)
+	// Close releases listeners and connections.
+	Close() error
+}
+
+// ServeBinder builds the ingestion frontend over a worker's running
+// serve-mode runtime. The runtime is partitioned and already running;
+// the binder must not block.
+type ServeBinder func(rtm *rt.Runtime, opts ServeOpts) (FrontendHandle, error)
+
+// Server is the coordinator's handle on a live serve run. Drain ends it;
+// KillWorker injects a process failure (chaos testing).
+type Server struct {
+	addr        string
+	metricsAddr string
+
+	drainOnce sync.Once
+	drainC    chan struct{}
+	killC     chan int
+	doneC     chan struct{} // closed after res/err are set
+
+	res Result
+	err error
+}
+
+// Addr returns the frontend's client listener address.
+func (s *Server) Addr() string { return s.addr }
+
+// MetricsAddr returns the frontend's scrape endpoint address ("" if
+// disabled).
+func (s *Server) MetricsAddr() string { return s.metricsAddr }
+
+// Drain gracefully ends the service: the frontend closes its ingestion edge
+// with a final ack to every client, the coordinator proves the tail of the
+// stream delivered via four-counter quiescence, and the workers report and
+// exit — zero loss of acked events. Idempotent; every call returns the same
+// outcome. If the service already failed (a worker died), Drain returns that
+// failure instead.
+func (s *Server) Drain() (Result, error) {
+	s.drainOnce.Do(func() { close(s.drainC) })
+	<-s.doneC
+	return s.res, s.err
+}
+
+// KillWorker force-kills a worker process mid-serve (chaos testing: the
+// failure must surface to every connected client as a *PeerFailureError and
+// to Drain's caller, never hang the service). It does not wait for the
+// failure to propagate.
+func (s *Server) KillWorker(proc int) error {
+	select {
+	case s.killC <- proc:
+		return nil
+	case <-s.doneC:
+		return fmt.Errorf("dist: serve run already over")
+	}
+}
+
+// Serve starts a long-running ingestion service: spawn and handshake like
+// Run, then keep the topology alive under the open client stream until
+// Drain. The returned Server carries the frontend's resolved addresses.
+func Serve(cfg Config) (*Server, error) {
+	if cfg.Serve == nil {
+		return nil, errors.New("dist: Serve requires Config.Serve")
+	}
+	if cfg.RT.FlushDeadline <= 0 {
+		return nil, errors.New("dist: serve mode requires a positive FlushDeadline")
+	}
+	co, ln, cleanup, err := prepare(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*Server, error) {
+		co.abortAndReap(err)
+		cleanup()
+		return nil, err
+	}
+	timeout := time.NewTimer(co.cfg.StartTimeout)
+	defer timeout.Stop()
+	if err := co.handshake(ln, timeout); err != nil {
+		return fail(err)
+	}
+	if err := co.broadcast(opStart, nil); err != nil {
+		return fail(err)
+	}
+	sm, err := co.awaitServing(timeout)
+	if err != nil {
+		return fail(err)
+	}
+	srv := &Server{
+		addr:        sm.Addr,
+		metricsAddr: sm.MetricsAddr,
+		drainC:      make(chan struct{}),
+		killC:       make(chan int),
+		doneC:       make(chan struct{}),
+	}
+	go func() {
+		res, err := co.serveLoop(srv)
+		if err != nil {
+			co.abortAndReap(err)
+		}
+		cleanup()
+		srv.res, srv.err = res, err
+		close(srv.doneC)
+	}()
+	return srv, nil
+}
+
+// awaitServing waits for the frontend process's Serving message (its
+// listeners are up), tolerating the liveness chatter of already-running
+// workers.
+func (co *coordinator) awaitServing(timeout *time.Timer) (servingMsg, error) {
+	const phase = "serving"
+	for {
+		select {
+		case ev := <-co.events:
+			if ev.err != nil {
+				return servingMsg{}, co.peerFailure(phase, ev.proc, fmt.Errorf("control read: %w", ev.err))
+			}
+			switch ev.op {
+			case opServing:
+				if ev.proc != 0 {
+					return servingMsg{}, fmt.Errorf("dist: serving message from proc %d, want the frontend proc 0", ev.proc)
+				}
+				return decode[servingMsg](ev.f)
+			case opQuiet, opCounts:
+				// Liveness chatter from workers already running; harmless.
+			case opError:
+				em, _ := decode[errorMsg](ev.f)
+				return servingMsg{}, co.peerFailure(phase, blamed(ev.proc, em, co.P), errors.New(em.Msg))
+			default:
+				return servingMsg{}, fmt.Errorf("dist: unexpected op %d from proc=%d phase=%s", ev.op, ev.proc, phase)
+			}
+		case ex := <-co.waitErr:
+			co.reap(ex)
+			return servingMsg{}, co.peerFailure(phase, ex.proc, exitCause(ex))
+		case <-timeout.C:
+			return servingMsg{}, fmt.Errorf("dist: timeout (%v) waiting for the frontend to serve", co.cfg.StartTimeout)
+		}
+	}
+}
+
+// serveLoop is the serving phase: keep every worker honest while the
+// frontend absorbs the client stream, until a drain request or a failure.
+// Probe rounds run purely as heartbeats — replies prove workers alive, the
+// coordinator's probes prove it alive to nobody (workers only watch their
+// control connection), and the counters are ignored: an open stream can
+// balance momentarily or never, neither means anything.
+func (co *coordinator) serveLoop(srv *Server) (Result, error) {
+	const phase = "serve"
+	hb := co.cfg.HeartbeatInterval
+	now := time.Now()
+	for p := range co.lastHeard {
+		co.lastHeard[p] = now
+	}
+	hbTick := time.NewTicker(hb / 2)
+	defer hbTick.Stop()
+	round := 0
+	lastProbe := now
+	for {
+		select {
+		case ev := <-co.events:
+			if ev.err != nil {
+				return Result{}, co.peerFailure(phase, ev.proc, fmt.Errorf("control read: %w", ev.err))
+			}
+			co.lastHeard[ev.proc] = time.Now()
+			switch ev.op {
+			case opQuiet, opCounts:
+				// Heartbeats; contents irrelevant while serving.
+			case opError:
+				em, _ := decode[errorMsg](ev.f)
+				return Result{}, co.peerFailure(phase, blamed(ev.proc, em, co.P), errors.New(em.Msg))
+			default:
+				return Result{}, fmt.Errorf("dist: unexpected op %d from proc=%d phase=%s", ev.op, ev.proc, phase)
+			}
+		case ex := <-co.waitErr:
+			co.reap(ex)
+			return Result{}, co.peerFailure(phase, ex.proc, exitCause(ex))
+		case p := <-srv.killC:
+			co.killWorker(p)
+		case <-srv.drainC:
+			return co.drainAndFinish()
+		case tick := <-hbTick.C:
+			for p := 0; p < co.P; p++ {
+				if co.exited[p] {
+					continue
+				}
+				if silent := tick.Sub(co.lastHeard[p]); silent > 4*hb {
+					return Result{}, co.peerFailure(phase, p,
+						fmt.Errorf("%w: no control traffic for %v", ErrPeerDied, silent.Round(time.Millisecond)))
+				}
+			}
+			if tick.Sub(lastProbe) > hb {
+				round++
+				lastProbe = tick
+				if err := co.sendProbes(round); err != nil {
+					return Result{}, err
+				}
+			}
+		}
+	}
+}
+
+// killWorker force-terminates one worker process; its exit lands on waitErr
+// like any crash.
+func (co *coordinator) killWorker(proc int) {
+	for i, sp := range co.specs {
+		if sp.proc == proc && i < len(co.cmds) && co.cmds[i].Process != nil {
+			_ = co.cmds[i].Process.Kill()
+			return
+		}
+	}
+}
+
+// drainAndFinish is the shutdown phase: close the ingestion edge, prove the
+// now-finite stream delivered, collect reports.
+func (co *coordinator) drainAndFinish() (Result, error) {
+	if err := co.ctrls[0].send(0, opDrain, nil); err != nil {
+		return Result{}, co.peerFailure("drain", 0, fmt.Errorf("drain send: %w", err))
+	}
+	dt := co.cfg.Serve.DrainTimeout
+	if dt <= 0 {
+		dt = co.cfg.StartTimeout
+	}
+	timeout := time.NewTimer(dt)
+	defer timeout.Stop()
+	start := time.Now()
+	// Await the frontend's Drained. The edge drain can legitimately take a
+	// while (it finishes in-flight admissions against a possibly-backlogged
+	// runtime), so worker liveness keeps running off process exits and
+	// control errors rather than heartbeat silence.
+	for drained := false; !drained; {
+		select {
+		case ev := <-co.events:
+			if ev.err != nil {
+				return Result{}, co.peerFailure("drain", ev.proc, fmt.Errorf("control read: %w", ev.err))
+			}
+			switch ev.op {
+			case opDrained:
+				drained = true
+			case opQuiet, opCounts:
+			case opError:
+				em, _ := decode[errorMsg](ev.f)
+				return Result{}, co.peerFailure("drain", blamed(ev.proc, em, co.P), errors.New(em.Msg))
+			default:
+				return Result{}, fmt.Errorf("dist: unexpected op %d from proc=%d phase=drain", ev.op, ev.proc)
+			}
+		case ex := <-co.waitErr:
+			co.reap(ex)
+			return Result{}, co.peerFailure("drain", ex.proc, exitCause(ex))
+		case <-timeout.C:
+			return Result{}, fmt.Errorf("dist: timeout (%v) draining the ingestion edge", dt)
+		}
+	}
+	// The stream is finite now: standard four-counter detection proves the
+	// admitted tail delivered (RunTimeout bounds it, measured from the drain).
+	if err := co.probeToQuiescence(start); err != nil {
+		return Result{}, err
+	}
+	wall := time.Since(start)
+	fin := time.NewTimer(co.cfg.StartTimeout)
+	defer fin.Stop()
+	return co.finish(wall, fin)
+}

@@ -12,6 +12,7 @@ import (
 	"tramlib/internal/cluster"
 	"tramlib/internal/faultinject"
 	"tramlib/internal/rt"
+	"tramlib/internal/stats"
 	"tramlib/internal/transport"
 	"tramlib/internal/wire"
 )
@@ -38,6 +39,11 @@ type App struct {
 	// quiescence (it runs after every worker goroutine has exited). The
 	// coordinator returns the bytes verbatim in ProcResult.Report.
 	Report func() []byte
+	// Serve builds the ingestion frontend on the frontend process (proc 0) of
+	// a serve run (Config.Serve non-nil; use dist.Serve): the worker calls it
+	// once the runtime is running and reports the resolved addresses back to
+	// the coordinator. Required for serve runs, unused for batch runs.
+	Serve ServeBinder
 }
 
 // BuildFunc reconstructs a registered application inside a worker process
@@ -326,7 +332,21 @@ func runWorker(proc cluster.ProcID, ctrlPath string, build BuildFunc) error {
 	}
 	cfg := app.RT
 	cfg.Part = &rt.Partition{Proc: proc, Remote: tr}
+	// On a serve run the frontend process's runtime runs in serve mode: its
+	// ingress machinery admits client events, and its flush-latency histogram
+	// feeds the metrics endpoint (created here and installed before Run so the
+	// runtime never sees it change while running).
+	var flushHist *stats.AtomicHist
+	serving := setup.Serve != nil && proc == 0
+	if serving {
+		cfg.Serve = true
+		cfg.IngressCap = setup.Serve.IngressCap
+		flushHist = stats.NewAtomicHist()
+	}
 	rtm := rt.New(cfg, app.Deliver, app.Spawn)
+	if flushHist != nil {
+		rtm.SetFlushHist(flushHist)
+	}
 	tr.rtm = rtm
 	quiet := make(chan struct{}, 1)
 	rtm.SetQuietNotify(quiet)
@@ -438,11 +458,16 @@ func runWorker(proc cluster.ProcID, ctrlPath string, build BuildFunc) error {
 	}()
 
 	// stopAll unwinds the run: stop the runtime, interrupt the data plane so
-	// blocked sends error out instead of parking, and wait for the runtime
-	// goroutines to exit.
+	// blocked sends error out instead of parking, close the ingestion
+	// frontend (after the runtime stop, so handlers blocked in Ingest have
+	// already erred out), and wait for the runtime goroutines to exit.
+	var fe FrontendHandle
 	stopAll := func() {
 		rtm.Stop()
 		mesh.Close()
+		if fe != nil {
+			fe.Close()
+		}
 		<-resC
 		close(stopNotify)
 		notifyWG.Wait()
@@ -450,11 +475,43 @@ func runWorker(proc cluster.ProcID, ctrlPath string, build BuildFunc) error {
 	// failed reports a run-phase failure to the coordinator and exits. blame
 	// is the peer this worker watched die (-1 when the failure is its own);
 	// the coordinator uses it to attribute the run failure to the process
-	// that failed rather than to the first one that noticed.
+	// that failed rather than to the first one that noticed. The frontend —
+	// if this worker hosts one — aborts first, so connected clients get the
+	// typed failure before their connections drop.
 	failed := func(blame int, err error) error {
+		if fe != nil {
+			at := blame
+			if at < 0 {
+				at = int(proc)
+			}
+			fe.Abort(at, "run", err.Error())
+		}
 		stopAll()
 		_ = ctrl.send(self, opError, errorMsg{Msg: err.Error(), Blame: blame})
 		return wrap("run", err)
+	}
+
+	// A serve run's frontend process binds the client listener once the
+	// runtime is live and reports its resolved addresses; the coordinator
+	// relays them to the Serve caller.
+	if serving {
+		if app.Serve == nil {
+			return failed(-1, fmt.Errorf("serve run, but app %q has no Serve binder", setup.Name))
+		}
+		h, err := app.Serve(rtm, ServeOpts{
+			Listen:        setup.Serve.Listen,
+			MetricsListen: setup.Serve.MetricsListen,
+			IngressCap:    setup.Serve.IngressCap,
+			FlushHist:     flushHist,
+		})
+		if err != nil {
+			return failed(-1, fmt.Errorf("bind frontend: %w", err))
+		}
+		fe = h
+		if err := ctrl.send(self, opServing, servingMsg{Addr: fe.Addr(), MetricsAddr: fe.MetricsAddr()}); err != nil {
+			stopAll()
+			return lost("serve", err)
+		}
 	}
 
 	// Run loop: answer probes until the coordinator proves termination,
@@ -466,6 +523,9 @@ func runWorker(proc cluster.ProcID, ctrlPath string, build BuildFunc) error {
 				// The coordinator vanished. Nobody is left to prove
 				// quiescence or collect the report: stop and exit rather
 				// than run orphaned forever.
+				if fe != nil {
+					fe.Abort(-1, "run", fmt.Sprintf("coordinator lost: %v", m.err))
+				}
 				stopAll()
 				return lost("run", m.err)
 			}
@@ -489,10 +549,43 @@ func runWorker(proc cluster.ProcID, ctrlPath string, build BuildFunc) error {
 			case opAbort:
 				// The coordinator is tearing the run down (some peer
 				// failed); unwind quietly — it already has the real error.
+				// A frontend relays the abort's attribution to its clients
+				// as a typed failure first.
+				if fe != nil {
+					am := abortMsg{Proc: -1}
+					if len(m.f.Payload) > 0 {
+						if d, err := decode[abortMsg](m.f); err == nil {
+							am = d
+						}
+					}
+					reason := am.Reason
+					if reason == "" {
+						reason = "run aborted"
+					}
+					fe.Abort(am.Proc, am.Phase, reason)
+				}
 				stopAll()
 				return nil
+			case opDrain:
+				// Close the ingestion edge in the background: Drain can
+				// legitimately block on a backlogged runtime, and the
+				// coordinator's quiescence probes must keep being answered
+				// meanwhile.
+				if fe == nil {
+					return failed(-1, fmt.Errorf("drain sent to a non-serving worker"))
+				}
+				go func() {
+					_ = fe.Drain()
+					_ = ctrl.send(self, opDrained, nil)
+				}()
 			case opFinish:
 				faultinject.Fire(faultinject.PointPhaseReport)
+				if fe != nil {
+					// Serve runs reach Finish only after the drain, so the
+					// frontend's handlers have exited; this just releases
+					// its listeners and metrics endpoint.
+					fe.Close()
+				}
 				rtm.Stop()
 				res := <-resC
 				close(stopNotify)

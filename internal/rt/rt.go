@@ -90,6 +90,7 @@ import (
 	"tramlib/internal/cluster"
 	"tramlib/internal/core"
 	"tramlib/internal/shmem"
+	"tramlib/internal/stats"
 )
 
 // Item is one in-flight application item: a packed payload addressed to a
@@ -159,7 +160,25 @@ type Config struct {
 	// Part.Proc's workers execute locally and cross-process batches flow
 	// through Part.Remote. Nil runs the whole topology in-process.
 	Part *Partition
+	// Serve switches the runtime to the run-forever service lifecycle: local
+	// quiescence notifies (SetQuietNotify) instead of terminating the run,
+	// external events enter through Ingest under bounded per-destination
+	// admission (IngressCap), and only Stop ends the run — after the caller
+	// has drained (see WaitQuiet). Requires FlushDeadline > 0: an open-ended
+	// run has no end-of-generation flush, so the latency bound is the only
+	// thing guaranteeing buffered items ever leave.
+	Serve bool
+	// IngressCap bounds the number of admitted-but-undelivered ingress items
+	// per destination worker (serve mode only): Ingest blocks — and TryIngest
+	// sheds — once a destination's ingress window is full, so a stalled
+	// consumer backpressures its own clients instead of growing the inbox
+	// without bound. 0 selects DefaultIngressCap.
+	IngressCap int
 }
+
+// DefaultIngressCap is the per-destination-worker admission window used when
+// Config.IngressCap is 0 in serve mode.
+const DefaultIngressCap = 4096
 
 // DefaultConfig returns a paper-like real-runtime configuration.
 func DefaultConfig(topo cluster.Topology, scheme core.Scheme) Config {
@@ -196,6 +215,12 @@ func (c Config) Validate() error {
 		if c.Part.Remote == nil {
 			return fmt.Errorf("rt: partitioned config needs a Remote transport")
 		}
+	}
+	if c.IngressCap < 0 {
+		return fmt.Errorf("rt: negative IngressCap")
+	}
+	if c.Serve && c.FlushDeadline <= 0 {
+		return fmt.Errorf("rt: serve mode requires a positive FlushDeadline")
 	}
 	return nil
 }
@@ -268,6 +293,7 @@ type msg struct {
 	items    []Item   // mkItems
 	runs     []Run    // mkRuns
 	inlined  bool     // payloads aliases inline (single-item fast path)
+	ingress  bool     // delivery releases one ingress credit (serve mode)
 	inline   [1]uint64
 }
 
@@ -352,6 +378,15 @@ type Runtime struct {
 	recvCross atomic.Int64
 	quietC    chan struct{}
 
+	// Serve-mode state (nil/unused otherwise): gates[d] is destination d's
+	// ingress admission window (a channel semaphore: a buffered slot per
+	// admitted-but-undelivered item), ingressBufs[p] aggregates ingress items
+	// bound for remote process p, and flushHist (if installed) observes
+	// realized batch ages at seal.
+	gates       []chan struct{}
+	ingressBufs []*shmem.MPBuffer[Item]
+	flushHist   *stats.AtomicHist
+
 	msgPool  sync.Pool // *msg
 	u64s     slicePool[uint64]
 	itemsPkd slicePool[Item]
@@ -431,6 +466,7 @@ func New(cfg Config, deliver DeliverFunc, spawn SpawnFunc) *Runtime {
 				}
 				dest := cluster.WorkerID(d)
 				b := shmem.NewSPBuffer(cfg.BufferItems, func(bt shmem.Batch[uint64]) {
+					rt.noteSeal(bt.Oldest)
 					rt.emitToWorker(dest, bt.Items, len(bt.Items) == cfg.BufferItems)
 				})
 				b.SetAlloc(rt.allocU64)
@@ -451,6 +487,7 @@ func New(cfg Config, deliver DeliverFunc, spawn SpawnFunc) *Runtime {
 				}
 				dst := cluster.ProcID(p)
 				b := shmem.NewSPBuffer(cfg.BufferItems, func(bt shmem.Batch[Item]) {
+					rt.noteSeal(bt.Oldest)
 					rt.emitToProc(w, dst, bt.Items, grouped, len(bt.Items) == cfg.BufferItems)
 				})
 				b.SetAlloc(rt.allocItems)
@@ -470,6 +507,7 @@ func New(cfg Config, deliver DeliverFunc, spawn SpawnFunc) *Runtime {
 				}
 				dst := cluster.ProcID(p)
 				b := shmem.NewMPBuffer(cfg.BufferItems, func(bt shmem.Batch[Item]) {
+					rt.noteSeal(bt.Oldest)
 					rt.emitToProc(nil, dst, bt.Items, false, len(bt.Items) == cfg.BufferItems)
 				})
 				b.SetAlloc(rt.allocItemsFull)
@@ -477,6 +515,9 @@ func New(cfg Config, deliver DeliverFunc, spawn SpawnFunc) *Runtime {
 			}
 			rt.procs[sp] = ps
 		}
+	}
+	if cfg.Serve {
+		rt.wireServe(cfg)
 	}
 	return rt
 }
@@ -956,6 +997,12 @@ func (w *worker) handle(m *msg) {
 			rt.deliver(&w.ctx, v)
 		}
 		rt.M.Delivered.Add(int64(n))
+		if m.ingress {
+			// The admitted item is delivered: open its slot in the
+			// destination's ingress window (ingress messages are inline, so
+			// exactly one credit).
+			rt.releaseIngress(w.id)
+		}
 		if !m.inlined {
 			rt.putU64(m.payloads)
 		}
@@ -1023,9 +1070,11 @@ func (rt *Runtime) finish(n int64) {
 
 func (rt *Runtime) checkQuiesce() {
 	if rt.producing.Load() == 0 && rt.inflight.Load() == 0 {
-		if rt.part != nil {
-			// Local quiet is not global quiet: items may be on the wire.
-			// Notify the coordinator glue and keep running until Stop.
+		if rt.part != nil || rt.cfg.Serve {
+			// Local quiet is not global quiet: items may be on the wire
+			// (partitioned mode), or the next external event may be one
+			// Ingest away (serve mode). Notify the coordinator glue and keep
+			// running until Stop.
 			if rt.quietC != nil {
 				select {
 				case rt.quietC <- struct{}{}:
@@ -1108,6 +1157,13 @@ func (rt *Runtime) progress() {
 		case <-tick.C:
 		}
 		cutoff := time.Now().Add(-rt.cfg.FlushDeadline).UnixNano()
+		// Ingress aggregation buffers (serve mode) are multi-producer and can
+		// be flushed from here directly, like the PP buffers below.
+		for _, b := range rt.ingressBufs {
+			if b != nil && b.FlushIfOlder(cutoff) {
+				rt.M.DeadlineFlushes.Add(1)
+			}
+		}
 		// Shared PP buffers can be flushed from here directly.
 		for _, ps := range rt.procs {
 			if ps == nil {

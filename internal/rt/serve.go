@@ -1,0 +1,291 @@
+// Serve mode: the run-forever lifecycle and bounded external ingress of the
+// tramserve subsystem (internal/serve, tram.Serve).
+//
+// A batch run ends itself at global quiescence; a service never does — it
+// absorbs an open event stream and only the operator ends it. Config.Serve
+// turns the quiescence transition into a notification (the same SetQuietNotify
+// channel partitioned mode uses) and leaves termination to Stop, which the
+// drain sequence calls after WaitQuiet proves every admitted event delivered.
+//
+// External events enter through Ingest, never through the unbounded inbox
+// directly. Each destination worker has an admission window of
+// Config.IngressCap credits (a channel semaphore); an event holds one credit
+// from admission to delivery, so the serve path adds at most IngressCap items
+// per destination to the inbox — bounded by construction, no Treiber-stack
+// growth — and a stalled consumer blocks exactly the clients targeting it
+// (Ingest blocks → the frontend stops reading that connection → TCP
+// backpressure) while other destinations keep flowing. Runtime-internal
+// traffic (kernel Sends, Deliver chains) is deliberately NOT gated: gating it
+// would deadlock workers against each other, and its volume is bounded by the
+// admitted events' amplification.
+//
+// In partitioned serve mode (the Dist frontend process), ingress items bound
+// for remote processes aggregate in a dedicated multi-producer buffer per
+// destination process — frontend connection goroutines are not workers and
+// own no single-producer buffers — sealed by occupancy or by the progress
+// goroutine's deadline, then shipped through Part.Remote like any other
+// batch. Their credits release at hand-off to the transport, whose links are
+// bounded by construction, so the end-to-end admitted-but-unsent bound per
+// destination is IngressCap + one sealing batch.
+package rt
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"tramlib/internal/cluster"
+	"tramlib/internal/core"
+	"tramlib/internal/shmem"
+	"tramlib/internal/stats"
+)
+
+// Serve-mode sentinel errors.
+var (
+	// ErrNotServing marks Ingest on a runtime without Config.Serve.
+	ErrNotServing = errors.New("rt: runtime is not in serve mode")
+	// ErrStopped marks an ingest attempted after Stop.
+	ErrStopped = errors.New("rt: runtime stopped")
+	// ErrIngestAborted marks an ingest abandoned via its abort channel.
+	ErrIngestAborted = errors.New("rt: ingest aborted")
+)
+
+// wireServe builds the serve-mode structures: one admission gate per
+// destination worker, and (partitioned mode, aggregating schemes) one
+// multi-producer ingress buffer per remote process.
+func (rt *Runtime) wireServe(cfg Config) {
+	cap := cfg.IngressCap
+	if cap <= 0 {
+		cap = DefaultIngressCap
+	}
+	rt.gates = make([]chan struct{}, rt.topo.TotalWorkers())
+	for i := range rt.gates {
+		rt.gates[i] = make(chan struct{}, cap)
+	}
+	if rt.part != nil && cfg.Scheme != core.Direct {
+		rt.ingressBufs = make([]*shmem.MPBuffer[Item], rt.topo.TotalProcs())
+		for p := range rt.ingressBufs {
+			if cluster.ProcID(p) == rt.part.Proc {
+				continue
+			}
+			dst := cluster.ProcID(p)
+			b := shmem.NewMPBuffer(cfg.BufferItems, func(bt shmem.Batch[Item]) {
+				rt.noteSeal(bt.Oldest)
+				// Credits release at transport hand-off: read the dests
+				// before emitToProc, which consumes (and may recycle) the
+				// slice.
+				for _, it := range bt.Items {
+					rt.releaseIngress(it.Dest)
+				}
+				rt.emitToProc(nil, dst, bt.Items, false, len(bt.Items) == cfg.BufferItems)
+			})
+			b.SetAlloc(rt.allocItemsFull)
+			rt.ingressBufs[p] = b
+		}
+	}
+}
+
+// Ingest admits one external event for delivery to worker dest, blocking
+// while the destination's admission window is full (backpressure). A nil
+// abort channel blocks until admission or Stop. On success the event is in
+// the runtime — an admission-time ack is a delivery guarantee once the drain
+// sequence completes. Safe from any goroutine.
+func (rt *Runtime) Ingest(dest cluster.WorkerID, value uint64, abort <-chan struct{}) error {
+	if rt.gates == nil {
+		return ErrNotServing
+	}
+	if int(dest) < 0 || int(dest) >= len(rt.gates) {
+		return fmt.Errorf("rt: ingest dest %d outside topology %v", dest, rt.topo)
+	}
+	g := rt.gates[dest]
+	select {
+	case g <- struct{}{}:
+	default:
+		select {
+		case g <- struct{}{}:
+		case <-abort:
+			return ErrIngestAborted
+		case <-rt.done:
+			return ErrStopped
+		}
+	}
+	// Re-check after a possibly long block: an event admitted after Stop
+	// would be silently dropped by the exiting workers.
+	select {
+	case <-rt.done:
+		<-g
+		return ErrStopped
+	default:
+	}
+	rt.admit(dest, value)
+	return nil
+}
+
+// TryIngest admits one external event without blocking, reporting false if
+// the destination's admission window is full (deterministic load shedding)
+// or the runtime is stopped. Safe from any goroutine.
+func (rt *Runtime) TryIngest(dest cluster.WorkerID, value uint64) bool {
+	if rt.gates == nil || int(dest) < 0 || int(dest) >= len(rt.gates) {
+		return false
+	}
+	select {
+	case <-rt.done:
+		return false
+	default:
+	}
+	select {
+	case rt.gates[dest] <- struct{}{}:
+	default:
+		return false
+	}
+	rt.admit(dest, value)
+	return true
+}
+
+// admit routes an admitted event (its credit already held) into the runtime.
+func (rt *Runtime) admit(dest cluster.WorkerID, value uint64) {
+	rt.M.Inserted.Add(1)
+	rt.inflight.Add(1)
+	if rt.part != nil && rt.topo.ProcOf(dest) != rt.part.Proc {
+		// ingressBufs is nil under the Direct scheme (nothing aggregates).
+		if rt.ingressBufs != nil {
+			if b := rt.ingressBufs[rt.topo.ProcOf(dest)]; b != nil {
+				b.Push(Item{Dest: dest, Val: value})
+				return
+			}
+		}
+		// Direct scheme: one wire message per event, credit released at
+		// hand-off like a sealed batch's.
+		rt.sentCross.Add(1)
+		rt.part.Remote.SendOne(dest, value)
+		rt.releaseIngress(dest)
+		rt.finish(1)
+		return
+	}
+	m := rt.getMsg()
+	m.kind = mkToWorker
+	m.inlined = true
+	m.ingress = true
+	m.inline[0] = value
+	m.payloads = m.inline[:1]
+	rt.post(rt.workers[dest], m)
+}
+
+// releaseIngress opens one slot in dest's admission window.
+func (rt *Runtime) releaseIngress(dest cluster.WorkerID) {
+	if rt.gates != nil {
+		<-rt.gates[dest]
+	}
+}
+
+// FlushIngress force-seals every partial ingress aggregation buffer (the
+// drain sequence calls it after the frontend stops admitting, so the tail of
+// the stream doesn't wait out the deadline). Safe from any goroutine.
+func (rt *Runtime) FlushIngress() {
+	for _, b := range rt.ingressBufs {
+		if b != nil {
+			b.Flush()
+		}
+	}
+}
+
+// IngressOccupancy returns the number of admitted-but-undelivered ingress
+// events currently held against worker dest, and the window capacity. Safe
+// from any goroutine.
+func (rt *Runtime) IngressOccupancy(dest cluster.WorkerID) (used, capacity int) {
+	if rt.gates == nil || int(dest) < 0 || int(dest) >= len(rt.gates) {
+		return 0, 0
+	}
+	g := rt.gates[dest]
+	return len(g), cap(g)
+}
+
+// WaitQuiet blocks until the runtime is locally quiet — no producing worker,
+// no in-flight item — or the abort channel fires. It is the serve drain's
+// delivery barrier: valid only after external ingestion has stopped (and, in
+// whole-topology mode, quiet is then permanent, since deliveries only retire
+// work). A nil abort waits indefinitely.
+func (rt *Runtime) WaitQuiet(abort <-chan struct{}) error {
+	tick := time.NewTicker(100 * time.Microsecond)
+	defer tick.Stop()
+	for {
+		if rt.LocallyQuiet() {
+			return nil
+		}
+		select {
+		case <-abort:
+			return ErrIngestAborted
+		case <-tick.C:
+		}
+	}
+}
+
+// SetFlushHist installs a histogram observing every sealed batch's realized
+// age (nanoseconds from its oldest item's arrival to seal) — the service's
+// flush-latency distribution, the quantity Config.FlushDeadline bounds. Must
+// be called before Run.
+func (rt *Runtime) SetFlushHist(h *stats.AtomicHist) { rt.flushHist = h }
+
+// noteSeal feeds the installed flush histogram (no-op otherwise; oldest == 0
+// means the batch's arrival stamp was unknown).
+func (rt *Runtime) noteSeal(oldest int64) {
+	if h := rt.flushHist; h != nil && oldest != 0 {
+		h.Observe(time.Now().UnixNano() - oldest)
+	}
+}
+
+// Counters is a plain snapshot of the runtime's activity counters and
+// liveness gauges, the scrape-endpoint surface (Metrics holds the live
+// atomics; Result exists only after a run ends). Flush causes are split:
+// FullBatches counts occupancy-triggered seals, Flushes counts
+// explicit/idle/deadline seals, and DeadlineFlushes the deadline subset.
+type Counters struct {
+	Inserted    int64
+	Delivered   int64
+	SelfItems   int64
+	LocalDirect int64
+
+	Batches         int64
+	FullBatches     int64
+	Flushes         int64
+	DeadlineFlushes int64
+
+	// Inflight is the current admitted-but-undelivered item count; Producing
+	// the workers still in their generation phase.
+	Inflight  int64
+	Producing int64
+
+	// RemoteSent/RemoteRecv mirror CrossCounts (partitioned mode).
+	RemoteSent int64
+	RemoteRecv int64
+
+	// IngressUsed sums the admission-window occupancy over all destinations;
+	// IngressCap is the per-destination window size (serve mode, else 0).
+	IngressUsed int64
+	IngressCap  int64
+}
+
+// Counters snapshots the runtime's counters. Safe from any goroutine, during
+// or after a run; individual fields are loaded independently (monitoring
+// consistency, not a linearizable cut).
+func (rt *Runtime) Counters() Counters {
+	c := Counters{
+		Inserted:        rt.M.Inserted.Load(),
+		Delivered:       rt.M.Delivered.Load() + rt.M.SelfItems.Load(),
+		SelfItems:       rt.M.SelfItems.Load(),
+		LocalDirect:     rt.M.LocalDirect.Load(),
+		Batches:         rt.M.Batches.Load(),
+		FullBatches:     rt.M.FullBatches.Load(),
+		Flushes:         rt.M.Flushes.Load(),
+		DeadlineFlushes: rt.M.DeadlineFlushes.Load(),
+		Inflight:        rt.inflight.Load(),
+		Producing:       rt.producing.Load(),
+		RemoteSent:      rt.sentCross.Load(),
+		RemoteRecv:      rt.recvCross.Load(),
+	}
+	for _, g := range rt.gates {
+		c.IngressUsed += int64(len(g))
+		c.IngressCap = int64(cap(g))
+	}
+	return c
+}

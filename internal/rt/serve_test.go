@@ -1,0 +1,258 @@
+package rt
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tramlib/internal/cluster"
+	"tramlib/internal/core"
+	"tramlib/internal/stats"
+)
+
+// serveConfig returns a small whole-topology serve-mode configuration.
+func serveConfig(scheme core.Scheme, ingressCap int) Config {
+	return Config{
+		Topo:          cluster.SMP(1, 2, 2),
+		Scheme:        scheme,
+		BufferItems:   64,
+		FlushDeadline: 200 * time.Microsecond,
+		ChunkSize:     64,
+		Serve:         true,
+		IngressCap:    ingressCap,
+	}
+}
+
+// consumeOnly is the serve-mode spawn: no generation phase.
+func consumeOnly(cluster.WorkerID) (int, KernelFunc) { return 0, nil }
+
+// TestServeIngestDrain: concurrent producers ingest through the gates, the
+// drain sequence (stop ingesting -> WaitQuiet -> Stop) retires every admitted
+// event, and the run ends with Delivered == Inserted. Run under -race this is
+// the serve path's core concurrency test.
+func TestServeIngestDrain(t *testing.T) {
+	for _, scheme := range core.Schemes() {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			cfg := serveConfig(scheme, 128)
+			W := cfg.Topo.TotalWorkers()
+			var delivered atomic.Int64
+			rtm := New(cfg, func(ctx *Ctx, v uint64) {
+				delivered.Add(1)
+				ctx.Contribute(1)
+			}, consumeOnly)
+
+			resC := make(chan Result, 1)
+			go func() { resC <- rtm.Run() }()
+
+			const producers, perProducer = 6, 5_000
+			var wg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for i := 0; i < perProducer; i++ {
+						dest := cluster.WorkerID((p + i) % W)
+						if err := rtm.Ingest(dest, uint64(i), nil); err != nil {
+							t.Errorf("ingest: %v", err)
+							return
+						}
+					}
+				}(p)
+			}
+			wg.Wait()
+			if err := rtm.WaitQuiet(nil); err != nil {
+				t.Fatalf("WaitQuiet: %v", err)
+			}
+			rtm.Stop()
+			res := <-resC
+
+			const total = producers * perProducer
+			if delivered.Load() != total {
+				t.Fatalf("delivered %d of %d", delivered.Load(), total)
+			}
+			if res.Delivered != total || res.Inserted != total || res.Reduced != total {
+				t.Fatalf("result delivered/inserted/reduced = %d/%d/%d, want %d",
+					res.Delivered, res.Inserted, res.Reduced, total)
+			}
+			c := rtm.Counters()
+			if c.Inflight != 0 || c.IngressUsed != 0 {
+				t.Fatalf("post-drain inflight=%d ingressUsed=%d, want 0/0", c.Inflight, c.IngressUsed)
+			}
+		})
+	}
+}
+
+// TestServeBackpressureBound: a wedged destination worker blocks ingest for
+// its own window only — occupancy never exceeds IngressCap (bounded by
+// construction) — while events for live destinations keep flowing the whole
+// time.
+func TestServeBackpressureBound(t *testing.T) {
+	const ingressCap = 32
+	cfg := serveConfig(core.Direct, ingressCap)
+	release := make(chan struct{})
+	var stalledSeen, liveSeen atomic.Int64
+	rtm := New(cfg, func(ctx *Ctx, v uint64) {
+		if ctx.Self() == 0 {
+			if stalledSeen.Add(1) == 1 {
+				<-release // wedge worker 0 on its first delivery
+			}
+			return
+		}
+		liveSeen.Add(1)
+	}, consumeOnly)
+	resC := make(chan Result, 1)
+	go func() { resC <- rtm.Run() }()
+
+	// Fill destination 0 past its window: the first event wedges the worker,
+	// the next ingressCap fill the window, further ones must shed.
+	admitted := 0
+	for i := 0; i < ingressCap+1; i++ {
+		if rtm.TryIngest(0, uint64(i)) {
+			admitted++
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for rtm.TryIngest(0, 999) {
+		admitted++
+		if admitted > ingressCap+2 || time.Now().After(deadline) {
+			t.Fatalf("admitted %d events for a wedged destination (cap %d)", admitted, ingressCap)
+		}
+	}
+	if used, capacity := rtm.IngressOccupancy(0); used != capacity || capacity != ingressCap {
+		t.Fatalf("wedged occupancy = %d/%d, want full window of %d", used, capacity, ingressCap)
+	}
+
+	// Live destinations flow while 0 is wedged.
+	for i := 0; i < 10_000; i++ {
+		if err := rtm.Ingest(1, uint64(i), nil); err != nil {
+			t.Fatalf("live ingest: %v", err)
+		}
+	}
+	waitFor(t, func() bool { return liveSeen.Load() == 10_000 }, "live deliveries")
+
+	// A blocking Ingest on the wedged destination aborts cleanly.
+	abort := make(chan struct{})
+	errC := make(chan error, 1)
+	go func() { errC <- rtm.Ingest(0, 1, abort) }()
+	time.Sleep(time.Millisecond)
+	close(abort)
+	if err := <-errC; !errors.Is(err, ErrIngestAborted) {
+		t.Fatalf("aborted ingest err = %v, want ErrIngestAborted", err)
+	}
+
+	close(release)
+	if err := rtm.WaitQuiet(nil); err != nil {
+		t.Fatalf("WaitQuiet: %v", err)
+	}
+	rtm.Stop()
+	res := <-resC
+	if want := int64(admitted) + 10_000; res.Delivered != want {
+		t.Fatalf("delivered %d, want %d (every admitted event)", res.Delivered, want)
+	}
+}
+
+// TestServeCountersRace: Counters and IngressOccupancy are safe to scrape
+// concurrently with ingest and delivery (the -race build is the assertion),
+// and the flush histogram observes sealed-batch ages.
+func TestServeCountersRace(t *testing.T) {
+	cfg := serveConfig(core.PP, 256)
+	W := cfg.Topo.TotalWorkers()
+	hist := stats.NewAtomicHist()
+	rtm := New(cfg, func(ctx *Ctx, v uint64) {}, consumeOnly)
+	rtm.SetFlushHist(hist)
+	resC := make(chan Result, 1)
+	go func() { resC <- rtm.Run() }()
+
+	stop := make(chan struct{})
+	var scrapes sync.WaitGroup
+	scrapes.Add(1)
+	go func() {
+		defer scrapes.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c := rtm.Counters()
+			if c.Inflight < 0 || c.IngressUsed < 0 || c.IngressUsed > int64(W)*c.IngressCap {
+				t.Errorf("implausible counters: %+v", c)
+				return
+			}
+			for w := 0; w < W; w++ {
+				rtm.IngressOccupancy(cluster.WorkerID(w))
+			}
+			hist.State()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 20_000; i++ {
+				rtm.Ingest(cluster.WorkerID(i%W), uint64(i), nil)
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(stop)
+	scrapes.Wait()
+	rtm.WaitQuiet(nil)
+	rtm.Stop()
+	<-resC
+
+	c := rtm.Counters()
+	if c.Inserted != 80_000 || c.Delivered != 80_000 {
+		t.Fatalf("inserted/delivered = %d/%d, want 80000/80000", c.Inserted, c.Delivered)
+	}
+	if c.Batches != c.FullBatches+c.Flushes {
+		t.Fatalf("batches %d != full %d + flushes %d", c.Batches, c.FullBatches, c.Flushes)
+	}
+}
+
+// TestServeValidate: serve-mode configuration errors and misuse sentinels.
+func TestServeValidate(t *testing.T) {
+	cfg := serveConfig(core.WW, 16)
+	cfg.FlushDeadline = 0
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("serve mode without FlushDeadline validated")
+	}
+	cfg = serveConfig(core.WW, -1)
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative IngressCap validated")
+	}
+
+	plain := New(DefaultConfig(cluster.SMP(1, 1, 2), core.Direct), func(*Ctx, uint64) {}, consumeOnly)
+	if err := plain.Ingest(0, 1, nil); !errors.Is(err, ErrNotServing) {
+		t.Fatalf("non-serve ingest err = %v, want ErrNotServing", err)
+	}
+	if plain.TryIngest(0, 1) {
+		t.Fatal("non-serve TryIngest admitted")
+	}
+
+	srv := New(serveConfig(core.Direct, 4), func(*Ctx, uint64) {}, consumeOnly)
+	if err := srv.Ingest(99, 1, nil); err == nil {
+		t.Fatal("out-of-range dest admitted")
+	}
+	srv.Stop()
+	if err := srv.Ingest(0, 1, nil); !errors.Is(err, ErrStopped) {
+		t.Fatalf("post-stop ingest err = %v, want ErrStopped", err)
+	}
+}
+
+// waitFor polls cond until true or failure after a generous deadline.
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}

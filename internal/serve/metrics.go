@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"tramlib/internal/rt"
+	"tramlib/internal/stats"
+)
+
+// MetricsSource exposes the runtime half of the scrape endpoint: live
+// counters plus the flush-latency histogram the runtime feeds. Scheme labels
+// the output so dashboards can compare aggregation schemes.
+type MetricsSource struct {
+	Scheme    string
+	Counters  func() rt.Counters
+	FlushHist *stats.AtomicHist
+}
+
+// metricsServer serves the plain-text scrape endpoint. Each GET /metrics
+// reports cumulative counters plus windowed rates and flush-latency quantiles
+// (the delta since the previous scrape, via stats.Window).
+type metricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+	fe  *Frontend
+	src *MetricsSource
+
+	mu         sync.Mutex
+	flushWin   stats.Window
+	lastScrape time.Time
+	lastAdm    int64
+}
+
+func newMetricsServer(listen string, fe *Frontend, src *MetricsSource) (*metricsServer, error) {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("serve: metrics listen %s: %w", listen, err)
+	}
+	m := &metricsServer{ln: ln, fe: fe, src: src, lastScrape: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", m.handle)
+	m.srv = &http.Server{Handler: mux}
+	go m.srv.Serve(ln)
+	return m, nil
+}
+
+func (m *metricsServer) addr() string { return m.ln.Addr().String() }
+
+func (m *metricsServer) close() { m.srv.Close() }
+
+// handle renders one scrape. The windowed sections (events/sec, flush-latency
+// quantiles) cover the interval since the previous scrape; scrape-state
+// mutation is serialized so concurrent scrapers cannot corrupt the window,
+// though each then sees its own (shorter) interval.
+func (m *metricsServer) handle(w http.ResponseWriter, _ *http.Request) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := time.Now()
+	dt := now.Sub(m.lastScrape).Seconds()
+	adm := m.fe.Admitted()
+	var eps float64
+	if dt > 0 {
+		eps = float64(adm-m.lastAdm) / dt
+	}
+	m.lastScrape, m.lastAdm = now, adm
+
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "tramserve_admitted_total %d\n", adm)
+	fmt.Fprintf(w, "tramserve_admitted_per_second %.1f\n", eps)
+	fmt.Fprintf(w, "tramserve_shed_total %d\n", m.fe.shed.Load())
+	fmt.Fprintf(w, "tramserve_connections %d\n", m.fe.Connections())
+	fmt.Fprintf(w, "tramserve_connections_total %d\n", m.fe.connsAll.Load())
+
+	if m.src == nil {
+		return
+	}
+	fmt.Fprintf(w, "tramserve_scheme{name=%q} 1\n", m.src.Scheme)
+	if m.src.Counters != nil {
+		c := m.src.Counters()
+		fmt.Fprintf(w, "tramserve_rt_inserted_total %d\n", c.Inserted)
+		fmt.Fprintf(w, "tramserve_rt_delivered_total %d\n", c.Delivered)
+		fmt.Fprintf(w, "tramserve_rt_inflight %d\n", c.Inflight)
+		fmt.Fprintf(w, "tramserve_rt_batches_total %d\n", c.Batches)
+		fmt.Fprintf(w, "tramserve_rt_full_batches_total %d\n", c.FullBatches)
+		fmt.Fprintf(w, "tramserve_rt_flushes_total %d\n", c.Flushes)
+		fmt.Fprintf(w, "tramserve_rt_deadline_flushes_total %d\n", c.DeadlineFlushes)
+		fmt.Fprintf(w, "tramserve_rt_remote_sent_total %d\n", c.RemoteSent)
+		fmt.Fprintf(w, "tramserve_rt_remote_recv_total %d\n", c.RemoteRecv)
+		fmt.Fprintf(w, "tramserve_ingress_used %d\n", c.IngressUsed)
+		fmt.Fprintf(w, "tramserve_ingress_cap %d\n", c.IngressCap)
+	}
+	if m.src.FlushHist != nil {
+		win := m.flushWin.Advance(m.src.FlushHist.State())
+		fmt.Fprintf(w, "tramserve_flush_latency_window_count %d\n", win.Count())
+		if win.Count() > 0 {
+			for _, q := range []struct {
+				name string
+				q    float64
+			}{{"p50", 0.50}, {"p99", 0.99}} {
+				fmt.Fprintf(w, "tramserve_flush_latency_ns{quantile=%q} %d\n",
+					q.name, win.Quantile(q.q))
+			}
+		}
+	}
+}

@@ -63,6 +63,11 @@ type Batch[T any] struct {
 	Items []T
 	// Seq is the buffer epoch (0 for the first batch, increasing).
 	Seq uint64
+	// Oldest is the UnixNano arrival stamp of the batch's oldest item (the
+	// OldestNanos value at seal time), or 0 when unknown — an MPBuffer slot-0
+	// claim whose stamp had not landed when the batch sealed. Consumers use
+	// it to measure realized flush latency (batch age at seal).
+	Oldest int64
 }
 
 // AllocFunc returns storage for one buffer generation: a slice with the given
@@ -111,10 +116,10 @@ func (b *SPBuffer[T]) Push(v T) {
 	}
 	b.items = append(b.items, v)
 	if len(b.items) == b.cap {
-		b.first.Store(0)
+		oldest := b.first.Swap(0)
 		items := b.items
 		b.items = b.fresh()
-		b.emit(Batch[T]{Items: items, Seq: b.seq})
+		b.emit(Batch[T]{Items: items, Seq: b.seq, Oldest: oldest})
 		b.seq++
 	}
 }
@@ -124,10 +129,10 @@ func (b *SPBuffer[T]) Flush() {
 	if len(b.items) == 0 {
 		return
 	}
-	b.first.Store(0)
+	oldest := b.first.Swap(0)
 	items := b.items
 	b.items = b.fresh()
-	b.emit(Batch[T]{Items: items, Seq: b.seq})
+	b.emit(Batch[T]{Items: items, Seq: b.seq, Oldest: oldest})
 	b.seq++
 }
 
@@ -207,7 +212,7 @@ func (b *MPBuffer[T]) Push(v T) {
 			// Last writer seals: install the next epoch first so
 			// spinning producers can proceed, then emit.
 			b.cur.Store(b.newEpoch())
-			b.emit(Batch[T]{Items: e.items, Seq: b.seq.Add(1) - 1})
+			b.emit(Batch[T]{Items: e.items, Seq: b.seq.Add(1) - 1, Oldest: e.first.Load()})
 		}
 		return
 	}
@@ -279,6 +284,6 @@ func (b *MPBuffer[T]) flushLocked(e *epoch[T]) bool {
 	for e.filled.Load() < claimed {
 		runtime.Gosched()
 	}
-	b.emit(Batch[T]{Items: e.items[:claimed], Seq: b.seq.Add(1) - 1})
+	b.emit(Batch[T]{Items: e.items[:claimed], Seq: b.seq.Add(1) - 1, Oldest: e.first.Load()})
 	return true
 }

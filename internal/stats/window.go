@@ -1,0 +1,179 @@
+// Windowed histogram snapshots and an atomically updatable histogram: the
+// live-metrics primitives of the tramserve scrape endpoint. A long-running
+// service wants per-interval quantiles ("p99 over the last scrape window"),
+// not since-boot aggregates that flatten every transient; Delta subtracts two
+// cumulative HistStates taken at the window edges, and Window packages the
+// bookkeeping. AtomicHist is the concurrent producer side: many goroutines
+// observe, any goroutine snapshots.
+package stats
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Delta returns the histogram of samples observed between the prev and cur
+// cumulative snapshots (cur taken after prev, both from the same histogram).
+// The per-bucket counts subtract exactly; the window's min and max cannot be
+// recovered from cumulative state, so they are approximated by the bounds of
+// the lowest and highest non-empty delta buckets (quantiles keep full bucket
+// resolution). A snapshot pair from a histogram that was reset in between —
+// or passed in the wrong order — yields negative counts; those are clamped
+// away and the delta reads as empty rather than nonsensical.
+func Delta(cur, prev HistState) HistState {
+	d := HistState{}
+	n := len(cur.Buckets)
+	if len(prev.Buckets) > n {
+		n = len(prev.Buckets)
+	}
+	var buckets []int64
+	lo, hi := -1, -1
+	for b := 0; b < n; b++ {
+		var c, p int64
+		if b < len(cur.Buckets) {
+			c = cur.Buckets[b]
+		}
+		if b < len(prev.Buckets) {
+			p = prev.Buckets[b]
+		}
+		db := c - p
+		if db <= 0 {
+			continue
+		}
+		if buckets == nil {
+			buckets = make([]int64, n)
+		}
+		buckets[b] = db
+		d.Count += db
+		if lo < 0 {
+			lo = b
+		}
+		hi = b
+	}
+	if d.Count == 0 {
+		return HistState{}
+	}
+	if s := cur.Sum - prev.Sum; s > 0 {
+		d.Sum = s
+	}
+	bl, _ := bucketBounds(lo)
+	_, bh := bucketBounds(hi)
+	d.Min, d.Max = bl, bh-1
+	if cur.Max < d.Max {
+		d.Max = cur.Max
+	}
+	// A window that moved the all-time extremum contains it, making the bucket
+	// bound exact; otherwise the bucket bound stands.
+	if prev.Count == 0 || cur.Min < prev.Min {
+		d.Min = cur.Min
+	}
+	if cur.Max > prev.Max {
+		d.Max = cur.Max
+	}
+	if d.Min > d.Max {
+		d.Min = d.Max
+	}
+	for hi := len(buckets); hi > 0; hi-- {
+		if buckets[hi-1] != 0 {
+			d.Buckets = buckets[:hi]
+			break
+		}
+	}
+	return d
+}
+
+// Window turns successive cumulative snapshots of one histogram into
+// per-interval histograms. Not safe for concurrent use; each scraper owns its
+// Window.
+type Window struct {
+	prev HistState
+	have bool
+}
+
+// Advance records cur as the new window edge and returns the histogram of
+// samples observed since the previous edge. The first call defines the first
+// edge and returns the cumulative history up to it (a service that wants to
+// discard boot-time samples calls Advance once at startup and drops the
+// result).
+func (w *Window) Advance(cur HistState) *Hist {
+	var h *Hist
+	if w.have {
+		h = FromState(Delta(cur, w.prev))
+	} else {
+		h = FromState(cur)
+	}
+	w.prev, w.have = cur, true
+	return h
+}
+
+// AtomicHist is a Hist whose Observe is safe from any goroutine, for the
+// serve path's concurrently produced samples (flush latencies observed by
+// worker goroutines, ack latencies observed by connection handlers). State
+// takes a best-effort snapshot: buckets are loaded one at a time, so a
+// snapshot racing with observers can be off by the samples in flight — fine
+// for monitoring, and the error does not accumulate across windows because
+// Delta subtracts snapshots taken the same way.
+type AtomicHist struct {
+	buckets [65]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64
+	max     atomic.Int64
+}
+
+// NewAtomicHist returns an empty concurrent histogram.
+func NewAtomicHist() *AtomicHist {
+	h := &AtomicHist{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// Observe records one sample (negative samples clamp to zero, as Hist does).
+func (h *AtomicHist) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.min.Load()
+		if v >= m || h.min.CompareAndSwap(m, v) {
+			break
+		}
+	}
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of samples observed so far.
+func (h *AtomicHist) Count() int64 { return h.count.Load() }
+
+// State snapshots the cumulative histogram in HistState form (see the type
+// comment for the consistency model). The snapshot's count is derived from
+// the bucket loads so Count == sum(Buckets) always holds within one state.
+func (h *AtomicHist) State() HistState {
+	s := HistState{Sum: h.sum.Load(), Max: h.max.Load()}
+	hi := 0
+	var buckets [65]int64
+	for b := range h.buckets {
+		if n := h.buckets[b].Load(); n > 0 {
+			buckets[b] = n
+			s.Count += n
+			hi = b + 1
+		}
+	}
+	if s.Count == 0 {
+		return HistState{}
+	}
+	if m := h.min.Load(); m != math.MaxInt64 {
+		s.Min = m
+	}
+	s.Buckets = append([]int64(nil), buckets[:hi]...)
+	return s
+}

@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestDeltaBasic: a delta over a window contains exactly the window's
+// samples, and its quantiles reflect the window, not history.
+func TestDeltaBasic(t *testing.T) {
+	h := NewHist()
+	for i := 0; i < 1000; i++ {
+		h.Observe(10) // boot-time noise: all tiny
+	}
+	prev := h.State()
+	for i := 0; i < 100; i++ {
+		h.Observe(100_000) // the window: all large
+	}
+	d := FromState(Delta(h.State(), prev))
+	if d.Count() != 100 {
+		t.Fatalf("window count = %d, want 100", d.Count())
+	}
+	if d.Sum() != 100*100_000 {
+		t.Fatalf("window sum = %d, want %d", d.Sum(), 100*100_000)
+	}
+	// Cumulative p50 would sit at 10; the window's p50 must be in the large
+	// samples' bucket [65536, 131072).
+	if q := d.Quantile(0.5); q < 65536 || q > 131072 {
+		t.Fatalf("window p50 = %d, want within the 100000-sample bucket", q)
+	}
+	if h.Quantile(0.5) > 16 {
+		t.Fatalf("cumulative p50 = %d unexpectedly large", h.Quantile(0.5))
+	}
+}
+
+// TestDeltaEmptyWindow: two identical snapshots yield an empty histogram
+// whose state is the canonical zero state.
+func TestDeltaEmptyWindow(t *testing.T) {
+	h := NewHist()
+	for _, v := range []int64{3, 700, 12} {
+		h.Observe(v)
+	}
+	s := h.State()
+	d := Delta(s, s)
+	if !reflect.DeepEqual(d, HistState{}) {
+		t.Fatalf("empty window delta = %+v, want zero state", d)
+	}
+	if got := FromState(d); got.Count() != 0 || got.Quantile(0.99) != 0 {
+		t.Fatalf("empty window hist: count=%d p99=%d", got.Count(), got.Quantile(0.99))
+	}
+	// Delta of two empty snapshots is also the zero state.
+	if d := Delta(HistState{}, HistState{}); !reflect.DeepEqual(d, HistState{}) {
+		t.Fatalf("delta of empty snapshots = %+v", d)
+	}
+}
+
+// TestDeltaReversed: snapshots passed in the wrong order (or straddling a
+// Reset) clamp to empty instead of producing negative counts.
+func TestDeltaReversed(t *testing.T) {
+	h := NewHist()
+	h.Observe(5)
+	early := h.State()
+	h.Observe(9)
+	late := h.State()
+	if d := Delta(early, late); !reflect.DeepEqual(d, HistState{}) {
+		t.Fatalf("reversed delta = %+v, want zero state", d)
+	}
+}
+
+// TestDeltaNewExtremum: a window that moves the all-time min or max reports
+// it exactly.
+func TestDeltaNewExtremum(t *testing.T) {
+	h := NewHist()
+	h.Observe(100)
+	prev := h.State()
+	h.Observe(7)       // new all-time min
+	h.Observe(900_000) // new all-time max
+	d := Delta(h.State(), prev)
+	if d.Min != 7 || d.Max != 900_000 {
+		t.Fatalf("window min/max = %d/%d, want 7/900000", d.Min, d.Max)
+	}
+}
+
+// TestDeltaMergeOrder: merging per-source histograms in either order, then
+// taking deltas, gives identical window states — snapshots commute with
+// Merge, so a scraper aggregating multiple processes is order-insensitive.
+func TestDeltaMergeOrder(t *testing.T) {
+	mk := func(vals []int64) *Hist {
+		h := NewHist()
+		for _, v := range vals {
+			h.Observe(v)
+		}
+		return h
+	}
+	aOld, bOld := []int64{1, 50, 2200}, []int64{9, 9, 70_000}
+	aNew, bNew := []int64{333, 4}, []int64{1_000_000, 12}
+
+	mergeStates := func(first, second *Hist) HistState {
+		m := NewHist()
+		m.Merge(first)
+		m.Merge(second)
+		return m.State()
+	}
+	a0, b0 := mk(aOld), mk(bOld)
+	prevAB := mergeStates(a0, b0)
+	prevBA := mergeStates(b0, a0)
+	if !reflect.DeepEqual(prevAB, prevBA) {
+		t.Fatalf("merge order changed state: %+v vs %+v", prevAB, prevBA)
+	}
+	a1, b1 := mk(append(aOld, aNew...)), mk(append(bOld, bNew...))
+	curAB := mergeStates(a1, b1)
+	curBA := mergeStates(b1, a1)
+	dAB := Delta(curAB, prevAB)
+	dBA := Delta(curBA, prevBA)
+	if !reflect.DeepEqual(dAB, dBA) {
+		t.Fatalf("delta depends on merge order: %+v vs %+v", dAB, dBA)
+	}
+	if want := int64(len(aNew) + len(bNew)); dAB.Count != want {
+		t.Fatalf("window count = %d, want %d", dAB.Count, want)
+	}
+}
+
+// TestWindowAdvance: successive Advance calls partition the sample stream.
+func TestWindowAdvance(t *testing.T) {
+	h := NewHist()
+	var w Window
+	h.Observe(11)
+	if first := w.Advance(h.State()); first.Count() != 1 {
+		t.Fatalf("first window count = %d, want 1 (cumulative)", first.Count())
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(int64(1000 + i))
+	}
+	if d := w.Advance(h.State()); d.Count() != 5 {
+		t.Fatalf("second window count = %d, want 5", d.Count())
+	}
+	if d := w.Advance(h.State()); d.Count() != 0 {
+		t.Fatalf("idle window count = %d, want 0", d.Count())
+	}
+}
+
+// TestAtomicHist: concurrent observers, then a state snapshot that matches a
+// sequential Hist fed the same samples.
+func TestAtomicHist(t *testing.T) {
+	const goroutines, per = 8, 10_000
+	ah := NewAtomicHist()
+	var wg sync.WaitGroup
+	samples := make([][]int64, goroutines)
+	for g := range samples {
+		r := rand.New(rand.NewSource(int64(g + 1)))
+		vals := make([]int64, per)
+		for i := range vals {
+			vals[i] = r.Int63n(1 << 30)
+		}
+		samples[g] = vals
+		wg.Add(1)
+		go func(vals []int64) {
+			defer wg.Done()
+			for _, v := range vals {
+				ah.Observe(v)
+			}
+		}(vals)
+	}
+	wg.Wait()
+
+	ref := NewHist()
+	for _, vals := range samples {
+		for _, v := range vals {
+			ref.Observe(v)
+		}
+	}
+	if got, want := ah.State(), ref.State(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("atomic state diverged from sequential reference:\n got %+v\nwant %+v", got, want)
+	}
+	if ah.Count() != goroutines*per {
+		t.Fatalf("count = %d, want %d", ah.Count(), goroutines*per)
+	}
+	if s := NewAtomicHist().State(); !reflect.DeepEqual(s, HistState{}) {
+		t.Fatalf("empty atomic state = %+v, want zero", s)
+	}
+}

@@ -71,6 +71,30 @@ type Config struct {
 
 	// Dist configures the multi-process backend. Ignored by Sim and Real.
 	Dist DistOptions
+
+	// Serve configures Lib.Serve runs (the tramserve ingestion service).
+	// Ignored by Run.
+	Serve ServeOptions
+}
+
+// ServeOptions configures a long-running ingestion service (Lib.Serve): the
+// client and metrics listeners, the admission window, and the drain bound.
+type ServeOptions struct {
+	// Listen is the client listener's TCP bind address ("127.0.0.1:0" picks
+	// an ephemeral loopback port). Required to Serve.
+	Listen string
+	// MetricsListen, if non-empty, binds the HTTP metrics scrape endpoint.
+	MetricsListen string
+	// IngressCap is the per-destination-worker admission window: how many
+	// client events may be in flight toward one worker before further
+	// admissions block (the start of the service's end-to-end backpressure
+	// chain). 0 selects the runtime default (4096).
+	IngressCap int
+	// DrainTimeout bounds Drain's edge-close step (final acks and ingress
+	// flush). 0 selects the backend default (StartTimeout on Dist, 30s on
+	// Real); the post-drain quiescence settle is bounded by Dist.RunTimeout
+	// as usual.
+	DrainTimeout time.Duration
 }
 
 // DistTransport selects the Dist backend's peer data plane for same-node
@@ -349,6 +373,12 @@ func (c Config) Validate() error {
 	}
 	if c.Dist.RingBytes < 0 {
 		return fmt.Errorf("tram: negative Dist.RingBytes")
+	}
+	if c.Serve.IngressCap < 0 {
+		return fmt.Errorf("tram: negative Serve.IngressCap")
+	}
+	if c.Serve.DrainTimeout < 0 {
+		return fmt.Errorf("tram: negative Serve.DrainTimeout")
 	}
 	if c.Dist.Transport == TransportShm {
 		ring := c.Dist.RingBytes

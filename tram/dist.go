@@ -9,6 +9,8 @@ import (
 	"tramlib/internal/cluster"
 	"tramlib/internal/dist"
 	"tramlib/internal/dist/hostfile"
+	"tramlib/internal/rt"
+	"tramlib/internal/serve"
 	"tramlib/internal/transport"
 )
 
@@ -140,11 +142,30 @@ func Main() {
 			return dist.App{}, err
 		}
 		b := newRTBinding(da.cfg.Topo.TotalWorkers())
+		scheme := da.cfg.Scheme
 		return dist.App{
 			RT:      da.cfg.realConfig(),
 			Deliver: b.deliverFunc(da.raw),
 			Spawn:   b.spawnFunc(da.raw),
 			Report:  da.report,
+			// The frontend process of a serve run binds the ingestion
+			// listener here; batch runs never call it.
+			Serve: func(rtm *rt.Runtime, opts dist.ServeOpts) (dist.FrontendHandle, error) {
+				fe, err := serve.New(serve.Config{
+					Listen:        opts.Listen,
+					MetricsListen: opts.MetricsListen,
+					Inj:           rtm,
+					Metrics: &serve.MetricsSource{
+						Scheme:    scheme.String(),
+						Counters:  rtm.Counters,
+						FlushHist: opts.FlushHist,
+					},
+				})
+				if err != nil {
+					return nil, err
+				}
+				return fe, nil
+			},
 		}, nil
 	})
 }
@@ -155,20 +176,20 @@ type distBackend struct{}
 
 func (distBackend) String() string { return "dist" }
 
-// run coordinates a multi-process execution. The app closures are ignored:
-// worker processes rebuild the application from cfg.Dist's registration (see
-// the package comment); results living in application memory come back via
-// Metrics.Reports.
-func (distBackend) run(cfg Config, _ rawApp) (Metrics, error) {
-	if err := cfg.Validate(); err != nil {
-		return Metrics{}, err
-	}
+// checkDistApp verifies the configuration names a usable registration.
+func checkDistApp(cfg Config) error {
 	if cfg.Dist.App == "" {
-		return Metrics{}, fmt.Errorf("tram: the Dist backend needs Config.Dist.App (a RegisterDist name)")
+		return fmt.Errorf("tram: the Dist backend needs Config.Dist.App (a RegisterDist name)")
 	}
 	if _, ok := distBuilderFor(cfg.Dist.App); !ok {
-		return Metrics{}, fmt.Errorf("tram: no dist registration %q", cfg.Dist.App)
+		return fmt.Errorf("tram: no dist registration %q", cfg.Dist.App)
 	}
+	return nil
+}
+
+// distConfig lowers the unified config to the coordinator's. Shared by the
+// batch run and serve paths.
+func distConfig(cfg Config) dist.Config {
 	kind := transport.Socket
 	switch cfg.Dist.Transport {
 	case TransportShm:
@@ -180,8 +201,7 @@ func (distBackend) run(cfg Config, _ rawApp) (Metrics, error) {
 	for _, h := range cfg.Dist.Hosts {
 		hosts = append(hosts, hostfile.Host{Target: h.Target, Procs: h.Procs, Listen: h.Listen, Cmd: h.Cmd})
 	}
-	start := time.Now()
-	res, err := dist.Run(dist.Config{
+	return dist.Config{
 		RT:                cfg.realConfig(),
 		Name:              cfg.Dist.App,
 		Params:            cfg.Dist.Params,
@@ -199,11 +219,11 @@ func (distBackend) run(cfg Config, _ rawApp) (Metrics, error) {
 		KeepAlive:         cfg.Dist.KeepAlive,
 		LinkDelay:         cfg.Dist.LinkDelay,
 		LinkJitter:        cfg.Dist.LinkJitter,
-	})
-	if err != nil {
-		return Metrics{}, err
 	}
+}
 
+// distMetrics aggregates per-process results into run metrics.
+func distMetrics(res dist.Result, start time.Time) Metrics {
 	m := Metrics{
 		Time:         res.Wall,
 		LastDelivery: res.Wall,
@@ -221,5 +241,24 @@ func (distBackend) run(cfg Config, _ rawApp) (Metrics, error) {
 		m.DeadlineFlushes += pr.RT.DeadlineFlushes
 		m.Reduced += pr.RT.Reduced
 	}
-	return m, nil
+	return m
+}
+
+// run coordinates a multi-process execution. The app closures are ignored:
+// worker processes rebuild the application from cfg.Dist's registration (see
+// the package comment); results living in application memory come back via
+// Metrics.Reports.
+func (distBackend) run(cfg Config, _ rawApp) (Metrics, error) {
+	if err := cfg.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	if err := checkDistApp(cfg); err != nil {
+		return Metrics{}, err
+	}
+	start := time.Now()
+	res, err := dist.Run(distConfig(cfg))
+	if err != nil {
+		return Metrics{}, err
+	}
+	return distMetrics(res, start), nil
 }

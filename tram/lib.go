@@ -143,6 +143,10 @@ type Backend interface {
 	// String names the backend ("sim", "real", or "dist").
 	String() string
 	run(cfg Config, app rawApp) (Metrics, error)
+	// serve starts a long-running ingestion service (Lib.Serve). Real serves
+	// in-process; Dist serves with the frontend on worker process 0; Sim
+	// cannot serve (virtual time has no live clients).
+	serve(cfg Config, app rawApp) (*Server, error)
 }
 
 // bind lowers the typed app to the word-level rawApp the backends execute.

@@ -1,0 +1,254 @@
+package tram_test
+
+// Public-API tests of the tramserve subsystem: Lib.Serve on the Real and
+// Dist backends, end-to-end through real TCP clients. The protocol-level and
+// chaos coverage lives with internal/serve; these pin the tram seam — config
+// validation, metrics assembly, report plumbing, and the typed failure
+// surface.
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tramlib/internal/serve"
+	"tramlib/tram"
+)
+
+// serveParams travels to Dist worker processes; both sides rebuild the
+// identical config through serveTestCfg.
+type serveParams struct {
+	Nodes   int         `json:"nodes"`
+	Procs   int         `json:"procs"`
+	Workers int         `json:"workers"`
+	Scheme  tram.Scheme `json:"scheme"`
+}
+
+func serveTestCfg(p serveParams) tram.Config {
+	cfg := tram.DefaultConfig(tram.SMP(p.Nodes, p.Procs, p.Workers), p.Scheme)
+	cfg.BufferItems = 64
+	cfg.FlushDeadline = 200 * time.Microsecond
+	cfg.ChunkSize = 64
+	return cfg
+}
+
+func init() {
+	// The counting serve app for Dist runs: each process reports its local
+	// delivery count; the coordinator-side test sums the reports.
+	tram.RegisterDist("serve-count", func(params []byte, proc tram.ProcID) (tram.DistApp, error) {
+		var p serveParams
+		if err := json.Unmarshal(params, &p); err != nil {
+			return tram.DistApp{}, err
+		}
+		var count atomic.Int64
+		return tram.BindDist(tram.U64(), serveTestCfg(p), tram.App[uint64]{
+			Deliver: func(ctx tram.Ctx, v uint64) {
+				count.Add(1)
+				ctx.Contribute(1)
+			},
+		}, func() []byte {
+			b, _ := json.Marshal(count.Load())
+			return b
+		})
+	})
+}
+
+// streamAndDrain drives conns clients, each sending perConn events round-robin
+// across workers, waits for full acknowledgment, drains, and returns the
+// metrics. It asserts the drain guarantee: acked == delivered.
+func streamAndDrain(t *testing.T, srv *tram.Server, conns, perConn, workers int) tram.Metrics {
+	t.Helper()
+	clients := make([]*serve.Client, conns)
+	for i := range clients {
+		c, err := serve.Dial(srv.Addr(), serve.ClientConfig{Window: 512, Batch: 32})
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		clients[i] = c
+	}
+	for i, c := range clients {
+		for n := 0; n < perConn; n++ {
+			if err := c.Send(uint32(n)%uint32(workers), uint64(i)<<32|uint64(n)); err != nil {
+				t.Fatalf("send: %v", err)
+			}
+		}
+		if err := c.Flush(); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+	}
+	for i, c := range clients {
+		if _, err := c.WaitAcked(int64(perConn)); err != nil {
+			t.Fatalf("conn %d acks: %v", i, err)
+		}
+	}
+	m, err := srv.Drain()
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for i, c := range clients {
+		n, err := c.WaitDrained()
+		if err != nil {
+			t.Fatalf("conn %d drained: %v", i, err)
+		}
+		if n != int64(perConn) {
+			t.Fatalf("conn %d final ack %d, want %d", i, n, perConn)
+		}
+		c.Close()
+	}
+	total := int64(conns * perConn)
+	if m.Delivered != total {
+		t.Fatalf("metrics delivered %d, want %d acked (zero loss)", m.Delivered, total)
+	}
+	if m.Reduced != total {
+		t.Fatalf("metrics reduced %d, want %d", m.Reduced, total)
+	}
+	return m
+}
+
+func TestServeReal(t *testing.T) {
+	p := serveParams{Nodes: 1, Procs: 2, Workers: 2, Scheme: tram.PP}
+	cfg := serveTestCfg(p)
+	cfg.Serve.Listen = "127.0.0.1:0"
+	cfg.Serve.MetricsListen = "127.0.0.1:0"
+
+	var count atomic.Int64
+	srv, err := tram.U64().Serve(tram.Real, cfg, tram.App[uint64]{
+		Deliver: func(ctx tram.Ctx, v uint64) {
+			count.Add(1)
+			ctx.Contribute(1)
+		},
+	})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	if srv.MetricsAddr() == "" {
+		t.Fatal("metrics endpoint not bound")
+	}
+	const conns, perConn = 3, 4000
+	streamAndDrain(t, srv, conns, perConn, 4)
+	if count.Load() != conns*perConn {
+		t.Fatalf("app delivered %d, want %d", count.Load(), conns*perConn)
+	}
+
+	// Drain is idempotent: a second call returns the same metrics.
+	m2, err := srv.Drain()
+	if err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+	if m2.Delivered != conns*perConn {
+		t.Fatalf("second drain delivered %d, want %d", m2.Delivered, conns*perConn)
+	}
+}
+
+func TestServeDist(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	p := serveParams{Nodes: 1, Procs: 2, Workers: 2, Scheme: tram.WPs}
+	params, _ := json.Marshal(p)
+	cfg := serveTestCfg(p)
+	cfg.Dist.App = "serve-count"
+	cfg.Dist.Params = params
+	cfg.Dist.RunTimeout = 60 * time.Second
+	cfg.Serve.Listen = "127.0.0.1:0"
+
+	srv, err := tram.U64().Serve(tram.Dist, cfg, tram.App[uint64]{})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	const conns, perConn = 2, 3000
+	m := streamAndDrain(t, srv, conns, perConn, 4)
+
+	// The per-process reports account for every acked event.
+	var reported int64
+	for proc, raw := range m.Reports {
+		var n int64
+		if err := json.Unmarshal(raw, &n); err != nil {
+			t.Fatalf("proc %d report: %v", proc, err)
+		}
+		reported += n
+	}
+	if reported != conns*perConn {
+		t.Fatalf("reports total %d, want %d", reported, conns*perConn)
+	}
+}
+
+func TestServeDistKillSurfacesTypedError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	p := serveParams{Nodes: 1, Procs: 2, Workers: 2, Scheme: tram.WW}
+	params, _ := json.Marshal(p)
+	cfg := serveTestCfg(p)
+	cfg.Dist.App = "serve-count"
+	cfg.Dist.Params = params
+	cfg.Serve.Listen = "127.0.0.1:0"
+
+	srv, err := tram.U64().Serve(tram.Dist, cfg, tram.App[uint64]{})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	c, err := serve.Dial(srv.Addr(), serve.ClientConfig{Window: 256, Batch: 16})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	for n := 0; n < 512; n++ {
+		if err := c.Send(uint32(n)%4, uint64(n)); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	c.Flush()
+	if _, err := c.WaitAcked(512); err != nil {
+		t.Fatalf("acks: %v", err)
+	}
+	if err := srv.KillWorker(1); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	if _, err := c.WaitDrained(); err == nil {
+		t.Fatal("killed run drained cleanly at the client")
+	}
+	c.Close()
+	_, err = srv.Drain()
+	var pf *tram.PeerFailureError
+	if !errors.As(err, &pf) || pf.Proc != 1 || !errors.Is(err, tram.ErrPeerDied) {
+		t.Fatalf("drain err %v, want *tram.PeerFailureError{Proc: 1} wrapping ErrPeerDied", err)
+	}
+}
+
+func TestServeValidation(t *testing.T) {
+	p := serveParams{Nodes: 1, Procs: 1, Workers: 2, Scheme: tram.Direct}
+	app := tram.App[uint64]{}
+
+	// Sim cannot serve.
+	cfg := serveTestCfg(p)
+	cfg.Serve.Listen = "127.0.0.1:0"
+	if _, err := tram.U64().Serve(tram.Sim, cfg, app); err == nil || !strings.Contains(err.Error(), "Sim") {
+		t.Fatalf("Sim serve err = %v, want a sim rejection", err)
+	}
+	// A listen address is required.
+	cfg = serveTestCfg(p)
+	if _, err := tram.U64().Serve(tram.Real, cfg, app); err == nil || !strings.Contains(err.Error(), "Listen") {
+		t.Fatalf("no-listen err = %v, want a Listen error", err)
+	}
+	// Serving needs a flush deadline (the latency bound drives ingress flushes).
+	cfg = serveTestCfg(p)
+	cfg.Serve.Listen = "127.0.0.1:0"
+	cfg.FlushDeadline = 0
+	if _, err := tram.U64().Serve(tram.Real, cfg, app); err == nil || !strings.Contains(err.Error(), "FlushDeadline") {
+		t.Fatalf("no-deadline err = %v, want a FlushDeadline error", err)
+	}
+	// Negative serve knobs fail Validate.
+	cfg = serveTestCfg(p)
+	cfg.Serve.IngressCap = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative IngressCap validated")
+	}
+	cfg = serveTestCfg(p)
+	cfg.Serve.DrainTimeout = -time.Second
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative DrainTimeout validated")
+	}
+}
