@@ -72,6 +72,10 @@ type Config struct {
 	// Transport selects the Dist backend's same-node data plane ("" =
 	// socket). Dist only.
 	Transport tram.DistTransport
+	// Hierarchical routes process-crossing traffic through per-node
+	// leaders (two-level routing) instead of the full peer mesh. Dist
+	// only; results are identical either way.
+	Hierarchical bool
 }
 
 // DefaultConfig returns the Fig. 3 baseline: 64 workers per node, 64000 total
@@ -128,6 +132,13 @@ func (cfg Config) build() (tram.Config, tram.App[uint64]) {
 		tc.ChunkSize = cfg.ChunkSize
 	}
 	tc.Dist.Transport = cfg.Transport
+	if cfg.Hierarchical {
+		tc.Dist.Hierarchical = true
+		tc.Dist.Nodes = make([]int, topo.TotalProcs())
+		for p := range tc.Dist.Nodes {
+			tc.Dist.Nodes[p] = int(topo.NodeOfProc(tram.ProcID(p)))
+		}
+	}
 
 	w := cfg.WorkersPerNode
 	perPE := cfg.TotalMessages / w

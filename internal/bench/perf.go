@@ -233,5 +233,29 @@ func CorePerf(o Options) Perf {
 	for _, s := range []tram.Scheme{tram.WW, tram.WPs, tram.PP} {
 		perf.Points = append(perf.Points, measure("dist-tcp-histogram-"+s.String(), distHisto(s, "tcp")))
 	}
+	// dist-histogram-wide-{flat,leader}: the same kernel widened to 8 OS
+	// processes across 2 "nodes" (SMP(2,4,1)), flat full mesh vs
+	// hierarchical node-leader routing. Flat establishes all 8x7 directed
+	// peer links; leader routing keeps 2 leader links plus 3 star links
+	// per node and relays everything cross-node through them. The pair
+	// gates the relay's cost: identical results (the conformance suite
+	// pins that), and a wall-time envelope no worse than the mesh's at
+	// this width.
+	wideHisto := func(hier bool) func() (uint64, float64) {
+		return func() (uint64, float64) {
+			cfg := histogram.DefaultConfig(cluster.SMP(2, 4, 1), tram.WPs)
+			cfg.UpdatesPerPE = 1 << 16
+			cfg.SlotsPerPE = 512
+			cfg.Seed = o.Seed
+			cfg.Tram.Dist.Nodes = []int{0, 0, 0, 0, 1, 1, 1, 1}
+			cfg.Tram.Dist.Hierarchical = hier
+			r := histogram.RunOn(tram.Dist, cfg)
+			return uint64(r.TotalUpdates), 0
+		}
+	}
+	perf.Points = append(perf.Points,
+		measure("dist-histogram-wide-flat", wideHisto(false)),
+		measure("dist-histogram-wide-leader", wideHisto(true)),
+	)
 	return perf
 }

@@ -32,8 +32,15 @@ const chaosTimeout = 5 * time.Second
 // no result on error, the run directory removed, no goroutines leaked.
 func chaosRun(t *testing.T, kind transport.Kind, spec string) (error, time.Duration) {
 	t.Helper()
+	return chaosRunTopo(t, kind, spec, cluster.SMP(1, 3, 1), nil, false)
+}
+
+// chaosRunTopo is chaosRun on an explicit topology: hierarchical scenarios
+// need >= 2 nodes with a non-leader each so killing a leader actually
+// severs relayed routes.
+func chaosRunTopo(t *testing.T, kind transport.Kind, spec string, topo cluster.Topology, nodes []int, hier bool) (error, time.Duration) {
+	t.Helper()
 	t.Setenv(faultinject.EnvVar, spec)
-	topo := cluster.SMP(1, 3, 1)
 	p := histoParams{Topo: topo, Scheme: core.WPs, Z: 20000, G: 32, Seed: 7}
 	params, _ := json.Marshal(p)
 	sockDir := t.TempDir()
@@ -54,6 +61,8 @@ func chaosRun(t *testing.T, kind transport.Kind, spec string) (error, time.Durat
 		RunTimeout:        chaosTimeout,
 		HeartbeatInterval: 100 * time.Millisecond,
 		Transport:         kind,
+		Nodes:             nodes,
+		Hierarchical:      hier,
 	})
 	elapsed := time.Since(start)
 	if err != nil && res.Procs != nil {
@@ -213,6 +222,28 @@ func TestChaosMatrix(t *testing.T) {
 				tc.check(t, err, elapsed)
 			})
 		}
+	}
+}
+
+// TestChaosKillLeader SIGKILLs a node leader mid-run under hierarchical
+// routing, on each transport. On the 2-node x 2-proc topology with nodes
+// [0,0,1,1], proc 2 leads node 1: every frame into or out of that node
+// relays through it, so its death also collapses its non-leader's traffic
+// and breaks the leader mesh. The coordinator must still attribute the
+// failure to proc 2 in the run phase — the process that died — not to a
+// bystander whose relayed sends failed as a consequence.
+func TestChaosKillLeader(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	topo := cluster.SMP(2, 2, 1)
+	nodes := []int{0, 0, 1, 1}
+	for _, kind := range []transport.Kind{transport.Socket, transport.Shm, transport.TCP} {
+		t.Run(kind.String(), func(t *testing.T) {
+			err, elapsed := chaosRunTopo(t, kind,
+				faultinject.PointSendBatch+":crash:proc=2:after=3", topo, nodes, true)
+			wantPeerFailure(t, err, elapsed, 2, "run")
+		})
 	}
 }
 

@@ -145,6 +145,13 @@ type Config struct {
 	// shmring default (1 MiB). Must fit the largest wire frame a full
 	// aggregation buffer can produce.
 	RingBytes int
+	// Hierarchical enables two-level node-leader routing: each node's
+	// lowest-numbered process relays its node's cross-node traffic, the mesh
+	// keeps only intra-node star links plus leader-pair links (O(nodes^2) +
+	// O(procs/node) instead of O(P^2)), and frames sharing a next hop travel
+	// as one bundled frame. Run layout — results are identical to the flat
+	// mesh under every transport.
+	Hierarchical bool
 
 	// Hosts launches workers from a static host list (see
 	// internal/dist/hostfile) instead of P local self-execs. Local entries
@@ -445,16 +452,46 @@ func (co *coordinator) abortAndReap(cause error) {
 	}
 }
 
-// peerFailure attributes a run failure to one worker. The immediate trigger
-// (a control read error, a transport-level peer death, heartbeat silence)
-// often races the real evidence — the worker's own exit status — so a short
-// drain of waitErr prefers the richer cause: the named proc's exit status if
-// it arrives, or another proc's crash (the trigger proc was then merely the
-// first observer of its peer's death).
+// Evidence ranks for failure attribution, weakest to strongest: a plain
+// nonzero exit is usually a worker unwinding after whatever it observed; a
+// broken control connection or a worker's report blaming a peer names the
+// process a live observer watched die; a worker's report blaming itself
+// (Blame < 0) confesses the root cause; a signal death is the victim
+// outright.
+const (
+	evExit = iota
+	evObserved
+	evConfessed
+	evSignal
+)
+
+// peerFailure attributes a run failure to one worker from an observation-
+// grade trigger (a control read error, a transport-level peer death,
+// heartbeat silence, a worker's error report).
 func (co *coordinator) peerFailure(phase string, proc int, cause error) error {
-	if !killedBySignal(cause) {
-		// The trigger is an observation (a report, a broken control read, a
-		// plain exit), not an unambiguous death; drain briefly for one.
+	return co.attributeFailure(phase, proc, cause, evObserved)
+}
+
+// peerFailureFromExit attributes a run failure triggered by a worker's exit.
+// A plain nonzero exit is the weakest evidence — the worker may merely have
+// unwound after the real victim's death, whose report is still queued — so
+// the drain below may re-attribute it.
+func (co *coordinator) peerFailureFromExit(phase string, ex procExit) error {
+	rank := evExit
+	if killedBySignal(ex.err) {
+		rank = evSignal
+	}
+	return co.attributeFailure(phase, ex.proc, exitCause(ex), rank)
+}
+
+// attributeFailure builds the *PeerFailureError for one run failure. The
+// immediate trigger often races the real evidence — the victim's own exit
+// status or error report sitting in the event queue behind the trigger the
+// select happened to pick — so unless the trigger is already a signal death,
+// a short drain of waitErr and the control events upgrades the attribution
+// whenever strictly stronger evidence (see the ev ranks) arrives.
+func (co *coordinator) attributeFailure(phase string, proc int, cause error, rank int) error {
+	if rank < evSignal {
 		grace := time.NewTimer(150 * time.Millisecond)
 		defer grace.Stop()
 	drain:
@@ -462,16 +499,31 @@ func (co *coordinator) peerFailure(phase string, proc int, cause error) error {
 			select {
 			case ex := <-co.waitErr:
 				co.reap(ex)
-				if ex.err == nil {
-					continue
-				}
-				if killedBySignal(ex.err) {
+				if ex.err != nil && killedBySignal(ex.err) {
 					// A signal death is the victim, whoever reported first.
 					proc, cause = ex.proc, ex.err
 					break drain
 				}
-				// A plain nonzero exit is a worker unwinding after whatever
-				// it observed; the trigger already carries the richer cause.
+			case ev := <-co.events:
+				if ev.err != nil {
+					// A broken control connection names its own process —
+					// unless that process already exited (its reader's EOF
+					// trails the exit we are attributing).
+					if rank < evObserved && !co.exited[ev.proc] {
+						proc, cause, rank = ev.proc, fmt.Errorf("control read: %w", ev.err), evObserved
+					}
+					continue
+				}
+				if ev.op != opError {
+					continue // late counts/quiet/done: the run already failed
+				}
+				em, _ := decode[errorMsg](ev.f)
+				switch {
+				case em.Blame < 0 && rank < evConfessed:
+					proc, cause, rank = ev.proc, errors.New(em.Msg), evConfessed
+				case em.Blame >= 0 && rank < evObserved:
+					proc, cause, rank = blamed(ev.proc, em, co.P), errors.New(em.Msg), evObserved
+				}
 			case <-grace.C:
 				break drain
 			}
@@ -490,7 +542,7 @@ func (co *coordinator) run(ln net.Listener) (Result, error) {
 	if err := co.handshake(ln, timeout); err != nil {
 		return Result{}, err
 	}
-	if err := co.broadcast(opStart, nil); err != nil {
+	if err := co.broadcast(opStart, nil, "run"); err != nil {
 		return Result{}, err
 	}
 	start := time.Now()
@@ -558,7 +610,7 @@ func (co *coordinator) handshake(ln net.Listener, timeout *time.Timer) error {
 		}
 	case ex := <-co.waitErr:
 		co.reap(ex)
-		return co.peerFailure("spawn", ex.proc, exitCause(ex))
+		return co.peerFailureFromExit("spawn", ex)
 	case <-timeout.C:
 		return fmt.Errorf("dist: handshake timeout (%v) waiting for hellos", cfg.StartTimeout)
 	}
@@ -581,6 +633,7 @@ func (co *coordinator) handshake(ln net.Listener, timeout *time.Timer) error {
 		Transport:     cfg.Transport.String(),
 		Nodes:         cfg.Nodes,
 		RingBytes:     cfg.RingBytes,
+		Hierarchical:  cfg.Hierarchical,
 		SendDeadline:  sendDeadline,
 		ListenAddrs:   listenAddrs,
 		KeepAlive:     cfg.KeepAlive,
@@ -588,7 +641,7 @@ func (co *coordinator) handshake(ln net.Listener, timeout *time.Timer) error {
 		LinkJitter:    cfg.LinkJitter,
 		Serve:         cfg.serveSetup(),
 		Digest:        digest,
-	}); err != nil {
+	}, "listen"); err != nil {
 		return err
 	}
 	listens, err := co.collect(opListening, "listen", timeout)
@@ -609,7 +662,7 @@ func (co *coordinator) handshake(ln net.Listener, timeout *time.Timer) error {
 		}
 		dataAddrs[p] = lm.Addr
 	}
-	if err := co.broadcast(opConnect, connectMsg{Addrs: dataAddrs}); err != nil {
+	if err := co.broadcast(opConnect, connectMsg{Addrs: dataAddrs}, "connect"); err != nil {
 		return err
 	}
 	if _, err := co.collect(opReady, "connect", timeout); err != nil {
@@ -624,7 +677,7 @@ func (co *coordinator) handshake(ln net.Listener, timeout *time.Timer) error {
 // during the run always means peer death); Release lets them tear down and
 // exit. Shared by the batch and serve coordinators.
 func (co *coordinator) finish(wall time.Duration, timeout *time.Timer) (Result, error) {
-	if err := co.broadcast(opFinish, nil); err != nil {
+	if err := co.broadcast(opFinish, nil, "report"); err != nil {
 		return Result{}, err
 	}
 	dones, err := co.collect(opDone, "report", timeout)
@@ -662,10 +715,15 @@ func (co *coordinator) finish(wall time.Duration, timeout *time.Timer) (Result, 
 	return res, nil
 }
 
-func (co *coordinator) broadcast(op uint32, msg any) error {
-	for _, cc := range co.ctrls {
+// broadcast sends one control frame to every worker. A send failure means
+// that worker's control connection is gone mid-protocol — a peer failure of
+// the given phase, not a bare I/O error (attributeFailure's drain then
+// usually finds the real victim: a worker that exits reacting to a peer's
+// death closes its connection while the broadcast is still in flight).
+func (co *coordinator) broadcast(op uint32, msg any, phase string) error {
+	for p, cc := range co.ctrls {
 		if err := cc.send(0, op, msg); err != nil {
-			return err
+			return co.peerFailure(phase, p, fmt.Errorf("control send: %w", err))
 		}
 	}
 	return nil
@@ -730,7 +788,7 @@ func (co *coordinator) collect(op uint32, phase string, timeout *time.Timer) ([]
 			}
 		case ex := <-co.waitErr:
 			co.reap(ex)
-			return nil, co.peerFailure(phase, ex.proc, exitCause(ex))
+			return nil, co.peerFailureFromExit(phase, ex)
 		case <-timeout.C:
 			return nil, fmt.Errorf("dist: timeout (%v) during %s phase", co.cfg.StartTimeout, phase)
 		}
@@ -867,7 +925,7 @@ func (co *coordinator) probeToQuiescence(start time.Time) error {
 			}
 		case ex := <-co.waitErr:
 			co.reap(ex)
-			return co.peerFailure(phase, ex.proc, exitCause(ex))
+			return co.peerFailureFromExit(phase, ex)
 		case <-pace.C:
 			if !awaiting {
 				if err := startRound(); err != nil {

@@ -59,6 +59,10 @@ type setupMsg struct {
 	Transport string `json:"transport,omitempty"`
 	Nodes     []int  `json:"nodes,omitempty"`
 	RingBytes int    `json:"ring_bytes,omitempty"`
+	// Hierarchical enables two-level node-leader routing over Nodes. Run
+	// layout, not part of the digest: routing must never change what the run
+	// computes.
+	Hierarchical bool `json:"hierarchical,omitempty"`
 	// ListenAddrs[p] is proc p's TCP data-listener bind spec ("" = loopback
 	// ephemeral); KeepAlive is the TCP keepalive period; LinkDelay and
 	// LinkJitter configure injected per-frame latency on TCP links. All run

@@ -158,7 +158,7 @@ func Serve(cfg Config) (*Server, error) {
 	if err := co.handshake(ln, timeout); err != nil {
 		return fail(err)
 	}
-	if err := co.broadcast(opStart, nil); err != nil {
+	if err := co.broadcast(opStart, nil, "run"); err != nil {
 		return fail(err)
 	}
 	sm, err := co.awaitServing(timeout)
@@ -211,7 +211,7 @@ func (co *coordinator) awaitServing(timeout *time.Timer) (servingMsg, error) {
 			}
 		case ex := <-co.waitErr:
 			co.reap(ex)
-			return servingMsg{}, co.peerFailure(phase, ex.proc, exitCause(ex))
+			return servingMsg{}, co.peerFailureFromExit(phase, ex)
 		case <-timeout.C:
 			return servingMsg{}, fmt.Errorf("dist: timeout (%v) waiting for the frontend to serve", co.cfg.StartTimeout)
 		}
@@ -253,7 +253,7 @@ func (co *coordinator) serveLoop(srv *Server) (Result, error) {
 			}
 		case ex := <-co.waitErr:
 			co.reap(ex)
-			return Result{}, co.peerFailure(phase, ex.proc, exitCause(ex))
+			return Result{}, co.peerFailureFromExit(phase, ex)
 		case p := <-srv.killC:
 			co.killWorker(p)
 		case <-srv.drainC:
@@ -325,7 +325,7 @@ func (co *coordinator) drainAndFinish() (Result, error) {
 			}
 		case ex := <-co.waitErr:
 			co.reap(ex)
-			return Result{}, co.peerFailure("drain", ex.proc, exitCause(ex))
+			return Result{}, co.peerFailureFromExit("drain", ex)
 		case <-timeout.C:
 			return Result{}, fmt.Errorf("dist: timeout (%v) draining the ingestion edge", dt)
 		}

@@ -8,12 +8,14 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"tramlib/internal/cluster"
 	"tramlib/internal/faultinject"
 	"tramlib/internal/rt"
 	"tramlib/internal/stats"
 	"tramlib/internal/transport"
+	"tramlib/internal/transport/shmring"
 	"tramlib/internal/wire"
 )
 
@@ -91,9 +93,15 @@ type remote struct {
 	topo cluster.Topology
 	mesh *transport.Mesh
 	rtm  *rt.Runtime
-	// convs[q] is the conversion scratch toward peer q, reused under its
-	// lock across batch sends (worker and progress goroutines emit
-	// concurrently toward the same peer).
+	self int
+	// hier and router are set on hierarchical runs: a destination that is
+	// not one hop away gets its batch encoded here and relayed through the
+	// node-leader path instead of a direct peer send.
+	hier   *transport.HierTopo
+	router *transport.Router
+	// convs[q] is the conversion scratch toward destination q, reused under
+	// its lock across batch sends (worker and progress goroutines emit
+	// concurrently toward the same destination).
 	convs []*conv
 
 	failOnce sync.Once
@@ -112,6 +120,7 @@ type conv struct {
 	mu    sync.Mutex
 	items []wire.Item
 	runs  []wire.Run
+	raw   []byte // encoded-frame scratch for relayed (multi-hop) sends
 }
 
 // fail latches the first send failure and stops the runtime so the worker
@@ -138,6 +147,25 @@ func (t *remote) injectSend(peer int) bool {
 	return false
 }
 
+// direct reports whether destination process q is one hop away — always, on
+// a flat mesh; on a hierarchical run only for linked pairs. Direct sends use
+// the typed zero-copy peer path; everything else is encoded and relayed.
+func (t *remote) direct(q int) bool {
+	return t.hier == nil || t.hier.Linked(t.self, q)
+}
+
+func (t *remote) sendPayloads(peer int, dest uint32, payloads []uint64, full bool) error {
+	if t.direct(peer) {
+		return t.mesh.Peer(peer).SendPayloads(dest, payloads, full)
+	}
+	c := t.convs[peer]
+	c.mu.Lock()
+	c.raw = wire.AppendPayloads(c.raw[:0], uint32(t.self), dest, payloads, full)
+	t.router.Send(peer, c.raw)
+	c.mu.Unlock()
+	return nil
+}
+
 func (t *remote) SendOne(dest cluster.WorkerID, value uint64) {
 	peer := int(t.topo.ProcOf(dest))
 	if t.injectSend(peer) {
@@ -145,7 +173,7 @@ func (t *remote) SendOne(dest cluster.WorkerID, value uint64) {
 	}
 	var one [1]uint64
 	one[0] = value
-	if err := t.mesh.Peer(peer).SendPayloads(uint32(dest), one[:], false); err != nil {
+	if err := t.sendPayloads(peer, uint32(dest), one[:], false); err != nil {
 		t.fail(peer, err)
 	}
 }
@@ -153,7 +181,7 @@ func (t *remote) SendOne(dest cluster.WorkerID, value uint64) {
 func (t *remote) SendPayloads(dest cluster.WorkerID, payloads []uint64, full bool) {
 	peer := int(t.topo.ProcOf(dest))
 	if !t.injectSend(peer) {
-		if err := t.mesh.Peer(peer).SendPayloads(uint32(dest), payloads, full); err != nil {
+		if err := t.sendPayloads(peer, uint32(dest), payloads, full); err != nil {
 			t.fail(peer, err)
 		}
 	}
@@ -171,7 +199,13 @@ func (t *remote) SendItems(dest cluster.ProcID, items []rt.Item, full bool) {
 	for _, it := range items {
 		c.items = append(c.items, wire.Item{Dest: uint32(it.Dest), Val: it.Val})
 	}
-	err := t.mesh.Peer(int(dest)).SendItems(uint32(dest), c.items, full)
+	var err error
+	if t.direct(int(dest)) {
+		err = t.mesh.Peer(int(dest)).SendItems(uint32(dest), c.items, full)
+	} else {
+		c.raw = wire.AppendItems(c.raw[:0], uint32(t.self), uint32(dest), c.items, full)
+		t.router.Send(int(dest), c.raw)
+	}
 	c.mu.Unlock()
 	if err != nil {
 		t.fail(int(dest), err)
@@ -187,7 +221,13 @@ func (t *remote) SendRuns(dest cluster.ProcID, runs []rt.Run, full bool) {
 		for _, r := range runs {
 			c.runs = append(c.runs, wire.Run{Dest: uint32(r.Dest), Payloads: r.Payloads})
 		}
-		err := t.mesh.Peer(int(dest)).SendRuns(uint32(dest), c.runs, full)
+		var err error
+		if t.direct(int(dest)) {
+			err = t.mesh.Peer(int(dest)).SendRuns(uint32(dest), c.runs, full)
+		} else {
+			c.raw = wire.AppendRuns(c.raw[:0], uint32(t.self), uint32(dest), c.runs, full)
+			t.router.Send(int(dest), c.raw)
+		}
 		c.mu.Unlock()
 		if err != nil {
 			t.fail(int(dest), err)
@@ -245,6 +285,25 @@ func meshKindOf(setup setupMsg, self cluster.ProcID) func(int) transport.Kind {
 			return transport.Shm
 		}
 		return transport.Socket
+	}
+}
+
+// bundleCap builds the per-next-hop bundle size limit for a hierarchical
+// run's relay: at most the run's frame cap, and for an shm hop at most the
+// ring's record limit (a ring record must fit in half the data area).
+func bundleCap(setup setupMsg, self cluster.ProcID) func(int) int {
+	maxFrame := setup.MaxFrameBytes
+	kindOf := meshKindOf(setup, self)
+	ring := setup.RingBytes
+	if ring <= 0 {
+		ring = shmring.DefaultDataBytes
+	}
+	rec := shmring.MaxRecordBytes(ring)
+	return func(hop int) int {
+		if kindOf != nil && kindOf(hop) == transport.Shm && rec < maxFrame {
+			return rec
+		}
+		return maxFrame
 	}
 }
 
@@ -324,9 +383,19 @@ func runWorker(proc cluster.ProcID, ctrlPath string, build BuildFunc) error {
 		return fail("spawn", fmt.Errorf("node map has %d entries for %d procs", len(setup.Nodes), setup.Procs))
 	}
 
+	// A hierarchical run derives the shared two-level topology (leader =
+	// lowest proc on each node) before anything transport-related exists:
+	// the mesh restricts itself to its link set, and the relay routes over it.
+	var hier *transport.HierTopo
+	if setup.Hierarchical {
+		ht := transport.NewHierTopo(setup.Nodes, setup.Procs)
+		hier = &ht
+	}
+
 	// Build the runtime around the mesh-backed remote (the remote needs the
 	// runtime for pools and the mesh for links; both are set after New).
-	tr := &remote{topo: topo, convs: make([]*conv, setup.Procs), failC: make(chan sendFailure, 1)}
+	tr := &remote{topo: topo, self: int(proc), hier: hier,
+		convs: make([]*conv, setup.Procs), failC: make(chan sendFailure, 1)}
 	for i := range tr.convs {
 		tr.convs[i] = &conv{}
 	}
@@ -354,11 +423,15 @@ func runWorker(proc cluster.ProcID, ctrlPath string, build BuildFunc) error {
 	// The data plane: inbound frames dispatch straight into the runtime
 	// from each link's receive goroutine; loop exits land on peerErr (nil
 	// Err for a clean peer close).
-	pr := &peerReader{rtm: rtm, topo: topo, proc: proc}
+	pr := &peerReader{rtm: rtm, topo: topo, proc: proc, hier: hier}
 	peerErr := make(chan transport.PeerExit, setup.Procs+1)
 	tcpListen := ""
 	if int(proc) < len(setup.ListenAddrs) {
 		tcpListen = setup.ListenAddrs[proc]
+	}
+	var linked func(int) bool
+	if hier != nil {
+		linked = func(q int) bool { return hier.Linked(int(proc), q) }
 	}
 	mesh := transport.NewMesh(transport.MeshConfig{
 		Dir:           setup.Dir,
@@ -368,6 +441,7 @@ func runWorker(proc cluster.ProcID, ctrlPath string, build BuildFunc) error {
 		RingBytes:     setup.RingBytes,
 		WaitDeadline:  setup.SendDeadline,
 		KindOf:        meshKindOf(setup, proc),
+		Linked:        linked,
 		TCPListen:     tcpListen,
 		HelloDigest:   setup.Digest,
 		KeepAlive:     setup.KeepAlive,
@@ -404,6 +478,30 @@ func runWorker(proc cluster.ProcID, ctrlPath string, build BuildFunc) error {
 	faultinject.Fire(faultinject.PointPhaseConnect)
 	if err := mesh.Connect(cm.Addrs); err != nil {
 		return fail("connect", err)
+	}
+	// The relay starts over the established mesh. Its send failures surface
+	// on the same channel link exits use (non-blocking: the channel full
+	// means a failure is already being handled), so a dead next hop is
+	// blamed identically whichever direction notices first. The receive
+	// loops are already running, hence the atomic publish into pr — data
+	// frames only flow after the coordinator's Start barrier, which follows
+	// every worker's Ready, which follows this store.
+	if hier != nil {
+		router := transport.NewRouter(transport.RouterConfig{
+			Self:      int(proc),
+			Topo:      *hier,
+			Mesh:      mesh,
+			BundleCap: bundleCap(setup, proc),
+			OnSendError: func(hop int, err error) {
+				select {
+				case peerErr <- transport.PeerExit{Peer: hop, Err: fmt.Errorf("relay send: %w", err)}:
+				default:
+				}
+			},
+		})
+		defer router.Close()
+		tr.router = router
+		pr.router.Store(router)
 	}
 	if err := ctrl.send(self, opReady, nil); err != nil {
 		return lost("connect", err)
@@ -644,11 +742,18 @@ func runWorker(proc cluster.ProcID, ctrlPath string, build BuildFunc) error {
 	}
 }
 
-// peerReader dispatches one peer link's inbound frames into the runtime.
+// peerReader dispatches one peer link's inbound frames into the runtime —
+// and, on a hierarchical run, unbundles relayed traffic and forwards frames
+// terminating elsewhere toward their next hop.
 type peerReader struct {
-	rtm        *rt.Runtime
-	topo       cluster.Topology
-	proc       cluster.ProcID
+	rtm  *rt.Runtime
+	topo cluster.Topology
+	proc cluster.ProcID
+	// hier is set before the mesh exists; router is published atomically
+	// after Connect (the receive goroutines are already running by then, but
+	// data frames only flow after the coordinator's Start barrier).
+	hier       *transport.HierTopo
+	router     atomic.Pointer[transport.Router]
 	mu         sync.Mutex // guards runScratch: links dispatch concurrently
 	runScratch []rt.Run
 }
@@ -665,11 +770,68 @@ func (pr *peerReader) checkDest(dest uint32) error {
 	return nil
 }
 
-// dispatchFrame routes one decoded data frame into the runtime. It is the
-// transport.Handler every peer link's receive loop feeds; the frame's
+// dispatchFrame routes one decoded data frame. It is the transport.Handler
+// every peer link's receive loop feeds. On a flat mesh every frame
+// terminates here; on a hierarchical run a bundle is opened and each inner
+// frame — like any lone frame — is either delivered locally or relayed
+// toward its destination's next hop.
+func (pr *peerReader) dispatchFrame(f wire.Frame) error {
+	if pr.hier != nil {
+		if f.Kind == wire.KindBundle {
+			return f.EachFrame(func(raw []byte, inner wire.Frame) error {
+				return pr.routeFrame(inner, raw)
+			})
+		}
+		return pr.routeFrame(f, nil)
+	}
+	return pr.deliver(f)
+}
+
+// routeFrame delivers a frame terminating at this process or relays it
+// toward its destination. raw is the frame's complete encoding when the
+// caller already has it (an unbundled inner frame — it aliases the link's
+// receive buffer; the relay copies before returning); nil re-encodes.
+func (pr *peerReader) routeFrame(f wire.Frame, raw []byte) error {
+	dest, err := pr.destProc(f)
+	if err != nil {
+		return err
+	}
+	if dest == int(pr.proc) {
+		return pr.deliver(f)
+	}
+	r := pr.router.Load()
+	if r == nil {
+		return fmt.Errorf("dist: frame for proc %d arrived before routing started", dest)
+	}
+	if raw == nil {
+		raw = wire.AppendFrame(nil, f)
+	}
+	r.RelayRaw(pr.hier.NextHop(int(pr.proc), dest), raw)
+	return nil
+}
+
+// destProc resolves a data frame's destination process: payload frames
+// address a worker, item/run frames address a process directly.
+func (pr *peerReader) destProc(f wire.Frame) (int, error) {
+	switch f.Kind {
+	case wire.KindPayloads:
+		if int(f.Dest) >= pr.topo.TotalWorkers() {
+			return 0, fmt.Errorf("dist: frame addressed to worker %d of %d", f.Dest, pr.topo.TotalWorkers())
+		}
+		return int(pr.topo.ProcOf(cluster.WorkerID(f.Dest))), nil
+	case wire.KindItems, wire.KindRuns:
+		if int(f.Dest) >= pr.topo.TotalProcs() {
+			return 0, fmt.Errorf("dist: frame addressed to proc %d of %d", f.Dest, pr.topo.TotalProcs())
+		}
+		return int(f.Dest), nil
+	}
+	return 0, fmt.Errorf("dist: unexpected %v frame on data connection", f.Kind)
+}
+
+// deliver routes one decoded data frame into the runtime; the frame's
 // payload aliases transport-owned memory, so items are copied into pooled
 // runtime storage here.
-func (pr *peerReader) dispatchFrame(f wire.Frame) error {
+func (pr *peerReader) deliver(f wire.Frame) error {
 	rtm := pr.rtm
 	switch f.Kind {
 	case wire.KindPayloads:

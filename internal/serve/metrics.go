@@ -41,6 +41,13 @@ func newMetricsServer(listen string, fe *Frontend, src *MetricsSource) (*metrics
 		return nil, fmt.Errorf("serve: metrics listen %s: %w", listen, err)
 	}
 	m := &metricsServer{ln: ln, fe: fe, src: src, lastScrape: time.Now()}
+	if src != nil && src.FlushHist != nil {
+		// Prime the flush window at the edge lastScrape marks: the first
+		// scrape's latency quantiles then cover the same interval as its
+		// admitted_per_second rate, instead of the histogram's whole
+		// pre-server history.
+		m.flushWin.Advance(src.FlushHist.State())
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", m.handle)
 	m.srv = &http.Server{Handler: mux}

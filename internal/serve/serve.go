@@ -242,8 +242,10 @@ func (f *Frontend) handle(cs *connState) {
 			switch {
 			case f.aborted():
 				f.finalizeFail(cs)
+				discardInput(cs.conn)
 			case f.draining.Load():
 				f.finalizeDrained(cs)
+				discardInput(cs.conn)
 			}
 			return
 		}
@@ -322,6 +324,22 @@ func (f *Frontend) finalizeFail(cs *connState) {
 		doc = &failDoc{Msg: "server aborted", Proc: -1}
 	}
 	cs.send(OpFail, *doc)
+}
+
+// discardInput consumes whatever the client still had in flight when its
+// final frame was sent, so the deferred Close sends a clean FIN: closing a
+// TCP socket with unread received data aborts the connection with an RST,
+// which can destroy the just-written OpDrained/OpFail before the client
+// reads it. Bounded: the client closes once it has the final frame (EOF
+// here), and the deadline cuts off a client that never does.
+func discardInput(conn net.Conn) {
+	conn.SetReadDeadline(time.Now().Add(time.Second))
+	var buf [4096]byte
+	for {
+		if _, err := conn.Read(buf[:]); err != nil {
+			return
+		}
+	}
 }
 
 // interruptReads wakes every connection's blocked read.

@@ -321,6 +321,67 @@ func TestLoadGen(t *testing.T) {
 	}
 }
 
+// TestMetricsFirstScrapeWindow pins the first-scrape window alignment:
+// flush-latency samples observed before the metrics server started belong to
+// no scrape window — the server primes its window at startup, so the first
+// scrape's quantiles and its admitted_per_second rate cover the same
+// interval instead of quantiles summarizing the whole pre-server history.
+func TestMetricsFirstScrapeWindow(t *testing.T) {
+	hist := stats.NewAtomicHist()
+	for i := 0; i < 50; i++ {
+		hist.Observe(int64(1_000_000 + i)) // boot-time flush history
+	}
+	rtm := rt.New(rt.Config{
+		Topo:          cluster.SMP(1, 2, 2),
+		Scheme:        core.PP,
+		BufferItems:   64,
+		FlushDeadline: 200 * time.Microsecond,
+		ChunkSize:     64,
+		Serve:         true,
+		IngressCap:    64,
+	}, func(ctx *rt.Ctx, v uint64) { ctx.Contribute(1) },
+		func(cluster.WorkerID) (int, rt.KernelFunc) { return 0, nil })
+	rtm.SetFlushHist(hist)
+	resC := make(chan rt.Result, 1)
+	go func() { resC <- rtm.Run() }()
+	fe, err := serve.New(serve.Config{
+		Listen:        "127.0.0.1:0",
+		MetricsListen: "127.0.0.1:0",
+		Inj:           rtm,
+		Metrics: &serve.MetricsSource{
+			Scheme:    core.PP.String(),
+			Counters:  rtm.Counters,
+			FlushHist: hist,
+		},
+	})
+	if err != nil {
+		rtm.Stop()
+		t.Fatalf("serve.New: %v", err)
+	}
+	s := &testServer{rtm: rtm, fe: fe, resC: resC}
+
+	scrape := func() string {
+		resp, err := http.Get("http://" + fe.MetricsAddr() + "/metrics")
+		if err != nil {
+			t.Fatalf("scrape: %v", err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return string(body)
+	}
+	if text := scrape(); !strings.Contains(text, "tramserve_flush_latency_window_count 0\n") {
+		t.Fatalf("first scrape window includes pre-server history:\n%s", text)
+	}
+	// Samples observed after the first scrape are the second window's.
+	for _, v := range []int64{500, 700, 900} {
+		hist.Observe(v)
+	}
+	if text := scrape(); !strings.Contains(text, "tramserve_flush_latency_window_count 3\n") {
+		t.Fatalf("second scrape window should hold exactly the 3 new samples:\n%s", text)
+	}
+	s.drain(t)
+}
+
 // TestAbortSurfacesTypedError pins the failure path: Abort sends every
 // connected client an OpFail that surfaces as a typed *dist.PeerFailureError,
 // and blocked senders unwedge (no hang).

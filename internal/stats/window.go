@@ -19,9 +19,15 @@ import (
 // recovered from cumulative state, so they are approximated by the bounds of
 // the lowest and highest non-empty delta buckets (quantiles keep full bucket
 // resolution). A snapshot pair from a histogram that was reset in between —
-// or passed in the wrong order — yields negative counts; those are clamped
-// away and the delta reads as empty rather than nonsensical.
+// or passed in the wrong order — is detected as cumulative state running
+// backwards (count, sum, or any bucket shrank, or value buckets grew while
+// the sum stood still) and yields an empty delta: the positive fragments of
+// such a pair would otherwise report a window of samples with a sum clamped
+// to zero — quantiles conjured out of nothing.
 func Delta(cur, prev HistState) HistState {
+	if cur.Count < prev.Count || cur.Sum < prev.Sum {
+		return HistState{}
+	}
 	d := HistState{}
 	n := len(cur.Buckets)
 	if len(prev.Buckets) > n {
@@ -38,7 +44,10 @@ func Delta(cur, prev HistState) HistState {
 			p = prev.Buckets[b]
 		}
 		db := c - p
-		if db <= 0 {
+		if db < 0 {
+			return HistState{}
+		}
+		if db == 0 {
 			continue
 		}
 		if buckets == nil {
@@ -54,8 +63,12 @@ func Delta(cur, prev HistState) HistState {
 	if d.Count == 0 {
 		return HistState{}
 	}
-	if s := cur.Sum - prev.Sum; s > 0 {
-		d.Sum = s
+	d.Sum = cur.Sum - prev.Sum
+	if d.Sum == 0 && hi > 0 {
+		// Value buckets (b >= 1 holds samples >= 1) grew but the sum did
+		// not: a reset the count comparison missed. An all-zero-sample
+		// window is the legitimate zero-sum case and stays in bucket 0.
+		return HistState{}
 	}
 	bl, _ := bucketBounds(lo)
 	_, bh := bucketBounds(hi)

@@ -69,6 +69,75 @@ func TestDeltaReversed(t *testing.T) {
 	}
 }
 
+// TestDeltaReset: a histogram reset between the two snapshots must read as
+// an empty window, never as a fabricated one. The regression: a post-reset
+// snapshot can dominate the pre-reset one in count and sum while individual
+// buckets shrank — the old clamping kept the positive bucket fragments and
+// reported a window of samples whose sum was clamped to zero.
+func TestDeltaReset(t *testing.T) {
+	obs := func(vals ...int64) HistState {
+		h := NewHist()
+		for _, v := range vals {
+			h.Observe(v)
+		}
+		return h.State()
+	}
+	cases := []struct {
+		name      string
+		prev, cur HistState
+	}{
+		// More samples and a larger sum after the reset — only the
+		// shrunken bucket betrays it.
+		{"bucket-shrank", obs(8, 8, 8), obs(100, 100, 100, 100, 100)},
+		// Equal sums but a value bucket grew: samples "arrived" while the
+		// sum stood still.
+		{"sum-stood-still", obs(100), obs(4, 96)},
+		// Fewer samples after the reset.
+		{"count-shrank", obs(10, 10, 10), obs(7)},
+		// Smaller sum after the reset.
+		{"sum-shrank", obs(1000), obs(2, 2, 2)},
+	}
+	for _, tc := range cases {
+		if d := Delta(tc.cur, tc.prev); !reflect.DeepEqual(d, HistState{}) {
+			t.Errorf("%s: delta = %+v, want empty", tc.name, d)
+		}
+	}
+
+	// The legitimate zero-sum window: zero-valued samples land in bucket 0
+	// and move no sum — that window must NOT be flagged as a reset.
+	h := NewHist()
+	h.Observe(5)
+	prev := h.State()
+	h.Observe(0)
+	h.Observe(0)
+	d := Delta(h.State(), prev)
+	if d.Count != 2 || d.Sum != 0 {
+		t.Fatalf("zero-sample window = %+v, want count 2 sum 0", d)
+	}
+}
+
+// TestWindowReset: a Window whose histogram restarts mid-stream reports one
+// empty interval and then resumes clean per-interval deltas — a scraper
+// surviving a backend restart never renders garbage quantiles.
+func TestWindowReset(t *testing.T) {
+	h := NewHist()
+	var w Window
+	for i := 0; i < 10; i++ {
+		h.Observe(1 << 20)
+	}
+	w.Advance(h.State())
+	h.Reset()
+	h.Observe(3)
+	h.Observe(90)
+	if d := w.Advance(h.State()); d.Count() != 0 {
+		t.Fatalf("window across reset counts %d samples, want 0", d.Count())
+	}
+	h.Observe(7)
+	if d := w.Advance(h.State()); d.Count() != 1 || d.Sum() != 7 {
+		t.Fatalf("post-reset window count=%d sum=%d, want 1/7", d.Count(), d.Sum())
+	}
+}
+
 // TestDeltaNewExtremum: a window that moves the all-time min or max reports
 // it exactly.
 func TestDeltaNewExtremum(t *testing.T) {
@@ -180,4 +249,47 @@ func TestAtomicHist(t *testing.T) {
 	if s := NewAtomicHist().State(); !reflect.DeepEqual(s, HistState{}) {
 		t.Fatalf("empty atomic state = %+v, want zero", s)
 	}
+}
+
+// TestAtomicHistSnapshotConsistency: a State snapshot taken while observers
+// are mid-flight is internally consistent — Count always equals the bucket
+// total, because both come from the same bucket loads. A count taken from
+// the separate counter could exceed the bucket total and make windowed
+// deltas report phantom samples.
+func TestAtomicHistSnapshotConsistency(t *testing.T) {
+	ah := NewAtomicHist()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					ah.Observe(r.Int63n(1 << 20))
+				}
+			}
+		}(int64(g + 1))
+	}
+	var prev HistState
+	for i := 0; i < 200; i++ {
+		s := ah.State()
+		var total int64
+		for _, b := range s.Buckets {
+			total += b
+		}
+		if s.Count != total {
+			t.Fatalf("snapshot %d: Count %d != bucket total %d", i, s.Count, total)
+		}
+		if s.Count < prev.Count {
+			t.Fatalf("snapshot %d: cumulative count went backwards: %d -> %d", i, prev.Count, s.Count)
+		}
+		prev = s
+	}
+	close(stop)
+	wg.Wait()
 }

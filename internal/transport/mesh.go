@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tramlib/internal/transport/shmring"
@@ -32,6 +33,13 @@ type MeshConfig struct {
 	// It must be symmetric across processes (both sides of a pair must
 	// agree); nil selects Socket for every peer.
 	KindOf func(peer int) Kind
+	// Linked restricts which peer pairs get a link at all. nil links every
+	// pair (the flat full mesh); two-level routing passes HierTopo.Linked so
+	// only worker<->leader and leader<->leader pairs pay a socket, ring
+	// segment, or TCP stream. Like KindOf it must be symmetric across
+	// processes, and Peer(q) stays nil for unlinked q — callers route
+	// through a relay instead.
+	Linked func(peer int) bool
 	// TCPListen is the bind spec for this process's TCP data listener, used
 	// when any peer is TCP-kind; "" selects a loopback ephemeral port
 	// ("127.0.0.1:0"). After Listen, Addr reports the resolved address; the
@@ -73,15 +81,32 @@ func (c MeshConfig) kindOf(peer int) Kind {
 	return c.KindOf(peer)
 }
 
+func (c MeshConfig) linked(peer int) bool {
+	if peer == c.Self {
+		return false
+	}
+	if c.Linked == nil {
+		return true
+	}
+	return c.Linked(peer)
+}
+
 // Mesh is one process's set of peer links, built in the Listen/Connect
 // phases the coordinator's handshake barriers order (see the package
-// comment). After Connect, Peer(q) is non-nil for every q != Self and each
-// link's receive loop is running, feeding handle and reporting its exit on
-// errc as a PeerExit naming the peer (Err nil for a clean peer close).
+// comment). After Connect, Peer(q) is non-nil for every linked q != Self
+// (every q in a flat mesh) and each link's receive loop is running, feeding
+// handle and reporting its exit on errc as a PeerExit naming the peer (Err
+// nil for a clean peer close).
 type Mesh struct {
 	cfg    MeshConfig
 	handle Handler
 	errc   chan<- PeerExit
+
+	// routes is the immutable peer table snapshot published at the end of
+	// Connect: the peer set never changes after the establishment barrier,
+	// so every post-barrier Peer lookup — one per batch send — reads it
+	// lock-free instead of bouncing m.mu between worker goroutines.
+	routes atomic.Pointer[[]PeerTransport]
 
 	mu    sync.Mutex
 	peers []PeerTransport
@@ -121,9 +146,9 @@ func NewMesh(cfg MeshConfig, handle Handler, errc chan<- PeerExit) *Mesh {
 // during their Connect phase. After Listen returns (and the coordinator's
 // barrier confirms every process got here), remote peers may establish.
 func (m *Mesh) Listen() error {
-	needSock, needTCP := false, false
+	needTCP := false
 	for q := 0; q < m.cfg.Procs; q++ {
-		if q == m.cfg.Self {
+		if !m.cfg.linked(q) {
 			continue
 		}
 		switch m.cfg.kindOf(q) {
@@ -134,7 +159,6 @@ func (m *Mesh) Listen() error {
 			}
 			m.recvRings[q] = r
 		case Socket:
-			needSock = true
 			if q > m.cfg.Self {
 				m.inbound++
 			}
@@ -147,7 +171,11 @@ func (m *Mesh) Listen() error {
 			return fmt.Errorf("transport: unknown kind %v for peer %d", m.cfg.kindOf(q), q)
 		}
 	}
-	if !needSock {
+	// The Unix listener exists only when a higher-numbered linked socket
+	// peer will dial in: lower-numbered peers are dialed by us, so a
+	// listener nobody dials is a wasted fd and socket file (the flat mesh's
+	// last process, every non-accepting process of a hier link set).
+	if m.inbound == 0 {
 		m.acceptDone <- nil
 	} else {
 		ln, err := net.Listen("unix", sockPath(m.cfg.Dir, m.cfg.Self))
@@ -206,9 +234,9 @@ func (m *Mesh) acceptLoop() {
 		}
 		// The hello's Source is wire-controlled: validate it before it
 		// becomes a slice index. Inbound dials come only from
-		// higher-numbered socket-kind peers, each exactly once.
+		// higher-numbered, linked, socket-kind peers, each exactly once.
 		q := int(hello.Source)
-		if q <= m.cfg.Self || q >= m.cfg.Procs || m.cfg.kindOf(q) != Socket {
+		if q <= m.cfg.Self || q >= m.cfg.Procs || !m.cfg.linked(q) || m.cfg.kindOf(q) != Socket {
 			c.Close()
 			m.acceptDone <- fmt.Errorf("transport: peer hello from invalid proc %d", hello.Source)
 			return
@@ -267,7 +295,7 @@ func (m *Mesh) tcpHello(c net.Conn) {
 		return
 	}
 	q := int(hello.Source)
-	if q <= m.cfg.Self || q >= m.cfg.Procs || m.cfg.kindOf(q) != TCP {
+	if q <= m.cfg.Self || q >= m.cfg.Procs || !m.cfg.linked(q) || m.cfg.kindOf(q) != TCP {
 		c.Close()
 		return
 	}
@@ -302,7 +330,7 @@ func (m *Mesh) tcpHello(c net.Conn) {
 // mesh with no TCP links.
 func (m *Mesh) Connect(peerAddrs []string) error {
 	for q := 0; q < m.cfg.Procs; q++ {
-		if q == m.cfg.Self {
+		if !m.cfg.linked(q) {
 			continue
 		}
 		switch m.cfg.kindOf(q) {
@@ -370,7 +398,17 @@ func (m *Mesh) Connect(peerAddrs []string) error {
 	if err := <-m.acceptDone; err != nil {
 		return err
 	}
-	return <-m.tcpDone
+	if err := <-m.tcpDone; err != nil {
+		return err
+	}
+	// The peer table is complete and immutable from here on; publish the
+	// lock-free snapshot every post-barrier Peer lookup reads.
+	m.mu.Lock()
+	snap := make([]PeerTransport, len(m.peers))
+	copy(snap, m.peers)
+	m.mu.Unlock()
+	m.routes.Store(&snap)
+	return nil
 }
 
 // startRecv runs one link's receive loop on its own goroutine, reporting
@@ -380,21 +418,37 @@ func (m *Mesh) startRecv(q int, p PeerTransport) {
 	go func() { m.errc <- PeerExit{Peer: q, Err: p.RecvLoop(m.handle)} }()
 }
 
-// Peer returns the established link to process q (nil for Self or before
-// the link exists).
+// Peer returns the established link to process q (nil for Self, unlinked
+// pairs, or before the link exists). After Connect it reads the immutable
+// snapshot — no lock on the per-batch send path; during establishment it
+// falls back to the mutex.
 func (m *Mesh) Peer(q int) PeerTransport {
+	if rs := m.routes.Load(); rs != nil {
+		return (*rs)[q]
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.peers[q]
 }
 
+// peerTable returns the current link set: the post-Connect snapshot when
+// published, a locked copy before that.
+func (m *Mesh) peerTable() []PeerTransport {
+	if rs := m.routes.Load(); rs != nil {
+		return *rs
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := make([]PeerTransport, len(m.peers))
+	copy(snap, m.peers)
+	return snap
+}
+
 // OldestNanos returns the oldest pending-batch stamp across every link, or
 // 0 if nothing is pending (see PeerTransport.OldestNanos).
 func (m *Mesh) OldestNanos() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	var oldest int64
-	for _, p := range m.peers {
+	for _, p := range m.peerTable() {
 		if p == nil {
 			continue
 		}

@@ -47,6 +47,12 @@ func (p *shmPeer) SendRuns(destProc uint32, runs []wire.Run, full bool) error {
 	})
 }
 
+func (p *shmPeer) SendRaw(raw []byte) error {
+	return p.writeFrame(len(raw), func(dst []byte) []byte {
+		return append(dst, raw...)
+	})
+}
+
 // writeFrame publishes one frame of exactly total bytes into the send ring,
 // mapping the ring's failure modes onto the transport-level sentinels (a
 // dead consumer process, a stalled parked wait).

@@ -65,6 +65,13 @@ func (p *socketPeer) SendRuns(destProc uint32, runs []wire.Run, full bool) error
 	return p.write()
 }
 
+func (p *socketPeer) SendRaw(raw []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.buf = append(p.buf[:0], raw...)
+	return p.write()
+}
+
 // write flushes p.buf to the connection, classifying the failure modes the
 // run-level failure detector distinguishes: a broken pipe or connection
 // reset is the peer process dying (ErrPeerDead); a write-deadline expiry is

@@ -143,6 +143,11 @@ type PeerTransport interface {
 	SendItems(destProc uint32, items []wire.Item, full bool) error
 	// SendRuns ships a source-grouped process-addressed batch (WsP).
 	SendRuns(destProc uint32, runs []wire.Run, full bool) error
+	// SendRaw ships a pre-encoded complete frame (length prefix included)
+	// verbatim. It is the relay path of two-level routing: a leader forwards
+	// frames and bundles it already holds in encoded form without paying a
+	// re-encode. The caller keeps ownership of raw; it is dead on return.
+	SendRaw(raw []byte) error
 	// RecvLoop decodes inbound frames into handle until the peer closes the
 	// link (returns nil), the link fails, or handle errors. One call per
 	// link, on a dedicated goroutine (Mesh.Connect starts it).

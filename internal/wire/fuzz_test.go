@@ -20,6 +20,10 @@ func FuzzDecode(f *testing.F) {
 	bad := AppendRuns(nil, 0, 0, []Run{{Dest: 1, Payloads: []uint64{5}}}, false)
 	binary.LittleEndian.PutUint32(bad[24:], 1<<20)
 	f.Add(bad)
+	// A two-frame relay bundle.
+	inner := AppendPayloads(nil, 1, 2, []uint64{3}, false)
+	inner = AppendItems(inner, 1, 3, []Item{{Dest: 0, Val: 9}}, true)
+	f.Add(AppendBundle(nil, 1, 4, 2, inner))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, n, err := Decode(data, 1<<20)
@@ -46,14 +50,106 @@ func FuzzDecode(f *testing.F) {
 			out = AppendRuns(nil, fr.Source, fr.Dest, runs, fr.Full())
 		case KindControl:
 			out = AppendControl(nil, fr.Source, fr.Dest, fr.Payload)
+		case KindBundle:
+			var rebuilt []byte
+			if err := fr.EachFrame(func(raw []byte, _ Frame) error {
+				rebuilt = append(rebuilt, raw...)
+				return nil
+			}); err != nil {
+				t.Fatalf("EachFrame on accepted bundle: %v", err)
+			}
+			out = AppendBundle(nil, fr.Source, fr.Dest, int(fr.Count), rebuilt)
 		default:
 			t.Fatalf("decoder accepted unknown kind %v", fr.Kind)
 		}
 		// The encoders emit only the canonical flag values (0, or FlagFull on
 		// batch frames); compare byte-exactness only for frames in that set.
-		canonical := fr.Flags == 0 || (fr.Flags == FlagFull && fr.Kind != KindControl)
+		canonical := fr.Flags == 0 ||
+			(fr.Flags == FlagFull && fr.Kind != KindControl && fr.Kind != KindBundle)
 		if canonical && !bytes.Equal(out, data[:n]) {
 			t.Fatalf("re-encode mismatch:\n in  %x\n out %x", data[:n], out)
+		}
+	})
+}
+
+// FuzzBundle builds relay bundles from fuzzer-chosen batch contents and
+// checks that the envelope round-trips: every inner frame comes back in
+// order, byte-identical, with its original endpoints — and that corrupting
+// the inner framing is always rejected.
+func FuzzBundle(f *testing.F) {
+	f.Add(uint32(0), uint32(1), []byte{}, uint8(1))
+	f.Add(uint32(2), uint32(3), bytes.Repeat([]byte{0x5A}, 64), uint8(3))
+	f.Add(uint32(1<<31), uint32(0), []byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(2))
+
+	f.Fuzz(func(t *testing.T, source, dest uint32, raw []byte, nFrames uint8) {
+		// Build up to nFrames inner frames, cycling the batch shapes.
+		var inner []byte
+		var rawFrames [][]byte
+		for i := 0; i < int(nFrames%8); i++ {
+			var fr []byte
+			switch i % 3 {
+			case 0:
+				payloads := make([]uint64, len(raw)/8)
+				for j := range payloads {
+					payloads[j] = binary.LittleEndian.Uint64(raw[8*j:])
+				}
+				fr = AppendPayloads(nil, source, dest+uint32(i), payloads, i%2 == 0)
+			case 1:
+				items := make([]Item, len(raw)/itemBytes)
+				for j := range items {
+					items[j] = Item{
+						Dest: binary.LittleEndian.Uint32(raw[itemBytes*j:]),
+						Val:  binary.LittleEndian.Uint64(raw[itemBytes*j+4:]),
+					}
+				}
+				fr = AppendItems(nil, source, dest+uint32(i), items, false)
+			case 2:
+				fr = AppendControl(nil, source, dest+uint32(i), raw)
+			}
+			inner = append(inner, fr...)
+			rawFrames = append(rawFrames, fr)
+		}
+
+		buf := AppendBundle(nil, source, dest, len(rawFrames), inner)
+		if len(buf) != BundleFrameBytes(len(inner)) {
+			t.Fatalf("encoded %d bytes, BundleFrameBytes says %d", len(buf), BundleFrameBytes(len(inner)))
+		}
+		fb, n, err := Decode(buf, 0)
+		if err != nil {
+			t.Fatalf("decode bundle: %v", err)
+		}
+		if n != len(buf) || fb.Kind != KindBundle || int(fb.Count) != len(rawFrames) {
+			t.Fatalf("bundle header: consumed %d/%d, %+v", n, len(buf), fb.Header)
+		}
+		i := 0
+		err = fb.EachFrame(func(rawf []byte, inf Frame) error {
+			if !bytes.Equal(rawf, rawFrames[i]) {
+				t.Fatalf("inner frame %d raw bytes differ", i)
+			}
+			if inf.Source != source || inf.Dest != dest+uint32(i) {
+				t.Fatalf("inner frame %d endpoints (%d,%d), want (%d,%d)",
+					i, inf.Source, inf.Dest, source, dest+uint32(i))
+			}
+			i++
+			return nil
+		})
+		if err != nil || i != len(rawFrames) {
+			t.Fatalf("EachFrame: err=%v, iterated %d of %d", err, i, len(rawFrames))
+		}
+
+		// Any single-byte corruption of an inner length prefix, or a wrong
+		// frame count, must be rejected — never mis-framed.
+		if len(rawFrames) > 0 {
+			c := bytes.Clone(buf)
+			binary.LittleEndian.PutUint32(c[16:], fb.Count+1)
+			if _, _, err := Decode(c, 0); err == nil {
+				t.Fatal("decoder accepted a bundle with an inflated frame count")
+			}
+			c2 := bytes.Clone(buf)
+			binary.LittleEndian.PutUint32(c2[prefixBytes+HeaderBytes:], 1<<30)
+			if _, _, err := Decode(c2, 0); err == nil {
+				t.Fatal("decoder accepted a bundle with a corrupt inner prefix")
+			}
 		}
 	})
 }

@@ -90,6 +90,12 @@ const (
 	KindRuns
 	// KindControl is a coordinator control message (JSON payload).
 	KindControl
+	// KindBundle is a relay envelope for two-level (node-leader) routing: the
+	// payload is a concatenation of Count complete frames — each with its own
+	// length prefix — possibly bound for different final destinations. Source
+	// is the relaying process, Dest the next hop on the link; the inner
+	// frames keep their original endpoints. Bundles never nest.
+	KindBundle
 	kindMax
 )
 
@@ -104,6 +110,8 @@ func (k Kind) String() string {
 		return "runs"
 	case KindControl:
 		return "control"
+	case KindBundle:
+		return "bundle"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -175,6 +183,10 @@ func RunsFrameBytes(runs []Run) int {
 // docBytes-byte payload.
 func ControlFrameBytes(docBytes int) int { return prefixBytes + HeaderBytes + docBytes }
 
+// BundleFrameBytes returns the encoded size of a KindBundle frame whose
+// payload carries innerBytes bytes of concatenated complete frames.
+func BundleFrameBytes(innerBytes int) int { return prefixBytes + HeaderBytes + innerBytes }
+
 // AppendPayloads appends a KindPayloads frame carrying a worker-addressed
 // batch to buf and returns the extended buffer.
 func AppendPayloads(buf []byte, source, destWorker uint32, payloads []uint64, full bool) []byte {
@@ -232,11 +244,28 @@ func AppendControl(buf []byte, source, opcode uint32, doc []byte) []byte {
 	return append(buf, doc...)
 }
 
+// AppendBundle appends a KindBundle frame: inner is the concatenation of
+// count complete frames (each with its own length prefix), typically
+// accumulated by a relay from frames it already has in encoded form. The
+// encoder trusts the producer; the decoder re-validates every inner frame.
+func AppendBundle(buf []byte, source, destProc uint32, count int, inner []byte) []byte {
+	buf = appendHeader(buf, KindBundle, 0, source, destProc, uint32(count), len(inner))
+	return append(buf, inner...)
+}
+
 // Frame is one decoded frame: the header plus the raw payload bytes, which
 // alias the decode input (valid only until the caller reuses its buffer).
 type Frame struct {
 	Header
 	Payload []byte
+}
+
+// AppendFrame re-encodes a decoded frame verbatim — header fields and
+// payload unchanged — producing bytes identical to the original encoding.
+// Relays use it to forward a frame they only hold decoded.
+func AppendFrame(buf []byte, f Frame) []byte {
+	buf = appendHeader(buf, f.Kind, f.Flags, f.Source, f.Dest, f.Count, len(f.Payload))
+	return append(buf, f.Payload...)
 }
 
 // Errors returned by the decoder. ErrShort means more bytes are needed (the
@@ -318,8 +347,40 @@ func parseBody(body []byte) (Frame, error) {
 		if len(f.Payload) != n {
 			return Frame{}, fmt.Errorf("%w: control payload %d bytes, count %d", ErrCount, len(f.Payload), n)
 		}
+	case KindBundle:
+		if err := validateBundle(f.Payload, n); err != nil {
+			return Frame{}, err
+		}
 	}
 	return f, nil
+}
+
+// validateBundle walks a bundle payload checking that exactly nFrames
+// complete, individually valid, non-bundle frames cover exactly the payload.
+// Rejecting nested bundles bounds the recursion at one level.
+func validateBundle(p []byte, nFrames int) error {
+	off := 0
+	for i := 0; i < nFrames; i++ {
+		if len(p)-off < prefixBytes {
+			return fmt.Errorf("%w: bundle frame %d prefix truncated", ErrCount, i)
+		}
+		length := int(binary.LittleEndian.Uint32(p[off:]))
+		if length < HeaderBytes || length > len(p)-off-prefixBytes {
+			return fmt.Errorf("%w: bundle frame %d claims %d bytes", ErrCount, i, length)
+		}
+		body := p[off+prefixBytes : off+prefixBytes+length]
+		if Kind(body[2]) == KindBundle {
+			return fmt.Errorf("%w: nested bundle at frame %d", ErrKind, i)
+		}
+		if _, err := parseBody(body); err != nil {
+			return fmt.Errorf("bundle frame %d: %w", i, err)
+		}
+		off += prefixBytes + length
+	}
+	if off != len(p) {
+		return fmt.Errorf("%w: %d trailing bytes after %d bundled frames", ErrCount, len(p)-off, nFrames)
+	}
+	return nil
 }
 
 // validateRuns walks the runs encoding checking that exactly nRuns runs cover
@@ -392,6 +453,29 @@ func (f Frame) EachRun(fn func(dest uint32, n int, decode func(dst []uint64))) {
 		})
 		off += 8 * n
 	}
+}
+
+// EachFrame iterates a KindBundle frame, calling fn with each inner frame in
+// order along with its raw encoding (length prefix included, aliasing the
+// bundle payload) so relays can forward without re-encoding. The bundle was
+// validated at Decode time, so the walk cannot fail; fn returning an error
+// stops the iteration and returns that error.
+func (f Frame) EachFrame(fn func(raw []byte, inner Frame) error) error {
+	p := f.Payload
+	off := 0
+	for i := uint32(0); i < f.Count; i++ {
+		length := int(binary.LittleEndian.Uint32(p[off:]))
+		raw := p[off : off+prefixBytes+length]
+		inner, err := parseBody(raw[prefixBytes:])
+		if err != nil {
+			return err
+		}
+		if err := fn(raw, inner); err != nil {
+			return err
+		}
+		off += prefixBytes + length
+	}
+	return nil
 }
 
 // Reader decodes frames from a byte stream, reusing one internal buffer; the

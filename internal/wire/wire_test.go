@@ -95,6 +95,85 @@ func TestControlRoundTrip(t *testing.T) {
 	}
 }
 
+func TestBundleRoundTrip(t *testing.T) {
+	f1 := AppendPayloads(nil, 2, 5, []uint64{11, 22}, true)
+	f2 := AppendItems(nil, 3, 6, []Item{{Dest: 1, Val: 7}}, false)
+	f3 := AppendRuns(nil, 2, 7, []Run{{Dest: 0, Payloads: []uint64{9}}}, false)
+	inner := append(append(bytes.Clone(f1), f2...), f3...)
+
+	buf := AppendBundle(nil, 1, 4, 3, inner)
+	if len(buf) != BundleFrameBytes(len(inner)) {
+		t.Fatalf("encoded %d bytes, BundleFrameBytes says %d", len(buf), BundleFrameBytes(len(inner)))
+	}
+	f, n, err := Decode(buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) || f.Kind != KindBundle || f.Source != 1 || f.Dest != 4 || f.Count != 3 {
+		t.Fatalf("bundle header mismatch: consumed %d/%d, %+v", n, len(buf), f.Header)
+	}
+	want := [][]byte{f1, f2, f3}
+	wantKinds := []Kind{KindPayloads, KindItems, KindRuns}
+	i := 0
+	err = f.EachFrame(func(raw []byte, inf Frame) error {
+		if !bytes.Equal(raw, want[i]) {
+			t.Fatalf("inner frame %d raw bytes differ", i)
+		}
+		if inf.Kind != wantKinds[i] {
+			t.Fatalf("inner frame %d kind %v, want %v", i, inf.Kind, wantKinds[i])
+		}
+		i++
+		return nil
+	})
+	if err != nil || i != 3 {
+		t.Fatalf("EachFrame: err=%v, iterated %d of 3", err, i)
+	}
+
+	// An empty bundle is legal (a relay flushing nothing encodes nothing in
+	// practice, but the envelope itself permits count 0).
+	empty := AppendBundle(nil, 0, 1, 0, nil)
+	fe, _, err := Decode(empty, 0)
+	if err != nil || fe.Count != 0 {
+		t.Fatalf("empty bundle: %+v err=%v", fe.Header, err)
+	}
+}
+
+func TestBundleRejectsBadShapes(t *testing.T) {
+	one := AppendPayloads(nil, 1, 2, []uint64{5}, false)
+
+	// Nested bundles are rejected (bounded recursion).
+	nested := AppendBundle(nil, 0, 1, 1, AppendBundle(nil, 0, 1, 1, one))
+	if _, _, err := Decode(nested, 0); !errors.Is(err, ErrKind) {
+		t.Fatalf("nested bundle: err = %v, want ErrKind", err)
+	}
+
+	// Count exceeding the actual frames.
+	over := AppendBundle(nil, 0, 1, 2, one)
+	if _, _, err := Decode(over, 0); !errors.Is(err, ErrCount) {
+		t.Fatalf("overdeclared count: err = %v, want ErrCount", err)
+	}
+
+	// Trailing bytes after the declared frames.
+	trailing := AppendBundle(nil, 0, 1, 1, append(bytes.Clone(one), 0xEE))
+	if _, _, err := Decode(trailing, 0); !errors.Is(err, ErrCount) {
+		t.Fatalf("trailing bytes: err = %v, want ErrCount", err)
+	}
+
+	// An inner frame that is itself corrupt (bad magic).
+	badInner := bytes.Clone(one)
+	badInner[prefixBytes] = 0x00
+	corrupt := AppendBundle(nil, 0, 1, 1, badInner)
+	if _, _, err := Decode(corrupt, 0); !errors.Is(err, ErrMagic) {
+		t.Fatalf("corrupt inner frame: err = %v, want ErrMagic", err)
+	}
+
+	// An inner prefix claiming past the payload end.
+	short := AppendBundle(nil, 0, 1, 1, one[:len(one)-2])
+	if _, _, err := Decode(short, 0); !errors.Is(err, ErrCount) {
+		t.Fatalf("truncated inner frame: err = %v, want ErrCount", err)
+	}
+}
+
 func TestDecodeRejectsCorruption(t *testing.T) {
 	good := AppendPayloads(nil, 1, 2, []uint64{10, 20}, false)
 

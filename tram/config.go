@@ -184,6 +184,14 @@ type DistOptions struct {
 	// twice the largest frame a full aggregation buffer can produce;
 	// Validate enforces it against BufferItems.
 	RingBytes int
+	// Hierarchical enables two-level node-leader routing over Nodes: each
+	// node's lowest-numbered process relays its node's cross-node traffic,
+	// so the mesh keeps one star link per same-node process plus one link
+	// per node pair — O(nodes²) + O(procs/node) instead of O(P²) — and
+	// frames sharing a next hop travel as one bundled frame. Routing changes
+	// how batches move, never what the run computes: the conformance suite
+	// pins hierarchical results element-wise identical to the flat mesh.
+	Hierarchical bool
 	// SockDir is where the run's Unix-socket directory is created ("" uses
 	// the system temp dir). Socket paths are length-limited (~100 bytes),
 	// so keep it short.
@@ -320,7 +328,13 @@ func (c Config) Validate() error {
 		return fmt.Errorf("tram: negative Dist.MaxFrameBytes")
 	}
 	if c.Dist.MaxFrameBytes > 0 {
-		if need := c.BufferItems*itemWireBytes + wireFrameOverhead; c.Dist.MaxFrameBytes < need {
+		need := c.BufferItems*itemWireBytes + wireFrameOverhead
+		if c.Dist.Hierarchical {
+			// A relayed full buffer travels inside a bundle frame, which
+			// adds one more frame envelope.
+			need += wireFrameOverhead
+		}
+		if c.Dist.MaxFrameBytes < need {
 			return fmt.Errorf("tram: Dist.MaxFrameBytes %d cannot carry a full buffer of %d items (need >= %d)",
 				c.Dist.MaxFrameBytes, c.BufferItems, need)
 		}
@@ -385,7 +399,13 @@ func (c Config) Validate() error {
 		if ring == 0 {
 			ring = shmring.DefaultDataBytes
 		}
-		if need := 2 * (c.BufferItems*itemWireBytes + wireFrameOverhead); ring < need {
+		frame := c.BufferItems*itemWireBytes + wireFrameOverhead
+		if c.Dist.Hierarchical {
+			// A leader relays bundled full buffers through the same rings:
+			// one more frame envelope per ring record.
+			frame += wireFrameOverhead
+		}
+		if need := 2 * frame; ring < need {
 			return fmt.Errorf("tram: Dist.RingBytes %d cannot carry a full buffer of %d items (records are capped at half the ring; need >= %d)",
 				ring, c.BufferItems, need)
 		}

@@ -62,6 +62,15 @@ func TestValidateRejectsEveryInvalidField(t *testing.T) {
 			c.Dist.Transport = TransportShm
 			c.BufferItems = 1 << 20 // 2*(16 MiB + 20) > the 1 MiB default ring
 		}, "half the ring"},
+		{"hier Dist.MaxFrameBytes misses the bundle envelope", func(c *Config) {
+			c.Dist.Hierarchical = true
+			c.Dist.MaxFrameBytes = c.BufferItems*16 + 20 // flat floor; hier needs one more envelope
+		}, "full buffer"},
+		{"hier Dist.RingBytes misses the bundle envelope", func(c *Config) {
+			c.Dist.Transport = TransportShm
+			c.Dist.Hierarchical = true
+			c.Dist.RingBytes = 2 * (c.BufferItems*16 + 20) // flat floor; hier needs one more envelope
+		}, "half the ring"},
 		{"negative Dist.KeepAlive", func(c *Config) { c.Dist.KeepAlive = -time.Second }, "KeepAlive"},
 		{"negative Dist.LinkDelay", func(c *Config) { c.Dist.LinkDelay = -time.Millisecond }, "LinkDelay"},
 		{"negative Dist.LinkJitter", func(c *Config) { c.Dist.LinkJitter = -time.Millisecond }, "LinkJitter"},
@@ -157,6 +166,19 @@ func TestValidateAcceptsDistKnobs(t *testing.T) {
 	if err := cfg.Validate(); err != nil {
 		t.Fatalf("shm-configured config invalid: %v", err)
 	}
+	// Two-level routing over a two-node grouping, with the ring at exactly
+	// its (bundle-envelope-inclusive) hierarchical floor.
+	cfg.Dist.Hierarchical = true
+	for p := range cfg.Dist.Nodes {
+		cfg.Dist.Nodes[p] = p % 2
+	}
+	cfg.Dist.RingBytes = 2 * (cfg.BufferItems*16 + 40)
+	cfg.Dist.MaxFrameBytes = cfg.BufferItems*16 + 40
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("hierarchical shm config invalid: %v", err)
+	}
+	cfg.Dist.Hierarchical = false
+	cfg.Dist.MaxFrameBytes = cfg.BufferItems*16 + 20
 	cfg.Dist.Transport = TransportSocket
 	cfg.Dist.RingBytes = 0
 	if err := cfg.Validate(); err != nil {

@@ -40,17 +40,40 @@ func TestMain(m *testing.M) {
 // traffic and Dist runs across 2 OS processes.
 func confTopo() tram.Topology { return tram.SMP(2, 1, 2) }
 
+// hierTopo is the hierarchical-routing conformance topology: the same 4
+// workers as confTopo, but split 2 nodes x 2 processes x 1 worker so
+// two-level routing has real relay hops — each node has a leader and a
+// non-leader, and non-leader -> non-leader traffic crosses three links
+// (worker -> local leader -> remote leader -> worker). With only 2
+// processes every process would be a leader and nothing would relay.
+func hierTopo() tram.Topology { return tram.SMP(2, 2, 1) }
+
+// hierNodes maps hierTopo's 4 processes onto its 2 nodes.
+func hierNodes() []int { return []int{0, 0, 1, 1} }
+
 // backendCell is one execution engine under test. The Dist backend appears
-// once per peer transport, so every kernel x scheme cell runs over the
-// socket, shared-memory-ring, and TCP data planes.
+// once per peer transport — plus once per transport with hierarchical
+// node-leader routing — so every kernel x scheme cell runs over the socket,
+// shared-memory-ring, and TCP data planes, flat and two-level.
 type backendCell struct {
 	name      string
 	b         tram.Backend
 	transport tram.DistTransport // Dist cells only
+	hier      bool               // route through node leaders (Dist cells only)
 }
 
-// prep applies the cell's transport selection to a run configuration.
-func (c backendCell) prep(cfg *tram.Config) { cfg.Dist.Transport = c.transport }
+// prep applies the cell's transport and routing selection to a run
+// configuration. Hierarchical cells also swap in hierTopo: worker count
+// (and therefore every result) is unchanged, but the run spans 4 OS
+// processes on 2 nodes so the two-level paths genuinely relay.
+func (c backendCell) prep(cfg *tram.Config) {
+	cfg.Dist.Transport = c.transport
+	if c.hier {
+		cfg.Topo = hierTopo()
+		cfg.Dist.Nodes = hierNodes()
+		cfg.Dist.Hierarchical = true
+	}
+}
 
 // backends lists the execution cells under test.
 func backends() []backendCell {
@@ -60,6 +83,9 @@ func backends() []backendCell {
 		{name: "dist-socket", b: tram.Dist, transport: tram.TransportSocket},
 		{name: "dist-shm", b: tram.Dist, transport: tram.TransportShm},
 		{name: "dist-tcp", b: tram.Dist, transport: tram.TransportTCP},
+		{name: "dist-hier-socket", b: tram.Dist, transport: tram.TransportSocket, hier: true},
+		{name: "dist-hier-shm", b: tram.Dist, transport: tram.TransportShm, hier: true},
+		{name: "dist-hier-tcp", b: tram.Dist, transport: tram.TransportTCP, hier: true},
 	}
 }
 
@@ -170,6 +196,7 @@ func TestConformancePingAck(t *testing.T) {
 				cfg.ProcsPerNode = procs
 				cfg.TotalMessages = 2000
 				cfg.Transport = c.transport
+				cfg.Hierarchical = c.hier
 				res := pingack.RunOn(c.b, cfg)
 				if res.Acks != workers {
 					t.Fatalf("procs=%d: acks %d, want %d", procs, res.Acks, workers)
@@ -324,6 +351,71 @@ func TestConformanceDistMatchesReal(t *testing.T) {
 		pcfg.Transport = tr
 		if pDist := pingack.RunOn(tram.Dist, pcfg); pReal.Acks != pDist.Acks {
 			t.Fatalf("ping-ack acks: real %d, dist/%s %d", pReal.Acks, tr, pDist.Acks)
+		}
+	}
+}
+
+// TestConformanceHierMatchesFlat is the two-level-routing acceptance pin:
+// on the 4-process / 2-node topology, hierarchical node-leader routing
+// produces results element-wise identical to the flat full mesh, over all
+// three peer transports. Routing is plumbing — it moves the same frames
+// over fewer links and must never change what the run computes.
+func TestConformanceHierMatchesFlat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	topo := hierTopo()
+	W := topo.TotalWorkers()
+
+	hcfg := histogram.DefaultConfig(topo, tram.WPs)
+	hcfg.UpdatesPerPE = 2000
+	hcfg.SlotsPerPE = 32
+	hcfg.Tram.BufferItems = 64
+	hcfg.Tram.Dist.Nodes = hierNodes()
+	for _, tr := range distTransports {
+		hcfg.Tram.Dist.Transport = tr
+		hcfg.Tram.Dist.Hierarchical = false
+		hFlat := histogram.RunOn(tram.Dist, hcfg)
+		hcfg.Tram.Dist.Hierarchical = true
+		hHier := histogram.RunOn(tram.Dist, hcfg)
+		for w := 0; w < W; w++ {
+			for s := range hFlat.Tables[w] {
+				if hFlat.Tables[w][s] != hHier.Tables[w][s] {
+					t.Fatalf("histogram table[%d][%d]: flat/%s %d != hier/%s %d",
+						w, s, tr, hFlat.Tables[w][s], tr, hHier.Tables[w][s])
+				}
+			}
+		}
+		if hFlat.TotalUpdates != hHier.TotalUpdates {
+			t.Fatalf("histogram totals: flat/%s %d, hier/%s %d", tr, hFlat.TotalUpdates, tr, hHier.TotalUpdates)
+		}
+	}
+
+	icfg := indexgather.DefaultConfig(topo, tram.PP)
+	icfg.RequestsPerPE = 1500
+	icfg.Tram.BufferItems = 64
+	icfg.Tram.Dist.Nodes = hierNodes()
+	for _, tr := range distTransports {
+		icfg.Tram.Dist.Transport = tr
+		icfg.Tram.Dist.Hierarchical = false
+		iFlat := indexgather.RunOn(tram.Dist, icfg)
+		icfg.Tram.Dist.Hierarchical = true
+		if iHier := indexgather.RunOn(tram.Dist, icfg); iFlat.Responses != iHier.Responses {
+			t.Fatalf("index-gather responses: flat/%s %d, hier/%s %d", tr, iFlat.Responses, tr, iHier.Responses)
+		}
+	}
+
+	pcfg := pingack.DefaultConfig()
+	pcfg.WorkersPerNode = 4
+	pcfg.ProcsPerNode = 2
+	pcfg.TotalMessages = 1000
+	for _, tr := range distTransports {
+		pcfg.Transport = tr
+		pcfg.Hierarchical = false
+		pFlat := pingack.RunOn(tram.Dist, pcfg)
+		pcfg.Hierarchical = true
+		if pHier := pingack.RunOn(tram.Dist, pcfg); pFlat.Acks != pHier.Acks {
+			t.Fatalf("ping-ack acks: flat/%s %d, hier/%s %d", tr, pFlat.Acks, tr, pHier.Acks)
 		}
 	}
 }

@@ -214,6 +214,7 @@ func distConfig(cfg Config) dist.Config {
 		Transport:         kind,
 		Nodes:             cfg.Dist.Nodes,
 		RingBytes:         cfg.Dist.RingBytes,
+		Hierarchical:      cfg.Dist.Hierarchical,
 		Hosts:             hosts,
 		ListenAddr:        cfg.Dist.ListenAddr,
 		KeepAlive:         cfg.Dist.KeepAlive,
