@@ -37,7 +37,7 @@ import (
 )
 
 // docFiles are the prose documents under contract, relative to the root.
-var docFiles = []string{"README.md", "ARCHITECTURE.md", "docs/DEPLOY.md", "docs/SERVE.md"}
+var docFiles = []string{"README.md", "ARCHITECTURE.md", "docs/DEPLOY.md", "docs/SERVE.md", "docs/TUNING.md"}
 
 var (
 	linkRe  = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)

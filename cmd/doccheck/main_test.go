@@ -32,6 +32,7 @@ func greenTree() map[string]string {
 		"ARCHITECTURE.md":                     "# Arch\n\nSee [README.md](README.md). The `tram.Config` type.\n",
 		"docs/DEPLOY.md":                      "# Deploy\n\nUse `transport.tcp-write:drop:proc=1` and `Transport: \"tcp\"`.\nBack to [../ARCHITECTURE.md](../ARCHITECTURE.md).\n",
 		"docs/SERVE.md":                       "# Serve\n\nSee [DEPLOY.md](DEPLOY.md); the `tram.Config` type again.\n",
+		"docs/TUNING.md":                      "# Tuning\n\nKnobs live on `tram.Config`; see [SERVE.md](SERVE.md).\n",
 		"README.md":                           "# Repo\n\nci.yml runs two jobs:\n\n- **test** — build.\n- **docs** — `cmd/doccheck` over [ARCHITECTURE.md](ARCHITECTURE.md)\n  and [docs/DEPLOY.md](docs/DEPLOY.md); see `internal/faultinject`.\n",
 		"cmd/doccheck/main.go":                "package main\n",
 	}

@@ -15,8 +15,11 @@
 // by the items the worker processes moved) — get -dist-tol (default 75%),
 // the dist-shm-* points (the same coordinator overhead with the
 // shared-memory ring transport carrying the data plane) get -shm-tol
-// (default 75%), and the dist-tcp-* points (loopback TCP streams carrying
-// the data plane) get -tcp-tol (default 75%).
+// (default 75%), the dist-tcp-* points (loopback TCP streams carrying
+// the data plane) get -tcp-tol (default 75%), and the adaptive-* points
+// (the static-vs-adaptive delivery-latency probe — paced wall-clock runs
+// whose per-event controller cost is tiny but scheduler-sensitive) get
+// -adaptive-tol (default 50%).
 // A point present in the baseline but missing from the fresh run fails the
 // check (lost coverage); new points pass (they become the baseline when
 // committed). Tiny baselines are compared with an absolute slack so a
@@ -35,7 +38,7 @@
 //
 // Usage:
 //
-//	perfcheck -base BENCH_core.json -fresh fresh.json [-tol 0.10] [-real-tol 0.50] [-dist-tol 0.75] [-shm-tol 0.75] [-tcp-tol 0.75]
+//	perfcheck -base BENCH_core.json -fresh fresh.json [-tol 0.10] [-real-tol 0.50] [-dist-tol 0.75] [-shm-tol 0.75] [-tcp-tol 0.75] [-adaptive-tol 0.50]
 //	perfcheck -serve-base BENCH_serve.json -serve-fresh fresh_serve.json [-serve-tol 0.50]
 package main
 
@@ -80,6 +83,21 @@ func loadServe(path string) (bench.ServePerf, error) {
 	return p, nil
 }
 
+// warnHostMismatch flags baselines taken at a different parallelism than the
+// fresh run: the comparison still runs (alloc columns are host-stable), but
+// wall and throughput columns are then apples to oranges, so say so. A zero
+// GOMAXPROCS means a baseline predating the field — skipped, not a mismatch.
+func warnHostMismatch(baseCPU, freshCPU, baseMax, freshMax int) {
+	if baseCPU != freshCPU {
+		fmt.Printf("warn num_cpu differs: baseline %d, fresh %d (wall/throughput columns not comparable)\n",
+			baseCPU, freshCPU)
+	}
+	if baseMax != 0 && freshMax != 0 && baseMax != freshMax {
+		fmt.Printf("warn gomaxprocs differs: baseline %d, fresh %d (wall/throughput columns not comparable)\n",
+			baseMax, freshMax)
+	}
+}
+
 // checkServe gates the serve trajectory: a throughput floor on the gated
 // points, lost-coverage detection on all of them. Returns true on failure.
 func checkServe(basePath, freshPath string, tol float64) bool {
@@ -93,6 +111,7 @@ func checkServe(basePath, freshPath string, tol float64) bool {
 		fmt.Fprintln(os.Stderr, "perfcheck:", err)
 		os.Exit(2)
 	}
+	warnHostMismatch(base.NumCPU, fresh.NumCPU, base.GoMaxProcs, fresh.GoMaxProcs)
 	freshByName := map[string]bench.ServePoint{}
 	for _, p := range fresh.Points {
 		freshByName[p.Name] = p
@@ -145,6 +164,7 @@ func main() {
 		distTol   = flag.Float64("dist-tol", 0.75, "allowed relative increase for dist-* (multi-process coordinator) points")
 		shmTol    = flag.Float64("shm-tol", 0.75, "allowed relative increase for dist-shm-* (shared-memory transport) points")
 		tcpTol    = flag.Float64("tcp-tol", 0.75, "allowed relative increase for dist-tcp-* (TCP transport) points")
+		adptTol   = flag.Float64("adaptive-tol", 0.50, "allowed relative increase for adaptive-* (flush-controller latency probe) points")
 		slack     = flag.Float64("slack", 0.02, "absolute allocs_per_event slack added to every bound")
 
 		serveBase  = flag.String("serve-base", "BENCH_serve.json", "committed tramserve baseline JSON")
@@ -176,6 +196,8 @@ func main() {
 		os.Exit(2)
 	}
 
+	warnHostMismatch(base.NumCPU, fresh.NumCPU, base.GoMaxProcs, fresh.GoMaxProcs)
+
 	freshByName := map[string]bench.PerfPoint{}
 	for _, p := range fresh.Points {
 		freshByName[p.Name] = p
@@ -201,6 +223,9 @@ func main() {
 		}
 		if strings.HasPrefix(b.Name, "dist-tcp-") {
 			t = *tcpTol
+		}
+		if strings.HasPrefix(b.Name, "adaptive-") {
+			t = *adptTol
 		}
 		bound := b.AllocsPerEvent*(1+t) + *slack
 		status := "ok  "

@@ -22,6 +22,10 @@
 //	tramlab -backend dist -transport shm     # dist index-gather/ping-ack over
 //	                                 # shared-memory rings instead of sockets
 //	tramlab -backend dist -transport tcp     # ...over loopback TCP streams
+//	tramlab -adaptive                # static vs adaptive flush control under
+//	                                 # uniform, zipf, and bursty traffic
+//	tramlab -fig 9 -cpuprofile cpu.pb.gz     # profile any run (also
+//	                                 # -memprofile and -trace)
 //
 // Experiment points within a figure are independent simulations; -j N runs
 // them on a deterministic worker pool (tables are byte-identical for every
@@ -36,6 +40,8 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 	"time"
 
@@ -61,6 +67,10 @@ func main() {
 		quiet     = flag.Bool("quiet", false, "suppress progress output on stderr")
 		benchJSON = flag.String("bench-json", "", "measure engine perf (events/sec, allocs/event, harness scaling) and write JSON to this file ('-' for stdout)")
 		serveJSON = flag.String("serve-json", "", "measure the tramserve subsystem (sustained throughput, p99 ack latency vs offered load, the 100k-client scale point) and write JSON to this file ('-' for stdout)")
+		adaptive  = flag.Bool("adaptive", false, "run the static-vs-adaptive aggregation latency sweep (uniform/zipf/burst traffic) and print the comparison table")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProf   = flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
+		traceFile = flag.String("trace", "", "write a runtime execution trace of the run to this file (go tool trace)")
 		real      = flag.Bool("real", false, "run the kernels on the real-concurrency runtime (goroutines + lock-free buffers) and emit simulated-vs-measured tables")
 		backend   = flag.String("backend", "", "comparison tables to run: 'real' (sim vs goroutine runtime, same as -real) or 'dist' (goroutine runtime vs one OS process per ProcID)")
 		trans     = flag.String("transport", "socket", "dist peer data plane for the index-gather and ping-ack tables: 'socket' (wire-framed Unix sockets), 'shm' (mmap'd shared-memory rings), or 'tcp' (loopback TCP streams); the dist histogram table always compares all three")
@@ -80,6 +90,48 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "tramlab: unknown -transport %q (want 'socket', 'shm', or 'tcp')\n", *trans)
 		os.Exit(2)
+	}
+
+	// Profiling covers everything the invocation runs; the deferred stops
+	// fire on main's return (error paths that os.Exit lose the tail, as
+	// with any Go tool).
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tramlab:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "tramlab:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tramlab:", err)
+			os.Exit(1)
+		}
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintln(os.Stderr, "tramlab:", err)
+			os.Exit(1)
+		}
+		defer trace.Stop()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tramlab:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "tramlab:", err)
+			}
+		}()
 	}
 
 	if *list {
@@ -146,6 +198,19 @@ func main() {
 		} else if err := os.WriteFile(*serveJSON, out, 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "tramlab:", err)
 			os.Exit(1)
+		}
+		if !*all && *fig == "" && !*real && *backend != "dist" {
+			return
+		}
+	}
+
+	if *adaptive {
+		for _, tb := range bench.AdaptiveTables(opts) {
+			if *csv {
+				fmt.Print(tb.CSV())
+			} else {
+				fmt.Println(tb.String())
+			}
 		}
 		if !*all && *fig == "" && !*real && *backend != "dist" {
 			return

@@ -24,6 +24,9 @@
 //	tramload -self real -clients 100000 -conns 64 -events 10
 //	tramload -addr :7600 -workers 8 -clients 50000 -conns 32 -events 20 -rate 200000
 //	tramload -self real -json -                   # LoadReport on stdout
+//	tramload -self real -adaptive -shape zipf     # skewed destinations vs the
+//	                                              # adaptive flush controller
+//	tramload -self real -shape burst -burst-on 2ms -burst-off 8ms
 package main
 
 import (
@@ -35,6 +38,7 @@ import (
 
 	"tramlib/internal/apps/serveagg"
 	"tramlib/internal/serve"
+	"tramlib/internal/traffic"
 	"tramlib/tram"
 )
 
@@ -58,6 +62,11 @@ func main() {
 		window    = flag.Int("window", 0, "per-connection unacked-event window (0 = client default)")
 		batch     = flag.Int("batch", 0, "per-connection send batch (0 = client default)")
 		seed      = flag.Int64("seed", 1, "destination stream seed")
+		shape     = flag.String("shape", "uniform", "traffic shape: uniform, zipf (skewed destinations), or burst (on/off arrivals)")
+		zipfS     = flag.Float64("zipf-s", 0, "zipf exponent for -shape zipf (0 = default 1.3; must be > 1)")
+		burstOn   = flag.Duration("burst-on", 0, "on-phase length for -shape burst (0 = default 2ms)")
+		burstOff  = flag.Duration("burst-off", 0, "off-phase length for -shape burst (0 = default 8ms)")
+		adaptive  = flag.Bool("adaptive", false, "-self: enable per-destination adaptive aggregation on the server")
 		jsonOut   = flag.String("json", "", "write the LoadReport JSON to this file ('-' for stdout)")
 	)
 	flag.Parse()
@@ -76,6 +85,16 @@ func main() {
 		Window:          *window,
 		Batch:           *batch,
 		Seed:            *seed,
+		Shape: traffic.Spec{
+			Kind:     *shape,
+			ZipfS:    *zipfS,
+			BurstOn:  *burstOn,
+			BurstOff: *burstOff,
+		},
+	}
+	if err := cfg.Shape.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "tramload:", err)
+		os.Exit(2)
 	}
 
 	// -self: stand the server up first and wire its drain into the load run.
@@ -106,6 +125,7 @@ func main() {
 		p := serveagg.Params{
 			Nodes: *nodes, Procs: *procs, Workers: *workers, Scheme: sch,
 			FlushDeadline: *deadline,
+			Adaptive:      tram.AdaptiveOptions{Enabled: *adaptive},
 		}
 		var err error
 		srv, in, err = serveagg.Serve(b, p, "127.0.0.1:0", "", tram.DistTransport(*transport))

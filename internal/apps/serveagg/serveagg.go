@@ -40,6 +40,9 @@ type Params struct {
 	IngressCap int `json:"ingress_cap,omitempty"`
 	// DrainTimeout bounds the graceful drain (0: backend default).
 	DrainTimeout time.Duration `json:"drain_timeout,omitempty"`
+	// Adaptive configures per-destination adaptive aggregation (zero value:
+	// the static flush policy).
+	Adaptive tram.AdaptiveOptions `json:"adaptive"`
 }
 
 // Config lowers the parameters to the unified library configuration.
@@ -56,6 +59,7 @@ func (p Params) Config() tram.Config {
 	cfg.ChunkSize = 64
 	cfg.Serve.IngressCap = p.IngressCap
 	cfg.Serve.DrainTimeout = p.DrainTimeout
+	cfg.Adaptive = p.Adaptive
 	return cfg
 }
 

@@ -37,14 +37,24 @@ type PerfPoint struct {
 	// identical across engine refactors for a fixed seed (determinism
 	// guard; the wall columns are the ones that may improve).
 	SimMS float64 `json:"sim_ms,omitempty"`
+	// P50NS/P99NS are insert-to-delivery latency quantiles, where the
+	// workload observes them (the adaptive-* points). Reported for the
+	// trajectory, not gated: wall-clock latency on a shared CI box is too
+	// noisy for a hard threshold.
+	P50NS int64 `json:"p50_ns,omitempty"`
+	P99NS int64 `json:"p99_ns,omitempty"`
 }
 
 // Perf is the BENCH_core.json document.
 type Perf struct {
-	Schema string      `json:"schema"`
-	Go     string      `json:"go"`
-	NumCPU int         `json:"num_cpu"`
-	Points []PerfPoint `json:"points"`
+	Schema string `json:"schema"`
+	Go     string `json:"go"`
+	NumCPU int    `json:"num_cpu"`
+	// GoMaxProcs records the scheduler width the numbers were taken at;
+	// cmd/perfcheck warns when base and fresh disagree (the comparison is
+	// then apples to oranges).
+	GoMaxProcs int         `json:"gomaxprocs,omitempty"`
+	Points     []PerfPoint `json:"points"`
 }
 
 // measure runs f with allocation accounting and returns the filled point.
@@ -141,9 +151,10 @@ func tramWrapperInserts(o Options) (uint64, float64) {
 func CorePerf(o Options) Perf {
 	o = o.normalized()
 	perf := Perf{
-		Schema: "tramlib-core-perf/v1",
-		Go:     runtime.Version(),
-		NumCPU: runtime.NumCPU(),
+		Schema:     "tramlib-core-perf/v1",
+		Go:         runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 
 	perf.Points = append(perf.Points, measure("engine-churn", func() (uint64, float64) {
@@ -257,5 +268,9 @@ func CorePerf(o Options) Perf {
 		measure("dist-histogram-wide-flat", wideHisto(false)),
 		measure("dist-histogram-wide-leader", wideHisto(true)),
 	)
+	// adaptive-{uniform,zipf,burst}-{static,adaptive}: the delivery-latency
+	// probe pairs (see adaptive.go). The pairs run back to back so each
+	// shape's static and adaptive numbers come off the same machine state.
+	perf.Points = append(perf.Points, adaptivePerf(o)...)
 	return perf
 }

@@ -47,10 +47,13 @@ type ServePoint struct {
 
 // ServePerf is the BENCH_serve.json document.
 type ServePerf struct {
-	Schema string       `json:"schema"`
-	Go     string       `json:"go"`
-	NumCPU int          `json:"num_cpu"`
-	Points []ServePoint `json:"points"`
+	Schema string `json:"schema"`
+	Go     string `json:"go"`
+	NumCPU int    `json:"num_cpu"`
+	// GoMaxProcs records the scheduler width the numbers were taken at;
+	// cmd/perfcheck warns when base and fresh disagree.
+	GoMaxProcs int          `json:"gomaxprocs,omitempty"`
+	Points     []ServePoint `json:"points"`
 }
 
 // ServeSchema is the BENCH_serve.json schema tag.
@@ -134,9 +137,10 @@ func runServeCase(c serveCase, o Options) ServePoint {
 func ServeCurve(o Options) ServePerf {
 	o = o.normalized()
 	perf := ServePerf{
-		Schema: ServeSchema,
-		Go:     runtime.Version(),
-		NumCPU: runtime.NumCPU(),
+		Schema:     ServeSchema,
+		Go:         runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 	cases := []serveCase{
 		{name: "serve-peak-wps", backend: tram.Real, scheme: tram.WPs,

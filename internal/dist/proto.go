@@ -215,6 +215,13 @@ func decode[T any](f wire.Frame) (T, error) {
 // configDigest fingerprints the parts of an rt.Config that every process must
 // agree on (the partition itself is per-process).
 func configDigest(cfg rt.Config) string {
-	return fmt.Sprintf("topo=%v scheme=%v g=%d deadline=%v chunk=%d",
+	d := fmt.Sprintf("topo=%v scheme=%v g=%d deadline=%v chunk=%d",
 		cfg.Topo, cfg.Scheme, cfg.BufferItems, cfg.FlushDeadline, cfg.ChunkSize)
+	if cfg.Adaptive.Enabled {
+		// Adaptation never changes what a run computes, but every process
+		// runs its own controller, so a policy mismatch would silently skew
+		// measurements — fail the handshake instead.
+		d += fmt.Sprintf(" adaptive=%v", cfg.Adaptive)
+	}
+	return d
 }

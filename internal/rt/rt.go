@@ -174,6 +174,12 @@ type Config struct {
 	// consumer backpressures its own clients instead of growing the inbox
 	// without bound. 0 selects DefaultIngressCap.
 	IngressCap int
+	// Adaptive, when Enabled, activates the per-destination adaptive
+	// aggregation controller (see adaptive.go): occupancy seal targets and
+	// flush deadlines steered by measured arrival rates and realized flush
+	// latency, plus optional Direct/buffered path selection. Results are
+	// unchanged by construction — only batching boundaries and framing move.
+	Adaptive Adaptive
 }
 
 // DefaultIngressCap is the per-destination-worker admission window used when
@@ -222,6 +228,9 @@ func (c Config) Validate() error {
 	if c.Serve && c.FlushDeadline <= 0 {
 		return fmt.Errorf("rt: serve mode requires a positive FlushDeadline")
 	}
+	if err := c.Adaptive.validate(c); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -238,6 +247,11 @@ type Metrics struct {
 	// DeadlineFlushes counts batches flushed specifically by the progress
 	// goroutine's latency bound (also counted in Flushes).
 	DeadlineFlushes atomic.Int64
+	// DirectItems counts items shipped unbuffered because adaptive path
+	// selection had their destination in Direct framing.
+	DirectItems atomic.Int64
+	// PathSwitches counts adaptive Direct<->buffered transitions.
+	PathSwitches atomic.Int64
 }
 
 // Result reports one completed run.
@@ -264,6 +278,10 @@ type Result struct {
 	// OS processes (partitioned mode only; zero otherwise).
 	RemoteSent int64
 	RemoteRecv int64
+	// DirectItems / PathSwitches mirror the adaptive controller's metrics
+	// (zero when Config.Adaptive is off).
+	DirectItems  int64
+	PathSwitches int64
 }
 
 // msgKind discriminates inbox message layouts.
@@ -387,6 +405,14 @@ type Runtime struct {
 	ingressBufs []*shmem.MPBuffer[Item]
 	flushHist   *stats.AtomicHist
 
+	// Adaptive-controller state (nil/zero when Config.Adaptive is off):
+	// routes is the per-destination table (see adaptive.go), adaptive the
+	// normalized knobs, ctlLast the controller's previous tick time (progress
+	// goroutine only).
+	routes   []route
+	adaptive Adaptive
+	ctlLast  time.Time
+
 	msgPool  sync.Pool // *msg
 	u64s     slicePool[uint64]
 	itemsPkd slicePool[Item]
@@ -466,7 +492,7 @@ func New(cfg Config, deliver DeliverFunc, spawn SpawnFunc) *Runtime {
 				}
 				dest := cluster.WorkerID(d)
 				b := shmem.NewSPBuffer(cfg.BufferItems, func(bt shmem.Batch[uint64]) {
-					rt.noteSeal(bt.Oldest)
+					rt.noteSeal(int(dest), len(bt.Items), bt.Oldest)
 					rt.emitToWorker(dest, bt.Items, len(bt.Items) == cfg.BufferItems)
 				})
 				b.SetAlloc(rt.allocU64)
@@ -487,7 +513,7 @@ func New(cfg Config, deliver DeliverFunc, spawn SpawnFunc) *Runtime {
 				}
 				dst := cluster.ProcID(p)
 				b := shmem.NewSPBuffer(cfg.BufferItems, func(bt shmem.Batch[Item]) {
-					rt.noteSeal(bt.Oldest)
+					rt.noteSeal(int(dst), len(bt.Items), bt.Oldest)
 					rt.emitToProc(w, dst, bt.Items, grouped, len(bt.Items) == cfg.BufferItems)
 				})
 				b.SetAlloc(rt.allocItems)
@@ -507,7 +533,7 @@ func New(cfg Config, deliver DeliverFunc, spawn SpawnFunc) *Runtime {
 				}
 				dst := cluster.ProcID(p)
 				b := shmem.NewMPBuffer(cfg.BufferItems, func(bt shmem.Batch[Item]) {
-					rt.noteSeal(bt.Oldest)
+					rt.noteSeal(int(dst), len(bt.Items), bt.Oldest)
 					rt.emitToProc(nil, dst, bt.Items, false, len(bt.Items) == cfg.BufferItems)
 				})
 				b.SetAlloc(rt.allocItemsFull)
@@ -518,6 +544,9 @@ func New(cfg Config, deliver DeliverFunc, spawn SpawnFunc) *Runtime {
 	}
 	if cfg.Serve {
 		rt.wireServe(cfg)
+	}
+	if cfg.Adaptive.Enabled && cfg.Scheme != core.Direct {
+		rt.wireAdaptive()
 	}
 	return rt
 }
@@ -561,6 +590,8 @@ func (rt *Runtime) Run() Result {
 		LocalDirect:     rt.M.LocalDirect.Load(),
 		RemoteSent:      rt.sentCross.Load(),
 		RemoteRecv:      rt.recvCross.Load(),
+		DirectItems:     rt.M.DirectItems.Load(),
+		PathSwitches:    rt.M.PathSwitches.Load(),
 	}
 	for _, w := range rt.workers {
 		if w != nil {
@@ -851,10 +882,19 @@ func (c *Ctx) Send(dest cluster.WorkerID, value uint64) {
 	case core.Direct:
 		rt.postInline(dest, value)
 	case core.WW:
+		if rt.routes != nil && rt.routeSend(int(dest), dest, value) {
+			return
+		}
 		w.wwBufs[dest].Push(value)
 	case core.WPs, core.WsP:
+		if rt.routes != nil && rt.routeSend(int(dstProc), dest, value) {
+			return
+		}
 		w.wpsBufs[dstProc].Push(Item{Dest: dest, Val: value})
 	case core.PP:
+		if rt.routes != nil && rt.routeSend(int(dstProc), dest, value) {
+			return
+		}
 		rt.procs[w.proc].ppBufs[dstProc].Push(Item{Dest: dest, Val: value})
 	}
 }
@@ -1114,37 +1154,63 @@ func (rt *Runtime) flushProc(p cluster.ProcID) {
 }
 
 // deadlineFlush seals the worker's single-producer buffers whose oldest item
-// has exceeded the latency bound.
+// has exceeded the latency bound — the static FlushDeadline, or the buffer's
+// route deadline when the adaptive controller is steering. The buffer index
+// IS the route index for every single-producer layout (wwBufs by destination
+// worker under WW, wpsBufs by destination process), so the per-destination
+// bound needs no extra mapping.
 func (w *worker) deadlineFlush() {
-	d := w.rt.cfg.FlushDeadline
+	rt := w.rt
+	d := rt.cfg.FlushDeadline
 	if d <= 0 {
 		return
 	}
-	cutoff := time.Now().Add(-d).UnixNano()
-	for _, b := range w.wwBufs {
+	now := time.Now().UnixNano()
+	cutoff := now - int64(d)
+	for i, b := range w.wwBufs {
 		if b == nil {
 			continue
 		}
-		if o := b.OldestNanos(); o != 0 && o <= cutoff {
+		c := cutoff
+		if rt.routes != nil {
+			c = now - rt.routeDeadlineNs(i)
+		}
+		if o := b.OldestNanos(); o != 0 && o <= c {
 			b.Flush()
-			w.rt.M.DeadlineFlushes.Add(1)
+			rt.M.DeadlineFlushes.Add(1)
 		}
 	}
-	for _, b := range w.wpsBufs {
+	for i, b := range w.wpsBufs {
 		if b == nil {
 			continue
 		}
-		if o := b.OldestNanos(); o != 0 && o <= cutoff {
+		c := cutoff
+		if rt.routes != nil {
+			c = now - rt.routeDeadlineNs(i)
+		}
+		if o := b.OldestNanos(); o != 0 && o <= c {
 			b.Flush()
-			w.rt.M.DeadlineFlushes.Add(1)
+			rt.M.DeadlineFlushes.Add(1)
 		}
 	}
 }
 
 // progress is the latency-sensitive progress goroutine: it enforces
-// FlushDeadline across all buffers until quiescence.
+// FlushDeadline across all buffers until quiescence, and — when adaptive
+// aggregation is on — runs the controller's policy ticks.
 func (rt *Runtime) progress() {
 	period := rt.cfg.FlushDeadline / 2
+	if rt.routes != nil {
+		// Adaptive deadlines can contract to MinDeadline, and the controller
+		// wants its own cadence: tick fast enough for both.
+		if p := rt.adaptive.MinDeadline / 2; p < period {
+			period = p
+		}
+		if p := rt.adaptive.Interval; p < period {
+			period = p
+		}
+		rt.ctlLast = time.Now()
+	}
 	if period < 50*time.Microsecond {
 		period = 50 * time.Microsecond
 	}
@@ -1156,11 +1222,23 @@ func (rt *Runtime) progress() {
 			return
 		case <-tick.C:
 		}
-		cutoff := time.Now().Add(-rt.cfg.FlushDeadline).UnixNano()
+		now := time.Now()
+		nowNs := now.UnixNano()
+		cutoff := nowNs - int64(rt.cfg.FlushDeadline)
 		// Ingress aggregation buffers (serve mode) are multi-producer and can
-		// be flushed from here directly, like the PP buffers below.
-		for _, b := range rt.ingressBufs {
-			if b != nil && b.FlushIfOlder(cutoff) {
+		// be flushed from here directly, like the PP buffers below. They are
+		// process-addressed, so under the proc-routed schemes their index is
+		// a route index; under WW (worker-routed) they keep the static bound.
+		ingressRouted := rt.routes != nil && rt.cfg.Scheme != core.WW
+		for p, b := range rt.ingressBufs {
+			if b == nil {
+				continue
+			}
+			c := cutoff
+			if ingressRouted {
+				c = nowNs - rt.routeDeadlineNs(p)
+			}
+			if b.FlushIfOlder(c) {
 				rt.M.DeadlineFlushes.Add(1)
 			}
 		}
@@ -1169,8 +1247,15 @@ func (rt *Runtime) progress() {
 			if ps == nil {
 				continue
 			}
-			for _, b := range ps.ppBufs {
-				if b != nil && b.FlushIfOlder(cutoff) {
+			for p, b := range ps.ppBufs {
+				if b == nil {
+					continue
+				}
+				c := cutoff
+				if rt.routes != nil {
+					c = nowNs - rt.routeDeadlineNs(p)
+				}
+				if b.FlushIfOlder(c) {
 					rt.M.DeadlineFlushes.Add(1)
 				}
 			}
@@ -1178,7 +1263,7 @@ func (rt *Runtime) progress() {
 		// Single-producer buffers belong to their workers: post one flush
 		// request per worker holding overdue items (it wakes parked owners).
 		for _, w := range rt.workers {
-			if w == nil || w.flushReq.Load() || !w.overdue(cutoff) {
+			if w == nil || w.flushReq.Load() || !w.overdue(nowNs, cutoff) {
 				continue
 			}
 			if w.flushReq.CompareAndSwap(false, true) {
@@ -1187,24 +1272,39 @@ func (rt *Runtime) progress() {
 				rt.post(w, m)
 			}
 		}
+		if rt.routes != nil && now.Sub(rt.ctlLast) >= rt.adaptive.Interval {
+			rt.controlTick(now)
+		}
 	}
 }
 
 // overdue reports whether any of w's single-producer buffers holds an item
-// older than cutoff.
-func (w *worker) overdue(cutoff int64) bool {
-	for _, b := range w.wwBufs {
-		if b != nil {
-			if o := b.OldestNanos(); o != 0 && o <= cutoff {
-				return true
-			}
+// past its deadline (the route deadline when adaptive, else the static
+// cutoff precomputed by the caller).
+func (w *worker) overdue(nowNs, cutoff int64) bool {
+	rt := w.rt
+	for i, b := range w.wwBufs {
+		if b == nil {
+			continue
+		}
+		c := cutoff
+		if rt.routes != nil {
+			c = nowNs - rt.routeDeadlineNs(i)
+		}
+		if o := b.OldestNanos(); o != 0 && o <= c {
+			return true
 		}
 	}
-	for _, b := range w.wpsBufs {
-		if b != nil {
-			if o := b.OldestNanos(); o != 0 && o <= cutoff {
-				return true
-			}
+	for i, b := range w.wpsBufs {
+		if b == nil {
+			continue
+		}
+		c := cutoff
+		if rt.routes != nil {
+			c = nowNs - rt.routeDeadlineNs(i)
+		}
+		if o := b.OldestNanos(); o != 0 && o <= c {
+			return true
 		}
 	}
 	return false

@@ -69,8 +69,15 @@ func (rt *Runtime) wireServe(cfg Config) {
 				continue
 			}
 			dst := cluster.ProcID(p)
+			// Ingress buffers are process-addressed: under the proc-routed
+			// schemes their seals feed route dst's accounting; under WW the
+			// route space is per worker, so they only feed the global hist.
+			ri := int(dst)
+			if cfg.Scheme == core.WW {
+				ri = -1
+			}
 			b := shmem.NewMPBuffer(cfg.BufferItems, func(bt shmem.Batch[Item]) {
-				rt.noteSeal(bt.Oldest)
+				rt.noteSeal(ri, len(bt.Items), bt.Oldest)
 				// Credits release at transport hand-off: read the dests
 				// before emitToProc, which consumes (and may recycle) the
 				// slice.
@@ -147,15 +154,27 @@ func (rt *Runtime) admit(dest cluster.WorkerID, value uint64) {
 	rt.M.Inserted.Add(1)
 	rt.inflight.Add(1)
 	if rt.part != nil && rt.topo.ProcOf(dest) != rt.part.Proc {
+		// Adaptive path selection applies to ingress like any other insert:
+		// count the event on the destination's route and honor its framing.
+		direct := false
+		if rt.routes != nil {
+			r := &rt.routes[rt.routeIndex(dest)]
+			r.events.Add(1)
+			direct = r.direct.Load()
+		}
 		// ingressBufs is nil under the Direct scheme (nothing aggregates).
-		if rt.ingressBufs != nil {
+		if !direct && rt.ingressBufs != nil {
 			if b := rt.ingressBufs[rt.topo.ProcOf(dest)]; b != nil {
 				b.Push(Item{Dest: dest, Val: value})
 				return
 			}
 		}
-		// Direct scheme: one wire message per event, credit released at
-		// hand-off like a sealed batch's.
+		// Direct framing (the Direct scheme, or an adaptive route below the
+		// amortization threshold): one wire message per event, credit
+		// released at hand-off like a sealed batch's.
+		if direct {
+			rt.M.DirectItems.Add(1)
+		}
 		rt.sentCross.Add(1)
 		rt.part.Remote.SendOne(dest, value)
 		rt.releaseIngress(dest)
@@ -226,11 +245,26 @@ func (rt *Runtime) WaitQuiet(abort <-chan struct{}) error {
 // be called before Run.
 func (rt *Runtime) SetFlushHist(h *stats.AtomicHist) { rt.flushHist = h }
 
-// noteSeal feeds the installed flush histogram (no-op otherwise; oldest == 0
-// means the batch's arrival stamp was unknown).
-func (rt *Runtime) noteSeal(oldest int64) {
-	if h := rt.flushHist; h != nil && oldest != 0 {
-		h.Observe(time.Now().UnixNano() - oldest)
+// noteSeal records one sealed batch: the installed flush histogram (serve
+// metrics) and, when adaptive aggregation is on, route ri's per-destination
+// accounting (ri < 0 skips it — seals not attributable to one route).
+// oldest == 0 means the batch's arrival stamp was unknown. n is the batch's
+// item count.
+func (rt *Runtime) noteSeal(ri, n int, oldest int64) {
+	var age int64 = -1
+	if oldest != 0 {
+		age = time.Now().UnixNano() - oldest
+		if h := rt.flushHist; h != nil {
+			h.Observe(age)
+		}
+	}
+	if rt.routes != nil && ri >= 0 {
+		r := &rt.routes[ri]
+		r.batches.Add(1)
+		r.batchItems.Add(int64(n))
+		if age >= 0 && r.hist != nil {
+			r.hist.Observe(age)
+		}
 	}
 }
 
@@ -259,6 +293,11 @@ type Counters struct {
 	RemoteSent int64
 	RemoteRecv int64
 
+	// DirectItems/PathSwitches mirror the adaptive controller's metrics
+	// (zero when Config.Adaptive is off).
+	DirectItems  int64
+	PathSwitches int64
+
 	// IngressUsed sums the admission-window occupancy over all destinations;
 	// IngressCap is the per-destination window size (serve mode, else 0).
 	IngressUsed int64
@@ -282,6 +321,8 @@ func (rt *Runtime) Counters() Counters {
 		Producing:       rt.producing.Load(),
 		RemoteSent:      rt.sentCross.Load(),
 		RemoteRecv:      rt.recvCross.Load(),
+		DirectItems:     rt.M.DirectItems.Load(),
+		PathSwitches:    rt.M.PathSwitches.Load(),
 	}
 	for _, g := range rt.gates {
 		c.IngressUsed += int64(len(g))

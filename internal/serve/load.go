@@ -2,11 +2,11 @@ package serve
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
 	"time"
 
 	"tramlib/internal/stats"
+	"tramlib/internal/traffic"
 )
 
 // LoadConfig parameterizes a load-generation run against a tramserve
@@ -33,6 +33,11 @@ type LoadConfig struct {
 	Window, Batch int
 	// Seed makes the destination streams reproducible.
 	Seed int64
+	// Shape selects the destination and arrival pattern: the zero value (or
+	// traffic.Uniform) reproduces the classic uniform stream byte for byte;
+	// traffic.Zipf skews destinations; traffic.Burst gates sends through
+	// shared on/off phases. See internal/traffic.
+	Shape traffic.Spec
 	// Drain, if set, is invoked once every connection has sent its share
 	// (typically the server's drain); the run then waits for each
 	// connection's final drained ack instead of a plain ack barrier.
@@ -63,6 +68,9 @@ func Run(cfg LoadConfig) (LoadReport, error) {
 	}
 	if cfg.Conns > cfg.Clients {
 		cfg.Conns = cfg.Clients
+	}
+	if err := cfg.Shape.Validate(); err != nil {
+		return LoadReport{}, err
 	}
 	hist := stats.NewAtomicHist()
 	clients := make([]*Client, cfg.Conns)
@@ -99,7 +107,7 @@ func Run(cfg LoadConfig) (LoadReport, error) {
 		wg.Add(1)
 		go func(i int, c *Client, nClients int) {
 			defer wg.Done()
-			errs[i] = driveConn(c, cfg, nClients, int64(i), perConnRate)
+			errs[i] = driveConn(c, cfg, nClients, int64(i), perConnRate, start)
 		}(i, c, hi-lo)
 	}
 	wg.Wait()
@@ -166,9 +174,16 @@ func Run(cfg LoadConfig) (LoadReport, error) {
 }
 
 // driveConn interleaves nClients simulated sources over one connection,
-// pacing to rate events/sec when positive.
-func driveConn(c *Client, cfg LoadConfig, nClients int, seed int64, rate float64) error {
-	rng := rand.New(rand.NewSource(cfg.Seed*7919 + seed))
+// pacing to rate events/sec when positive. origin anchors the burst gate's
+// phase, shared across connections so sources burst together.
+func driveConn(c *Client, cfg LoadConfig, nClients int, seed int64, rate float64, origin time.Time) error {
+	// The picker's uniform path reproduces the plain rand.Intn stream this
+	// function always drew, so the zero Shape changes nothing.
+	picker := traffic.NewPicker(cfg.Shape, cfg.Seed*7919+seed, cfg.Workers)
+	var gate *traffic.Gate
+	if cfg.Shape.Kind == traffic.Burst {
+		gate = traffic.NewGate(cfg.Shape, origin)
+	}
 	total := nClients * cfg.EventsPerClient
 	var interval time.Duration
 	var next time.Time
@@ -177,6 +192,11 @@ func driveConn(c *Client, cfg LoadConfig, nClients int, seed int64, rate float64
 		next = time.Now()
 	}
 	for n := 0; n < total; n++ {
+		if gate != nil {
+			if w := gate.Wait(time.Now()); w > 0 {
+				time.Sleep(w)
+			}
+		}
 		if interval > 0 {
 			if d := time.Until(next); d > 0 {
 				time.Sleep(d)
@@ -184,8 +204,8 @@ func driveConn(c *Client, cfg LoadConfig, nClients int, seed int64, rate float64
 			next = next.Add(interval)
 		}
 		// Event n belongs to simulated client n%nClients; its destination
-		// stream is an independent uniform draw over the worker space.
-		dest := uint32(rng.Intn(cfg.Workers))
+		// stream is an independent draw over the worker space.
+		dest := uint32(picker.Next())
 		if err := c.Send(dest, uint64(n)); err != nil {
 			return err
 		}

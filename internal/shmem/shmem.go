@@ -38,6 +38,18 @@
 // single-producer, so the progress loop instead signals the owning worker,
 // which compares OldestNanos itself and calls Flush.
 //
+// # Adaptive seal targets
+//
+// Both buffer types accept a dynamic seal target (SetTarget): an effective
+// occupancy threshold at or below the allocated capacity. internal/rt's
+// adaptive aggregation controller lowers it when a destination's arrival rate
+// can't fill the full buffer inside the delivery deadline, so batches seal at
+// the depth the rate can actually sustain instead of waiting out the deadline
+// — and raises it back toward capacity when the destination runs hot. The
+// target is advisory and racy by design: a push that crosses a freshly
+// lowered target seals on the next push (SPBuffer) or is caught by the
+// deadline flush (MPBuffer); capacity remains the hard bound either way.
+//
 // # Storage recycling
 //
 // Emit callbacks receive ownership of the batch's item slice. By default a
@@ -87,6 +99,8 @@ type SPBuffer[T any] struct {
 	alloc AllocFunc[T]
 	// first is the UnixNano stamp of the buffer's oldest item, 0 when empty.
 	first atomic.Int64
+	// target is the advisory seal threshold; 0 or >= cap means "seal at cap".
+	target atomic.Int32
 }
 
 // NewSPBuffer creates a single-producer buffer of the given capacity that
@@ -102,6 +116,18 @@ func NewSPBuffer[T any](capacity int, emit func(Batch[T])) *SPBuffer[T] {
 // generation. Must be called before the owner starts pushing.
 func (b *SPBuffer[T]) SetAlloc(alloc AllocFunc[T]) { b.alloc = alloc }
 
+// SetTarget sets the advisory seal threshold: once occupancy reaches
+// min(target, capacity) the next Push seals the batch. n <= 0 or n >= cap
+// restores seal-at-capacity. Safe from any goroutine (the adaptive controller
+// adjusts it while the owner pushes); a buffer already past a freshly lowered
+// target seals on its next push.
+func (b *SPBuffer[T]) SetTarget(n int) {
+	if n <= 0 || n >= b.cap {
+		n = 0
+	}
+	b.target.Store(int32(n))
+}
+
 func (b *SPBuffer[T]) fresh() []T {
 	if b.alloc != nil {
 		return b.alloc(b.cap)[:0]
@@ -109,13 +135,18 @@ func (b *SPBuffer[T]) fresh() []T {
 	return make([]T, 0, b.cap)
 }
 
-// Push appends one item, emitting the buffer when it fills.
+// Push appends one item, emitting the buffer when it fills — at the advisory
+// seal target if one is set, at capacity otherwise.
 func (b *SPBuffer[T]) Push(v T) {
 	if len(b.items) == 0 {
 		b.first.Store(nowNanos())
 	}
 	b.items = append(b.items, v)
-	if len(b.items) == b.cap {
+	limit := b.cap
+	if t := int(b.target.Load()); t > 0 && t < limit {
+		limit = t
+	}
+	if len(b.items) >= limit {
 		oldest := b.first.Swap(0)
 		items := b.items
 		b.items = b.fresh()
@@ -164,6 +195,8 @@ type MPBuffer[T any] struct {
 	alloc AllocFunc[T]
 	cur   atomic.Pointer[epoch[T]]
 	seq   atomic.Uint64
+	// target is the advisory seal threshold; 0 or >= cap means "seal at cap".
+	target atomic.Int32
 
 	flushMu sync.Mutex // serializes explicit Flush with epoch rotation
 }
@@ -181,6 +214,20 @@ func NewMPBuffer[T any](capacity int, emit func(Batch[T])) *MPBuffer[T] {
 // SetAlloc installs a storage recycler used for every subsequent epoch. Must
 // be called before producers start pushing.
 func (b *MPBuffer[T]) SetAlloc(alloc AllocFunc[T]) { b.alloc = alloc }
+
+// SetTarget sets the advisory seal threshold: the producer whose completed
+// write brings occupancy exactly to the target flushes the epoch early
+// (through the same poison-and-rotate path as an explicit Flush, so
+// exactly-once emission is preserved). n <= 0 or n >= cap restores
+// seal-at-capacity. Safe from any goroutine. The trigger is an exact-hit on
+// the fill counter, so an epoch already past a freshly lowered target is not
+// flushed here — the deadline flush picks it up instead.
+func (b *MPBuffer[T]) SetTarget(n int) {
+	if n <= 0 || n >= b.cap {
+		n = 0
+	}
+	b.target.Store(int32(n))
+}
 
 func (b *MPBuffer[T]) newEpoch() *epoch[T] {
 	if b.alloc != nil {
@@ -208,11 +255,18 @@ func (b *MPBuffer[T]) Push(v T) {
 			e.first.Store(nowNanos())
 		}
 		e.items[slot] = v
-		if e.filled.Add(1) == int64(b.cap) {
+		f := e.filled.Add(1)
+		if f == int64(b.cap) {
 			// Last writer seals: install the next epoch first so
 			// spinning producers can proceed, then emit.
 			b.cur.Store(b.newEpoch())
 			b.emit(Batch[T]{Items: e.items, Seq: b.seq.Add(1) - 1, Oldest: e.first.Load()})
+		} else if t := int64(b.target.Load()); t > 0 && f == t {
+			// Exactly one producer observes the fill counter hit the
+			// advisory target; it flushes through the locked path so the
+			// early seal and a concurrent Flush/capacity-seal can't both
+			// emit the epoch.
+			b.targetFlush(e)
 		}
 		return
 	}
@@ -242,6 +296,19 @@ func (b *MPBuffer[T]) FlushIfOlder(cutoff int64) bool {
 		return false
 	}
 	return b.flushLocked(e)
+}
+
+// targetFlush seals epoch e early because its fill count reached the
+// advisory target. Serialized with every other rotation path by flushMu;
+// if e rotated out (a racing capacity seal or deadline flush got there
+// first) there is nothing left to do.
+func (b *MPBuffer[T]) targetFlush(e *epoch[T]) {
+	b.flushMu.Lock()
+	defer b.flushMu.Unlock()
+	if b.cur.Load() != e {
+		return
+	}
+	b.flushLocked(e)
 }
 
 // Flush emits the current partial batch, if any. Safe to call concurrently

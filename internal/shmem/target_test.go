@@ -1,0 +1,191 @@
+package shmem
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSPBufferSealsAtTarget(t *testing.T) {
+	var got [][]int
+	b := NewSPBuffer[int](8, func(batch Batch[int]) {
+		got = append(got, batch.Items)
+	})
+	b.SetTarget(3)
+	for i := 0; i < 7; i++ {
+		b.Push(i)
+	}
+	if len(got) != 2 {
+		t.Fatalf("emitted %d batches, want 2 (sealed at target 3)", len(got))
+	}
+	for i, batch := range got {
+		if len(batch) != 3 {
+			t.Fatalf("batch %d has %d items, want 3", i, len(batch))
+		}
+	}
+	if b.Len() != 1 {
+		t.Fatalf("leftover %d items, want 1", b.Len())
+	}
+}
+
+func TestSPBufferLoweredTargetSealsOnNextPush(t *testing.T) {
+	var got [][]int
+	b := NewSPBuffer[int](8, func(batch Batch[int]) {
+		got = append(got, batch.Items)
+	})
+	for i := 0; i < 5; i++ {
+		b.Push(i)
+	}
+	b.SetTarget(2) // occupancy (5) already past the new target
+	if len(got) != 0 {
+		t.Fatalf("SetTarget alone emitted a batch")
+	}
+	b.Push(5)
+	if len(got) != 1 || len(got[0]) != 6 {
+		t.Fatalf("next push after lowering target: got %d batches %v, want one 6-item batch", len(got), got)
+	}
+}
+
+func TestSPBufferTargetResetRestoresCapacitySeal(t *testing.T) {
+	var got [][]int
+	b := NewSPBuffer[int](4, func(batch Batch[int]) {
+		got = append(got, batch.Items)
+	})
+	b.SetTarget(2)
+	b.SetTarget(0) // reset
+	for i := 0; i < 4; i++ {
+		b.Push(i)
+	}
+	if len(got) != 1 || len(got[0]) != 4 {
+		t.Fatalf("after target reset: %v, want one full 4-item batch", got)
+	}
+	got = nil
+	b.SetTarget(99) // >= cap is also "seal at cap"
+	for i := 0; i < 4; i++ {
+		b.Push(i)
+	}
+	if len(got) != 1 || len(got[0]) != 4 {
+		t.Fatalf("target >= cap: %v, want one full 4-item batch", got)
+	}
+}
+
+func TestMPBufferSealsAtTargetSingleProducer(t *testing.T) {
+	var got [][]int
+	b := NewMPBuffer[int](16, func(batch Batch[int]) {
+		got = append(got, batch.Items)
+	})
+	b.SetTarget(4)
+	for i := 0; i < 8; i++ {
+		b.Push(i)
+	}
+	if len(got) != 2 {
+		t.Fatalf("emitted %d batches, want 2", len(got))
+	}
+	seen := map[int]bool{}
+	for i, batch := range got {
+		if len(batch) != 4 {
+			t.Fatalf("batch %d has %d items, want 4", i, len(batch))
+		}
+		for _, v := range batch {
+			if seen[v] {
+				t.Fatalf("item %d delivered twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	if len(seen) != 8 {
+		t.Fatalf("delivered %d distinct items, want 8", len(seen))
+	}
+}
+
+func TestMPBufferTargetConcurrentNoLossNoDup(t *testing.T) {
+	const (
+		producers = 8
+		perProd   = 2000
+		capacity  = 64
+	)
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	oversize := 0
+	b := NewMPBuffer[int](capacity, func(batch Batch[int]) {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(batch.Items) > capacity {
+			oversize++
+		}
+		for _, v := range batch.Items {
+			seen[v]++
+		}
+	})
+	b.SetTarget(7) // deliberately not a divisor of anything relevant
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				b.Push(p*perProd + i)
+			}
+		}(p)
+	}
+	wg.Wait()
+	b.Flush()
+	if oversize != 0 {
+		t.Fatalf("%d batches exceeded capacity", oversize)
+	}
+	if len(seen) != producers*perProd {
+		t.Fatalf("delivered %d distinct items, want %d", len(seen), producers*perProd)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("item %d delivered %d times", v, n)
+		}
+	}
+}
+
+func TestMPBufferTargetRaceWithDeadlineFlush(t *testing.T) {
+	// Target seals, deadline flushes, and capacity seals all racing: the
+	// exactly-once guarantee must hold regardless of which path wins.
+	const total = 20000
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	b := NewMPBuffer[int](32, func(batch Batch[int]) {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, v := range batch.Items {
+			seen[v]++
+		}
+	})
+	b.SetTarget(5)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				b.FlushIfOlder(nowNanos())
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < total/4; i++ {
+				b.Push(p*(total/4) + i)
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(done)
+	b.Flush()
+	if len(seen) != total {
+		t.Fatalf("delivered %d distinct items, want %d", len(seen), total)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("item %d delivered %d times", v, n)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Exponentially weighted rate estimation: the O(1) per-destination arrival
+// model of internal/rt's adaptive aggregation controller. The controller
+// samples a monotone event counter on every policy tick and needs a smoothed
+// events/sec estimate that (a) costs no per-event work — the hot path only
+// increments the counter — and (b) forgets old traffic at a configurable
+// half-life, so a destination that went cold stops looking hot after a few
+// half-lives rather than after a long arithmetic-mean tail.
+package stats
+
+import (
+	"math"
+	"time"
+)
+
+// RateEWMA turns periodic samples of a monotone event counter into an
+// exponentially weighted moving average of the event rate (events/sec). The
+// smoothing is half-life based and independent of the sampling period:
+// after one half-life of elapsed time the old estimate contributes half the
+// weight, whatever tick lengths delivered it. Not safe for concurrent use;
+// the sampling loop owns it.
+type RateEWMA struct {
+	halfLife float64 // seconds; <= 0 disables smoothing (estimate = last sample)
+	value    float64
+	primed   bool
+}
+
+// NewRateEWMA returns an estimator with the given half-life.
+func NewRateEWMA(halfLife time.Duration) RateEWMA {
+	return RateEWMA{halfLife: halfLife.Seconds()}
+}
+
+// Observe folds one sampling interval — delta events over dt — into the
+// estimate and returns the updated rate. The first observation primes the
+// estimate directly (no warm-up bias toward zero). Non-positive dt and
+// negative delta (a counter reset) leave the estimate unchanged.
+func (e *RateEWMA) Observe(delta int64, dt time.Duration) float64 {
+	if dt <= 0 || delta < 0 {
+		return e.value
+	}
+	inst := float64(delta) / dt.Seconds()
+	if !e.primed {
+		e.value, e.primed = inst, true
+		return e.value
+	}
+	if e.halfLife <= 0 {
+		e.value = inst
+		return e.value
+	}
+	// Weight of the old estimate after dt: 2^(-dt/halfLife) — exactly 1/2
+	// when dt == halfLife, and correctly compounding for irregular ticks.
+	keep := math.Exp2(-dt.Seconds() / e.halfLife)
+	e.value = keep*e.value + (1-keep)*inst
+	return e.value
+}
+
+// Value returns the current rate estimate (0 before any observation).
+func (e *RateEWMA) Value() float64 { return e.value }

@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestRateEWMAPrimesOnFirstSample(t *testing.T) {
+	e := NewRateEWMA(100 * time.Millisecond)
+	if got := e.Value(); got != 0 {
+		t.Fatalf("unprimed value = %v, want 0", got)
+	}
+	got := e.Observe(500, 10*time.Millisecond) // 50k events/sec
+	if want := 50000.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("first observation = %v, want %v (primed directly, no zero bias)", got, want)
+	}
+}
+
+func TestRateEWMAHalfLife(t *testing.T) {
+	e := NewRateEWMA(100 * time.Millisecond)
+	e.Observe(1000, 10*time.Millisecond) // prime at 100k eps
+	// One full half-life of silence: the estimate must drop to exactly half
+	// way between the old value and the new instantaneous rate (0).
+	got := e.Observe(0, 100*time.Millisecond)
+	if want := 50000.0; math.Abs(got-want) > 1 {
+		t.Fatalf("after one half-life of silence: %v, want %v", got, want)
+	}
+	// Two more half-lives: down to 1/8 of the original.
+	e.Observe(0, 100*time.Millisecond)
+	got = e.Observe(0, 100*time.Millisecond)
+	if want := 12500.0; math.Abs(got-want) > 1 {
+		t.Fatalf("after three half-lives: %v, want %v", got, want)
+	}
+}
+
+func TestRateEWMAIrregularTicksCompound(t *testing.T) {
+	// Decay over one 100ms tick must equal decay over four 25ms ticks.
+	a := NewRateEWMA(50 * time.Millisecond)
+	b := NewRateEWMA(50 * time.Millisecond)
+	a.Observe(1000, 10*time.Millisecond)
+	b.Observe(1000, 10*time.Millisecond)
+	a.Observe(0, 100*time.Millisecond)
+	for i := 0; i < 4; i++ {
+		b.Observe(0, 25*time.Millisecond)
+	}
+	if math.Abs(a.Value()-b.Value()) > 1e-6*a.Value() {
+		t.Fatalf("tick-length dependence: one 100ms tick %v != four 25ms ticks %v", a.Value(), b.Value())
+	}
+}
+
+func TestRateEWMATracksSteadyRate(t *testing.T) {
+	e := NewRateEWMA(20 * time.Millisecond)
+	for i := 0; i < 50; i++ {
+		e.Observe(200, time.Millisecond) // steady 200k eps
+	}
+	if got, want := e.Value(), 200000.0; math.Abs(got-want) > 1 {
+		t.Fatalf("steady rate converged to %v, want %v", got, want)
+	}
+}
+
+func TestRateEWMAIgnoresDegenerateSamples(t *testing.T) {
+	e := NewRateEWMA(50 * time.Millisecond)
+	e.Observe(100, 10*time.Millisecond)
+	v := e.Value()
+	if got := e.Observe(100, 0); got != v {
+		t.Fatalf("dt=0 changed the estimate: %v -> %v", v, got)
+	}
+	if got := e.Observe(-5, 10*time.Millisecond); got != v {
+		t.Fatalf("negative delta (counter reset) changed the estimate: %v -> %v", v, got)
+	}
+}
+
+func TestRateEWMAZeroHalfLifeIsLastSample(t *testing.T) {
+	e := NewRateEWMA(0)
+	e.Observe(100, 10*time.Millisecond)
+	got := e.Observe(300, 10*time.Millisecond)
+	if want := 30000.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("zero half-life: %v, want last instantaneous rate %v", got, want)
+	}
+}

@@ -1,0 +1,152 @@
+// Package traffic generates the destination and timing shapes the adaptive
+// aggregation experiments need: uniform destinations (the paper's baseline
+// workload), Zipfian-skewed destinations (a few hot receivers, a long cold
+// tail), and bursty on/off duty-cycle sources. One Spec parameterizes all
+// consumers — internal/bench's static-vs-adaptive tables, cmd/tramload's
+// load-generator flags, and internal/serve's connection drivers — so a shape
+// measured offline is exactly the shape driven into a live service.
+//
+// Everything is deterministic under a seed: pickers are seeded rand streams
+// and the burst gate is a pure function of elapsed time, so fixed-seed runs
+// draw identical destination sequences.
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Shape kinds accepted by Spec.Kind.
+const (
+	// Uniform draws destinations independently and uniformly ("" means
+	// Uniform too: the zero Spec is the pre-existing uniform behavior).
+	Uniform = "uniform"
+	// Zipf draws destinations from a Zipf distribution: destination 0 is the
+	// hottest, the tail coldest — the skewed-receiver workload.
+	Zipf = "zipf"
+	// Burst keeps uniform destinations but gates sending through an on/off
+	// duty cycle (BurstOn sending, BurstOff silent).
+	Burst = "burst"
+)
+
+// Spec selects a traffic shape. The zero value is uniform, ungated.
+type Spec struct {
+	// Kind is Uniform, Zipf, or Burst ("" selects Uniform).
+	Kind string
+	// ZipfS is the Zipf exponent s > 1 (0 selects 1.3); larger is more
+	// skewed. Zipf kind only.
+	ZipfS float64
+	// ZipfV is the Zipf value parameter v >= 1 (0 selects 1). Zipf kind only.
+	ZipfV float64
+	// BurstOn/BurstOff are the duty cycle's sending and silent phase lengths
+	// (0 selects 2ms on / 8ms off). Burst kind only.
+	BurstOn, BurstOff time.Duration
+}
+
+// Validate reports specification errors.
+func (s Spec) Validate() error {
+	switch s.Kind {
+	case "", Uniform, Zipf, Burst:
+	default:
+		return fmt.Errorf("traffic: unknown shape %q (want %q, %q, or %q)", s.Kind, Uniform, Zipf, Burst)
+	}
+	if s.ZipfS != 0 && s.ZipfS <= 1 {
+		return fmt.Errorf("traffic: ZipfS must exceed 1, got %v", s.ZipfS)
+	}
+	if s.ZipfV != 0 && s.ZipfV < 1 {
+		return fmt.Errorf("traffic: ZipfV must be at least 1, got %v", s.ZipfV)
+	}
+	if s.BurstOn < 0 || s.BurstOff < 0 {
+		return fmt.Errorf("traffic: negative burst phase")
+	}
+	return nil
+}
+
+// normalized fills the spec's defaults.
+func (s Spec) normalized() Spec {
+	if s.Kind == "" {
+		s.Kind = Uniform
+	}
+	if s.ZipfS == 0 {
+		s.ZipfS = 1.3
+	}
+	if s.ZipfV == 0 {
+		s.ZipfV = 1
+	}
+	if s.BurstOn == 0 {
+		s.BurstOn = 2 * time.Millisecond
+	}
+	if s.BurstOff == 0 {
+		s.BurstOff = 8 * time.Millisecond
+	}
+	return s
+}
+
+// Picker draws destination indices in [0, n) according to a Spec. Not safe
+// for concurrent use; each source goroutine owns its Picker.
+type Picker struct {
+	n    int
+	rng  *rand.Rand
+	zipf *rand.Zipf
+}
+
+// NewPicker returns a deterministic picker over n destinations. Panics on an
+// invalid spec or non-positive n (programming errors, like shmem's capacity
+// panics).
+func NewPicker(s Spec, seed int64, n int) *Picker {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	if n <= 0 {
+		panic("traffic: non-positive destination count")
+	}
+	s = s.normalized()
+	p := &Picker{n: n, rng: rand.New(rand.NewSource(seed))}
+	if s.Kind == Zipf {
+		p.zipf = rand.NewZipf(p.rng, s.ZipfS, s.ZipfV, uint64(n-1))
+	}
+	return p
+}
+
+// Next draws one destination index.
+func (p *Picker) Next() int {
+	if p.zipf != nil {
+		return int(p.zipf.Uint64())
+	}
+	return p.rng.Intn(p.n)
+}
+
+// Gate is the burst duty cycle's time gate: a pure function of elapsed time
+// since the gate's origin, so every source sharing an origin bursts in phase
+// (the aggregate load is bursty, not merely each source). Non-burst shapes
+// yield an always-open gate.
+type Gate struct {
+	on, cycle time.Duration // cycle == 0: always open
+	origin    time.Time
+}
+
+// NewGate returns the spec's gate with the given time origin.
+func NewGate(s Spec, origin time.Time) *Gate {
+	s = s.normalized()
+	if s.Kind != Burst {
+		return &Gate{}
+	}
+	return &Gate{on: s.BurstOn, cycle: s.BurstOn + s.BurstOff, origin: origin}
+}
+
+// Wait returns how long a source must sleep from now until the gate is open
+// (0 when it is already open, i.e. always for non-burst shapes).
+func (g *Gate) Wait(now time.Time) time.Duration {
+	if g.cycle == 0 {
+		return 0
+	}
+	phase := now.Sub(g.origin) % g.cycle
+	if phase < 0 {
+		phase += g.cycle
+	}
+	if phase < g.on {
+		return 0
+	}
+	return g.cycle - phase
+}

@@ -69,6 +69,17 @@ type Config struct {
 	// between message drains.
 	ChunkSize int
 
+	// Adaptive configures per-destination adaptive aggregation on the Real
+	// and Dist backends (and serve mode): a controller in the progress
+	// goroutine steers each destination's effective buffer depth and flush
+	// deadline from its measured arrival rate, and optionally switches
+	// low-rate destinations to Direct framing. The zero value keeps the
+	// static BufferItems/FlushDeadline policy; adaptation never changes what
+	// a run computes, only how items batch (the conformance suite pins
+	// adaptive results element-wise identical to static). Ignored by Sim.
+	// See docs/TUNING.md for the knobs and the controller's feedback loops.
+	Adaptive AdaptiveOptions
+
 	// Dist configures the multi-process backend. Ignored by Sim and Real.
 	Dist DistOptions
 
@@ -76,6 +87,13 @@ type Config struct {
 	// Ignored by Run.
 	Serve ServeOptions
 }
+
+// AdaptiveOptions configures the adaptive aggregation controller
+// (Config.Adaptive). Enabled with every other field zero selects workable
+// defaults derived from FlushDeadline; see the field docs on rt.Adaptive and
+// docs/TUNING.md for the full policy. Requires a positive FlushDeadline when
+// Enabled; a no-op under the Direct scheme (nothing aggregates).
+type AdaptiveOptions = rt.Adaptive
 
 // ServeOptions configures a long-running ingestion service (Lib.Serve): the
 // client and metrics listeners, the admission window, and the drain bound.
@@ -288,6 +306,7 @@ func (c Config) realConfig() rt.Config {
 		BufferItems:   c.BufferItems,
 		FlushDeadline: c.FlushDeadline,
 		ChunkSize:     c.ChunkSize,
+		Adaptive:      c.Adaptive,
 	}
 }
 

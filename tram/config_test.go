@@ -99,6 +99,28 @@ func TestValidateRejectsEveryInvalidField(t *testing.T) {
 			c.Dist.Transport = TransportTCP
 			c.Dist.Hosts = hostsFor(c.Topo, DistHost{Target: "node1", Procs: 1})
 		}, "ListenAddr"},
+		{"adaptive without a flush deadline", func(c *Config) {
+			c.Adaptive.Enabled = true
+			c.FlushDeadline = 0
+		}, "positive FlushDeadline"},
+		{"negative adaptive TargetLatency", func(c *Config) {
+			c.Adaptive = AdaptiveOptions{Enabled: true, TargetLatency: -time.Millisecond}
+		}, "adaptive duration"},
+		{"adaptive TargetQuantile above 1", func(c *Config) {
+			c.Adaptive = AdaptiveOptions{Enabled: true, TargetQuantile: 1.5}
+		}, "TargetQuantile"},
+		{"adaptive MinDeadline above MaxDeadline", func(c *Config) {
+			c.Adaptive = AdaptiveOptions{Enabled: true, MinDeadline: time.Millisecond, MaxDeadline: time.Microsecond}
+		}, "MinDeadline"},
+		{"adaptive MinBatch above BufferItems", func(c *Config) {
+			c.Adaptive = AdaptiveOptions{Enabled: true, MinBatch: 1 << 20}
+		}, "MinBatch"},
+		{"negative adaptive DirectBelow", func(c *Config) {
+			c.Adaptive = AdaptiveOptions{Enabled: true, DirectBelow: -1}
+		}, "DirectBelow"},
+		{"adaptive Hysteresis below 1", func(c *Config) {
+			c.Adaptive = AdaptiveOptions{Enabled: true, Hysteresis: 0.5}
+		}, "Hysteresis"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -143,6 +165,42 @@ func TestDefaultsRoundTripToBackends(t *testing.T) {
 		if got, want := cfg.realConfig(), rt.DefaultConfig(topo, s); got != want {
 			t.Errorf("%v: realConfig() = %+v, want rt default %+v", s, got, want)
 		}
+	}
+}
+
+func TestValidateAcceptsAdaptiveKnobs(t *testing.T) {
+	// Enabled alone selects defaults derived from FlushDeadline.
+	cfg := validConfig()
+	cfg.Adaptive = AdaptiveOptions{Enabled: true}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("bare adaptive config invalid: %v", err)
+	}
+	// The full knob surface.
+	cfg.Adaptive = AdaptiveOptions{
+		Enabled:        true,
+		TargetLatency:  500 * time.Microsecond,
+		TargetQuantile: 0.95,
+		MinDeadline:    100 * time.Microsecond,
+		MaxDeadline:    2 * time.Millisecond,
+		Interval:       200 * time.Microsecond,
+		HalfLife:       time.Millisecond,
+		MinBatch:       8,
+		DirectBelow:    10_000,
+		Hysteresis:     3,
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("fully-knobbed adaptive config invalid: %v", err)
+	}
+	// Disabled, the knobs are inert: junk values must not fail validation
+	// (a Config with adaptation toggled off is exactly the static Config).
+	cfg.Adaptive = AdaptiveOptions{TargetQuantile: 7, MinDeadline: -time.Second, Hysteresis: 0.1}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("disabled adaptive knobs rejected: %v", err)
+	}
+	// The projection carries the controller config to the runtime verbatim.
+	cfg.Adaptive = AdaptiveOptions{Enabled: true, MinBatch: 4}
+	if got := cfg.realConfig().Adaptive; got != cfg.Adaptive {
+		t.Fatalf("realConfig().Adaptive = %+v, want %+v", got, cfg.Adaptive)
 	}
 }
 

@@ -19,6 +19,7 @@ package tram_test
 import (
 	"os"
 	"testing"
+	"time"
 
 	"tramlib/internal/apps/histogram"
 	"tramlib/internal/apps/indexgather"
@@ -288,6 +289,74 @@ func TestConformancePHOLD(t *testing.T) {
 		}
 		if res.Wasted > res.RemoteRecv {
 			t.Fatalf("wasted %d exceeds remote receives %d", res.Wasted, res.RemoteRecv)
+		}
+	})
+}
+
+// TestConformanceAdaptiveMatchesStatic is the adaptive-aggregation
+// acceptance pin: with the per-destination flush controller on — tight
+// deadlines, a live occupancy seal target, and path selection armed so some
+// routes genuinely switch to Direct framing — the histogram tables remain
+// element-wise identical to the serial RNG replay (which the static matrix
+// above is pinned to) on every real-execution backend x scheme x transport.
+// Adaptation re-partitions the same items into different batches and
+// reframes some of them; it must never change what a run computes.
+func TestConformanceAdaptiveMatchesStatic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full backend matrix (spawns processes)")
+	}
+	topo := confTopo()
+	W := topo.TotalWorkers()
+	const (
+		z     = 2000
+		slots = 32
+		seed  = 13
+	)
+
+	want := make([][]int64, W)
+	for w := range want {
+		want[w] = make([]int64, slots)
+	}
+	for w := 0; w < W; w++ {
+		r := rng.NewStream(seed, w)
+		for i := 0; i < z; i++ {
+			u := r.Uint64()
+			want[u%uint64(W)][(u>>32)%slots]++
+		}
+	}
+
+	adaptive := tram.AdaptiveOptions{
+		Enabled:       true,
+		TargetLatency: 200 * time.Microsecond,
+		MinDeadline:   50 * time.Microsecond,
+		Interval:      100 * time.Microsecond,
+		// High enough that short-run smoothed rates sit below it: routes
+		// flip to Direct framing mid-run, exercising the reframed path.
+		DirectBelow: 1 << 30,
+	}
+
+	forEachSchemeBackend(t, func(t *testing.T, s tram.Scheme, c backendCell) {
+		if c.name == "sim" {
+			t.Skip("Sim ignores Config.Adaptive (virtual time has no controller)")
+		}
+		cfg := histogram.DefaultConfig(topo, s)
+		cfg.UpdatesPerPE = z
+		cfg.SlotsPerPE = slots
+		cfg.Seed = seed
+		cfg.Tram.BufferItems = 64
+		cfg.Tram.Adaptive = adaptive
+		c.prep(&cfg.Tram)
+		res := histogram.RunOn(c.b, cfg)
+
+		if res.TotalUpdates != int64(W)*z {
+			t.Fatalf("total updates %d, want %d", res.TotalUpdates, int64(W)*z)
+		}
+		for w := 0; w < W; w++ {
+			for sl := 0; sl < slots; sl++ {
+				if res.Tables[w][sl] != want[w][sl] {
+					t.Fatalf("table[%d][%d] = %d, want %d (static replay)", w, sl, res.Tables[w][sl], want[w][sl])
+				}
+			}
 		}
 	})
 }
